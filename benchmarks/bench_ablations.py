@@ -1,0 +1,96 @@
+"""Design-choice ablations called out in DESIGN.md.
+
+* **lock stripes** — MERGER contention vs stripe count (the paper uses
+  one lock per element; we stripe — this bench shows the stripe count
+  where striping stops mattering);
+* **weak scaling** — fixed work *per thread* on the simulated machine
+  (the paper only reports strong scaling; weak scaling isolates the
+  serial fractions);
+* **connectivity** — 4- vs 8-connectivity cost on the same images;
+* **boundary-merge share** — merge phase share as chunks multiply, the
+  quantitative form of the paper's "merge operation does not have a
+  significant overhead".
+"""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.ccl import aremsp
+from repro.data import blobs
+from repro.simmachine import simulate_paremsp
+from repro.unionfind.parallel import LockStripedMerger
+
+
+@pytest.mark.parametrize("stripes", [1, 16, 256, 4096])
+def test_lock_stripes_contention(benchmark, stripes):
+    """8 threads hammer one merger; fewer stripes = more false sharing."""
+    n = 2048
+    rng = np.random.default_rng(0)
+    ops = [tuple(map(int, pair)) for pair in rng.integers(0, n, size=(4000, 2))]
+    shards = [ops[i::8] for i in range(8)]
+
+    def run():
+        p = list(range(n))
+        merger = LockStripedMerger(p, n_stripes=stripes)
+        threads = [
+            threading.Thread(
+                target=lambda s: [merger.merge(x, y) for x, y in s],
+                args=(sh,),
+            )
+            for sh in shards
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        return p
+
+    p = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert len(p) == n
+
+
+def test_weak_scaling_efficiency(capsys):
+    """Rows grow with the thread count: efficiency = T1/(T_t) with t x
+    work should stay near 1 for a scalable algorithm."""
+    base_rows = 64
+    cols = 256
+    effs = {}
+    base = simulate_paremsp(
+        blobs((base_rows, cols), 0.5, seed=1), 1, linear_scale=40.0
+    ).total_seconds
+    for t in (2, 4, 8):
+        img = blobs((base_rows * t, cols), 0.5, seed=1)
+        sim = simulate_paremsp(img, t, linear_scale=40.0)
+        effs[t] = base / sim.total_seconds
+    with capsys.disabled():
+        print("\nweak-scaling efficiency:", {k: round(v, 2) for k, v in effs.items()})
+    assert effs[2] > 0.75
+    assert effs[8] > 0.5  # flatten is serial: efficiency decays slowly
+
+
+@pytest.mark.parametrize("connectivity", [4, 8])
+def test_connectivity_cost(benchmark, connectivity):
+    img = blobs((128, 128), 0.5, seed=2)
+    result = benchmark(aremsp, img, connectivity)
+    assert result.n_components > 0
+
+
+def test_boundary_merge_share_shrinks_with_size(capsys):
+    """Merge share of total simulated time must fall as images grow —
+    Figure 5a == 5b is the limit of this trend."""
+    shares = {}
+    for side in (64, 128, 256):
+        img = blobs((side, side), 0.5, seed=3)
+        sim = simulate_paremsp(img, 8, linear_scale=20.0)
+        shares[side] = sim.phase_seconds["merge"] / sim.total_seconds
+    with capsys.disabled():
+        print(
+            "\nmerge share by image side:",
+            {k: f"{v:.3%}" for k, v in shares.items()},
+        )
+    assert shares[256] < shares[64]
+    assert shares[256] < 0.05

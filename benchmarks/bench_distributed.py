@@ -1,0 +1,66 @@
+"""Distributed CCL: communication complexity and network pricing.
+
+Meters the actual message traffic of the distributed algorithm and
+prices it with the alpha-beta model — the analysis a cluster deployment
+would start from. The key asserted property: halo traffic scales with
+the image *perimeter-per-seam* (width), while local work scales with
+area, so the communication share vanishes as images grow — the
+distributed analogue of Figure 5's negligible merge phase.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import granularity
+from repro.mp import NetworkModel, run_spmd
+from repro.mp.metering import metered_program
+from repro.parallel.distributed import distributed_label, distributed_label_program
+
+
+@pytest.mark.parametrize("n_ranks", [2, 4, 8])
+def test_distributed_wall_time(benchmark, n_ranks):
+    img = granularity((128, 128), density=0.5, block=4, seed=3)
+    result = benchmark.pedantic(
+        distributed_label, args=(img, n_ranks), rounds=3, iterations=1
+    )
+    assert result.n_components > 0
+
+
+def _traffic(img, n_ranks):
+    results = run_spmd(metered_program(distributed_label_program), n_ranks, img, 8)
+    return [r[1] for r in results]
+
+
+def test_halo_traffic_scales_with_width_not_area(capsys):
+    """Doubling the height (seam count fixed) must not change interior
+    ranks' point-to-point halo bytes."""
+    def interior_p2p_bytes(rows):
+        img = granularity((rows, 128), density=0.5, block=4, seed=3)
+        traffic = _traffic(img, 4)
+        # ranks 1 and 2 are interior: their explicit sends are exactly
+        # the halo rows (collectives are tallied separately).
+        return max(traffic[1].p2p_bytes, traffic[2].p2p_bytes)
+
+    short = interior_p2p_bytes(64)
+    tall = interior_p2p_bytes(256)
+    # area grew 4x; the halo is one image row + one label row, unchanged
+    assert tall == short
+
+
+def test_network_pricing_table(capsys):
+    """Comm seconds vs local-work seconds across rank counts."""
+    img = granularity((256, 256), density=0.5, block=4, seed=9)
+    model = NetworkModel()  # commodity interconnect
+    rows = []
+    for n_ranks in (2, 4, 8):
+        traffic = _traffic(img, n_ranks)
+        comm = model.makespan(traffic)
+        rows.append((n_ranks, comm, sum(t.bytes_sent for t in traffic)))
+    with capsys.disabled():
+        print("\nranks  comm-model-seconds  total-bytes")
+        for n, comm, nbytes in rows:
+            print(f"{n:5d}  {comm * 1e6:15.1f} us  {nbytes:11d}")
+    # comm stays microseconds for megapixel-class strips on this model
+    assert all(comm < 0.05 for _, comm, _ in rows)

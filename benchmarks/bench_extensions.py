@@ -1,0 +1,101 @@
+"""Benches for the extension systems: grayscale, 3-D, streaming, tiled,
+distributed, contour.
+
+These are not paper artefacts; they keep the extension engines honest
+(regressions in the composite-key matching or the streaming frontier
+would show here first) and document their relative costs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.ccl.contour import contour_trace
+from repro.ccl.grayscale import grayscale_label_runs
+from repro.ccl.run_based import run_based_vectorized
+from repro.ccl.streaming import stream_label
+from repro.data import blobs
+from repro.data.datasets import _landcover_raster
+from repro.parallel.distributed import distributed_label
+from repro.parallel.tiled import tiled_label
+from repro.volume import volume_label
+
+
+@pytest.fixture(scope="module")
+def image():
+    return blobs((192, 192), density=0.48, seed=11)
+
+
+@pytest.fixture(scope="module")
+def raster():
+    return _landcover_raster((192, 192), n_classes=6, seed=11)
+
+
+@pytest.fixture(scope="module")
+def volume():
+    rng = np.random.default_rng(11)
+    return (rng.random((24, 64, 64)) < 0.35).astype(np.uint8)
+
+
+def test_grayscale_runs_engine(benchmark, raster):
+    result = benchmark(grayscale_label_runs, raster, 8)
+    assert result.n_components > 0
+
+
+def test_volume_26(benchmark, volume):
+    result = benchmark(volume_label, volume, 26)
+    assert result.n_components > 0
+
+
+def test_volume_6(benchmark, volume):
+    result = benchmark(volume_label, volume, 6)
+    assert result.n_components > 0
+
+
+def test_streaming(benchmark, image):
+    def run():
+        return list(stream_label(image, cols=image.shape[1]))
+
+    comps = benchmark(run)
+    assert len(comps) == run_based_vectorized(image).n_components
+
+
+def test_tiled(benchmark, image):
+    result = benchmark(tiled_label, image, (64, 64))
+    assert result.n_components == run_based_vectorized(image).n_components
+
+
+def test_contour(benchmark, image):
+    result = benchmark.pedantic(
+        contour_trace, args=(image,), rounds=3, iterations=1
+    )
+    assert result.n_components == run_based_vectorized(image).n_components
+
+
+def test_distributed(benchmark, image):
+    result = benchmark.pedantic(
+        distributed_label, args=(image, 4), rounds=3, iterations=1
+    )
+    assert result.n_components == run_based_vectorized(image).n_components
+
+
+def test_tiled_overhead_is_bounded(capsys, image):
+    """Tiling cost over whole-image labeling must stay modest — the
+    price of the out-of-core shape."""
+    import time
+
+    def clock(fn, *args):
+        best = float("inf")
+        for _ in range(3):
+            t0 = time.perf_counter()
+            fn(*args)
+            best = min(best, time.perf_counter() - t0)
+        return best
+
+    whole = clock(run_based_vectorized, image, 8)
+    tiled = clock(tiled_label, image, (64, 64))
+    with capsys.disabled():
+        print(f"\ntiled {tiled * 1e3:.1f} ms vs whole {whole * 1e3:.1f} ms "
+              f"({tiled / whole:.2f}x)")
+    assert tiled < whole * 6

@@ -1,0 +1,28 @@
+"""Figure 4 bench: regenerate the small-suite speedup curves.
+
+The simulated machine is deterministic, so beyond timing the driver this
+bench *asserts the paper's curve shapes* every run: rising from 2
+threads, peaking, and the aerial curve dominating texture.
+"""
+
+from __future__ import annotations
+
+from repro.bench.experiments.fig4 import run_fig4
+
+FIG4_SCALE = 0.04
+
+
+def test_fig4_regeneration(benchmark, capsys):
+    report = benchmark.pedantic(
+        run_fig4, kwargs={"scale": FIG4_SCALE}, rounds=1, iterations=1
+    )
+    with capsys.disabled():
+        print("\n" + report.render())
+    curves = report.data["curves"]
+    for suite, curve in curves.items():
+        assert curve[6] > curve[2] > 1.5, suite
+    # paper's Figure 4 ordering: Aerial on top, Texture at the bottom
+    assert curves["aerial"][16] > curves["texture"][16]
+    # small images stop scaling: no curve may keep rising linearly to 24
+    for suite, curve in curves.items():
+        assert curve[24] < 24 * 0.7, suite

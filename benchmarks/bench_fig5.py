@@ -1,0 +1,37 @@
+"""Figure 5 bench: the NLCD scaling curves, local and local+merge.
+
+Asserts the three headline findings on every run (deterministic):
+near-linear scaling for large rungs, monotone-in-size speedup at 24
+threads, and a negligible merge share.
+"""
+
+from __future__ import annotations
+
+from repro.bench.experiments.fig5 import run_fig5
+
+FIG5_SCALE = 0.04  # NLCD uses scale * 0.2 inside build_suites
+
+
+def test_fig5_regeneration(benchmark, capsys):
+    report = benchmark.pedantic(
+        run_fig5, kwargs={"scale": FIG5_SCALE}, rounds=1, iterations=1
+    )
+    with capsys.disabled():
+        print("\n" + report.render())
+    total = report.data["total"]
+    local = report.data["local"]
+
+    # (1) near-linear for the flagship image, ~20x at 24 (paper: 20.1)
+    flagship = total["image_6"]
+    assert 17.0 <= flagship[24] <= 23.0
+    assert flagship[12] >= 9.0
+
+    # (2) speedup at 24 threads grows with image size (ladder order)
+    s24 = [total[f"image_{i}"][24] for i in range(1, 7)]
+    assert s24[5] >= s24[3] >= s24[0]
+
+    # (3) the merge phase is negligible for the large rungs: panels (a)
+    # and (b) nearly coincide
+    for name in ("image_4", "image_5", "image_6"):
+        gap = abs(local[name][24] - total[name][24]) / local[name][24]
+        assert gap < 0.15, name

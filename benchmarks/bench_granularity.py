@@ -1,0 +1,67 @@
+"""Granularity sweep — the YACCLAB-style synthetic benchmark axis.
+
+Holds foreground density at 50% while sweeping the block granularity
+from 1 px (white noise: merge-heavy, run-hostile) to 16 px (chunky:
+run-friendly). The deterministic op-count sweep quantifies *why* the
+timings move: merges per pixel collapse as granularity grows, and the
+run count per pixel with them.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.ccl import aremsp, ccllrpc, run_based_vectorized
+from repro.ccl.block2x2 import block_label
+from repro.ccl.opcount import tworow_opcounts
+from repro.data import granularity
+
+GRANULARITIES = (1, 2, 4, 8, 16)
+SIDE = 160
+
+
+@pytest.fixture(scope="module", params=GRANULARITIES)
+def image(request):
+    return granularity((SIDE, SIDE), density=0.5, block=request.param, seed=5)
+
+
+def test_aremsp(benchmark, image):
+    result = benchmark(aremsp, image, 8)
+    assert result.n_components >= 1
+
+
+def test_ccllrpc(benchmark, image):
+    result = benchmark(ccllrpc, image, 8)
+    assert result.n_components >= 1
+
+
+def test_run_vectorized(benchmark, image):
+    result = benchmark(run_based_vectorized, image, 8)
+    assert result.n_components >= 1
+
+
+def test_block2x2(benchmark, image):
+    result = benchmark(block_label, image, 8)
+    assert result.n_components >= 1
+
+
+def test_opcounts_fall_with_granularity(capsys):
+    """Deterministic version of the sweep: merge traffic per pixel must
+    fall monotonically as blocks grow."""
+    merges = {}
+    runs = {}
+    for g in GRANULARITIES:
+        img = granularity((SIDE, SIDE), density=0.5, block=g, seed=5)
+        counts = tworow_opcounts(img)
+        merges[g] = counts.merges / img.size
+        result = run_based_vectorized(img, 8)
+        runs[g] = result.provisional_count / img.size
+    with capsys.disabled():
+        print("\nmerges/px by granularity:",
+              {k: f"{v:.4f}" for k, v in merges.items()})
+        print("runs/px by granularity:  ",
+              {k: f"{v:.4f}" for k, v in runs.items()})
+    vals = [merges[g] for g in GRANULARITIES]
+    assert vals == sorted(vals, reverse=True)
+    run_vals = [runs[g] for g in GRANULARITIES]
+    assert run_vals == sorted(run_vals, reverse=True)

@@ -1,0 +1,33 @@
+"""Operation-count ablation bench: the machine-independent Table II.
+
+Times the static analyzers themselves (they must be cheap enough to run
+inside simulation sweeps) and prints/asserts the scan-strategy ablation.
+"""
+
+from __future__ import annotations
+
+from repro.bench.experiments.opcounts import run_opcounts
+from repro.ccl.opcount import decision_tree_opcounts, tworow_opcounts
+from repro.data import blobs
+
+
+def test_static_analyzer_decision_tree(benchmark):
+    img = blobs((256, 256), density=0.48, seed=1)
+    counts = benchmark(decision_tree_opcounts, img)
+    assert counts.pixel_visits == img.size
+
+
+def test_static_analyzer_tworow(benchmark):
+    img = blobs((256, 256), density=0.48, seed=1)
+    counts = benchmark(tworow_opcounts, img)
+    assert counts.pixel_visits == img.size // 2
+
+
+def test_opcounts_report(capsys):
+    report = run_opcounts(scale=0.03)
+    with capsys.disabled():
+        print("\n" + report.render())
+    for suite, rec in report.data.items():
+        dt = rec["static"]["decision_tree"]
+        tr = rec["static"]["tworow"]
+        assert tr.neighbor_reads <= dt.neighbor_reads, suite

@@ -1,0 +1,37 @@
+"""Table II benches: the four sequential algorithms on every suite.
+
+``pytest benchmarks/bench_table2.py --benchmark-only`` times each
+(algorithm, suite) cell on the suite's largest stand-in image — the
+kernel-level version of Table II. ``test_table2_report`` regenerates and
+prints the full min/avg/max table via the experiment driver.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.experiments.table2 import run_table2
+from repro.ccl.registry import SEQUENTIAL_TABLE2, get_algorithm
+
+SUITES = ("aerial", "texture", "misc", "nlcd")
+
+
+@pytest.mark.parametrize("suite", SUITES)
+@pytest.mark.parametrize("algorithm", SEQUENTIAL_TABLE2)
+def test_sequential_algorithm(benchmark, representative_images, suite, algorithm):
+    image = representative_images[suite].info.image
+    fn = get_algorithm(algorithm)
+    result = benchmark(fn, image, 8)
+    assert result.n_components > 0
+
+
+def test_table2_report(capsys):
+    """Regenerate and print the whole Table II."""
+    report = run_table2(scale=0.03)
+    with capsys.disabled():
+        print("\n" + report.render())
+    # the REMSP-over-LRPC swap must win in aggregate (paper's core claim)
+    summary = report.data["summary"]
+    assert sum(s["cclremsp"].avg for s in summary.values()) < sum(
+        s["ccllrpc"].avg for s in summary.values()
+    )

@@ -1,0 +1,26 @@
+"""Table III bench: dataset-generation cost and ladder regeneration.
+
+Table III itself is a size ladder, not a timing table; the benchmark
+here times the NLCD generator (it must stay off every other bench's
+critical path) and prints the augmented ladder.
+"""
+
+from __future__ import annotations
+
+from repro.bench.experiments.table3 import run_table3
+from repro.data.datasets import nlcd_suite
+
+
+def test_nlcd_generation(benchmark):
+    suite = benchmark.pedantic(
+        nlcd_suite, kwargs={"scale": 0.008}, rounds=3, iterations=1
+    )
+    assert len(suite) == 6
+
+
+def test_table3_report(capsys):
+    report = run_table3(scale=0.03)
+    with capsys.disabled():
+        print("\n" + report.render())
+    sizes = [i["actual_mb"] for i in report.data["images"]]
+    assert sizes == sorted(sizes)

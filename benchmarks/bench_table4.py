@@ -1,0 +1,52 @@
+"""Table IV benches: PAREMSP across backends and thread counts.
+
+Real-backend cells time the actual execution vehicles (``serial`` =
+the algorithm's intrinsic cost; ``threads``/``processes`` = CPython's
+concurrency overheads — documented as correctness vehicles, not speed).
+``test_table4_report`` regenerates the paper's table on the simulated
+machine.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.experiments.table4 import run_table4
+from repro.parallel import paremsp
+
+
+@pytest.mark.parametrize("n_threads", [1, 2, 4])
+def test_paremsp_serial_backend(benchmark, representative_images, n_threads):
+    image = representative_images["nlcd"].info.image
+    result = benchmark(paremsp, image, n_threads, "serial")
+    assert result.n_components > 0
+
+
+@pytest.mark.parametrize("backend", ["threads", "processes"])
+def test_paremsp_real_concurrency_backend(
+    benchmark, representative_images, backend
+):
+    image = representative_images["nlcd"].info.image
+    benchmark.pedantic(
+        paremsp,
+        args=(image, 2, backend),
+        rounds=3,
+        iterations=1,
+    )
+
+
+def test_simulated_backend_overhead(benchmark, representative_images):
+    """The simulated machine's own wall cost (counting kernels) — it must
+    stay within ~10x of the plain serial run to be usable in sweeps."""
+    image = representative_images["nlcd"].info.image
+    result = benchmark(paremsp, image, 4, "simulated")
+    assert result.meta["simulated"]
+
+
+def test_table4_report(capsys):
+    report = run_table4(scale=0.02)
+    with capsys.disabled():
+        print("\n" + report.render())
+    nlcd = report.data["summary"]["nlcd"]
+    avgs = [nlcd[t].avg for t in (2, 6, 16, 24)]
+    assert avgs == sorted(avgs, reverse=True)

@@ -1,0 +1,30 @@
+"""Shared fixtures for the pytest-benchmark suite.
+
+Stand-in scales here are chosen so the full ``pytest benchmarks/
+--benchmark-only`` run completes in a few minutes on one CPython core
+while still giving each kernel enough work to time meaningfully.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.experiments._suites import build_suites
+
+#: linear stand-in scale for benchmark images.
+BENCH_SCALE = 0.04
+
+
+@pytest.fixture(scope="session")
+def suites():
+    """All four paper suites at benchmark scale."""
+    return build_suites(BENCH_SCALE)
+
+
+@pytest.fixture(scope="session")
+def representative_images(suites):
+    """Largest image of each suite — the per-kernel benchmark workload."""
+    return {
+        name: max(images, key=lambda s: s.info.image.size)
+        for name, images in suites.items()
+    }

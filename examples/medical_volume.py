@@ -1,0 +1,102 @@
+#!/usr/bin/env python
+"""3-D lesion counting — the paper's medical-imaging motivation.
+
+The introduction lists "medical image analysis and computer-aided
+diagnosis" among CCL's indispensable applications; volumetric data is
+the norm there. This example builds a synthetic CT-like volume with
+blob "lesions", segments it by thresholding, and uses the library's 3-D
+extension to count and measure the lesions under the three voxel
+connectivities — including the classic pitfall where 26-connectivity
+fuses lesions that 6-connectivity keeps apart.
+
+Run:  python examples/medical_volume.py
+"""
+
+import numpy as np
+
+from repro.data.valuenoise import fractal_noise
+from repro.volume import flood_fill_label_3d, volume_label
+
+
+def synth_volume(
+    shape=(32, 96, 96), n_lesions: int = 12, seed: int = 17
+) -> np.ndarray:
+    """Gaussian blob 'lesions' over a noisy background, thresholded."""
+    rng = np.random.default_rng(seed)
+    Z, Y, X = shape
+    field = np.zeros(shape)
+    zz, yy, xx = np.mgrid[0:Z, 0:Y, 0:X]
+    for _ in range(n_lesions):
+        cz, cy, cx = rng.integers((2, 8, 8), (Z - 2, Y - 8, X - 8))
+        rad = rng.uniform(2.0, 5.0)
+        field += np.exp(
+            -((zz - cz) ** 2 + (yy - cy) ** 2 + (xx - cx) ** 2)
+            / (2 * rad**2)
+        )
+    # anatomical "texture": stack correlated 2-D noise slices
+    noise = np.stack(
+        [
+            fractal_noise((Y, X), base_cell=16, octaves=3, seed=seed + z)
+            for z in range(Z)
+        ]
+    )
+    field += 0.25 * noise
+    return (field > 0.45).astype(np.uint8)
+
+
+def main() -> None:
+    volume = synth_volume()
+    print(
+        f"volume: {volume.shape} ({volume.size / 1e6:.1f} Mvoxels), "
+        f"{volume.mean():.1%} segmented"
+    )
+
+    # --- label under all three connectivities ------------------------------
+    results = {c: volume_label(volume, c) for c in (6, 18, 26)}
+    print("\nlesion counts by connectivity:")
+    for conn, res in results.items():
+        print(
+            f"  {conn:2d}-connectivity: {res.n_components:3d} lesions  "
+            f"({res.total_seconds * 1e3:.1f} ms, "
+            f"{res.provisional_count} runs)"
+        )
+    assert results[6].n_components >= results[26].n_components
+
+    # --- per-lesion measurements (26-connectivity) --------------------------
+    labels = results[26].labels
+    n = results[26].n_components
+    sizes = np.bincount(labels.ravel())[1:]
+    order = np.argsort(sizes)[::-1]
+    print("\nlargest lesions (26-connectivity):")
+    for i in order[:5]:
+        voxels = np.argwhere(labels == i + 1)
+        zc, yc, xc = voxels.mean(axis=0)
+        print(
+            f"  lesion {i + 1:3d}: {sizes[i]:6d} voxels, "
+            f"centroid (z={zc:.1f}, y={yc:.1f}, x={xc:.1f})"
+        )
+
+    # --- slice-wise vs volumetric counting ----------------------------------
+    # counting per 2-D slice (a common shortcut) overcounts: one lesion
+    # appears in several slices.
+    import repro
+
+    slice_components = sum(
+        repro.label(volume[z], engine="vectorized")[1]
+        for z in range(volume.shape[0])
+    )
+    print(
+        f"\nper-slice 2-D counting would report {slice_components} "
+        f"'lesions' vs the true 3-D count of {n} — "
+        "the reason volumetric CCL exists"
+    )
+
+    # --- cross-check on a subvolume against the BFS oracle ------------------
+    sub = volume[:8, :24, :24]
+    _, n_oracle = flood_fill_label_3d(sub, 26)
+    assert volume_label(sub, 26).n_components == n_oracle
+    print("BFS oracle agrees on the subvolume — done.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,84 @@
+#!/usr/bin/env python
+"""PAREMSP scaling — reproduce the paper's parallel story interactively.
+
+Walks through the three layers of the reproduction:
+
+1. correctness of every execution backend against sequential AREMSP;
+2. the work decomposition PAREMSP relies on (chunk balance, boundary-
+   merge share);
+3. the simulated Cray XE6 node regenerating the Figure 5 curves,
+   including the ~20x peak for the 465 MB flagship image.
+
+Run:  python examples/parallel_scaling.py
+"""
+
+import math
+
+import numpy as np
+
+import repro
+from repro.data import nlcd_suite
+from repro.simmachine import HOPPER, simulate_paremsp, speedup_curve
+
+
+def main() -> None:
+    image_info = nlcd_suite(scale=0.012)[-1]  # the 465.2 MB flagship
+    image = image_info.image
+    scale = math.sqrt(image_info.nominal_mb * 1e6 / image.size)
+    print(
+        f"stand-in for {image_info.name} ({image_info.nominal_mb} MB): "
+        f"{image.shape}, priced at linear_scale={scale:.0f}"
+    )
+
+    # --- 1. every backend agrees with sequential AREMSP -------------------
+    seq = repro.ccl.aremsp(image)
+    print(f"\nsequential AREMSP: {seq.n_components} components")
+    for backend in ("serial", "threads", "processes", "simulated"):
+        par = repro.paremsp(image, n_threads=4, backend=backend)
+        same = np.array_equal(par.labels, seq.labels)
+        print(f"  backend {backend:10s}: {par.n_components} components, "
+              f"labels identical: {same}")
+
+    # --- 2. the work decomposition -----------------------------------------
+    par = repro.paremsp(image, n_threads=8, backend="serial")
+    chunk_s = par.meta["chunk_seconds"]
+    print(
+        f"\n8-way chunk scan balance: min {min(chunk_s) * 1e3:.1f} ms, "
+        f"max {max(chunk_s) * 1e3:.1f} ms "
+        f"(imbalance {max(chunk_s) / max(min(chunk_s), 1e-12):.2f}x)"
+    )
+    print(f"boundary unions: {par.meta['boundary_unions']} "
+          f"(vs {image.sum()} foreground pixels — the merge step is tiny)")
+
+    # --- 3. the simulated Hopper node ---------------------------------------
+    print("\nsimulated Cray XE6 node (cost model: HOPPER preset)")
+    sim = simulate_paremsp(image, n_threads=24, linear_scale=scale)
+    for phase, seconds in sim.phase_seconds.items():
+        print(f"  {phase:9s}: {seconds * 1e3:9.3f} ms (model)")
+
+    threads = (1, 2, 4, 8, 16, 24)
+    print(f"\n{'threads':>8s} {'local':>8s} {'local+merge':>12s}")
+    local = speedup_curve(image, threads, phase="local", linear_scale=scale)
+    total = speedup_curve(image, threads, phase="total", linear_scale=scale)
+    for t in threads:
+        print(f"{t:8d} {local[t]:8.2f} {total[t]:12.2f}")
+    print(
+        f"\npeak overall speedup at 24 threads: {total[24]:.1f}x "
+        f"(paper reports 20.1x for this image)"
+    )
+
+    # what-if: the same image priced at 1 MB nominal — Figure 4's regime,
+    # where team-construction overhead bends the curve back down
+    small_scale = math.sqrt(1e6 / image.size)
+    small = speedup_curve(image, threads, linear_scale=small_scale)
+    peak_t = max(small, key=small.get)
+    print(
+        "priced as a 1 MB image (Figure 4's regime) the curve peaks at "
+        f"{small[peak_t]:.1f}x on {peak_t} threads and falls to "
+        f"{small[24]:.1f}x at 24 — thread overhead overtakes the work"
+    )
+    assert HOPPER.t_spawn > 0  # the knob behind that bend
+
+
+if __name__ == "__main__":
+    main()

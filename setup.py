@@ -1,0 +1,13 @@
+"""Legacy-path shim.
+
+This environment ships setuptools without the ``wheel`` package, so PEP
+660 editable installs (``pip install -e .`` via the modern backend) fail
+with ``invalid command 'bdist_wheel'``. Keeping this one-liner lets
+``pip install -e . --no-use-pep517 --no-build-isolation`` (and plain
+``python setup.py develop``) work everywhere; all metadata lives in
+pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,52 @@
+"""Component analysis utilities on top of label images.
+
+The paper motivates CCL as the substrate of pattern-recognition
+pipelines (fingerprint identification, character recognition, target
+recognition, medical imaging). This subpackage provides the measurements
+those downstream steps consume — per-component areas, bounding boxes,
+centroids, and filtering — all vectorised over the label image.
+"""
+
+from .colorize import colorize_labels, distinct_colors
+from .hierarchy import ComponentTree, component_tree
+from .morphology import (
+    clear_border,
+    euler_number,
+    fill_holes,
+    holes_count,
+    perimeters,
+)
+from .ndstats import areas_nd, bounding_boxes_nd, centroids_nd
+from .stats import (
+    ComponentStats,
+    areas,
+    bounding_boxes,
+    centroids,
+    component_stats,
+    filter_components,
+    largest_component,
+    size_histogram,
+)
+
+__all__ = [
+    "ComponentStats",
+    "areas",
+    "bounding_boxes",
+    "centroids",
+    "component_stats",
+    "filter_components",
+    "largest_component",
+    "size_histogram",
+    "fill_holes",
+    "clear_border",
+    "holes_count",
+    "perimeters",
+    "euler_number",
+    "areas_nd",
+    "centroids_nd",
+    "bounding_boxes_nd",
+    "ComponentTree",
+    "component_tree",
+    "colorize_labels",
+    "distinct_colors",
+]

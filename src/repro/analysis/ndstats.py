@@ -1,0 +1,70 @@
+"""Dimension-agnostic component measurements.
+
+The 2-D measurements of :mod:`repro.analysis.stats` generalise directly
+to the 3-D labelings of :mod:`repro.volume` (and any future rank): all
+reductions are ``bincount`` over the flattened label array with
+per-axis coordinate weights.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["areas_nd", "centroids_nd", "bounding_boxes_nd"]
+
+
+def _k(labels: np.ndarray) -> int:
+    return int(labels.max()) if labels.size else 0
+
+
+def areas_nd(labels: np.ndarray) -> np.ndarray:
+    """Element count of each component, any rank."""
+    k = _k(labels)
+    if k == 0:
+        return np.zeros(0, dtype=np.int64)
+    return np.bincount(labels.ravel(), minlength=k + 1)[1:].astype(np.int64)
+
+
+def centroids_nd(labels: np.ndarray) -> np.ndarray:
+    """``(K, ndim)`` centroid coordinates in index space."""
+    labels = np.asarray(labels)
+    k = _k(labels)
+    if k == 0:
+        return np.zeros((0, labels.ndim))
+    flat = labels.ravel()
+    counts = np.bincount(flat, minlength=k + 1)[1:]
+    out = np.empty((k, labels.ndim))
+    for axis in range(labels.ndim):
+        coords = np.arange(labels.shape[axis])
+        shape = [1] * labels.ndim
+        shape[axis] = labels.shape[axis]
+        weights = np.broadcast_to(
+            coords.reshape(shape), labels.shape
+        ).ravel()
+        sums = np.bincount(flat, weights=weights, minlength=k + 1)[1:]
+        with np.errstate(invalid="ignore", divide="ignore"):
+            out[:, axis] = sums / counts
+    return out
+
+
+def bounding_boxes_nd(labels: np.ndarray) -> np.ndarray:
+    """``(K, 2 * ndim)`` boxes: mins of every axis, then maxes
+    (inclusive), matching the 2-D convention's (r0, c0, r1, c1) layout
+    generalised to (a0, b0, ..., a1, b1, ...)."""
+    labels = np.asarray(labels)
+    k = _k(labels)
+    ndim = labels.ndim
+    if k == 0:
+        return np.zeros((0, 2 * ndim), dtype=np.int64)
+    flat = labels.ravel()
+    big = np.iinfo(np.int64).max
+    mins = np.full((ndim, k + 1), big, dtype=np.int64)
+    maxs = np.full((ndim, k + 1), -1, dtype=np.int64)
+    for axis in range(ndim):
+        coords = np.arange(labels.shape[axis])
+        shape = [1] * ndim
+        shape[axis] = labels.shape[axis]
+        weights = np.broadcast_to(coords.reshape(shape), labels.shape).ravel()
+        np.minimum.at(mins[axis], flat, weights)
+        np.maximum.at(maxs[axis], flat, weights)
+    return np.concatenate([mins[:, 1:], maxs[:, 1:]], axis=0).T

@@ -1,0 +1,159 @@
+"""Vectorised per-component measurements over label images.
+
+All functions take a label image following the library contract
+(background 0, components ``1..K``) and return arrays indexed by
+``component_id - 1``. Everything is ``bincount``/reduction based — no
+per-pixel Python.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from ..types import LABEL_DTYPE
+
+__all__ = [
+    "areas",
+    "centroids",
+    "bounding_boxes",
+    "size_histogram",
+    "ComponentStats",
+    "component_stats",
+    "filter_components",
+    "largest_component",
+]
+
+
+def _n_components(labels: np.ndarray) -> int:
+    return int(labels.max()) if labels.size else 0
+
+
+def areas(labels: np.ndarray) -> np.ndarray:
+    """Pixel count of each component (index ``i`` = component ``i + 1``)."""
+    labels = np.asarray(labels)
+    k = _n_components(labels)
+    if k == 0:
+        return np.zeros(0, dtype=np.int64)
+    return np.bincount(labels.ravel(), minlength=k + 1)[1:].astype(np.int64)
+
+
+def centroids(labels: np.ndarray) -> np.ndarray:
+    """``(K, 2)`` array of (row, col) centroids."""
+    labels = np.asarray(labels)
+    k = _n_components(labels)
+    if k == 0:
+        return np.zeros((0, 2))
+    rows, cols = labels.shape
+    flat = labels.ravel()
+    a = np.bincount(flat, minlength=k + 1)[1:]
+    rr = np.repeat(np.arange(rows), cols)
+    cc = np.tile(np.arange(cols), rows)
+    sr = np.bincount(flat, weights=rr, minlength=k + 1)[1:]
+    sc = np.bincount(flat, weights=cc, minlength=k + 1)[1:]
+    with np.errstate(invalid="ignore", divide="ignore"):
+        return np.stack([sr / a, sc / a], axis=1)
+
+
+def bounding_boxes(labels: np.ndarray) -> np.ndarray:
+    """``(K, 4)`` array of (row_min, col_min, row_max, col_max),
+    inclusive. Components with no pixels (cannot occur under the library
+    contract) would read as inverted boxes."""
+    labels = np.asarray(labels)
+    k = _n_components(labels)
+    if k == 0:
+        return np.zeros((0, 4), dtype=np.int64)
+    rows, cols = labels.shape
+    flat = labels.ravel()
+    rr = np.repeat(np.arange(rows), cols)
+    cc = np.tile(np.arange(cols), rows)
+    big = np.iinfo(np.int64).max
+    rmin = np.full(k + 1, big, dtype=np.int64)
+    cmin = np.full(k + 1, big, dtype=np.int64)
+    rmax = np.full(k + 1, -1, dtype=np.int64)
+    cmax = np.full(k + 1, -1, dtype=np.int64)
+    np.minimum.at(rmin, flat, rr)
+    np.minimum.at(cmin, flat, cc)
+    np.maximum.at(rmax, flat, rr)
+    np.maximum.at(cmax, flat, cc)
+    return np.stack([rmin[1:], cmin[1:], rmax[1:], cmax[1:]], axis=1)
+
+
+def size_histogram(labels: np.ndarray, bins: int = 16) -> tuple[np.ndarray, np.ndarray]:
+    """Histogram of component areas (log-spaced bins). Returns
+    ``(counts, bin_edges)``; empty label images yield empty histograms."""
+    a = areas(labels)
+    if a.size == 0:
+        return np.zeros(0, dtype=np.int64), np.zeros(1)
+    hi = max(2.0, float(a.max()))
+    edges = np.geomspace(1.0, hi, bins + 1)
+    counts, edges = np.histogram(a, bins=edges)
+    return counts.astype(np.int64), edges
+
+
+@dataclasses.dataclass(frozen=True)
+class ComponentStats:
+    """Bundle of every per-component measurement plus global facts."""
+
+    n_components: int
+    areas: np.ndarray
+    centroids: np.ndarray
+    bounding_boxes: np.ndarray
+    foreground_fraction: float
+
+    def component(self, label: int) -> dict:
+        """Measurements of one component as a plain dict."""
+        if not 1 <= label <= self.n_components:
+            raise IndexError(
+                f"component {label} out of range 1..{self.n_components}"
+            )
+        i = label - 1
+        return {
+            "label": label,
+            "area": int(self.areas[i]),
+            "centroid": tuple(self.centroids[i]),
+            "bbox": tuple(int(v) for v in self.bounding_boxes[i]),
+        }
+
+
+def component_stats(labels: np.ndarray) -> ComponentStats:
+    """Compute all measurements in one call."""
+    labels = np.asarray(labels)
+    a = areas(labels)
+    return ComponentStats(
+        n_components=_n_components(labels),
+        areas=a,
+        centroids=centroids(labels),
+        bounding_boxes=bounding_boxes(labels),
+        foreground_fraction=(
+            float(a.sum() / labels.size) if labels.size else 0.0
+        ),
+    )
+
+
+def filter_components(
+    labels: np.ndarray, min_area: int = 1, max_area: int | None = None
+) -> np.ndarray:
+    """New label image keeping only components with ``min_area <= area
+    <= max_area``; survivors are renumbered consecutively (raster
+    first-appearance order preserved)."""
+    labels = np.asarray(labels)
+    a = areas(labels)
+    keep = a >= min_area
+    if max_area is not None:
+        keep &= a <= max_area
+    lut = np.zeros(len(a) + 1, dtype=LABEL_DTYPE)
+    lut[1:][keep] = np.arange(1, int(keep.sum()) + 1, dtype=LABEL_DTYPE)
+    return lut[labels]
+
+
+def largest_component(labels: np.ndarray) -> np.ndarray:
+    """Binary mask of the largest component (ties -> lowest label);
+    all-background images yield an all-zero mask."""
+    labels = np.asarray(labels)
+    a = areas(labels)
+    if a.size == 0:
+        return np.zeros_like(labels, dtype=np.uint8)
+    winner = int(np.argmax(a)) + 1
+    return (labels == winner).astype(np.uint8)

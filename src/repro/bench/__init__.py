@@ -1,0 +1,29 @@
+"""Benchmark harness: regenerate every table and figure of the paper.
+
+One module per experiment (see the DESIGN.md experiment index):
+
+========== ============================= ==============================
+Experiment Paper artefact                Module
+========== ============================= ==============================
+table2     Table II (sequential times)   :mod:`.experiments.table2`
+table3     Table III (NLCD size ladder)  :mod:`.experiments.table3`
+table4     Table IV (PAREMSP times)      :mod:`.experiments.table4`
+fig4       Figure 4 (small-suite speedup):mod:`.experiments.fig4`
+fig5       Figure 5a/5b (NLCD speedup)   :mod:`.experiments.fig5`
+opcounts   scan-strategy ablation (ours) :mod:`.experiments.opcounts`
+========== ============================= ==============================
+
+Run any of them from the shell::
+
+    python -m repro.bench table2
+    python -m repro.bench all --scale 0.05
+
+or via pytest-benchmark (``pytest benchmarks/ --benchmark-only``), whose
+modules wrap the same experiment functions.
+"""
+
+from .report import ExperimentReport
+from .stats import MinAvgMax
+from .timing import measure
+
+__all__ = ["ExperimentReport", "MinAvgMax", "measure"]

@@ -1,0 +1,152 @@
+"""Command-line entry point: ``python -m repro.bench`` / ``repro-bench``.
+
+Examples::
+
+    repro-bench table2                 # Table II at default stand-in scale
+    repro-bench fig5 --scale 0.02      # bigger stand-ins, slower, smoother
+    repro-bench all --repeats 3
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from .experiments import ALL_EXPERIMENTS
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-bench",
+        description=(
+            "Regenerate the tables and figures of 'A New Parallel "
+            "Algorithm for Two-Pass Connected Component Labeling' "
+            "(Gupta et al., 2014)"
+        ),
+    )
+    parser.add_argument(
+        "experiment",
+        choices=[*ALL_EXPERIMENTS, "all", "report"],
+        help=(
+            "which paper artefact to regenerate; 'report' runs everything "
+            "and writes a markdown reproduction report"
+        ),
+    )
+    parser.add_argument(
+        "--out",
+        metavar="PATH",
+        default=None,
+        help="output file for the 'report' experiment (default: stdout)",
+    )
+    parser.add_argument(
+        "--scale",
+        type=float,
+        default=None,
+        help=(
+            "linear stand-in scale for the small suites (NLCD uses "
+            "scale*0.2); default: suite-specific defaults"
+        ),
+    )
+    parser.add_argument(
+        "--repeats",
+        type=int,
+        default=1,
+        help="timing repetitions per (image, algorithm) cell (table2 only)",
+    )
+    parser.add_argument(
+        "--connectivity",
+        type=int,
+        choices=(4, 8),
+        default=8,
+        help="pixel connectivity (paper uses 8)",
+    )
+    parser.add_argument(
+        "--save",
+        metavar="PATH",
+        default=None,
+        help="save the report snapshot as JSON (single experiment only)",
+    )
+    parser.add_argument(
+        "--compare",
+        metavar="PATH",
+        default=None,
+        help="diff the fresh run against a saved snapshot",
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.25,
+        help="relative change that counts as a regression for --compare",
+    )
+    return parser
+
+
+def _run_one(name: str, args: argparse.Namespace):
+    fn = ALL_EXPERIMENTS[name]
+    kwargs: dict = {"scale": args.scale}
+    if name == "table2":
+        kwargs["repeats"] = args.repeats
+        kwargs["connectivity"] = args.connectivity
+    elif name in ("table4", "fig4", "fig5"):
+        kwargs["connectivity"] = args.connectivity
+    t0 = time.perf_counter()
+    report = fn(**kwargs)
+    dt = time.perf_counter() - t0
+    print(report.render())
+    print(f"\n[{name} regenerated in {dt:.1f}s]\n")
+    return report
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.experiment == "report":
+        from .fullreport import generate_full_report
+
+        markdown, _reports = generate_full_report(
+            scale=args.scale, repeats=args.repeats
+        )
+        if args.out:
+            with open(args.out, "w") as fh:
+                fh.write(markdown)
+            print(f"reproduction report written to {args.out}")
+        else:
+            print(markdown)
+        return 0
+    names = list(ALL_EXPERIMENTS) if args.experiment == "all" else [
+        args.experiment
+    ]
+    if (args.save or args.compare) and len(names) != 1:
+        print("error: --save/--compare apply to a single experiment",
+              file=sys.stderr)
+        return 2
+    rc = 0
+    for name in names:
+        report = _run_one(name, args)
+        if args.compare:
+            from .history import compare_records, load_record
+
+            changes = compare_records(
+                load_record(args.compare), report, tolerance=args.tolerance
+            )
+            if changes:
+                print(f"{len(changes)} cell(s) moved beyond "
+                      f"{args.tolerance:.0%}:")
+                for ch in changes:
+                    print("  " + ch.describe())
+                rc = 1
+            else:
+                print(f"no changes beyond {args.tolerance:.0%} vs "
+                      f"{args.compare}")
+        if args.save:
+            from .history import save_report
+
+            save_report(report, args.save)
+            print(f"snapshot saved to {args.save}")
+    return rc
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,34 @@
+"""Experiment drivers, one per paper artefact (see DESIGN.md §4)."""
+
+from .fig4 import run_fig4
+from .fig5 import run_fig5
+from .granularity_sweep import run_granularity
+from .opcounts import run_opcounts
+from .table2 import run_table2
+from .table3 import run_table3
+from .table4 import run_table4
+from .weak_scaling import run_weak_scaling
+
+__all__ = [
+    "run_table2",
+    "run_table3",
+    "run_table4",
+    "run_fig4",
+    "run_fig5",
+    "run_opcounts",
+    "run_weak_scaling",
+    "run_granularity",
+    "ALL_EXPERIMENTS",
+]
+
+#: name -> driver, for the CLI (paper artefacts first, our ablations after).
+ALL_EXPERIMENTS = {
+    "table2": run_table2,
+    "table3": run_table3,
+    "table4": run_table4,
+    "fig4": run_fig4,
+    "fig5": run_fig5,
+    "opcounts": run_opcounts,
+    "weak": run_weak_scaling,
+    "granularity": run_granularity,
+}

@@ -1,0 +1,83 @@
+"""Shared suite construction for the experiment drivers.
+
+Builds the four paper suites at a common scale and attaches each image's
+``linear_scale`` — the factor that prices the stand-in at the size it
+represents in the paper (used by the simulated-machine experiments).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+
+from ...data.datasets import (
+    DatasetImage,
+    aerial_suite,
+    misc_suite,
+    nlcd_suite,
+    texture_suite,
+)
+
+__all__ = ["SuiteImage", "build_suites", "SMALL_SUITES", "PAPER_THREADS"]
+
+#: the three sub-megabyte suites of Figure 4 / Tables II & IV.
+SMALL_SUITES = ("aerial", "texture", "misc")
+
+#: thread counts the paper tables/figures sweep.
+PAPER_THREADS = (2, 6, 8, 16, 24)
+
+
+@dataclasses.dataclass(frozen=True)
+class SuiteImage:
+    """A dataset image plus its paper-scale pricing factor."""
+
+    info: DatasetImage
+
+    @property
+    def linear_scale(self) -> float:
+        """Linear factor mapping the stand-in to its nominal pixel count."""
+        return math.sqrt(self.info.nominal_mb * 1e6 / self.info.image.size)
+
+
+def build_suites(
+    scale: float | None = None,
+    suites: tuple[str, ...] = ("texture", "aerial", "misc", "nlcd"),
+    seed_offset: int = 0,
+) -> dict[str, list[SuiteImage]]:
+    """Construct the requested suites.
+
+    ``scale`` overrides each suite's default stand-in scale (small suites
+    default to 0.05 of linear size, NLCD to 0.01 — NLCD paper images are
+    up to 465 MB). ``seed_offset`` shifts every generator seed, used by
+    robustness tests.
+    """
+    out: dict[str, list[SuiteImage]] = {}
+    for name in suites:
+        if name == "texture":
+            imgs = texture_suite(
+                **({"scale": scale} if scale is not None else {}),
+                seed=2014 + seed_offset,
+            )
+        elif name == "aerial":
+            imgs = aerial_suite(
+                **({"scale": scale} if scale is not None else {}),
+                seed=4102 + seed_offset,
+            )
+        elif name == "misc":
+            imgs = misc_suite(
+                **({"scale": scale} if scale is not None else {}),
+                seed=365 + seed_offset,
+            )
+        elif name == "nlcd":
+            imgs = nlcd_suite(
+                **(
+                    {"scale": scale * 0.2}
+                    if scale is not None
+                    else {}
+                ),
+                seed=2006 + seed_offset,
+            )
+        else:
+            raise KeyError(f"unknown suite {name!r}")
+        out[name] = [SuiteImage(info=i) for i in imgs]
+    return out

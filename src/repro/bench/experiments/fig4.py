@@ -1,0 +1,74 @@
+"""Figure 4 — PAREMSP speedup on the small suites.
+
+The paper plots speedup vs thread count {2, 6, 8, 16, 24} for the
+Aerial, Miscellaneous and Texture suites (images <= 1 MB): curves rise
+to roughly 4-10, and *decrease* for the smallest images at high thread
+counts — per-thread work shrinks below the team-construction overhead.
+The Aerial curve sits highest, Texture lowest, as in the paper's plot.
+
+We reproduce the three per-suite curves (mean speedup across the suite's
+images, simulated machine at paper-scale pricing) plus each suite's peak.
+"""
+
+from __future__ import annotations
+
+from ...simmachine.costmodel import CostModel
+from ...simmachine.machine import speedup_curve
+from ..report import ExperimentReport, render_series
+from ._suites import PAPER_THREADS, SMALL_SUITES, build_suites
+
+__all__ = ["run_fig4"]
+
+
+def run_fig4(
+    scale: float | None = None,
+    thread_counts: tuple[int, ...] = PAPER_THREADS,
+    cost_model: CostModel | None = None,
+    connectivity: int = 8,
+) -> ExperimentReport:
+    """Regenerate Figure 4.
+
+    ``data["curves"]`` maps ``suite -> {n_threads: mean speedup}``;
+    ``data["per_image"]`` keeps each image's own curve.
+    """
+    suites = build_suites(scale, suites=SMALL_SUITES)
+    curves: dict[str, dict[int, float]] = {}
+    per_image: dict = {}
+    for suite_name in ("aerial", "misc", "texture"):  # paper legend order
+        sums = {t: 0.0 for t in thread_counts}
+        images = suites[suite_name]
+        for si in images:
+            curve = speedup_curve(
+                si.info.image,
+                thread_counts,
+                cost_model=cost_model,
+                phase="total",
+                connectivity=connectivity,
+                linear_scale=si.linear_scale,
+            )
+            per_image[(suite_name, si.info.name)] = curve
+            for t, v in curve.items():
+                sums[t] += v
+        curves[suite_name] = {
+            t: s / max(1, len(images)) for t, s in sums.items()
+        }
+    rows = [
+        [str(t), *(f"{curves[s][t]:.2f}" for s in curves)]
+        for t in thread_counts
+    ]
+    peaks = {s: max(c.values()) for s, c in curves.items()}
+    return ExperimentReport(
+        experiment="fig4",
+        title=(
+            "Figure 4: speedup for different numbers of threads — "
+            "Aerial, Miscellaneous & Texture (simulated)"
+        ),
+        headers=["#Threads", *[s.capitalize() for s in curves]],
+        rows=rows,
+        data={"curves": curves, "per_image": per_image, "peaks": peaks},
+        notes=[
+            render_series(curves),
+            f"peak speedups: "
+            + ", ".join(f"{s}={v:.1f}" for s, v in peaks.items()),
+        ],
+    )

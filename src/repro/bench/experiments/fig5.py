@@ -1,0 +1,86 @@
+"""Figure 5 — PAREMSP speedup on the NLCD ladder, local vs local+merge.
+
+The paper's twin panels plot, for the six NLCD images of Table III,
+speedup vs 1-24 threads for (a) Phase-I only ("local" = parallel-region
+entry + chunk scans) and (b) the whole algorithm ("local + merge").
+Findings reproduced here:
+
+* near-linear scaling for the large rungs, up to ~20.1x at 24 threads
+  for the 465.2 MB image;
+* speedup increases monotonically with image size;
+* panels (a) and (b) are nearly indistinguishable — the boundary-merge
+  phase is a negligible share of the runtime.
+"""
+
+from __future__ import annotations
+
+from ...simmachine.costmodel import CostModel
+from ...simmachine.machine import speedup_curve
+from ..report import ExperimentReport, render_series
+from ._suites import build_suites
+
+__all__ = ["run_fig5", "FIG5_THREADS"]
+
+#: x-axis of the paper's figure (1..24 cores, dense enough for shape).
+FIG5_THREADS = (1, 2, 4, 6, 8, 12, 16, 20, 24)
+
+
+def run_fig5(
+    scale: float | None = None,
+    thread_counts: tuple[int, ...] = FIG5_THREADS,
+    cost_model: CostModel | None = None,
+    connectivity: int = 8,
+) -> ExperimentReport:
+    """Regenerate Figure 5a ("local") and 5b ("local + merge").
+
+    ``data["local"]`` / ``data["total"]`` map
+    ``image name -> {n_threads: speedup}``.
+    """
+    suites = build_suites(scale, suites=("nlcd",))
+    local: dict[str, dict[int, float]] = {}
+    total: dict[str, dict[int, float]] = {}
+    for si in suites["nlcd"]:
+        name = si.info.name
+        common = dict(
+            thread_counts=thread_counts,
+            cost_model=cost_model,
+            connectivity=connectivity,
+            linear_scale=si.linear_scale,
+        )
+        local[name] = speedup_curve(si.info.image, phase="local", **common)
+        total[name] = speedup_curve(si.info.image, phase="total", **common)
+    rows = []
+    for t in thread_counts:
+        rows.append(
+            [
+                str(t),
+                *(f"{local[n][t]:.2f}" for n in local),
+                *(f"{total[n][t]:.2f}" for n in total),
+            ]
+        )
+    max_t = max(thread_counts)
+    peak_total = {n: c[max_t] for n, c in total.items()}
+    merge_gap = {
+        n: abs(local[n][max_t] - total[n][max_t]) for n in local
+    }
+    return ExperimentReport(
+        experiment="fig5",
+        title=(
+            "Figure 5: NLCD speedup vs #threads — (a) local, "
+            "(b) local + merge (simulated)"
+        ),
+        headers=[
+            "#Threads",
+            *[f"{n} (a)" for n in local],
+            *[f"{n} (b)" for n in total],
+        ],
+        rows=rows,
+        data={"local": local, "total": total, "peak_total": peak_total},
+        notes=[
+            "panel (b):\n" + render_series(total),
+            f"peak overall speedups at {max_t} threads: "
+            + ", ".join(f"{n}={v:.1f}" for n, v in peak_total.items()),
+            "local-vs-total gap at max threads (merge overhead): "
+            + ", ".join(f"{n}={v:.2f}" for n, v in merge_gap.items()),
+        ],
+    )

@@ -1,0 +1,93 @@
+"""Table II — sequential execution times of the four algorithms.
+
+Paper row format: for each suite (Aerial, Texture, Misc, NLCD) the
+min/average/max execution time (msec) of CCLLRPC, CCLREMSP, ARUN and
+AREMSP over the suite's images. The paper's finding: **AREMSP lowest
+everywhere**, CCLREMSP < CCLLRPC, AREMSP < ARUN.
+
+Our measured rows carry the same structure; EXPERIMENTS.md discusses
+which orderings carry over to CPython (AREMSP/CCLREMSP win as in the
+paper; the interpreter amplifies the equivalence-structure term, so the
+ARUN-vs-CCLREMSP ordering flips — the op-count ablation
+(:mod:`.opcounts`) isolates the scan-strategy effect the paper's C
+numbers reflect).
+"""
+
+from __future__ import annotations
+
+from ...ccl.registry import SEQUENTIAL_TABLE2, get_algorithm
+from ..report import ExperimentReport
+from ..stats import STAT_ROWS, MinAvgMax
+from ..timing import measure
+from ._suites import build_suites
+
+__all__ = ["run_table2"]
+
+#: paper-order suite rows of Table II.
+TABLE2_SUITES = ("aerial", "texture", "misc", "nlcd")
+
+
+def run_table2(
+    scale: float | None = None,
+    repeats: int = 1,
+    algorithms: tuple[str, ...] = SEQUENTIAL_TABLE2,
+    connectivity: int = 8,
+) -> ExperimentReport:
+    """Regenerate Table II.
+
+    Returns an :class:`~repro.bench.report.ExperimentReport` whose
+    ``data`` maps ``suite -> algorithm -> MinAvgMax`` (seconds) plus
+    per-image times under ``per_image``.
+    """
+    suites = build_suites(scale, suites=TABLE2_SUITES)
+    data: dict = {"per_image": {}, "summary": {}}
+    rows: list[list[str]] = []
+    for suite_name in TABLE2_SUITES:
+        images = suites[suite_name]
+        per_alg: dict[str, list[float]] = {a: [] for a in algorithms}
+        for si in images:
+            for alg in algorithms:
+                fn = get_algorithm(alg)
+                sample = measure(
+                    fn, si.info.image, connectivity, repeats=repeats
+                )
+                per_alg[alg].append(sample.best)
+                data["per_image"][(suite_name, si.info.name, alg)] = (
+                    sample.best
+                )
+        summary = {a: MinAvgMax.from_values(v) for a, v in per_alg.items()}
+        data["summary"][suite_name] = summary
+        for stat in STAT_ROWS:
+            rows.append(
+                [
+                    suite_name.capitalize() if stat == "Min" else "",
+                    stat,
+                    *(
+                        f"{summary[a].stat(stat) * 1e3:.2f}"
+                        for a in algorithms
+                    ),
+                ]
+            )
+    winners = _winner_check(data["summary"], algorithms)
+    return ExperimentReport(
+        experiment="table2",
+        title=(
+            "Table II: comparison of execution times [msec] for "
+            "sequential algorithms"
+        ),
+        headers=["Image type", "", *[a.upper() for a in algorithms]],
+        rows=rows,
+        data=data,
+        notes=[
+            "stand-in suites; absolute msec are CPython, compare ratios",
+            f"fastest on average per suite: {winners}",
+        ],
+    )
+
+
+def _winner_check(summary: dict, algorithms: tuple[str, ...]) -> str:
+    parts = []
+    for suite_name, per_alg in summary.items():
+        best = min(algorithms, key=lambda a: per_alg[a].avg)
+        parts.append(f"{suite_name}={best}")
+    return ", ".join(parts)

@@ -1,0 +1,86 @@
+"""Table IV — PAREMSP execution time at 2/6/16/24 threads.
+
+Paper row format: for each suite, min/average/max msec of PAREMSP at
+each thread count. The signature shapes: NLCD times fall steeply with
+threads (162.86 -> 13.47 ms average from 2 to 24); sub-megabyte suites
+*stop improving* (or worsen) past ~16 threads because team overhead
+overtakes the shrinking per-thread work.
+
+Thread counts above this host's core count cannot be measured honestly
+in CPython, so the experiment prices runs on the simulated machine
+(DESIGN.md §2) at each image's paper-scale factor; the ``serial``
+backend's real wall time at T=1 is recorded alongside for grounding.
+"""
+
+from __future__ import annotations
+
+from ...simmachine.costmodel import CostModel
+from ...simmachine.machine import simulate_paremsp
+from ..report import ExperimentReport
+from ..stats import STAT_ROWS, MinAvgMax
+from ._suites import build_suites
+
+__all__ = ["run_table4", "TABLE4_THREADS"]
+
+#: the paper's Table IV columns.
+TABLE4_THREADS = (2, 6, 16, 24)
+
+
+def run_table4(
+    scale: float | None = None,
+    thread_counts: tuple[int, ...] = TABLE4_THREADS,
+    cost_model: CostModel | None = None,
+    connectivity: int = 8,
+) -> ExperimentReport:
+    """Regenerate Table IV on the simulated machine.
+
+    ``data["summary"]`` maps ``suite -> n_threads -> MinAvgMax``
+    (simulated seconds).
+    """
+    suites = build_suites(scale)
+    order = ("aerial", "texture", "misc", "nlcd")
+    data: dict = {"summary": {}, "per_image": {}}
+    rows: list[list[str]] = []
+    for suite_name in order:
+        images = suites[suite_name]
+        per_t: dict[int, list[float]] = {t: [] for t in thread_counts}
+        for si in images:
+            for t in thread_counts:
+                sim = simulate_paremsp(
+                    si.info.image,
+                    n_threads=t,
+                    cost_model=cost_model,
+                    connectivity=connectivity,
+                    linear_scale=si.linear_scale,
+                )
+                per_t[t].append(sim.total_seconds)
+                data["per_image"][(suite_name, si.info.name, t)] = (
+                    sim.total_seconds
+                )
+        summary = {t: MinAvgMax.from_values(v) for t, v in per_t.items()}
+        data["summary"][suite_name] = summary
+        for stat in STAT_ROWS:
+            rows.append(
+                [
+                    suite_name.capitalize() if stat == "Min" else "",
+                    stat,
+                    *(
+                        f"{summary[t].stat(stat) * 1e3:.2f}"
+                        for t in thread_counts
+                    ),
+                ]
+            )
+    return ExperimentReport(
+        experiment="table4",
+        title=(
+            "Table IV: execution time [msec] of PAREMSP for various "
+            "# threads (simulated Hopper node, paper-scale pricing)"
+        ),
+        headers=["Image type", "", *[str(t) for t in thread_counts]],
+        rows=rows,
+        data=data,
+        notes=[
+            "simulated-machine model seconds (DESIGN.md §2); shapes, not "
+            "absolute values, are the comparison target"
+        ],
+    )

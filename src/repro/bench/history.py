@@ -1,0 +1,136 @@
+"""Benchmark history: save experiment reports, diff runs.
+
+Performance work needs memory: ``repro-bench table2 --save runs/a.json``
+records a run, ``--compare runs/a.json`` flags cells that moved by more
+than a tolerance — the asv-style workflow (per the optimisation guide's
+"track performance over time") without external dependencies.
+
+Only the *rendered table cells* are persisted (plus metadata); they are
+the stable cross-version contract, whereas ``report.data`` holds live
+objects that change shape as the library evolves.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+import platform
+from typing import Any, Union
+
+from .report import ExperimentReport
+
+__all__ = ["report_to_record", "save_report", "load_record", "compare_records"]
+
+PathLike = Union[str, os.PathLike]
+
+#: record format version; bump on breaking layout changes.
+FORMAT_VERSION = 1
+
+
+def report_to_record(report: ExperimentReport) -> dict[str, Any]:
+    """JSON-safe snapshot of a report."""
+    return {
+        "format": FORMAT_VERSION,
+        "experiment": report.experiment,
+        "title": report.title,
+        "headers": list(report.headers),
+        "rows": [list(r) for r in report.rows],
+        "notes": list(report.notes),
+        "environment": {
+            "python": platform.python_version(),
+            "machine": platform.machine(),
+        },
+    }
+
+
+def save_report(report: ExperimentReport, path: PathLike) -> None:
+    """Write the report snapshot as JSON (parents created)."""
+    p = os.fspath(path)
+    parent = os.path.dirname(p)
+    if parent:
+        os.makedirs(parent, exist_ok=True)
+    with open(p, "w") as fh:
+        json.dump(report_to_record(report), fh, indent=2)
+
+
+def load_record(path: PathLike) -> dict[str, Any]:
+    """Load a snapshot; validates the format version."""
+    with open(path) as fh:
+        record = json.load(fh)
+    if record.get("format") != FORMAT_VERSION:
+        raise ValueError(
+            f"unsupported benchmark record format "
+            f"{record.get('format')!r} (expected {FORMAT_VERSION})"
+        )
+    return record
+
+
+@dataclasses.dataclass(frozen=True)
+class CellChange:
+    """One numeric cell that moved beyond the tolerance."""
+
+    row: int
+    column: str
+    row_label: str
+    old: float
+    new: float
+
+    @property
+    def ratio(self) -> float:
+        return self.new / self.old if self.old else float("inf")
+
+    def describe(self) -> str:
+        direction = "slower" if self.new > self.old else "faster"
+        return (
+            f"{self.row_label} / {self.column}: {self.old:g} -> "
+            f"{self.new:g} ({self.ratio:.2f}x, {direction})"
+        )
+
+
+def _try_float(cell: str) -> float | None:
+    try:
+        return float(cell)
+    except (TypeError, ValueError):
+        return None
+
+
+def compare_records(
+    old: dict[str, Any],
+    new: dict[str, Any] | ExperimentReport,
+    tolerance: float = 0.25,
+) -> list[CellChange]:
+    """Numeric cells differing by more than *tolerance* (relative).
+
+    Rows are matched positionally; a layout mismatch (different headers
+    or row counts) raises, because a silent positional diff would lie.
+    """
+    if isinstance(new, ExperimentReport):
+        new = report_to_record(new)
+    if old["experiment"] != new["experiment"]:
+        raise ValueError(
+            f"comparing different experiments: {old['experiment']!r} vs "
+            f"{new['experiment']!r}"
+        )
+    if old["headers"] != new["headers"] or len(old["rows"]) != len(new["rows"]):
+        raise ValueError(
+            "benchmark record layouts differ; rerun the baseline with the "
+            "current library version"
+        )
+    changes: list[CellChange] = []
+    for i, (orow, nrow) in enumerate(zip(old["rows"], new["rows"])):
+        label = " ".join(str(c) for c in orow[:2]).strip()
+        for j, header in enumerate(old["headers"]):
+            if j >= len(orow) or j >= len(nrow):
+                continue
+            a = _try_float(orow[j])
+            b = _try_float(nrow[j])
+            if a is None or b is None or a == 0:
+                continue
+            if abs(b - a) / abs(a) > tolerance:
+                changes.append(
+                    CellChange(
+                        row=i, column=header, row_label=label, old=a, new=b
+                    )
+                )
+    return changes

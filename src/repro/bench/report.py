@@ -1,0 +1,90 @@
+"""Plain-text rendering of experiment results.
+
+Every experiment returns an :class:`ExperimentReport`: a title, a table
+(headers + string rows), free-form notes, and the raw data dict for
+programmatic consumers (tests assert on ``data``, never on rendered
+text). ``render()`` produces aligned monospace output shaped like the
+paper's tables; ``render_series`` adds a small ASCII plot for the
+figure experiments.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Mapping, Sequence
+
+__all__ = ["ExperimentReport", "render_table", "render_series"]
+
+
+def render_table(
+    headers: Sequence[str], rows: Sequence[Sequence[str]]
+) -> str:
+    """Align *rows* under *headers* (first column left, rest right)."""
+    cols = len(headers)
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    def fmt(row: Sequence[str]) -> str:
+        cells = []
+        for i in range(cols):
+            cell = row[i] if i < len(row) else ""
+            cells.append(
+                cell.ljust(widths[i]) if i == 0 else cell.rjust(widths[i])
+            )
+        return "  ".join(cells).rstrip()
+
+    sep = "  ".join("-" * w for w in widths)
+    return "\n".join([fmt(headers), sep, *(fmt(r) for r in rows)])
+
+
+def render_series(
+    series: Mapping[str, Mapping[int, float]],
+    *,
+    width: int = 48,
+    ylabel: str = "speedup",
+) -> str:
+    """ASCII rendering of per-series ``{x: y}`` curves (one row per x,
+    one column block per series) plus a bar strip for the last series
+    point — enough to eyeball the figures in a terminal."""
+    xs = sorted({x for curve in series.values() for x in curve})
+    names = list(series)
+    headers = ["threads", *names]
+    rows = []
+    peak = max(
+        (v for curve in series.values() for v in curve.values()), default=1.0
+    )
+    for x in xs:
+        row = [str(x)]
+        for name in names:
+            v = series[name].get(x)
+            row.append("" if v is None else f"{v:.2f}")
+        rows.append(row)
+    table = render_table(headers, rows)
+    bars = []
+    for name in names:
+        curve = series[name]
+        last = curve[max(curve)]
+        n = max(1, int(round(width * last / peak)))
+        bars.append(f"{name:>12s} |{'#' * n} {last:.1f}")
+    return table + f"\n\n{ylabel} at max threads:\n" + "\n".join(bars)
+
+
+@dataclasses.dataclass
+class ExperimentReport:
+    """Uniform result object for all experiments."""
+
+    experiment: str
+    title: str
+    headers: list[str]
+    rows: list[list[str]]
+    data: dict[str, Any]
+    notes: list[str] = dataclasses.field(default_factory=list)
+
+    def render(self) -> str:
+        out = [f"== {self.title} ==", ""]
+        out.append(render_table(self.headers, self.rows))
+        if self.notes:
+            out.append("")
+            out.extend(f"note: {n}" for n in self.notes)
+        return "\n".join(out)

@@ -1,0 +1,53 @@
+"""Min/average/max aggregation — the statistic the paper's tables report.
+
+Tables II and IV both present per-suite *minimum, average, maximum*
+execution time over the suite's images; :class:`MinAvgMax` is that
+triple plus formatting helpers so report rows read like the paper's.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Iterable, Sequence
+
+__all__ = ["MinAvgMax", "STAT_ROWS"]
+
+#: row labels in paper order.
+STAT_ROWS = ("Min", "Average", "Max")
+
+
+@dataclasses.dataclass(frozen=True)
+class MinAvgMax:
+    """The paper's per-suite summary statistic."""
+
+    min: float
+    avg: float
+    max: float
+    n: int
+
+    @classmethod
+    def from_values(cls, values: Iterable[float]) -> "MinAvgMax":
+        vals = list(values)
+        if not vals:
+            raise ValueError("cannot summarise an empty value list")
+        return cls(
+            min=min(vals), avg=sum(vals) / len(vals), max=max(vals), n=len(vals)
+        )
+
+    def stat(self, name: str) -> float:
+        """Fetch by paper row label ('Min' / 'Average' / 'Max')."""
+        return {"Min": self.min, "Average": self.avg, "Max": self.max}[name]
+
+    def as_ms_strings(self, digits: int = 2) -> tuple[str, str, str]:
+        return tuple(  # type: ignore[return-value]
+            f"{v * 1e3:.{digits}f}" for v in (self.min, self.avg, self.max)
+        )
+
+
+def speedups(base: Sequence[float], other: Sequence[float]) -> list[float]:
+    """Element-wise ``base / other`` (e.g. T1 times vs Tn times)."""
+    if len(base) != len(other):
+        raise ValueError(
+            f"length mismatch: {len(base)} vs {len(other)} measurements"
+        )
+    return [b / o if o > 0 else float("nan") for b, o in zip(base, other)]

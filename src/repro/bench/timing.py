@@ -1,0 +1,56 @@
+"""Timing primitives for the experiment harness.
+
+The paper reports per-image execution times; we measure with
+``perf_counter`` around the algorithm call (input marshalling excluded —
+it happens inside the drivers before their timed phases, consistent with
+timing a C implementation that scans a resident buffer).
+
+``repeats`` defaults low because the experiment scripts sweep many
+(image, algorithm, thread) combinations; pytest-benchmark, which owns
+statistical rigour, is the harness used for the headline per-kernel
+numbers in ``benchmarks/``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import time
+from typing import Any, Callable
+
+__all__ = ["TimingSample", "measure"]
+
+
+@dataclasses.dataclass(frozen=True)
+class TimingSample:
+    """Repeated-measurement record (seconds)."""
+
+    seconds: tuple[float, ...]
+    result: Any
+
+    @property
+    def best(self) -> float:
+        return min(self.seconds)
+
+    @property
+    def mean(self) -> float:
+        return sum(self.seconds) / len(self.seconds)
+
+    @property
+    def best_ms(self) -> float:
+        return self.best * 1e3
+
+
+def measure(
+    fn: Callable[..., Any], *args: Any, repeats: int = 1, **kwargs: Any
+) -> TimingSample:
+    """Call ``fn(*args, **kwargs)`` *repeats* times; keep every duration
+    and the last return value."""
+    if repeats < 1:
+        raise ValueError(f"repeats must be >= 1, got {repeats}")
+    times = []
+    result = None
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        result = fn(*args, **kwargs)
+        times.append(time.perf_counter() - t0)
+    return TimingSample(seconds=tuple(times), result=result)

@@ -1,0 +1,48 @@
+"""Sequential connected-component labeling algorithms.
+
+The paper's 2x2 design space plus every baseline it is compared against:
+
+===============  =====================  =======================
+Algorithm        First-scan strategy    Equivalence structure
+===============  =====================  =======================
+CCLLRPC [36]     decision tree (Fig 2)  link-by-rank + path comp.
+**CCLREMSP**     decision tree (Fig 2)  Rem's + splicing (REMSP)
+ARUN [37]        two-row mask (Fig 1b)  rtable/next/tail run sets
+**AREMSP**       two-row mask (Fig 1b)  Rem's + splicing (REMSP)
+RUN [43]         row runs               rtable/next/tail run sets
+MULTIPASS [11]   repeated raster sweeps (label propagation)
+SUZUKI [10]      repeated sweeps + 1-D connection table
+===============  =====================  =======================
+
+Bold = the paper's proposals. All entry points take a binary image and
+return a :class:`~repro.ccl.labeling.CCLResult`; the uniform access point
+is :func:`repro.ccl.registry.get_algorithm` /
+:func:`repro.label`.
+"""
+
+from .aremsp import aremsp
+from .arun import arun
+from .ccllrpc import ccllrpc
+from .cclremsp import cclremsp
+from .grayscale import grayscale_label, grayscale_label_runs
+from .labeling import CCLResult
+from .multipass import multipass
+from .registry import ALGORITHMS, get_algorithm
+from .run_based import run_based, run_based_vectorized
+from .suzuki import suzuki
+
+__all__ = [
+    "CCLResult",
+    "aremsp",
+    "arun",
+    "ccllrpc",
+    "cclremsp",
+    "run_based",
+    "run_based_vectorized",
+    "multipass",
+    "suzuki",
+    "grayscale_label",
+    "grayscale_label_runs",
+    "ALGORITHMS",
+    "get_algorithm",
+]

@@ -1,0 +1,40 @@
+"""AREMSP — Algorithm 5 of the paper (the headline sequential algorithm).
+
+Two-rows-at-a-time scan (Fig 1b, from ARUN) + Rem's union-find with
+splicing. Table II shows AREMSP as the fastest sequential algorithm on
+every suite (39% over CCLLRPC, 4% over ARUN on average); it is also the
+algorithm PAREMSP parallelises.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..unionfind.remsp import merge as remsp_merge
+from .labeling import CCLResult, default_finalize, remsp_alloc, run_two_pass
+from .scan_aremsp import scan_tworow
+
+__all__ = ["aremsp"]
+
+
+def _make_structure(capacity: int):
+    p = [0] * capacity
+    alloc, used = remsp_alloc(p)
+    return p, remsp_merge, alloc, used, default_finalize
+
+
+def aremsp(image: np.ndarray, connectivity: int = 8) -> CCLResult:
+    """Label *image* with AREMSP (two-row scan + REMSP).
+
+    >>> import numpy as np
+    >>> r = aremsp(np.eye(4, dtype=np.uint8))
+    >>> int(r.n_components)  # the diagonal is 8-connected
+    1
+    """
+    return run_two_pass(
+        image,
+        algorithm="aremsp",
+        scan=scan_tworow,
+        make_structure=_make_structure,
+        connectivity=connectivity,
+    )

@@ -1,0 +1,135 @@
+"""Block-based (2x2) labeling — the BBDT family, fully vectorised.
+
+Grana, Borghesani, Cucchiara (2010) observed that for 8-connectivity all
+foreground pixels inside a 2x2 block are mutually connected (any two
+cells of a 2x2 square are 8-adjacent), so labels can be assigned to
+*blocks*, quartering the number of union-find operands. Their BBDT
+drives this with a ~200-node decision tree; this implementation gets
+the same work reduction with NumPy instead:
+
+* the image is split into the four block-cell subgrids
+  ``a b / c d`` (one shifted view each);
+* block-to-block adjacency reduces to four boolean formulas — e.g. the
+  *left* neighbour is connected iff ``(b' | d') & (a | c)``, because
+  every cross-boundary cell pair in those selections is 8-adjacent;
+  the diagonal neighbours each reduce to a single cell pair;
+* the adjacency masks yield explicit edge lists; unions run on block
+  ids through REMSP, FLATTEN renumbers, and one ``repeat`` expansion
+  paints pixels.
+
+8-connectivity only: under 4-connectivity a block's foreground cells
+need not be internally connected (``a`` and ``d`` alone are diagonal),
+which is exactly why the BBDT literature is 8-connectivity-only too.
+
+Why include it: it is the strongest *post-paper* two-pass design, the
+natural "related work moved on" comparison point for the benchmark
+suite, and an independent fourth implementation family for the test
+matrix.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from ..types import LABEL_DTYPE, as_binary_image
+from ..unionfind.flatten import flatten
+from ..unionfind.remsp import merge as remsp_merge
+from .labeling import CCLResult
+
+__all__ = ["block_label"]
+
+
+def block_label(image: np.ndarray, connectivity: int = 8) -> CCLResult:
+    """Label *image* with the vectorised 2x2 block algorithm.
+
+    >>> import numpy as np
+    >>> int(block_label(np.eye(5, dtype=np.uint8)).n_components)
+    1
+    """
+    if connectivity != 8:
+        raise ValueError(
+            "block-based labeling is defined for 8-connectivity only"
+        )
+    img = as_binary_image(image)
+    rows, cols = img.shape
+    t0 = time.perf_counter()
+    if img.size == 0:
+        return CCLResult(
+            labels=np.zeros((rows, cols), dtype=LABEL_DTYPE),
+            n_components=0,
+            provisional_count=0,
+            phase_seconds={"scan": 0.0, "flatten": 0.0, "label": 0.0},
+            algorithm="block2x2",
+        )
+    # pad to even dimensions so every pixel belongs to a full block
+    R = rows + (rows % 2)
+    C = cols + (cols % 2)
+    padded = np.zeros((R, C), dtype=img.dtype)
+    padded[:rows, :cols] = img
+    a = padded[0::2, 0::2] != 0
+    b = padded[0::2, 1::2] != 0
+    c = padded[1::2, 0::2] != 0
+    d = padded[1::2, 1::2] != 0
+    fg = a | b | c | d  # block foreground mask, shape (R/2, C/2)
+    br, bc = fg.shape
+
+    # dense 1-based ids for foreground blocks, block-raster order
+    ids = np.zeros((br, bc), dtype=np.int64)
+    ids[fg] = np.arange(1, int(fg.sum()) + 1)
+    n_blocks = int(fg.sum())
+    p: list[int] = list(range(n_blocks + 1))
+
+    def _union_edges(cur_mask: np.ndarray, nbr_ids: np.ndarray) -> None:
+        """Union current blocks with a neighbour-id array where both
+        sides exist and *cur_mask* says they touch."""
+        hit = cur_mask & (nbr_ids > 0)
+        u = ids[hit]
+        v = nbr_ids[hit]
+        for x, y in zip(u.tolist(), v.tolist()):
+            remsp_merge(p, x, y)
+
+    if n_blocks:
+        # left neighbour: (b'|d') of (i, j-1) vs (a|c) of (i, j)
+        left_touch = np.zeros((br, bc), dtype=bool)
+        left_touch[:, 1:] = (b | d)[:, :-1] & (a | c)[:, 1:]
+        left_ids = np.zeros((br, bc), dtype=np.int64)
+        left_ids[:, 1:] = ids[:, :-1]
+        _union_edges(left_touch, left_ids)
+        # up neighbour: (c''|d'') of (i-1, j) vs (a|b) of (i, j)
+        up_touch = np.zeros((br, bc), dtype=bool)
+        up_touch[1:, :] = (c | d)[:-1, :] & (a | b)[1:, :]
+        up_ids = np.zeros((br, bc), dtype=np.int64)
+        up_ids[1:, :] = ids[:-1, :]
+        _union_edges(up_touch, up_ids)
+        # up-left: d of (i-1, j-1) vs a of (i, j)
+        ul_touch = np.zeros((br, bc), dtype=bool)
+        ul_touch[1:, 1:] = d[:-1, :-1] & a[1:, 1:]
+        ul_ids = np.zeros((br, bc), dtype=np.int64)
+        ul_ids[1:, 1:] = ids[:-1, :-1]
+        _union_edges(ul_touch, ul_ids)
+        # up-right: c of (i-1, j+1) vs b of (i, j)
+        ur_touch = np.zeros((br, bc), dtype=bool)
+        ur_touch[1:, :-1] = c[:-1, 1:] & b[1:, :-1]
+        ur_ids = np.zeros((br, bc), dtype=np.int64)
+        ur_ids[1:, :-1] = ids[:-1, 1:]
+        _union_edges(ur_touch, ur_ids)
+    t1 = time.perf_counter()
+    n_components = flatten(p, n_blocks + 1)
+    t2 = time.perf_counter()
+    lut = np.asarray(p, dtype=LABEL_DTYPE)
+    block_final = lut[ids]
+    # expand blocks back to pixels and mask off background cells
+    pixel_labels = np.repeat(np.repeat(block_final, 2, axis=0), 2, axis=1)
+    pixel_labels = pixel_labels[:rows, :cols]
+    labels = np.where(img != 0, pixel_labels, 0).astype(LABEL_DTYPE)
+    labels = np.ascontiguousarray(labels)
+    t3 = time.perf_counter()
+    return CCLResult(
+        labels=labels,
+        n_components=n_components,
+        provisional_count=n_blocks,
+        phase_seconds={"scan": t1 - t0, "flatten": t2 - t1, "label": t3 - t2},
+        algorithm="block2x2",
+    )

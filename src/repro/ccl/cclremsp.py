@@ -1,0 +1,40 @@
+"""CCLREMSP — Algorithm 1 of the paper (first proposed algorithm).
+
+Decision-tree scan (Fig 2, from CCLLRPC) + Rem's union-find with splicing
+(REMSP) for label equivalences. The paper's point: swapping the
+equivalence structure alone makes the classic Wu-Otoo-Suzuki scan faster
+(Table II: CCLREMSP beats CCLLRPC on every suite).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..unionfind.remsp import merge as remsp_merge
+from .labeling import CCLResult, default_finalize, remsp_alloc, run_two_pass
+from .scan_cclremsp import scan_decision_tree
+
+__all__ = ["cclremsp"]
+
+
+def _make_structure(capacity: int):
+    p = [0] * capacity
+    alloc, used = remsp_alloc(p)
+    return p, remsp_merge, alloc, used, default_finalize
+
+
+def cclremsp(image: np.ndarray, connectivity: int = 8) -> CCLResult:
+    """Label *image* with CCLREMSP (decision-tree scan + REMSP).
+
+    >>> import numpy as np
+    >>> r = cclremsp(np.array([[1, 0, 1], [0, 1, 0]]))
+    >>> int(r.n_components)  # all three pixels meet diagonally
+    1
+    """
+    return run_two_pass(
+        image,
+        algorithm="cclremsp",
+        scan=scan_decision_tree,
+        make_structure=_make_structure,
+        connectivity=connectivity,
+    )

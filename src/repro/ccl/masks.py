@@ -1,0 +1,69 @@
+"""Forward scan masks (Figure 1 of the paper) and padded-row helpers.
+
+Both scan strategies only ever look at pixels that precede the current
+position in scan order, so a single forward pass can assign provisional
+labels::
+
+    Fig 1a (CCLREMSP / CCLLRPC)      Fig 1b (AREMSP / ARUN)
+
+        a  b  c                          a  b  c
+        d  e                             d  e
+                                         f  g
+
+``e`` is the current pixel; in the two-row mask ``e`` and ``g`` (the pixel
+directly below) are labeled *together*, halving the number of row
+traversals. Offsets relative to ``e = (r, c)``:
+
+=======  ==========  ==============================
+Pixel    Offset      Role
+=======  ==========  ==============================
+``a``    (-1, -1)    upper-left
+``b``    (-1,  0)    upper
+``c``    (-1, +1)    upper-right
+``d``    ( 0, -1)    left
+``f``    (+1, -1)    lower-left (two-row mask only)
+``g``    (+1,  0)    lower (second current pixel)
+=======  ==========  ==============================
+
+The interpreter-engine scans avoid per-pixel bounds checks by operating
+on rows padded with one background sentinel column on each side
+(:func:`pad_rows`); column index ``c`` in the padded row corresponds to
+image column ``c - 1``.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+__all__ = [
+    "MASK_OFFSETS",
+    "pad_rows",
+    "zeros_row",
+    "strip_padding",
+]
+
+#: name -> (dr, dc) offset from the current pixel ``e``.
+MASK_OFFSETS = {
+    "a": (-1, -1),
+    "b": (-1, 0),
+    "c": (-1, 1),
+    "d": (0, -1),
+    "e": (0, 0),
+    "f": (1, -1),
+    "g": (1, 0),
+}
+
+
+def pad_rows(rows: Sequence[Sequence[int]]) -> list[list[int]]:
+    """Return copies of *rows* with a 0 sentinel prepended and appended."""
+    return [[0, *row, 0] for row in rows]
+
+
+def zeros_row(cols: int) -> list[int]:
+    """A padded all-background row (used as the virtual row above row 0)."""
+    return [0] * (cols + 2)
+
+
+def strip_padding(rows: Sequence[Sequence[int]], cols: int) -> list[list[int]]:
+    """Inverse of :func:`pad_rows` for label rows."""
+    return [list(row[1 : cols + 1]) for row in rows]

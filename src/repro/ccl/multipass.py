@@ -1,0 +1,156 @@
+"""Repeated-pass ("multipass") CCL — the classic baseline family.
+
+References [11], [12] of the paper: initialise every foreground pixel
+with a unique label, then sweep the image in alternating forward and
+backward raster order, replacing each label with the minimum over the
+already-swept half of its neighbourhood (plus itself), until a full
+forward+backward round changes nothing. Convergence is guaranteed
+because labels only decrease; the number of rounds grows with component
+"windiness" (a spiral of depth k needs ~k rounds), which is exactly why
+two-pass algorithms replaced this family.
+
+Engines:
+
+* :func:`multipass` — faithful interpreter raster sweeps (in-sweep
+  dependencies honoured: a pixel sees values its own sweep just wrote);
+* :func:`propagation_vectorized` — the data-parallel variant (Jacobi
+  iteration of the neighbourhood-min operator via array shifts). It
+  needs more rounds (no in-sweep propagation) but each round is a few
+  NumPy passes; included as the vectorised member of the family and as a
+  third independent implementation for cross-checking.
+
+Final labels are canonicalised to the FLATTEN contract so results are
+bit-comparable with the two-pass algorithms.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from ..types import LABEL_DTYPE, as_binary_image
+from ..verify.equivalence import canonicalize_labeling
+from .labeling import CCLResult
+
+__all__ = ["multipass", "propagation_vectorized"]
+
+
+def multipass(image: np.ndarray, connectivity: int = 8) -> CCLResult:
+    """Label *image* with alternating forward/backward raster sweeps."""
+    img = as_binary_image(image)
+    rows, cols = img.shape
+    # unique initial labels, raster order
+    lab = [
+        [(r * cols + c + 1) if img_rc else 0 for c, img_rc in enumerate(row)]
+        for r, row in enumerate(img.tolist())
+    ]
+    if connectivity == 8:
+        fwd = ((-1, -1), (-1, 0), (-1, 1), (0, -1))
+    else:
+        fwd = ((-1, 0), (0, -1))
+    bwd = tuple((-dr, -dc) for dr, dc in fwd)
+
+    t0 = time.perf_counter()
+    passes = 0
+    changed = True
+    while changed:
+        changed = False
+        # forward sweep
+        for r in range(rows):
+            row = lab[r]
+            for c in range(cols):
+                v = row[c]
+                if v:
+                    m = v
+                    for dr, dc in fwd:
+                        nr, nc = r + dr, c + dc
+                        if 0 <= nr < rows and 0 <= nc < cols:
+                            w = lab[nr][nc]
+                            if w and w < m:
+                                m = w
+                    if m != v:
+                        row[c] = m
+                        changed = True
+        # backward sweep
+        for r in range(rows - 1, -1, -1):
+            row = lab[r]
+            for c in range(cols - 1, -1, -1):
+                v = row[c]
+                if v:
+                    m = v
+                    for dr, dc in bwd:
+                        nr, nc = r + dr, c + dc
+                        if 0 <= nr < rows and 0 <= nc < cols:
+                            w = lab[nr][nc]
+                            if w and w < m:
+                                m = w
+                    if m != v:
+                        row[c] = m
+                        changed = True
+        passes += 1
+    t1 = time.perf_counter()
+    labels = canonicalize_labeling(
+        np.asarray(lab, dtype=LABEL_DTYPE).reshape(rows, cols)
+    )
+    t2 = time.perf_counter()
+    n = int(labels.max()) if labels.size else 0
+    return CCLResult(
+        labels=labels,
+        n_components=n,
+        provisional_count=int(img.sum()),
+        phase_seconds={"scan": t1 - t0, "flatten": 0.0, "label": t2 - t1},
+        algorithm="multipass",
+        meta={"passes": passes},
+    )
+
+
+def _neighbor_min(lab: np.ndarray, connectivity: int) -> np.ndarray:
+    """Minimum positive label over each pixel's neighbourhood + itself
+    (background stays 0). One round of Jacobi label propagation."""
+    big = np.iinfo(lab.dtype).max
+    work = np.where(lab > 0, lab, big)
+    out = work.copy()
+    # axis shifts; slices avoid allocating padded copies
+    out[1:, :] = np.minimum(out[1:, :], work[:-1, :])
+    out[:-1, :] = np.minimum(out[:-1, :], work[1:, :])
+    out[:, 1:] = np.minimum(out[:, 1:], work[:, :-1])
+    out[:, :-1] = np.minimum(out[:, :-1], work[:, 1:])
+    if connectivity == 8:
+        out[1:, 1:] = np.minimum(out[1:, 1:], work[:-1, :-1])
+        out[1:, :-1] = np.minimum(out[1:, :-1], work[:-1, 1:])
+        out[:-1, 1:] = np.minimum(out[:-1, 1:], work[1:, :-1])
+        out[:-1, :-1] = np.minimum(out[:-1, :-1], work[1:, 1:])
+    return np.where(lab > 0, out, 0).astype(lab.dtype)
+
+
+def propagation_vectorized(
+    image: np.ndarray, connectivity: int = 8
+) -> CCLResult:
+    """Label *image* by vectorised neighbourhood-min propagation."""
+    img = as_binary_image(image)
+    rows, cols = img.shape
+    lab = (
+        (np.arange(1, rows * cols + 1, dtype=LABEL_DTYPE).reshape(rows, cols))
+        * img
+    )
+    t0 = time.perf_counter()
+    passes = 0
+    while True:
+        nxt = _neighbor_min(lab, connectivity)
+        passes += 1
+        if np.array_equal(nxt, lab):
+            break
+        lab = nxt
+    t1 = time.perf_counter()
+    labels = canonicalize_labeling(lab)
+    t2 = time.perf_counter()
+    n = int(labels.max()) if labels.size else 0
+    return CCLResult(
+        labels=labels,
+        n_components=n,
+        provisional_count=int(img.sum()),
+        phase_seconds={"scan": t1 - t0, "flatten": 0.0, "label": t2 - t1},
+        algorithm="propagation-vectorized",
+        meta={"passes": passes},
+    )

@@ -1,0 +1,227 @@
+"""Vectorised operation-count analysis of the scan strategies.
+
+The paper's sequential claims (Table II orderings) reduce to operation
+counts: how many neighbour reads does each scan strategy perform, how
+many union-find merges does it trigger, how long are the union-find
+walks. The first two are *pure functions of the local pixel pattern* —
+for the decision-tree scan the path taken depends only on
+``(a, b, c, d)``, for the two-row scan on ``(a, b, c, d, e, f, g)`` — so
+they can be counted exactly with a handful of NumPy shift/compare passes,
+with no instrumentation in the hot loops.
+
+Only the union-find *step* counts depend on global structure; those are
+measured by running the scans with the counting merge kernels
+(:func:`repro.unionfind.remsp.merge_counting` et al.) — see
+:mod:`repro.simmachine.counters`.
+
+Used by the ``opcounts`` experiment (scan-strategy ablation, DESIGN.md
+experiment index) and by the simulated machine's cost accounting.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from ..types import as_binary_image
+
+__all__ = ["ScanOpCounts", "decision_tree_opcounts", "tworow_opcounts"]
+
+
+@dataclasses.dataclass(frozen=True)
+class ScanOpCounts:
+    """Exact static operation counts for one scan over one image.
+
+    ``pixel_visits`` counts scan-loop *iterations* — one per pixel for
+    the decision-tree scan, one per pixel *pair* for the two-row scan
+    (its core advantage: half the traversal overhead);
+    ``neighbor_reads`` counts mask-neighbour examinations only (current
+    pixels ``e``/``g`` are loop operands, not neighbour reads, in both
+    strategies); ``merges`` counts equivalence-merge invocations;
+    ``new_labels`` provisional allocations; ``copies`` single-source
+    label copies.
+    """
+
+    pixel_visits: int
+    neighbor_reads: int
+    merges: int
+    new_labels: int
+    copies: int
+
+    def per_pixel(self) -> dict[str, float]:
+        n = max(1, self.pixel_visits)
+        return {
+            "neighbor_reads": self.neighbor_reads / n,
+            "merges": self.merges / n,
+            "new_labels": self.new_labels / n,
+            "copies": self.copies / n,
+        }
+
+
+def _shifted(img: np.ndarray, dr: int, dc: int) -> np.ndarray:
+    """img value at (r+dr, c+dc), 0 outside — boolean mask arrays."""
+    rows, cols = img.shape
+    out = np.zeros_like(img, dtype=bool)
+    rs = slice(max(0, -dr), rows - max(0, dr))
+    cs = slice(max(0, -dc), cols - max(0, dc))
+    rs_src = slice(max(0, dr), rows - max(0, -dr))
+    cs_src = slice(max(0, dc), cols - max(0, -dc))
+    out[rs, cs] = img[rs_src, cs_src] != 0
+    return out
+
+
+def decision_tree_opcounts(image: np.ndarray) -> ScanOpCounts:
+    """Exact op counts for the CCLLRPC/CCLREMSP decision-tree scan
+    (8-connectivity).
+
+    Reads per foreground pixel, following Fig 2: ``b`` always; then
+    ``c``; then ``a``; then ``d`` — each step only if the previous
+    neighbour was background (with the ``c=1`` subtree reading ``a``
+    then possibly ``d``).
+    """
+    img = as_binary_image(image)
+    e = img != 0
+    a = _shifted(img, -1, -1)
+    b = _shifted(img, -1, 0)
+    c = _shifted(img, -1, 1)
+    d = _shifted(img, 0, -1)
+
+    reads = np.zeros(img.shape, dtype=np.int64)
+    merges = np.zeros(img.shape, dtype=bool)
+    news = np.zeros(img.shape, dtype=bool)
+    copies = np.zeros(img.shape, dtype=bool)
+
+    nb = ~b
+    nc = ~c
+    na = ~a
+    # b foreground: 1 read, copy(b)
+    reads[e & b] = 1
+    copies |= e & b
+    # b0 c1 a1: reads b,c,a = 3; merge copy(c,a)
+    m1 = e & nb & c & a
+    reads[m1] = 3
+    merges |= m1
+    # b0 c1 a0: reads b,c,a,d = 4; d decides merge vs copy
+    m2 = e & nb & c & na
+    reads[m2] = 4
+    merges |= m2 & d  # copy(c,d)
+    copies |= m2 & ~d  # copy(c)
+    # b0 c0 a1: reads b,c,a = 3; copy(a)
+    m3 = e & nb & nc & a
+    reads[m3] = 3
+    copies |= m3
+    # b0 c0 a0: reads b,c,a,d = 4; copy(d) or new
+    m4 = e & nb & nc & na
+    reads[m4] = 4
+    copies |= m4 & d
+    news |= m4 & ~d
+
+    return ScanOpCounts(
+        pixel_visits=int(img.size),
+        neighbor_reads=int(reads.sum()),
+        merges=int(merges.sum()),
+        new_labels=int(news.sum()),
+        copies=int(copies.sum()),
+    )
+
+
+def tworow_opcounts(image: np.ndarray) -> ScanOpCounts:
+    """Exact op counts for the ARUN/AREMSP two-row scan (8-connectivity).
+
+    Counted per pixel *pair* following the branch structure of
+    :func:`repro.ccl.scan_aremsp.scan_pair_row_8`: neighbour reads follow
+    the ``d -> b -> f -> a -> c`` short-circuit order plus the
+    conditional second reads inside each branch (``e`` and ``g`` are the
+    pair's current pixels, not neighbours — see
+    :class:`ScanOpCounts`). An odd final row is counted with the
+    decision-tree cost.
+    """
+    img = as_binary_image(image)
+    rows, cols = img.shape
+    pair_rows = rows - (rows % 2)
+    top = img[0:pair_rows:2]  # e-rows
+    bot = img[1:pair_rows:2]  # g-rows
+
+    # masks in pair coordinates (shape pair_rows/2 x cols)
+    e = top != 0
+    g = bot != 0
+    a = _shifted(img, -1, -1)[0:pair_rows:2]
+    b = _shifted(img, -1, 0)[0:pair_rows:2]
+    c = _shifted(img, -1, 1)[0:pair_rows:2]
+    d = _shifted(img, 0, -1)[0:pair_rows:2]
+    f = _shifted(img, 0, -1)[1:pair_rows:2]  # left of g == f
+
+    reads = np.zeros(e.shape, dtype=np.int64)
+    merges = np.zeros(e.shape, dtype=np.int64)
+    news = np.zeros(e.shape, dtype=bool)
+    copies = np.zeros(e.shape, dtype=np.int64)
+
+    ne, nd, nb_, nf, na_ = ~e, ~d, ~b, ~f, ~a
+    # --- e foreground branches -----------------------------------------
+    br_d = e & d  # reads: d; then b; c only if b background
+    reads[br_d] += 2  # d, b
+    sub = br_d & nb_
+    reads[sub] += 1  # c
+    merges[sub & c] += 1
+    copies[br_d] += 1  # label from d
+    br_b = e & nd & b  # reads: d, b, f
+    reads[br_b] += 3
+    merges[br_b & f] += 1
+    copies[br_b] += 1
+    br_f = e & nd & nb_ & f  # reads: d, b, f, a, c
+    reads[br_f] += 5
+    merges[br_f & a] += 1
+    merges[br_f & c] += 1
+    copies[br_f] += 1
+    br_a = e & nd & nb_ & nf & a  # reads: d, b, f, a, c
+    reads[br_a] += 5
+    merges[br_a & c] += 1
+    copies[br_a] += 1
+    br_c = e & nd & nb_ & nf & na_  # reads: d, b, f, a, c
+    reads[br_c] += 5
+    copies[br_c & c] += 1
+    news |= br_c & ~c
+    copies[e & g] += 1  # g adopts e's label
+
+    # --- e background, g foreground ------------------------------------
+    br_g = ne & g
+    reads[br_g] += 1  # d
+    gd = br_g & d
+    copies[gd] += 1
+    gnf = br_g & nd
+    reads[gnf] += 1  # f
+    copies[gnf & f] += 1
+    news |= gnf & ~f
+
+    out = ScanOpCounts(
+        pixel_visits=(pair_rows // 2) * cols,
+        neighbor_reads=int(reads.sum()),
+        merges=int(merges.sum()),
+        new_labels=int(news.sum()),
+        copies=int(copies.sum()),
+    )
+    if pair_rows < rows:  # odd tail row, scanned with the decision tree
+        if rows == 1:
+            tail = decision_tree_opcounts(img)
+            d_reads, d_merges = tail.neighbor_reads, tail.merges
+            d_news, d_copies = tail.new_labels, tail.copies
+        else:
+            # run the static count on (last row + its true upper row) and
+            # subtract the upper row's solo cost, leaving exactly the tail
+            # row's contribution.
+            tail_img = img[rows - 2 :]
+            full = decision_tree_opcounts(tail_img)
+            solo = decision_tree_opcounts(tail_img[:1])
+            d_reads = full.neighbor_reads - solo.neighbor_reads
+            d_merges = full.merges - solo.merges
+            d_news = full.new_labels - solo.new_labels
+            d_copies = full.copies - solo.copies
+        out = ScanOpCounts(
+            pixel_visits=out.pixel_visits + cols,
+            neighbor_reads=out.neighbor_reads + d_reads,
+            merges=out.merges + d_merges,
+            new_labels=out.new_labels + d_news,
+            copies=out.copies + d_copies,
+        )
+    return out

@@ -1,0 +1,72 @@
+"""Algorithm registry: one uniform access point for every CCL variant.
+
+Benchmarks, examples and tests all resolve algorithms by the names the
+paper uses (Table I abbreviations, lower-cased), so report rows read like
+the paper's tables.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from ..errors import UnknownAlgorithmError
+from .aremsp import aremsp
+from .arun import arun
+from .block2x2 import block_label
+from .ccllrpc import ccllrpc
+from .cclremsp import cclremsp
+from .contour import contour_trace
+from .labeling import CCLResult
+from .multipass import multipass, propagation_vectorized
+from .run_based import run_based, run_based_vectorized
+from .suzuki import suzuki
+
+__all__ = [
+    "ALGORITHMS",
+    "SEQUENTIAL_TABLE2",
+    "EIGHT_CONNECTIVITY_ONLY",
+    "get_algorithm",
+]
+
+LabelFn = Callable[[np.ndarray, int], CCLResult]
+
+#: every sequential algorithm, by its paper name.
+ALGORITHMS: dict[str, LabelFn] = {
+    "ccllrpc": ccllrpc,
+    "cclremsp": cclremsp,
+    "arun": arun,
+    "aremsp": aremsp,
+    "run": run_based,
+    "run-vectorized": run_based_vectorized,
+    "multipass": multipass,
+    "propagation-vectorized": propagation_vectorized,
+    "suzuki": suzuki,
+    "contour": contour_trace,
+    "block2x2": block_label,
+}
+
+#: algorithms defined only for 8-connectivity (contour tracing has no
+#: 4-connectivity Moore walk; 2x2 blocks are not internally 4-connected).
+EIGHT_CONNECTIVITY_ONLY: frozenset[str] = frozenset({"contour", "block2x2"})
+
+#: the four columns of the paper's Table II, in table order.
+SEQUENTIAL_TABLE2: tuple[str, ...] = (
+    "ccllrpc",
+    "cclremsp",
+    "arun",
+    "aremsp",
+)
+
+
+def get_algorithm(name: str) -> LabelFn:
+    """Resolve a registry name (case-insensitive) to its entry point."""
+    key = name.lower()
+    try:
+        return ALGORITHMS[key]
+    except KeyError:
+        raise UnknownAlgorithmError(
+            f"unknown CCL algorithm {name!r}; available: "
+            f"{sorted(ALGORITHMS)}"
+        ) from None

@@ -1,0 +1,206 @@
+"""Two-row scan phase — Algorithm 6 / Figure 1b of the paper.
+
+Processes the image two lines at a time (pairs of rows ``(i, i+1)``) and
+labels the vertical pixel pair ``(e, g) = ((i, c), (i+1, c))`` together,
+halving the number of row traversals relative to the decision-tree scan —
+the ARUN strategy of He, Chao, Suzuki [37].
+
+Already-labeled neighbours of ``e`` are ``a, b, c`` (row ``i-1``), ``d``
+(left) and ``f`` (lower-left, labeled as the ``g`` of column ``c-1``);
+of ``g``: ``f``, ``d`` (diagonal) and ``e`` itself.
+
+Pseudocode errata corrected here (each backed by a property test against
+two independent oracles — see ``tests/test_ccl_oracle.py``):
+
+1. Alg. 6 line 14 reads ``merge(p, label(a))`` with a missing argument;
+   the intended operation is ``merge(p, label(e), label(a))``.
+2. Alg. 6 lines 44-46 assign ``label(e)`` inside the ``g``-only branch;
+   the assigned pixel must be ``g``.
+3. Alg. 6 only shows the ``label(g) <- label(e)`` binding (lines 34-35)
+   inside the ``d = 1`` branch; ``g`` must receive ``e``'s label in
+   *every* branch where both are foreground (``e`` and ``g`` are
+   vertically adjacent), as in [37]'s original formulation.
+
+The case analysis relies on invariants established by earlier mask
+positions (e.g. with ``d`` foreground, ``b`` is already equivalent to
+``d`` because ``d``'s own mask saw ``b`` as its upper-right neighbour), so
+only two configurations need an explicit merge for ``e``'s branches where
+a label was copied from ``b``/``d``, and the ``f``/``a`` branches merge
+against the row above. Full justification in the docstrings below and in
+DESIGN.md §5.
+
+Like the decision-tree scan, the kernel is parameterised over
+``merge``/``alloc``; AREMSP passes REMSP's, ARUN passes the
+rtable/next/tail structure's (:mod:`repro.ccl.arun_ds`).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, MutableSequence, Sequence
+
+from .masks import pad_rows, strip_padding, zeros_row
+from .scan_cclremsp import scan_row_4, scan_row_8
+
+__all__ = ["scan_tworow", "scan_pair_row_8", "scan_pair_row_4"]
+
+
+def scan_pair_row_8(
+    iup: Sequence[int],
+    irow: Sequence[int],
+    grow: Sequence[int],
+    lup: Sequence[int],
+    lrow: MutableSequence[int],
+    lgrow: MutableSequence[int],
+    cols: int,
+    p: MutableSequence[int],
+    merge: Callable[[MutableSequence[int], int, int], int],
+    alloc: Callable[[], int],
+) -> None:
+    """Label one padded row *pair* against the padded row above.
+
+    ``irow``/``lrow`` hold the upper pair row (``e``'s row), ``grow``/
+    ``lgrow`` the lower (``g``'s row), ``iup``/``lup`` the row above the
+    pair.
+    """
+    for c in range(1, cols + 1):
+        if irow[c]:
+            if irow[c - 1]:  # d foreground: e joins d's component.
+                le = lrow[c - 1]
+                # b is already equivalent to d (d's mask covered it);
+                # c is not when b is background — the one explicit merge.
+                if not iup[c] and iup[c + 1]:
+                    merge(p, le, lup[c + 1])
+            elif iup[c]:  # b: a and c are row-above-adjacent to b; only
+                # f (lower-left) can hold a different provisional set.
+                le = lup[c]
+                if grow[c - 1]:
+                    merge(p, le, lgrow[c - 1])
+            elif grow[c - 1]:  # f: disconnected from the row above, so
+                # both a and c may need merging (they are two apart).
+                le = lgrow[c - 1]
+                if iup[c - 1]:
+                    merge(p, le, lup[c - 1])
+                if iup[c + 1]:
+                    merge(p, le, lup[c + 1])
+            elif iup[c - 1]:  # a: c is two columns away — merge needed.
+                le = lup[c - 1]
+                if iup[c + 1]:
+                    merge(p, le, lup[c + 1])
+            elif iup[c + 1]:  # c alone.
+                le = lup[c + 1]
+            else:  # no labeled neighbour: new provisional label.
+                le = alloc()
+            lrow[c] = le
+            if grow[c]:  # g is vertically adjacent to e (erratum 3).
+                lgrow[c] = le
+        elif grow[c]:
+            # e background, g foreground: g's labeled neighbours are d
+            # (diagonal) and f. d's own processing already united d with
+            # f when both are foreground, so a single copy suffices.
+            if irow[c - 1]:  # d
+                lgrow[c] = lrow[c - 1]
+            elif grow[c - 1]:  # f
+                lgrow[c] = lgrow[c - 1]
+            else:  # erratum 2: the paper writes label(e) here.
+                lgrow[c] = alloc()
+
+
+def scan_pair_row_4(
+    iup: Sequence[int],
+    irow: Sequence[int],
+    grow: Sequence[int],
+    lup: Sequence[int],
+    lrow: MutableSequence[int],
+    lgrow: MutableSequence[int],
+    cols: int,
+    p: MutableSequence[int],
+    merge: Callable[[MutableSequence[int], int, int], int],
+    alloc: Callable[[], int],
+) -> None:
+    """4-connectivity two-row kernel (masks degenerate to ``b, d`` for
+    ``e`` and ``e, f`` for ``g``).
+
+    Unlike the 8-connectivity kernel, ``f`` and ``e`` are *not* adjacent
+    here, so when ``e`` and ``g`` are both foreground and ``d`` is
+    background, ``f``'s set must be merged explicitly (with ``d``
+    foreground, ``f`` was already united with ``d`` when the previous
+    column's pair bound its ``g``).
+    """
+    for c in range(1, cols + 1):
+        if irow[c]:
+            if irow[c - 1]:  # d
+                le = lrow[c - 1]
+                if iup[c]:  # b not 4-adjacent to d: merge needed.
+                    merge(p, le, lup[c])
+                lrow[c] = le
+                if grow[c]:
+                    lgrow[c] = le  # f, if present, is already in d's set
+            else:
+                if iup[c]:  # b
+                    le = lup[c]
+                else:
+                    le = alloc()
+                lrow[c] = le
+                if grow[c]:
+                    lgrow[c] = le
+                    if grow[c - 1]:  # f: connected to g only — merge.
+                        merge(p, le, lgrow[c - 1])
+        elif grow[c]:
+            if grow[c - 1]:  # f
+                lgrow[c] = lgrow[c - 1]
+            else:
+                lgrow[c] = alloc()
+
+
+def scan_tworow(
+    img_rows: Sequence[Sequence[int]],
+    p: MutableSequence[int],
+    merge: Callable[[MutableSequence[int], int, int], int],
+    alloc: Callable[[], int],
+    connectivity: int = 8,
+) -> list[list[int]]:
+    """Scan phase of AREMSP / ARUN over a whole image (or chunk).
+
+    Rows are consumed in pairs; an odd final row falls back to one
+    decision-tree row scan (its row above is the last pair's lower row,
+    so no connectivity is lost).
+
+    Same contract as
+    :func:`repro.ccl.scan_cclremsp.scan_decision_tree`.
+    """
+    rows = len(img_rows)
+    cols = len(img_rows[0]) if rows else 0
+    if connectivity == 8:
+        pair_kernel, row_kernel = scan_pair_row_8, scan_row_8
+    else:
+        pair_kernel, row_kernel = scan_pair_row_4, scan_row_4
+    pimg = pad_rows(img_rows)
+    plab = [zeros_row(cols) for _ in range(rows)]
+    zrow = zeros_row(cols)
+    i = 0
+    while i + 1 < rows:
+        pair_kernel(
+            pimg[i - 1] if i > 0 else zrow,
+            pimg[i],
+            pimg[i + 1],
+            plab[i - 1] if i > 0 else zrow,
+            plab[i],
+            plab[i + 1],
+            cols,
+            p,
+            merge,
+            alloc,
+        )
+        i += 2
+    if i < rows:  # odd tail row
+        row_kernel(
+            pimg[i - 1] if i > 0 else zrow,
+            pimg[i],
+            plab[i - 1] if i > 0 else zrow,
+            plab[i],
+            cols,
+            p,
+            merge,
+            alloc,
+        )
+    return strip_padding(plab, cols)

@@ -1,0 +1,133 @@
+"""Suzuki's table-accelerated multipass CCL (reference [10]).
+
+Suzuki, Horiba, Sugie (2003) showed that augmenting the repeated-pass
+algorithm with a one-dimensional *connection table* ``T`` bounds the
+number of sweeps by a small constant (four for any image, in their
+formulation) instead of growing with component geometry: whenever a sweep
+discovers that two provisional labels meet, the table — not just the
+pixel — records the smaller equivalent, so information propagates through
+label space as well as pixel space.
+
+Implementation notes (faithful to the mechanism, simplified bookkeeping):
+
+* sweep 1 (forward) assigns provisional labels from the Fig 1a mask,
+  writing equivalences into ``T`` via min-updates;
+* subsequent sweeps alternate backward/forward over the *full*
+  neighbourhood resolved through ``T``, min-updating pixel and table
+  entries, until a sweep changes nothing;
+* the table is then path-compressed (``T[i] <- T[T[i]]`` left-to-right —
+  valid since ``T[i] <= i`` throughout) and final labels renumbered via
+  the shared FLATTEN.
+
+The pass-count claim is asserted in tests (``meta["passes"]`` stays small
+on every generator, versus the spiral-depth growth of plain MULTIPASS —
+that contrast is one of our ablation benches).
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from ..types import LABEL_DTYPE, as_binary_image
+from ..unionfind.flatten import flatten
+from .labeling import CCLResult, apply_table, prealloc_capacity
+
+__all__ = ["suzuki"]
+
+
+def suzuki(image: np.ndarray, connectivity: int = 8) -> CCLResult:
+    """Label *image* with the Suzuki table-based multipass algorithm."""
+    img = as_binary_image(image)
+    rows, cols = img.shape
+    img_l = img.tolist()
+    lab = [[0] * cols for _ in range(rows)]
+    T = [0] * prealloc_capacity(rows, cols)
+    if connectivity == 8:
+        fwd = ((-1, -1), (-1, 0), (-1, 1), (0, -1))
+    else:
+        fwd = ((-1, 0), (0, -1))
+    bwd = tuple((-dr, -dc) for dr, dc in fwd)
+
+    t0 = time.perf_counter()
+    # --- sweep 1: provisional labels + initial table -------------------
+    count = 1
+    for r in range(rows):
+        irow = img_l[r]
+        lrow = lab[r]
+        for c in range(cols):
+            if irow[c]:
+                m = 0
+                for dr, dc in fwd:
+                    nr, nc = r + dr, c + dc
+                    if 0 <= nr < rows and 0 <= nc < cols:
+                        w = lab[nr][nc]
+                        if w:
+                            tw = T[w]
+                            if m == 0 or tw < m:
+                                m = tw
+                if m == 0:
+                    T[count] = count
+                    lrow[c] = count
+                    count += 1
+                else:
+                    lrow[c] = m
+                    for dr, dc in fwd:
+                        nr, nc = r + dr, c + dc
+                        if 0 <= nr < rows and 0 <= nc < cols:
+                            w = lab[nr][nc]
+                            if w and T[w] > m:
+                                T[T[w]] = m
+                                T[w] = m
+    passes = 1
+    # --- alternating table-propagation sweeps --------------------------
+    changed = True
+    while changed:
+        changed = False
+        for direction in (bwd, fwd):
+            order_r = (
+                range(rows - 1, -1, -1) if direction is bwd else range(rows)
+            )
+            for r in order_r:
+                irow = img_l[r]
+                lrow = lab[r]
+                order_c = (
+                    range(cols - 1, -1, -1)
+                    if direction is bwd
+                    else range(cols)
+                )
+                for c in order_c:
+                    if irow[c]:
+                        m = T[lrow[c]]
+                        for dr, dc in direction:
+                            nr, nc = r + dr, c + dc
+                            if 0 <= nr < rows and 0 <= nc < cols:
+                                w = lab[nr][nc]
+                                if w:
+                                    tw = T[w]
+                                    if tw < m:
+                                        m = tw
+                        if T[lrow[c]] != m:
+                            T[T[lrow[c]]] = m
+                            T[lrow[c]] = m
+                            changed = True
+                        lrow[c] = m
+            passes += 1
+    t1 = time.perf_counter()
+    # table entries satisfy T[i] <= i, so one left-to-right compression
+    # round makes every entry point at its set minimum before FLATTEN.
+    for i in range(1, count):
+        T[i] = T[T[i]]
+    n_components = flatten(T, count)
+    t2 = time.perf_counter()
+    labels = apply_table(lab, T, count)
+    t3 = time.perf_counter()
+    return CCLResult(
+        labels=np.asarray(labels, dtype=LABEL_DTYPE).reshape(rows, cols),
+        n_components=n_components,
+        provisional_count=count - 1,
+        phase_seconds={"scan": t1 - t0, "flatten": t2 - t1, "label": t3 - t2},
+        algorithm="suzuki",
+        meta={"passes": passes},
+    )

@@ -1,0 +1,67 @@
+"""Image substrate: binarization, synthetic datasets, and PNM I/O.
+
+The paper evaluates on four image suites — USC-SIPI **Texture**,
+**Aerial**, **Miscellaneous**, and **NLCD 2006** land-cover rasters — all
+binarized with MATLAB ``im2bw(level=0.5)``. Those exact images are not
+redistributable here, so this subpackage builds the closest synthetic
+equivalents (see DESIGN.md §2 for the substitution argument):
+
+* :mod:`~repro.data.binarize` — a faithful ``im2bw``: ITU-R BT.601
+  luminance for RGB, threshold at ``level`` (default 0.5 of full scale);
+* :mod:`~repro.data.valuenoise` — seeded fractal value noise, the raw
+  material for texture- and aerial-like imagery;
+* :mod:`~repro.data.synthetic` — parametric structures (blobs, stripes,
+  checkerboards, spirals, mazes, worst cases) used by tests and ablations;
+* :mod:`~repro.data.datasets` — the four named suites, including the
+  Table III NLCD size ladder with a configurable scale factor;
+* :mod:`~repro.data.pnm` — dependency-free PBM/PGM (P1/P2/P4/P5) reader
+  and writer so users can run the library on their own images.
+"""
+
+from .binarize import im2bw, rgb_to_gray
+from .datasets import (
+    DatasetImage,
+    aerial_suite,
+    misc_suite,
+    nlcd_suite,
+    suite_by_name,
+    texture_suite,
+)
+from .pnm import read_pnm, write_pnm
+from .synthetic import (
+    blobs,
+    checkerboard,
+    diagonal_stripes,
+    granularity,
+    halves,
+    maze,
+    random_noise,
+    ridges,
+    solid,
+    spiral,
+)
+from .valuenoise import fractal_noise
+
+__all__ = [
+    "im2bw",
+    "rgb_to_gray",
+    "fractal_noise",
+    "random_noise",
+    "blobs",
+    "checkerboard",
+    "diagonal_stripes",
+    "spiral",
+    "maze",
+    "solid",
+    "halves",
+    "granularity",
+    "ridges",
+    "DatasetImage",
+    "texture_suite",
+    "aerial_suite",
+    "misc_suite",
+    "nlcd_suite",
+    "suite_by_name",
+    "read_pnm",
+    "write_pnm",
+]

@@ -1,0 +1,240 @@
+"""Dependency-free netpbm (PBM/PGM/PPM) reader and writer.
+
+Supports all six classic formats:
+
+========= ========== =========
+Magic     Kind       Encoding
+========= ========== =========
+``P1``    bitmap     ASCII
+``P2``    graymap    ASCII
+``P3``    pixmap     ASCII (RGB)
+``P4``    bitmap     binary (packed MSB-first)
+``P5``    graymap    binary (1 or 2 bytes/sample, big-endian)
+``P6``    pixmap     binary (RGB)
+========= ========== =========
+
+This is the bridge from the paper's workflow (arbitrary images ->
+``im2bw`` -> CCL) to user-supplied files without adding an imaging
+dependency: colour pixmaps come back as ``(H, W, 3)`` arrays that feed
+straight into :func:`repro.data.binarize.im2bw`, exactly the paper's
+MATLAB preprocessing. PBM's inverted convention (1 = black ink) is
+normalised on read so that, as everywhere in this library, 1 means
+foreground/object.
+"""
+
+from __future__ import annotations
+
+import io
+import os
+from typing import BinaryIO, Union
+
+import numpy as np
+
+from ..errors import ImageFormatError
+from ..types import PIXEL_DTYPE
+
+__all__ = ["read_pnm", "write_pnm"]
+
+PathOrFile = Union[str, os.PathLike, BinaryIO]
+
+
+def _tokens(stream: BinaryIO):
+    """Yield whitespace-separated header tokens, honouring ``#`` comments."""
+    while True:
+        ch = stream.read(1)
+        if not ch:
+            return
+        if ch in b" \t\r\n":
+            continue
+        if ch == b"#":
+            while ch and ch != b"\n":
+                ch = stream.read(1)
+            continue
+        tok = bytearray(ch)
+        while True:
+            ch = stream.read(1)
+            if not ch or ch in b" \t\r\n":
+                break
+            if ch == b"#":  # comment glued to a token
+                while ch and ch != b"\n":
+                    ch = stream.read(1)
+                break
+            tok += ch
+        yield bytes(tok)
+
+
+def _read_header_ints(tok_iter, n: int, what: str) -> list[int]:
+    vals = []
+    for _ in range(n):
+        try:
+            vals.append(int(next(tok_iter)))
+        except (StopIteration, ValueError) as exc:
+            raise ImageFormatError(f"truncated/invalid PNM header: {what}") from exc
+    return vals
+
+
+def read_pnm(source: PathOrFile) -> np.ndarray:
+    """Read a PBM/PGM file into an array.
+
+    Returns ``uint8`` for bitmaps (1 = foreground) and for graymaps with
+    ``maxval <= 255``; ``uint16`` for 16-bit graymaps.
+    """
+    if isinstance(source, (str, os.PathLike)):
+        with open(source, "rb") as fh:
+            return read_pnm(fh)
+    stream = source
+    magic = stream.read(2)
+    if magic not in (b"P1", b"P2", b"P3", b"P4", b"P5", b"P6"):
+        raise ImageFormatError(f"unsupported PNM magic {magic!r}")
+    toks = _tokens(stream)
+    width, height = _read_header_ints(toks, 2, "width/height")
+    if width <= 0 or height <= 0:
+        raise ImageFormatError(f"bad PNM dimensions {width}x{height}")
+    if magic in (b"P2", b"P3", b"P5", b"P6"):
+        (maxval,) = _read_header_ints(toks, 1, "maxval")
+        if not 0 < maxval < 65536:
+            raise ImageFormatError(f"bad PGM/PPM maxval {maxval}")
+    if magic == b"P1":
+        vals = []
+        # P1 pixels may not even be whitespace separated; read char-wise
+        data = stream.read()
+        for b in data:
+            c = chr(b)
+            if c in "01":
+                vals.append(int(c))
+            elif c == "#":
+                # skip to end of line
+                pass  # handled crudely: comments after header are rare
+        if len(vals) < width * height:
+            raise ImageFormatError("truncated P1 pixel data")
+        arr = np.array(vals[: width * height], dtype=PIXEL_DTYPE)
+        return arr.reshape(height, width)  # PBM: 1 = black = foreground
+    if magic in (b"P2", b"P3"):
+        channels = 1 if magic == b"P2" else 3
+        need = width * height * channels
+        data = stream.read().split()
+        if len(data) < need:
+            raise ImageFormatError(f"truncated {magic.decode()} pixel data")
+        try:
+            arr = np.array([int(t) for t in data[:need]])
+        except ValueError as exc:
+            raise ImageFormatError(
+                f"non-numeric {magic.decode()} pixel data"
+            ) from exc
+        dtype = np.uint8 if maxval <= 255 else np.uint16
+        shape = (height, width) if channels == 1 else (height, width, 3)
+        return arr.astype(dtype).reshape(shape)
+    if magic == b"P4":
+        row_bytes = (width + 7) // 8
+        raw = stream.read(row_bytes * height)
+        if len(raw) < row_bytes * height:
+            raise ImageFormatError("truncated P4 pixel data")
+        bits = np.unpackbits(
+            np.frombuffer(raw, dtype=np.uint8).reshape(height, row_bytes),
+            axis=1,
+        )
+        return bits[:, :width].astype(PIXEL_DTYPE)
+    # P5 / P6
+    channels = 1 if magic == b"P5" else 3
+    itemsize = 1 if maxval <= 255 else 2
+    count = width * height * channels
+    need = count * itemsize
+    raw = stream.read(need)
+    if len(raw) < need:
+        raise ImageFormatError(f"truncated {magic.decode()} pixel data")
+    dt = np.uint8 if itemsize == 1 else np.dtype(">u2")
+    arr = np.frombuffer(raw, dtype=dt, count=count)
+    if itemsize == 2:
+        arr = arr.astype(np.uint16)
+    shape = (height, width) if channels == 1 else (height, width, 3)
+    return arr.reshape(shape)
+
+
+def write_pnm(
+    target: PathOrFile,
+    image: np.ndarray,
+    *,
+    binary: bool = True,
+    maxval: int | None = None,
+) -> None:
+    """Write *image* as PBM (2-D, values all in {0,1}), PGM (other 2-D)
+    or PPM (``(H, W, 3)`` colour).
+
+    ``binary=True`` selects the packed P4/P5/P6 encodings; ``False`` the
+    ASCII P1/P2/P3 ones. ``maxval`` defaults to 255 (or 65535 for values
+    above 255).
+    """
+    if isinstance(target, (str, os.PathLike)):
+        with open(target, "wb") as fh:
+            write_pnm(fh, image, binary=binary, maxval=maxval)
+            return
+    arr = np.asarray(image)
+    if arr.ndim == 3 and arr.shape[-1] == 3:
+        _write_ppm(target, arr, binary=binary, maxval=maxval)
+        return
+    if arr.ndim != 2:
+        raise ImageFormatError(
+            f"PNM writer needs a 2-D or (H, W, 3) array, got {arr.shape!r}"
+        )
+    if arr.size and arr.min() < 0:
+        raise ImageFormatError("PNM cannot represent negative samples")
+    height, width = arr.shape
+    is_bitmap = arr.size == 0 or arr.max() <= 1
+    out = io.BytesIO()
+    if is_bitmap:
+        if binary:
+            out.write(f"P4\n{width} {height}\n".encode())
+            bits = arr.astype(np.uint8)
+            padded = np.zeros((height, ((width + 7) // 8) * 8), dtype=np.uint8)
+            padded[:, :width] = bits
+            out.write(np.packbits(padded, axis=1).tobytes())
+        else:
+            out.write(f"P1\n{width} {height}\n".encode())
+            for row in arr.astype(np.uint8):
+                out.write((" ".join(map(str, row.tolist())) + "\n").encode())
+    else:
+        mv = maxval if maxval is not None else (255 if arr.max() <= 255 else 65535)
+        if arr.max() > mv:
+            raise ImageFormatError(f"samples exceed maxval {mv}")
+        if binary:
+            out.write(f"P5\n{width} {height}\n{mv}\n".encode())
+            if mv <= 255:
+                out.write(arr.astype(np.uint8).tobytes())
+            else:
+                out.write(arr.astype(">u2").tobytes())
+        else:
+            out.write(f"P2\n{width} {height}\n{mv}\n".encode())
+            for row in arr:
+                out.write((" ".join(map(str, row.tolist())) + "\n").encode())
+    target.write(out.getvalue())
+
+
+def _write_ppm(
+    target: BinaryIO,
+    arr: np.ndarray,
+    *,
+    binary: bool,
+    maxval: int | None,
+) -> None:
+    """Colour pixmap writer (P6 binary / P3 ASCII)."""
+    if arr.size and arr.min() < 0:
+        raise ImageFormatError("PPM cannot represent negative samples")
+    height, width = arr.shape[:2]
+    mv = maxval if maxval is not None else (
+        255 if not arr.size or arr.max() <= 255 else 65535
+    )
+    if arr.size and arr.max() > mv:
+        raise ImageFormatError(f"samples exceed maxval {mv}")
+    out = io.BytesIO()
+    if binary:
+        out.write(f"P6\n{width} {height}\n{mv}\n".encode())
+        if mv <= 255:
+            out.write(arr.astype(np.uint8).tobytes())
+        else:
+            out.write(arr.astype(">u2").tobytes())
+    else:
+        out.write(f"P3\n{width} {height}\n{mv}\n".encode())
+        flat = arr.reshape(height, width * 3)
+        for row in flat:
+            out.write((" ".join(map(str, row.tolist())) + "\n").encode())
+    target.write(out.getvalue())

@@ -1,0 +1,254 @@
+"""Parametric synthetic binary images.
+
+These generators cover the structural extremes CCL algorithms care about:
+
+* :func:`random_noise` — i.i.d. foreground with density *p*: maximal
+  component count, merge-heavy at p near the percolation threshold;
+* :func:`blobs` — cellular-automaton-smoothed noise: large organic
+  components (the "natural scene" regime);
+* :func:`checkerboard` — for 8-connectivity a single diagonal-connected
+  foreground component; for 4-connectivity the worst-case component count;
+* :func:`diagonal_stripes` — long skinny diagonal components: the
+  classic stress test for provisional-label merging across rows;
+* :func:`spiral` — one huge serpentine component: deep union-find trees
+  for naive structures, long run-lengths;
+* :func:`maze` — random wall pattern with corridors: many irregular,
+  interlocking components;
+* :func:`solid` / :func:`halves` / degenerate shapes — boundary cases
+  for tests.
+
+All generators are deterministic given ``seed`` and return canonical
+``uint8`` binary arrays.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..types import PIXEL_DTYPE
+
+__all__ = [
+    "random_noise",
+    "blobs",
+    "checkerboard",
+    "diagonal_stripes",
+    "spiral",
+    "maze",
+    "solid",
+    "halves",
+    "granularity",
+    "ridges",
+]
+
+
+def random_noise(
+    shape: tuple[int, int], density: float = 0.5, seed: int | None = None
+) -> np.ndarray:
+    """I.i.d. Bernoulli(*density*) foreground."""
+    if not 0.0 <= density <= 1.0:
+        raise ValueError(f"density must be in [0, 1], got {density!r}")
+    rng = np.random.default_rng(seed)
+    rows, cols = shape
+    return (rng.random((rows, cols)) < density).astype(PIXEL_DTYPE)
+
+
+def blobs(
+    shape: tuple[int, int],
+    density: float = 0.5,
+    smoothing_steps: int = 4,
+    seed: int | None = None,
+) -> np.ndarray:
+    """Organic blob structures via majority-vote cellular-automaton
+    smoothing of Bernoulli noise.
+
+    Each step replaces every pixel with the majority of its 3x3
+    neighbourhood (computed with a vectorised box filter); 3-5 steps turn
+    white noise into cave-like connected regions similar to thresholded
+    natural imagery.
+    """
+    img = random_noise(shape, density, seed).astype(np.int16)
+    for _ in range(smoothing_steps):
+        acc = img.copy()
+        acc[1:, :] += img[:-1, :]
+        acc[:-1, :] += img[1:, :]
+        # column shifts of the vertical sum give the full 3x3 box in 4 adds
+        box = acc.copy()
+        box[:, 1:] += acc[:, :-1]
+        box[:, :-1] += acc[:, 1:]
+        img = (box >= 5).astype(np.int16)  # majority of 9 (missing border
+        # neighbours count as background, biasing edges toward background,
+        # which conveniently frames components away from the image edge)
+    return img.astype(PIXEL_DTYPE)
+
+
+def checkerboard(shape: tuple[int, int], cell: int = 1) -> np.ndarray:
+    """Checkerboard with ``cell``-pixel squares.
+
+    With ``cell=1`` and 8-connectivity all foreground squares touch
+    diagonally — a single component with a merge at almost every pixel
+    (the scan phases' worst case for equivalence traffic).
+    """
+    if cell < 1:
+        raise ValueError(f"cell must be >= 1, got {cell}")
+    rows, cols = shape
+    r = np.arange(rows)[:, None] // cell
+    c = np.arange(cols)[None, :] // cell
+    return ((r + c) % 2).astype(PIXEL_DTYPE)
+
+
+def diagonal_stripes(
+    shape: tuple[int, int], period: int = 4, width: int = 1
+) -> np.ndarray:
+    """45-degree stripes of *width* px every *period* px.
+
+    Diagonal components are the canonical two-pass stress case: each new
+    row extends every stripe via the corner neighbours only.
+    """
+    if period < 2 or not 1 <= width < period:
+        raise ValueError(
+            f"need period >= 2 and 1 <= width < period, got {period}, {width}"
+        )
+    rows, cols = shape
+    r = np.arange(rows)[:, None]
+    c = np.arange(cols)[None, :]
+    return (((r + c) % period) < width).astype(PIXEL_DTYPE)
+
+
+def spiral(shape: tuple[int, int], gap: int = 2) -> np.ndarray:
+    """A single rectangular spiral arm of 1-px width with *gap* px spacing.
+
+    One serpentine component whose provisional labels chain across the
+    whole image — deep trees for unbalanced union-find variants.
+    """
+    if gap < 2:
+        raise ValueError(f"gap must be >= 2, got {gap}")
+    rows, cols = shape
+    img = np.zeros((rows, cols), dtype=PIXEL_DTYPE)
+    step = gap + 1
+    top, left = 0, 0
+    bottom, right = rows - 1, cols - 1
+    entry_col = 0  # the column where the arm enters this winding's top row
+    while top <= bottom and left <= right:
+        img[top, entry_col : right + 1] = 1  # top edge (entered from left)
+        if top == bottom:
+            break
+        img[top : bottom + 1, right] = 1  # right edge, downward
+        if left == right:
+            break
+        img[bottom, left : right + 1] = 1  # bottom edge, leftward
+        # left edge rises only to the *next* winding's top row, leaving
+        # the corridor that keeps the arm a single open curve.
+        if bottom - 1 >= top + step:
+            img[top + step : bottom, left] = 1
+        entry_col = left
+        top += step
+        left += step
+        bottom -= step
+        right -= step
+    return img
+
+
+def maze(
+    shape: tuple[int, int], wall_density: float = 0.45, seed: int | None = None
+) -> np.ndarray:
+    """Random "wall" pattern: horizontal/vertical 1-px wall segments over a
+    sparse noise floor, giving interlocking corridor-like components."""
+    rng = np.random.default_rng(seed)
+    rows, cols = shape
+    img = (rng.random((rows, cols)) < wall_density * 0.15).astype(PIXEL_DTYPE)
+    n_segments = max(1, rows * cols // 64)
+    seg_r = rng.integers(0, rows, size=n_segments)
+    seg_c = rng.integers(0, cols, size=n_segments)
+    seg_len = rng.integers(3, max(4, min(rows, cols) // 4), size=n_segments)
+    horiz = rng.random(n_segments) < 0.5
+    for r, c, ln, h in zip(
+        seg_r.tolist(), seg_c.tolist(), seg_len.tolist(), horiz.tolist()
+    ):
+        if h:
+            img[r, c : min(cols, c + ln)] = 1
+        else:
+            img[r : min(rows, r + ln), c] = 1
+    return img
+
+
+def granularity(
+    shape: tuple[int, int],
+    density: float = 0.5,
+    block: int = 1,
+    seed: int | None = None,
+) -> np.ndarray:
+    """The YACCLAB-style granularity benchmark pattern: i.i.d. foreground
+    *blocks* of ``block x block`` pixels with probability *density*.
+
+    Sweeping ``block`` from 1 (white noise, maximal per-pixel merge
+    traffic) to 16 (large chunks, run-length friendly) while holding
+    density fixed isolates how each algorithm's cost scales with
+    component granularity — the classic synthetic CCL benchmark axis.
+    """
+    if block < 1:
+        raise ValueError(f"block must be >= 1, got {block}")
+    if not 0.0 <= density <= 1.0:
+        raise ValueError(f"density must be in [0, 1], got {density!r}")
+    rng = np.random.default_rng(seed)
+    rows, cols = shape
+    gr = (rows + block - 1) // block
+    gc = (cols + block - 1) // block
+    coarse = (rng.random((gr, gc)) < density).astype(PIXEL_DTYPE)
+    return np.repeat(np.repeat(coarse, block, axis=0), block, axis=1)[
+        :rows, :cols
+    ]
+
+
+def ridges(
+    shape: tuple[int, int],
+    wavelength: float = 8.0,
+    warp: float = 6.0,
+    seed: int | None = None,
+) -> np.ndarray:
+    """Fingerprint-like ridge pattern: a sine field with a smoothly
+    varying orientation, thresholded at zero.
+
+    Produces the long, thin, winding components fingerprint
+    identification (the paper's first motivating application) feeds to
+    CCL; ridge components stress run-matching (many short runs per
+    component) without the randomness of noise patterns.
+    """
+    if wavelength <= 0:
+        raise ValueError(f"wavelength must be > 0, got {wavelength}")
+    rng = np.random.default_rng(seed)
+    rows, cols = shape
+    yy, xx = np.mgrid[0:rows, 0:cols].astype(np.float64)
+    # smooth orientation field from two low-frequency waves
+    phase_r = rng.uniform(0, 2 * np.pi, size=4)
+    theta = 0.8 * np.sin(
+        2 * np.pi * yy / max(rows, 1) + phase_r[0]
+    ) + 0.8 * np.cos(2 * np.pi * xx / max(cols, 1) + phase_r[1])
+    u = xx * np.cos(theta) + yy * np.sin(theta)
+    wave = np.sin(2 * np.pi * u / wavelength + warp * np.sin(phase_r[2] + 2 * np.pi * yy / max(rows, 1)))
+    return (wave > 0).astype(PIXEL_DTYPE)
+
+
+def solid(shape: tuple[int, int], value: int = 1) -> np.ndarray:
+    """All-foreground (or all-background with ``value=0``) image."""
+    if value not in (0, 1):
+        raise ValueError(f"value must be 0 or 1, got {value!r}")
+    return np.full(shape, value, dtype=PIXEL_DTYPE)
+
+
+def halves(shape: tuple[int, int], orientation: str = "vertical") -> np.ndarray:
+    """Foreground on one half of the image, split vertically/horizontally.
+
+    Exercises chunk-boundary merging when the split aligns with a
+    partition boundary.
+    """
+    rows, cols = shape
+    img = np.zeros((rows, cols), dtype=PIXEL_DTYPE)
+    if orientation == "vertical":
+        img[:, : cols // 2] = 1
+    elif orientation == "horizontal":
+        img[: rows // 2, :] = 1
+    else:
+        raise ValueError(
+            f"orientation must be 'vertical' or 'horizontal', got {orientation!r}"
+        )
+    return img

@@ -1,0 +1,102 @@
+"""Seeded fractal value noise.
+
+Natural imagery (textures, aerial photography, land cover) has spatial
+autocorrelation that white noise lacks, and CCL performance is sensitive
+to it: correlated fields binarize into large, irregular components with
+many equivalence merges, while white noise yields myriads of tiny ones.
+Fractal value noise — bilinear interpolation of coarse random lattices
+summed over octaves — is the standard cheap generator of such fields.
+
+Everything is vectorised NumPy (no per-pixel Python); generation of a
+2048x2048 field takes tens of milliseconds, so dataset construction never
+dominates a benchmark run.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["value_noise", "fractal_noise"]
+
+
+def _lattice_interp(
+    rows: int, cols: int, cell: int, rng: np.random.Generator
+) -> np.ndarray:
+    """One octave: random values on a coarse lattice, bilinearly upsampled."""
+    gr = rows // cell + 2
+    gc = cols // cell + 2
+    lattice = rng.random((gr, gc))
+    # pixel coordinates in lattice space
+    y = np.arange(rows) / cell
+    x = np.arange(cols) / cell
+    y0 = y.astype(np.int64)
+    x0 = x.astype(np.int64)
+    fy = (y - y0)[:, None]
+    fx = (x - x0)[None, :]
+    # smoothstep fade for C1 continuity (visually removes lattice seams)
+    fy = fy * fy * (3.0 - 2.0 * fy)
+    fx = fx * fx * (3.0 - 2.0 * fx)
+    v00 = lattice[np.ix_(y0, x0)]
+    v01 = lattice[np.ix_(y0, x0 + 1)]
+    v10 = lattice[np.ix_(y0 + 1, x0)]
+    v11 = lattice[np.ix_(y0 + 1, x0 + 1)]
+    top = v00 * (1.0 - fx) + v01 * fx
+    bot = v10 * (1.0 - fx) + v11 * fx
+    return top * (1.0 - fy) + bot * fy
+
+
+def value_noise(
+    shape: tuple[int, int], cell: int, seed: int | None = None
+) -> np.ndarray:
+    """Single-octave value noise in [0, 1] with feature size ~*cell* px."""
+    if cell < 1:
+        raise ValueError(f"cell size must be >= 1, got {cell}")
+    rng = np.random.default_rng(seed)
+    rows, cols = shape
+    return _lattice_interp(rows, cols, cell, rng)
+
+
+def fractal_noise(
+    shape: tuple[int, int],
+    *,
+    base_cell: int = 64,
+    octaves: int = 4,
+    persistence: float = 0.5,
+    seed: int | None = None,
+) -> np.ndarray:
+    """Multi-octave fractal value noise, normalised to [0, 1].
+
+    Parameters
+    ----------
+    shape:
+        ``(rows, cols)`` of the output field.
+    base_cell:
+        Feature size (pixels) of the coarsest octave; controls component
+        granularity after binarization.
+    octaves:
+        Number of octaves; each halves the cell size and multiplies the
+        amplitude by *persistence*.
+    persistence:
+        Amplitude decay per octave in (0, 1]; higher = rougher field.
+    seed:
+        Seed for reproducibility; every octave derives its own stream.
+    """
+    if octaves < 1:
+        raise ValueError(f"octaves must be >= 1, got {octaves}")
+    rng = np.random.default_rng(seed)
+    rows, cols = shape
+    out = np.zeros((rows, cols))
+    amp = 1.0
+    total = 0.0
+    cell = base_cell
+    for _ in range(octaves):
+        cell = max(1, cell)
+        out += amp * _lattice_interp(rows, cols, cell, rng)
+        total += amp
+        amp *= persistence
+        cell //= 2
+    out /= total
+    lo, hi = out.min(), out.max()
+    if hi > lo:
+        out = (out - lo) / (hi - lo)
+    return out

@@ -1,0 +1,58 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All library-raised exceptions derive from :class:`ReproError` so callers can
+catch everything from this package with a single ``except`` clause while
+still letting programming errors (``TypeError`` from wrong argument types,
+etc.) propagate unchanged.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "ImageFormatError",
+    "LabelOverflowError",
+    "PartitionError",
+    "UnknownAlgorithmError",
+    "BackendError",
+    "CostModelError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by :mod:`repro`."""
+
+
+class ImageFormatError(ReproError, ValueError):
+    """An input array is not a valid binary image for CCL.
+
+    Raised for non-2D inputs, unsupported dtypes, or pixel values outside
+    ``{0, 1}`` when strict validation is requested, and by the PNM codec for
+    malformed files.
+    """
+
+
+class LabelOverflowError(ReproError, OverflowError):
+    """The provisional-label space of the chosen dtype was exhausted.
+
+    The scan phase assigns at most one provisional label per foreground
+    pixel; an ``M x N`` image therefore needs ``M * N + 1`` representable
+    labels. This error indicates the configured label dtype is too narrow
+    for the input image.
+    """
+
+
+class PartitionError(ReproError, ValueError):
+    """A parallel row partition is invalid (empty chunks, bad alignment)."""
+
+
+class UnknownAlgorithmError(ReproError, KeyError):
+    """An algorithm name was not found in :mod:`repro.ccl.registry`."""
+
+
+class BackendError(ReproError, RuntimeError):
+    """A parallel backend failed or was asked for an unsupported feature."""
+
+
+class CostModelError(ReproError, ValueError):
+    """A simulated-machine cost model is inconsistent (negative costs...)."""

@@ -1,0 +1,31 @@
+"""In-process message-passing substrate (MPI-style SPMD).
+
+The paper positions PAREMSP against distributed alternatives and its
+union-find lineage ([38]) targets both shared and distributed memory.
+This subpackage provides the substrate a distributed-memory variant
+needs — without requiring an MPI installation: an in-process
+:class:`~repro.mp.comm.Communicator` with mpi4py-flavoured point-to-point
+(``send``/``recv``) and collective (``bcast``, ``scatter``, ``gather``,
+``allgather``, ``reduce``, ``allreduce``, ``barrier``) operations, and an
+SPMD :func:`~repro.mp.runner.run_spmd` launcher that runs one callable
+per rank.
+
+Ranks are OS threads, so this substrate reproduces message-passing
+*semantics* (no shared mutable state between ranks is used by the
+algorithms built on it — everything crosses rank boundaries through
+messages), not network performance. The distributed CCL built on top
+lives in :mod:`repro.parallel.distributed`.
+"""
+
+from .comm import Communicator
+from .metering import MeteredCommunicator, NetworkModel, TrafficCounter
+from .runner import SpmdError, run_spmd
+
+__all__ = [
+    "Communicator",
+    "run_spmd",
+    "SpmdError",
+    "MeteredCommunicator",
+    "TrafficCounter",
+    "NetworkModel",
+]

@@ -1,0 +1,176 @@
+"""The communicator: tagged point-to-point queues + classic collectives.
+
+Semantics follow mpi4py's lowercase (pickle-object) API surface:
+
+* ``send(obj, dest, tag)`` / ``recv(source, tag)`` — blocking,
+  per-(source, dest, tag) FIFO ordering;
+* collectives are built from point-to-point against the root (rank 0 by
+  default) and must be called by *all* ranks in the same order — the
+  standard SPMD contract. Internal collective messages use a reserved
+  negative tag space derived from a per-communicator operation counter,
+  so user tags (>= 0) can never collide with them.
+
+No buffers are shared: payloads are passed by reference but the
+algorithms in this repository treat received arrays as read-only or copy
+them, mirroring real message-passing discipline (enforced in tests by
+sending copies where mutation follows).
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+from typing import Any, Callable, Sequence
+
+__all__ = ["Communicator", "Network"]
+
+
+class Network:
+    """Shared mailbox fabric for one SPMD run."""
+
+    def __init__(self, size: int) -> None:
+        if size < 1:
+            raise ValueError(f"need at least one rank, got {size}")
+        self.size = size
+        self._boxes: dict[tuple[int, int, int], queue.Queue] = {}
+        self._lock = threading.Lock()
+
+    def mailbox(self, src: int, dst: int, tag: int) -> queue.Queue:
+        key = (src, dst, tag)
+        with self._lock:
+            box = self._boxes.get(key)
+            if box is None:
+                box = self._boxes[key] = queue.Queue()
+            return box
+
+
+class Communicator:
+    """One rank's endpoint into the network.
+
+    >>> from repro.mp import run_spmd
+    >>> def program(comm):
+    ...     data = comm.bcast(comm.rank * 10 if comm.rank == 0 else None)
+    ...     return comm.allreduce(comm.rank + data)
+    >>> run_spmd(program, 3)
+    [3, 3, 3]
+    """
+
+    #: safety timeout (seconds) so a mismatched collective deadlock
+    #: surfaces as an error instead of hanging the test suite.
+    RECV_TIMEOUT = 60.0
+
+    def __init__(self, network: Network, rank: int) -> None:
+        self._net = network
+        self.rank = rank
+        self.size = network.size
+        self._coll_seq = 0
+
+    # -- point-to-point ---------------------------------------------------
+
+    def send(self, obj: Any, dest: int, tag: int = 0) -> None:
+        """Send *obj* to rank *dest* (asynchronous, never blocks)."""
+        self._check_rank(dest)
+        self._net.mailbox(self.rank, dest, tag).put(obj)
+
+    def recv(self, source: int, tag: int = 0) -> Any:
+        """Blocking receive of the next message from (source, tag)."""
+        self._check_rank(source)
+        try:
+            return self._net.mailbox(source, self.rank, tag).get(
+                timeout=self.RECV_TIMEOUT
+            )
+        except queue.Empty:
+            raise TimeoutError(
+                f"rank {self.rank} timed out receiving from rank "
+                f"{source} (tag {tag}) — mismatched send/recv or "
+                "collective ordering?"
+            ) from None
+
+    def _check_rank(self, r: int) -> None:
+        if not 0 <= r < self.size:
+            raise ValueError(f"rank {r} out of range 0..{self.size - 1}")
+
+    def _coll_tag(self) -> int:
+        # reserved negative tag space; advances identically on all ranks
+        # because collectives are called in SPMD order.
+        self._coll_seq += 1
+        return -self._coll_seq
+
+    # -- collectives --------------------------------------------------------
+
+    def barrier(self) -> None:
+        """Block until every rank has entered the barrier."""
+        self.gather(None)
+        self.bcast(None)
+
+    def bcast(self, obj: Any, root: int = 0) -> Any:
+        """Broadcast *obj* from *root*; every rank returns the value."""
+        tag = self._coll_tag()
+        if self.rank == root:
+            for r in range(self.size):
+                if r != root:
+                    self._net.mailbox(root, r, tag).put(obj)
+            return obj
+        return self._recv_tagged(root, tag)
+
+    def gather(self, obj: Any, root: int = 0) -> list[Any] | None:
+        """Gather one value per rank at *root* (rank order); others get
+        ``None``."""
+        tag = self._coll_tag()
+        if self.rank == root:
+            out = []
+            for r in range(self.size):
+                out.append(obj if r == root else self._recv_tagged(r, tag))
+            return out
+        self._net.mailbox(self.rank, root, tag).put(obj)
+        return None
+
+    def allgather(self, obj: Any) -> list[Any]:
+        """Gather one value per rank, delivered to every rank."""
+        gathered = self.gather(obj)
+        return self.bcast(gathered)
+
+    def scatter(self, objs: Sequence[Any] | None, root: int = 0) -> Any:
+        """Distribute ``objs[r]`` to rank ``r`` from *root*."""
+        tag = self._coll_tag()
+        if self.rank == root:
+            if objs is None or len(objs) != self.size:
+                raise ValueError(
+                    f"scatter root needs exactly {self.size} items, got "
+                    f"{None if objs is None else len(objs)}"
+                )
+            for r in range(self.size):
+                if r != root:
+                    self._net.mailbox(root, r, tag).put(objs[r])
+            return objs[root]
+        return self._recv_tagged(root, tag)
+
+    def reduce(
+        self, obj: Any, op: Callable[[Any, Any], Any] = None, root: int = 0
+    ) -> Any:
+        """Reduce one value per rank at *root* with *op* (default ``+``),
+        applied in rank order."""
+        values = self.gather(obj, root=root)
+        if values is None:
+            return None
+        if op is None:
+            op = lambda a, b: a + b  # noqa: E731
+        acc = values[0]
+        for v in values[1:]:
+            acc = op(acc, v)
+        return acc
+
+    def allreduce(self, obj: Any, op: Callable[[Any, Any], Any] = None) -> Any:
+        """Reduce across ranks, result delivered to every rank."""
+        return self.bcast(self.reduce(obj, op=op))
+
+    def _recv_tagged(self, source: int, tag: int) -> Any:
+        try:
+            return self._net.mailbox(source, self.rank, tag).get(
+                timeout=self.RECV_TIMEOUT
+            )
+        except queue.Empty:
+            raise TimeoutError(
+                f"rank {self.rank} timed out in a collective (source "
+                f"{source}, tag {tag})"
+            ) from None

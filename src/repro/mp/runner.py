@@ -1,0 +1,68 @@
+"""SPMD launcher: one thread per rank, exceptions propagated."""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Callable
+
+from .comm import Communicator, Network
+
+__all__ = ["run_spmd", "SpmdError"]
+
+
+class SpmdError(RuntimeError):
+    """One or more ranks raised; carries every rank's failure."""
+
+    def __init__(self, failures: dict[int, BaseException]) -> None:
+        self.failures = failures
+        detail = "; ".join(
+            f"rank {r}: {type(e).__name__}: {e}" for r, e in failures.items()
+        )
+        super().__init__(f"SPMD program failed on {len(failures)} rank(s): {detail}")
+
+
+def run_spmd(
+    program: Callable[..., Any],
+    size: int,
+    *args: Any,
+    timeout: float = 120.0,
+    **kwargs: Any,
+) -> list[Any]:
+    """Run ``program(comm, *args, **kwargs)`` on *size* ranks.
+
+    Returns the per-rank return values in rank order. If any rank raises,
+    every failure is collected into one :class:`SpmdError` (surviving
+    ranks may block on a peer that died — their ``recv`` timeout converts
+    the hang into an error that is reported too).
+    """
+    network = Network(size)
+    results: list[Any] = [None] * size
+    errors: dict[int, BaseException] = {}
+
+    def entry(rank: int) -> None:
+        comm = Communicator(network, rank)
+        try:
+            results[rank] = program(comm, *args, **kwargs)
+        except BaseException as exc:  # noqa: BLE001 - reported to caller
+            errors[rank] = exc
+
+    threads = [
+        threading.Thread(target=entry, args=(r,), daemon=True, name=f"rank-{r}")
+        for r in range(size)
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(timeout=timeout)
+    hung = [t for t in threads if t.is_alive()]
+    if hung:
+        raise SpmdError(
+            errors
+            or {
+                int(t.name.split("-")[1]): TimeoutError("rank did not finish")
+                for t in hung
+            }
+        )
+    if errors:
+        raise SpmdError(errors)
+    return results

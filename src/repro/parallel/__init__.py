@@ -1,0 +1,41 @@
+"""PAREMSP — the paper's shared-memory parallel AREMSP (Algorithm 7).
+
+Pipeline (one :func:`~repro.parallel.paremsp.paremsp` call):
+
+1. **Partition** — rows are split into per-thread chunks of equal size,
+   aligned to the two-row scan granularity, each with a disjoint
+   provisional-label range (:mod:`~repro.parallel.partition`);
+2. **Local scan** — every chunk runs the AREMSP scan independently
+   (labels cannot collide across chunks by construction);
+3. **Boundary merge** — the first row of every chunk is merged against
+   the last row of its predecessor with the lock-based parallel Rem's
+   union-find (:mod:`~repro.parallel.boundary`,
+   :mod:`repro.unionfind.parallel`);
+4. **Flatten + label** — sparse-range FLATTEN and the final gather.
+
+Execution **backends** (:mod:`~repro.parallel.backends`) decouple the
+algorithm from the execution vehicle:
+
+* ``serial`` — chunks run sequentially; deterministic reference, also
+  records per-chunk durations;
+* ``threads`` — real ``threading`` + striped locks (CPython's GIL
+  prevents speedup but exercises the real concurrency structure);
+* ``processes`` — fork-based workers for the scan phase (true
+  parallelism; merge runs in the coordinator);
+* ``simulated`` — the cost-model machine of :mod:`repro.simmachine`
+  (used for the paper's 24-core scaling figures; see DESIGN.md §2).
+"""
+
+from .distributed import distributed_label
+from .paremsp import ParallelResult, paremsp
+from .partition import RowChunk, partition_rows
+from .tiled import tiled_label
+
+__all__ = [
+    "paremsp",
+    "ParallelResult",
+    "RowChunk",
+    "partition_rows",
+    "distributed_label",
+    "tiled_label",
+]

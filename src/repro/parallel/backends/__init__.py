@@ -1,0 +1,43 @@
+"""Execution backends for PAREMSP.
+
+A backend supplies two operations over an already-partitioned image:
+
+* ``scan(img_rows, chunks, p, connectivity)`` — run the AREMSP scan on
+  every chunk, writing equivalences into the shared array ``p``; returns
+  the assembled provisional label rows, the per-chunk used-label
+  watermarks, and backend metadata;
+* ``boundary(label_rows, chunks, cols, p, connectivity)`` — stitch the
+  chunk seams (Algorithm 7's merge step); returns metadata including the
+  union-call count.
+
+Backends must preserve the algorithm's semantics exactly; they differ
+only in *how* the independent units execute. See the package docstring
+of :mod:`repro.parallel` for the roster.
+"""
+
+from __future__ import annotations
+
+from ...errors import BackendError
+from .processes import ProcessBackend
+from .serial import SerialBackend
+from .threads import ThreadBackend
+
+__all__ = ["get_backend", "SerialBackend", "ThreadBackend", "ProcessBackend"]
+
+_BACKENDS = {
+    "serial": SerialBackend,
+    "threads": ThreadBackend,
+    "processes": ProcessBackend,
+}
+
+
+def get_backend(name: str):
+    """Instantiate a backend by name (``serial``/``threads``/``processes``;
+    ``simulated`` is routed in :func:`repro.parallel.paremsp.paremsp`)."""
+    try:
+        return _BACKENDS[name.lower()]()
+    except KeyError:
+        raise BackendError(
+            f"unknown backend {name!r}; available: "
+            f"{sorted(_BACKENDS)} + ['simulated']"
+        ) from None

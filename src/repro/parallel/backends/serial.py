@@ -1,0 +1,66 @@
+"""Serial reference backend.
+
+Runs chunk scans and boundary merges sequentially in chunk order. This
+is the semantic baseline every other backend is tested against, and it
+doubles as the measurement backend for per-chunk work distribution (its
+``meta["chunk_seconds"]`` feeds load-balance analysis).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import MutableSequence, Sequence
+
+from ...ccl.labeling import remsp_alloc
+from ...ccl.scan_aremsp import scan_tworow
+from ...unionfind.remsp import merge as remsp_merge
+from ..boundary import boundary_rows, merge_boundary_row
+from ..partition import RowChunk
+
+__all__ = ["SerialBackend"]
+
+
+class SerialBackend:
+    """Sequential execution of the PAREMSP phases."""
+
+    name = "serial"
+
+    def scan(
+        self,
+        img_rows: Sequence[Sequence[int]],
+        chunks: Sequence[RowChunk],
+        p: MutableSequence[int],
+        connectivity: int,
+    ) -> tuple[list[list[int]], list[int], dict]:
+        label_rows: list[list[int]] = []
+        used: list[int] = []
+        chunk_seconds: list[float] = []
+        for chunk in chunks:
+            alloc, watermark = remsp_alloc(p, start=chunk.label_start)
+            t0 = time.perf_counter()
+            rows = scan_tworow(
+                img_rows[chunk.row_start : chunk.row_stop],
+                p,
+                remsp_merge,
+                alloc,
+                connectivity,
+            )
+            chunk_seconds.append(time.perf_counter() - t0)
+            label_rows.extend(rows)
+            used.append(watermark())
+        return label_rows, used, {"chunk_seconds": chunk_seconds}
+
+    def boundary(
+        self,
+        label_rows: Sequence[Sequence[int]],
+        chunks: Sequence[RowChunk],
+        cols: int,
+        p: MutableSequence[int],
+        connectivity: int,
+    ) -> dict:
+        ops = 0
+        for row in boundary_rows(chunks):
+            ops += merge_boundary_row(
+                label_rows, row, cols, p, remsp_merge, connectivity
+            )
+        return {"boundary_unions": ops}

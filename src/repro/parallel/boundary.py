@@ -1,0 +1,75 @@
+"""Chunk-boundary merging (Algorithm 7, lines 10-21).
+
+After the local scans, pixels on the first row of chunk ``k`` may belong
+to the same component as pixels on the last row of chunk ``k-1`` but
+carry provisional labels from different ranges. The boundary pass walks
+each boundary row and unions labels across the seam, using the *label*
+image (a pixel participates iff its provisional label is nonzero, which
+for a binary image is equivalent to being foreground).
+
+The neighbour logic mirrors the paper exactly: if ``b`` (directly above)
+is labeled, a single union with ``b`` suffices — ``a`` and ``c`` are
+horizontally adjacent to ``b`` in the predecessor chunk and therefore
+already equivalent to it; otherwise ``a`` and ``c`` are each unioned
+when present (they are two columns apart and may be different
+components). For 4-connectivity only ``b`` exists.
+
+The union callable is injected: the serial backend passes plain REMSP
+``merge``, the threads backend a :class:`~repro.unionfind.parallel.
+LockStripedMerger` bound method, the simulated machine a counting
+wrapper — the traversal logic is identical for all, which is the point
+of Algorithm 8's drop-in design.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, MutableSequence, Sequence
+
+from .partition import RowChunk
+
+__all__ = ["merge_boundary_row", "boundary_rows"]
+
+
+def boundary_rows(chunks: Sequence[RowChunk]) -> list[int]:
+    """The image rows that start a chunk (other than the first) — exactly
+    the seams the merge pass must stitch."""
+    return [c.row_start for c in chunks[1:]]
+
+
+def merge_boundary_row(
+    label_rows: Sequence[Sequence[int]],
+    row: int,
+    cols: int,
+    p: MutableSequence[int],
+    union: Callable[[MutableSequence[int], int, int], int],
+    connectivity: int = 8,
+) -> int:
+    """Union the labels of boundary row *row* with row ``row - 1``.
+
+    Returns the number of union calls performed (used by the simulated
+    machine's cost accounting).
+    """
+    cur = label_rows[row]
+    up = label_rows[row - 1]
+    ops = 0
+    if connectivity == 8:
+        for c in range(cols):
+            e = cur[c]
+            if e:
+                if up[c]:
+                    union(p, e, up[c])
+                    ops += 1
+                else:
+                    if c > 0 and up[c - 1]:
+                        union(p, e, up[c - 1])
+                        ops += 1
+                    if c + 1 < cols and up[c + 1]:
+                        union(p, e, up[c + 1])
+                        ops += 1
+    else:
+        for c in range(cols):
+            e = cur[c]
+            if e and up[c]:
+                union(p, e, up[c])
+                ops += 1
+    return ops

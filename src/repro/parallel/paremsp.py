@@ -1,0 +1,131 @@
+"""PAREMSP — Algorithm 7 of the paper.
+
+The orchestrator: partition -> per-chunk AREMSP scan -> boundary merge
+(parallel Rem's) -> sparse FLATTEN -> final labeling. Backends plug into
+the scan and boundary phases; partitioning, flatten and the labeling
+gather are backend-independent.
+
+Determinism contract (asserted by tests): provisional labels depend on
+the backend's interleaving, but the *final* labeling is identical across
+all backends and thread counts, and identical to sequential AREMSP —
+FLATTEN canonicalises to raster first-appearance numbering.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import time
+
+import numpy as np
+
+from ..ccl.labeling import CCLResult, apply_table
+from ..types import as_binary_image
+from ..unionfind.flatten import flatten_ranges
+from .backends import get_backend
+from .partition import partition_rows
+
+__all__ = ["ParallelResult", "paremsp"]
+
+
+@dataclasses.dataclass
+class ParallelResult(CCLResult):
+    """A :class:`~repro.ccl.labeling.CCLResult` plus parallel-run facts.
+
+    ``phase_seconds`` gains ``merge`` (the boundary pass); for the
+    simulated backend all phase values are *model* seconds and
+    ``meta["simulated"]`` is set.
+    """
+
+    n_threads: int = 1
+    backend: str = "serial"
+    n_chunks: int = 1
+
+
+def paremsp(
+    image: np.ndarray,
+    n_threads: int = 4,
+    backend: str = "serial",
+    connectivity: int = 8,
+    cost_model=None,
+) -> ParallelResult:
+    """Label *image* with PAREMSP.
+
+    Parameters
+    ----------
+    image:
+        Binary image.
+    n_threads:
+        Requested team size; the effective chunk count may be smaller for
+        short images (see :func:`repro.parallel.partition.partition_rows`).
+    backend:
+        ``serial`` | ``threads`` | ``processes`` | ``simulated``.
+    connectivity:
+        8 (paper) or 4.
+    cost_model:
+        Only for ``backend="simulated"``: a
+        :class:`repro.simmachine.costmodel.CostModel` (defaults to the
+        Hopper preset).
+
+    >>> import numpy as np
+    >>> r = paremsp(np.ones((8, 8), dtype=np.uint8), n_threads=2)
+    >>> int(r.n_components)
+    1
+    """
+    if backend == "simulated":
+        from ..simmachine.machine import simulate_paremsp
+
+        sim = simulate_paremsp(
+            image,
+            n_threads=n_threads,
+            cost_model=cost_model,
+            connectivity=connectivity,
+        )
+        return sim.as_parallel_result()
+
+    img = as_binary_image(image)
+    rows, cols = img.shape
+    img_rows = img.tolist()
+    chunks = partition_rows(rows, cols, n_threads)
+    exec_backend = get_backend(backend)
+
+    p: list[int] = [0] * (rows * cols + 2)
+    meta: dict = {}
+
+    t0 = time.perf_counter()
+    if chunks:
+        label_rows, used, scan_meta = exec_backend.scan(
+            img_rows, chunks, p, connectivity
+        )
+    else:
+        label_rows, used, scan_meta = [], [], {}
+    t1 = time.perf_counter()
+    bound_meta = exec_backend.boundary(label_rows, chunks, cols, p, connectivity)
+    t2 = time.perf_counter()
+    ranges = [(c.label_start, u) for c, u in zip(chunks, used)]
+    n_components = flatten_ranges(p, ranges)
+    t3 = time.perf_counter()
+    limit = max((u for u in used), default=1)
+    labels = apply_table(label_rows, p, limit) if label_rows else np.zeros(
+        (rows, cols), dtype=np.int32
+    )
+    t4 = time.perf_counter()
+
+    meta.update(scan_meta)
+    meta.update(bound_meta)
+    meta["label_ranges"] = ranges
+    return ParallelResult(
+        labels=labels,
+        n_components=n_components,
+        provisional_count=sum(u - c.label_start for c, u in zip(chunks, used)),
+        phase_seconds={
+            "scan": t1 - t0,
+            "merge": t2 - t1,
+            "flatten": t3 - t2,
+            "label": t4 - t3,
+        },
+        algorithm="paremsp",
+        meta=meta,
+        n_threads=n_threads,
+        backend=backend,
+        n_chunks=len(chunks),
+    )

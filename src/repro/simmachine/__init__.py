@@ -1,0 +1,41 @@
+"""Deterministic simulated shared-memory machine.
+
+The paper's scaling results (Figures 4, 5; Table IV) were measured on a
+24-core Cray XE6 node. This host cannot reproduce those wall-clock
+curves directly (single core; CPython GIL), so this subpackage supplies
+the documented substitution (DESIGN.md §2): execute the *actual* PAREMSP
+code path — same partitioning, same scans, same union-find evolution —
+while accounting the operations each simulated thread performs, then
+convert the per-thread work vectors into phase makespans with a
+calibrated cost model.
+
+What is simulated is only the *clock*; labels, component counts and the
+entire data-structure state are the real algorithm's. Speedup shapes
+(near-linear scan scaling on large images, thread-overhead degradation
+on small ones, negligible merge share) are work-distribution properties
+and carry over exactly.
+
+Public surface:
+
+* :class:`~repro.simmachine.costmodel.CostModel` — per-operation costs;
+* :data:`~repro.simmachine.hopper.HOPPER` — the Cray XE6 'MagnyCours'
+  preset calibrated against the paper's own numbers (EXPERIMENTS.md);
+* :func:`~repro.simmachine.machine.simulate_paremsp` — run PAREMSP on
+  the simulated machine;
+* :func:`~repro.simmachine.machine.speedup_curve` — T-sweep helper used
+  by the Figure 4/5 benches.
+"""
+
+from .costmodel import CostModel
+from .counters import OpCounter
+from .hopper import HOPPER
+from .machine import SimResult, simulate_paremsp, speedup_curve
+
+__all__ = [
+    "CostModel",
+    "OpCounter",
+    "HOPPER",
+    "SimResult",
+    "simulate_paremsp",
+    "speedup_curve",
+]

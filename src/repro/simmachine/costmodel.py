@@ -1,0 +1,103 @@
+"""Cost model: operation counts -> simulated seconds.
+
+The model charges a fixed cost per operation class, plus machine-level
+overheads:
+
+* ``t_spawn`` per team member — the OpenMP parallel-region entry cost the
+  master pays serially (this is what bends the small-image curves of
+  Figure 4 downward at high thread counts);
+* ``t_barrier`` per implicit barrier between phases (``omp for`` joins);
+* a memory-bandwidth ceiling ``streaming_parallelism`` for the two
+  streaming phases (labeling gather; optionally scan) — a socket's
+  channels saturate before its cores do.
+
+All costs are in seconds. Defaults are meaningless placeholders; use
+:data:`repro.simmachine.hopper.HOPPER` or calibrate your own (see
+EXPERIMENTS.md for the calibration procedure).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from ..errors import CostModelError
+from .counters import OpCounter
+
+__all__ = ["CostModel"]
+
+
+@dataclasses.dataclass(frozen=True)
+class CostModel:
+    """Per-operation costs (seconds) of a simulated shared-memory node."""
+
+    #: scan-loop iteration: index arithmetic + current-pixel load + label
+    #: store.
+    t_pixel: float = 4e-9
+    #: one mask-neighbour load + comparison.
+    t_read: float = 1.2e-9
+    #: fixed overhead of a merge/union call.
+    t_merge: float = 10e-9
+    #: one step of the union-find walk (load + compare + possible store).
+    t_step: float = 3e-9
+    #: one lock acquire/release pair in the parallel MERGER.
+    t_lock: float = 60e-9
+    #: FLATTEN per table entry.
+    t_flatten: float = 3e-9
+    #: labeling-phase gather per pixel (streaming, bandwidth-bound).
+    t_label: float = 1.5e-9
+    #: serial cost the master pays per spawned team member.
+    t_spawn: float = 12e-6
+    #: implicit barrier cost per phase join, per member.
+    t_barrier: float = 0.4e-6
+    #: cap on effective parallelism of streaming phases (memory channels);
+    #: ``None`` = compute-bound everywhere.
+    streaming_parallelism: float | None = None
+
+    def __post_init__(self) -> None:
+        for f in dataclasses.fields(self):
+            v = getattr(self, f.name)
+            if v is not None and v < 0:
+                raise CostModelError(f"cost {f.name} must be >= 0, got {v}")
+        if self.streaming_parallelism is not None and (
+            self.streaming_parallelism < 1
+        ):
+            raise CostModelError(
+                "streaming_parallelism must be >= 1 or None, got "
+                f"{self.streaming_parallelism}"
+            )
+
+    def scan_seconds(self, ops: OpCounter) -> float:
+        """Simulated time one thread spends in its local scan."""
+        return (
+            self.t_pixel * ops.pixel_visits
+            + self.t_read * ops.neighbor_reads
+            + self.t_merge * ops.uf_merge
+            + self.t_step * ops.uf_step
+        )
+
+    def merge_seconds(self, ops: OpCounter) -> float:
+        """Simulated time one thread spends in its boundary-merge share."""
+        return (
+            self.t_read * ops.neighbor_reads
+            + self.t_merge * ops.uf_merge
+            + self.t_step * ops.uf_step
+            + self.t_lock * ops.lock_ops
+        )
+
+    def flatten_seconds(self, n_entries: int) -> float:
+        """Simulated time of the (serial) FLATTEN over *n_entries*."""
+        return self.t_flatten * n_entries
+
+    def label_seconds(self, n_pixels: int, n_threads: int) -> float:
+        """Simulated time of the final labeling pass (parallel gather)."""
+        eff = float(n_threads)
+        if self.streaming_parallelism is not None:
+            eff = min(eff, self.streaming_parallelism)
+        return self.t_label * n_pixels / max(1.0, eff)
+
+    def spawn_seconds(self, n_threads: int) -> float:
+        """Serial team-construction cost for an *n_threads* region."""
+        return self.t_spawn * max(0, n_threads - 1)
+
+    def barrier_seconds(self, n_threads: int, n_barriers: int) -> float:
+        return self.t_barrier * n_threads * n_barriers

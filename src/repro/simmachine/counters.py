@@ -1,0 +1,59 @@
+"""Operation counters for the simulated machine.
+
+An :class:`OpCounter` is threaded through the counting union-find
+kernels (:func:`repro.unionfind.remsp.merge_counting`, ...) and combined
+with the *static* scan counts of :mod:`repro.ccl.opcount` into one work
+vector per simulated thread. The cost model dots that vector with its
+per-operation costs to get the thread's phase time.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from ..ccl.opcount import ScanOpCounts
+
+__all__ = ["OpCounter"]
+
+
+@dataclasses.dataclass
+class OpCounter:
+    """Mutable per-thread operation tallies.
+
+    Dynamic fields (``uf_merge``, ``uf_step``, ``lock_ops``) are bumped
+    by the counting kernels; static fields mirror
+    :class:`repro.ccl.opcount.ScanOpCounts` and are filled analytically.
+    """
+
+    pixel_visits: int = 0
+    neighbor_reads: int = 0
+    copies: int = 0
+    new_labels: int = 0
+    uf_merge: int = 0
+    uf_step: int = 0
+    lock_ops: int = 0
+
+    def add_static(self, counts: ScanOpCounts) -> None:
+        """Fold a static scan analysis into this counter."""
+        self.pixel_visits += counts.pixel_visits
+        self.neighbor_reads += counts.neighbor_reads
+        self.copies += counts.copies
+        self.new_labels += counts.new_labels
+        # static 'merges' duplicate the dynamic uf_merge tally, which the
+        # counting kernels record exactly — so they are intentionally not
+        # folded in here.
+
+    def merged_with(self, other: "OpCounter") -> "OpCounter":
+        """A new counter holding the element-wise sum."""
+        return OpCounter(
+            pixel_visits=self.pixel_visits + other.pixel_visits,
+            neighbor_reads=self.neighbor_reads + other.neighbor_reads,
+            copies=self.copies + other.copies,
+            new_labels=self.new_labels + other.new_labels,
+            uf_merge=self.uf_merge + other.uf_merge,
+            uf_step=self.uf_step + other.uf_step,
+            lock_ops=self.lock_ops + other.lock_ops,
+        )
+
+    def as_dict(self) -> dict[str, int]:
+        return dataclasses.asdict(self)

@@ -1,0 +1,260 @@
+"""The simulated machine: execute PAREMSP, account the clock.
+
+:func:`simulate_paremsp` runs the genuine algorithm — real partitioning
+(:mod:`repro.parallel.partition`), real scans, real union-find state —
+with per-thread operation accounting, then prices the work vectors with
+a :class:`~repro.simmachine.costmodel.CostModel`:
+
+* **scan** phase makespan = serial spawn cost + max over threads of the
+  local-scan cost (static counts from :mod:`repro.ccl.opcount` +
+  dynamic union-find walk lengths from counting kernels) + a barrier;
+* **merge** phase = max over threads of their boundary-seam cost (each
+  seam is one row; seams are dealt to distinct threads, as an OpenMP
+  static ``for`` over boundary rows would);
+* **flatten** = serial table pass over all allocated label ranges;
+* **label** = parallel streaming gather, optionally bandwidth-capped.
+
+Everything is deterministic: no randomness, no wall-clock measurement —
+repeated calls return identical results, which makes the Figure 4/5
+benches stable enough to assert shapes in tests.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import MutableSequence, Sequence
+
+import numpy as np
+
+from ..ccl.labeling import apply_table, remsp_alloc
+from ..ccl.opcount import tworow_opcounts
+from ..ccl.scan_aremsp import scan_tworow
+from ..parallel.boundary import boundary_rows, merge_boundary_row
+from ..parallel.partition import partition_rows
+from ..types import as_binary_image
+from ..unionfind.flatten import flatten_ranges
+from .costmodel import CostModel
+from .counters import OpCounter
+from .hopper import HOPPER
+
+__all__ = ["SimResult", "simulate_paremsp", "speedup_curve"]
+
+
+def _merge_counting_lock(
+    p: MutableSequence[int], x: int, y: int, counter: OpCounter
+) -> int:
+    """Rem's merge with step *and* root-write (lock) accounting.
+
+    In the parallel MERGER every root overwrite happens under a lock, so
+    the lock count equals the successful-root-write count of the same
+    walk run sequentially.
+    """
+    counter.uf_merge += 1
+    rootx = x
+    rooty = y
+    while p[rootx] != p[rooty]:
+        counter.uf_step += 1
+        if p[rootx] > p[rooty]:
+            if rootx == p[rootx]:
+                counter.lock_ops += 1
+                p[rootx] = p[rooty]
+                return p[rootx]
+            z = p[rootx]
+            p[rootx] = p[rooty]
+            rootx = z
+        else:
+            if rooty == p[rooty]:
+                counter.lock_ops += 1
+                p[rooty] = p[rootx]
+                return p[rootx]
+            z = p[rooty]
+            p[rooty] = p[rootx]
+            rooty = z
+    return p[rootx]
+
+
+@dataclasses.dataclass
+class SimResult:
+    """Outcome of one simulated PAREMSP run.
+
+    ``phase_seconds`` holds *model* time: ``spawn``, ``scan``, ``merge``,
+    ``flatten``, ``label``, ``barriers``. ``local_seconds`` (spawn +
+    scan) matches the paper's "Phase-I / local computation" of Figure
+    5a; ``total_seconds`` is the Figure 5b quantity.
+    """
+
+    labels: np.ndarray
+    n_components: int
+    n_threads: int
+    n_chunks: int
+    phase_seconds: dict[str, float]
+    thread_scan_seconds: list[float]
+    thread_merge_seconds: list[float]
+    scan_counters: list[OpCounter]
+    merge_counters: list[OpCounter]
+    cost_model: CostModel
+
+    @property
+    def local_seconds(self) -> float:
+        return self.phase_seconds["spawn"] + self.phase_seconds["scan"]
+
+    @property
+    def total_seconds(self) -> float:
+        return float(sum(self.phase_seconds.values()))
+
+    def as_parallel_result(self):
+        """Adapt to :class:`repro.parallel.paremsp.ParallelResult`."""
+        from ..parallel.paremsp import ParallelResult
+
+        return ParallelResult(
+            labels=self.labels,
+            n_components=self.n_components,
+            provisional_count=sum(c.new_labels for c in self.scan_counters),
+            phase_seconds=dict(self.phase_seconds),
+            algorithm="paremsp",
+            meta={
+                "simulated": True,
+                "scan_counters": [c.as_dict() for c in self.scan_counters],
+                "merge_counters": [c.as_dict() for c in self.merge_counters],
+            },
+            n_threads=self.n_threads,
+            backend="simulated",
+            n_chunks=self.n_chunks,
+        )
+
+
+def simulate_paremsp(
+    image: np.ndarray,
+    n_threads: int,
+    cost_model: CostModel | None = None,
+    connectivity: int = 8,
+    linear_scale: float = 1.0,
+) -> SimResult:
+    """Run PAREMSP on the simulated machine.
+
+    See the module docstring for the accounting rules. The returned
+    labels/component count are exact (same as every real backend).
+
+    ``linear_scale`` prices the run as if the image were ``linear_scale``
+    times larger in each dimension: area-proportional work (scan,
+    flatten, labeling) is multiplied by ``linear_scale**2``, seam work
+    (one row per chunk boundary) by ``linear_scale``, while absolute
+    overheads (spawn, barriers) stay fixed. This is how the Figure 4/5
+    benches run paper-sized workloads (hundreds of megapixels) from
+    laptop-sized stand-ins: operation *densities* are measured on the
+    stand-in, totals are extrapolated — valid because the generators are
+    granularity-controlled so densities are scale-stationary (asserted
+    in ``tests/test_simmachine.py``).
+    """
+    if linear_scale <= 0:
+        raise ValueError(f"linear_scale must be > 0, got {linear_scale}")
+    cm = cost_model if cost_model is not None else HOPPER
+    area_scale = linear_scale * linear_scale
+    img = as_binary_image(image)
+    rows, cols = img.shape
+    img_rows = img.tolist()
+    chunks = partition_rows(rows, cols, n_threads)
+    p: list[int] = [0] * (rows * cols + 2)
+
+    # --- scan phase -----------------------------------------------------
+    scan_counters: list[OpCounter] = []
+    label_rows: list[list[int]] = []
+    used: list[int] = []
+    for chunk in chunks:
+        counter = OpCounter()
+        counter.add_static(
+            tworow_opcounts(img[chunk.row_start : chunk.row_stop])
+        )
+
+        def merge(pp, x, y, _c=counter):
+            return _merge_counting_lock(pp, x, y, _c)
+
+        alloc, watermark = remsp_alloc(p, start=chunk.label_start)
+        chunk_rows = scan_tworow(
+            img_rows[chunk.row_start : chunk.row_stop],
+            p,
+            merge,
+            alloc,
+            connectivity,
+        )
+        counter.new_labels = watermark() - chunk.label_start
+        counter.lock_ops = 0  # scan-phase merges are chunk-local: no locks
+        label_rows.extend(chunk_rows)
+        used.append(watermark())
+        scan_counters.append(counter)
+    thread_scan = [cm.scan_seconds(c) * area_scale for c in scan_counters]
+
+    # --- boundary merge phase --------------------------------------------
+    merge_counters = [OpCounter() for _ in range(max(1, len(chunks)))]
+    for i, row in enumerate(boundary_rows(chunks)):
+        counter = merge_counters[i % len(merge_counters)]
+
+        def union(pp, x, y, _c=counter):
+            return _merge_counting_lock(pp, x, y, _c)
+
+        # each seam thread also reads the full boundary row + row above.
+        counter.neighbor_reads += 2 * cols
+        merge_boundary_row(label_rows, row, cols, p, union, connectivity)
+    thread_merge = [cm.merge_seconds(c) * linear_scale for c in merge_counters]
+
+    # --- flatten (serial) + labeling (parallel gather) -------------------
+    ranges = [(c.label_start, u) for c, u in zip(chunks, used)]
+    n_components = flatten_ranges(p, ranges)
+    flatten_entries = sum(max(0, stop - start) for start, stop in ranges)
+    limit = max((u for u in used), default=1)
+    labels = (
+        apply_table(label_rows, p, limit)
+        if label_rows
+        else np.zeros((rows, cols), dtype=np.int32)
+    )
+
+    phase_seconds = {
+        "spawn": cm.spawn_seconds(n_threads),
+        "scan": max(thread_scan, default=0.0),
+        "merge": max(thread_merge, default=0.0),
+        "flatten": cm.flatten_seconds(flatten_entries) * area_scale,
+        "label": cm.label_seconds(rows * cols, n_threads) * area_scale,
+        "barriers": cm.barrier_seconds(n_threads, 3),
+    }
+    return SimResult(
+        labels=labels,
+        n_components=n_components,
+        n_threads=n_threads,
+        n_chunks=len(chunks),
+        phase_seconds=phase_seconds,
+        thread_scan_seconds=thread_scan,
+        thread_merge_seconds=thread_merge,
+        scan_counters=scan_counters,
+        merge_counters=merge_counters,
+        cost_model=cm,
+    )
+
+
+def speedup_curve(
+    image: np.ndarray,
+    thread_counts: Sequence[int],
+    cost_model: CostModel | None = None,
+    phase: str = "total",
+    connectivity: int = 8,
+    linear_scale: float = 1.0,
+) -> dict[int, float]:
+    """Simulated speedup ``T_1 / T_t`` over *thread_counts*.
+
+    ``phase="local"`` reproduces Figure 5a (scan + spawn only);
+    ``phase="total"`` Figure 5b / Figure 4. ``linear_scale`` prices the
+    stand-in image at paper scale — see :func:`simulate_paremsp`.
+    """
+    if phase not in ("total", "local"):
+        raise ValueError(f"phase must be 'total' or 'local', got {phase!r}")
+    base = simulate_paremsp(
+        image, 1, cost_model, connectivity, linear_scale=linear_scale
+    )
+    t1 = base.total_seconds if phase == "total" else base.local_seconds
+    out: dict[int, float] = {}
+    for t in thread_counts:
+        sim = simulate_paremsp(
+            image, t, cost_model, connectivity, linear_scale=linear_scale
+        )
+        tt = sim.total_seconds if phase == "total" else sim.local_seconds
+        out[t] = t1 / tt if tt > 0 else float("nan")
+    return out

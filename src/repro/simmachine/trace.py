@@ -1,0 +1,115 @@
+"""Execution traces and text Gantt charts for simulated runs.
+
+Turns a :class:`~repro.simmachine.machine.SimResult` into a per-thread
+timeline — when each thread works during the scan and merge phases, and
+where the serial sections sit — rendered as a monospace Gantt chart.
+This is how the simulated machine's makespan accounting is *inspected*
+rather than trusted: the chart makes load imbalance and Amdahl bottlenecks
+visible at a glance (used by ``examples/parallel_scaling.py`` and the
+scaling docs).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from .machine import SimResult
+
+__all__ = ["TraceSpan", "build_trace", "render_gantt"]
+
+
+@dataclasses.dataclass(frozen=True)
+class TraceSpan:
+    """One contiguous activity of one lane of the timeline."""
+
+    lane: str  # "thread 3" or "machine" for serial sections
+    phase: str
+    start: float
+    stop: float
+
+    @property
+    def duration(self) -> float:
+        return self.stop - self.start
+
+
+def build_trace(sim: SimResult) -> list[TraceSpan]:
+    """Reconstruct the phase timeline the makespan formula implies.
+
+    Phases are barrier-separated, so each phase starts when the slowest
+    participant of the previous one finished; within a phase, every
+    thread starts together and runs for its own accounted time.
+    """
+    spans: list[TraceSpan] = []
+    t = 0.0
+    spawn = sim.phase_seconds["spawn"]
+    if spawn > 0:
+        spans.append(TraceSpan("machine", "spawn", t, t + spawn))
+    t += spawn
+    scan_end = t
+    for i, dur in enumerate(sim.thread_scan_seconds):
+        spans.append(TraceSpan(f"thread {i}", "scan", t, t + dur))
+        scan_end = max(scan_end, t + dur)
+    t = scan_end
+    merge_end = t
+    for i, dur in enumerate(sim.thread_merge_seconds):
+        if dur > 0:
+            spans.append(TraceSpan(f"thread {i}", "merge", t, t + dur))
+            merge_end = max(merge_end, t + dur)
+    t = merge_end
+    flatten = sim.phase_seconds["flatten"]
+    if flatten > 0:
+        spans.append(TraceSpan("machine", "flatten", t, t + flatten))
+    t += flatten
+    label = sim.phase_seconds["label"]
+    if label > 0:
+        for i in range(max(1, sim.n_chunks)):
+            spans.append(TraceSpan(f"thread {i}", "label", t, t + label))
+    t += label
+    return spans
+
+
+_PHASE_CHARS = {
+    "spawn": "+",
+    "scan": "#",
+    "merge": "M",
+    "flatten": "F",
+    "label": "=",
+}
+
+
+def render_gantt(sim: SimResult, width: int = 72) -> str:
+    """Monospace Gantt chart of a simulated run.
+
+    One row per lane; columns are model time. Legend: ``+`` spawn,
+    ``#`` scan, ``M`` merge, ``F`` flatten, ``=`` labeling gather.
+    """
+    spans = build_trace(sim)
+    if not spans:
+        return "(empty trace)"
+    total = max(s.stop for s in spans)
+    if total <= 0:
+        return "(zero-duration trace)"
+    lanes: dict[str, list[str]] = {}
+    order: list[str] = []
+    for span in spans:
+        if span.lane not in lanes:
+            lanes[span.lane] = [" "] * width
+            order.append(span.lane)
+        a = int(span.start / total * (width - 1))
+        b = max(a + 1, int(round(span.stop / total * width)))
+        ch = _PHASE_CHARS.get(span.phase, "?")
+        row = lanes[span.lane]
+        for x in range(a, min(b, width)):
+            row[x] = ch
+    name_w = max(len(n) for n in order)
+    lines = [
+        f"{name:>{name_w}s} |{''.join(lanes[name])}|" for name in order
+    ]
+    lines.append(
+        f"{'':>{name_w}s}  0{'':{width - 10}s}{total * 1e3:8.3f} ms"
+    )
+    lines.append(
+        f"{'':>{name_w}s}  legend: + spawn  # scan  M merge  F flatten  "
+        "= label"
+    )
+    return "\n".join(lines)

@@ -1,0 +1,51 @@
+"""Union-find (disjoint-set) substrate.
+
+This subpackage implements the data-structure layer the paper builds on:
+
+* :mod:`~repro.unionfind.remsp` — Rem's union-find with the *splicing*
+  compression technique (REMSP), Algorithm 2 of the paper. This is the
+  structure both proposed CCL algorithms (CCLREMSP, AREMSP) use.
+* :mod:`~repro.unionfind.lrpc` — link-by-rank with path compression, the
+  technique used by the CCLLRPC baseline (Wu, Otoo, Suzuki 2009).
+* :mod:`~repro.unionfind.variants` — the wider family benchmarked by
+  Patwary, Blair, Manne (SEA 2010), reference [40]: link-by-size,
+  path-halving, path-splitting, and naive linking. These power the
+  union-find ablation benchmark.
+* :mod:`~repro.unionfind.flatten` — the FLATTEN analysis phase
+  (Algorithm 3) that resolves equivalences into consecutive final labels.
+* :mod:`~repro.unionfind.parallel` — the lock-based parallel Rem's merge
+  (MERGER, Algorithm 8; Patwary, Refsnes, Manne IPDPS 2012).
+* :mod:`~repro.unionfind.graph` — spanning-forest / component counting
+  over explicit edge lists, the substrate [38] evaluates union-find on.
+
+All low-level functions operate on a *parent sequence* ``p`` — a mutable
+sequence (Python list in the interpreter-hot paths, NumPy array elsewhere)
+where ``p[i]`` is the parent of element ``i`` and roots satisfy
+``p[i] == i``. REMSP maintains the additional invariant ``p[i] <= i`` is
+NOT required; instead the parent *values* define the ordering used by the
+splicing walk.
+"""
+
+from .base import DisjointSets, components, count_sets, is_valid_parent_array
+from .flatten import flatten, flatten_ranges
+from .lrpc import LinkByRankPC, find_compress, union_by_rank
+from .parallel import LockStripedMerger, merger
+from .remsp import RemSP, find_root, merge, same_set
+
+__all__ = [
+    "DisjointSets",
+    "RemSP",
+    "LinkByRankPC",
+    "LockStripedMerger",
+    "merge",
+    "merger",
+    "find_root",
+    "same_set",
+    "find_compress",
+    "union_by_rank",
+    "flatten",
+    "flatten_ranges",
+    "components",
+    "count_sets",
+    "is_valid_parent_array",
+]

@@ -1,0 +1,89 @@
+"""Structural quality metrics for union-find forests.
+
+Reference [40]'s variant comparison ultimately measures one thing: how
+short the find paths stay under each union/compression policy. This
+module extracts those structural facts from any parent array so the
+ablation benchmarks can report *why* a variant is fast, not just that
+it is:
+
+* :func:`tree_depths` — per-element distance to its root;
+* :func:`forest_stats` — depth distribution summary + pointer totals.
+
+Everything is vectorised (pointer doubling), so forests with millions of
+elements analyse in milliseconds.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Sequence
+
+import numpy as np
+
+__all__ = ["tree_depths", "ForestStats", "forest_stats"]
+
+
+def tree_depths(p: Sequence[int]) -> np.ndarray:
+    """Distance (pointer hops) from every element to its root.
+
+    Pointer doubling with exact hop accounting: maintain for every
+    element an ancestor pointer ``ptr`` and the exact hop count
+    ``dist`` from the element to that ancestor. Squaring the pointer
+    (``ptr <- ptr[ptr]``) adds the ancestor's own ``dist`` — which is 0
+    once the ancestor is a root, so the recurrence converges to exact
+    root distances in O(log depth) vector rounds.
+
+    *p* must encode a forest (see
+    :func:`repro.unionfind.base.is_valid_parent_array`); a cycle would
+    loop forever, so a bounded number of rounds guards against it.
+    """
+    orig = np.asarray(p, dtype=np.int64)
+    ptr = orig
+    n = len(ptr)
+    if n == 0:
+        return np.zeros(0, dtype=np.int64)
+    dist = (ptr != np.arange(n)).astype(np.int64)
+    for _ in range(max(1, n.bit_length() + 2)):
+        nxt = ptr[ptr]
+        if np.array_equal(nxt, ptr):
+            # stable — but a 2-cycle also stabilises (at the identity);
+            # a genuine forest stabilises on fixpoints of the original.
+            if not (orig[ptr] == ptr).all():
+                break
+            return dist
+        dist = dist + dist[ptr]
+        ptr = nxt
+    raise ValueError("parent array contains a cycle (not a forest)")
+
+
+@dataclasses.dataclass(frozen=True)
+class ForestStats:
+    """Depth-distribution summary of one parent array."""
+
+    n: int
+    n_roots: int
+    max_depth: int
+    mean_depth: float
+    total_path_length: int
+
+    def describe(self) -> str:
+        return (
+            f"{self.n} elements, {self.n_roots} roots, depth "
+            f"max {self.max_depth} / mean {self.mean_depth:.3f}, "
+            f"total path length {self.total_path_length}"
+        )
+
+
+def forest_stats(p: Sequence[int]) -> ForestStats:
+    """Summarise the find-path structure of *p*."""
+    depths = tree_depths(p)
+    n = len(depths)
+    arr = np.asarray(p)
+    n_roots = int((arr == np.arange(n)).sum()) if n else 0
+    return ForestStats(
+        n=n,
+        n_roots=n_roots,
+        max_depth=int(depths.max()) if n else 0,
+        mean_depth=float(depths.mean()) if n else 0.0,
+        total_path_length=int(depths.sum()),
+    )

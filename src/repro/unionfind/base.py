@@ -1,0 +1,144 @@
+"""Common disjoint-set interface and parent-array utilities.
+
+The functional kernels in :mod:`repro.unionfind.remsp` / ``.lrpc`` /
+``.variants`` operate directly on parent sequences for speed; this module
+provides the object-oriented facade (:class:`DisjointSets`) plus helpers
+shared by tests, FLATTEN, and the graph substrate.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Iterator, MutableSequence, Sequence
+
+import numpy as np
+
+__all__ = [
+    "DisjointSets",
+    "is_valid_parent_array",
+    "count_sets",
+    "components",
+    "roots_of",
+]
+
+
+class DisjointSets(ABC):
+    """Abstract disjoint-set forest over the elements ``0..n-1``.
+
+    Concrete subclasses differ only in their *union* strategy and *find*
+    compression technique — exactly the design space reference [40] of the
+    paper explores. All subclasses expose the parent sequence as ``.p`` so
+    FLATTEN and the CCL labeling pass can consume it directly.
+    """
+
+    #: parent sequence; ``p[i]`` is the parent of ``i``, roots are fixpoints.
+    p: MutableSequence[int]
+
+    def __init__(self, n: int) -> None:
+        if n < 0:
+            raise ValueError(f"number of elements must be >= 0, got {n}")
+        self.p = self._make_parents(n)
+
+    @staticmethod
+    def _make_parents(n: int) -> MutableSequence[int]:
+        """Create the initial parent sequence (every element its own root)."""
+        return list(range(n))
+
+    def __len__(self) -> int:
+        return len(self.p)
+
+    @abstractmethod
+    def find(self, x: int) -> int:
+        """Return the root representative of *x* (may compress paths)."""
+
+    @abstractmethod
+    def union(self, x: int, y: int) -> int:
+        """Unite the sets of *x* and *y*; return the surviving root."""
+
+    def same_set(self, x: int, y: int) -> bool:
+        """True iff *x* and *y* currently belong to the same set."""
+        return self.find(x) == self.find(y)
+
+    def add(self) -> int:
+        """Append a fresh singleton element; return its index."""
+        i = len(self.p)
+        self.p.append(i)
+        return i
+
+    def n_sets(self) -> int:
+        """Number of disjoint sets currently in the forest."""
+        return count_sets(self.p)
+
+    def sets(self) -> dict[int, list[int]]:
+        """Materialise the partition as ``{root: sorted members}``."""
+        return components(self.p)
+
+
+def is_valid_parent_array(p: Sequence[int]) -> bool:
+    """Check that *p* encodes a forest: in-range parents, no cycles except
+    self-loops at roots.
+
+    A parent array is a forest iff following parent pointers from every
+    node terminates at a fixpoint. Since parents are in-range, it suffices
+    that repeated application of ``p`` stabilises.
+    """
+    n = len(p)
+    arr = np.asarray(p, dtype=np.int64)
+    if n == 0:
+        return True
+    if arr.min() < 0 or arr.max() >= n:
+        return False
+    # Pointer-jump until stable; a forest stabilises in <= log2(n)+1 rounds
+    # after which every pointer is a root. A cycle (length >= 2) never
+    # stabilises, but alternates — detect via bounded iterations.
+    cur = arr
+    for _ in range(max(1, n.bit_length() + 2)):
+        nxt = cur[cur]
+        if np.array_equal(nxt, cur):
+            # Stable: every element now points at some fixpoint of ``cur``.
+            # It encodes a forest iff those fixpoints are roots of ``p``
+            # itself (a 2-cycle also stabilises — at the identity map — but
+            # its elements are not fixpoints of ``p``).
+            return bool((arr[cur] == cur).all())
+        cur = nxt
+    # Not stable after log rounds of doubling => a non-trivial cycle exists.
+    return False
+
+
+def roots_of(p: Sequence[int]) -> np.ndarray:
+    """Vectorised full find: root representative for every element.
+
+    Does not mutate *p*. Uses pointer doubling, so it runs in
+    ``O(n log depth)`` NumPy passes regardless of tree shape.
+    """
+    cur = np.asarray(p, dtype=np.int64).copy()
+    while True:
+        nxt = cur[cur]
+        if np.array_equal(nxt, cur):
+            return cur
+        cur = nxt
+
+
+def count_sets(p: Sequence[int]) -> int:
+    """Number of disjoint sets encoded by parent sequence *p*."""
+    n = len(p)
+    if n == 0:
+        return 0
+    arr = np.asarray(p)
+    return int(np.count_nonzero(arr == np.arange(n)))
+
+
+def components(p: Sequence[int]) -> dict[int, list[int]]:
+    """Materialise the partition of ``0..n-1`` as ``{root: sorted members}``."""
+    roots = roots_of(p)
+    out: dict[int, list[int]] = {}
+    for i, r in enumerate(roots.tolist()):
+        out.setdefault(r, []).append(i)
+    return out
+
+
+def iter_edges_canonical(p: Sequence[int]) -> Iterator[tuple[int, int]]:
+    """Yield ``(child, parent)`` pairs for every non-root element."""
+    for i, pi in enumerate(p):
+        if pi != i:
+            yield i, pi

@@ -1,0 +1,93 @@
+"""FLATTEN — the analysis phase (Algorithm 3 of the paper).
+
+After the scan phase, the equivalence array ``p`` encodes a forest in which
+every root is the minimum provisional label of its connected component
+(REMSP maintains ``p[i] <= i``). FLATTEN performs a single left-to-right
+pass that simultaneously
+
+1. fully flattens the forest (every entry points directly at its final
+   label), and
+2. renumbers the roots with *consecutive* labels ``1..K`` in order of
+   first appearance.
+
+The single pass is sufficient precisely because of the ``p[i] <= i``
+invariant: when index ``i`` is visited, ``p[i] < i`` implies ``p[p[i]]``
+has already been rewritten to its final label.
+
+Two variants are provided:
+
+* :func:`flatten` — the dense case used by the sequential algorithms
+  (labels ``1..count-1`` all allocated);
+* :func:`flatten_ranges` — the sparse case used by PAREMSP, where each
+  thread allocated labels from its own disjoint range ``[start, start +
+  used)`` and the gaps between ranges must not consume final labels.
+"""
+
+from __future__ import annotations
+
+from typing import MutableSequence, Sequence
+
+__all__ = ["flatten", "flatten_ranges"]
+
+
+def flatten(p: MutableSequence[int], count: int) -> int:
+    """Resolve equivalences in-place; return the number of final labels.
+
+    Faithful transcription of Algorithm 3. Entries ``1..count-1`` of *p*
+    are rewritten so that ``p[provisional]`` is the final label; label 0
+    (background) is untouched.
+
+    Parameters
+    ----------
+    p:
+        Equivalence array with the ``p[i] <= i`` root-minimum invariant.
+    count:
+        One past the largest provisional label allocated by the scan
+        (i.e. the scan's running label counter, whose next fresh label
+        would have been ``count``).
+
+    Returns
+    -------
+    int
+        ``K``, the number of connected components (final labels are
+        ``1..K``).
+    """
+    k = 1
+    for i in range(1, count):
+        if p[i] < i:
+            p[i] = p[p[i]]
+        else:
+            p[i] = k
+            k += 1
+    return k - 1
+
+
+def flatten_ranges(
+    p: MutableSequence[int], ranges: Sequence[tuple[int, int]]
+) -> int:
+    """Sparse FLATTEN over the allocated label ranges of a parallel scan.
+
+    PAREMSP gives thread ``t`` the provisional-label range starting at
+    ``start_t = t * chunk_rows * cols`` (Algorithm 7 line 7); after the
+    scan only a prefix ``[start_t, start_t + used_t)`` of each range is
+    allocated. Gaps contain stale values and must be skipped — running the
+    dense :func:`flatten` over them would hand final labels to unallocated
+    entries, breaking label consecutiveness.
+
+    Ranges must be disjoint and sorted ascending. Merges may point a label
+    in a later range at a root in an earlier range (boundary merging only
+    ever lowers values thanks to Rem's invariant), so ascending-order
+    processing preserves the one-pass property.
+
+    Returns the number of final labels ``K``.
+    """
+    k = 1
+    for start, stop in ranges:
+        lo = max(start, 1)  # label 0 is the background sentinel
+        for i in range(lo, stop):
+            if p[i] < i:
+                p[i] = p[p[i]]
+            else:
+                p[i] = k
+                k += 1
+    return k - 1

@@ -1,0 +1,135 @@
+"""Spanning-forest / connected-components over explicit edge lists.
+
+References [38] and [40] — the works the paper takes its union-find
+machinery from — evaluate the structures on *graph* edge streams, not
+images. This module reproduces that substrate so the union-find ablation
+benchmark exercises the structures the same way those papers did, and so
+downstream users get a general graph-components API for free.
+
+The edge-stream generators mirror the graph families [40] uses:
+random (Erdős–Rényi-style), ring/path-like (worst case for naive
+linking), and grid graphs (which is exactly what a CCL merge stream is).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence, Type
+
+import numpy as np
+
+from .base import DisjointSets
+from .remsp import RemSP
+
+__all__ = [
+    "spanning_forest",
+    "connected_components",
+    "count_components",
+    "random_edge_stream",
+    "ring_edge_stream",
+    "grid_edge_stream",
+]
+
+
+def spanning_forest(
+    n: int,
+    edges: Iterable[tuple[int, int]],
+    ds_class: Type[DisjointSets] = RemSP,
+) -> tuple[list[tuple[int, int]], DisjointSets]:
+    """Compute a spanning forest of the graph ``(range(n), edges)``.
+
+    Returns the list of tree edges (those whose endpoints were in
+    different sets when processed, in stream order) and the final
+    disjoint-set structure. This is the exact kernel [38] benchmarks.
+    """
+    ds = ds_class(n)
+    tree: list[tuple[int, int]] = []
+    for u, v in edges:
+        if ds.find(u) != ds.find(v):
+            ds.union(u, v)
+            tree.append((u, v))
+    return tree, ds
+
+
+def connected_components(
+    n: int,
+    edges: Iterable[tuple[int, int]],
+    ds_class: Type[DisjointSets] = RemSP,
+) -> np.ndarray:
+    """Component id (0-based, consecutive, ordered by smallest member) for
+    every vertex of the graph ``(range(n), edges)``."""
+    ds = ds_class(n)
+    for u, v in edges:
+        ds.union(u, v)
+    roots = np.fromiter((ds.find(i) for i in range(n)), dtype=np.int64, count=n)
+    _, ids = np.unique(roots, return_inverse=True)
+    return ids
+
+
+def count_components(
+    n: int,
+    edges: Iterable[tuple[int, int]],
+    ds_class: Type[DisjointSets] = RemSP,
+) -> int:
+    """Number of connected components of ``(range(n), edges)``."""
+    ds = ds_class(n)
+    remaining = n
+    for u, v in edges:
+        if ds.find(u) != ds.find(v):
+            ds.union(u, v)
+            remaining -= 1
+    return remaining
+
+
+def random_edge_stream(
+    n: int, m: int, seed: int | None = None
+) -> list[tuple[int, int]]:
+    """*m* uniformly random edges over *n* vertices (self-loops excluded).
+
+    The random-graph family from [40]'s experiments.
+    """
+    rng = np.random.default_rng(seed)
+    us = rng.integers(0, n, size=m + m // 4 + 8)
+    vs = rng.integers(0, n, size=m + m // 4 + 8)
+    keep = us != vs
+    us, vs = us[keep][:m], vs[keep][:m]
+    while len(us) < m:  # pathological-seed fallback
+        u = int(rng.integers(0, n))
+        v = int(rng.integers(0, n))
+        if u != v:
+            us = np.append(us, u)
+            vs = np.append(vs, v)
+    return list(zip(us.tolist(), vs.tolist()))
+
+
+def ring_edge_stream(n: int) -> list[tuple[int, int]]:
+    """Cycle graph 0-1-2-...-(n-1)-0: long-chain stress for find paths."""
+    if n < 2:
+        return []
+    edges = [(i, i + 1) for i in range(n - 1)]
+    edges.append((n - 1, 0))
+    return edges
+
+
+def grid_edge_stream(
+    rows: int, cols: int, diagonal: bool = True
+) -> list[tuple[int, int]]:
+    """Edges of an ``rows x cols`` grid graph in raster order.
+
+    With *diagonal* (default) this is the 8-connectivity neighbourhood
+    structure — the exact merge stream shape a CCL scan produces on an
+    all-foreground image.
+    """
+    edges: list[tuple[int, int]] = []
+    for r in range(rows):
+        for c in range(cols):
+            v = r * cols + c
+            if c + 1 < cols:
+                edges.append((v, v + 1))
+            if r + 1 < rows:
+                edges.append((v, v + cols))
+                if diagonal:
+                    if c + 1 < cols:
+                        edges.append((v, v + cols + 1))
+                    if c > 0:
+                        edges.append((v, v + cols - 1))
+    return edges

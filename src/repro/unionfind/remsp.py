@@ -1,0 +1,124 @@
+"""Rem's union-find with splicing (REMSP) — Algorithm 2 of the paper.
+
+Rem's algorithm (Dijkstra 1976, as analysed by Patwary, Blair, Manne [40])
+maintains the invariant that parent *values* are monotone along any path:
+``p[x] >= x`` never holds for a non-root — more precisely the walk always
+moves toward smaller parent values, so the element with the smallest index
+in a set is its root. Union integrates an *interleaved find* with the
+**splicing (SP)** compression: when the walk advances from ``rootx`` to its
+parent, ``p[rootx]`` is redirected to ``p[rooty]`` first, making the
+subtree rooted at ``rootx`` a sibling of ``rooty``. This both unites and
+flattens in a single pass and — crucially for the paper — needs *no rank or
+size arrays*, so a CCL scan can allocate labels by simply appending
+``p[count] = count``.
+
+The hot kernel :func:`merge` is a faithful transcription of Algorithm 2.
+It accepts any mutable integer sequence: the interpreter-engine CCL scans
+pass a Python ``list`` (scalar indexing on lists is ~3x faster than on
+NumPy arrays in CPython), the vectorised engines pass ``ndarray``.
+
+An important property (exploited by PAREMSP): two ``merge`` calls on
+disjoint index ranges touch disjoint memory, and [38] shows the same walk
+can be made lock-safe by guarding only the root-write — see
+:mod:`repro.unionfind.parallel`.
+"""
+
+from __future__ import annotations
+
+from typing import MutableSequence
+
+from .base import DisjointSets
+
+__all__ = ["merge", "merge_counting", "find_root", "same_set", "RemSP"]
+
+
+def merge(p: MutableSequence[int], x: int, y: int) -> int:
+    """Unite the sets containing *x* and *y*; return the surviving root.
+
+    Faithful transcription of the paper's Algorithm 2 (Rem's union with
+    splicing). The loop walks ``rootx`` and ``rooty`` upward, always
+    advancing the one whose *parent* is larger, splicing its subtree under
+    the other side's parent as it goes. Terminates when both sides see the
+    same parent (already-united case included).
+    """
+    rootx = x
+    rooty = y
+    while p[rootx] != p[rooty]:
+        if p[rootx] > p[rooty]:
+            if rootx == p[rootx]:
+                p[rootx] = p[rooty]
+                return p[rootx]
+            z = p[rootx]
+            p[rootx] = p[rooty]
+            rootx = z
+        else:
+            if rooty == p[rooty]:
+                p[rooty] = p[rootx]
+                return p[rootx]
+            z = p[rooty]
+            p[rooty] = p[rootx]
+            rooty = z
+    return p[rootx]
+
+
+def merge_counting(p: MutableSequence[int], x: int, y: int, counter) -> int:
+    """Instrumented :func:`merge`: identical semantics, but records one
+    ``uf_step`` on *counter* per loop iteration and one ``uf_merge`` per
+    call. Used by the operation-count experiments and the simulated
+    machine (see :mod:`repro.simmachine.counters`).
+    """
+    counter.uf_merge += 1
+    rootx = x
+    rooty = y
+    while p[rootx] != p[rooty]:
+        counter.uf_step += 1
+        if p[rootx] > p[rooty]:
+            if rootx == p[rootx]:
+                p[rootx] = p[rooty]
+                return p[rootx]
+            z = p[rootx]
+            p[rootx] = p[rooty]
+            rootx = z
+        else:
+            if rooty == p[rooty]:
+                p[rooty] = p[rootx]
+                return p[rootx]
+            z = p[rooty]
+            p[rooty] = p[rootx]
+            rooty = z
+    return p[rootx]
+
+
+def find_root(p: MutableSequence[int], x: int) -> int:
+    """Return the root of *x* without mutating *p*.
+
+    Rem's structure keeps the minimum element of each set as its root, so
+    the walk strictly decreases and always terminates.
+    """
+    while p[x] != x:
+        x = p[x]
+    return x
+
+
+def same_set(p: MutableSequence[int], x: int, y: int) -> bool:
+    """True iff *x* and *y* are currently in the same set (no mutation)."""
+    return find_root(p, x) == find_root(p, y)
+
+
+class RemSP(DisjointSets):
+    """Object facade over the REMSP kernels.
+
+    >>> ds = RemSP(5)
+    >>> ds.union(0, 4)
+    0
+    >>> ds.same_set(4, 0)
+    True
+    >>> ds.n_sets()
+    4
+    """
+
+    def find(self, x: int) -> int:
+        return find_root(self.p, x)
+
+    def union(self, x: int, y: int) -> int:
+        return merge(self.p, x, y)

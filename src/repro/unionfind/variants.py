@@ -1,0 +1,242 @@
+"""The wider union-find design space of Patwary, Blair, Manne (ref. [40]).
+
+The paper's central data-structure claim — "REM's implementation is best
+among all the variations" — comes from [40], which benchmarks unions
+crossed with compression techniques over graph edge streams. To make that
+claim reproducible we implement the representative corners of that space:
+
+* :class:`NaiveLink` — link root-under-root with no balancing, plain find;
+* :class:`LinkBySize` — weighted union, full path compression;
+* :class:`LinkByRankPH` — link-by-rank with *path halving*;
+* :class:`LinkByRankPS` — link-by-rank with *path splitting*;
+* :class:`QuickFind` — eager representative array (O(1) find, O(n) union),
+  the classic strawman;
+* :class:`RemPS` — Rem's walk with *path splitting* instead of splicing
+  (shows splicing's edge is real but small).
+
+Together with :class:`~repro.unionfind.remsp.RemSP` and
+:class:`~repro.unionfind.lrpc.LinkByRankPC` these power
+``benchmarks/bench_unionfind.py`` (the ablation row of the experiment
+index in DESIGN.md).
+
+All classes follow the "minimum index survives as representative" CCL
+convention where cheap to do, but only :class:`RemSP`,
+:class:`LinkByRankPC` and :class:`LinkBySize` guarantee the
+``p[i] <= i`` invariant FLATTEN needs; the registry in
+:mod:`repro.ccl.registry` only wires those into CCL drivers.
+"""
+
+from __future__ import annotations
+
+from .base import DisjointSets
+
+__all__ = [
+    "NaiveLink",
+    "LinkBySize",
+    "LinkByRankPH",
+    "LinkByRankPS",
+    "QuickFind",
+    "RemPS",
+    "ALL_VARIANTS",
+]
+
+
+class NaiveLink(DisjointSets):
+    """Unbalanced linking, no compression. O(n) worst-case find."""
+
+    def find(self, x: int) -> int:
+        p = self.p
+        while p[x] != x:
+            x = p[x]
+        return x
+
+    def union(self, x: int, y: int) -> int:
+        rx, ry = self.find(x), self.find(y)
+        if rx == ry:
+            return rx
+        lo, hi = (rx, ry) if rx < ry else (ry, rx)
+        self.p[hi] = lo
+        return lo
+
+
+class LinkBySize(DisjointSets):
+    """Weighted (by set size) union with full path compression.
+
+    The representative returned is the set minimum (the structural root may
+    differ transiently, but we re-link so the minimum stays the root, as
+    CCL labeling requires).
+    """
+
+    def __init__(self, n: int) -> None:
+        super().__init__(n)
+        self.size: list[int] = [1] * n
+
+    def add(self) -> int:
+        self.size.append(1)
+        return super().add()
+
+    def find(self, x: int) -> int:
+        p = self.p
+        root = x
+        while p[root] != root:
+            root = p[root]
+        while p[x] != root:
+            nxt = p[x]
+            p[x] = root
+            x = nxt
+        return root
+
+    def union(self, x: int, y: int) -> int:
+        rx, ry = self.find(x), self.find(y)
+        if rx == ry:
+            return rx
+        lo, hi = (rx, ry) if rx < ry else (ry, rx)
+        self.p[hi] = lo
+        self.size[lo] += self.size[hi]
+        return lo
+
+
+class _RankBase(DisjointSets):
+    """Shared rank bookkeeping for the path-halving/splitting variants."""
+
+    def __init__(self, n: int) -> None:
+        super().__init__(n)
+        self.rank: list[int] = [0] * n
+
+    def add(self) -> int:
+        self.rank.append(0)
+        return super().add()
+
+    def union(self, x: int, y: int) -> int:
+        rx, ry = self.find(x), self.find(y)
+        if rx == ry:
+            return rx
+        if self.rank[rx] < self.rank[ry]:
+            rx, ry = ry, rx
+        self.p[ry] = rx
+        if self.rank[rx] == self.rank[ry]:
+            self.rank[rx] += 1
+        return rx
+
+
+class LinkByRankPH(_RankBase):
+    """Link-by-rank union with *path halving* find.
+
+    Path halving makes every other node on the walk point to its
+    grandparent — one pass, no second loop, same amortised bound as full
+    compression.
+    """
+
+    def find(self, x: int) -> int:
+        p = self.p
+        while p[x] != x:
+            p[x] = p[p[x]]
+            x = p[x]
+        return x
+
+
+class LinkByRankPS(_RankBase):
+    """Link-by-rank union with *path splitting* find.
+
+    Path splitting makes *every* node on the walk point to its grandparent
+    (the walk itself still advances one step at a time).
+    """
+
+    def find(self, x: int) -> int:
+        p = self.p
+        while p[x] != x:
+            nxt = p[x]
+            p[x] = p[nxt]  # split: point the node we leave at its
+            x = nxt  # grandparent, then advance one step
+        return x
+
+
+class QuickFind(DisjointSets):
+    """Eager representative array: find is one read, union rewrites the
+    smaller... no — rewrites the *whole* losing set. The classic O(n)
+    strawman; included to anchor the ablation's slow end."""
+
+    def __init__(self, n: int) -> None:
+        super().__init__(n)
+        self._members: list[list[int]] = [[i] for i in range(n)]
+
+    def add(self) -> int:
+        i = super().add()
+        self._members.append([i])
+        return i
+
+    def find(self, x: int) -> int:
+        return self.p[x]
+
+    def union(self, x: int, y: int) -> int:
+        rx, ry = self.p[x], self.p[y]
+        if rx == ry:
+            return rx
+        lo, hi = (rx, ry) if rx < ry else (ry, rx)
+        for m in self._members[hi]:
+            self.p[m] = lo
+        self._members[lo].extend(self._members[hi])
+        self._members[hi] = []
+        return lo
+
+
+class RemPS(DisjointSets):
+    """Rem's interleaved walk with *path splitting* instead of splicing.
+
+    [40] evaluates both Rem-SP (splicing) and Rem-PS; keeping both lets the
+    ablation benchmark show the compression technique in isolation from
+    the walk.
+    """
+
+    def find(self, x: int) -> int:
+        p = self.p
+        while p[x] != x:
+            x = p[x]
+        return x
+
+    def union(self, x: int, y: int) -> int:
+        p = self.p
+        rootx, rooty = x, y
+        while p[rootx] != p[rooty]:
+            if p[rootx] > p[rooty]:
+                if rootx == p[rootx]:
+                    p[rootx] = p[rooty]
+                    return p[rootx]
+                # path splitting: advance, pointing the node we leave at
+                # the *other* side's parent's parent is not defined here;
+                # classic Rem-PS points it at its own grandparent.
+                z = p[rootx]
+                p[rootx] = p[z]
+                rootx = z
+            else:
+                if rooty == p[rooty]:
+                    p[rooty] = p[rootx]
+                    return p[rootx]
+                z = p[rooty]
+                p[rooty] = p[z]
+                rooty = z
+        return p[rootx]
+
+
+#: name -> class, for the ablation benchmark and parameterised tests.
+ALL_VARIANTS = {
+    "rem-sp": None,  # filled below to avoid a circular import at top
+    "rem-ps": RemPS,
+    "lrpc": None,
+    "link-size-pc": LinkBySize,
+    "link-rank-ph": LinkByRankPH,
+    "link-rank-ps": LinkByRankPS,
+    "naive": NaiveLink,
+    "quick-find": QuickFind,
+}
+
+
+def _register_core() -> None:
+    from .lrpc import LinkByRankPC
+    from .remsp import RemSP
+
+    ALL_VARIANTS["rem-sp"] = RemSP
+    ALL_VARIANTS["lrpc"] = LinkByRankPC
+
+
+_register_core()

@@ -1,0 +1,40 @@
+"""Ground-truth oracles and labeling-equivalence checks.
+
+Every CCL implementation in this repository is validated against *two*
+independent oracles:
+
+* :func:`~repro.verify.oracle.flood_fill_label` — a from-scratch BFS
+  flood fill (shares no code with the two-pass algorithms);
+* :func:`~repro.verify.scipy_oracle.scipy_label` — ``scipy.ndimage.label``
+  when SciPy is importable (skipped otherwise).
+
+Because different algorithms may hand out labels in different orders, the
+meaningful correctness notion is *partition equality* — see
+:func:`~repro.verify.equivalence.labelings_equivalent`. The paper's
+FLATTEN additionally pins labels to ``1..K`` in raster first-appearance
+order; :func:`~repro.verify.equivalence.is_canonical_labeling` checks that
+stronger contract.
+"""
+
+from .equivalence import (
+    canonicalize_labeling,
+    is_canonical_labeling,
+    labelings_equivalent,
+)
+from .gray_oracle import gray_flood_fill_label
+from .oracle import flood_fill_label
+from .scipy_oracle import have_scipy, scipy_label
+from .validate import ValidationFailure, assert_valid_result, validate_labels
+
+__all__ = [
+    "flood_fill_label",
+    "gray_flood_fill_label",
+    "scipy_label",
+    "have_scipy",
+    "labelings_equivalent",
+    "is_canonical_labeling",
+    "canonicalize_labeling",
+    "assert_valid_result",
+    "validate_labels",
+    "ValidationFailure",
+]

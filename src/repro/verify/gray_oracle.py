@@ -1,0 +1,56 @@
+"""BFS oracle for grayscale (similar-value) region labeling.
+
+Independent reference for :mod:`repro.ccl.grayscale`: regions are the
+connected components of the graph whose edges join adjacent pixels with
+``|v(a) - v(b)| <= tolerance``. Labels are ``1..K`` in raster
+first-appearance order; every pixel is labeled (no background).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+import numpy as np
+
+from ..types import LABEL_DTYPE
+from .oracle import NEIGHBORS_4, NEIGHBORS_8
+
+__all__ = ["gray_flood_fill_label"]
+
+
+def gray_flood_fill_label(
+    image: np.ndarray,
+    connectivity: int = 8,
+    tolerance: float = 0,
+) -> tuple[np.ndarray, int]:
+    """Label similar-valued regions by BFS flood fill."""
+    img = np.asarray(image)
+    rows, cols = img.shape
+    offsets = NEIGHBORS_8 if connectivity == 8 else NEIGHBORS_4
+    vals = img.tolist()
+    labels = [[0] * cols for _ in range(rows)]
+    next_label = 0
+    queue: deque[tuple[int, int]] = deque()
+    for r0 in range(rows):
+        for c0 in range(cols):
+            if labels[r0][c0] == 0:
+                next_label += 1
+                labels[r0][c0] = next_label
+                queue.append((r0, c0))
+                while queue:
+                    r, c = queue.popleft()
+                    v = vals[r][c]
+                    for dr, dc in offsets:
+                        nr, nc = r + dr, c + dc
+                        if (
+                            0 <= nr < rows
+                            and 0 <= nc < cols
+                            and labels[nr][nc] == 0
+                            and abs(vals[nr][nc] - v) <= tolerance
+                        ):
+                            labels[nr][nc] = next_label
+                            queue.append((nr, nc))
+    return (
+        np.asarray(labels, dtype=LABEL_DTYPE).reshape(rows, cols),
+        next_label,
+    )

@@ -1,0 +1,50 @@
+"""Optional second oracle backed by :func:`scipy.ndimage.label`.
+
+SciPy's implementation is an entirely independent C codebase, which gives
+the test suite a third opinion (library vs flood fill vs scipy). SciPy is
+an optional dependency: :func:`have_scipy` lets tests skip gracefully.
+
+Note ``scipy.ndimage.label`` numbers components in its own scan order,
+which for 8-connectivity coincides with raster first-appearance order —
+but we do not rely on that: comparisons against this oracle go through
+:func:`repro.verify.equivalence.labelings_equivalent`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..types import LABEL_DTYPE, Connectivity, as_binary_image
+
+__all__ = ["have_scipy", "scipy_label"]
+
+
+def have_scipy() -> bool:
+    """True if scipy.ndimage is importable in this environment."""
+    try:
+        import scipy.ndimage  # noqa: F401
+    except ImportError:
+        return False
+    return True
+
+
+def scipy_label(
+    image: np.ndarray,
+    connectivity: Connectivity | int = Connectivity.EIGHT,
+) -> tuple[np.ndarray, int]:
+    """Label *image* with ``scipy.ndimage.label``.
+
+    Raises :class:`ImportError` if SciPy is unavailable — call
+    :func:`have_scipy` first in optional contexts.
+    """
+    from scipy import ndimage
+
+    img = as_binary_image(image)
+    if Connectivity(connectivity) is Connectivity.EIGHT:
+        structure = np.ones((3, 3), dtype=bool)
+    else:
+        structure = np.array(
+            [[0, 1, 0], [1, 1, 1], [0, 1, 0]], dtype=bool
+        )
+    labels, n = ndimage.label(img, structure=structure)
+    return labels.astype(LABEL_DTYPE), int(n)

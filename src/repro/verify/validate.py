@@ -1,0 +1,96 @@
+"""One-call validation of a labeling result against all invariants.
+
+For downstream users extending this library (a new scan, a new backend,
+their own engine), :func:`assert_valid_result` bundles every contract
+the test suite enforces into one callable assertion:
+
+1. label image shape/dtype and background preservation;
+2. consecutive labels ``1..n_components``;
+3. partition equality against the BFS flood-fill oracle;
+4. internal consistency of the result's own metadata.
+
+Raises :class:`ValidationFailure` (an ``AssertionError`` subclass, so
+plain ``pytest`` semantics apply) describing the first violated
+invariant.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..types import LABEL_DTYPE, as_binary_image
+from .equivalence import labelings_equivalent
+from .oracle import flood_fill_label
+
+__all__ = ["ValidationFailure", "assert_valid_result", "validate_labels"]
+
+
+class ValidationFailure(AssertionError):
+    """A labeling result violated one of the library's contracts."""
+
+
+def _fail(message: str) -> None:
+    raise ValidationFailure(message)
+
+
+def validate_labels(
+    labels: np.ndarray,
+    image: np.ndarray,
+    n_components: int | None = None,
+    connectivity: int = 8,
+) -> int:
+    """Validate a raw label image against *image*; return the component
+    count (useful when the caller did not track it)."""
+    img = as_binary_image(image)
+    labels = np.asarray(labels)
+    if labels.shape != img.shape:
+        _fail(
+            f"label shape {labels.shape} does not match image shape "
+            f"{img.shape}"
+        )
+    if labels.size and labels.min() < 0:
+        _fail("negative labels present")
+    if not np.array_equal(labels == 0, img == 0):
+        _fail("background mask differs from the image's zero pixels")
+    positive = np.unique(labels[labels > 0])
+    k = len(positive)
+    if k and not (positive[0] == 1 and positive[-1] == k):
+        _fail(
+            f"labels are not consecutive 1..{k}: found "
+            f"{positive[:8].tolist()}..."
+        )
+    if n_components is not None and n_components != k:
+        _fail(
+            f"declared n_components={n_components} but {k} distinct "
+            "labels present"
+        )
+    expected, n_expected = flood_fill_label(img, connectivity)
+    if k != n_expected:
+        _fail(
+            f"component count {k} differs from the oracle's {n_expected}"
+        )
+    if not labelings_equivalent(labels, expected):
+        _fail("labeling induces a different partition than the oracle")
+    return k
+
+
+def assert_valid_result(result, image: np.ndarray, connectivity: int = 8) -> None:
+    """Validate a :class:`~repro.ccl.labeling.CCLResult` end to end.
+
+    >>> import numpy as np, repro
+    >>> img = np.eye(4, dtype=np.uint8)
+    >>> assert_valid_result(repro.ccl.aremsp(img), img)
+    """
+    if result.labels.dtype != LABEL_DTYPE:
+        _fail(
+            f"labels dtype {result.labels.dtype} != canonical "
+            f"{np.dtype(LABEL_DTYPE)}"
+        )
+    validate_labels(result.labels, image, result.n_components, connectivity)
+    if result.provisional_count < result.n_components:
+        _fail(
+            f"provisional_count {result.provisional_count} < "
+            f"n_components {result.n_components}"
+        )
+    if any(v < 0 for v in result.phase_seconds.values()):
+        _fail("negative phase timing")

@@ -1,0 +1,27 @@
+"""3-D connected-component labeling.
+
+The paper's related work spans 3-D labeling (Lumia [16], Hu et al. [6],
+Knop & Rego [7]); this subpackage extends the library's run-based engine
+to volumes, with the three standard voxel connectivities:
+
+* **6** — face neighbours;
+* **18** — face + edge neighbours;
+* **26** — the full 3x3x3 cube.
+
+:func:`~repro.volume.labeling3d.volume_label` is the vectorised
+production entry point (runs along the x axis, matched across the
+preceding scan lines of the same and previous slice);
+:func:`~repro.volume.oracle.flood_fill_label_3d` is the independent BFS
+oracle the tests verify against (alongside ``scipy.ndimage``).
+"""
+
+from .labeling3d import VOLUME_CONNECTIVITIES, volume_label
+from .oracle import flood_fill_label_3d
+from .parallel3d import volume_label_slabs
+
+__all__ = [
+    "volume_label",
+    "volume_label_slabs",
+    "flood_fill_label_3d",
+    "VOLUME_CONNECTIVITIES",
+]

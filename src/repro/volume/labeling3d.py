@@ -1,0 +1,160 @@
+"""Vectorised run-based 3-D labeling.
+
+A volume is a stack of scan lines (one per ``(z, y)``); runs along the
+x axis are extracted exactly as in the 2-D engine (the volume is viewed
+as a ``(Z*Y, X)`` image — padding guarantees runs never cross lines).
+Each run is then matched against the runs of its *preceding* neighbour
+lines; which lines those are, and how far the column overlap reaches,
+encodes the connectivity:
+
+============ ============================== =====================
+Connectivity preceding neighbour lines      column reach
+============ ============================== =====================
+6            (z, y-1), (z-1, y)             0 (exact overlap)
+18           (z, y-1), (z-1, y)             1
+...          (z-1, y-1), (z-1, y+1)         0
+26           (z, y-1), (z-1, y-1),          1
+...          (z-1, y), (z-1, y+1)
+============ ============================== =====================
+
+(derivation: an offset ``(dz, dy, dx)`` is a neighbour when it has at
+most 1/2/3 nonzero coordinates for 6/18/26; ``dx`` freedom becomes the
+column reach of the line at ``(dz, dy)``).
+
+Unions run on run ids through REMSP, the analysis phase is the shared
+FLATTEN, and painting is a single ``repeat`` gather — the same
+three-phase structure as every two-pass algorithm in this library.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from ..ccl.run_based import extract_runs
+from ..errors import ImageFormatError
+from ..types import LABEL_DTYPE, PIXEL_DTYPE
+from ..unionfind.flatten import flatten
+from ..unionfind.remsp import merge as remsp_merge
+from ..ccl.labeling import CCLResult
+
+__all__ = ["volume_label", "VOLUME_CONNECTIVITIES", "line_offsets"]
+
+#: supported voxel connectivities.
+VOLUME_CONNECTIVITIES = (6, 18, 26)
+
+
+def line_offsets(connectivity: int) -> tuple[tuple[int, int, int], ...]:
+    """Preceding neighbour lines as ``(dz, dy, reach)`` triples."""
+    if connectivity == 6:
+        return ((0, -1, 0), (-1, 0, 0))
+    if connectivity == 18:
+        return ((0, -1, 1), (-1, 0, 1), (-1, -1, 0), (-1, 1, 0))
+    if connectivity == 26:
+        return ((0, -1, 1), (-1, -1, 1), (-1, 0, 1), (-1, 1, 1))
+    raise ValueError(
+        f"3-D connectivity must be one of {VOLUME_CONNECTIVITIES}, "
+        f"got {connectivity}"
+    )
+
+
+def volume_label(
+    volume: np.ndarray, connectivity: int = 26
+) -> CCLResult:
+    """Label foreground components of a binary 3-D volume.
+
+    Returns a :class:`~repro.ccl.labeling.CCLResult` whose ``labels``
+    array is 3-D; labels are consecutive ``1..K`` in (z, y, x) raster
+    first-appearance order of each component's first *run*.
+
+    >>> import numpy as np
+    >>> v = np.zeros((2, 2, 2), dtype=np.uint8)
+    >>> v[0, 0, 0] = v[1, 1, 1] = 1
+    >>> int(volume_label(v, 26).n_components)
+    1
+    >>> int(volume_label(v, 6).n_components)
+    2
+    """
+    offsets = line_offsets(connectivity)
+    vol = np.asarray(volume)
+    if vol.ndim != 3:
+        raise ImageFormatError(f"expected a 3-D volume, got shape {vol.shape!r}")
+    if vol.dtype == np.bool_:
+        vol = vol.astype(PIXEL_DTYPE)
+    Z, Y, X = vol.shape
+    t0 = time.perf_counter()
+    if vol.size == 0:
+        return CCLResult(
+            labels=np.zeros((Z, Y, X), dtype=LABEL_DTYPE),
+            n_components=0,
+            provisional_count=0,
+            phase_seconds={"scan": 0.0, "flatten": 0.0, "label": 0.0},
+            algorithm=f"volume-{connectivity}",
+        )
+    lines = np.ascontiguousarray(vol.reshape(Z * Y, X))
+    run_line, run_s, run_e = extract_runs(lines)
+    n_runs = len(run_s)
+    p: list[int] = list(range(n_runs + 1))
+    W = X + 2
+    n_lines = Z * Y
+    if n_runs:
+        s_keys = run_line * W + run_s
+        e_keys = run_line * W + run_e
+        line_begin = np.searchsorted(run_line, np.arange(n_lines), "left")
+        line_end = np.searchsorted(run_line, np.arange(n_lines), "right")
+        run_z = run_line // Y
+        run_y = run_line - run_z * Y
+        for dz, dy, reach in offsets:
+            nz = run_z + dz
+            ny = run_y + dy
+            valid = (nz >= 0) & (ny >= 0) & (ny < Y)
+            idx = np.flatnonzero(valid)
+            if not len(idx):
+                continue
+            target = nz[idx] * Y + ny[idx]
+            base = target * W
+            first = np.searchsorted(
+                e_keys, base + run_s[idx] - reach, side="right"
+            )
+            last = np.searchsorted(
+                s_keys, base + run_e[idx] + reach, side="left"
+            )
+            first = np.maximum(first, line_begin[target])
+            last = np.minimum(last, line_end[target])
+            counts = np.maximum(0, last - first)
+            total = int(counts.sum())
+            if not total:
+                continue
+            cum = np.cumsum(counts)
+            ii = np.repeat(idx, counts)
+            jj = np.arange(total) - np.repeat(cum - counts, counts)
+            jj += np.repeat(first, counts)
+            for u, v in zip((ii + 1).tolist(), (jj + 1).tolist()):
+                remsp_merge(p, u, v)
+    t1 = time.perf_counter()
+    n_components = flatten(p, n_runs + 1)
+    t2 = time.perf_counter()
+    flat = np.zeros(n_lines * W, dtype=LABEL_DTYPE)
+    if n_runs:
+        lut = np.asarray(p, dtype=LABEL_DTYPE)
+        final = lut[1 : n_runs + 1]
+        lengths = run_e - run_s
+        total_px = int(lengths.sum())
+        flat_starts = run_line * W + run_s + 1
+        cum = np.cumsum(lengths)
+        within = np.arange(total_px) - np.repeat(cum - lengths, lengths)
+        flat[np.repeat(flat_starts, lengths) + within] = np.repeat(
+            final, lengths
+        )
+    labels = np.ascontiguousarray(
+        flat.reshape(n_lines, W)[:, 1 : X + 1].reshape(Z, Y, X)
+    )
+    t3 = time.perf_counter()
+    return CCLResult(
+        labels=labels,
+        n_components=n_components,
+        provisional_count=n_runs,
+        phase_seconds={"scan": t1 - t0, "flatten": t2 - t1, "label": t3 - t2},
+        algorithm=f"volume-{connectivity}",
+    )

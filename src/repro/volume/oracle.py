@@ -1,0 +1,74 @@
+"""Reference 3-D CCL by BFS flood fill (6/18/26-connectivity)."""
+
+from __future__ import annotations
+
+from collections import deque
+
+import numpy as np
+
+from ..errors import ImageFormatError
+from ..types import LABEL_DTYPE
+
+__all__ = ["flood_fill_label_3d", "neighbor_offsets_3d"]
+
+
+def neighbor_offsets_3d(connectivity: int) -> tuple[tuple[int, int, int], ...]:
+    """All neighbour offsets of the given 3-D connectivity.
+
+    6 = offsets with one nonzero coordinate, 18 = at most two, 26 = any
+    nonzero offset in the 3x3x3 cube.
+    """
+    if connectivity not in (6, 18, 26):
+        raise ValueError(f"3-D connectivity must be 6, 18 or 26, got {connectivity}")
+    max_nonzero = {6: 1, 18: 2, 26: 3}[connectivity]
+    out = []
+    for dz in (-1, 0, 1):
+        for dy in (-1, 0, 1):
+            for dx in (-1, 0, 1):
+                nz = (dz != 0) + (dy != 0) + (dx != 0)
+                if 1 <= nz <= max_nonzero:
+                    out.append((dz, dy, dx))
+    return tuple(out)
+
+
+def flood_fill_label_3d(
+    volume: np.ndarray, connectivity: int = 26
+) -> tuple[np.ndarray, int]:
+    """Label foreground components of a 3-D binary volume by BFS.
+
+    Labels are ``1..K`` in raster (z, y, x) first-appearance order.
+    """
+    vol = np.asarray(volume)
+    if vol.ndim != 3:
+        raise ImageFormatError(f"expected a 3-D volume, got shape {vol.shape!r}")
+    offsets = neighbor_offsets_3d(connectivity)
+    Z, Y, X = vol.shape
+    labels = np.zeros((Z, Y, X), dtype=LABEL_DTYPE)
+    vol_l = vol.tolist()
+    lab_l = labels.tolist()
+    next_label = 0
+    queue: deque[tuple[int, int, int]] = deque()
+    for z0 in range(Z):
+        for y0 in range(Y):
+            for x0 in range(X):
+                if vol_l[z0][y0][x0] and lab_l[z0][y0][x0] == 0:
+                    next_label += 1
+                    lab_l[z0][y0][x0] = next_label
+                    queue.append((z0, y0, x0))
+                    while queue:
+                        z, y, x = queue.popleft()
+                        for dz, dy, dx in offsets:
+                            nz, ny, nx = z + dz, y + dy, x + dx
+                            if (
+                                0 <= nz < Z
+                                and 0 <= ny < Y
+                                and 0 <= nx < X
+                                and vol_l[nz][ny][nx]
+                                and lab_l[nz][ny][nx] == 0
+                            ):
+                                lab_l[nz][ny][nx] = next_label
+                                queue.append((nz, ny, nx))
+    return (
+        np.asarray(lab_l, dtype=LABEL_DTYPE).reshape(Z, Y, X),
+        next_label,
+    )

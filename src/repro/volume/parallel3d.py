@@ -1,0 +1,136 @@
+"""Slab-parallel 3-D labeling — PAREMSP's decomposition lifted to volumes.
+
+Algorithm 7's row-chunk strategy generalises directly: the volume is cut
+into z-slabs, each slab labeled independently (vectorised run engine),
+and the slab seams stitched by merging the boundary *planes*. A plane
+seam is the 3-D analogue of the paper's boundary row: a voxel in a
+slab's first plane unions with the up-to-nine 26-neighbours in the
+previous slab's last plane, all extracted vectorially as edge lists.
+
+Like the tiled 2-D driver, this is the coordination layer the paper's
+approach needs for volumes; the slab scans are embarrassingly parallel
+and the seam work is O(surface), not O(volume) — the same
+merge-is-negligible structure Figure 5 demonstrates in 2-D.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from ..ccl.labeling import CCLResult
+from ..types import LABEL_DTYPE
+from ..unionfind.flatten import flatten
+from ..unionfind.remsp import merge as remsp_merge
+from .labeling3d import volume_label
+from .oracle import neighbor_offsets_3d
+
+__all__ = ["volume_label_slabs"]
+
+
+def _plane_edges(
+    upper_labels: np.ndarray,
+    lower_labels: np.ndarray,
+    connectivity: int,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Label pairs connected across two adjacent z-planes.
+
+    *upper* is the last plane of slab k-1, *lower* the first plane of
+    slab k; offsets are the (dy, dx) with (-1, dy, dx) a voxel
+    neighbour under *connectivity*.
+    """
+    offs = [
+        (dy, dx)
+        for dz, dy, dx in neighbor_offsets_3d(connectivity)
+        if dz == -1
+    ]
+    us = []
+    vs = []
+    Y, X = lower_labels.shape
+    for dy, dx in offs:
+        # lower[y, x] vs upper[y + dy, x + dx]
+        ly0, ly1 = max(0, -dy), Y - max(0, dy)
+        lx0, lx1 = max(0, -dx), X - max(0, dx)
+        uy0, uy1 = max(0, dy), Y - max(0, -dy)
+        ux0, ux1 = max(0, dx), X - max(0, -dx)
+        lo = lower_labels[ly0:ly1, lx0:lx1]
+        up = upper_labels[uy0:uy1, ux0:ux1]
+        hit = (lo > 0) & (up > 0)
+        if hit.any():
+            us.append(lo[hit])
+            vs.append(up[hit])
+    if not us:
+        e = np.zeros(0, dtype=np.int64)
+        return e, e
+    u = np.concatenate(us)
+    v = np.concatenate(vs)
+    # deduplicate pairs: seam planes repeat the same label pair many
+    # times; unions are idempotent but the interpreter loop is not free.
+    key = u.astype(np.int64) * (max(int(v.max()), 1) + 1) + v
+    _, keep = np.unique(key, return_index=True)
+    return u[keep], v[keep]
+
+
+def volume_label_slabs(
+    volume: np.ndarray,
+    n_slabs: int = 4,
+    connectivity: int = 26,
+) -> CCLResult:
+    """Label a 3-D volume slab by slab (partition identical to
+    :func:`~repro.volume.labeling3d.volume_label`).
+
+    >>> import numpy as np
+    >>> v = np.ones((8, 4, 4), dtype=np.uint8)
+    >>> int(volume_label_slabs(v, n_slabs=3).n_components)
+    1
+    """
+    if n_slabs < 1:
+        raise ValueError(f"need at least one slab, got {n_slabs}")
+    vol = np.asarray(volume)
+    Z = vol.shape[0]
+    n_slabs = max(1, min(n_slabs, max(1, Z)))
+    bounds = np.linspace(0, Z, n_slabs + 1).astype(int)
+
+    t0 = time.perf_counter()
+    labels = np.zeros(vol.shape, dtype=LABEL_DTYPE)
+    count = 1
+    seams: list[int] = []
+    for a, b in zip(bounds[:-1], bounds[1:]):
+        if a == b:
+            continue
+        if a > 0:
+            seams.append(int(a))
+        local = volume_label(vol[a:b], connectivity)
+        if local.n_components:
+            labels[a:b] = np.where(
+                local.labels > 0, local.labels + (count - 1), 0
+            )
+            count += local.n_components
+    t1 = time.perf_counter()
+    p: list[int] = list(range(count))
+    seam_unions = 0
+    for z in seams:
+        u, v = _plane_edges(labels[z - 1], labels[z], connectivity)
+        seam_unions += len(u)
+        for x, y in zip(u.tolist(), v.tolist()):
+            remsp_merge(p, x, y)
+    t2 = time.perf_counter()
+    n_components = flatten(p, count)
+    t3 = time.perf_counter()
+    lut = np.asarray(p, dtype=LABEL_DTYPE)
+    final = lut[labels]
+    t4 = time.perf_counter()
+    return CCLResult(
+        labels=final,
+        n_components=n_components,
+        provisional_count=count - 1,
+        phase_seconds={
+            "scan": t1 - t0,
+            "merge": t2 - t1,
+            "flatten": t3 - t2,
+            "label": t4 - t3,
+        },
+        algorithm="volume-slabs",
+        meta={"n_slabs": len(bounds) - 1, "seam_unions": seam_unions},
+    )

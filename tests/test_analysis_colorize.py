@@ -1,0 +1,72 @@
+"""Label colorization."""
+
+from __future__ import annotations
+
+import io
+
+import numpy as np
+import pytest
+
+from repro.analysis import colorize_labels, distinct_colors
+from repro.data.pnm import read_pnm, write_pnm
+from repro.verify import flood_fill_label
+
+
+def test_background_black_by_default():
+    labels = np.array([[0, 1], [1, 0]])
+    rgb = colorize_labels(labels)
+    assert rgb.shape == (2, 2, 3)
+    assert rgb[0, 0].tolist() == [0, 0, 0]
+    assert rgb[0, 1].tolist() != [0, 0, 0]
+
+
+def test_custom_background():
+    labels = np.zeros((2, 2), dtype=int)
+    rgb = colorize_labels(labels, background=(255, 255, 255))
+    assert (rgb == 255).all()
+
+
+def test_same_label_same_color_everywhere(rng):
+    img = (rng.random((16, 16)) < 0.5).astype(np.uint8)
+    labels, k = flood_fill_label(img, 8)
+    rgb = colorize_labels(labels)
+    for comp in range(1, min(k, 5) + 1):
+        pix = rgb[labels == comp]
+        assert (pix == pix[0]).all()
+
+
+def test_colors_stable_across_calls():
+    a = colorize_labels(np.array([[1, 2, 3]]))
+    b = colorize_labels(np.array([[3, 0, 0]]))
+    assert a[0, 2].tolist() == b[0, 0].tolist()
+
+
+def test_distinct_colors_are_distinct():
+    palette = distinct_colors(64)
+    assert palette.shape == (64, 3)
+    assert len({tuple(c) for c in palette.tolist()}) == 64
+    # pairwise separation of consecutive entries (golden-angle property)
+    diffs = np.abs(palette[1:].astype(int) - palette[:-1].astype(int)).sum(1)
+    assert (diffs > 40).all()
+
+
+def test_distinct_colors_validation():
+    with pytest.raises(ValueError):
+        distinct_colors(-1)
+    assert distinct_colors(0).shape == (0, 3)
+
+
+def test_colorized_labels_roundtrip_as_ppm(rng):
+    """The visualisation pipeline: label -> colorize -> PPM -> read."""
+    img = (rng.random((12, 12)) < 0.5).astype(np.uint8)
+    labels, _ = flood_fill_label(img, 8)
+    rgb = colorize_labels(labels)
+    buf = io.BytesIO()
+    write_pnm(buf, rgb)
+    buf.seek(0)
+    assert np.array_equal(read_pnm(buf), rgb)
+
+
+def test_empty_labels():
+    rgb = colorize_labels(np.zeros((0, 0), dtype=int))
+    assert rgb.shape == (0, 0, 3)

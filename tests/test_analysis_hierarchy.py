@@ -1,0 +1,115 @@
+"""Containment hierarchy: nesting depths, parents, children."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis import component_tree, holes_count
+
+
+def _nested_rings(levels: int, unit: int = 2) -> np.ndarray:
+    """Concentric square rings: level k ring at depth k."""
+    size = levels * 4 * unit + unit
+    img = np.zeros((size, size), dtype=np.uint8)
+    for k in range(levels):
+        a = k * 2 * unit
+        b = size - a
+        img[a : a + unit, a:b] = 1
+        img[b - unit : b, a:b] = 1
+        img[a:b, a : a + unit] = 1
+        img[a:b, b - unit : b] = 1
+    return img
+
+
+def test_flat_components_depth_zero(rng):
+    img = np.zeros((8, 12), dtype=np.uint8)
+    img[1:3, 1:3] = 1
+    img[5:7, 8:11] = 1
+    tree = component_tree(img)
+    assert tree.n_components == 2
+    assert tree.fg_depth.tolist() == [0, 0]
+    assert tree.top_level() == [1, 2]
+    assert tree.max_depth == 0
+
+
+def test_dot_in_ring():
+    ring = np.ones((5, 5), dtype=np.uint8)
+    ring[1:4, 1:4] = 0
+    ring[2, 2] = 1
+    tree = component_tree(ring)
+    assert tree.n_components == 2
+    assert tree.fg_depth.tolist() == [0, 1]
+    assert tree.children_of(1) == [2]
+    assert tree.children_of(2) == []
+    assert tree.top_level() == [1]
+
+
+@pytest.mark.parametrize("levels", [1, 2, 3])
+def test_nested_rings_depths(levels):
+    img = _nested_rings(levels)
+    tree = component_tree(img)
+    assert tree.n_components == levels
+    assert sorted(tree.fg_depth.tolist()) == list(range(levels))
+    assert tree.max_depth == levels - 1
+
+
+def test_two_children_in_one_hole():
+    img = np.ones((7, 9), dtype=np.uint8)
+    img[1:6, 1:8] = 0
+    img[3, 2] = 1
+    img[3, 6] = 1
+    tree = component_tree(img)
+    assert tree.n_components == 3
+    assert sorted(tree.children_of(1)) == [2, 3]
+    assert tree.fg_depth.tolist() == [0, 1, 1]
+
+
+def test_region_parents_consistent_with_holes(rng):
+    """Every non-border background region's parent must be a real
+    component, and their count must equal holes_count."""
+    from repro.data import blobs
+
+    img = blobs((40, 40), 0.5, seed=12)
+    tree = component_tree(img)
+    enclosed = tree.region_parent_component > 0
+    assert int(enclosed.sum()) == holes_count(img)
+    for j in np.flatnonzero(enclosed):
+        assert 1 <= tree.region_parent_component[j] <= tree.n_components
+
+
+def test_children_partition(rng):
+    """Every component is a child of exactly one parent (or top level)."""
+    from repro.data import maze
+
+    img = maze((30, 30), 0.5, seed=4)
+    tree = component_tree(img)
+    seen: list[int] = list(tree.top_level())
+    for comp in range(1, tree.n_components + 1):
+        seen.extend(tree.children_of(comp))
+    assert sorted(seen) == list(range(1, tree.n_components + 1))
+
+
+def test_empty_and_blank():
+    tree = component_tree(np.zeros((0, 0), dtype=np.uint8))
+    assert tree.n_components == 0
+    tree = component_tree(np.zeros((5, 5), dtype=np.uint8))
+    assert tree.n_components == 0
+    assert tree.n_regions == 1  # one outside region
+
+
+def test_full_image_component():
+    tree = component_tree(np.ones((4, 4), dtype=np.uint8))
+    assert tree.n_components == 1
+    assert tree.fg_depth.tolist() == [0]
+    assert tree.n_regions == 0
+
+
+def test_4_connectivity_duality():
+    """4-connected components with an 8-connected background: the
+    checkerboard has no holes under this duality."""
+    from repro.data import checkerboard
+
+    img = checkerboard((6, 6))
+    tree = component_tree(img, connectivity=4)
+    assert (tree.fg_depth == 0).all()

@@ -1,0 +1,183 @@
+"""Morphology utilities vs scipy and hand-built cases."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    clear_border,
+    euler_number,
+    fill_holes,
+    holes_count,
+    perimeters,
+)
+from repro.data import blobs
+from repro.verify import flood_fill_label, have_scipy
+
+
+def _ring(size: int = 5) -> np.ndarray:
+    img = np.ones((size, size), dtype=np.uint8)
+    img[1:-1, 1:-1] = 0
+    return img
+
+
+class TestFillHoles:
+    def test_ring(self):
+        assert fill_holes(_ring()).all()
+
+    def test_open_shape_untouched(self):
+        img = np.zeros((5, 5), dtype=np.uint8)
+        img[2, :] = 1
+        assert np.array_equal(fill_holes(img), img)
+
+    def test_multiple_holes(self):
+        img = np.ones((5, 9), dtype=np.uint8)
+        img[2, 2] = 0
+        img[2, 6] = 0
+        assert fill_holes(img).all()
+
+    def test_diagonal_leak_respects_duality(self):
+        """An 8-connected foreground ring with a diagonal 'crack' in the
+        background: 4-connected background labeling must still see the
+        inside as a hole."""
+        img = np.array(
+            [
+                [1, 1, 1, 1],
+                [1, 0, 0, 1],
+                [1, 0, 0, 1],
+                [1, 1, 1, 1],
+            ],
+            dtype=np.uint8,
+        )
+        assert fill_holes(img, connectivity=8).all()
+
+    @pytest.mark.skipif(not have_scipy(), reason="scipy not installed")
+    def test_matches_scipy(self, rng):
+        from scipy import ndimage
+
+        for _ in range(20):
+            img = blobs((24, 24), 0.5, seed=int(rng.integers(1e6)))
+            ours = fill_holes(img, connectivity=8)
+            theirs = ndimage.binary_fill_holes(
+                img, structure=np.ones((3, 3))
+            ).astype(np.uint8)
+            assert np.array_equal(ours, theirs)
+
+    def test_empty(self):
+        assert fill_holes(np.zeros((0, 0), np.uint8)).size == 0
+
+
+class TestClearBorder:
+    def test_removes_touching(self):
+        img = np.zeros((5, 5), dtype=np.uint8)
+        img[0, 0] = 1  # touches border
+        img[2, 2] = 1  # interior
+        out = clear_border(img)
+        assert out[0, 0] == 0
+        assert out[2, 2] == 1
+
+    def test_all_touching(self):
+        assert clear_border(np.ones((4, 4), np.uint8)).sum() == 0
+
+    def test_component_counts(self, rng):
+        img = blobs((30, 30), 0.45, seed=3)
+        out = clear_border(img)
+        _, n_all = flood_fill_label(img, 8)
+        _, n_inner = flood_fill_label(out, 8)
+        assert n_inner <= n_all
+
+    @pytest.mark.skipif(not have_scipy(), reason="scipy not installed")
+    def test_pixelwise_against_scipy_labels(self, rng):
+        from scipy import ndimage
+
+        img = blobs((28, 28), 0.5, seed=9)
+        labels, _ = ndimage.label(img, structure=np.ones((3, 3)))
+        border = set(
+            np.unique(
+                np.concatenate(
+                    [labels[0], labels[-1], labels[:, 0], labels[:, -1]]
+                )
+            ).tolist()
+        ) - {0}
+        expected = np.where(
+            (labels > 0) & ~np.isin(labels, sorted(border)), 1, 0
+        )
+        assert np.array_equal(clear_border(img), expected.astype(np.uint8))
+
+
+class TestHolesAndEuler:
+    def test_ring_has_one_hole(self):
+        assert holes_count(_ring()) == 1
+        assert euler_number(_ring()) == 0
+
+    def test_solid_block(self):
+        img = np.zeros((5, 5), dtype=np.uint8)
+        img[1:4, 1:4] = 1
+        assert holes_count(img) == 0
+        assert euler_number(img) == 1
+
+    def test_b_like_shape(self):
+        """Two holes in one component: Euler number -1."""
+        img = np.ones((7, 5), dtype=np.uint8)
+        img[1:3, 1:4] = 0
+        img[4:6, 1:4] = 0
+        assert holes_count(img) == 2
+        assert euler_number(img) == -1
+
+    def test_glyph_euler_numbers(self):
+        """The OCR feature: O -> 0, T -> 1."""
+        o_glyph = _ring(5)
+        t_glyph = np.zeros((5, 5), dtype=np.uint8)
+        t_glyph[0, :] = 1
+        t_glyph[:, 2] = 1
+        assert euler_number(o_glyph) == 0
+        assert euler_number(t_glyph) == 1
+
+    def test_empty_image(self):
+        assert holes_count(np.zeros((4, 4), np.uint8)) == 0
+        assert euler_number(np.zeros((0, 0), np.uint8)) == 0
+
+
+class TestPerimeters:
+    def test_single_pixel(self):
+        labels = np.zeros((3, 3), dtype=np.int32)
+        labels[1, 1] = 1
+        assert perimeters(labels).tolist() == [4]
+
+    def test_square(self):
+        labels = np.zeros((4, 4), dtype=np.int32)
+        labels[1:3, 1:3] = 1
+        assert perimeters(labels).tolist() == [8]
+
+    def test_image_border_counts(self):
+        labels = np.ones((2, 2), dtype=np.int32)
+        assert perimeters(labels).tolist() == [8]
+
+    def test_two_components(self):
+        labels = np.zeros((3, 5), dtype=np.int32)
+        labels[1, 1] = 1
+        labels[0:3, 3] = 2
+        p = perimeters(labels)
+        assert p.tolist() == [4, 8]
+
+    def test_matches_bruteforce(self, rng):
+        img = (rng.random((15, 15)) < 0.5).astype(np.uint8)
+        labels, k = flood_fill_label(img, 8)
+        got = perimeters(labels)
+        brute = np.zeros(k, dtype=np.int64)
+        rows, cols = labels.shape
+        for r in range(rows):
+            for c in range(cols):
+                l = labels[r, c]
+                if l:
+                    for dr, dc in ((-1, 0), (1, 0), (0, -1), (0, 1)):
+                        nr, nc = r + dr, c + dc
+                        if not (0 <= nr < rows and 0 <= nc < cols):
+                            brute[l - 1] += 1
+                        elif labels[nr, nc] != l:
+                            brute[l - 1] += 1
+        assert np.array_equal(got, brute)
+
+    def test_empty(self):
+        assert perimeters(np.zeros((3, 3), dtype=np.int32)).size == 0

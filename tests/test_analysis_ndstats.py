@@ -1,0 +1,77 @@
+"""N-dimensional component stats vs brute force and the 2-D versions."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    areas,
+    areas_nd,
+    bounding_boxes,
+    bounding_boxes_nd,
+    centroids,
+    centroids_nd,
+)
+from repro.verify import flood_fill_label
+from repro.volume import volume_label
+
+
+@pytest.fixture
+def labels3d(rng):
+    v = (rng.random((6, 8, 7)) < 0.4).astype(np.uint8)
+    return volume_label(v, 26).labels
+
+
+def test_2d_consistency(rng):
+    """The nd functions must reproduce the 2-D specialists exactly."""
+    img = (rng.random((15, 18)) < 0.45).astype(np.uint8)
+    labels, _ = flood_fill_label(img, 8)
+    assert np.array_equal(areas_nd(labels), areas(labels))
+    assert np.allclose(centroids_nd(labels), centroids(labels))
+    assert np.array_equal(bounding_boxes_nd(labels), bounding_boxes(labels))
+
+
+def test_areas_3d_bruteforce(labels3d):
+    a = areas_nd(labels3d)
+    for comp in range(1, int(labels3d.max()) + 1):
+        assert a[comp - 1] == (labels3d == comp).sum()
+
+
+def test_centroids_3d_bruteforce(labels3d):
+    c = centroids_nd(labels3d)
+    for comp in range(1, int(labels3d.max()) + 1):
+        coords = np.argwhere(labels3d == comp)
+        assert np.allclose(c[comp - 1], coords.mean(axis=0))
+
+
+def test_bounding_boxes_3d_bruteforce(labels3d):
+    b = bounding_boxes_nd(labels3d)
+    for comp in range(1, int(labels3d.max()) + 1):
+        coords = np.argwhere(labels3d == comp)
+        expected = np.concatenate([coords.min(axis=0), coords.max(axis=0)])
+        assert np.array_equal(b[comp - 1], expected)
+
+
+def test_empty_labels():
+    z = np.zeros((3, 3, 3), dtype=np.int32)
+    assert areas_nd(z).size == 0
+    assert centroids_nd(z).shape == (0, 3)
+    assert bounding_boxes_nd(z).shape == (0, 6)
+
+
+def test_1d_labels():
+    labels = np.array([0, 1, 1, 0, 2], dtype=np.int32)
+    assert areas_nd(labels).tolist() == [2, 1]
+    assert centroids_nd(labels)[:, 0].tolist() == [1.5, 4.0]
+    assert bounding_boxes_nd(labels).tolist() == [[1, 2], [4, 4]]
+
+
+def test_medical_pipeline_integration(rng):
+    """volume_label -> nd stats, the 3-D analogue of component_stats."""
+    v = np.zeros((4, 5, 5), dtype=np.uint8)
+    v[1:3, 1:3, 1:3] = 1
+    result = volume_label(v, 26)
+    assert areas_nd(result.labels).tolist() == [8]
+    assert np.allclose(centroids_nd(result.labels)[0], [1.5, 1.5, 1.5])
+    assert bounding_boxes_nd(result.labels)[0].tolist() == [1, 1, 1, 2, 2, 2]

@@ -1,0 +1,130 @@
+"""Component measurements vs brute force."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    areas,
+    bounding_boxes,
+    centroids,
+    component_stats,
+    filter_components,
+    largest_component,
+    size_histogram,
+)
+from repro.ccl import aremsp
+from repro.verify import flood_fill_label
+
+
+@pytest.fixture
+def labeled(rng):
+    img = (rng.random((24, 30)) < 0.35).astype(np.uint8)
+    labels, _ = flood_fill_label(img, 8)
+    return labels
+
+
+def test_areas_match_bincount_bruteforce(labeled):
+    a = areas(labeled)
+    k = int(labeled.max())
+    for comp in range(1, k + 1):
+        assert a[comp - 1] == (labeled == comp).sum()
+
+
+def test_areas_empty():
+    assert areas(np.zeros((4, 4), dtype=int)).size == 0
+
+
+def test_centroids_bruteforce(labeled):
+    c = centroids(labeled)
+    for comp in range(1, int(labeled.max()) + 1):
+        rr, cc = np.nonzero(labeled == comp)
+        assert c[comp - 1, 0] == pytest.approx(rr.mean())
+        assert c[comp - 1, 1] == pytest.approx(cc.mean())
+
+
+def test_bounding_boxes_bruteforce(labeled):
+    b = bounding_boxes(labeled)
+    for comp in range(1, int(labeled.max()) + 1):
+        rr, cc = np.nonzero(labeled == comp)
+        assert tuple(b[comp - 1]) == (
+            rr.min(),
+            cc.min(),
+            rr.max(),
+            cc.max(),
+        )
+
+
+def test_component_stats_bundle(labeled):
+    stats = component_stats(labeled)
+    assert stats.n_components == int(labeled.max())
+    assert stats.foreground_fraction == pytest.approx(
+        (labeled > 0).mean()
+    )
+    one = stats.component(1)
+    assert one["label"] == 1
+    assert one["area"] == (labeled == 1).sum()
+    with pytest.raises(IndexError):
+        stats.component(0)
+    with pytest.raises(IndexError):
+        stats.component(stats.n_components + 1)
+
+
+def test_filter_components_by_area():
+    img = np.zeros((8, 8), dtype=np.uint8)
+    img[0, 0] = 1  # area 1
+    img[2:4, 2:4] = 1  # area 4
+    img[6, 0:3] = 1  # area 3
+    labels, _ = flood_fill_label(img, 8)
+    out = filter_components(labels, min_area=3)
+    kept = set(np.unique(out)) - {0}
+    assert kept == {1, 2}
+    assert (out > 0).sum() == 7
+    out2 = filter_components(labels, min_area=3, max_area=3)
+    assert (out2 > 0).sum() == 3
+
+
+def test_filter_preserves_raster_numbering(labeled):
+    out = filter_components(labeled, min_area=2)
+    from repro.verify import is_canonical_labeling
+
+    assert is_canonical_labeling(out)
+
+
+def test_largest_component():
+    img = np.zeros((6, 6), dtype=np.uint8)
+    img[0, 0] = 1
+    img[3:6, 3:6] = 1
+    labels, _ = flood_fill_label(img, 8)
+    mask = largest_component(labels)
+    assert mask.sum() == 9
+    assert mask[4, 4] == 1 and mask[0, 0] == 0
+
+
+def test_largest_component_empty():
+    assert largest_component(np.zeros((3, 3), dtype=int)).sum() == 0
+
+
+def test_size_histogram():
+    img = np.zeros((10, 10), dtype=np.uint8)
+    img[0, 0] = 1
+    img[2, 2:6] = 1
+    labels, _ = flood_fill_label(img, 8)
+    counts, edges = size_histogram(labels, bins=4)
+    assert counts.sum() == 2
+    assert len(edges) == 5
+
+
+def test_size_histogram_empty():
+    counts, _ = size_histogram(np.zeros((3, 3), dtype=int))
+    assert counts.size == 0
+
+
+def test_pipeline_with_library_labels(rng):
+    """analysis functions accept labels straight from the algorithms."""
+    img = (rng.random((20, 20)) < 0.4).astype(np.uint8)
+    result = aremsp(img)
+    a = areas(result.labels)
+    assert len(a) == result.n_components
+    assert a.sum() == img.sum()

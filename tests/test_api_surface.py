@@ -1,0 +1,118 @@
+"""Public-API hygiene: everything in __all__ exists, imports are clean,
+and the advertised entry points are callable."""
+
+from __future__ import annotations
+
+import importlib
+
+import pytest
+
+PUBLIC_MODULES = [
+    "repro",
+    "repro.types",
+    "repro.errors",
+    "repro.unionfind",
+    "repro.unionfind.remsp",
+    "repro.unionfind.lrpc",
+    "repro.unionfind.variants",
+    "repro.unionfind.flatten",
+    "repro.unionfind.parallel",
+    "repro.unionfind.graph",
+    "repro.unionfind.analyze",
+    "repro.ccl",
+    "repro.ccl.registry",
+    "repro.ccl.opcount",
+    "repro.ccl.streaming",
+    "repro.ccl.grayscale",
+    "repro.parallel",
+    "repro.parallel.partition",
+    "repro.parallel.boundary",
+    "repro.parallel.distributed",
+    "repro.parallel.tiled",
+    "repro.mp",
+    "repro.volume",
+    "repro.simmachine",
+    "repro.simmachine.trace",
+    "repro.data",
+    "repro.data.pnm",
+    "repro.verify",
+    "repro.analysis",
+    "repro.bench",
+    "repro.bench.history",
+    "repro.bench.fullreport",
+    "repro.cli",
+]
+
+
+@pytest.mark.parametrize("name", PUBLIC_MODULES)
+def test_module_all_is_accurate(name):
+    module = importlib.import_module(name)
+    exported = getattr(module, "__all__", None)
+    assert exported is not None, f"{name} should declare __all__"
+    for symbol in exported:
+        assert hasattr(module, symbol), f"{name}.__all__ lists missing {symbol}"
+
+
+def test_top_level_entry_points_callable():
+    import repro
+
+    for fn_name in (
+        "label",
+        "label_parallel",
+        "paremsp",
+        "grayscale_label",
+        "volume_label",
+        "tiled_label",
+        "distributed_label",
+    ):
+        assert callable(getattr(repro, fn_name))
+
+
+def test_registry_names_are_stable():
+    """Published algorithm names are API; renames are breaking changes."""
+    from repro.ccl.registry import ALGORITHMS
+
+    assert {
+        "ccllrpc",
+        "cclremsp",
+        "arun",
+        "aremsp",
+        "run",
+        "run-vectorized",
+        "multipass",
+        "propagation-vectorized",
+        "suzuki",
+        "contour",
+        "block2x2",
+    } == set(ALGORITHMS)
+
+
+def test_experiment_names_are_stable():
+    from repro.bench.experiments import ALL_EXPERIMENTS
+
+    assert set(ALL_EXPERIMENTS) == {
+        "table2",
+        "table3",
+        "table4",
+        "fig4",
+        "fig5",
+        "opcounts",
+        "weak",
+        "granularity",
+    }
+
+
+def test_console_scripts_import():
+    from repro.bench.cli import main as bench_main
+    from repro.cli import main as label_main
+
+    assert callable(bench_main)
+    assert callable(label_main)
+
+
+def test_no_internal_leaks_in_top_level():
+    import repro
+
+    assert "np" not in repro.__all__
+    for name in repro.__all__:
+        assert not name.startswith("_")

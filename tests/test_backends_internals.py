@@ -1,0 +1,85 @@
+"""Backend internals: OffsetList, backend registry, threads/processes
+edge behaviour, label-capacity guard."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.ccl.labeling import check_label_capacity
+from repro.errors import BackendError, LabelOverflowError
+from repro.parallel.backends import (
+    ProcessBackend,
+    SerialBackend,
+    ThreadBackend,
+    get_backend,
+)
+from repro.parallel.backends.processes import OffsetList, _scan_chunk
+from repro.unionfind.remsp import merge as remsp_merge
+
+
+class TestOffsetList:
+    def test_shifted_indexing(self):
+        ol = OffsetList(4, offset=10)
+        ol[10] = 7
+        ol[13] = 9
+        assert ol[10] == 7
+        assert ol[13] == 9
+        assert ol.data == [7, 0, 0, 9]
+        assert len(ol) == 4
+
+    def test_out_of_window_raises(self):
+        ol = OffsetList(2, offset=5)
+        with pytest.raises(IndexError):
+            _ = ol[9]
+
+    def test_works_with_remsp_merge(self):
+        # global labels 100..104 living in a local window
+        ol = OffsetList(5, offset=100)
+        for i in range(100, 105):
+            ol[i] = i
+        root = remsp_merge(ol, 101, 103)
+        assert root == 101
+        assert ol[103] == 101
+
+
+def test_scan_chunk_worker_contract():
+    img_chunk = [[1, 1, 0], [0, 1, 1]]
+    rows, used, p_slice = _scan_chunk((img_chunk, 7, 3, 8))
+    assert used - 7 == len(p_slice) == 1  # one component, one label
+    assert rows[0][0] == 7  # labels start at the chunk's offset
+    assert p_slice == [7]
+
+
+class TestBackendRegistry:
+    def test_known_backends(self):
+        assert isinstance(get_backend("serial"), SerialBackend)
+        assert isinstance(get_backend("THREADS"), ThreadBackend)
+        assert isinstance(get_backend("processes"), ProcessBackend)
+
+    def test_unknown_backend(self):
+        with pytest.raises(BackendError, match="available"):
+            get_backend("cuda")
+
+
+class TestLabelCapacity:
+    def test_int32_huge_image_rejected(self):
+        with pytest.raises(LabelOverflowError, match="int32"):
+            check_label_capacity((50_000, 50_000))
+
+    def test_int64_accepts_it(self):
+        check_label_capacity((50_000, 50_000), dtype=np.int64)
+
+    def test_narrow_dtype(self):
+        with pytest.raises(LabelOverflowError):
+            check_label_capacity((300, 300), dtype=np.int16)
+        check_label_capacity((100, 100), dtype=np.int16)
+
+    def test_normal_images_pass(self):
+        check_label_capacity((4096, 4096))
+
+
+def test_threads_backend_boundary_empty_chunks():
+    backend = ThreadBackend()
+    meta = backend.boundary([], [], 0, [], 8)
+    assert meta["boundary_unions"] == 0

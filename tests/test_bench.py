@@ -1,0 +1,219 @@
+"""Benchmark harness: experiment drivers, report rendering, CLI.
+
+Experiments run at tiny stand-in scales here; assertions target the
+*data* contract and the deterministic (simulated-machine) claims, never
+CPython wall-clock orderings, which are load-dependent.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.cli import build_parser, main
+from repro.bench.experiments import (
+    run_fig4,
+    run_fig5,
+    run_opcounts,
+    run_table2,
+    run_table3,
+    run_table4,
+)
+from repro.bench.report import ExperimentReport, render_series, render_table
+from repro.bench.stats import MinAvgMax, speedups
+from repro.bench.timing import measure
+
+TINY = 0.02  # linear stand-in scale that keeps every experiment fast
+
+
+@pytest.fixture(scope="module")
+def table2():
+    # best-of-3 timing: single-shot CPython timings at this tiny scale
+    # are too noisy for the ordering assertions below
+    return run_table2(scale=TINY, repeats=3)
+
+
+@pytest.fixture(scope="module")
+def fig5():
+    return run_fig5(scale=TINY)
+
+
+class TestTable2:
+    def test_structure(self, table2):
+        assert table2.experiment == "table2"
+        assert len(table2.rows) == 12  # 4 suites x 3 stats
+        assert set(table2.data["summary"]) == {
+            "aerial",
+            "texture",
+            "misc",
+            "nlcd",
+        }
+
+    def test_summary_is_min_avg_max(self, table2):
+        for per_alg in table2.data["summary"].values():
+            for stat in per_alg.values():
+                assert stat.min <= stat.avg <= stat.max
+                assert stat.n >= 1
+
+    def test_proposed_algorithms_beat_their_baselines(self, table2):
+        """The paper's structural claim that survives CPython: swapping
+        LRPC for REMSP speeds up the decision-tree scan (CCLREMSP <
+        CCLLRPC) on average across suites."""
+        total_lrpc = sum(
+            s["ccllrpc"].avg for s in table2.data["summary"].values()
+        )
+        total_rem = sum(
+            s["cclremsp"].avg for s in table2.data["summary"].values()
+        )
+        assert total_rem < total_lrpc
+
+    def test_aremsp_beats_arun(self, table2):
+        total_arun = sum(
+            s["arun"].avg for s in table2.data["summary"].values()
+        )
+        total_aremsp = sum(
+            s["aremsp"].avg for s in table2.data["summary"].values()
+        )
+        # 5% slack absorbs scheduler noise at this tiny stand-in scale;
+        # the real-margin check lives in the full-report claim gate
+        assert total_aremsp < total_arun * 1.05
+
+
+class TestTable3:
+    def test_ladder(self):
+        report = run_table3(scale=TINY)
+        images = report.data["images"]
+        assert [i["nominal_mb"] for i in images] == [
+            12.0,
+            33.0,
+            37.31,
+            116.30,
+            132.03,
+            465.20,
+        ]
+        assert all(i["components"] > 0 for i in images)
+
+
+class TestTable4:
+    def test_nlcd_times_fall_with_threads(self):
+        report = run_table4(scale=TINY)
+        nlcd = report.data["summary"]["nlcd"]
+        avgs = [nlcd[t].avg for t in (2, 6, 16, 24)]
+        assert avgs == sorted(avgs, reverse=True)
+
+    def test_small_suites_saturate(self):
+        report = run_table4(scale=TINY)
+        misc = report.data["summary"]["misc"]
+        # 24 threads must NOT keep the strong improvement (paper Table IV)
+        assert misc[24].avg > misc[16].avg * 0.7
+
+
+class TestFig4:
+    def test_curves_and_peaks(self):
+        report = run_fig4(scale=TINY)
+        curves = report.data["curves"]
+        assert set(curves) == {"aerial", "misc", "texture"}
+        for curve in curves.values():
+            assert curve[6] > curve[2] > 1.0
+        # paper shape: curves decline from their peak by 24 threads
+        for suite, curve in curves.items():
+            assert curve[24] <= max(curve.values()) + 1e-9
+
+
+class TestFig5:
+    def test_speedup_grows_with_image_size(self, fig5):
+        total = fig5.data["total"]
+        s24 = [total[f"image_{i}"][24] for i in range(1, 7)]
+        assert s24[-1] == max(s24)
+        assert s24[-1] > 15.0
+
+    def test_near_linear_low_thread_counts(self, fig5):
+        total = fig5.data["total"]
+        for name, curve in total.items():
+            assert curve[2] > 1.7
+
+    def test_merge_negligible_for_large_images(self, fig5):
+        local = fig5.data["local"]["image_6"]
+        total = fig5.data["total"]["image_6"]
+        assert abs(local[24] - total[24]) / local[24] < 0.15
+
+    def test_headline_band(self, fig5):
+        assert 17.0 <= fig5.data["total"]["image_6"][24] <= 23.0
+
+
+class TestOpcounts:
+    def test_tworow_reads_fewer(self):
+        report = run_opcounts(scale=TINY)
+        for suite, rec in report.data.items():
+            dt = rec["static"]["decision_tree"]
+            tr = rec["static"]["tworow"]
+            assert tr.neighbor_reads <= dt.neighbor_reads, suite
+            assert tr.pixel_visits < dt.pixel_visits, suite
+
+    def test_remsp_fewer_steps_than_lrpc(self):
+        report = run_opcounts(scale=TINY)
+        for suite, rec in report.data.items():
+            lrpc = rec["dynamic"][("dtree", "lrpc")]["uf_step"]
+            rem = rec["dynamic"][("dtree", "remsp")]["uf_step"]
+            assert rem <= lrpc, suite
+
+
+class TestReportRendering:
+    def test_render_table_alignment(self):
+        out = render_table(["name", "v"], [["a", "1"], ["bb", "22"]])
+        lines = out.splitlines()
+        assert len(lines) == 4
+        assert all(len(l) <= len(lines[0]) + 2 for l in lines)
+
+    def test_render_series(self):
+        out = render_series({"s": {1: 1.0, 2: 1.9}})
+        assert "1.90" in out
+        assert "#" in out
+
+    def test_experiment_report_render(self, table2):
+        text = table2.render()
+        assert "Table II" in text
+        assert "CCLLRPC" in text
+
+
+class TestStatsAndTiming:
+    def test_min_avg_max(self):
+        s = MinAvgMax.from_values([3.0, 1.0, 2.0])
+        assert (s.min, s.avg, s.max, s.n) == (1.0, 2.0, 3.0, 3)
+        assert s.stat("Average") == 2.0
+        assert s.as_ms_strings() == ("1000.00", "2000.00", "3000.00")
+
+    def test_min_avg_max_empty(self):
+        with pytest.raises(ValueError):
+            MinAvgMax.from_values([])
+
+    def test_speedups(self):
+        assert speedups([4.0, 6.0], [2.0, 2.0]) == [2.0, 3.0]
+        with pytest.raises(ValueError):
+            speedups([1.0], [1.0, 2.0])
+
+    def test_measure(self):
+        sample = measure(lambda x: x + 1, 1, repeats=3)
+        assert sample.result == 2
+        assert len(sample.seconds) == 3
+        assert sample.best <= sample.mean
+        with pytest.raises(ValueError):
+            measure(lambda: None, repeats=0)
+
+
+class TestCLI:
+    def test_parser_choices(self):
+        parser = build_parser()
+        args = parser.parse_args(["table3", "--scale", "0.02"])
+        assert args.experiment == "table3"
+        assert args.scale == 0.02
+
+    def test_main_runs_one_experiment(self, capsys):
+        rc = main(["table3", "--scale", "0.02"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "Table III" in out
+        assert "image_6" in out
+
+    def test_main_rejects_unknown(self):
+        with pytest.raises(SystemExit):
+            main(["table9"])

@@ -1,0 +1,118 @@
+"""Benchmark snapshots: save/load/compare and the CLI wiring."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.bench.cli import main
+from repro.bench.history import (
+    CellChange,
+    compare_records,
+    load_record,
+    report_to_record,
+    save_report,
+)
+from repro.bench.report import ExperimentReport
+
+
+def _report(cell: str = "10.0") -> ExperimentReport:
+    return ExperimentReport(
+        experiment="table2",
+        title="t",
+        headers=["Image type", "", "AREMSP"],
+        rows=[["Aerial", "Min", cell], ["Aerial", "Max", "20.0"]],
+        data={},
+    )
+
+
+def test_roundtrip(tmp_path):
+    path = tmp_path / "runs" / "a.json"
+    save_report(_report(), path)
+    record = load_record(path)
+    assert record["experiment"] == "table2"
+    assert record["rows"][0][2] == "10.0"
+    assert record["environment"]["python"]
+
+
+def test_format_version_checked(tmp_path):
+    path = tmp_path / "bad.json"
+    rec = report_to_record(_report())
+    rec["format"] = 99
+    path.write_text(json.dumps(rec))
+    with pytest.raises(ValueError):
+        load_record(path)
+
+
+def test_compare_no_changes():
+    old = report_to_record(_report())
+    assert compare_records(old, _report()) == []
+
+
+def test_compare_flags_regression():
+    old = report_to_record(_report("10.0"))
+    changes = compare_records(old, _report("20.0"), tolerance=0.25)
+    assert len(changes) == 1
+    ch = changes[0]
+    assert ch.ratio == pytest.approx(2.0)
+    assert "slower" in ch.describe()
+    assert ch.column == "AREMSP"
+
+
+def test_compare_within_tolerance_silent():
+    old = report_to_record(_report("10.0"))
+    assert compare_records(old, _report("11.0"), tolerance=0.25) == []
+
+
+def test_compare_improvement_reported_as_faster():
+    old = report_to_record(_report("10.0"))
+    (ch,) = compare_records(old, _report("4.0"))
+    assert "faster" in ch.describe()
+
+
+def test_compare_layout_mismatch():
+    old = report_to_record(_report())
+    other = _report()
+    other.headers = ["different"]
+    with pytest.raises(ValueError):
+        compare_records(old, other)
+
+
+def test_compare_wrong_experiment():
+    old = report_to_record(_report())
+    other = _report()
+    other.experiment = "fig5"
+    with pytest.raises(ValueError):
+        compare_records(old, other)
+
+
+def test_non_numeric_cells_ignored():
+    old = report_to_record(_report("n/a"))
+    assert compare_records(old, _report("still n/a")) == []
+
+
+def test_cell_change_zero_old():
+    ch = CellChange(row=0, column="x", row_label="r", old=0.0, new=1.0)
+    assert ch.ratio == float("inf")
+
+
+class TestCLIIntegration:
+    def test_save_then_compare_clean(self, tmp_path, capsys):
+        snap = tmp_path / "t3.json"
+        assert main(["table3", "--scale", "0.02", "--save", str(snap)]) == 0
+        assert snap.exists()
+        rc = main(["table3", "--scale", "0.02", "--compare", str(snap)])
+        assert rc == 0
+        assert "no changes" in capsys.readouterr().out
+
+    def test_compare_detects_scale_change(self, tmp_path, capsys):
+        snap = tmp_path / "t3.json"
+        main(["table3", "--scale", "0.02", "--save", str(snap)])
+        rc = main(["table3", "--scale", "0.04", "--compare", str(snap)])
+        assert rc == 1
+        assert "moved beyond" in capsys.readouterr().out
+
+    def test_save_with_all_rejected(self, tmp_path, capsys):
+        rc = main(["all", "--save", str(tmp_path / "x.json")])
+        assert rc == 2

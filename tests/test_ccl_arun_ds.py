@@ -1,0 +1,110 @@
+"""The rtable/next/tail equivalence structure of He et al."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.ccl.arun_ds import RunEquivalence
+from repro.unionfind.remsp import merge as remsp_merge
+
+
+def test_alloc_sequential_labels():
+    eq = RunEquivalence(10)
+    assert eq.alloc() == 1
+    assert eq.alloc() == 2
+    assert eq.labels_used() == 2
+    assert eq.find(1) == 1
+    assert eq.find(2) == 2
+
+
+def test_resolve_keeps_smaller_representative():
+    eq = RunEquivalence(10)
+    a, b = eq.alloc(), eq.alloc()
+    assert eq.resolve(b, a) == a
+    assert eq.find(b) == a
+
+
+def test_resolve_is_eager_for_all_members():
+    """Every member of the losing set is relabeled immediately — O(1)
+    find afterwards, by direct array read."""
+    eq = RunEquivalence(10)
+    l1, l2, l3, l4 = (eq.alloc() for _ in range(4))
+    eq.resolve(l3, l4)  # {3, 4}
+    eq.resolve(l1, l3)  # {1, 3, 4}
+    assert eq.rtable[l4] == l1  # member, not just root, is updated
+    assert eq.rtable[l3] == l1
+
+
+def test_resolve_idempotent():
+    eq = RunEquivalence(8)
+    a, b = eq.alloc(), eq.alloc()
+    eq.resolve(a, b)
+    state = (list(eq.rtable), list(eq.next), list(eq.tail))
+    assert eq.resolve(b, a) == a
+    assert (list(eq.rtable), list(eq.next), list(eq.tail)) == state
+
+
+def test_member_lists_concatenate():
+    eq = RunEquivalence(10)
+    labels = [eq.alloc() for _ in range(5)]
+    eq.resolve(labels[0], labels[2])
+    eq.resolve(labels[0], labels[4])
+    # walk the member list of set 1
+    members = []
+    i = labels[0]
+    while i != -1:
+        members.append(i)
+        i = eq.next[i]
+    assert sorted(members) == [labels[0], labels[2], labels[4]]
+    assert eq.tail[labels[0]] == members[-1]
+
+
+def test_rtable_monotone_invariant(rng):
+    """rtable[i] <= i always (FLATTEN precondition)."""
+    eq = RunEquivalence(64)
+    labels = [eq.alloc() for _ in range(50)]
+    for _ in range(120):
+        x, y = rng.choice(labels, size=2)
+        eq.resolve(int(x), int(y))
+        assert all(eq.rtable[l] <= l for l in labels)
+
+
+def test_same_partition_as_remsp(rng):
+    n = 40
+    eq = RunEquivalence(n + 2)
+    for _ in range(n):
+        eq.alloc()
+    p = list(range(n + 2))
+    ops = [tuple(map(int, rng.integers(1, n + 1, size=2))) for _ in range(100)]
+    for x, y in ops:
+        eq.resolve(x, y)
+        remsp_merge(p, x, y)
+    # compare induced partitions over labels 1..n
+    from repro.unionfind.base import roots_of
+
+    rem_roots = roots_of(p)
+    for i in range(1, n + 1):
+        for j in range(i + 1, n + 1):
+            assert (eq.rtable[i] == eq.rtable[j]) == (
+                rem_roots[i] == rem_roots[j]
+            )
+
+
+def test_capacity_validation():
+    with pytest.raises(ValueError):
+        RunEquivalence(1)
+    RunEquivalence(2)  # minimum viable
+
+
+def test_merge_fn_adapter_ignores_p():
+    eq = RunEquivalence(8)
+    a, b = eq.alloc(), eq.alloc()
+    fn = eq.merge_fn()
+    assert fn(None, b, a) == a
+    assert eq.find(b) == a
+
+
+def test_offset_start():
+    eq = RunEquivalence(100, start=50)
+    assert eq.alloc() == 50
+    assert eq.labels_used() == 1

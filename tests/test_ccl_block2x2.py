@@ -1,0 +1,93 @@
+"""Block-based 2x2 labeling."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.ccl.block2x2 import block_label
+from repro.verify import flood_fill_label, labelings_equivalent
+
+
+def test_matches_oracle(structural_image):
+    expected, n = flood_fill_label(structural_image, 8)
+    r = block_label(structural_image)
+    assert r.n_components == n
+    assert labelings_equivalent(r.labels, expected)
+
+
+def test_provisional_is_block_count(rng):
+    img = (rng.random((16, 16)) < 0.5).astype(np.uint8)
+    r = block_label(img)
+    # count 2x2 blocks containing any foreground
+    blocks = img.reshape(8, 2, 8, 2).any(axis=(1, 3)).sum()
+    assert r.provisional_count == blocks
+    # the whole point: far fewer operands than pixels
+    assert r.provisional_count <= img.sum() or img.sum() == 0
+
+
+def test_odd_dimensions_padded(rng):
+    for shape in ((5, 7), (1, 9), (9, 1), (3, 3)):
+        img = (rng.random(shape) < 0.5).astype(np.uint8)
+        expected, n = flood_fill_label(img, 8)
+        r = block_label(img)
+        assert r.n_components == n, shape
+        assert labelings_equivalent(r.labels, expected)
+
+
+def test_block_internal_connectivity():
+    """Any two foreground pixels in one 2x2 block share a label."""
+    img = np.array([[1, 0], [0, 1]], dtype=np.uint8)
+    r = block_label(img)
+    assert r.n_components == 1
+    assert r.labels[0, 0] == r.labels[1, 1] == 1
+
+
+def test_cross_block_diagonals():
+    """Each of the four block-adjacency formulas, in isolation."""
+    cases = [
+        # left: d of left block touches a of right block
+        ([[0, 0, 0, 0], [0, 1, 1, 0]], 1),
+        # up: d of upper block vs c (diagonal) of lower block
+        ([[0, 0], [0, 1], [1, 0], [0, 0]], 1),
+        # up-left diagonal: d of block (0,0) vs a of block (1,1)
+        ([[0, 0, 0, 0], [0, 1, 0, 0], [0, 0, 1, 0], [0, 0, 0, 0]], 1),
+        # up-right diagonal: c of block (0,1) vs b of block (1,0)
+        ([[0, 0, 0, 0], [0, 0, 1, 0], [0, 1, 0, 0], [0, 0, 0, 0]], 1),
+    ]
+    for pixels, expected_n in cases:
+        img = np.asarray(pixels, dtype=np.uint8)
+        assert block_label(img).n_components == expected_n, pixels
+
+
+def test_separated_blocks_stay_apart():
+    img = np.zeros((6, 6), dtype=np.uint8)
+    img[0, 0] = 1
+    img[4, 4] = 1
+    assert block_label(img).n_components == 2
+
+
+def test_4_connectivity_rejected():
+    with pytest.raises(ValueError):
+        block_label(np.ones((2, 2), dtype=np.uint8), connectivity=4)
+
+
+def test_empty():
+    assert block_label(np.zeros((0, 0), dtype=np.uint8)).n_components == 0
+
+
+@given(
+    img=hnp.arrays(
+        dtype=np.uint8,
+        shape=hnp.array_shapes(min_dims=2, max_dims=2, min_side=1, max_side=22),
+        elements=st.integers(0, 1),
+    )
+)
+def test_property_matches_oracle(img):
+    expected, n = flood_fill_label(img, 8)
+    r = block_label(img)
+    assert r.n_components == n
+    assert labelings_equivalent(r.labels, expected)

@@ -1,0 +1,107 @@
+"""Contour-tracing CCL (Chang-Chen-Lu) — the union-find-free family."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.ccl.contour import contour_trace
+from repro.verify import flood_fill_label
+
+
+def test_isolated_pixel():
+    img = np.zeros((3, 3), dtype=np.uint8)
+    img[1, 1] = 1
+    r = contour_trace(img)
+    assert r.n_components == 1
+    assert r.labels[1, 1] == 1
+
+
+def test_ring_with_hole():
+    img = np.ones((5, 5), dtype=np.uint8)
+    img[2, 2] = 0
+    r = contour_trace(img)
+    assert r.n_components == 1
+    assert r.labels[2, 2] == 0  # hole stays background
+    assert (r.labels[img == 1] == 1).all()
+
+
+def test_nested_rings():
+    """A ring inside a ring's hole: inner-contour marking must keep the
+    two components distinct and trace each hole once."""
+    img = np.ones((9, 9), dtype=np.uint8)
+    img[1:8, 1:8] = 0
+    img[2:7, 2:7] = 1
+    img[3:6, 3:6] = 0
+    img[4, 4] = 1
+    r = contour_trace(img)
+    expected, n = flood_fill_label(img, 8)
+    assert r.n_components == n == 3
+    assert np.array_equal(r.labels, expected)
+
+
+def test_spiral_single_component():
+    from repro.data import spiral
+
+    img = spiral((21, 21), gap=2)
+    r = contour_trace(img)
+    assert r.n_components == 1
+
+
+def test_comb_shape():
+    """Deep concavities: the contour visits pixels multiple times."""
+    img = np.zeros((6, 9), dtype=np.uint8)
+    img[0, :] = 1
+    img[:, 0::2] = 1
+    r = contour_trace(img)
+    expected, n = flood_fill_label(img, 8)
+    assert r.n_components == n
+    assert np.array_equal(r.labels, expected)
+
+
+def test_one_pixel_wide_lines():
+    img = np.zeros((7, 7), dtype=np.uint8)
+    img[3, :] = 1
+    img[:, 3] = 1
+    r = contour_trace(img)
+    assert r.n_components == 1
+    assert (r.labels[img == 1] == 1).all()
+
+
+def test_exact_raster_labels(structural_image):
+    expected, n = flood_fill_label(structural_image, 8)
+    r = contour_trace(structural_image)
+    assert r.n_components == n
+    assert np.array_equal(r.labels, expected)
+
+
+def test_4_connectivity_rejected():
+    with pytest.raises(ValueError):
+        contour_trace(np.ones((2, 2), dtype=np.uint8), connectivity=4)
+
+
+@given(
+    img=hnp.arrays(
+        dtype=np.uint8,
+        shape=hnp.array_shapes(min_dims=2, max_dims=2, min_side=1, max_side=20),
+        elements=st.integers(0, 1),
+    )
+)
+def test_property_matches_oracle(img):
+    expected, n = flood_fill_label(img, 8)
+    r = contour_trace(img)
+    assert r.n_components == n
+    assert np.array_equal(r.labels, expected)
+
+
+def test_no_union_find_is_used():
+    """The structural claim: provisional == final component count (no
+    equivalence resolution ever happens)."""
+    rng = np.random.default_rng(4)
+    img = (rng.random((30, 30)) < 0.5).astype(np.uint8)
+    r = contour_trace(img)
+    assert r.provisional_count == r.n_components
+    assert r.phase_seconds["flatten"] == 0.0

@@ -1,0 +1,134 @@
+"""Grayscale region labeling vs its BFS oracle."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.ccl.grayscale import grayscale_label, grayscale_label_runs
+from repro.errors import ImageFormatError
+from repro.verify import labelings_equivalent
+from repro.verify.gray_oracle import gray_flood_fill_label
+
+
+def test_equal_value_regions():
+    img = np.array([[3, 3, 7], [3, 7, 7]])
+    r = grayscale_label(img)
+    assert r.n_components == 2
+    assert r.labels.tolist() == [[1, 1, 2], [1, 2, 2]]
+
+
+def test_every_pixel_labeled(rng):
+    img = rng.integers(0, 5, size=(12, 14))
+    r = grayscale_label(img)
+    assert (r.labels > 0).all()
+
+
+def test_constant_image_single_region():
+    img = np.full((6, 9), 42)
+    for fn in (grayscale_label, grayscale_label_runs):
+        r = fn(img)
+        assert r.n_components == 1
+        assert (r.labels == 1).all()
+
+
+def test_all_distinct_values():
+    img = np.arange(12).reshape(3, 4)
+    r = grayscale_label(img)
+    assert r.n_components == 12
+
+
+def test_tolerance_widens_regions():
+    img = np.array([[0, 1, 2, 3, 10]])
+    exact = grayscale_label(img, tolerance=0)
+    loose = grayscale_label(img, tolerance=1)
+    assert exact.n_components == 5
+    # 0-1-2-3 chain merges via tolerance 1 (non-transitive chain!)
+    assert loose.n_components == 2
+
+
+def test_tolerance_connectivity_difference():
+    img = np.array([[1, 9], [9, 1]])
+    r8 = grayscale_label(img, connectivity=8)
+    r4 = grayscale_label(img, connectivity=4)
+    assert r8.n_components == 2  # the two 1s join diagonally
+    assert r4.n_components == 4
+
+
+def test_float_images_with_tolerance():
+    img = np.array([[0.0, 0.05, 0.5]])
+    r = grayscale_label(img, tolerance=0.1)
+    assert r.n_components == 2
+
+
+def test_validation():
+    with pytest.raises(ImageFormatError):
+        grayscale_label(np.zeros(4))
+    with pytest.raises(ValueError):
+        grayscale_label(np.zeros((2, 2)), tolerance=-1)
+    with pytest.raises(ValueError):
+        grayscale_label(np.zeros((2, 2)), connectivity=6)
+    with pytest.raises(ValueError):
+        grayscale_label_runs(np.zeros((2, 2)), connectivity=6)
+
+
+@pytest.mark.parametrize("connectivity", [4, 8])
+@pytest.mark.parametrize("tolerance", [0, 1, 2])
+def test_matches_oracle_random(connectivity, tolerance, rng):
+    for _ in range(15):
+        img = rng.integers(0, 4, size=tuple(rng.integers(1, 12, size=2)))
+        got = grayscale_label(img, connectivity, tolerance)
+        expected, n = gray_flood_fill_label(img, connectivity, tolerance)
+        assert got.n_components == n
+        assert np.array_equal(got.labels, expected)
+
+
+@pytest.mark.parametrize("connectivity", [4, 8])
+def test_runs_engine_matches_interpreter(connectivity, rng):
+    for _ in range(15):
+        img = rng.integers(0, 3, size=tuple(rng.integers(1, 14, size=2)))
+        a = grayscale_label(img, connectivity, 0)
+        b = grayscale_label_runs(img, connectivity)
+        assert a.n_components == b.n_components
+        assert labelings_equivalent(a.labels, b.labels)
+
+
+@given(
+    img=hnp.arrays(
+        dtype=np.int16,
+        shape=hnp.array_shapes(min_dims=2, max_dims=2, min_side=1, max_side=12),
+        elements=st.integers(0, 3),
+    ),
+    connectivity=st.sampled_from([4, 8]),
+)
+def test_property_engines_and_oracle_agree(img, connectivity):
+    expected, n = gray_flood_fill_label(img, connectivity, 0)
+    a = grayscale_label(img, connectivity, 0)
+    b = grayscale_label_runs(img, connectivity)
+    assert a.n_components == n
+    assert b.n_components == n
+    assert np.array_equal(a.labels, expected)
+    assert labelings_equivalent(b.labels, expected)
+
+
+def test_binary_image_consistency():
+    """On a binary image with tolerance 0, the foreground regions of the
+    gray labeling must match binary CCL's components."""
+    from repro.ccl import aremsp
+
+    rng = np.random.default_rng(5)
+    img = (rng.random((16, 16)) < 0.5).astype(np.uint8)
+    gray = grayscale_label(img, 8)
+    binary = aremsp(img, 8)
+    fg_gray = np.where(img == 1, gray.labels, 0)
+    assert labelings_equivalent(fg_gray, binary.labels)
+
+
+def test_empty_image():
+    r = grayscale_label_runs(np.zeros((0, 0)))
+    assert r.n_components == 0
+    r2 = grayscale_label(np.zeros((0, 0)))
+    assert r2.n_components == 0

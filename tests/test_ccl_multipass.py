@@ -1,0 +1,69 @@
+"""Multipass family: pass counts and the table-acceleration contrast."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ccl.multipass import multipass, propagation_vectorized
+from repro.ccl.suzuki import suzuki
+from repro.data import spiral
+from repro.verify import flood_fill_label, labelings_equivalent
+
+
+def test_multipass_records_passes(structural_image):
+    result = multipass(structural_image, 8)
+    assert result.meta["passes"] >= 1
+
+
+def test_multipass_single_pass_on_simple_shapes():
+    img = np.zeros((6, 6), dtype=np.uint8)
+    img[1:3, 1:3] = 1
+    result = multipass(img, 8)
+    # one round discovers no change is needed after the first sweep pair
+    assert result.meta["passes"] <= 2
+    assert result.n_components == 1
+
+
+def test_multipass_spiral_passes_grow_with_depth():
+    """Label propagation along a spiral arm needs rounds proportional to
+    the winding depth — the weakness two-pass algorithms fix."""
+    img_small = spiral((25, 25), gap=2)
+    img_large = spiral((61, 61), gap=2)
+    small = multipass(img_small, 8)
+    large = multipass(img_large, 8)
+    assert small.n_components == flood_fill_label(img_small, 8)[1] == 1
+    assert small.meta["passes"] >= 3
+    assert large.meta["passes"] > small.meta["passes"]
+
+
+def test_suzuki_table_accelerates_spiral():
+    """Suzuki's connection table must keep the pass count bounded while
+    plain multipass grows with spiral depth (the [10] claim)."""
+    for size in (25, 61):
+        img = spiral((size, size), gap=2)
+        plain = multipass(img, 8)
+        fast = suzuki(img, 8)
+        assert fast.n_components == plain.n_components == 1
+        assert fast.meta["passes"] <= 5
+    assert multipass(spiral((61, 61), gap=2), 8).meta["passes"] > 5
+
+
+def test_propagation_vectorized_pass_count_tracks_diameter():
+    img = np.zeros((3, 16), dtype=np.uint8)
+    img[1, :] = 1  # one horizontal line: min label must travel 15 cols
+    result = propagation_vectorized(img, 8)
+    assert result.n_components == 1
+    assert result.meta["passes"] >= 8  # Jacobi propagation, 1 col/round min
+
+
+def test_propagation_matches_multipass(structural_image):
+    a = multipass(structural_image, 8)
+    b = propagation_vectorized(structural_image, 8)
+    assert a.n_components == b.n_components
+    assert labelings_equivalent(a.labels, b.labels)
+
+
+def test_suzuki_provisional_labels_bounded(structural_image):
+    result = suzuki(structural_image, 8)
+    img = np.asarray(structural_image)
+    assert result.provisional_count <= max(1, img.size)

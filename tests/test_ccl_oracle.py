@@ -1,0 +1,150 @@
+"""The core correctness suite: every CCL algorithm vs two oracles.
+
+Each algorithm is compared against the BFS flood-fill oracle (partition
+equality and component count) on every structural image and on random
+images, for both connectivities; the raster-order algorithms are also
+checked for bit-exact label equality with the oracle, and SciPy serves
+as a third, independent implementation when present.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.ccl.registry import (
+    ALGORITHMS,
+    EIGHT_CONNECTIVITY_ONLY,
+    get_algorithm,
+)
+from repro.verify import (
+    flood_fill_label,
+    have_scipy,
+    labelings_equivalent,
+    scipy_label,
+)
+
+ALL_NAMES = sorted(ALGORITHMS)
+
+#: algorithms that scan strictly in raster order, whose FLATTEN labels
+#: must match the oracle's raster first-appearance numbering exactly.
+RASTER_ORDER = ("ccllrpc", "cclremsp", "run", "run-vectorized", "suzuki", "contour")
+
+#: algorithms that also support 4-connectivity.
+FOUR_CONN = tuple(n for n in ALL_NAMES if n not in EIGHT_CONNECTIVITY_ONLY)
+
+
+@pytest.mark.parametrize("name", ALL_NAMES)
+def test_partition_matches_oracle_8(structural_image, name):
+    expected, n_expected = flood_fill_label(structural_image, 8)
+    result = get_algorithm(name)(structural_image, 8)
+    assert result.n_components == n_expected
+    assert labelings_equivalent(result.labels, expected)
+
+
+@pytest.mark.parametrize("name", FOUR_CONN)
+def test_partition_matches_oracle_4(structural_image, name):
+    expected, n_expected = flood_fill_label(structural_image, 4)
+    result = get_algorithm(name)(structural_image, 4)
+    assert result.n_components == n_expected
+    assert labelings_equivalent(result.labels, expected)
+
+
+@pytest.mark.parametrize("name", RASTER_ORDER)
+def test_raster_algorithms_match_oracle_exactly(structural_image, name):
+    expected, _ = flood_fill_label(structural_image, 8)
+    result = get_algorithm(name)(structural_image, 8)
+    assert np.array_equal(result.labels, expected)
+
+
+@pytest.mark.parametrize("name", ALL_NAMES)
+def test_labels_are_consecutive(structural_image, name):
+    """Final labels must be exactly {0} | {1..K} (FLATTEN contract)."""
+    result = get_algorithm(name)(structural_image, 8)
+    present = np.unique(result.labels)
+    positive = present[present > 0]
+    assert positive.size == result.n_components
+    if result.n_components:
+        assert positive.min() == 1
+        assert positive.max() == result.n_components
+
+
+@pytest.mark.parametrize("name", ALL_NAMES)
+def test_background_preserved(structural_image, name):
+    result = get_algorithm(name)(structural_image, 8)
+    img = np.asarray(structural_image)
+    assert np.array_equal(result.labels == 0, img == 0)
+
+
+@pytest.mark.skipif(not have_scipy(), reason="scipy not installed")
+@pytest.mark.parametrize("connectivity", [4, 8])
+def test_oracle_agrees_with_scipy(structural_image, connectivity):
+    ours, n_ours = flood_fill_label(structural_image, connectivity)
+    theirs, n_theirs = scipy_label(structural_image, connectivity)
+    assert n_ours == n_theirs
+    assert labelings_equivalent(ours, theirs)
+
+
+@given(
+    img=hnp.arrays(
+        dtype=np.uint8,
+        shape=hnp.array_shapes(min_dims=2, max_dims=2, min_side=1, max_side=24),
+        elements=st.integers(0, 1),
+    ),
+    connectivity=st.sampled_from([4, 8]),
+)
+def test_property_all_algorithms_agree(img, connectivity):
+    """On arbitrary binary images, every algorithm induces the oracle's
+    partition with the oracle's component count."""
+    expected, n_expected = flood_fill_label(img, connectivity)
+    names = ALL_NAMES if connectivity == 8 else FOUR_CONN
+    for name in names:
+        result = get_algorithm(name)(img, connectivity)
+        assert result.n_components == n_expected, name
+        assert labelings_equivalent(result.labels, expected), name
+
+
+@given(
+    img=hnp.arrays(
+        dtype=np.uint8,
+        shape=hnp.array_shapes(min_dims=2, max_dims=2, min_side=1, max_side=20),
+        elements=st.integers(0, 1),
+    )
+)
+def test_property_aremsp_count_equals_scipy(img):
+    if not have_scipy():
+        pytest.skip("scipy not installed")
+    _, n = scipy_label(img, 8)
+    result = get_algorithm("aremsp")(img, 8)
+    assert result.n_components == n
+
+
+@pytest.mark.parametrize("name", ALL_NAMES)
+def test_result_metadata(structural_image, name):
+    result = get_algorithm(name)(structural_image, 8)
+    assert result.labels.dtype == np.int32
+    assert result.labels.shape == np.asarray(structural_image).shape
+    assert result.provisional_count >= result.n_components
+    assert set(result.phase_seconds) >= {"scan", "flatten", "label"}
+    assert all(v >= 0 for v in result.phase_seconds.values())
+    assert result.total_seconds >= 0
+
+
+@pytest.mark.parametrize("name", ALL_NAMES)
+def test_input_not_mutated(name, rng):
+    img = (rng.random((13, 14)) < 0.5).astype(np.uint8)
+    before = img.copy()
+    get_algorithm(name)(img, 8)
+    assert np.array_equal(img, before)
+
+
+@pytest.mark.parametrize("name", ALL_NAMES)
+def test_accepts_bool_input(name):
+    img = np.zeros((6, 6), dtype=bool)
+    img[1:3, 1:3] = True
+    img[4:, 4:] = True
+    result = get_algorithm(name)(img, 8)
+    assert result.n_components == 2

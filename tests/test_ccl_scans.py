@@ -1,0 +1,163 @@
+"""Scan-kernel-level tests: provisional labels, errata cases, allocation
+bounds."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.ccl.labeling import prealloc_capacity, remsp_alloc
+from repro.ccl.scan_aremsp import scan_tworow
+from repro.ccl.scan_cclremsp import scan_decision_tree
+from repro.unionfind.base import roots_of
+from repro.unionfind.remsp import merge
+from repro.verify import flood_fill_label
+
+
+def _scan(img, scan_fn, connectivity=8):
+    img = np.asarray(img, dtype=np.uint8)
+    p = [0] * prealloc_capacity(*img.shape)
+    alloc, used = remsp_alloc(p)
+    labels = scan_fn(img.tolist(), p, merge, alloc, connectivity)
+    return np.asarray(labels, dtype=np.int64).reshape(img.shape), p, used()
+
+
+SCANS = [scan_decision_tree, scan_tworow]
+
+
+@pytest.mark.parametrize("scan_fn", SCANS)
+def test_background_gets_zero(scan_fn):
+    img = np.zeros((4, 4), dtype=np.uint8)
+    img[1, 1] = 1
+    labels, _, _ = _scan(img, scan_fn)
+    assert labels[1, 1] == 1
+    assert (labels == 0).sum() == 15
+
+
+@pytest.mark.parametrize("scan_fn", SCANS)
+def test_provisional_labels_cover_components(scan_fn, structural_image):
+    """Scan + equivalences must induce the oracle partition (FLATTEN is
+    tested separately; here we resolve with roots_of)."""
+    img = np.asarray(structural_image, dtype=np.uint8)
+    labels, p, count = _scan(img, scan_fn)
+    expected, n_expected = flood_fill_label(img, 8)
+    roots = roots_of(p[:count]) if count else np.array([0])
+    resolved = np.where(labels > 0, roots[labels], 0)
+    # same partition: map resolved roots <-> oracle labels bijectively
+    pairs = {
+        (int(a), int(b))
+        for a, b in zip(resolved.ravel(), expected.ravel())
+        if a or b
+    }
+    assert len({a for a, _ in pairs}) == n_expected
+    assert len({b for _, b in pairs}) == n_expected
+    assert len(pairs) == n_expected
+
+
+@pytest.mark.parametrize("scan_fn", SCANS)
+def test_allocation_never_exceeds_capacity_bound(scan_fn, rng):
+    """The prealloc_capacity bound must hold for adversarial images."""
+    for trial in range(30):
+        rows = int(rng.integers(1, 12))
+        cols = int(rng.integers(1, 12))
+        img = (rng.random((rows, cols)) < rng.random()).astype(np.uint8)
+        cap = prealloc_capacity(rows, cols)
+        _, _, count = _scan(img, scan_fn)
+        assert count <= cap
+    # the known worst cases
+    iso = np.zeros((11, 11), dtype=np.uint8)
+    iso[::2, ::2] = 1
+    _, _, count = _scan(iso, scan_fn)
+    assert count - 1 == 36  # 6x6 isolated pixels
+    assert count <= prealloc_capacity(11, 11)
+
+
+def test_erratum1_merge_arity_case():
+    """Alg 6 line 14 case: e labeled from f, a present and disconnected.
+
+        a . .
+        . e .
+        f . .
+    """
+    img = np.array(
+        [
+            [1, 0, 0],
+            [0, 1, 0],
+            [1, 0, 0],
+        ],
+        dtype=np.uint8,
+    )
+    labels, p, count = _scan(img, scan_tworow)
+    roots = roots_of(p[:count])
+    vals = {int(roots[l]) for l in labels[labels > 0].ravel()}
+    assert len(vals) == 1  # a, e, f all one component
+
+
+def test_erratum2_g_new_label_case():
+    """e background, g foreground, d and f background: the paper's text
+    assigns label(e); the correct target is g."""
+    img = np.array([[0, 0], [0, 1]], dtype=np.uint8)
+    labels, _, count = _scan(img, scan_tworow)
+    assert labels[1, 1] == 1
+    assert labels[0, 1] == 0
+    assert count - 1 == 1
+
+
+def test_erratum3_g_binding_in_all_branches():
+    """e and g both foreground with e labeled via every branch: g must
+    inherit e's label each time."""
+    cases = [
+        # b-branch
+        [[0, 1, 0], [0, 1, 0], [0, 1, 0]],
+        # f-branch (f at row+1 col-1)
+        [[0, 0, 0], [0, 1, 0], [1, 1, 0]],
+        # a-branch
+        [[1, 0, 0], [0, 1, 0], [0, 1, 0]],
+        # c-branch
+        [[0, 0, 1], [0, 1, 0], [0, 1, 0]],
+        # d-branch
+        [[0, 0, 0], [1, 1, 0], [0, 1, 0]],
+        # new-label branch
+        [[0, 0, 0], [0, 1, 0], [0, 1, 0]],
+    ]
+    for case in cases:
+        img = np.asarray(case, dtype=np.uint8)
+        expected, n = flood_fill_label(img, 8)
+        labels, p, count = _scan(img, scan_tworow)
+        roots = roots_of(p[:count])
+        resolved = np.where(labels > 0, roots[labels], 0)
+        assert len(np.unique(resolved[resolved > 0])) == n, case
+
+
+def test_tworow_odd_tail_row_connectivity():
+    """The odd final row must connect to the pair above it."""
+    img = np.ones((5, 3), dtype=np.uint8)
+    labels, p, count = _scan(img, scan_tworow)
+    roots = roots_of(p[:count])
+    assert len(np.unique(roots[labels[labels > 0]])) == 1
+
+
+def test_decision_tree_copy_uses_equivalence_array():
+    """copy(x) is label(e) = p[label(x)], not label(x) itself: after a
+    merge lowers x's parent, later copies must pick the lower value."""
+    # row0: two separate seeds; row1 merges them; row2 copies from row1
+    img = np.array(
+        [
+            [1, 0, 1],
+            [0, 1, 0],
+            [0, 1, 0],
+        ],
+        dtype=np.uint8,
+    )
+    labels, p, count = _scan(img, scan_decision_tree)
+    assert labels[2, 1] == 1  # copied through p, the root, not label 2
+
+
+@pytest.mark.parametrize("scan_fn", SCANS)
+@pytest.mark.parametrize("connectivity", [4, 8])
+def test_single_row_image(scan_fn, connectivity):
+    img = np.array([[1, 1, 0, 1, 0, 1, 1, 1]], dtype=np.uint8)
+    labels, p, count = _scan(img, scan_fn, connectivity)
+    roots = roots_of(p[:count])
+    resolved = np.where(labels > 0, roots[labels], 0)
+    assert len(np.unique(resolved[resolved > 0])) == 3

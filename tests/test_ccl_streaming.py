@@ -1,0 +1,141 @@
+"""Streaming row-wise labeling: totals, finalisation timing, memory."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.analysis import areas, bounding_boxes
+from repro.ccl.streaming import StreamingLabeler, stream_label
+from repro.verify import flood_fill_label
+
+
+def _stream_all(img, connectivity=8):
+    return list(stream_label(img, cols=img.shape[1], connectivity=connectivity))
+
+
+def test_totals_match_oracle(structural_image):
+    img = np.asarray(structural_image, dtype=np.uint8)
+    if img.shape[1] == 0:
+        return
+    comps = _stream_all(img)
+    labels, n = flood_fill_label(img, 8)
+    assert len(comps) == n
+    assert sorted(c.area for c in comps) == sorted(areas(labels).tolist())
+
+
+def test_bounding_boxes_match_oracle(rng):
+    img = (rng.random((20, 16)) < 0.4).astype(np.uint8)
+    comps = _stream_all(img)
+    labels, n = flood_fill_label(img, 8)
+    expected = {
+        tuple(b) for b in bounding_boxes(labels).tolist()
+    }
+    assert {c.bbox for c in comps} == expected
+
+
+def test_components_finalized_as_early_as_possible():
+    img = np.array(
+        [
+            [1, 1, 0, 0],
+            [0, 0, 0, 0],
+            [0, 0, 1, 1],
+        ],
+        dtype=np.uint8,
+    )
+    labeler = StreamingLabeler(cols=4)
+    assert labeler.push_row(img[0]) == []
+    done = labeler.push_row(img[1])
+    assert len(done) == 1  # the top run is finalised by the blank row
+    assert done[0].area == 2
+    assert labeler.push_row(img[2]) == []
+    final = labeler.finish()
+    assert len(final) == 1
+    assert final[0].bbox == (2, 2, 2, 3)
+
+
+def test_u_shape_merges_across_frontier():
+    """Two prongs merge at the bottom: the union must fold statistics."""
+    img = np.array(
+        [
+            [1, 0, 1],
+            [1, 0, 1],
+            [1, 1, 1],
+        ],
+        dtype=np.uint8,
+    )
+    comps = _stream_all(img)
+    assert len(comps) == 1
+    assert comps[0].area == 7
+    assert comps[0].bbox == (0, 0, 2, 2)
+
+
+@pytest.mark.parametrize("connectivity", [4, 8])
+def test_connectivity(connectivity):
+    img = np.array([[1, 0], [0, 1]], dtype=np.uint8)
+    comps = _stream_all(img, connectivity)
+    assert len(comps) == (1 if connectivity == 8 else 2)
+
+
+def test_memory_stays_bounded_by_frontier():
+    """100 stacked one-row components: active set must stay tiny even
+    though the total count grows."""
+    labeler = StreamingLabeler(cols=50)
+    blank = np.zeros(50, dtype=np.uint8)
+    stripe = np.ones(50, dtype=np.uint8)
+    total = 0
+    for _ in range(100):
+        total += len(labeler.push_row(stripe))
+        total += len(labeler.push_row(blank))
+        assert labeler.active_components <= 1
+    total += len(labeler.finish())
+    assert total == 100
+
+
+def test_ident_sequence_is_completion_order():
+    img = np.array(
+        [
+            [1, 0, 0],
+            [0, 0, 1],
+            [0, 0, 1],
+        ],
+        dtype=np.uint8,
+    )
+    comps = _stream_all(img)
+    assert [c.ident for c in comps] == [1, 2]
+    assert comps[0].bbox == (0, 0, 0, 0)  # top-left finishes first
+
+
+def test_validation_and_lifecycle():
+    with pytest.raises(ValueError):
+        StreamingLabeler(cols=-1)
+    with pytest.raises(ValueError):
+        StreamingLabeler(cols=4, connectivity=5)
+    labeler = StreamingLabeler(cols=4)
+    with pytest.raises(ValueError):
+        labeler.push_row(np.zeros(3, dtype=np.uint8))
+    labeler.finish()
+    with pytest.raises(RuntimeError):
+        labeler.push_row(np.zeros(4, dtype=np.uint8))
+    with pytest.raises(RuntimeError):
+        labeler.finish()
+
+
+@given(
+    img=hnp.arrays(
+        dtype=np.uint8,
+        shape=hnp.array_shapes(min_dims=2, max_dims=2, min_side=1, max_side=18),
+        elements=st.integers(0, 1),
+    ),
+    connectivity=st.sampled_from([4, 8]),
+)
+@settings(max_examples=40)
+def test_property_streaming_totals(img, connectivity):
+    comps = _stream_all(img, connectivity)
+    labels, n = flood_fill_label(img, connectivity)
+    assert len(comps) == n
+    assert sum(c.area for c in comps) == int(img.sum())
+    assert sorted(c.area for c in comps) == sorted(areas(labels).tolist())

@@ -1,0 +1,85 @@
+"""im2bw fidelity tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.binarize import full_scale_of, im2bw, rgb_to_gray
+from repro.errors import ImageFormatError
+
+
+def test_float_threshold_strictly_greater():
+    img = np.array([[0.49, 0.5, 0.51]])
+    assert im2bw(img, 0.5).tolist() == [[0, 0, 1]]
+
+
+def test_uint8_threshold_scales_to_full_range():
+    img = np.array([[127, 128, 255]], dtype=np.uint8)
+    # 0.5 * 255 = 127.5: 128 and 255 are white
+    assert im2bw(img, 0.5).tolist() == [[0, 1, 1]]
+
+
+def test_uint16_scale():
+    img = np.array([[32767, 32768, 65535]], dtype=np.uint16)
+    assert im2bw(img, 0.5).tolist() == [[0, 1, 1]]
+
+
+def test_level_bounds():
+    img = np.zeros((2, 2))
+    with pytest.raises(ImageFormatError):
+        im2bw(img, -0.1)
+    with pytest.raises(ImageFormatError):
+        im2bw(img, 1.1)
+
+
+def test_level_extremes():
+    img = np.array([[0.0, 0.3, 1.0]])
+    assert im2bw(img, 0.0).tolist() == [[0, 1, 1]]
+    assert im2bw(img, 1.0).tolist() == [[0, 0, 0]]
+
+
+def test_rgb_converted_via_luma():
+    # pure green is bright (0.587), pure blue is dark (0.114)
+    img = np.zeros((1, 2, 3))
+    img[0, 0, 1] = 1.0  # green
+    img[0, 1, 2] = 1.0  # blue
+    assert im2bw(img, 0.5).tolist() == [[1, 0]]
+
+
+def test_rgb_to_gray_weights():
+    rgb = np.ones((1, 1, 3))
+    assert rgb_to_gray(rgb)[0, 0] == pytest.approx(0.9999, abs=1e-3)
+    red = np.zeros((1, 1, 3))
+    red[..., 0] = 1.0
+    assert rgb_to_gray(red)[0, 0] == pytest.approx(0.2989)
+
+
+def test_rgb_to_gray_shape_validation():
+    with pytest.raises(ImageFormatError):
+        rgb_to_gray(np.zeros((4, 4)))
+    with pytest.raises(ImageFormatError):
+        rgb_to_gray(np.zeros((4, 4, 4)))
+
+
+def test_im2bw_rejects_1d():
+    with pytest.raises(ImageFormatError):
+        im2bw(np.zeros(5))
+
+
+def test_output_dtype_and_values():
+    out = im2bw(np.random.default_rng(0).random((8, 8)))
+    assert out.dtype == np.uint8
+    assert set(np.unique(out)) <= {0, 1}
+
+
+def test_full_scale_of():
+    assert full_scale_of(np.zeros(1, dtype=np.uint8)) == 255.0
+    assert full_scale_of(np.zeros(1, dtype=np.uint16)) == 65535.0
+    assert full_scale_of(np.zeros(1, dtype=np.float64)) == 1.0
+
+
+def test_integer_rgb_input():
+    img = np.zeros((1, 1, 3), dtype=np.uint8)
+    img[0, 0] = (255, 255, 255)
+    assert im2bw(img, 0.5)[0, 0] == 1

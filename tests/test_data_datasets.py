@@ -1,0 +1,91 @@
+"""Evaluation-suite construction."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.datasets import (
+    NLCD_PAPER_SIZES_MB,
+    aerial_suite,
+    misc_suite,
+    nlcd_suite,
+    suite_by_name,
+    texture_suite,
+)
+
+
+def test_nlcd_ladder_matches_table3():
+    suite = nlcd_suite(scale=0.005)
+    assert [d.nominal_mb for d in suite] == list(NLCD_PAPER_SIZES_MB)
+    assert [d.name for d in suite] == [f"image_{i}" for i in range(1, 7)]
+    sizes = [d.image.size for d in suite]
+    assert sizes == sorted(sizes)  # ladder is monotone
+
+
+def test_nlcd_images_are_binary_and_nonempty():
+    for d in nlcd_suite(scale=0.005):
+        assert d.image.dtype == np.uint8
+        assert set(np.unique(d.image)) <= {0, 1}
+        assert 0.01 < d.foreground_density < 0.9
+
+
+def test_texture_and_aerial_structure():
+    tex = texture_suite(scale=0.03)
+    aer = aerial_suite(scale=0.03)
+    assert len(tex) == 6 and len(aer) == 6
+    assert all(d.suite == "texture" for d in tex)
+    assert all(d.suite == "aerial" for d in aer)
+    assert all(0.05 < d.foreground_density < 0.95 for d in tex + aer)
+
+
+def test_aerial_coarser_than_texture():
+    """Aerial stand-ins must have larger coherent regions than texture
+    ones (fewer components per pixel) — that is what distinguishes the
+    suites for CCL."""
+    from repro.ccl.run_based import run_based_vectorized
+
+    tex = texture_suite(scale=0.04)[-1]
+    aer = aerial_suite(scale=0.04)[-1]
+    tex_density = run_based_vectorized(tex.image).n_components / tex.image.size
+    aer_density = run_based_vectorized(aer.image).n_components / aer.image.size
+    assert aer_density < tex_density
+
+
+def test_misc_suite_heterogeneous():
+    suite = misc_suite(scale=0.04)
+    names = {d.name for d in suite}
+    assert {"misc_blobs", "misc_noise", "misc_stripes", "misc_spiral"} <= names
+
+
+def test_scale_controls_size():
+    small = nlcd_suite(scale=0.004)[-1]
+    large = nlcd_suite(scale=0.008)[-1]
+    assert large.image.size > small.image.size * 3
+
+
+def test_dataset_image_properties():
+    d = nlcd_suite(scale=0.005)[0]
+    assert d.shape == d.image.shape
+    assert d.actual_mb == pytest.approx(d.image.size / 1e6)
+
+
+def test_deterministic_suites():
+    a = nlcd_suite(scale=0.005, seed=1)
+    b = nlcd_suite(scale=0.005, seed=1)
+    assert all(np.array_equal(x.image, y.image) for x, y in zip(a, b))
+
+
+def test_suite_by_name_dispatch():
+    assert suite_by_name("NLCD")[0].suite == "nlcd"
+    assert suite_by_name("Miscellaneous")[0].suite == "misc"
+    assert suite_by_name("texture", scale=0.03)[0].suite == "texture"
+    with pytest.raises(KeyError):
+        suite_by_name("satellite")
+
+
+def test_even_sided_images():
+    """Dataset images are even-sided so the two-row scan's odd-tail path
+    is exercised only by dedicated tests."""
+    for d in nlcd_suite(scale=0.005) + texture_suite(scale=0.03):
+        assert d.shape[0] % 2 == 0

@@ -1,0 +1,95 @@
+"""The granularity and ridge generators."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.ccl.run_based import run_based_vectorized
+from repro.data import granularity, ridges
+
+
+class TestGranularity:
+    def test_block1_is_plain_noise(self):
+        a = granularity((50, 50), 0.5, block=1, seed=9)
+        assert a.dtype == np.uint8
+        assert 0.35 < a.mean() < 0.65
+
+    def test_blocks_are_uniform(self):
+        img = granularity((32, 32), 0.5, block=4, seed=3)
+        blocks = img.reshape(8, 4, 8, 4)
+        # every 4x4 block is constant
+        assert (blocks.min(axis=(1, 3)) == blocks.max(axis=(1, 3))).all()
+
+    def test_density_preserved_across_block_sizes(self):
+        for block in (1, 2, 8):
+            img = granularity((200, 200), 0.3, block=block, seed=1)
+            assert abs(img.mean() - 0.3) < 0.08, block
+
+    def test_non_divisible_shape_cropped(self):
+        img = granularity((10, 13), 0.5, block=4, seed=2)
+        assert img.shape == (10, 13)
+
+    def test_component_count_falls_with_granularity(self):
+        counts = []
+        for block in (1, 4, 16):
+            img = granularity((128, 128), 0.4, block=block, seed=7)
+            counts.append(run_based_vectorized(img).n_components)
+        assert counts[0] > counts[1] > counts[2]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            granularity((8, 8), 0.5, block=0)
+        with pytest.raises(ValueError):
+            granularity((8, 8), 1.5)
+
+    def test_deterministic(self):
+        a = granularity((20, 20), 0.5, block=2, seed=4)
+        b = granularity((20, 20), 0.5, block=2, seed=4)
+        assert np.array_equal(a, b)
+
+
+class TestRidges:
+    def test_binary_output(self):
+        img = ridges((64, 64), seed=1)
+        assert img.dtype == np.uint8
+        assert set(np.unique(img)) <= {0, 1}
+
+    def test_roughly_half_coverage(self):
+        img = ridges((128, 128), seed=2)
+        assert 0.3 < img.mean() < 0.7
+
+    def test_fewer_components_than_noise(self):
+        """Ridges must be few and large relative to noise at the same
+        density — the structural signature of the pattern."""
+        from repro.data import random_noise
+
+        img = ridges((96, 96), wavelength=8, seed=3)
+        noise = random_noise((96, 96), float(img.mean()), seed=3)
+        n_ridges = run_based_vectorized(img).n_components
+        n_noise = run_based_vectorized(noise).n_components
+        assert n_ridges * 3 < n_noise
+
+    def test_components_are_elongated(self):
+        """Ridge components fill a small fraction of their bounding box
+        — the thin-and-winding signature an OCR blob would not have."""
+        from repro.analysis import areas, bounding_boxes
+
+        img = ridges((96, 96), wavelength=8, seed=4)
+        labels = run_based_vectorized(img).labels
+        a = areas(labels)
+        boxes = bounding_boxes(labels)
+        box_area = (boxes[:, 2] - boxes[:, 0] + 1) * (
+            boxes[:, 3] - boxes[:, 1] + 1
+        )
+        big = a >= 50  # ignore fragments clipped by the border
+        assert big.any()
+        fill = a[big] / box_area[big]
+        assert float(np.median(fill)) < 0.5
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ridges((8, 8), wavelength=0)
+
+    def test_deterministic(self):
+        assert np.array_equal(ridges((30, 30), seed=5), ridges((30, 30), seed=5))

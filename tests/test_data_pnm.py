@@ -1,0 +1,146 @@
+"""PBM/PGM codec: roundtrips, cross-format equivalence, malformed input."""
+
+from __future__ import annotations
+
+import io
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.data.pnm import read_pnm, write_pnm
+from repro.errors import ImageFormatError
+
+
+def _roundtrip(arr, **kw):
+    buf = io.BytesIO()
+    write_pnm(buf, arr, **kw)
+    buf.seek(0)
+    return read_pnm(buf)
+
+
+@pytest.mark.parametrize("binary", [True, False])
+def test_bitmap_roundtrip(binary, rng):
+    img = (rng.random((13, 17)) < 0.5).astype(np.uint8)
+    out = _roundtrip(img, binary=binary)
+    assert np.array_equal(out, img)
+    assert out.dtype == np.uint8
+
+
+@pytest.mark.parametrize("binary", [True, False])
+def test_graymap_roundtrip(binary, rng):
+    img = rng.integers(0, 256, size=(9, 11)).astype(np.uint8)
+    img[0, 0] = 2  # ensure non-bitmap
+    out = _roundtrip(img, binary=binary)
+    assert np.array_equal(out, img)
+
+
+def test_16bit_graymap_roundtrip(rng):
+    img = rng.integers(0, 65536, size=(6, 5)).astype(np.uint16)
+    img[0, 0] = 1000
+    out = _roundtrip(img, binary=True)
+    assert np.array_equal(out, img)
+    assert out.dtype == np.uint16
+
+
+def test_width_not_multiple_of_8_packing():
+    """P4 packs bits MSB-first with row padding — widths straddling byte
+    boundaries are the classic bug."""
+    for width in (1, 7, 8, 9, 15, 16, 17):
+        img = (np.arange(3 * width).reshape(3, width) % 2).astype(np.uint8)
+        assert np.array_equal(_roundtrip(img, binary=True), img)
+
+
+def test_magic_headers():
+    buf = io.BytesIO()
+    write_pnm(buf, np.ones((2, 2), dtype=np.uint8), binary=True)
+    assert buf.getvalue().startswith(b"P4")
+    buf = io.BytesIO()
+    write_pnm(buf, np.full((2, 2), 9, dtype=np.uint8), binary=False)
+    assert buf.getvalue().startswith(b"P2")
+
+
+def test_comments_in_header():
+    data = b"P2\n# a comment\n2 2\n# another\n255\n0 1 2 3\n"
+    out = read_pnm(io.BytesIO(data))
+    assert out.tolist() == [[0, 1], [2, 3]]
+
+
+def test_p1_ascii_dense_pixels():
+    data = b"P1\n3 2\n101\n010\n"
+    out = read_pnm(io.BytesIO(data))
+    assert out.tolist() == [[1, 0, 1], [0, 1, 0]]
+
+
+def test_file_path_roundtrip(tmp_path, rng):
+    img = (rng.random((8, 8)) < 0.5).astype(np.uint8)
+    path = tmp_path / "img.pbm"
+    write_pnm(path, img)
+    assert np.array_equal(read_pnm(path), img)
+
+
+class TestMalformed:
+    def test_bad_magic(self):
+        with pytest.raises(ImageFormatError):
+            read_pnm(io.BytesIO(b"P7\n1 1\n255\n\x00"))
+
+    def test_truncated_header(self):
+        with pytest.raises(ImageFormatError):
+            read_pnm(io.BytesIO(b"P5\n4"))
+
+    def test_zero_dimension(self):
+        with pytest.raises(ImageFormatError):
+            read_pnm(io.BytesIO(b"P5\n0 4\n255\n"))
+
+    def test_truncated_binary_pixels(self):
+        with pytest.raises(ImageFormatError):
+            read_pnm(io.BytesIO(b"P5\n4 4\n255\n\x00\x01"))
+
+    def test_truncated_ascii_pixels(self):
+        with pytest.raises(ImageFormatError):
+            read_pnm(io.BytesIO(b"P2\n3 3\n255\n1 2 3"))
+
+    def test_bad_maxval(self):
+        with pytest.raises(ImageFormatError):
+            read_pnm(io.BytesIO(b"P5\n2 2\n70000\n" + b"\x00" * 8))
+
+    def test_writer_rejects_negative(self):
+        with pytest.raises(ImageFormatError):
+            write_pnm(io.BytesIO(), np.array([[-1, 2]]))
+
+    def test_writer_rejects_non_rgb_3d(self):
+        # (H, W, 3) is now a valid PPM; other depths are not
+        with pytest.raises(ImageFormatError):
+            write_pnm(io.BytesIO(), np.zeros((2, 2, 2)))
+
+    def test_writer_rejects_samples_over_maxval(self):
+        with pytest.raises(ImageFormatError):
+            write_pnm(io.BytesIO(), np.array([[300]]), maxval=255)
+
+
+@given(
+    img=hnp.arrays(
+        dtype=np.uint8,
+        shape=hnp.array_shapes(min_dims=2, max_dims=2, min_side=1, max_side=24),
+        elements=st.integers(0, 1),
+    ),
+    binary=st.booleans(),
+)
+def test_property_bitmap_roundtrip(img, binary):
+    assert np.array_equal(_roundtrip(img, binary=binary), img)
+
+
+def test_ccl_pipeline_through_pnm(tmp_path):
+    """End-to-end: write an image, read it back, label it."""
+    from repro import label
+    from repro.data import blobs
+
+    img = blobs((32, 32), seed=8)
+    path = tmp_path / "blobs.pbm"
+    write_pnm(path, img)
+    labels, n = label(read_pnm(path))
+    from repro.verify import flood_fill_label
+
+    assert n == flood_fill_label(img, 8)[1]

@@ -1,0 +1,91 @@
+"""Colour pixmap (P3/P6) support and the color -> im2bw -> CCL pipeline."""
+
+from __future__ import annotations
+
+import io
+
+import numpy as np
+import pytest
+
+from repro.data import im2bw
+from repro.data.pnm import read_pnm, write_pnm
+from repro.errors import ImageFormatError
+
+
+def _roundtrip(arr, **kw):
+    buf = io.BytesIO()
+    write_pnm(buf, arr, **kw)
+    buf.seek(0)
+    return buf, read_pnm(buf)
+
+
+@pytest.mark.parametrize("binary", [True, False])
+def test_rgb_roundtrip(binary, rng):
+    img = rng.integers(0, 256, size=(7, 9, 3)).astype(np.uint8)
+    buf, out = _roundtrip(img, binary=binary)
+    assert out.shape == (7, 9, 3)
+    assert np.array_equal(out, img)
+    assert buf.getvalue().startswith(b"P6" if binary else b"P3")
+
+
+def test_16bit_rgb_roundtrip(rng):
+    img = rng.integers(0, 65536, size=(4, 5, 3)).astype(np.uint16)
+    img[0, 0, 0] = 60000
+    _, out = _roundtrip(img, binary=True)
+    assert np.array_equal(out, img)
+    assert out.dtype == np.uint16
+
+
+def test_p3_ascii_parse():
+    data = b"P3\n2 1\n255\n255 0 0  0 255 0\n"
+    out = read_pnm(io.BytesIO(data))
+    assert out.shape == (1, 2, 3)
+    assert out[0, 0].tolist() == [255, 0, 0]
+    assert out[0, 1].tolist() == [0, 255, 0]
+
+
+def test_truncated_p6():
+    with pytest.raises(ImageFormatError):
+        read_pnm(io.BytesIO(b"P6\n2 2\n255\n\x00\x01"))
+
+
+def test_truncated_p3():
+    with pytest.raises(ImageFormatError):
+        read_pnm(io.BytesIO(b"P3\n2 2\n255\n1 2 3"))
+
+
+def test_writer_rejects_negative_rgb():
+    with pytest.raises(ImageFormatError):
+        write_pnm(io.BytesIO(), np.full((2, 2, 3), -1))
+
+
+def test_writer_rejects_4_channels():
+    with pytest.raises(ImageFormatError):
+        write_pnm(io.BytesIO(), np.zeros((2, 2, 4)))
+
+
+def test_color_to_binary_pipeline(rng):
+    """The paper's full preprocessing: colour photo -> gray -> binary."""
+    rgb = rng.integers(0, 256, size=(24, 24, 3)).astype(np.uint8)
+    _, loaded = _roundtrip(rgb, binary=True)
+    binary = im2bw(loaded, 0.5)
+    assert set(np.unique(binary)) <= {0, 1}
+    import repro
+
+    labels, n = repro.label(binary)
+    from repro.verify import flood_fill_label
+
+    assert n == flood_fill_label(binary, 8)[1]
+
+
+def test_cli_accepts_color_ppm(tmp_path, rng):
+    from repro.cli import main
+
+    rgb = rng.integers(0, 256, size=(16, 16, 3)).astype(np.uint8)
+    path = tmp_path / "photo.ppm"
+    write_pnm(path, rgb)
+    out = tmp_path / "labels.npy"
+    assert main([str(path), str(out), "--level", "0.5"]) == 0
+    labels = np.load(out)
+    expected = im2bw(rgb, 0.5)
+    assert np.array_equal(labels > 0, expected == 1)

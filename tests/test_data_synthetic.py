@@ -1,0 +1,136 @@
+"""Synthetic generators: determinism, value sets, structural guarantees."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.synthetic import (
+    blobs,
+    checkerboard,
+    diagonal_stripes,
+    halves,
+    maze,
+    random_noise,
+    solid,
+    spiral,
+)
+from repro.verify import flood_fill_label
+
+GENERATORS = [
+    ("noise", lambda: random_noise((20, 24), 0.5, seed=1)),
+    ("blobs", lambda: blobs((20, 24), 0.5, seed=1)),
+    ("checker", lambda: checkerboard((20, 24), 2)),
+    ("stripes", lambda: diagonal_stripes((20, 24), 5, 2)),
+    ("spiral", lambda: spiral((21, 21), 2)),
+    ("maze", lambda: maze((20, 24), 0.5, seed=1)),
+    ("solid", lambda: solid((20, 24))),
+    ("halves", lambda: halves((20, 24))),
+]
+
+
+@pytest.mark.parametrize("name,gen", GENERATORS, ids=[n for n, _ in GENERATORS])
+def test_canonical_binary_output(name, gen):
+    img = gen()
+    assert img.dtype == np.uint8
+    assert set(np.unique(img)) <= {0, 1}
+
+
+def test_noise_density_controls_mean():
+    lo = random_noise((200, 200), 0.1, seed=0).mean()
+    hi = random_noise((200, 200), 0.9, seed=0).mean()
+    assert 0.05 < lo < 0.15
+    assert 0.85 < hi < 0.95
+
+
+def test_noise_density_validation():
+    with pytest.raises(ValueError):
+        random_noise((4, 4), 1.5)
+
+
+def test_seeded_generators_deterministic():
+    assert np.array_equal(
+        random_noise((16, 16), 0.4, seed=9), random_noise((16, 16), 0.4, seed=9)
+    )
+    assert np.array_equal(
+        blobs((16, 16), 0.5, seed=9), blobs((16, 16), 0.5, seed=9)
+    )
+    assert np.array_equal(
+        maze((16, 16), 0.5, seed=9), maze((16, 16), 0.5, seed=9)
+    )
+    assert not np.array_equal(
+        random_noise((16, 16), 0.4, seed=9), random_noise((16, 16), 0.4, seed=10)
+    )
+
+
+def test_checkerboard_unit_cells_single_component_8conn():
+    img = checkerboard((10, 10), 1)
+    _, n8 = flood_fill_label(img, 8)
+    _, n4 = flood_fill_label(img, 4)
+    assert n8 == 1
+    assert n4 == img.sum()  # every square isolated under 4-connectivity
+
+
+def test_checkerboard_cell_size():
+    img = checkerboard((8, 8), 4)
+    assert img[:4, :4].sum() == 0
+    assert img[:4, 4:].sum() == 16
+
+
+def test_checkerboard_validation():
+    with pytest.raises(ValueError):
+        checkerboard((4, 4), 0)
+
+
+def test_stripes_are_diagonally_connected():
+    img = diagonal_stripes((24, 24), period=4, width=1)
+    _, n = flood_fill_label(img, 8)
+    # each anti-diagonal stripe is one component
+    assert n >= 2
+    assert img.mean() == pytest.approx(1 / 4, abs=0.05)
+
+
+def test_stripes_validation():
+    with pytest.raises(ValueError):
+        diagonal_stripes((8, 8), period=1)
+    with pytest.raises(ValueError):
+        diagonal_stripes((8, 8), period=4, width=4)
+
+
+@pytest.mark.parametrize("size", [5, 8, 13, 21, 34])
+@pytest.mark.parametrize("gap", [2, 3])
+def test_spiral_single_component(size, gap):
+    img = spiral((size, size), gap)
+    _, n = flood_fill_label(img, 8)
+    assert n == 1
+
+
+def test_spiral_validation():
+    with pytest.raises(ValueError):
+        spiral((9, 9), gap=1)
+
+
+def test_solid_values():
+    assert solid((3, 3), 1).all()
+    assert not solid((3, 3), 0).any()
+    with pytest.raises(ValueError):
+        solid((3, 3), 2)
+
+
+def test_halves_orientations():
+    v = halves((4, 6), "vertical")
+    h = halves((4, 6), "horizontal")
+    assert v[:, :3].all() and not v[:, 3:].any()
+    assert h[:2, :].all() and not h[2:, :].any()
+    with pytest.raises(ValueError):
+        halves((4, 4), "diagonal")
+
+
+def test_blobs_smoother_than_noise():
+    """CA smoothing must reduce the component count drastically (below
+    the percolation threshold, where noise is fragment-rich)."""
+    noise = random_noise((60, 60), 0.35, seed=4)
+    smooth = blobs((60, 60), 0.35, smoothing_steps=4, seed=4)
+    _, n_noise = flood_fill_label(noise, 8)
+    _, n_smooth = flood_fill_label(smooth, 8)
+    assert n_smooth < n_noise / 2

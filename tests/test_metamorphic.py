@@ -1,0 +1,138 @@
+"""Metamorphic properties of labeling.
+
+These tests encode relations that must hold between labelings of
+*transformed* images, with no oracle in the loop — they catch bug
+classes (mask asymmetries, boundary handling) that oracle comparison on
+random inputs can miss, because the transformation targets the
+symmetry directly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.analysis import areas
+from repro.ccl.registry import ALGORITHMS, get_algorithm
+from repro.verify import canonicalize_labeling, labelings_equivalent
+
+FAST = ("aremsp", "cclremsp", "run-vectorized")
+
+imgs = hnp.arrays(
+    dtype=np.uint8,
+    shape=hnp.array_shapes(min_dims=2, max_dims=2, min_side=1, max_side=18),
+    elements=st.integers(0, 1),
+)
+
+
+@pytest.mark.parametrize("name", FAST)
+@given(img=imgs)
+@settings(max_examples=25)
+def test_flip_invariance(name, img):
+    """Labeling commutes with horizontal/vertical flips up to
+    relabeling: flip(label(img)) ~ label(flip(img))."""
+    fn = get_algorithm(name)
+    base = fn(img, 8).labels
+    for axis in (0, 1):
+        flipped = fn(np.flip(img, axis=axis).copy(), 8).labels
+        assert labelings_equivalent(np.flip(base, axis=axis), flipped)
+
+
+@pytest.mark.parametrize("name", FAST)
+@given(img=imgs)
+@settings(max_examples=25)
+def test_transpose_invariance(name, img):
+    fn = get_algorithm(name)
+    base = fn(img, 8).labels
+    transposed = fn(np.ascontiguousarray(img.T), 8).labels
+    assert labelings_equivalent(base.T, transposed)
+
+
+@pytest.mark.parametrize("name", FAST)
+@given(img=imgs, pad=st.integers(1, 3))
+@settings(max_examples=25)
+def test_padding_invariance(name, img, pad):
+    """Surrounding the image with background must not change the
+    labeling of the original region (labels are canonical, so even the
+    numbers must survive)."""
+    fn = get_algorithm(name)
+    base = canonicalize_labeling(fn(img, 8).labels)
+    padded = np.pad(img, pad)
+    inner = canonicalize_labeling(fn(padded, 8).labels)[
+        pad : pad + img.shape[0], pad : pad + img.shape[1]
+    ]
+    assert np.array_equal(base, inner)
+
+
+@pytest.mark.parametrize("name", FAST)
+@given(img=imgs)
+@settings(max_examples=25)
+def test_component_count_monotone_under_pixel_addition(name, img):
+    """Adding one foreground pixel can change the count by at most +1
+    (it may merge arbitrarily many components, but creates at most one)."""
+    fn = get_algorithm(name)
+    n_before = fn(img, 8).n_components
+    img2 = img.copy()
+    bg = np.argwhere(img2 == 0)
+    if len(bg) == 0:
+        return
+    r, c = bg[0]
+    img2[r, c] = 1
+    n_after = fn(img2, 8).n_components
+    assert n_after <= n_before + 1
+
+
+@given(img=imgs)
+@settings(max_examples=25)
+def test_total_area_conservation(img):
+    """Sum of component areas == foreground pixel count."""
+    labels = get_algorithm("aremsp")(img, 8).labels
+    assert int(areas(labels).sum()) == int(img.sum())
+
+
+@given(img=imgs)
+@settings(max_examples=25)
+def test_4conn_refines_8conn(img):
+    """Every 4-connected component is contained in exactly one
+    8-connected component (4-connectivity refines 8-connectivity)."""
+    fn = get_algorithm("aremsp")
+    l8 = fn(img, 8).labels
+    l4 = fn(img, 4).labels
+    fg = img == 1
+    if not fg.any():
+        return
+    pairs = set(zip(l4[fg].tolist(), l8[fg].tolist()))
+    # each 4-label maps to exactly one 8-label
+    assert len({a for a, _ in pairs}) == len(pairs)
+    assert fn(img, 4).n_components >= fn(img, 8).n_components
+
+
+@given(img=imgs)
+@settings(max_examples=20)
+def test_inversion_duality_bound(img):
+    """Foreground components (8-conn) and background components (4-conn)
+    satisfy the planarity bound used by the Euler-number computation:
+    inverting cannot create components out of nothing."""
+    fn = get_algorithm("run-vectorized")
+    n_fg = fn(img, 8).n_components
+    inv = (1 - img).astype(np.uint8)
+    n_bg = fn(inv, 4).n_components
+    # both quantities are bounded by the pixel count and non-negative;
+    # a sealed hole implies at least one enclosing fg component
+    if n_bg > 1 and img.shape[0] > 2 and img.shape[1] > 2:
+        assert n_fg >= 1
+
+
+@pytest.mark.parametrize("name", sorted(ALGORITHMS))
+def test_double_labeling_idempotent(name, rng):
+    """Labeling the binarized label image (labels > 0) reproduces the
+    same partition — labeling is idempotent as a set operation."""
+    img = (rng.random((14, 14)) < 0.5).astype(np.uint8)
+    fn = get_algorithm(name)
+    first = fn(img, 8)
+    again = fn((first.labels > 0).astype(np.uint8), 8)
+    assert again.n_components == first.n_components
+    assert labelings_equivalent(again.labels, first.labels)

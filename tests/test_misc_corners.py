@@ -1,0 +1,106 @@
+"""Remaining coverage corners across the package."""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.bench.report import render_series, render_table
+from repro.mp import SpmdError, run_spmd
+from repro.parallel import paremsp
+from repro.simmachine import CostModel
+
+
+def test_paremsp_simulated_honours_custom_cost_model(rng):
+    """The cost_model kwarg must reach the simulated backend."""
+    img = (rng.random((24, 24)) < 0.5).astype(np.uint8)
+    zero = CostModel(
+        t_pixel=0, t_read=0, t_merge=0, t_step=0, t_lock=0,
+        t_flatten=0, t_label=0, t_spawn=0, t_barrier=0,
+    )
+    result = paremsp(img, n_threads=4, backend="simulated", cost_model=zero)
+    assert result.total_seconds == 0.0
+    assert result.n_components > 0
+
+
+def test_paremsp_cost_model_ignored_by_real_backends(rng):
+    img = (rng.random((12, 12)) < 0.5).astype(np.uint8)
+    result = paremsp(img, n_threads=2, backend="serial", cost_model=None)
+    assert result.total_seconds > 0.0
+
+
+def test_run_spmd_timeout_surfaces_hung_ranks():
+    def program(comm):
+        if comm.rank == 1:
+            time.sleep(5.0)
+        return comm.rank
+
+    with pytest.raises(SpmdError) as info:
+        run_spmd(program, 2, timeout=0.4)
+    assert 1 in info.value.failures
+
+
+def test_render_series_handles_missing_points():
+    out = render_series({"a": {1: 1.0, 4: 3.0}, "b": {1: 1.0, 2: 1.5}})
+    lines = out.splitlines()
+    assert any("4" in l for l in lines)
+    # missing b@4 renders as an empty cell, not a crash
+    assert "3.00" in out and "1.50" in out
+
+
+def test_render_table_ragged_rows_padded():
+    out = render_table(["a", "b", "c"], [["x"], ["y", "1", "2"]])
+    assert "x" in out and "2" in out
+
+
+def test_render_gantt_degenerate():
+    from repro.simmachine import simulate_paremsp
+    from repro.simmachine.trace import render_gantt
+
+    zero = CostModel(
+        t_pixel=0, t_read=0, t_merge=0, t_step=0, t_lock=0,
+        t_flatten=0, t_label=0, t_spawn=0, t_barrier=0,
+    )
+    sim = simulate_paremsp(
+        np.ones((4, 4), dtype=np.uint8), 2, cost_model=zero
+    )
+    assert "zero-duration" in render_gantt(sim)
+
+
+def test_simulate_empty_image_trace():
+    from repro.simmachine import simulate_paremsp
+    from repro.simmachine.trace import build_trace
+
+    sim = simulate_paremsp(np.zeros((0, 0), dtype=np.uint8), 2)
+    spans = build_trace(sim)
+    # spawn + label lanes may exist; nothing crashes
+    assert all(s.duration >= 0 for s in spans)
+
+
+def test_connectivity_enum_round_trip():
+    from repro.types import Connectivity
+
+    assert int(Connectivity.EIGHT) == 8
+    assert Connectivity(Connectivity.FOUR) is Connectivity.FOUR
+
+
+def test_grayscale_runs_single_column(rng):
+    from repro.ccl.grayscale import grayscale_label_runs
+    from repro.verify.gray_oracle import gray_flood_fill_label
+
+    img = rng.integers(0, 3, size=(9, 1))
+    got = grayscale_label_runs(img, 8)
+    _, n = gray_flood_fill_label(img, 8, 0)
+    assert got.n_components == n
+
+
+def test_distributed_label_rank_results_only_root_returns(rng):
+    from repro.mp import run_spmd
+    from repro.parallel.distributed import distributed_label_program
+
+    img = (rng.random((10, 8)) < 0.5).astype(np.uint8)
+    results = run_spmd(distributed_label_program, 3, img, 8)
+    assert results[0] is not None
+    assert results[1] is None and results[2] is None

@@ -1,0 +1,184 @@
+"""The message-passing substrate: point-to-point + collectives."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.mp import Communicator, SpmdError, run_spmd
+from repro.mp.comm import Network
+
+
+def test_network_validation():
+    with pytest.raises(ValueError):
+        Network(0)
+
+
+def test_single_rank_runs():
+    assert run_spmd(lambda comm: comm.rank, 1) == [0]
+
+
+def test_rank_and_size():
+    out = run_spmd(lambda comm: (comm.rank, comm.size), 4)
+    assert out == [(0, 4), (1, 4), (2, 4), (3, 4)]
+
+
+def test_send_recv_pair():
+    def program(comm):
+        if comm.rank == 0:
+            comm.send({"x": 1}, dest=1, tag=7)
+            return None
+        return comm.recv(0, tag=7)
+
+    assert run_spmd(program, 2)[1] == {"x": 1}
+
+
+def test_send_recv_fifo_per_tag():
+    def program(comm):
+        if comm.rank == 0:
+            for i in range(5):
+                comm.send(i, dest=1)
+            return None
+        return [comm.recv(0) for _ in range(5)]
+
+    assert run_spmd(program, 2)[1] == [0, 1, 2, 3, 4]
+
+
+def test_tags_are_independent_channels():
+    def program(comm):
+        if comm.rank == 0:
+            comm.send("a", dest=1, tag=1)
+            comm.send("b", dest=1, tag=2)
+            return None
+        # receive in the opposite order of sending
+        second = comm.recv(0, tag=2)
+        first = comm.recv(0, tag=1)
+        return (first, second)
+
+    assert run_spmd(program, 2)[1] == ("a", "b")
+
+
+def test_invalid_rank_rejected():
+    def program(comm):
+        comm.send(1, dest=99)
+
+    with pytest.raises(SpmdError):
+        run_spmd(program, 2)
+
+
+def test_bcast():
+    def program(comm):
+        return comm.bcast("payload" if comm.rank == 0 else None)
+
+    assert run_spmd(program, 3) == ["payload"] * 3
+
+
+def test_bcast_nonzero_root():
+    def program(comm):
+        return comm.bcast(comm.rank if comm.rank == 2 else None, root=2)
+
+    assert run_spmd(program, 4) == [2, 2, 2, 2]
+
+
+def test_gather():
+    def program(comm):
+        return comm.gather(comm.rank * comm.rank)
+
+    out = run_spmd(program, 4)
+    assert out[0] == [0, 1, 4, 9]
+    assert out[1:] == [None, None, None]
+
+
+def test_allgather():
+    out = run_spmd(lambda comm: comm.allgather(comm.rank), 3)
+    assert out == [[0, 1, 2]] * 3
+
+
+def test_scatter():
+    def program(comm):
+        data = [f"item{i}" for i in range(comm.size)] if comm.rank == 0 else None
+        return comm.scatter(data)
+
+    assert run_spmd(program, 3) == ["item0", "item1", "item2"]
+
+
+def test_scatter_wrong_length(monkeypatch):
+    # the non-root rank blocks on the broken collective; shrink the
+    # deadlock timeout so the failure surfaces quickly.
+    monkeypatch.setattr(Communicator, "RECV_TIMEOUT", 1.0)
+
+    def program(comm):
+        return comm.scatter([1] if comm.rank == 0 else None)
+
+    with pytest.raises(SpmdError):
+        run_spmd(program, 2)
+
+
+def test_reduce_default_sum():
+    def program(comm):
+        return comm.reduce(comm.rank + 1)
+
+    out = run_spmd(program, 4)
+    assert out[0] == 10
+    assert out[1:] == [None] * 3
+
+
+def test_allreduce_custom_op():
+    def program(comm):
+        return comm.allreduce(comm.rank + 1, op=lambda a, b: a * b)
+
+    assert run_spmd(program, 4) == [24] * 4
+
+
+def test_barrier_orders_phases():
+    import threading
+
+    hits: list[int] = []
+    lock = threading.Lock()
+
+    def program(comm):
+        with lock:
+            hits.append(1)
+        comm.barrier()
+        # after the barrier every rank must have registered phase 1
+        return len(hits)
+
+    out = run_spmd(program, 4)
+    assert all(v == 4 for v in out)
+
+
+def test_numpy_payloads():
+    def program(comm):
+        arr = np.arange(5) * comm.rank
+        total = comm.allreduce(arr, op=lambda a, b: a + b)
+        return total.tolist()
+
+    out = run_spmd(program, 3)
+    assert out == [[0, 3, 6, 9, 12]] * 3
+
+
+def test_collective_sequence_stays_aligned():
+    """Many collectives in a row — the internal tag sequencing must keep
+    them from bleeding into each other."""
+
+    def program(comm):
+        acc = []
+        for i in range(10):
+            acc.append(comm.allreduce(i + comm.rank))
+        return acc
+
+    out = run_spmd(program, 3)
+    expected = [3 * i + 3 for i in range(10)]
+    assert out == [expected] * 3
+
+
+def test_exception_propagates_with_rank():
+    def program(comm):
+        if comm.rank == 1:
+            raise ValueError("boom")
+        return comm.rank
+
+    with pytest.raises(SpmdError) as exc_info:
+        run_spmd(program, 2)
+    assert 1 in exc_info.value.failures
+    assert isinstance(exc_info.value.failures[1], ValueError)

@@ -1,0 +1,173 @@
+"""Negative controls: deliberately broken variants must be *caught*.
+
+Each test builds a sabotaged version of one pipeline stage and asserts
+the result disagrees with the oracle. This demonstrates the test
+suite's sensitivity — if one of these ever starts passing as "correct",
+the corresponding stage has silently become dead code.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ccl.labeling import apply_table, prealloc_capacity, remsp_alloc
+from repro.ccl.scan_aremsp import scan_tworow
+from repro.parallel.partition import partition_rows
+from repro.unionfind.flatten import flatten, flatten_ranges
+from repro.unionfind.remsp import merge as remsp_merge
+from repro.verify import flood_fill_label, labelings_equivalent
+
+
+def _spanning_image() -> np.ndarray:
+    img = np.zeros((16, 8), dtype=np.uint8)
+    img[:, 3] = 1  # one component through every chunk
+    return img
+
+
+def test_boundary_merge_is_load_bearing():
+    """PAREMSP without the boundary pass must over-count."""
+    img = _spanning_image()
+    rows, cols = img.shape
+    img_rows = img.tolist()
+    chunks = partition_rows(rows, cols, 4)
+    p = [0] * (rows * cols + 2)
+    label_rows: list[list[int]] = []
+    used = []
+    for chunk in chunks:
+        alloc, watermark = remsp_alloc(p, start=chunk.label_start)
+        label_rows.extend(
+            scan_tworow(
+                img_rows[chunk.row_start : chunk.row_stop],
+                p,
+                remsp_merge,
+                alloc,
+                8,
+            )
+        )
+        used.append(watermark())
+    # -- sabotage: skip the boundary merge entirely --
+    ranges = [(c.label_start, u) for c, u in zip(chunks, used)]
+    n = flatten_ranges(p, ranges)
+    assert n == 4  # one fragment per chunk
+    _, n_true = flood_fill_label(img, 8)
+    assert n != n_true  # the bug is visible
+
+
+# A shape whose two-row scan MUST issue a merge (copies cannot resolve
+# it): e = (2, 1) sees a = (1, 0) and c = (1, 2) as two different
+# provisional sets — the copy(a) branch plus an explicit merge with c.
+_MERGE_REQUIRED = np.array(
+    [
+        [0, 0, 0, 0],
+        [1, 0, 1, 0],
+        [0, 1, 0, 0],
+        [0, 0, 0, 1],  # plus one isolated pixel -> a third label
+    ],
+    dtype=np.uint8,
+)
+
+
+def test_equivalence_recording_is_load_bearing():
+    """A scan whose merge is a no-op must split merge-requiring shapes."""
+    img = _MERGE_REQUIRED
+    p = [0] * prealloc_capacity(*img.shape)
+    alloc, used = remsp_alloc(p)
+
+    def broken_merge(pp, x, y):
+        return x  # records nothing
+
+    scan_tworow(img.tolist(), p, broken_merge, alloc, 8)
+    n = flatten(p, used())
+    _, n_true = flood_fill_label(img, 8)
+    assert n_true == 2
+    assert n > n_true  # a/c stayed split without the merge
+
+
+def test_flatten_is_load_bearing():
+    """Skipping FLATTEN leaves non-consecutive labels after a merge."""
+    img = _MERGE_REQUIRED
+    p = [0] * prealloc_capacity(*img.shape)
+    alloc, used = remsp_alloc(p)
+    label_rows = scan_tworow(img.tolist(), p, remsp_merge, alloc, 8)
+    # -- sabotage: apply the raw equivalence array without flattening --
+    raw = apply_table(label_rows, p, used()).reshape(img.shape)
+    expected, n_true = flood_fill_label(img, 8)
+    assert n_true == 2
+    # labels 1 and 2 merged, so the isolated pixel keeps provisional
+    # label 3: {1, 3} instead of the canonical {1, 2}.
+    assert int(raw.max()) == 3
+    assert not np.array_equal(raw, expected)
+    # control: flattening fixes it
+    p2 = [0] * prealloc_capacity(*img.shape)
+    alloc2, used2 = remsp_alloc(p2)
+    rows2 = scan_tworow(img.tolist(), p2, remsp_merge, alloc2, 8)
+    count2 = used2()
+    assert flatten(p2, count2) == 2
+    fixed = apply_table(rows2, p2, count2).reshape(img.shape)
+    assert labelings_equivalent(fixed, expected)
+
+
+def test_tile_column_seams_are_load_bearing():
+    """Tiled labeling without vertical seams must split a horizontal
+    band crossing tile columns (reimplements the driver minus one
+    stage)."""
+    from repro.ccl.run_based import run_based_vectorized
+    from repro.parallel.boundary import merge_boundary_row
+    from repro.types import LABEL_DTYPE
+
+    img = np.zeros((4, 12), dtype=np.uint8)
+    img[2, :] = 1
+    th, tw = 4, 4
+    labels = np.zeros(img.shape, dtype=LABEL_DTYPE)
+    count = 1
+    for c0 in range(0, 12, tw):
+        local = run_based_vectorized(img[:, c0 : c0 + tw], 8)
+        if local.n_components:
+            labels[:, c0 : c0 + tw] = np.where(
+                local.labels > 0, local.labels + (count - 1), 0
+            )
+            count += local.n_components
+    p = list(range(count))
+    # -- sabotage: only horizontal seams (there are none here) --
+    n = flatten(p, count)
+    assert n == 3  # one fragment per tile column
+    _, n_true = flood_fill_label(img, 8)
+    assert n != n_true
+    # control: with the column seams the count is right
+    p2 = list(range(count))
+    for c in range(tw, 12, tw):
+        merge_boundary_row(
+            [labels[:, c - 1], labels[:, c]], 1, 4, p2, remsp_merge, 8
+        )
+    assert flatten(p2, count) == n_true
+
+
+def test_label_range_offsets_are_load_bearing():
+    """Chunks sharing one label space must collide and corrupt counts."""
+    img = np.zeros((8, 4), dtype=np.uint8)
+    img[0, 0] = 1  # one component in chunk 0
+    img[5, 2] = 1  # one component in chunk 1
+    rows, cols = img.shape
+    img_rows = img.tolist()
+    chunks = partition_rows(rows, cols, 2)
+    p = [0] * (rows * cols + 2)
+    label_rows: list[list[int]] = []
+    for chunk in chunks:
+        # -- sabotage: every chunk allocates from label 1 --
+        alloc, _used = remsp_alloc(p, start=1)
+        label_rows.extend(
+            scan_tworow(
+                img_rows[chunk.row_start : chunk.row_stop],
+                p,
+                remsp_merge,
+                alloc,
+                8,
+            )
+        )
+    merged = np.asarray(label_rows)
+    # both isolated pixels received the SAME provisional label — the
+    # collision the paper's `count <- start x col` rule prevents.
+    assert merged[0, 0] == merged[5, 2] != 0
+    expected, n_true = flood_fill_label(img, 8)
+    assert n_true == 2
+    assert not labelings_equivalent(merged, expected)

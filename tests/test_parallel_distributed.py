@@ -1,0 +1,86 @@
+"""Distributed-memory CCL over the message-passing substrate."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.ccl import aremsp
+from repro.parallel.distributed import distributed_label
+from repro.verify import flood_fill_label, labelings_equivalent
+
+
+@pytest.mark.parametrize("n_ranks", [1, 2, 3, 5])
+def test_matches_oracle(n_ranks, structural_image):
+    expected, n = flood_fill_label(structural_image, 8)
+    result = distributed_label(structural_image, n_ranks=n_ranks)
+    assert result.n_components == n
+    assert labelings_equivalent(result.labels, expected)
+
+
+@pytest.mark.parametrize("connectivity", [4, 8])
+def test_connectivity(connectivity, rng):
+    img = (rng.random((20, 15)) < 0.5).astype(np.uint8)
+    expected, n = flood_fill_label(img, connectivity)
+    result = distributed_label(img, n_ranks=3, connectivity=connectivity)
+    assert result.n_components == n
+    assert labelings_equivalent(result.labels, expected)
+
+
+def test_matches_sequential_partition(rng):
+    img = (rng.random((30, 22)) < 0.45).astype(np.uint8)
+    seq = aremsp(img)
+    dist = distributed_label(img, n_ranks=4)
+    assert dist.n_components == seq.n_components
+    assert labelings_equivalent(dist.labels, seq.labels)
+
+
+def test_component_spanning_all_strips():
+    img = np.zeros((24, 6), dtype=np.uint8)
+    img[:, 2] = 1
+    result = distributed_label(img, n_ranks=6)
+    assert result.n_components == 1
+
+
+def test_more_ranks_than_row_pairs():
+    img = np.ones((4, 4), dtype=np.uint8)
+    result = distributed_label(img, n_ranks=8)
+    assert result.n_components == 1
+
+
+def test_single_row_image():
+    img = np.array([[1, 0, 1, 1, 0, 1]], dtype=np.uint8)
+    result = distributed_label(img, n_ranks=3)
+    assert result.n_components == 3
+
+
+def test_empty_and_full():
+    assert distributed_label(np.zeros((8, 8), np.uint8), 3).n_components == 0
+    assert distributed_label(np.ones((8, 8), np.uint8), 3).n_components == 1
+
+
+def test_metadata():
+    img = np.ones((8, 8), dtype=np.uint8)
+    result = distributed_label(img, n_ranks=2)
+    assert result.algorithm == "distributed"
+    assert result.meta["n_ranks"] == 2
+    assert result.labels.dtype == np.int32
+
+
+@given(
+    img=hnp.arrays(
+        dtype=np.uint8,
+        shape=hnp.array_shapes(min_dims=2, max_dims=2, min_side=1, max_side=18),
+        elements=st.integers(0, 1),
+    ),
+    n_ranks=st.integers(1, 5),
+)
+@settings(max_examples=25)
+def test_property_distributed_matches_oracle(img, n_ranks):
+    expected, n = flood_fill_label(img, 8)
+    result = distributed_label(img, n_ranks=n_ranks)
+    assert result.n_components == n
+    assert labelings_equivalent(result.labels, expected)

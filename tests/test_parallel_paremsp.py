@@ -1,0 +1,168 @@
+"""PAREMSP end-to-end: every backend, every thread count, vs sequential."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.ccl import aremsp
+from repro.errors import BackendError
+from repro.parallel import paremsp
+from repro.parallel.boundary import boundary_rows, merge_boundary_row
+from repro.parallel.partition import partition_rows
+from repro.unionfind.remsp import merge as remsp_merge
+from repro.verify import flood_fill_label, labelings_equivalent
+
+BACKENDS = ["serial", "threads", "processes", "simulated"]
+THREADS = [1, 2, 3, 5, 8]
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_backend_matches_oracle(backend, structural_image):
+    expected, n = flood_fill_label(structural_image, 8)
+    result = paremsp(structural_image, n_threads=3, backend=backend)
+    assert result.n_components == n
+    assert labelings_equivalent(result.labels, expected)
+
+
+@pytest.mark.parametrize("n_threads", THREADS)
+def test_thread_count_invariance(n_threads, structural_image):
+    base = paremsp(structural_image, n_threads=1, backend="serial")
+    result = paremsp(structural_image, n_threads=n_threads, backend="serial")
+    assert np.array_equal(result.labels, base.labels)
+    assert result.n_components == base.n_components
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_backends_bit_identical_final_labels(backend, rng):
+    """Provisional labels vary with interleaving; final labels must not."""
+    img = (rng.random((26, 19)) < 0.5).astype(np.uint8)
+    base = paremsp(img, n_threads=4, backend="serial")
+    result = paremsp(img, n_threads=4, backend=backend)
+    assert np.array_equal(result.labels, base.labels)
+
+
+def test_matches_sequential_aremsp_partition(structural_image):
+    seq = aremsp(structural_image, 8)
+    par = paremsp(structural_image, n_threads=4, backend="serial")
+    assert par.n_components == seq.n_components
+    assert labelings_equivalent(par.labels, seq.labels)
+
+
+@pytest.mark.parametrize("connectivity", [4, 8])
+def test_connectivity_variants(connectivity, rng):
+    img = (rng.random((20, 20)) < 0.5).astype(np.uint8)
+    expected, n = flood_fill_label(img, connectivity)
+    result = paremsp(
+        img, n_threads=3, backend="serial", connectivity=connectivity
+    )
+    assert result.n_components == n
+    assert labelings_equivalent(result.labels, expected)
+
+
+def test_component_spanning_all_chunks():
+    """A vertical line through every chunk: the boundary merge is load-
+    bearing for correctness here."""
+    img = np.zeros((32, 8), dtype=np.uint8)
+    img[:, 3] = 1
+    for t in (2, 4, 8):
+        result = paremsp(img, n_threads=t, backend="serial")
+        assert result.n_components == 1
+
+
+def test_horizontal_bands_aligned_with_chunks():
+    """Components that end exactly at chunk boundaries must not merge."""
+    img = np.zeros((16, 6), dtype=np.uint8)
+    img[0:4, :] = 1
+    img[5:8, :] = 1
+    img[9:12, :] = 1
+    result = paremsp(img, n_threads=4, backend="serial")
+    assert result.n_components == 3
+
+
+def test_diagonal_through_boundaries():
+    img = np.eye(24, dtype=np.uint8)
+    for t in (2, 3, 6):
+        result = paremsp(img, n_threads=t, backend="serial")
+        assert result.n_components == 1
+
+
+@given(
+    img=hnp.arrays(
+        dtype=np.uint8,
+        shape=hnp.array_shapes(min_dims=2, max_dims=2, min_side=1, max_side=20),
+        elements=st.integers(0, 1),
+    ),
+    n_threads=st.integers(1, 6),
+)
+@settings(max_examples=30)
+def test_property_serial_backend_equals_oracle(img, n_threads):
+    expected, n = flood_fill_label(img, 8)
+    result = paremsp(img, n_threads=n_threads, backend="serial")
+    assert result.n_components == n
+    assert labelings_equivalent(result.labels, expected)
+
+
+def test_result_metadata(rng):
+    img = (rng.random((18, 11)) < 0.4).astype(np.uint8)
+    result = paremsp(img, n_threads=3, backend="serial")
+    assert result.backend == "serial"
+    assert result.n_threads == 3
+    assert result.n_chunks == 3
+    assert set(result.phase_seconds) == {"scan", "merge", "flatten", "label"}
+    assert "boundary_unions" in result.meta
+    assert "chunk_seconds" in result.meta
+    assert len(result.meta["chunk_seconds"]) == result.n_chunks
+
+
+def test_simulated_result_metadata(rng):
+    img = (rng.random((18, 11)) < 0.4).astype(np.uint8)
+    result = paremsp(img, n_threads=3, backend="simulated")
+    assert result.meta["simulated"] is True
+    assert "spawn" in result.phase_seconds
+
+
+def test_unknown_backend():
+    with pytest.raises(BackendError):
+        paremsp(np.ones((4, 4), dtype=np.uint8), backend="gpu")
+
+
+def test_empty_image_all_backends():
+    img = np.zeros((0, 0), dtype=np.uint8)
+    for backend in ("serial", "threads", "simulated"):
+        result = paremsp(img, n_threads=2, backend=backend)
+        assert result.n_components == 0
+
+
+class TestBoundaryMerge:
+    def test_unions_counted(self):
+        labels = [[1, 0, 2], [3, 0, 4]]
+        p = list(range(8))
+        ops = merge_boundary_row(labels, 1, 3, p, remsp_merge, 8)
+        assert ops == 2  # 3-1 (b), 4-2 (b)
+
+    def test_diagonal_only_unions(self):
+        labels = [[1, 0, 2], [0, 3, 0]]
+        p = list(range(8))
+        ops = merge_boundary_row(labels, 1, 3, p, remsp_merge, 8)
+        assert ops == 2  # a and c neighbours of the centre pixel
+
+    def test_4conn_skips_diagonals(self):
+        labels = [[1, 0, 2], [0, 3, 0]]
+        p = list(range(8))
+        ops = merge_boundary_row(labels, 1, 3, p, remsp_merge, 4)
+        assert ops == 0
+
+    def test_b_short_circuits_a_and_c(self):
+        labels = [[1, 1, 1], [0, 2, 0]]
+        p = list(range(8))
+        ops = merge_boundary_row(labels, 1, 3, p, remsp_merge, 8)
+        assert ops == 1  # b present: a/c skipped
+
+    def test_boundary_rows_helper(self):
+        chunks = partition_rows(12, 4, 3)
+        assert boundary_rows(chunks) == [4, 8]
+        assert boundary_rows(chunks[:1]) == []

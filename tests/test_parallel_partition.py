@@ -1,0 +1,91 @@
+"""Row partitioning for PAREMSP."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import PartitionError
+from repro.parallel.partition import RowChunk, partition_rows
+
+
+def test_even_split():
+    chunks = partition_rows(8, 10, 2)
+    assert [(c.row_start, c.row_stop) for c in chunks] == [(0, 4), (4, 8)]
+    assert [c.label_start for c in chunks] == [1, 41]
+
+
+def test_remainder_pairs_dealt_evenly():
+    chunks = partition_rows(10, 4, 3)  # 5 pairs over 3 chunks: 2,2,1
+    assert [c.n_rows for c in chunks] == [4, 4, 2]
+
+
+def test_odd_tail_row_goes_to_last_chunk():
+    chunks = partition_rows(9, 4, 2)  # 4 pairs + 1 tail
+    assert [c.n_rows for c in chunks] == [4, 5]
+    assert chunks[-1].row_stop == 9
+
+
+def test_more_threads_than_pairs():
+    chunks = partition_rows(4, 4, 10)
+    assert len(chunks) == 2
+    assert all(c.n_rows == 2 for c in chunks)
+
+
+def test_single_row_image():
+    chunks = partition_rows(1, 7, 4)
+    assert len(chunks) == 1
+    assert chunks[0].row_start == 0
+    assert chunks[0].row_stop == 1
+
+
+def test_empty_image():
+    assert partition_rows(0, 5, 2) == []
+    assert partition_rows(5, 0, 2) == []
+
+
+def test_one_thread_takes_everything():
+    chunks = partition_rows(13, 3, 1)
+    assert len(chunks) == 1
+    assert chunks[0].row_stop == 13
+
+
+def test_invalid_inputs():
+    with pytest.raises(PartitionError):
+        partition_rows(4, 4, 0)
+    with pytest.raises(PartitionError):
+        partition_rows(-1, 4, 2)
+
+
+def test_chunk_dataclass_row_count():
+    c = RowChunk(index=0, row_start=2, row_stop=8, label_start=9)
+    assert c.n_rows == 6
+
+
+@given(
+    rows=st.integers(1, 200),
+    cols=st.integers(1, 50),
+    n_threads=st.integers(1, 32),
+)
+def test_property_partition_invariants(rows, cols, n_threads):
+    chunks = partition_rows(rows, cols, n_threads)
+    # full coverage, no overlap, in order
+    assert chunks[0].row_start == 0
+    assert chunks[-1].row_stop == rows
+    for a, b in zip(chunks, chunks[1:]):
+        assert a.row_stop == b.row_start
+    # pair alignment for all but the last chunk
+    for c in chunks[:-1]:
+        assert c.n_rows % 2 == 0
+        assert c.n_rows > 0
+    # balanced to within one pair (+ the odd tail on the last chunk)
+    sizes = [c.n_rows for c in chunks[:-1]]
+    if sizes:
+        assert max(sizes) - min(sizes) <= 2
+    # disjoint, sufficient label ranges
+    for c in chunks:
+        assert c.label_start == c.row_start * cols + 1
+    for a, b in zip(chunks, chunks[1:]):
+        assert a.label_start + a.n_rows * cols <= b.label_start + cols
+    assert len(chunks) <= n_threads

@@ -1,0 +1,124 @@
+"""Tile-decomposed labeling, including memmap input and corner seams."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.parallel.tiled import tiled_label
+from repro.verify import flood_fill_label, labelings_equivalent
+
+
+@pytest.mark.parametrize("tile", [(2, 2), (3, 5), (4, 4), (100, 100)])
+def test_matches_oracle(tile, structural_image):
+    expected, n = flood_fill_label(structural_image, 8)
+    result = tiled_label(structural_image, tile_shape=tile)
+    assert result.n_components == n
+    assert labelings_equivalent(result.labels, expected)
+
+
+@pytest.mark.parametrize("connectivity", [4, 8])
+def test_connectivity(connectivity, rng):
+    img = (rng.random((17, 23)) < 0.5).astype(np.uint8)
+    expected, n = flood_fill_label(img, connectivity)
+    result = tiled_label(img, tile_shape=(5, 7), connectivity=connectivity)
+    assert result.n_components == n
+    assert labelings_equivalent(result.labels, expected)
+
+
+def test_corner_diagonal_across_four_tiles():
+    """A component joined only through a tile-corner diagonal — the case
+    row/column seams must cover together."""
+    img = np.zeros((8, 8), dtype=np.uint8)
+    img[3, 3] = 1  # bottom-right corner of tile (0, 0)
+    img[4, 4] = 1  # top-left corner of tile (1, 1)
+    result = tiled_label(img, tile_shape=(4, 4))
+    assert result.n_components == 1
+    result4 = tiled_label(img, tile_shape=(4, 4), connectivity=4)
+    assert result4.n_components == 2
+
+
+def test_anti_diagonal_corner():
+    img = np.zeros((8, 8), dtype=np.uint8)
+    img[3, 4] = 1  # bottom-left corner of tile (0, 1)
+    img[4, 3] = 1  # top-right corner of tile (1, 0)
+    assert tiled_label(img, tile_shape=(4, 4)).n_components == 1
+
+
+def test_component_spanning_many_tiles():
+    img = np.zeros((20, 20), dtype=np.uint8)
+    img[10, :] = 1
+    img[:, 10] = 1
+    result = tiled_label(img, tile_shape=(3, 3))
+    assert result.n_components == 1
+
+
+def test_tile_larger_than_image(rng):
+    img = (rng.random((9, 9)) < 0.5).astype(np.uint8)
+    whole = tiled_label(img, tile_shape=(100, 100))
+    _, n = flood_fill_label(img, 8)
+    assert whole.n_components == n
+    assert whole.meta["n_tiles"] == 1
+
+
+def test_metadata():
+    img = np.ones((10, 10), dtype=np.uint8)
+    result = tiled_label(img, tile_shape=(4, 4))
+    assert result.meta["n_tiles"] == 9
+    assert result.meta["tile_shape"] == (4, 4)
+    assert set(result.phase_seconds) == {"scan", "merge", "flatten", "label"}
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        tiled_label(np.ones((4, 4), np.uint8), tile_shape=(0, 4))
+    with pytest.raises(ValueError):
+        tiled_label(np.ones((4, 4), np.uint8), workers=0)
+
+
+def test_parallel_workers_identical(rng):
+    """Fork-parallel tile labeling must be bit-identical to serial."""
+    img = (rng.random((40, 36)) < 0.45).astype(np.uint8)
+    serial = tiled_label(img, tile_shape=(16, 16), workers=1)
+    parallel = tiled_label(img, tile_shape=(16, 16), workers=3)
+    assert np.array_equal(serial.labels, parallel.labels)
+    assert serial.n_components == parallel.n_components
+
+
+def test_memmap_input(tmp_path, rng):
+    """Memory-mapped input: the out-of-core path end to end."""
+    img = (rng.random((64, 48)) < 0.4).astype(np.uint8)
+    path = tmp_path / "image.dat"
+    mm = np.memmap(path, dtype=np.uint8, mode="w+", shape=img.shape)
+    mm[:] = img
+    mm.flush()
+    ro = np.memmap(path, dtype=np.uint8, mode="r", shape=img.shape)
+    result = tiled_label(ro, tile_shape=(16, 16))
+    expected, n = flood_fill_label(img, 8)
+    assert result.n_components == n
+    assert labelings_equivalent(result.labels, expected)
+
+
+def test_empty_image():
+    result = tiled_label(np.zeros((0, 0), dtype=np.uint8))
+    assert result.n_components == 0
+
+
+@given(
+    img=hnp.arrays(
+        dtype=np.uint8,
+        shape=hnp.array_shapes(min_dims=2, max_dims=2, min_side=1, max_side=20),
+        elements=st.integers(0, 1),
+    ),
+    th=st.integers(1, 7),
+    tw=st.integers(1, 7),
+)
+@settings(max_examples=30)
+def test_property_tiled_matches_oracle(img, th, tw):
+    expected, n = flood_fill_label(img, 8)
+    result = tiled_label(img, tile_shape=(th, tw))
+    assert result.n_components == n
+    assert labelings_equivalent(result.labels, expected)

@@ -1,0 +1,54 @@
+"""Robustness fuzzing of the PNM codec: arbitrary bytes must never
+crash with anything but the library's own ImageFormatError."""
+
+from __future__ import annotations
+
+import io
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.data.pnm import read_pnm
+from repro.errors import ImageFormatError
+
+
+@given(data=st.binary(max_size=256))
+def test_arbitrary_bytes_never_crash(data):
+    try:
+        read_pnm(io.BytesIO(data))
+    except ImageFormatError:
+        pass  # the designed failure mode
+
+
+@given(
+    prefix=st.sampled_from([b"P1", b"P2", b"P4", b"P5"]),
+    data=st.binary(max_size=128),
+)
+def test_valid_magic_with_garbage_body(prefix, data):
+    try:
+        read_pnm(io.BytesIO(prefix + b"\n" + data))
+    except ImageFormatError:
+        pass
+
+
+@given(
+    w=st.integers(-5, 40),
+    h=st.integers(-5, 40),
+    maxval=st.integers(-1, 70000),
+    body=st.binary(max_size=64),
+)
+def test_structured_header_fuzz(w, h, maxval, body):
+    raw = f"P5\n{w} {h}\n{maxval}\n".encode() + body
+    try:
+        arr = read_pnm(io.BytesIO(raw))
+    except ImageFormatError:
+        return
+    # if it parsed, the result must be internally consistent
+    assert arr.shape == (h, w)
+    assert arr.size == w * h
+
+
+def test_header_with_many_comments():
+    raw = b"P2\n" + b"# c\n" * 50 + b"1 1\n255\n7\n"
+    assert read_pnm(io.BytesIO(raw)).tolist() == [[7]]

@@ -1,0 +1,207 @@
+"""The simulated shared-memory machine: determinism, pricing laws,
+speedup-shape guarantees."""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.data import blobs
+from repro.errors import CostModelError
+from repro.simmachine import (
+    HOPPER,
+    CostModel,
+    OpCounter,
+    SimResult,
+    simulate_paremsp,
+    speedup_curve,
+)
+from repro.verify import flood_fill_label, labelings_equivalent
+
+
+@pytest.fixture(scope="module")
+def image():
+    return blobs((64, 64), density=0.5, seed=3)
+
+
+def test_labels_are_exact(image):
+    expected, n = flood_fill_label(image, 8)
+    sim = simulate_paremsp(image, n_threads=4)
+    assert sim.n_components == n
+    assert labelings_equivalent(sim.labels, expected)
+
+
+def test_fully_deterministic(image):
+    a = simulate_paremsp(image, n_threads=6)
+    b = simulate_paremsp(image, n_threads=6)
+    assert a.phase_seconds == b.phase_seconds
+    assert a.thread_scan_seconds == b.thread_scan_seconds
+    assert np.array_equal(a.labels, b.labels)
+
+
+def test_scan_makespan_decreases_with_threads(image):
+    times = [
+        simulate_paremsp(image, t).phase_seconds["scan"] for t in (1, 2, 4, 8)
+    ]
+    assert times == sorted(times, reverse=True)
+    assert times[-1] < times[0] / 4  # near-linear on a balanced image
+
+
+def test_spawn_cost_grows_linearly(image):
+    t1 = simulate_paremsp(image, 1).phase_seconds["spawn"]
+    t8 = simulate_paremsp(image, 8).phase_seconds["spawn"]
+    t24 = simulate_paremsp(image, 24).phase_seconds["spawn"]
+    assert t1 == 0.0
+    assert t24 == pytest.approx(t8 * 23 / 7)
+
+
+def test_flatten_is_serial(image):
+    """FLATTEN cost must not shrink with the thread count."""
+    f1 = simulate_paremsp(image, 1).phase_seconds["flatten"]
+    f8 = simulate_paremsp(image, 8).phase_seconds["flatten"]
+    assert f8 >= f1 * 0.9  # ranges differ slightly; no parallel speedup
+
+
+def test_merge_phase_small_relative_to_scan(image):
+    sim = simulate_paremsp(image, 8)
+    assert sim.phase_seconds["merge"] < sim.phase_seconds["scan"]
+
+
+def test_linear_scale_pricing_laws(image):
+    base = simulate_paremsp(image, 4, linear_scale=1.0)
+    scaled = simulate_paremsp(image, 4, linear_scale=10.0)
+    assert scaled.phase_seconds["scan"] == pytest.approx(
+        base.phase_seconds["scan"] * 100
+    )
+    assert scaled.phase_seconds["label"] == pytest.approx(
+        base.phase_seconds["label"] * 100
+    )
+    assert scaled.phase_seconds["merge"] == pytest.approx(
+        base.phase_seconds["merge"] * 10
+    )
+    assert scaled.phase_seconds["spawn"] == base.phase_seconds["spawn"]
+
+
+def test_linear_scale_validation(image):
+    with pytest.raises(ValueError):
+        simulate_paremsp(image, 2, linear_scale=0.0)
+
+
+def test_local_vs_total_seconds(image):
+    sim = simulate_paremsp(image, 4)
+    assert sim.local_seconds == pytest.approx(
+        sim.phase_seconds["spawn"] + sim.phase_seconds["scan"]
+    )
+    assert sim.total_seconds >= sim.local_seconds
+
+
+def test_counter_totals_independent_of_thread_count(image):
+    """The same image produces the same total scan work regardless of the
+    partition (merge walks may differ slightly; static counts may not)."""
+    def totals(t):
+        sim = simulate_paremsp(image, t)
+        return (
+            sum(c.neighbor_reads for c in sim.scan_counters),
+            sum(c.new_labels for c in sim.scan_counters),
+        )
+
+    reads1, news1 = totals(1)
+    reads4, news4 = totals(4)
+    # chunked scans see fewer cross-chunk neighbours and allocate a few
+    # extra labels at the seams, never fewer reads than 10% off.
+    assert abs(reads4 - reads1) <= reads1 * 0.1
+    assert news4 >= news1
+
+
+def test_speedup_curve_shape_large_image(image):
+    curve = speedup_curve(image, [1, 2, 4, 8, 16], linear_scale=120.0)
+    assert curve[1] == pytest.approx(1.0)
+    assert curve[2] > 1.7
+    assert curve[16] > curve[4] > curve[2]
+    assert curve[16] <= 16.0 + 1e-6
+
+
+def test_speedup_curve_small_image_degrades():
+    """Tiny nominal work: more threads must eventually hurt (Figure 4's
+    falling tails)."""
+    img = blobs((32, 32), density=0.5, seed=5)
+    curve = speedup_curve(img, [2, 8, 24], linear_scale=1.0)
+    assert curve[24] < curve[2]
+
+
+def test_speedup_phase_validation(image):
+    with pytest.raises(ValueError):
+        speedup_curve(image, [2], phase="weird")
+
+
+def test_as_parallel_result(image):
+    sim = simulate_paremsp(image, 3)
+    pr = sim.as_parallel_result()
+    assert pr.backend == "simulated"
+    assert pr.n_threads == 3
+    assert pr.meta["simulated"] is True
+    assert np.array_equal(pr.labels, sim.labels)
+
+
+class TestCostModel:
+    def test_negative_cost_rejected(self):
+        with pytest.raises(CostModelError):
+            CostModel(t_pixel=-1e-9)
+
+    def test_streaming_parallelism_bounds(self):
+        with pytest.raises(CostModelError):
+            CostModel(streaming_parallelism=0.5)
+        CostModel(streaming_parallelism=8.0)
+
+    def test_streaming_cap_applies_to_label_phase(self):
+        cm = dataclasses.replace(HOPPER, streaming_parallelism=4.0)
+        uncapped = HOPPER.label_seconds(1_000_000, 16)
+        capped = cm.label_seconds(1_000_000, 16)
+        assert capped == pytest.approx(uncapped * 4)
+
+    def test_scan_seconds_linear_in_ops(self):
+        c1 = OpCounter(pixel_visits=100, neighbor_reads=50)
+        c2 = OpCounter(pixel_visits=200, neighbor_reads=100)
+        assert HOPPER.scan_seconds(c2) == pytest.approx(
+            2 * HOPPER.scan_seconds(c1)
+        )
+
+    def test_spawn_zero_for_single_thread(self):
+        assert HOPPER.spawn_seconds(1) == 0.0
+
+
+class TestOpCounter:
+    def test_merged_with(self):
+        a = OpCounter(uf_merge=2, uf_step=5)
+        b = OpCounter(uf_merge=1, lock_ops=3)
+        c = a.merged_with(b)
+        assert c.uf_merge == 3
+        assert c.uf_step == 5
+        assert c.lock_ops == 3
+
+    def test_as_dict_roundtrip(self):
+        d = OpCounter(pixel_visits=7).as_dict()
+        assert d["pixel_visits"] == 7
+        assert set(d) == {
+            "pixel_visits",
+            "neighbor_reads",
+            "copies",
+            "new_labels",
+            "uf_merge",
+            "uf_step",
+            "lock_ops",
+        }
+
+
+def test_paper_headline_shape():
+    """The flagship claim: the 465 MB NLCD image reaches ~20x at 24
+    threads on the Hopper preset (paper: 20.1). Deterministic, so a
+    tight band is safe."""
+    from repro.data import nlcd_suite
+
+    img = nlcd_suite(scale=0.01)[-1]
+    scale = (img.nominal_mb * 1e6 / img.image.size) ** 0.5
+    curve = speedup_curve(img.image, [24], linear_scale=scale)
+    assert 17.0 <= curve[24] <= 23.0

@@ -1,0 +1,112 @@
+"""Property-based tests of the cost model and simulated pricing."""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data import blobs
+from repro.simmachine import HOPPER, CostModel, OpCounter, simulate_paremsp
+
+costs = st.floats(min_value=0.0, max_value=1e-6, allow_nan=False)
+
+
+@st.composite
+def cost_models(draw):
+    return CostModel(
+        t_pixel=draw(costs),
+        t_read=draw(costs),
+        t_merge=draw(costs),
+        t_step=draw(costs),
+        t_lock=draw(costs),
+        t_flatten=draw(costs),
+        t_label=draw(costs),
+        t_spawn=draw(costs),
+        t_barrier=draw(costs),
+    )
+
+
+@given(cm=cost_models())
+def test_costs_are_nonnegative_everywhere(cm):
+    ops = OpCounter(
+        pixel_visits=100, neighbor_reads=50, uf_merge=5, uf_step=9, lock_ops=2
+    )
+    assert cm.scan_seconds(ops) >= 0
+    assert cm.merge_seconds(ops) >= 0
+    assert cm.flatten_seconds(10) >= 0
+    assert cm.label_seconds(10, 4) >= 0
+    assert cm.spawn_seconds(1) == 0
+
+
+@given(cm=cost_models(), n=st.integers(1, 64))
+def test_spawn_monotone_in_threads(cm, n):
+    assert cm.spawn_seconds(n + 1) >= cm.spawn_seconds(n)
+
+
+@given(
+    ops_small=st.integers(0, 1000),
+    extra=st.integers(1, 1000),
+)
+def test_scan_seconds_monotone_in_work(ops_small, extra):
+    a = OpCounter(pixel_visits=ops_small)
+    b = OpCounter(pixel_visits=ops_small + extra)
+    assert HOPPER.scan_seconds(b) > HOPPER.scan_seconds(a)
+
+
+@given(t=st.integers(1, 32))
+@settings(max_examples=15, deadline=None)
+def test_simulated_speedup_never_exceeds_thread_count(t):
+    img = blobs((48, 48), density=0.5, seed=7)
+    base = simulate_paremsp(img, 1, linear_scale=50.0)
+    sim = simulate_paremsp(img, t, linear_scale=50.0)
+    speedup = base.total_seconds / sim.total_seconds
+    assert speedup <= t + 1e-9
+
+
+@given(scale=st.floats(min_value=0.5, max_value=50.0))
+@settings(max_examples=15, deadline=None)
+def test_linear_scale_total_monotone(scale):
+    img = blobs((32, 32), density=0.5, seed=3)
+    small = simulate_paremsp(img, 4, linear_scale=scale)
+    big = simulate_paremsp(img, 4, linear_scale=scale * 2)
+    assert big.total_seconds > small.total_seconds
+
+
+def test_zero_cost_model_yields_zero_time():
+    cm = CostModel(
+        t_pixel=0, t_read=0, t_merge=0, t_step=0, t_lock=0,
+        t_flatten=0, t_label=0, t_spawn=0, t_barrier=0,
+    )
+    img = blobs((24, 24), density=0.5, seed=1)
+    sim = simulate_paremsp(img, 4, cost_model=cm)
+    assert sim.total_seconds == 0.0
+    assert sim.n_components > 0  # the algorithm still ran for real
+
+
+def test_single_knob_isolation():
+    """Raising exactly one cost must raise exactly the phases that
+    charge it."""
+    img = blobs((32, 32), density=0.5, seed=2)
+    base = simulate_paremsp(img, 4, cost_model=HOPPER)
+    bumped = dataclasses.replace(HOPPER, t_flatten=HOPPER.t_flatten * 10)
+    sim = simulate_paremsp(img, 4, cost_model=bumped)
+    assert sim.phase_seconds["flatten"] == pytest.approx(
+        base.phase_seconds["flatten"] * 10
+    )
+    for phase in ("scan", "merge", "label", "spawn", "barriers"):
+        assert sim.phase_seconds[phase] == pytest.approx(
+            base.phase_seconds[phase]
+        )
+
+
+def test_counters_are_integer_valued(rng):
+    img = (rng.random((40, 40)) < 0.5).astype(np.uint8)
+    sim = simulate_paremsp(img, 3)
+    for counter in sim.scan_counters + sim.merge_counters:
+        for value in counter.as_dict().values():
+            assert isinstance(value, int)
+            assert value >= 0

@@ -1,0 +1,74 @@
+"""Trace reconstruction and Gantt rendering."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import blobs
+from repro.simmachine import simulate_paremsp
+from repro.simmachine.trace import TraceSpan, build_trace, render_gantt
+
+
+@pytest.fixture(scope="module")
+def sim():
+    return simulate_paremsp(blobs((48, 48), 0.5, seed=1), 4, linear_scale=50.0)
+
+
+def test_trace_covers_total_time(sim):
+    spans = build_trace(sim)
+    assert max(s.stop for s in spans) == pytest.approx(
+        sim.total_seconds - sim.phase_seconds["barriers"]
+    )
+
+
+def test_phases_are_barrier_ordered(sim):
+    spans = build_trace(sim)
+    by_phase = {}
+    for s in spans:
+        by_phase.setdefault(s.phase, []).append(s)
+    scan_end = max(s.stop for s in by_phase["scan"])
+    merge_start = min(s.start for s in by_phase["merge"])
+    assert merge_start >= scan_end - 1e-12
+    if "flatten" in by_phase:
+        assert by_phase["flatten"][0].start >= max(
+            s.stop for s in by_phase["merge"]
+        ) - 1e-12
+
+
+def test_every_chunk_thread_has_a_scan_span(sim):
+    spans = build_trace(sim)
+    scan_lanes = {s.lane for s in spans if s.phase == "scan"}
+    assert scan_lanes == {f"thread {i}" for i in range(sim.n_chunks)}
+
+
+def test_span_durations_match_accounting(sim):
+    spans = build_trace(sim)
+    for i, dur in enumerate(sim.thread_scan_seconds):
+        (span,) = [
+            s for s in spans if s.phase == "scan" and s.lane == f"thread {i}"
+        ]
+        assert span.duration == pytest.approx(dur)
+
+
+def test_gantt_renders(sim):
+    chart = render_gantt(sim, width=60)
+    lines = chart.splitlines()
+    assert any("#" in l for l in lines)  # scan bars
+    assert any("=" in l for l in lines)  # label bars
+    assert "legend" in lines[-1]
+    # lanes aligned: all bar rows share the same total width
+    bar_rows = [l for l in lines if "|" in l]
+    assert len({len(l) for l in bar_rows}) == 1
+
+
+def test_gantt_single_thread():
+    sim1 = simulate_paremsp(blobs((24, 24), 0.5, seed=2), 1)
+    chart = render_gantt(sim1)
+    assert "thread 0" in chart
+    assert "+" not in chart.split("legend")[0].replace("+ spawn", "")
+
+
+def test_trace_span_duration():
+    s = TraceSpan("x", "scan", 1.0, 3.5)
+    assert s.duration == 2.5

@@ -1,0 +1,91 @@
+"""Forest-structure analysis."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.unionfind.analyze import forest_stats, tree_depths
+from repro.unionfind.variants import ALL_VARIANTS
+
+
+def test_identity_forest():
+    assert tree_depths([0, 1, 2]).tolist() == [0, 0, 0]
+
+
+def test_chain_depths():
+    # 3 -> 2 -> 1 -> 0
+    assert tree_depths([0, 0, 1, 2]).tolist() == [0, 1, 2, 3]
+
+
+def test_star_depths():
+    assert tree_depths([0, 0, 0, 0]).tolist() == [0, 1, 1, 1]
+
+
+def test_balanced_tree():
+    #      0
+    #    1   2
+    #   3 4 5 6
+    p = [0, 0, 0, 1, 1, 2, 2]
+    assert tree_depths(p).tolist() == [0, 1, 1, 2, 2, 2, 2]
+
+
+def test_empty():
+    assert tree_depths([]).size == 0
+    stats = forest_stats([])
+    assert stats.n == 0 and stats.max_depth == 0
+
+
+def test_cycle_detected():
+    with pytest.raises(ValueError):
+        tree_depths([1, 0])
+
+
+def _bruteforce_depths(p):
+    out = []
+    for i in range(len(p)):
+        d = 0
+        while p[i] != i:
+            i = p[i]
+            d += 1
+        out.append(d)
+    return out
+
+
+@given(
+    st.lists(st.tuples(st.integers(0, 49), st.integers(0, 49)), max_size=100)
+)
+def test_property_matches_bruteforce(ops):
+    n = 50
+    ds = ALL_VARIANTS["naive"](n)  # naive builds the deepest trees
+    for x, y in ops:
+        ds.union(x, y)
+    assert tree_depths(ds.p).tolist() == _bruteforce_depths(ds.p)
+
+
+def test_forest_stats_fields():
+    stats = forest_stats([0, 0, 1, 2])
+    assert stats.n == 4
+    assert stats.n_roots == 1
+    assert stats.max_depth == 3
+    assert stats.total_path_length == 6
+    assert stats.mean_depth == pytest.approx(1.5)
+    assert "depth max 3" in stats.describe()
+
+
+def test_compression_variants_build_shallower_trees(rng):
+    """The [40] story in structural form: compressing variants keep
+    paths shorter than naive linking on the same stream."""
+    n = 400
+    ops = [tuple(map(int, rng.integers(0, n, size=2))) for _ in range(800)]
+    depth = {}
+    for name in ("naive", "rem-sp", "lrpc", "link-rank-ph"):
+        ds = ALL_VARIANTS[name](n)
+        for x, y in ops:
+            ds.union(x, y)
+        depth[name] = forest_stats(ds.p).total_path_length
+    assert depth["rem-sp"] < depth["naive"]
+    assert depth["lrpc"] < depth["naive"]
+    assert depth["link-rank-ph"] < depth["naive"]

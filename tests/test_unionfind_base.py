@@ -1,0 +1,74 @@
+"""Parent-array utilities: forest validation, full-find, materialisation."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.unionfind.base import (
+    components,
+    count_sets,
+    is_valid_parent_array,
+    iter_edges_canonical,
+    roots_of,
+)
+
+
+class TestIsValidParentArray:
+    def test_identity_is_forest(self):
+        assert is_valid_parent_array([0, 1, 2])
+
+    def test_empty(self):
+        assert is_valid_parent_array([])
+
+    def test_chain_is_forest(self):
+        assert is_valid_parent_array([0, 0, 1, 2])
+
+    def test_two_cycle_rejected(self):
+        assert not is_valid_parent_array([1, 0])
+
+    def test_long_cycle_rejected(self):
+        assert not is_valid_parent_array([1, 2, 3, 0])
+
+    def test_cycle_plus_forest_rejected(self):
+        assert not is_valid_parent_array([0, 2, 1, 0])
+
+    def test_out_of_range_rejected(self):
+        assert not is_valid_parent_array([0, 5])
+        assert not is_valid_parent_array([-1, 0])
+
+    def test_upward_pointer_is_still_forest(self):
+        # parents may exceed the child index; only cycles are invalid
+        assert is_valid_parent_array([1, 1, 1])
+
+
+def test_roots_of_deep_chain():
+    p = [0, 0, 1, 2, 3, 4]
+    assert roots_of(p).tolist() == [0] * 6
+
+
+def test_roots_of_does_not_mutate():
+    p = [0, 0, 1]
+    roots_of(p)
+    assert p == [0, 0, 1]
+
+
+def test_count_sets():
+    assert count_sets([]) == 0
+    assert count_sets([0, 1, 2]) == 3
+    assert count_sets([0, 0, 0]) == 1
+
+
+def test_components_materialisation():
+    p = [0, 0, 2, 2, 3]
+    parts = components(p)
+    assert parts == {0: [0, 1], 2: [2, 3, 4]}
+
+
+def test_iter_edges_canonical():
+    p = [0, 0, 1, 3]
+    assert list(iter_edges_canonical(p)) == [(1, 0), (2, 1)]
+
+
+def test_roots_of_numpy_input():
+    p = np.array([0, 0, 1, 1])
+    assert roots_of(p).tolist() == [0, 0, 0, 0]

@@ -1,0 +1,127 @@
+"""FLATTEN (Algorithm 3) and its sparse-range variant."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.unionfind.base import roots_of
+from repro.unionfind.flatten import flatten, flatten_ranges
+from repro.unionfind.remsp import merge
+
+
+def test_flatten_identity_forest():
+    p = [0, 1, 2, 3]
+    k = flatten(p, 4)
+    assert k == 3
+    assert p == [0, 1, 2, 3]
+
+
+def test_flatten_renumbers_consecutively():
+    # sets {1,2}, {3}, {4,5}; roots 1, 3, 4
+    p = [0, 1, 1, 3, 4, 4]
+    k = flatten(p, 6)
+    assert k == 3
+    assert p == [0, 1, 1, 2, 3, 3]
+
+
+def test_flatten_deep_chain():
+    # 5 -> 4 -> 3 -> 2 -> 1
+    p = [0, 1, 1, 2, 3, 4]
+    k = flatten(p, 6)
+    assert k == 1
+    assert p == [0, 1, 1, 1, 1, 1]
+
+
+def test_flatten_empty():
+    p = [0]
+    assert flatten(p, 1) == 0
+
+
+def test_flatten_of_remsp_forest_is_component_ids(rng):
+    """After arbitrary REMSP merges, FLATTEN assigns consecutive labels
+    in root order, equal within sets and distinct across sets."""
+    n = 120
+    p = list(range(n))
+    for _ in range(200):
+        x, y = map(int, rng.integers(1, n, size=2))
+        merge(p, x, y)
+    roots = roots_of(p)
+    k = flatten(p, n)
+    labels = {}
+    for i in range(1, n):
+        labels.setdefault(int(roots[i]), set()).add(p[i])
+    # one final label per set, all distinct, covering 1..k
+    finals = [next(iter(v)) for v in labels.values()]
+    assert all(len(v) == 1 for v in labels.values())
+    assert sorted(finals) == list(range(1, k + 1))
+
+
+@given(
+    st.lists(
+        st.tuples(st.integers(1, 39), st.integers(1, 39)), max_size=80
+    )
+)
+def test_property_flatten_counts_sets(ops):
+    n = 40
+    p = list(range(n))
+    for x, y in ops:
+        merge(p, x, y)
+    distinct_roots = len({int(r) for r in roots_of(p)[1:]})
+    assert flatten(p, n) == distinct_roots
+
+
+def test_flatten_ranges_skips_gaps():
+    # two thread ranges [1, 3) and [10, 12); gap entries hold garbage
+    p = list(range(20))
+    p[2] = 1  # set {1, 2}
+    p[11] = 10  # set {10, 11}
+    p[5] = 999  # garbage in the gap must not be touched or numbered
+    k = flatten_ranges(p, [(1, 3), (10, 12)])
+    assert k == 2
+    assert p[1] == 1 and p[2] == 1
+    assert p[10] == 2 and p[11] == 2
+    assert p[5] == 999
+
+
+def test_flatten_ranges_cross_range_parent():
+    """A later-range label whose root lives in an earlier range."""
+    p = list(range(16))
+    p[9] = 2  # label 9 (range 2) points at root 2 (range 1)
+    k = flatten_ranges(p, [(1, 4), (8, 11)])
+    assert k == 5  # roots: 1, 2, 3, 8, 10
+    assert p[9] == p[2]
+
+
+def test_flatten_ranges_empty_ranges():
+    p = list(range(8))
+    assert flatten_ranges(p, []) == 0
+    assert flatten_ranges(p, [(3, 3)]) == 0
+
+
+def test_flatten_ranges_first_range_starting_at_zero_skips_background():
+    p = list(range(5))
+    k = flatten_ranges(p, [(0, 3)])
+    assert k == 2  # labels 1, 2 only; index 0 untouched
+    assert p[0] == 0
+
+
+def test_flatten_ranges_equals_dense_when_contiguous(rng):
+    n = 60
+    p1 = list(range(n))
+    for _ in range(80):
+        x, y = map(int, rng.integers(1, n, size=2))
+        merge(p1, x, y)
+    p2 = list(p1)
+    k1 = flatten(p1, n)
+    k2 = flatten_ranges(p2, [(1, n)])
+    assert k1 == k2
+    assert p1 == p2
+
+
+@pytest.mark.parametrize("count", [1, 2, 5])
+def test_flatten_all_singletons(count):
+    p = list(range(count))
+    k = flatten(p, count)
+    assert k == count - 1

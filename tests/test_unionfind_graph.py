@@ -1,0 +1,106 @@
+"""Graph substrate: spanning forests, component counts, edge generators."""
+
+from __future__ import annotations
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.unionfind.graph import (
+    connected_components,
+    count_components,
+    grid_edge_stream,
+    random_edge_stream,
+    ring_edge_stream,
+    spanning_forest,
+)
+from repro.unionfind.variants import ALL_VARIANTS
+
+
+def test_spanning_forest_tree_count():
+    edges = [(0, 1), (1, 2), (2, 0), (3, 4)]
+    tree, ds = spanning_forest(6, edges)
+    # n - components = tree edges: 6 - 3 = 3
+    assert len(tree) == 3
+    assert ds.n_sets() == 3
+
+
+def test_spanning_forest_keeps_stream_order():
+    edges = [(0, 1), (2, 3), (1, 2), (0, 3)]
+    tree, _ = spanning_forest(4, edges)
+    assert tree == [(0, 1), (2, 3), (1, 2)]
+
+
+def test_count_components_empty_graph():
+    assert count_components(5, []) == 5
+    assert count_components(0, []) == 0
+
+
+def test_connected_components_consecutive_ids():
+    ids = connected_components(6, [(0, 5), (1, 2)])
+    assert ids.tolist() == [0, 1, 1, 2, 3, 0]
+
+
+@pytest.mark.parametrize("seed", [0, 1, 7])
+def test_count_matches_networkx_random(seed):
+    n, m = 60, 90
+    edges = random_edge_stream(n, m, seed=seed)
+    g = nx.Graph()
+    g.add_nodes_from(range(n))
+    g.add_edges_from(edges)
+    assert count_components(n, edges) == nx.number_connected_components(g)
+
+
+@pytest.mark.parametrize("name", sorted(ALL_VARIANTS))
+def test_all_variants_count_ring(name):
+    n = 40
+    edges = ring_edge_stream(n)
+    assert count_components(n, edges, ds_class=ALL_VARIANTS[name]) == 1
+
+
+def test_ring_edges_structure():
+    assert ring_edge_stream(1) == []
+    assert ring_edge_stream(3) == [(0, 1), (1, 2), (2, 0)]
+
+
+def test_random_edge_stream_deterministic():
+    a = random_edge_stream(30, 50, seed=5)
+    b = random_edge_stream(30, 50, seed=5)
+    assert a == b
+    assert len(a) == 50
+    assert all(u != v for u, v in a)
+    assert all(0 <= u < 30 and 0 <= v < 30 for u, v in a)
+
+
+def test_grid_edge_stream_4conn_count():
+    rows, cols = 4, 5
+    edges = grid_edge_stream(rows, cols, diagonal=False)
+    # grid graph edges: rows*(cols-1) + (rows-1)*cols
+    assert len(edges) == rows * (cols - 1) + (rows - 1) * cols
+    assert count_components(rows * cols, edges) == 1
+
+
+def test_grid_edge_stream_8conn_matches_ccl_merge_structure():
+    """The 8-connected grid's component structure equals an all-foreground
+    image's CCL result: one component."""
+    rows, cols = 5, 6
+    edges = grid_edge_stream(rows, cols, diagonal=True)
+    assert count_components(rows * cols, edges) == 1
+    # diagonal edge count: 2*(rows-1)*(cols-1)
+    n_diag = sum(
+        1 for (u, v) in edges if abs(u - v) not in (1, cols)
+    )
+    assert n_diag == 2 * (rows - 1) * (cols - 1)
+
+
+def test_connected_components_matches_networkx_labels():
+    n = 50
+    edges = random_edge_stream(n, 40, seed=3)
+    ids = connected_components(n, edges)
+    g = nx.Graph()
+    g.add_nodes_from(range(n))
+    g.add_edges_from(edges)
+    for comp in nx.connected_components(g):
+        comp = sorted(comp)
+        assert len({int(ids[v]) for v in comp}) == 1
+    assert len(np.unique(ids)) == nx.number_connected_components(g)

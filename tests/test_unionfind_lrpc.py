@@ -1,0 +1,138 @@
+"""Tests for link-by-rank + path compression (the CCLLRPC structure)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.simmachine.counters import OpCounter
+from repro.unionfind.base import roots_of
+from repro.unionfind.lrpc import (
+    LinkByRankPC,
+    find_compress,
+    find_compress_counting,
+    union_by_rank,
+    union_by_rank_counting,
+)
+from repro.unionfind.remsp import merge as remsp_merge
+
+
+def test_find_compress_flattens_chain():
+    # 4 -> 3 -> 2 -> 1 -> 0
+    p = [0, 0, 1, 2, 3]
+    root = find_compress(p, 4)
+    assert root == 0
+    # every node on the walked path now points directly at the root
+    assert p == [0, 0, 0, 0, 0]
+
+
+def test_find_compress_root_is_identity():
+    p = list(range(3))
+    assert find_compress(p, 2) == 2
+    assert p == [0, 1, 2]
+
+
+def test_union_returns_minimum_root():
+    p = list(range(8))
+    rank = [0] * 8
+    assert union_by_rank(p, rank, 5, 2) == 2
+    assert union_by_rank(p, rank, 5, 7) == 2
+    assert find_compress(p, 7) == 2
+
+
+def test_union_preserves_monotone_parent_invariant(rng):
+    """FLATTEN needs p[i] <= i; the CCL-flavoured LRPC guarantees it."""
+    n = 150
+    p = list(range(n))
+    rank = [0] * n
+    for _ in range(300):
+        x, y = map(int, rng.integers(0, n, size=2))
+        union_by_rank(p, rank, x, y)
+    assert all(p[i] <= i for i in range(n))
+
+
+def test_union_idempotent():
+    p = list(range(4))
+    rank = [0] * 4
+    union_by_rank(p, rank, 0, 3)
+    before = list(p)
+    assert union_by_rank(p, rank, 3, 0) == 0
+    assert p == before
+
+
+@given(
+    n=st.integers(1, 48),
+    ops=st.lists(st.tuples(st.integers(0, 47), st.integers(0, 47)), max_size=96),
+)
+def test_property_same_partition_as_remsp(n, ops):
+    """LRPC and REMSP must induce identical partitions (different trees)."""
+    p_lrpc = list(range(n))
+    rank = [0] * n
+    p_rem = list(range(n))
+    for x, y in ops:
+        x %= n
+        y %= n
+        union_by_rank(p_lrpc, rank, x, y)
+        remsp_merge(p_rem, x, y)
+    ra = roots_of(p_lrpc)
+    rb = roots_of(p_rem)
+    for i in range(n):
+        for j in range(i + 1, n):
+            assert (ra[i] == ra[j]) == (rb[i] == rb[j])
+
+
+def test_counting_variant_matches_plain(rng):
+    n = 64
+    ops = [tuple(map(int, rng.integers(0, n, size=2))) for _ in range(120)]
+    p1, r1 = list(range(n)), [0] * n
+    p2, r2 = list(range(n)), [0] * n
+    counter = OpCounter()
+    for x, y in ops:
+        a = union_by_rank(p1, r1, x, y)
+        b = union_by_rank_counting(p2, r2, x, y, counter)
+        assert a == b
+    assert p1 == p2
+    assert counter.uf_merge == len(ops)
+
+
+def test_find_compress_counting_counts_hops():
+    p = [0, 0, 1, 2, 3]
+    counter = OpCounter()
+    find_compress_counting(p, 4, counter)
+    # 4 hops up (4->3->2->1->0) + 3 compression writes
+    assert counter.uf_step == 7
+
+
+class TestLinkByRankPCClass:
+    def test_roundtrip(self):
+        ds = LinkByRankPC(5)
+        assert ds.union(4, 1) == 1
+        assert ds.find(4) == 1
+        assert ds.n_sets() == 4
+
+    def test_rank_grows_on_ties(self):
+        ds = LinkByRankPC(4)
+        ds.union(0, 1)
+        assert ds.rank[0] == 1
+        ds.union(2, 3)
+        ds.union(0, 2)
+        assert ds.rank[0] == 2
+
+    def test_add_extends_rank_array(self):
+        ds = LinkByRankPC(2)
+        idx = ds.add()
+        assert len(ds.rank) == 3
+        assert ds.rank[idx] == 0
+
+
+def test_union_rank_absorbs_higher_rank_under_lower_index():
+    """When the higher-index root has the taller tree, the survivor (the
+    min index) inherits its rank so future links stay balanced."""
+    p = list(range(6))
+    rank = [0] * 6
+    union_by_rank(p, rank, 4, 5)  # root 4, rank 1
+    union_by_rank(p, rank, 4, 3)  # root 3 absorbs, rank must be >= 1
+    assert rank[3] >= 1
+    with pytest.raises(IndexError):
+        find_compress(p, 10)

@@ -1,0 +1,113 @@
+"""MERGER (Algorithm 8) — lock-striped parallel Rem's union-find."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.unionfind.base import roots_of
+from repro.unionfind.parallel import DEFAULT_STRIPES, LockStripedMerger
+from repro.unionfind.remsp import merge as seq_merge
+
+
+def _partition(p):
+    roots = roots_of(p)
+    seen: dict[int, int] = {}
+    return [seen.setdefault(int(r), len(seen)) for r in roots]
+
+
+def test_single_threaded_matches_sequential(rng):
+    n = 100
+    ops = [tuple(map(int, rng.integers(0, n, size=2))) for _ in range(250)]
+    p_seq = list(range(n))
+    p_par = list(range(n))
+    merger = LockStripedMerger(p_par)
+    for x, y in ops:
+        seq_merge(p_seq, x, y)
+        merger.merge(x, y)
+    assert _partition(p_seq) == _partition(p_par)
+
+
+def test_merge_returns_consistent_root():
+    p = list(range(6))
+    m = LockStripedMerger(p)
+    assert m.merge(2, 5) == 2
+    assert m.merge(5, 1) == 1
+
+
+def test_stripes_rounded_to_power_of_two():
+    m = LockStripedMerger(list(range(4)), n_stripes=5)
+    assert len(m._locks) == 8
+    assert m._mask == 7
+
+
+def test_invalid_stripe_count():
+    with pytest.raises(ValueError):
+        LockStripedMerger(list(range(4)), n_stripes=0)
+
+
+def test_default_stripe_count():
+    m = LockStripedMerger(list(range(4)))
+    assert len(m._locks) == DEFAULT_STRIPES
+
+
+@pytest.mark.parametrize("n_threads", [2, 4, 8])
+def test_concurrent_hammer_matches_sequential(n_threads, rng):
+    """Many threads fire interleaved merges; the final partition must be
+    exactly the sequential one (unions are order-insensitive)."""
+    n = 400
+    ops = [tuple(map(int, rng.integers(0, n, size=2))) for _ in range(1200)]
+    p_seq = list(range(n))
+    for x, y in ops:
+        seq_merge(p_seq, x, y)
+
+    p_par = list(range(n))
+    merger = LockStripedMerger(p_par, n_stripes=16)
+    barrier = threading.Barrier(n_threads)
+    shards = [ops[i::n_threads] for i in range(n_threads)]
+
+    def work(shard):
+        barrier.wait()
+        for x, y in shard:
+            merger.merge(x, y)
+
+    threads = [threading.Thread(target=work, args=(s,)) for s in shards]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert _partition(p_seq) == _partition(p_par)
+
+
+def test_concurrent_chain_collapse():
+    """All threads merge into one long chain — maximal contention on the
+    same roots."""
+    n = 256
+    p = list(range(n))
+    merger = LockStripedMerger(p, n_stripes=8)
+    n_threads = 8
+    barrier = threading.Barrier(n_threads)
+
+    def work(t):
+        barrier.wait()
+        for i in range(t, n - 1, n_threads):
+            merger.merge(i, i + 1)
+
+    threads = [threading.Thread(target=work, args=(t,)) for t in range(n_threads)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    parts = _partition(p)
+    assert all(c == parts[0] for c in parts)
+
+
+def test_works_on_numpy_parent_array():
+    import numpy as np
+
+    p = np.arange(10, dtype=np.int64)
+    merger = LockStripedMerger(p)
+    merger.merge(3, 7)
+    assert int(p[7]) == 3 or int(p[3]) == 3  # 3 is the surviving root
+    assert _partition(list(map(int, p)))[3] == _partition(list(map(int, p)))[7]

@@ -1,0 +1,183 @@
+"""Unit and property tests for Rem's union-find with splicing."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.simmachine.counters import OpCounter
+from repro.unionfind.base import count_sets, is_valid_parent_array, roots_of
+from repro.unionfind.remsp import (
+    RemSP,
+    find_root,
+    merge,
+    merge_counting,
+    same_set,
+)
+
+
+def test_merge_two_singletons():
+    p = list(range(5))
+    root = merge(p, 1, 3)
+    assert root == 1
+    assert find_root(p, 3) == 1
+    assert find_root(p, 1) == 1
+
+
+def test_merge_already_united_is_noop():
+    p = list(range(5))
+    merge(p, 1, 3)
+    snapshot = list(p)
+    root = merge(p, 3, 1)
+    assert root == 1
+    assert p == snapshot
+
+
+def test_merge_returns_minimum_of_set():
+    """Rem's invariant: the smallest element is the representative."""
+    p = list(range(10))
+    merge(p, 7, 9)
+    merge(p, 5, 7)
+    merge(p, 9, 2)
+    assert find_root(p, 9) == 2
+    assert find_root(p, 5) == 2
+
+
+def test_merge_self():
+    p = list(range(3))
+    assert merge(p, 2, 2) == 2
+    assert p == [0, 1, 2]
+
+
+def test_monotone_parent_invariant_random(rng):
+    """p[i] <= i after any merge sequence (FLATTEN's precondition)."""
+    n = 200
+    p = list(range(n))
+    for _ in range(400):
+        x, y = rng.integers(0, n, size=2)
+        merge(p, int(x), int(y))
+        assert is_valid_parent_array(p)
+    assert all(p[i] <= i for i in range(n))
+
+
+def test_roots_are_set_minima_random(rng):
+    n = 120
+    p = list(range(n))
+    pairs = [tuple(map(int, rng.integers(0, n, size=2))) for _ in range(300)]
+    for x, y in pairs:
+        merge(p, x, y)
+    roots = roots_of(p)
+    for root in np.unique(roots):
+        members = np.flatnonzero(roots == root)
+        assert members.min() == root
+
+
+@given(
+    n=st.integers(1, 64),
+    ops=st.lists(st.tuples(st.integers(0, 63), st.integers(0, 63)), max_size=120),
+)
+def test_property_partition_matches_naive(n, ops):
+    """REMSP induces exactly the partition a naive reference builds."""
+    p = list(range(n))
+    # naive reference: explicit set list
+    sets: list[set[int]] = [{i} for i in range(n)]
+    where = list(range(n))
+    for x, y in ops:
+        x %= n
+        y %= n
+        merge(p, x, y)
+        sx, sy = where[x], where[y]
+        if sx != sy:
+            sets[sx] |= sets[sy]
+            for m in sets[sy]:
+                where[m] = sx
+            sets[sy] = set()
+    roots = roots_of(p)
+    for i in range(n):
+        for j in range(i + 1, n):
+            assert (roots[i] == roots[j]) == (where[i] == where[j])
+
+
+def test_same_set_does_not_mutate():
+    p = list(range(8))
+    merge(p, 1, 5)
+    merge(p, 5, 7)
+    snapshot = list(p)
+    assert same_set(p, 1, 7)
+    assert not same_set(p, 0, 7)
+    assert p == snapshot
+
+
+def test_merge_counting_matches_plain(rng):
+    n = 64
+    ops = [tuple(map(int, rng.integers(0, n, size=2))) for _ in range(150)]
+    p1 = list(range(n))
+    p2 = list(range(n))
+    counter = OpCounter()
+    for x, y in ops:
+        r1 = merge(p1, x, y)
+        r2 = merge_counting(p2, x, y, counter)
+        assert r1 == r2
+    assert p1 == p2
+    assert counter.uf_merge == len(ops)
+    assert counter.uf_step >= 0
+
+
+def test_merge_counting_steps_zero_for_adjacent_roots():
+    p = list(range(4))
+    counter = OpCounter()
+    merge_counting(p, 0, 1, counter)
+    # both are roots: the walk terminates with one comparison + root link
+    assert counter.uf_merge == 1
+    assert counter.uf_step == 1
+
+
+class TestRemSPClass:
+    def test_init_and_len(self):
+        ds = RemSP(10)
+        assert len(ds) == 10
+        assert ds.n_sets() == 10
+
+    def test_union_find_roundtrip(self):
+        ds = RemSP(6)
+        assert ds.union(2, 4) == 2
+        assert ds.find(4) == 2
+        assert ds.same_set(2, 4)
+        assert ds.n_sets() == 5
+
+    def test_add_grows(self):
+        ds = RemSP(2)
+        idx = ds.add()
+        assert idx == 2
+        assert ds.find(2) == 2
+        ds.union(0, 2)
+        assert ds.same_set(0, 2)
+
+    def test_sets_materialisation(self):
+        ds = RemSP(5)
+        ds.union(0, 3)
+        ds.union(3, 4)
+        parts = ds.sets()
+        assert parts[0] == [0, 3, 4]
+        assert parts[1] == [1]
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValueError):
+            RemSP(-1)
+
+    def test_zero_size(self):
+        ds = RemSP(0)
+        assert len(ds) == 0
+        assert ds.n_sets() == 0
+
+
+def test_count_sets_tracks_merges():
+    p = list(range(6))
+    assert count_sets(p) == 6
+    merge(p, 0, 1)
+    merge(p, 2, 3)
+    assert count_sets(p) == 4
+    merge(p, 1, 3)
+    assert count_sets(p) == 3

@@ -1,0 +1,117 @@
+"""Cross-variant agreement tests over the full [40]-style design space."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.unionfind.base import roots_of
+from repro.unionfind.variants import ALL_VARIANTS
+
+VARIANT_NAMES = sorted(ALL_VARIANTS)
+
+
+def _partition_ids(ds, n: int) -> list[int]:
+    reps = [ds.find(i) for i in range(n)]
+    seen: dict[int, int] = {}
+    return [seen.setdefault(r, len(seen)) for r in reps]
+
+
+@pytest.mark.parametrize("name", VARIANT_NAMES)
+def test_fresh_structure_is_all_singletons(name):
+    ds = ALL_VARIANTS[name](7)
+    assert ds.n_sets() == 7
+    assert [ds.find(i) for i in range(7)] == list(range(7))
+
+
+@pytest.mark.parametrize("name", VARIANT_NAMES)
+def test_single_union(name):
+    ds = ALL_VARIANTS[name](4)
+    ds.union(1, 3)
+    assert ds.same_set(1, 3)
+    assert not ds.same_set(0, 1)
+    assert ds.n_sets() == 3
+
+
+@pytest.mark.parametrize("name", VARIANT_NAMES)
+def test_transitivity_chain(name):
+    ds = ALL_VARIANTS[name](10)
+    for i in range(9):
+        ds.union(i, i + 1)
+    assert ds.n_sets() == 1
+    assert all(ds.same_set(0, i) for i in range(10))
+
+
+@pytest.mark.parametrize("name", VARIANT_NAMES)
+def test_add_after_unions(name):
+    ds = ALL_VARIANTS[name](3)
+    ds.union(0, 2)
+    idx = ds.add()
+    assert idx == 3
+    assert ds.find(idx) == idx
+    ds.union(idx, 1)
+    assert ds.same_set(3, 1)
+    assert not ds.same_set(3, 0)
+
+
+@pytest.mark.parametrize("name", VARIANT_NAMES)
+def test_random_sequence_matches_remsp(name, rng):
+    n = 80
+    ops = [tuple(map(int, rng.integers(0, n, size=2))) for _ in range(200)]
+    ds = ALL_VARIANTS[name](n)
+    ref = ALL_VARIANTS["rem-sp"](n)
+    for x, y in ops:
+        ds.union(x, y)
+        ref.union(x, y)
+    assert _partition_ids(ds, n) == _partition_ids(ref, n)
+
+
+@given(
+    ops=st.lists(
+        st.tuples(st.integers(0, 31), st.integers(0, 31)), max_size=64
+    )
+)
+def test_property_all_variants_agree(ops):
+    n = 32
+    structures = {name: cls(n) for name, cls in ALL_VARIANTS.items()}
+    for x, y in ops:
+        for ds in structures.values():
+            ds.union(x, y)
+    reference = _partition_ids(structures["rem-sp"], n)
+    for name, ds in structures.items():
+        assert _partition_ids(ds, n) == reference, name
+
+
+@pytest.mark.parametrize("name", VARIANT_NAMES)
+def test_worst_case_chain_still_correct(name):
+    """Descending chain unions: the adversarial input for naive linking."""
+    n = 64
+    ds = ALL_VARIANTS[name](n)
+    for i in range(n - 1, 0, -1):
+        ds.union(i, i - 1)
+    assert ds.n_sets() == 1
+    assert ds.find(n - 1) == ds.find(0)
+
+
+def test_quick_find_is_eager():
+    ds = ALL_VARIANTS["quick-find"](5)
+    ds.union(4, 2)
+    # representative readable with zero indirection
+    assert ds.p[4] == 2
+    ds.union(2, 0)
+    assert ds.p[4] == 0
+
+
+def test_flatten_compatible_variants_keep_monotone_parents(rng):
+    """The registry only wires p[i] <= i structures into CCL; verify the
+    guarantee for those (rem-sp, rem-ps, lrpc, link-size-pc)."""
+    n = 100
+    for name in ("rem-sp", "rem-ps", "lrpc", "link-size-pc"):
+        ds = ALL_VARIANTS[name](n)
+        for _ in range(250):
+            x, y = map(int, rng.integers(0, n, size=2))
+            ds.union(x, y)
+        roots = roots_of(ds.p)
+        for i in range(n):
+            assert roots[i] <= i, name

@@ -1,0 +1,130 @@
+"""The verification layer itself: equivalence checks, canonicalisation,
+and the flood-fill oracle's own behaviour."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.verify import (
+    canonicalize_labeling,
+    flood_fill_label,
+    is_canonical_labeling,
+    labelings_equivalent,
+)
+
+
+class TestLabelingsEquivalent:
+    def test_identical(self):
+        a = np.array([[0, 1], [2, 2]])
+        assert labelings_equivalent(a, a)
+
+    def test_relabeled(self):
+        a = np.array([[0, 1], [2, 2]])
+        b = np.array([[0, 7], [3, 3]])
+        assert labelings_equivalent(a, b)
+
+    def test_different_background(self):
+        a = np.array([[0, 1]])
+        b = np.array([[1, 1]])
+        assert not labelings_equivalent(a, b)
+
+    def test_split_component_rejected(self):
+        a = np.array([[1, 1]])
+        b = np.array([[1, 2]])
+        assert not labelings_equivalent(a, b)
+
+    def test_merged_component_rejected(self):
+        a = np.array([[1, 2]])
+        b = np.array([[1, 1]])
+        assert not labelings_equivalent(a, b)
+
+    def test_shape_mismatch(self):
+        assert not labelings_equivalent(np.zeros((2, 2)), np.zeros((4,)))
+
+    def test_empty(self):
+        assert labelings_equivalent(np.zeros((0, 0)), np.zeros((0, 0)))
+
+    def test_all_background(self):
+        assert labelings_equivalent(np.zeros((3, 3)), np.zeros((3, 3)))
+
+    def test_symmetry(self, rng):
+        a = rng.integers(0, 4, size=(6, 6))
+        b = rng.integers(0, 4, size=(6, 6))
+        assert labelings_equivalent(a, b) == labelings_equivalent(b, a)
+
+
+class TestCanonicalize:
+    def test_renumbers_in_raster_order(self):
+        labels = np.array([[5, 5, 0], [0, 3, 3]])
+        out = canonicalize_labeling(labels)
+        assert out.tolist() == [[1, 1, 0], [0, 2, 2]]
+
+    def test_idempotent(self, rng):
+        labels = rng.integers(0, 5, size=(8, 8))
+        once = canonicalize_labeling(labels)
+        twice = canonicalize_labeling(once)
+        assert np.array_equal(once, twice)
+
+    def test_preserves_partition(self, rng):
+        labels = rng.integers(0, 6, size=(10, 10))
+        out = canonicalize_labeling(labels)
+        assert labelings_equivalent(labels, out)
+
+    def test_is_canonical_checks(self):
+        assert is_canonical_labeling(np.array([[1, 0], [0, 2]]))
+        assert not is_canonical_labeling(np.array([[2, 0], [0, 1]]))
+        assert not is_canonical_labeling(np.array([[1, 0], [0, 3]]))
+        assert is_canonical_labeling(np.zeros((3, 3), dtype=int))
+
+    @given(
+        labels=hnp.arrays(
+            dtype=np.int32,
+            shape=hnp.array_shapes(
+                min_dims=2, max_dims=2, min_side=1, max_side=12
+            ),
+            elements=st.integers(0, 6),
+        )
+    )
+    def test_property_canonical_and_equivalent(self, labels):
+        out = canonicalize_labeling(labels)
+        assert is_canonical_labeling(out)
+        assert labelings_equivalent(labels, out)
+
+
+class TestFloodFillOracle:
+    def test_empty(self):
+        labels, n = flood_fill_label(np.zeros((0, 0), dtype=np.uint8))
+        assert n == 0
+        assert labels.shape == (0, 0)
+
+    def test_single_pixel(self):
+        labels, n = flood_fill_label(np.ones((1, 1), dtype=np.uint8))
+        assert n == 1
+        assert labels[0, 0] == 1
+
+    def test_diagonal_connectivity_difference(self):
+        img = np.eye(3, dtype=np.uint8)
+        assert flood_fill_label(img, 8)[1] == 1
+        assert flood_fill_label(img, 4)[1] == 3
+
+    def test_raster_first_appearance_order(self):
+        img = np.array([[0, 1, 0, 1], [1, 0, 0, 1]], dtype=np.uint8)
+        labels, n = flood_fill_label(img, 4)
+        assert n == 3
+        assert labels[0, 1] == 1  # first seen
+        assert labels[0, 3] == 2
+        assert labels[1, 0] == 3
+
+    def test_labels_canonical(self, structural_image):
+        labels, _ = flood_fill_label(structural_image, 8)
+        assert is_canonical_labeling(labels)
+
+    def test_component_count_formula_grid(self):
+        """k isolated 1x1 pixels -> k components."""
+        img = np.zeros((9, 9), dtype=np.uint8)
+        img[::2, ::2] = 1
+        assert flood_fill_label(img, 8)[1] == 25

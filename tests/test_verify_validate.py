@@ -1,0 +1,119 @@
+"""The public validation API: accepts the good, names the bad."""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.ccl import aremsp
+from repro.ccl.registry import ALGORITHMS, get_algorithm
+from repro.verify import ValidationFailure, assert_valid_result, validate_labels
+
+
+@pytest.fixture
+def good(rng):
+    img = (rng.random((14, 16)) < 0.5).astype(np.uint8)
+    return img, aremsp(img)
+
+
+def test_accepts_every_registry_algorithm(rng):
+    img = (rng.random((12, 12)) < 0.5).astype(np.uint8)
+    for name, fn in ALGORITHMS.items():
+        assert_valid_result(fn(img, 8), img)
+
+
+def test_returns_component_count(good):
+    img, result = good
+    assert validate_labels(result.labels, img) == result.n_components
+
+
+def test_rejects_shape_mismatch(good):
+    img, result = good
+    with pytest.raises(ValidationFailure, match="shape"):
+        validate_labels(result.labels[:-1], img)
+
+
+def test_rejects_background_violation(good):
+    img, result = good
+    labels = result.labels.copy()
+    bg = np.argwhere(img == 0)
+    r, c = bg[0]
+    labels[r, c] = 1
+    with pytest.raises(ValidationFailure, match="[Bb]ackground"):
+        validate_labels(labels, img)
+
+
+def test_rejects_non_consecutive_labels(good):
+    img, result = good
+    labels = result.labels.copy()
+    labels[labels == 1] = result.n_components + 5
+    with pytest.raises(ValidationFailure, match="consecutive"):
+        validate_labels(labels, img)
+
+
+def test_rejects_wrong_declared_count(good):
+    img, result = good
+    with pytest.raises(ValidationFailure, match="n_components"):
+        validate_labels(result.labels, img, n_components=999)
+
+
+def test_rejects_split_component():
+    img = np.ones((2, 4), dtype=np.uint8)
+    labels = np.array([[1, 1, 2, 2], [1, 1, 2, 2]], dtype=np.int32)
+    with pytest.raises(ValidationFailure, match="oracle"):
+        validate_labels(labels, img)
+
+
+def test_rejects_merged_components():
+    img = np.zeros((3, 3), dtype=np.uint8)
+    img[0, 0] = img[2, 2] = 1
+    labels = np.zeros((3, 3), dtype=np.int32)
+    labels[0, 0] = labels[2, 2] = 1
+    with pytest.raises(ValidationFailure):
+        validate_labels(labels, img)
+
+
+def test_rejects_negative_labels(good):
+    img, result = good
+    labels = result.labels.copy()
+    fg = np.argwhere(img == 1)
+    r, c = fg[0]
+    labels[r, c] = -3
+    with pytest.raises(ValidationFailure):
+        validate_labels(labels, img)
+
+
+def test_rejects_wrong_dtype(good):
+    img, result = good
+    broken = dataclasses.replace(
+        result, labels=result.labels.astype(np.int64)
+    )
+    with pytest.raises(ValidationFailure, match="dtype"):
+        assert_valid_result(broken, img)
+
+
+def test_rejects_bad_provisional(good):
+    img, result = good
+    broken = dataclasses.replace(result, provisional_count=0)
+    if result.n_components > 0:
+        with pytest.raises(ValidationFailure, match="provisional"):
+            assert_valid_result(broken, img)
+
+
+def test_rejects_negative_timing(good):
+    img, result = good
+    broken = dataclasses.replace(
+        result, phase_seconds={**result.phase_seconds, "scan": -1.0}
+    )
+    with pytest.raises(ValidationFailure, match="timing"):
+        assert_valid_result(broken, img)
+
+
+def test_connectivity_mismatch_detected():
+    img = np.eye(4, dtype=np.uint8)
+    result_8 = get_algorithm("aremsp")(img, 8)
+    # the diagonal is one 8-component but four 4-components
+    with pytest.raises(ValidationFailure):
+        validate_labels(result_8.labels, img, connectivity=4)

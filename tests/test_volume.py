@@ -1,0 +1,149 @@
+"""3-D volume labeling vs the BFS oracle and scipy."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.errors import ImageFormatError
+from repro.verify import have_scipy, labelings_equivalent
+from repro.volume import VOLUME_CONNECTIVITIES, flood_fill_label_3d, volume_label
+from repro.volume.labeling3d import line_offsets
+from repro.volume.oracle import neighbor_offsets_3d
+
+CONNS = VOLUME_CONNECTIVITIES
+
+
+def test_neighbor_offset_counts():
+    assert len(neighbor_offsets_3d(6)) == 6
+    assert len(neighbor_offsets_3d(18)) == 18
+    assert len(neighbor_offsets_3d(26)) == 26
+    with pytest.raises(ValueError):
+        neighbor_offsets_3d(10)
+
+
+def test_line_offsets_validation():
+    with pytest.raises(ValueError):
+        line_offsets(8)
+
+
+def test_line_offsets_cover_all_preceding_neighbors():
+    """Every preceding voxel neighbour must be reachable through some
+    (dz, dy, reach) line entry — the matrix in the module docstring."""
+    for conn in CONNS:
+        # a preceding neighbour (dz, dy, dx) is covered iff (dz, dy) is a
+        # listed line and |dx| <= its reach (single-voxel-run overlap
+        # with reach r spans exactly |dx| <= r).
+        lines = {(dz, dy): reach for dz, dy, reach in line_offsets(conn)}
+        for dz, dy, dx in neighbor_offsets_3d(conn):
+            if (dz, dy, dx) > (0, 0, 0):
+                continue  # only preceding neighbours are matched
+            if (dz, dy) == (0, 0):
+                continue  # same-line adjacency is inside a run
+            assert (dz, dy) in lines, (conn, dz, dy, dx)
+            assert abs(dx) <= lines[(dz, dy)], (conn, dz, dy, dx)
+
+
+@pytest.mark.parametrize("conn", CONNS)
+def test_single_voxel(conn):
+    v = np.zeros((3, 3, 3), dtype=np.uint8)
+    v[1, 1, 1] = 1
+    r = volume_label(v, conn)
+    assert r.n_components == 1
+    assert r.labels[1, 1, 1] == 1
+
+
+def test_diagonal_chain_connectivity_split():
+    v = np.zeros((3, 3, 3), dtype=np.uint8)
+    v[0, 0, 0] = v[1, 1, 1] = v[2, 2, 2] = 1
+    assert volume_label(v, 26).n_components == 1
+    assert volume_label(v, 18).n_components == 3
+    assert volume_label(v, 6).n_components == 3
+
+
+def test_edge_neighbors_18():
+    v = np.zeros((2, 2, 2), dtype=np.uint8)
+    v[0, 0, 0] = v[1, 1, 0] = 1  # share an edge (two coords differ)
+    assert volume_label(v, 6).n_components == 2
+    assert volume_label(v, 18).n_components == 1
+
+
+def test_solid_volume():
+    v = np.ones((4, 5, 6), dtype=np.uint8)
+    for conn in CONNS:
+        r = volume_label(v, conn)
+        assert r.n_components == 1
+        assert (r.labels == 1).all()
+
+
+def test_stacked_planes_separated():
+    v = np.zeros((5, 4, 4), dtype=np.uint8)
+    v[0] = 1
+    v[2] = 1
+    v[4] = 1
+    for conn in CONNS:
+        assert volume_label(v, conn).n_components == 3
+
+
+@pytest.mark.parametrize("conn", CONNS)
+def test_matches_bfs_oracle_random(conn, rng):
+    for _ in range(20):
+        shape = tuple(rng.integers(1, 7, size=3))
+        v = (rng.random(shape) < rng.random()).astype(np.uint8)
+        got = volume_label(v, conn)
+        expected, n = flood_fill_label_3d(v, conn)
+        assert got.n_components == n
+        assert labelings_equivalent(
+            got.labels.reshape(-1, 1), expected.reshape(-1, 1)
+        )
+
+
+@pytest.mark.parametrize("conn", CONNS)
+def test_matches_scipy(conn, rng):
+    if not have_scipy():
+        pytest.skip("scipy not installed")
+    from scipy import ndimage
+
+    structure = ndimage.generate_binary_structure(3, {6: 1, 18: 2, 26: 3}[conn])
+    for _ in range(10):
+        shape = tuple(rng.integers(2, 10, size=3))
+        v = (rng.random(shape) < 0.4).astype(np.uint8)
+        got = volume_label(v, conn)
+        _, n = ndimage.label(v, structure=structure)
+        assert got.n_components == n
+
+
+@given(
+    v=hnp.arrays(
+        dtype=np.uint8,
+        shape=hnp.array_shapes(min_dims=3, max_dims=3, min_side=1, max_side=5),
+        elements=st.integers(0, 1),
+    ),
+    conn=st.sampled_from(CONNS),
+)
+@settings(max_examples=30)
+def test_property_volume_matches_oracle(v, conn):
+    got = volume_label(v, conn)
+    expected, n = flood_fill_label_3d(v, conn)
+    assert got.n_components == n
+    assert labelings_equivalent(
+        got.labels.reshape(-1, 1), expected.reshape(-1, 1)
+    )
+
+
+def test_validation_and_empty():
+    with pytest.raises(ImageFormatError):
+        volume_label(np.zeros((2, 2)))
+    r = volume_label(np.zeros((0, 3, 3), dtype=np.uint8))
+    assert r.n_components == 0
+
+
+def test_labels_background_preserved(rng):
+    v = (rng.random((5, 6, 7)) < 0.4).astype(np.uint8)
+    r = volume_label(v, 26)
+    assert np.array_equal(r.labels == 0, v == 0)
+    positive = np.unique(r.labels[r.labels > 0])
+    assert positive.size == r.n_components

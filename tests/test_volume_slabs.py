@@ -1,0 +1,88 @@
+"""Slab-parallel 3-D labeling."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.verify import labelings_equivalent
+from repro.volume import volume_label, volume_label_slabs
+
+
+def _flat(labels):
+    return labels.reshape(-1, 1)
+
+
+@pytest.mark.parametrize("conn", [6, 18, 26])
+@pytest.mark.parametrize("n_slabs", [1, 2, 3, 6])
+def test_matches_single_volume(conn, n_slabs, rng):
+    v = (rng.random((12, 9, 8)) < 0.4).astype(np.uint8)
+    ref = volume_label(v, conn)
+    got = volume_label_slabs(v, n_slabs=n_slabs, connectivity=conn)
+    assert got.n_components == ref.n_components
+    assert labelings_equivalent(_flat(got.labels), _flat(ref.labels))
+
+
+def test_component_spanning_all_slabs():
+    v = np.zeros((16, 4, 4), dtype=np.uint8)
+    v[:, 2, 2] = 1  # one column through every slab
+    got = volume_label_slabs(v, n_slabs=8)
+    assert got.n_components == 1
+
+
+def test_diagonal_across_seams():
+    v = np.zeros((6, 6, 6), dtype=np.uint8)
+    for i in range(6):
+        v[i, i, i] = 1
+    assert volume_label_slabs(v, n_slabs=3, connectivity=26).n_components == 1
+    assert volume_label_slabs(v, n_slabs=3, connectivity=6).n_components == 6
+
+
+def test_planes_only_touching_via_edges_18():
+    v = np.zeros((4, 3, 3), dtype=np.uint8)
+    v[1, 1, 1] = 1
+    v[2, 1, 2] = 1  # edge neighbour across z (2 coords differ)
+    got18 = volume_label_slabs(v, n_slabs=2, connectivity=18)
+    got6 = volume_label_slabs(v, n_slabs=2, connectivity=6)
+    assert got18.n_components == 1
+    assert got6.n_components == 2
+
+
+def test_more_slabs_than_planes():
+    v = np.ones((3, 4, 4), dtype=np.uint8)
+    got = volume_label_slabs(v, n_slabs=10)
+    assert got.n_components == 1
+
+
+def test_metadata_and_seam_accounting(rng):
+    v = (rng.random((8, 6, 6)) < 0.5).astype(np.uint8)
+    got = volume_label_slabs(v, n_slabs=4)
+    assert got.algorithm == "volume-slabs"
+    assert got.meta["n_slabs"] == 4
+    assert got.meta["seam_unions"] >= 0
+    assert set(got.phase_seconds) == {"scan", "merge", "flatten", "label"}
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        volume_label_slabs(np.ones((4, 4, 4), np.uint8), n_slabs=0)
+
+
+@given(
+    v=hnp.arrays(
+        dtype=np.uint8,
+        shape=hnp.array_shapes(min_dims=3, max_dims=3, min_side=1, max_side=6),
+        elements=st.integers(0, 1),
+    ),
+    n_slabs=st.integers(1, 5),
+    conn=st.sampled_from([6, 18, 26]),
+)
+@settings(max_examples=30)
+def test_property_slabs_match_reference(v, n_slabs, conn):
+    ref = volume_label(v, conn)
+    got = volume_label_slabs(v, n_slabs=n_slabs, connectivity=conn)
+    assert got.n_components == ref.n_components
+    assert labelings_equivalent(_flat(got.labels), _flat(ref.labels))
