@@ -1,0 +1,22 @@
+# Two test tiers (see ROADMAP.md):
+#   tier 1: `make test`          — the full pytest suite, fast, no timing
+#                                  assertions; must always pass.
+#   tier 2: `make bench-paremsp` — full-scale perf gate for the
+#                                  vectorised PAREMSP pipeline; fails if
+#                                  the engines diverge or the vectorized
+#                                  speedup drops below 5x on the
+#                                  2048x2048 reference raster.
+
+PYTHON ?= python
+export PYTHONPATH := src
+
+.PHONY: test bench-paremsp bench
+
+test:
+	$(PYTHON) -m pytest -x -q
+
+bench-paremsp:
+	$(PYTHON) -m repro.bench.paremsp_smoke --size 2048 --repeats 5 \
+		--out BENCH_paremsp.json
+
+bench: bench-paremsp

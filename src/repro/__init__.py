@@ -122,14 +122,19 @@ def label_parallel(
     n_threads: int = 4,
     backend: str = "serial",
     connectivity: int = 8,
+    engine: str = "interpreter",
 ) -> tuple[np.ndarray, int]:
     """Label *image* with PAREMSP (parallel AREMSP) and return
-    ``(labels, n_components)``; see :func:`repro.parallel.paremsp` for
-    the full-result API and backend semantics."""
+    ``(labels, n_components)``; *engine* selects the per-chunk scan
+    kernel (``interpreter`` is the paper-faithful default,
+    ``vectorized`` the NumPy fast path). See
+    :func:`repro.parallel.paremsp` for the full-result API, backend and
+    engine semantics."""
     result = paremsp(
         image,
         n_threads=n_threads,
         backend=backend,
         connectivity=connectivity,
+        engine=engine,
     )
     return result.labels, result.n_components

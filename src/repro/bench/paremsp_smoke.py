@@ -1,0 +1,141 @@
+"""PAREMSP engine smoke benchmark.
+
+``python -m repro.bench.paremsp_smoke --size 2048 --out BENCH_paremsp.json``
+
+Times the interpreter and vectorized engines on one ``size x size``
+blob raster (the "natural scene" regime, where the run-based kernel's
+advantage is structural rather than pathological), asserts the finals
+are byte-identical, and writes a small JSON record. This is the tier-2
+regression gate for the vectorised pipeline: it fails loudly if the
+engines ever diverge or if the vectorised speedup collapses below
+``--min-speedup``.
+
+Interpreter timing uses one repeat (it is the slow side by construction
+and dominates wall clock); the vectorized engine gets ``--repeats``
+(best-of) like the other harnesses in this package.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+import numpy as np
+
+from ..data.synthetic import blobs
+from ..parallel.paremsp import paremsp
+from .timing import measure
+
+__all__ = ["run", "main"]
+
+
+def run(
+    size: int = 2048,
+    n_threads: int = 4,
+    backend: str = "processes",
+    repeats: int = 3,
+    seed: int = 0,
+    density: float = 0.7,
+    smoothing: int = 6,
+) -> dict:
+    """Time both engines on one raster and return the comparison record.
+
+    The default raster (``blobs`` at density 0.7, smoothing 6) is a
+    coarse natural-scene regime: thousands of runs that all merge into
+    one sprawling component — the adversarial case for the equivalence
+    machinery — where the interpreter's per-pixel cost is structural and
+    the vectorised kernel's cost is run-bound. The default backend is
+    ``processes``: the configuration the speedup floor is stated
+    against.
+    """
+    img = blobs((size, size), density, smoothing, seed=seed)
+    interp = measure(
+        paremsp,
+        img,
+        n_threads=n_threads,
+        backend=backend,
+        engine="interpreter",
+        repeats=1,
+    )
+    vector = measure(
+        paremsp,
+        img,
+        n_threads=n_threads,
+        backend=backend,
+        engine="vectorized",
+        repeats=repeats,
+    )
+    identical = bool(
+        np.array_equal(interp.result.labels, vector.result.labels)
+    )
+    return {
+        "benchmark": "paremsp_smoke",
+        "image": {
+            "generator": "blobs",
+            "size": size,
+            "seed": seed,
+            "density": density,
+            "smoothing": smoothing,
+        },
+        "n_threads": n_threads,
+        "backend": backend,
+        "n_components": int(interp.result.n_components),
+        "interpreter_seconds": interp.best,
+        "vectorized_seconds": vector.best,
+        "speedup": interp.best / vector.best,
+        "final_labels_identical": identical,
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--size", type=int, default=2048)
+    ap.add_argument("--threads", type=int, default=4)
+    ap.add_argument("--backend", default="processes")
+    ap.add_argument("--repeats", type=int, default=3)
+    ap.add_argument("--seed", type=int, default=0)
+    ap.add_argument("--density", type=float, default=0.7)
+    ap.add_argument("--smoothing", type=int, default=6)
+    ap.add_argument(
+        "--min-speedup",
+        type=float,
+        default=5.0,
+        help="fail unless vectorized beats interpreter by this factor",
+    )
+    ap.add_argument("--out", default="BENCH_paremsp.json")
+    args = ap.parse_args(argv)
+
+    record = run(
+        size=args.size,
+        n_threads=args.threads,
+        backend=args.backend,
+        repeats=args.repeats,
+        seed=args.seed,
+        density=args.density,
+        smoothing=args.smoothing,
+    )
+    with open(args.out, "w") as fh:
+        json.dump(record, fh, indent=2)
+        fh.write("\n")
+    print(
+        f"paremsp {args.size}x{args.size} ({args.backend}, "
+        f"{args.threads} threads): interpreter "
+        f"{record['interpreter_seconds']:.3f}s, vectorized "
+        f"{record['vectorized_seconds']:.3f}s "
+        f"({record['speedup']:.1f}x) -> {args.out}"
+    )
+    if not record["final_labels_identical"]:
+        print("FAIL: engines produced different final labelings")
+        return 1
+    if record["speedup"] < args.min_speedup:
+        print(
+            f"FAIL: speedup {record['speedup']:.2f}x below the "
+            f"{args.min_speedup:.1f}x floor"
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

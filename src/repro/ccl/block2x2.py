@@ -38,7 +38,120 @@ from ..unionfind.flatten import flatten
 from ..unionfind.remsp import merge as remsp_merge
 from .labeling import CCLResult
 
-__all__ = ["block_label"]
+__all__ = ["block_label", "scan_blocks_chunk"]
+
+
+def _block_edges(
+    a: np.ndarray,
+    b: np.ndarray,
+    c: np.ndarray,
+    d: np.ndarray,
+    ids: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Adjacency edge list ``(u, v)`` between foreground block ids.
+
+    The four boolean formulas of the module docstring, evaluated as whole-
+    array masks; each yields the (current, neighbour) id pairs where both
+    blocks exist and touch.
+    """
+    br, bc = ids.shape
+    us: list[np.ndarray] = []
+    vs: list[np.ndarray] = []
+
+    def collect(touch: np.ndarray, nbr_ids: np.ndarray) -> None:
+        hit = touch & (nbr_ids > 0)
+        us.append(ids[hit])
+        vs.append(nbr_ids[hit])
+
+    # left neighbour: (b'|d') of (i, j-1) vs (a|c) of (i, j)
+    left_touch = np.zeros((br, bc), dtype=bool)
+    left_touch[:, 1:] = (b | d)[:, :-1] & (a | c)[:, 1:]
+    left_ids = np.zeros((br, bc), dtype=np.int64)
+    left_ids[:, 1:] = ids[:, :-1]
+    collect(left_touch, left_ids)
+    # up neighbour: (c''|d'') of (i-1, j) vs (a|b) of (i, j)
+    up_touch = np.zeros((br, bc), dtype=bool)
+    up_touch[1:, :] = (c | d)[:-1, :] & (a | b)[1:, :]
+    up_ids = np.zeros((br, bc), dtype=np.int64)
+    up_ids[1:, :] = ids[:-1, :]
+    collect(up_touch, up_ids)
+    # up-left: d of (i-1, j-1) vs a of (i, j)
+    ul_touch = np.zeros((br, bc), dtype=bool)
+    ul_touch[1:, 1:] = d[:-1, :-1] & a[1:, 1:]
+    ul_ids = np.zeros((br, bc), dtype=np.int64)
+    ul_ids[1:, 1:] = ids[:-1, :-1]
+    collect(ul_touch, ul_ids)
+    # up-right: c of (i-1, j+1) vs b of (i, j)
+    ur_touch = np.zeros((br, bc), dtype=bool)
+    ur_touch[1:, :-1] = c[:-1, 1:] & b[1:, :-1]
+    ur_ids = np.zeros((br, bc), dtype=np.int64)
+    ur_ids[1:, :-1] = ids[:-1, 1:]
+    collect(ur_touch, ur_ids)
+    return np.concatenate(us), np.concatenate(vs)
+
+
+def _split_block_cells(
+    img: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """The four 2x2 block-cell subgrids ``a b / c d`` of *img*, padded to
+    even dimensions so every pixel belongs to a full block."""
+    rows, cols = img.shape
+    R = rows + (rows % 2)
+    C = cols + (cols % 2)
+    padded = np.zeros((R, C), dtype=img.dtype)
+    padded[:rows, :cols] = img
+    a = padded[0::2, 0::2] != 0
+    b = padded[0::2, 1::2] != 0
+    c = padded[1::2, 0::2] != 0
+    d = padded[1::2, 1::2] != 0
+    return a, b, c, d
+
+
+def scan_blocks_chunk(
+    img_chunk: np.ndarray,
+    label_start: int,
+) -> tuple[np.ndarray, int, np.ndarray]:
+    """Vectorised chunk scan for PAREMSP's ``vectorized-blocks`` engine
+    (8-connectivity only — see the module docstring).
+
+    Same contract as :func:`repro.ccl.run_based.scan_runs_chunk`: labels
+    one row chunk on the 2x2 block grid, allocating provisional labels
+    from the disjoint range starting at *label_start*, and returns
+    ``(label_chunk, used, p_slice)``. Foreground block ``i`` (0-based,
+    block-raster order) holds global label ``label_start + i``; blocks
+    number at most one per two pixels, so the range never collides with
+    the next chunk's.
+    """
+    rows, cols = img_chunk.shape
+    if img_chunk.size == 0:
+        return (
+            np.zeros((rows, cols), dtype=LABEL_DTYPE),
+            label_start,
+            np.empty(0, dtype=LABEL_DTYPE),
+        )
+    a, b, c, d = _split_block_cells(img_chunk)
+    fg = a | b | c | d
+    n_blocks = int(fg.sum())
+    ids = np.zeros(fg.shape, dtype=np.int64)
+    ids[fg] = np.arange(1, n_blocks + 1)
+    p_local: list[int] = list(range(n_blocks + 1))
+    if n_blocks:
+        u, v = _block_edges(a, b, c, d, ids)
+        for x, y in zip(u.tolist(), v.tolist()):
+            remsp_merge(p_local, x, y)
+    # per-pixel provisional labels: expand global block ids, mask bg
+    global_ids = np.zeros(fg.shape, dtype=LABEL_DTYPE)
+    global_ids[fg] = np.arange(
+        label_start, label_start + n_blocks, dtype=LABEL_DTYPE
+    )
+    pixel = np.repeat(np.repeat(global_ids, 2, axis=0), 2, axis=1)
+    label_chunk = np.ascontiguousarray(
+        np.where(img_chunk != 0, pixel[:rows, :cols], 0).astype(LABEL_DTYPE)
+    )
+    p_slice = np.asarray(p_local[1:], dtype=LABEL_DTYPE) + LABEL_DTYPE(
+        label_start - 1
+    )
+    return label_chunk, label_start + n_blocks, p_slice
 
 
 def block_label(image: np.ndarray, connectivity: int = 8) -> CCLResult:
@@ -63,58 +176,19 @@ def block_label(image: np.ndarray, connectivity: int = 8) -> CCLResult:
             phase_seconds={"scan": 0.0, "flatten": 0.0, "label": 0.0},
             algorithm="block2x2",
         )
-    # pad to even dimensions so every pixel belongs to a full block
-    R = rows + (rows % 2)
-    C = cols + (cols % 2)
-    padded = np.zeros((R, C), dtype=img.dtype)
-    padded[:rows, :cols] = img
-    a = padded[0::2, 0::2] != 0
-    b = padded[0::2, 1::2] != 0
-    c = padded[1::2, 0::2] != 0
-    d = padded[1::2, 1::2] != 0
+    a, b, c, d = _split_block_cells(img)
     fg = a | b | c | d  # block foreground mask, shape (R/2, C/2)
-    br, bc = fg.shape
 
     # dense 1-based ids for foreground blocks, block-raster order
-    ids = np.zeros((br, bc), dtype=np.int64)
-    ids[fg] = np.arange(1, int(fg.sum()) + 1)
     n_blocks = int(fg.sum())
+    ids = np.zeros(fg.shape, dtype=np.int64)
+    ids[fg] = np.arange(1, n_blocks + 1)
     p: list[int] = list(range(n_blocks + 1))
 
-    def _union_edges(cur_mask: np.ndarray, nbr_ids: np.ndarray) -> None:
-        """Union current blocks with a neighbour-id array where both
-        sides exist and *cur_mask* says they touch."""
-        hit = cur_mask & (nbr_ids > 0)
-        u = ids[hit]
-        v = nbr_ids[hit]
+    if n_blocks:
+        u, v = _block_edges(a, b, c, d, ids)
         for x, y in zip(u.tolist(), v.tolist()):
             remsp_merge(p, x, y)
-
-    if n_blocks:
-        # left neighbour: (b'|d') of (i, j-1) vs (a|c) of (i, j)
-        left_touch = np.zeros((br, bc), dtype=bool)
-        left_touch[:, 1:] = (b | d)[:, :-1] & (a | c)[:, 1:]
-        left_ids = np.zeros((br, bc), dtype=np.int64)
-        left_ids[:, 1:] = ids[:, :-1]
-        _union_edges(left_touch, left_ids)
-        # up neighbour: (c''|d'') of (i-1, j) vs (a|b) of (i, j)
-        up_touch = np.zeros((br, bc), dtype=bool)
-        up_touch[1:, :] = (c | d)[:-1, :] & (a | b)[1:, :]
-        up_ids = np.zeros((br, bc), dtype=np.int64)
-        up_ids[1:, :] = ids[:-1, :]
-        _union_edges(up_touch, up_ids)
-        # up-left: d of (i-1, j-1) vs a of (i, j)
-        ul_touch = np.zeros((br, bc), dtype=bool)
-        ul_touch[1:, 1:] = d[:-1, :-1] & a[1:, 1:]
-        ul_ids = np.zeros((br, bc), dtype=np.int64)
-        ul_ids[1:, 1:] = ids[:-1, :-1]
-        _union_edges(ul_touch, ul_ids)
-        # up-right: c of (i-1, j+1) vs b of (i, j)
-        ur_touch = np.zeros((br, bc), dtype=bool)
-        ur_touch[1:, :-1] = c[:-1, 1:] & b[1:, :-1]
-        ur_ids = np.zeros((br, bc), dtype=np.int64)
-        ur_ids[1:, :-1] = ids[:-1, 1:]
-        _union_edges(ur_touch, ur_ids)
     t1 = time.perf_counter()
     n_components = flatten(p, n_blocks + 1)
     t2 = time.perf_counter()

@@ -15,9 +15,9 @@ Two engines:
 * :func:`run_based` — interpreter engine, faithful row/run loops;
 * :func:`run_based_vectorized` — NumPy engine: run extraction via
   ``diff`` over the padded image, interval-overlap matching via
-  ``searchsorted``, painting via one ``repeat`` gather. This is the
-  library's throughput engine for large images (used by
-  ``repro.label(..., engine="vectorized")``).
+  ``searchsorted``, unions via hook-and-compress on run ids, painting
+  via an interval prefix-sum. This is the library's throughput engine
+  for large images (used by ``repro.label(..., engine="vectorized")``).
 """
 
 from __future__ import annotations
@@ -28,11 +28,16 @@ import numpy as np
 
 from ..types import LABEL_DTYPE, as_binary_image
 from ..unionfind.flatten import flatten
-from ..unionfind.remsp import merge as remsp_merge
 from .arun_ds import RunEquivalence
 from .labeling import CCLResult
 
-__all__ = ["run_based", "run_based_vectorized", "row_runs", "extract_runs"]
+__all__ = [
+    "run_based",
+    "run_based_vectorized",
+    "row_runs",
+    "extract_runs",
+    "scan_runs_chunk",
+]
 
 
 def row_runs(row: np.ndarray) -> list[tuple[int, int]]:
@@ -68,6 +73,189 @@ def extract_runs(img: np.ndarray) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
     run_s = starts_flat - run_row * W
     run_e = stops_flat - run_row * W
     return run_row, run_s, run_e
+
+
+def _overlap_pairs(
+    run_row: np.ndarray,
+    run_s: np.ndarray,
+    run_e: np.ndarray,
+    rows: int,
+    reach: int,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Indices ``(ii, jj)`` of every (current, previous-row) run overlap.
+
+    Composite keys ``row * W + col`` are globally ascending (cols stay
+    below ``W = max(col) + 2``), so two whole-array ``searchsorted`` calls
+    locate each run's overlap slice, clamped to the previous row's range:
+    prev ``j`` overlaps cur ``i`` iff ``prev_e[j] > cur_s[i] - reach`` and
+    ``prev_s[j] < cur_e[i] + reach``. Returns 0-based run indices.
+    """
+    empty = np.empty(0, dtype=np.int64)
+    if len(run_s) == 0:
+        return empty, empty
+    W = int(run_e.max()) + 2
+    s_keys = run_row * W + run_s
+    e_keys = run_row * W + run_e
+    cur_idx = np.flatnonzero(run_row > 0)
+    if not len(cur_idx):
+        return empty, empty
+    prev_base = (run_row[cur_idx] - 1) * W
+    first = np.searchsorted(
+        e_keys, prev_base + run_s[cur_idx] - reach, side="right"
+    )
+    last = np.searchsorted(
+        s_keys, prev_base + run_e[cur_idx] + reach, side="left"
+    )
+    row_begin = np.searchsorted(run_row, np.arange(rows), side="left")
+    row_end = np.searchsorted(run_row, np.arange(rows), side="right")
+    prev_rows = run_row[cur_idx] - 1
+    first = np.maximum(first, row_begin[prev_rows])
+    last = np.minimum(last, row_end[prev_rows])
+    counts = np.maximum(0, last - first)
+    total = int(counts.sum())
+    if not total:
+        return empty, empty
+    cum = np.cumsum(counts)
+    ii = np.repeat(cur_idx, counts)  # current-run index
+    jj = np.arange(total) - np.repeat(cum - counts, counts)
+    jj += np.repeat(first, counts)  # previous-run index
+    return ii, jj
+
+
+def _union_min_runs(
+    n_runs: int, ii: np.ndarray, jj: np.ndarray
+) -> np.ndarray:
+    """Resolve run-overlap edges to per-run component minima, in NumPy.
+
+    Classic hook-and-compress: every edge hooks the larger of the two
+    endpoint roots onto the smaller (``minimum.at`` resolves colliding
+    hooks to the smallest candidate), then pointer jumping fully
+    compresses the forest; repeat until no edge spans two roots.
+    Converges in O(log n) rounds and replaces the per-edge interpreter
+    union loop. Returns the fully-compressed 0-based parent array:
+    ``parent[i]`` is the smallest run index of ``i``'s component —
+    exactly the root REMSP would settle on, since Rem's invariant keeps
+    each set's minimum as its root regardless of merge order.
+    """
+    parent = np.arange(n_runs, dtype=np.int64)
+    if not len(ii):
+        return parent
+    while True:
+        pu, pv = parent[ii], parent[jj]
+        hi = np.maximum(pu, pv)
+        lo = np.minimum(pu, pv)
+        live = hi != lo
+        if not live.any():
+            return parent
+        np.minimum.at(parent, hi[live], lo[live])
+        while True:
+            hop = parent[parent]
+            if np.array_equal(hop, parent):
+                break
+            parent = hop
+
+
+def _paint_runs(
+    run_row: np.ndarray,
+    run_s: np.ndarray,
+    run_e: np.ndarray,
+    values: np.ndarray,
+    rows: int,
+    cols: int,
+    out: np.ndarray | None = None,
+) -> np.ndarray:
+    """Expand per-run *values* to a ``(rows, cols)`` pixel image
+    (background stays 0).
+
+    Interval painting by prefix sum: scatter ``+value`` at each run start
+    and ``-value`` one past each run end in the padded flat image, then
+    one ``cumsum`` reconstructs the fill. Runs are disjoint with at least
+    the padding column between rows, so the running sum is always either
+    0 or the enclosing run's value — two O(runs) scatters plus one
+    O(pixels) scan, with no materialised per-pixel index arrays.
+
+    With *out* (shape ``(rows, cols)``) the fill is written there in a
+    single pass — backends paint chunks directly into their full label
+    plane (or shared-memory segment) instead of copying twice.
+    """
+    W = cols + 1  # one padding column separates consecutive rows
+    delta = np.zeros(rows * W + 1, dtype=LABEL_DTYPE)
+    if len(run_s):
+        base = run_row * W
+        delta[base + run_s] = values
+        delta[base + run_e] = -values
+    # cumsum into a preallocated buffer: NumPy's out-less int32 cumsum
+    # takes a ~3x slower path, and this scan is the paint's entire
+    # per-pixel cost.
+    flat = np.empty(rows * W, dtype=LABEL_DTYPE)
+    np.cumsum(delta[:-1], out=flat)
+    view = flat.reshape(rows, W)[:, :cols]
+    if out is None:
+        return np.ascontiguousarray(view)
+    out[:] = view
+    return out
+
+
+def scan_runs_chunk(
+    img_chunk: np.ndarray,
+    label_start: int,
+    connectivity: int = 8,
+    out: np.ndarray | None = None,
+) -> tuple[np.ndarray, int, np.ndarray]:
+    """Vectorised chunk scan for PAREMSP's ``vectorized`` engine.
+
+    Labels one row chunk with the run-based first scan, allocating
+    provisional labels from the chunk's disjoint range starting at
+    *label_start* (Algorithm 7 line 7). Operates directly on the ndarray
+    view — no ``tolist()`` marshalling.
+
+    Returns ``(label_chunk, used, p_slice)``: the per-pixel provisional
+    labels (``LABEL_DTYPE``, background 0), the watermark one past the
+    last allocated label, and the equivalence slice covering
+    ``[label_start, used)`` with *global* parent values. At most one run
+    per two pixels, so the range can never collide with the next chunk's
+    ``label_start``. With *out*, the label chunk is painted into that
+    array (a backend's label-plane slice) and returned instead of a
+    fresh allocation.
+
+    Provisional ids are handed out in the order AREMSP's two-row scan
+    would first touch each run — rows in pairs, column-major within a
+    pair, an odd tail row last — not in raster run order. Chunks are
+    pair-aligned and label ranges ascend with row ranges, so a
+    component's smallest global id is its global first-visit, Rem's
+    structure keeps that minimum as the root, and FLATTEN's ascending
+    root numbering therefore reproduces sequential AREMSP's final
+    numbering with no renumbering pass.
+    """
+    rows, cols = img_chunk.shape
+    reach = 1 if connectivity == 8 else 0
+    run_row, run_s, run_e = extract_runs(img_chunk)
+    n_runs = len(run_s)
+    ii, jj = _overlap_pairs(run_row, run_s, run_e, rows, reach)
+    # pair-traversal key of each run's first pixel: pair t spans
+    # [t*2*cols, (t+1)*2*cols) with (r, c) at 2c + (r & 1); an odd tail
+    # row continues with one key per column. Keys are unique (distinct
+    # starts within a row, distinct parity across a pair's rows).
+    even = (rows // 2) * 2
+    key = (run_row >> 1) * (2 * cols) + np.where(
+        run_row < even, 2 * run_s + (run_row & 1), run_s
+    )
+    order = np.argsort(key)
+    pair_id = np.empty(n_runs, dtype=np.int64)
+    pair_id[order] = np.arange(n_runs)
+    parent = _union_min_runs(n_runs, pair_id[ii], pair_id[jj])
+    label_chunk = _paint_runs(
+        run_row,
+        run_s,
+        run_e,
+        (pair_id + label_start).astype(LABEL_DTYPE),
+        rows,
+        cols,
+        out=out,
+    )
+    # shift local parents (0-based pair-order indices) into global range
+    p_slice = (parent + label_start).astype(LABEL_DTYPE)
+    return label_chunk, label_start + n_runs, p_slice
 
 
 def run_based(image: np.ndarray, connectivity: int = 8) -> CCLResult:
@@ -135,70 +323,31 @@ def run_based_vectorized(image: np.ndarray, connectivity: int = 8) -> CCLResult:
        contiguous slice found with two ``searchsorted`` calls; the
        (current, previous) overlap pairs are materialised with ``repeat``
        arithmetic instead of nested Python loops;
-    3. unions happen on *run ids* via REMSP — union traffic is
-       proportional to overlaps, not pixels, so the remaining
-       interpreter-level loop is tiny;
-    4. painting is one ``repeat`` + LUT gather over the flat image.
+    3. unions happen on *run ids* with a hook-and-compress pass
+       (:func:`_union_min_runs`) — union traffic is proportional to
+       overlaps, not pixels, and no interpreter loop remains;
+    4. painting is an interval prefix-sum over the flat image.
     """
     img = as_binary_image(image)
     rows, cols = img.shape
     reach = 1 if connectivity == 8 else 0
-    W = cols + 2
 
     t0 = time.perf_counter()
     run_row, run_s, run_e = extract_runs(img)
     n_runs = len(run_s)
-    # run ids are 1-based; p[0] is the background sentinel.
-    p: list[int] = list(range(n_runs + 1))
-    if n_runs:
-        # Match every run against the previous row's runs in ONE pass:
-        # composite keys ``row * W + col`` are globally ascending (cols
-        # stay below W), so two whole-array searchsorted calls locate
-        # each run's overlap slice, clamped to the previous row's range.
-        # prev j overlaps cur i iff prev_e[j] > cur_s[i] - reach
-        #                      and prev_s[j] < cur_e[i] + reach
-        s_keys = run_row * W + run_s
-        e_keys = run_row * W + run_e
-        cur_idx = np.flatnonzero(run_row > 0)
-        if len(cur_idx):
-            prev_base = (run_row[cur_idx] - 1) * W
-            first = np.searchsorted(
-                e_keys, prev_base + run_s[cur_idx] - reach, side="right"
-            )
-            last = np.searchsorted(
-                s_keys, prev_base + run_e[cur_idx] + reach, side="left"
-            )
-            row_begin = np.searchsorted(run_row, np.arange(rows), side="left")
-            row_end = np.searchsorted(run_row, np.arange(rows), side="right")
-            prev_rows = run_row[cur_idx] - 1
-            first = np.maximum(first, row_begin[prev_rows])
-            last = np.minimum(last, row_end[prev_rows])
-            counts = np.maximum(0, last - first)
-            total = int(counts.sum())
-            if total:
-                cum = np.cumsum(counts)
-                ii = np.repeat(cur_idx, counts)  # current-run index
-                jj = np.arange(total) - np.repeat(cum - counts, counts)
-                jj += np.repeat(first, counts)  # previous-run index
-                # unions on run ids: the only interpreter loop left, and
-                # it is proportional to overlaps, not pixels.
-                for u, v in zip((ii + 1).tolist(), (jj + 1).tolist()):
-                    remsp_merge(p, u, v)
+    # unions on run ids: proportional to overlaps, not pixels, and fully
+    # in NumPy (hook-and-compress).
+    ii, jj = _overlap_pairs(run_row, run_s, run_e, rows, reach)
+    parent = _union_min_runs(n_runs, ii, jj)
     t1 = time.perf_counter()
-    n_components = flatten(p, n_runs + 1)
+    # FLATTEN over the compressed forest: roots (self-parented runs) take
+    # consecutive finals in ascending index order — the same numbering
+    # interpreter FLATTEN produces, since REMSP roots are component minima.
+    roots = np.flatnonzero(parent == np.arange(n_runs))
+    n_components = len(roots)
+    final = (np.searchsorted(roots, parent) + 1).astype(LABEL_DTYPE)
     t2 = time.perf_counter()
-    flat = np.zeros(rows * W, dtype=LABEL_DTYPE)
-    if n_runs:
-        lut = np.asarray(p, dtype=LABEL_DTYPE)
-        final = lut[1 : n_runs + 1]
-        lengths = run_e - run_s
-        total = int(lengths.sum())
-        flat_starts = run_row * W + run_s + 1  # +1: padding column
-        cum = np.cumsum(lengths)
-        within = np.arange(total) - np.repeat(cum - lengths, lengths)
-        idx = np.repeat(flat_starts, lengths) + within
-        flat[idx] = np.repeat(final, lengths)
-    labels = np.ascontiguousarray(flat.reshape(rows, W)[:, 1 : cols + 1])
+    labels = _paint_runs(run_row, run_s, run_e, final, rows, cols)
     t3 = time.perf_counter()
     return CCLResult(
         labels=labels,

@@ -2,17 +2,22 @@
 
 A backend supplies two operations over an already-partitioned image:
 
-* ``scan(img_rows, chunks, p, connectivity)`` — run the AREMSP scan on
-  every chunk, writing equivalences into the shared array ``p``; returns
-  the assembled provisional label rows, the per-chunk used-label
-  watermarks, and backend metadata;
-* ``boundary(label_rows, chunks, cols, p, connectivity)`` — stitch the
-  chunk seams (Algorithm 7's merge step); returns metadata including the
-  union-call count.
+* ``scan(img, chunks, connectivity, engine)`` — run the per-chunk first
+  scan of every chunk over the binary ndarray ``img``; returns
+  ``(label_source, used, p, meta)``: the assembled provisional labels
+  (row lists for the interpreter engine, an ndarray for the vectorised
+  engines), the per-chunk used-label watermarks, the equivalence array
+  — the backend owns its representation and sizing (a dense
+  ``rows*cols+2`` list for the interpreter engine, a watermark-sized
+  ndarray otherwise) — and backend metadata;
+* ``boundary(label_source, chunks, cols, p, connectivity, engine)`` —
+  stitch the chunk seams (Algorithm 7's merge step); returns metadata
+  including the union-call count.
 
 Backends must preserve the algorithm's semantics exactly; they differ
-only in *how* the independent units execute. See the package docstring
-of :mod:`repro.parallel` for the roster.
+only in *how* the independent units execute (and, for ``processes``, in
+transporting the arrays through ``multiprocessing.shared_memory``). See
+the package docstring of :mod:`repro.parallel` for the roster.
 """
 
 from __future__ import annotations

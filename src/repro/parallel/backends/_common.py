@@ -1,0 +1,88 @@
+"""Shared engine plumbing for the PAREMSP execution backends.
+
+The *engine* decides which per-chunk first-scan kernel runs and which
+data representation flows between the phases:
+
+* ``interpreter`` — the paper-faithful two-row scan
+  (:func:`repro.ccl.scan_aremsp.scan_tworow`) over Python row lists, with
+  a shared ``list`` equivalence array;
+* ``vectorized`` — the NumPy run-based kernel
+  (:func:`repro.ccl.run_based.scan_runs_chunk`) over ndarray row slices;
+* ``vectorized-blocks`` — the NumPy 2x2-block kernel
+  (:func:`repro.ccl.block2x2.scan_blocks_chunk`), 8-connectivity only.
+
+Every vectorised kernel obeys one contract:
+``kernel(img_chunk, label_start, connectivity, out=None) ->
+(label_chunk, used, p_slice)`` with provisional labels drawn from the
+chunk's disjoint range ``[label_start, label_start + chunk_pixels)`` and
+*global* parent values in ``p_slice`` — exactly the disjoint-range
+invariant Algorithm 7 gives the interpreter scan, so the
+boundary/flatten phases are engine-agnostic. When the backend passes
+*out* (its slice of the full label plane), the kernel paints straight
+into it and returns it as ``label_chunk``, skipping one full-chunk copy.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+from ...ccl.block2x2 import scan_blocks_chunk
+from ...ccl.run_based import scan_runs_chunk
+from ...errors import BackendError
+from ...types import LABEL_DTYPE
+from ..partition import RowChunk
+
+__all__ = ["VECTOR_ENGINES", "chunk_kernel", "gather_equivalences"]
+
+#: engines whose scan phase runs the NumPy per-chunk kernels.
+VECTOR_ENGINES = ("vectorized", "vectorized-blocks")
+
+
+def _blocks_kernel(
+    img_chunk: np.ndarray,
+    label_start: int,
+    connectivity: int,
+    out: np.ndarray | None = None,
+) -> tuple[np.ndarray, int, np.ndarray]:
+    # connectivity is validated to 8 in paremsp(); the parameter only
+    # unifies the kernel signature.
+    lab, used, p_slice = scan_blocks_chunk(img_chunk, label_start)
+    if out is not None:
+        out[:] = lab
+        lab = out
+    return lab, used, p_slice
+
+
+_KERNELS: dict[str, Callable] = {
+    "vectorized": scan_runs_chunk,
+    "vectorized-blocks": _blocks_kernel,
+}
+
+
+def chunk_kernel(engine: str) -> Callable:
+    """The per-chunk vectorised scan kernel for *engine*."""
+    try:
+        return _KERNELS[engine]
+    except KeyError:
+        raise BackendError(
+            f"no vectorised chunk kernel for engine {engine!r}"
+        ) from None
+
+
+def gather_equivalences(
+    chunks: Sequence[RowChunk],
+    used: Sequence[int],
+    slices: Sequence[np.ndarray],
+) -> np.ndarray:
+    """Materialise the equivalence array from per-chunk slices.
+
+    Sized to the highest watermark actually reached — not ``rows * cols``
+    — so sparse label ranges cost memory proportional to allocated labels
+    plus gaps below the last chunk, never the whole-image bound.
+    """
+    p = np.zeros(max(used, default=1), dtype=LABEL_DTYPE)
+    for chunk, watermark, p_slice in zip(chunks, used, slices):
+        p[chunk.label_start : watermark] = p_slice
+    return p

@@ -1,33 +1,67 @@
-"""Process backend: true parallelism for the scan phase via ``fork``.
+"""Process backend: true parallelism via ``fork`` + shared memory.
 
 CPython's GIL makes the thread backend serialise; this backend forks one
 worker per chunk for the scan phase — the phase that carries essentially
 all the work (Figure 5a vs 5b of the paper: the merge step is
-negligible). Workers return their chunk's provisional label rows plus
-the touched slice of the equivalence array; the coordinator installs the
-slices and performs the (tiny) boundary merge itself.
+negligible). Transport is ``multiprocessing.shared_memory``, restoring
+the paper's shared-address-space model for the scan:
 
-This departs from the paper's shared-address-space model for the merge
-step only; the scan phase — where the paper's speedup lives — runs with
-the same disjoint-range contract as the OpenMP original. DESIGN.md §2
-records the substitution.
+* the coordinator places three segments in shared memory — the binary
+  image, the provisional label image, and the typed equivalence array
+  ``p`` — and sends each worker only segment names plus chunk bounds
+  (a few hundred bytes per worker, engine-independent);
+* each worker attaches read-only to the image segment, scans its row
+  slice, and writes its provisional label rows and its
+  ``[label_start, used)`` equivalence slice directly into the shared
+  output segments — the disjoint-range contract of Algorithm 7 makes
+  those writes race-free by construction;
+* workers deposit their used-label watermark in a fourth (tiny) shared
+  segment and exit; one forked process per chunk, no pool, no queues —
+  nothing is pickled in either direction. (Earlier revisions pickled
+  each chunk's row lists to the workers and the label rows back — that
+  transport is gone, see CHANGELOG 1.1.0.)
 
-Workers see a *local* window of the equivalence array through
-:class:`OffsetList`, which keeps label values global (scan-phase merges
-never leave the chunk's range, so the window is total for them).
+The coordinator still performs the (tiny) boundary merge itself; that
+remains the one departure from the paper's model, recorded in
+DESIGN.md §2.
+
+For the ``interpreter`` engine each worker scans over Python row lists
+built from its *own* slice of the shared image (list indexing is the
+faithful-transcription fast path in CPython), then bulk-copies the
+results into shared memory; the vectorised engines run the NumPy chunk
+kernels directly on the shared views. :class:`OffsetList` gives the
+interpreter worker a local window of the equivalence array with global
+label values (scan-phase merges never leave the chunk's range, so the
+window is total for them).
 """
 
 from __future__ import annotations
 
-from concurrent.futures import ProcessPoolExecutor
-from typing import MutableSequence, Sequence
+import multiprocessing
+import os
+import sys
+import weakref
+from multiprocessing import shared_memory
+from typing import Sequence
+
+import numpy as np
 
 from ...ccl.scan_aremsp import scan_tworow
+from ...errors import BackendError
+from ...types import LABEL_DTYPE, PIXEL_DTYPE
 from ...unionfind.remsp import merge as remsp_merge
-from ..boundary import boundary_rows, merge_boundary_row
+from ..boundary import (
+    boundary_edges,
+    boundary_rows,
+    merge_boundary_row,
+    merge_edges,
+)
 from ..partition import RowChunk
+from ._common import chunk_kernel
 
 __all__ = ["ProcessBackend", "OffsetList"]
+
+_LABEL_ITEMSIZE = np.dtype(LABEL_DTYPE).itemsize
 
 
 class OffsetList:
@@ -56,10 +90,13 @@ class OffsetList:
 def _scan_chunk(
     args: tuple[list[list[int]], int, int, int],
 ) -> tuple[list[list[int]], int, list[int]]:
-    """Top-level worker (must be picklable): scan one chunk.
+    """Interpreter-engine chunk scan over row lists.
 
-    Returns ``(label_rows, used_watermark, p_slice)`` where ``p_slice``
-    covers ``[label_start, used_watermark)``.
+    ``args`` is ``(img_chunk, label_start, cols, connectivity)`` — *cols*
+    is threaded through explicitly so degenerate chunks never have to
+    infer the row width from their own data. Returns ``(label_rows,
+    used_watermark, p_slice)`` where ``p_slice`` covers ``[label_start,
+    used_watermark)``.
     """
     img_chunk, label_start, cols, connectivity = args
     capacity = len(img_chunk) * cols + 1
@@ -77,51 +114,264 @@ def _scan_chunk(
     return rows, used, p.data[: used - label_start]
 
 
+def _attach(name: str) -> shared_memory.SharedMemory:
+    """Attach to an existing segment without registering it with the
+    resource tracker.
+
+    Ownership stays with the creating coordinator: only it may unlink.
+    Python < 3.13 has no ``track=False``, and letting attachments
+    register would have every worker announce the same segment name to
+    the shared tracker — whichever unregister lands first wins and the
+    rest crash the tracker thread — so registration is suppressed for
+    the duration of the attach (worker processes run our jobs serially,
+    making the swap race-free).
+    """
+    from multiprocessing import resource_tracker
+
+    original = resource_tracker.register
+    resource_tracker.register = lambda *args, **kwargs: None
+    try:
+        return shared_memory.SharedMemory(name=name)
+    finally:
+        resource_tracker.register = original
+
+
+def _scan_chunks_shm(
+    args: tuple[str, str, str, str, int, int, int, int, str, tuple],
+) -> None:
+    """Top-level worker (picklable for spawn contexts): scan a batch of
+    chunks in place.
+
+    Receives only shared-memory segment names and chunk coordinates;
+    reads image rows from the shared image and writes provisional
+    labels, equivalence slices, and used-label watermarks into the
+    shared outputs. Nothing bulk crosses the process boundary.
+    """
+    (
+        img_name,
+        lab_name,
+        p_name,
+        used_name,
+        n_chunks,
+        rows,
+        cols,
+        connectivity,
+        engine,
+        batch,
+    ) = args
+    try:
+        segs = [
+            _attach(img_name),
+            _attach(lab_name),
+            _attach(p_name),
+            _attach(used_name),
+        ]
+        img = np.ndarray((rows, cols), dtype=PIXEL_DTYPE, buffer=segs[0].buf)
+        labels = np.ndarray(
+            (rows, cols), dtype=LABEL_DTYPE, buffer=segs[1].buf
+        )
+        p = np.ndarray(
+            rows * cols + 2, dtype=LABEL_DTYPE, buffer=segs[2].buf
+        )
+        used_arr = np.ndarray(n_chunks, dtype=np.int64, buffer=segs[3].buf)
+        for chunk_index, row_start, row_stop, label_start in batch:
+            chunk = img[row_start:row_stop]
+            if engine == "interpreter":
+                out, used, p_slice = _scan_chunk(
+                    (chunk.tolist(), label_start, cols, connectivity)
+                )
+                labels[row_start:row_stop] = np.asarray(
+                    out, dtype=LABEL_DTYPE
+                ).reshape(row_stop - row_start, cols)
+                p[label_start:used] = np.asarray(p_slice, dtype=LABEL_DTYPE)
+            else:
+                # paint straight into the shared label segment
+                _, used, p_slice = chunk_kernel(engine)(
+                    chunk,
+                    label_start,
+                    connectivity,
+                    out=labels[row_start:row_stop],
+                )
+                p[label_start:used] = p_slice
+            used_arr[chunk_index] = used
+        for seg in segs:
+            seg.close()
+    except BaseException:
+        import traceback
+
+        traceback.print_exc()
+        sys.stderr.flush()
+        os._exit(1)
+    # skip interpreter finalisation: a forked child shares the parent's
+    # whole heap copy-on-write, and a normal exit's teardown GC would
+    # fault in (and so physically copy) a large fraction of those pages
+    # just to decref them. Everything worth keeping is already in the
+    # shared segments.
+    os._exit(0)
+
+
 class ProcessBackend:
-    """Fork-per-chunk execution of the PAREMSP scan phase."""
+    """Fork-per-chunk execution of the PAREMSP scan phase over shared
+    memory."""
 
     name = "processes"
 
     def scan(
         self,
-        img_rows: Sequence[Sequence[int]],
+        img: np.ndarray,
         chunks: Sequence[RowChunk],
-        p: MutableSequence[int],
         connectivity: int,
-    ) -> tuple[list[list[int]], list[int], dict]:
-        jobs = [
-            (
-                list(img_rows[c.row_start : c.row_stop]),
-                c.label_start,
-                len(img_rows[0]) if img_rows else 0,
-                connectivity,
-            )
-            for c in chunks
-        ]
+        engine: str = "interpreter",
+    ) -> tuple[np.ndarray, list[int], np.ndarray, dict]:
+        rows, cols = img.shape
         if len(chunks) <= 1:
-            results = [_scan_chunk(j) for j in jobs]
+            # one chunk: fork + shared-memory transport would be pure
+            # overhead; run the same kernel in-process.
+            return self._scan_inline(img, chunks, connectivity, engine)
+        n_chunks = len(chunks)
+        segments: list[shared_memory.SharedMemory] = []
+        keep = None
+        try:
+            shm_img = shared_memory.SharedMemory(
+                create=True, size=img.nbytes
+            )
+            segments.append(shm_img)
+            shm_lab = shared_memory.SharedMemory(
+                create=True, size=rows * cols * _LABEL_ITEMSIZE
+            )
+            segments.append(shm_lab)
+            shm_p = shared_memory.SharedMemory(
+                create=True, size=(rows * cols + 2) * _LABEL_ITEMSIZE
+            )
+            segments.append(shm_p)
+            shm_used = shared_memory.SharedMemory(
+                create=True, size=n_chunks * 8
+            )
+            segments.append(shm_used)
+            np.ndarray(
+                (rows, cols), dtype=PIXEL_DTYPE, buffer=shm_img.buf
+            )[:] = img
+            np.ndarray(n_chunks, dtype=np.int64, buffer=shm_used.buf)[:] = 0
+            # one forked worker per core (not per chunk: oversubscribing
+            # cores with processes buys nothing and each fork costs a
+            # page-table copy), contiguous chunk batches per worker; no
+            # pool, no queues, no result pickling — the shared segments
+            # are the whole data plane. Chunk decomposition, label
+            # ranges, and therefore results are worker-count independent.
+            n_workers = min(n_chunks, os.cpu_count() or 1)
+            batches: list[list[tuple[int, int, int, int]]] = [
+                [] for _ in range(n_workers)
+            ]
+            for index, c in enumerate(chunks):
+                batches[index % n_workers].append(
+                    (index, c.row_start, c.row_stop, c.label_start)
+                )
+            jobs = [
+                (
+                    shm_img.name,
+                    shm_lab.name,
+                    shm_p.name,
+                    shm_used.name,
+                    n_chunks,
+                    rows,
+                    cols,
+                    connectivity,
+                    engine,
+                    tuple(batch),
+                )
+                for batch in batches
+            ]
+            ctx = multiprocessing.get_context(
+                "fork"
+                if "fork" in multiprocessing.get_all_start_methods()
+                else None
+            )
+            workers = [
+                ctx.Process(target=_scan_chunks_shm, args=(job,))
+                for job in jobs
+            ]
+            for worker in workers:
+                worker.start()
+            for worker in workers:
+                worker.join()
+            failed = [w.exitcode for w in workers if w.exitcode != 0]
+            if failed:
+                raise BackendError(
+                    f"{len(failed)} of {len(workers)} scan workers failed "
+                    f"(exit codes {failed})"
+                )
+            used = np.ndarray(
+                n_chunks, dtype=np.int64, buffer=shm_used.buf
+            ).tolist()
+            # the provisional label plane is returned as a zero-copy view
+            # of its segment: every segment is unlinked below (the POSIX
+            # name goes away; the mapping survives until closed), and the
+            # label mapping is closed by a finalizer once the view is
+            # garbage-collected after the labeling gather.
+            labels = np.ndarray(
+                (rows, cols), dtype=LABEL_DTYPE, buffer=shm_lab.buf
+            )
+            p_shared = np.ndarray(
+                rows * cols + 2, dtype=LABEL_DTYPE, buffer=shm_p.buf
+            )
+            # equivalence entries live only in each chunk's
+            # ``[label_start, used)`` window; copy those windows, not the
+            # dense prefix (which is dominated by untouched gap).
+            p = np.zeros(max(used), dtype=LABEL_DTYPE)
+            for c, u in zip(chunks, used):
+                p[c.label_start : u] = p_shared[c.label_start : u]
+            keep = shm_lab
+        finally:
+            for seg in segments:
+                seg.unlink()
+                if seg is not keep:
+                    seg.close()
+        weakref.finalize(labels, keep.close)
+        return labels, used, p, {"transport": "shared_memory"}
+
+    def _scan_inline(
+        self,
+        img: np.ndarray,
+        chunks: Sequence[RowChunk],
+        connectivity: int,
+        engine: str,
+    ) -> tuple[np.ndarray, list[int], np.ndarray, dict]:
+        rows, cols = img.shape
+        (chunk,) = chunks
+        if engine == "interpreter":
+            out, used, p_slice = _scan_chunk(
+                (img.tolist(), chunk.label_start, cols, connectivity)
+            )
+            labels = np.asarray(out, dtype=LABEL_DTYPE).reshape(rows, cols)
+            p = np.zeros(used, dtype=LABEL_DTYPE)
+            p[chunk.label_start : used] = np.asarray(
+                p_slice, dtype=LABEL_DTYPE
+            )
         else:
-            with ProcessPoolExecutor(max_workers=len(chunks)) as pool:
-                results = list(pool.map(_scan_chunk, jobs))
-        label_rows: list[list[int]] = []
-        used: list[int] = []
-        for chunk, (rows, watermark, p_slice) in zip(chunks, results):
-            label_rows.extend(rows)
-            used.append(watermark)
-            p[chunk.label_start : chunk.label_start + len(p_slice)] = p_slice
-        return label_rows, used, {}
+            labels, used, p_slice = chunk_kernel(engine)(
+                img, chunk.label_start, connectivity
+            )
+            p = np.zeros(used, dtype=LABEL_DTYPE)
+            p[chunk.label_start : used] = p_slice
+        return labels, [used], p, {"transport": "inline"}
 
     def boundary(
         self,
-        label_rows: Sequence[Sequence[int]],
+        label_source,
         chunks: Sequence[RowChunk],
         cols: int,
-        p: MutableSequence[int],
+        p,
         connectivity: int,
+        engine: str = "interpreter",
     ) -> dict:
-        ops = 0
-        for row in boundary_rows(chunks):
-            ops += merge_boundary_row(
-                label_rows, row, cols, p, remsp_merge, connectivity
-            )
-        return {"boundary_unions": ops}
+        if engine == "interpreter":
+            ops = 0
+            for row in boundary_rows(chunks):
+                ops += merge_boundary_row(
+                    label_source, row, cols, p, remsp_merge, connectivity
+                )
+            return {"boundary_unions": ops}
+        edges = boundary_edges(
+            label_source, boundary_rows(chunks), connectivity
+        )
+        return {"boundary_unions": merge_edges(p, edges)}

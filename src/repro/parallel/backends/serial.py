@@ -4,20 +4,36 @@ Runs chunk scans and boundary merges sequentially in chunk order. This
 is the semantic baseline every other backend is tested against, and it
 doubles as the measurement backend for per-chunk work distribution (its
 ``meta["chunk_seconds"]`` feeds load-balance analysis).
+
+Both engines are supported: ``interpreter`` shares one list-backed
+equivalence array across the in-order chunk scans (the paper's
+shared-address-space model, trivially correct when serialised), while the
+vectorised engines run the per-chunk NumPy kernels and assemble the
+equivalence array from the returned slices.
 """
 
 from __future__ import annotations
 
 import time
-from typing import MutableSequence, Sequence
+
+import numpy as np
 
 from ...ccl.labeling import remsp_alloc
 from ...ccl.scan_aremsp import scan_tworow
+from ...types import LABEL_DTYPE
 from ...unionfind.remsp import merge as remsp_merge
-from ..boundary import boundary_rows, merge_boundary_row
+from ..boundary import (
+    boundary_edges,
+    boundary_rows,
+    merge_boundary_row,
+    merge_edges,
+)
 from ..partition import RowChunk
+from ._common import chunk_kernel, gather_equivalences
 
 __all__ = ["SerialBackend"]
+
+from typing import Sequence
 
 
 class SerialBackend:
@@ -27,40 +43,66 @@ class SerialBackend:
 
     def scan(
         self,
-        img_rows: Sequence[Sequence[int]],
+        img: np.ndarray,
         chunks: Sequence[RowChunk],
-        p: MutableSequence[int],
         connectivity: int,
-    ) -> tuple[list[list[int]], list[int], dict]:
-        label_rows: list[list[int]] = []
+        engine: str = "interpreter",
+    ) -> tuple[list[list[int]] | np.ndarray, list[int], list[int] | np.ndarray, dict]:
+        rows, cols = img.shape
         used: list[int] = []
         chunk_seconds: list[float] = []
+        if engine == "interpreter":
+            img_rows = img.tolist()
+            p: list[int] = [0] * (rows * cols + 2)
+            label_rows: list[list[int]] = []
+            for chunk in chunks:
+                alloc, watermark = remsp_alloc(p, start=chunk.label_start)
+                t0 = time.perf_counter()
+                out = scan_tworow(
+                    img_rows[chunk.row_start : chunk.row_stop],
+                    p,
+                    remsp_merge,
+                    alloc,
+                    connectivity,
+                )
+                chunk_seconds.append(time.perf_counter() - t0)
+                label_rows.extend(out)
+                used.append(watermark())
+            return label_rows, used, p, {"chunk_seconds": chunk_seconds}
+        kernel = chunk_kernel(engine)
+        labels = np.zeros((rows, cols), dtype=LABEL_DTYPE)
+        slices: list[np.ndarray] = []
         for chunk in chunks:
-            alloc, watermark = remsp_alloc(p, start=chunk.label_start)
             t0 = time.perf_counter()
-            rows = scan_tworow(
-                img_rows[chunk.row_start : chunk.row_stop],
-                p,
-                remsp_merge,
-                alloc,
+            _, watermark, p_slice = kernel(
+                img[chunk.row_start : chunk.row_stop],
+                chunk.label_start,
                 connectivity,
+                out=labels[chunk.row_start : chunk.row_stop],
             )
             chunk_seconds.append(time.perf_counter() - t0)
-            label_rows.extend(rows)
-            used.append(watermark())
-        return label_rows, used, {"chunk_seconds": chunk_seconds}
+            used.append(watermark)
+            slices.append(p_slice)
+        p_arr = gather_equivalences(chunks, used, slices)
+        return labels, used, p_arr, {"chunk_seconds": chunk_seconds}
 
     def boundary(
         self,
-        label_rows: Sequence[Sequence[int]],
+        label_source,
         chunks: Sequence[RowChunk],
         cols: int,
-        p: MutableSequence[int],
+        p,
         connectivity: int,
+        engine: str = "interpreter",
     ) -> dict:
-        ops = 0
-        for row in boundary_rows(chunks):
-            ops += merge_boundary_row(
-                label_rows, row, cols, p, remsp_merge, connectivity
-            )
-        return {"boundary_unions": ops}
+        if engine == "interpreter":
+            ops = 0
+            for row in boundary_rows(chunks):
+                ops += merge_boundary_row(
+                    label_source, row, cols, p, remsp_merge, connectivity
+                )
+            return {"boundary_unions": ops}
+        edges = boundary_edges(
+            label_source, boundary_rows(chunks), connectivity
+        )
+        return {"boundary_unions": merge_edges(p, edges)}

@@ -3,13 +3,18 @@
 This is the structurally-faithful port of the paper's OpenMP execution:
 chunk scans run on a thread pool (they touch disjoint rows and disjoint
 label ranges, so the scan phase needs no synchronisation at all), and
-boundary merges run concurrently through the lock-based MERGER of
-Algorithm 8 (:class:`repro.unionfind.parallel.LockStripedMerger`).
+interpreter-engine boundary merges run concurrently through the
+lock-based MERGER of Algorithm 8
+(:class:`repro.unionfind.parallel.LockStripedMerger`).
 
-CPython's GIL serialises the bytecode, so this backend demonstrates
-*correctness under real interleaving*, not speedup — that is the
-documented substitution (DESIGN.md §2); wall-clock scaling experiments
-use the ``processes`` backend or the simulated machine.
+CPython's GIL serialises interpreter bytecode, so the ``interpreter``
+engine demonstrates *correctness under real interleaving*, not speedup —
+that is the documented substitution (DESIGN.md §2). The vectorised
+engines fare better here: NumPy kernels release the GIL for whole-array
+operations, and each worker writes only its chunk's disjoint slice of
+the shared label array. Their boundary phase runs as a single coordinator
+batch (edge-list extraction + REMSP), since seam work is negligible
+(Figure 5a vs 5b).
 """
 
 from __future__ import annotations
@@ -17,12 +22,21 @@ from __future__ import annotations
 from concurrent.futures import ThreadPoolExecutor
 from typing import MutableSequence, Sequence
 
+import numpy as np
+
 from ...ccl.labeling import remsp_alloc
 from ...ccl.scan_aremsp import scan_tworow
+from ...types import LABEL_DTYPE
 from ...unionfind.parallel import LockStripedMerger
 from ...unionfind.remsp import merge as remsp_merge
-from ..boundary import boundary_rows, merge_boundary_row
+from ..boundary import (
+    boundary_edges,
+    boundary_rows,
+    merge_boundary_row,
+    merge_edges,
+)
 from ..partition import RowChunk
+from ._common import chunk_kernel, gather_equivalences
 
 __all__ = ["ThreadBackend"]
 
@@ -34,45 +48,76 @@ class ThreadBackend:
 
     def scan(
         self,
-        img_rows: Sequence[Sequence[int]],
+        img: np.ndarray,
         chunks: Sequence[RowChunk],
-        p: MutableSequence[int],
         connectivity: int,
-    ) -> tuple[list[list[int]], list[int], dict]:
-        def run(chunk: RowChunk) -> tuple[list[list[int]], int]:
-            alloc, watermark = remsp_alloc(p, start=chunk.label_start)
-            rows = scan_tworow(
-                img_rows[chunk.row_start : chunk.row_stop],
-                p,
-                # scan-phase merges stay inside one chunk's label range,
-                # so the sequential kernel is safe here (the paper's
-                # Algorithm 7 likewise uses plain merge in the scan).
-                remsp_merge,
-                alloc,
+        engine: str = "interpreter",
+    ) -> tuple[list[list[int]] | np.ndarray, list[int], list[int] | np.ndarray, dict]:
+        rows, cols = img.shape
+        if engine == "interpreter":
+            img_rows = img.tolist()
+            p: list[int] = [0] * (rows * cols + 2)
+
+            def run(chunk: RowChunk) -> tuple[list[list[int]], int]:
+                alloc, watermark = remsp_alloc(p, start=chunk.label_start)
+                out = scan_tworow(
+                    img_rows[chunk.row_start : chunk.row_stop],
+                    p,
+                    # scan-phase merges stay inside one chunk's label
+                    # range, so the sequential kernel is safe here (the
+                    # paper's Algorithm 7 likewise uses plain merge in
+                    # the scan).
+                    remsp_merge,
+                    alloc,
+                    connectivity,
+                )
+                return out, watermark()
+
+            with ThreadPoolExecutor(max_workers=max(1, len(chunks))) as pool:
+                results = list(pool.map(run, chunks))
+            label_rows: list[list[int]] = []
+            used: list[int] = []
+            for out, watermark in results:
+                label_rows.extend(out)
+                used.append(watermark)
+            return label_rows, used, p, {}
+        kernel = chunk_kernel(engine)
+        labels = np.zeros((rows, cols), dtype=LABEL_DTYPE)
+
+        def run_vec(chunk: RowChunk) -> tuple[int, np.ndarray]:
+            # disjoint row slices: each worker paints its own window of
+            # the shared label plane, no copy and no race.
+            _, watermark, p_slice = kernel(
+                img[chunk.row_start : chunk.row_stop],
+                chunk.label_start,
                 connectivity,
+                out=labels[chunk.row_start : chunk.row_stop],
             )
-            return rows, watermark()
+            return watermark, p_slice
 
         with ThreadPoolExecutor(max_workers=max(1, len(chunks))) as pool:
-            results = list(pool.map(run, chunks))
-        label_rows: list[list[int]] = []
-        used: list[int] = []
-        for rows, watermark in results:
-            label_rows.extend(rows)
-            used.append(watermark)
-        return label_rows, used, {}
+            results_vec = list(pool.map(run_vec, chunks))
+        used = [watermark for watermark, _ in results_vec]
+        p_arr = gather_equivalences(
+            chunks, used, [p_slice for _, p_slice in results_vec]
+        )
+        return labels, used, p_arr, {}
 
     def boundary(
         self,
-        label_rows: Sequence[Sequence[int]],
+        label_source,
         chunks: Sequence[RowChunk],
         cols: int,
-        p: MutableSequence[int],
+        p,
         connectivity: int,
+        engine: str = "interpreter",
     ) -> dict:
-        rows = boundary_rows(chunks)
-        if not rows:
+        seams = boundary_rows(chunks)
+        if not seams:
             return {"boundary_unions": 0}
+        if engine != "interpreter":
+            edges = boundary_edges(label_source, seams, connectivity)
+            return {"boundary_unions": merge_edges(p, edges)}
         merger = LockStripedMerger(p)
 
         def union(pp: MutableSequence[int], x: int, y: int) -> int:
@@ -80,9 +125,9 @@ class ThreadBackend:
 
         def run(row: int) -> int:
             return merge_boundary_row(
-                label_rows, row, cols, p, union, connectivity
+                label_source, row, cols, p, union, connectivity
             )
 
-        with ThreadPoolExecutor(max_workers=max(1, len(rows))) as pool:
-            ops = sum(pool.map(run, rows))
+        with ThreadPoolExecutor(max_workers=max(1, len(seams))) as pool:
+            ops = sum(pool.map(run, seams))
         return {"boundary_unions": ops}

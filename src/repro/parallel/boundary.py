@@ -25,15 +25,74 @@ from __future__ import annotations
 
 from typing import Callable, MutableSequence, Sequence
 
+import numpy as np
+
+from ..unionfind.remsp import merge as remsp_merge
 from .partition import RowChunk
 
-__all__ = ["merge_boundary_row", "boundary_rows"]
+__all__ = [
+    "merge_boundary_row",
+    "boundary_rows",
+    "boundary_edges",
+    "merge_edges",
+]
 
 
 def boundary_rows(chunks: Sequence[RowChunk]) -> list[int]:
     """The image rows that start a chunk (other than the first) — exactly
     the seams the merge pass must stitch."""
     return [c.row_start for c in chunks[1:]]
+
+
+def boundary_edges(
+    labels: np.ndarray,
+    seam_rows: Sequence[int],
+    connectivity: int = 8,
+) -> np.ndarray:
+    """All cross-seam label pairs of a provisional label image, deduped.
+
+    The NumPy form of the boundary pass: for each seam row the three
+    neighbour cases of :func:`merge_boundary_row` become shifted boolean
+    masks over whole rows — ``(e, b)`` wherever both are labeled, and
+    ``(e, a)`` / ``(e, c)`` wherever ``b`` is background (the same
+    short-circuit the per-pixel walk applies, so the edge multiset spans
+    the identical equivalences). Duplicate pairs are collapsed with one
+    ``np.unique`` over the stacked edge array.
+
+    Returns an ``(n_edges, 2)`` array of label pairs; union order does not
+    matter because Rem's structure keeps each set's minimum as its root
+    regardless of merge order.
+    """
+    parts: list[np.ndarray] = []
+    for row in seam_rows:
+        cur = labels[row]
+        up = labels[row - 1]
+        fg = cur > 0
+        both = fg & (up > 0)
+        parts.append(np.stack([cur[both], up[both]], axis=1))
+        if connectivity == 8:
+            nb = fg & (up == 0)  # b background: a and c participate
+            a_hit = nb[1:] & (up[:-1] > 0)
+            parts.append(np.stack([cur[1:][a_hit], up[:-1][a_hit]], axis=1))
+            c_hit = nb[:-1] & (up[1:] > 0)
+            parts.append(np.stack([cur[:-1][c_hit], up[1:][c_hit]], axis=1))
+    if not parts:
+        return np.empty((0, 2), dtype=labels.dtype)
+    edges = np.concatenate(parts)
+    if len(edges):
+        edges = np.unique(edges, axis=0)
+    return edges
+
+
+def merge_edges(p: MutableSequence[int], edges: np.ndarray) -> int:
+    """Feed a boundary edge list to REMSP in one batch.
+
+    Returns the number of union calls (``len(edges)``), the vectorised
+    counterpart of :func:`merge_boundary_row`'s ops count.
+    """
+    for u, v in zip(edges[:, 0].tolist(), edges[:, 1].tolist()):
+        remsp_merge(p, u, v)
+    return len(edges)
 
 
 def merge_boundary_row(

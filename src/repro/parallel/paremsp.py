@@ -1,14 +1,28 @@
 """PAREMSP — Algorithm 7 of the paper.
 
-The orchestrator: partition -> per-chunk AREMSP scan -> boundary merge
+The orchestrator: partition -> per-chunk first scan -> boundary merge
 (parallel Rem's) -> sparse FLATTEN -> final labeling. Backends plug into
 the scan and boundary phases; partitioning, flatten and the labeling
 gather are backend-independent.
 
+Two scan *engines* ride the same pipeline:
+
+* ``interpreter`` (default) — the paper-faithful Python transcription of
+  the two-row AREMSP scan, kept as the fidelity baseline;
+* ``vectorized`` / ``vectorized-blocks`` — NumPy per-chunk kernels
+  (run-based and 2x2-block respectively) with an edge-list boundary
+  phase and array FLATTEN; same phases, array representations end to
+  end.
+
 Determinism contract (asserted by tests): provisional labels depend on
-the backend's interleaving, but the *final* labeling is identical across
-all backends and thread counts, and identical to sequential AREMSP —
-FLATTEN canonicalises to raster first-appearance numbering.
+the engine and the backend's interleaving, but the *final* labeling is
+identical across all engines, backends and thread counts, and identical
+to sequential AREMSP. Interpreter and run-based scans both allocate
+provisional ids in AREMSP's traversal order, so FLATTEN's ascending
+root numbering is already the sequential numbering; the block engine
+numbers 2x2 blocks instead, and its finals are renumbered to the
+first-appearance order of AREMSP's pair traversal (for each row pair,
+column-major within the pair) before being returned.
 """
 
 from __future__ import annotations
@@ -18,13 +32,17 @@ import time
 
 import numpy as np
 
-from ..ccl.labeling import CCLResult, apply_table
-from ..types import as_binary_image
-from ..unionfind.flatten import flatten_ranges
+from ..ccl.labeling import CCLResult, apply_table, check_label_capacity
+from ..types import LABEL_DTYPE, as_binary_image
+from ..unionfind.flatten import flatten_ranges, flatten_ranges_array
 from .backends import get_backend
+from .backends._common import VECTOR_ENGINES
 from .partition import partition_rows
 
-__all__ = ["ParallelResult", "paremsp"]
+__all__ = ["ParallelResult", "ENGINES", "paremsp"]
+
+#: scan engines accepted by :func:`paremsp`.
+ENGINES = ("interpreter",) + VECTOR_ENGINES
 
 
 @dataclasses.dataclass
@@ -39,6 +57,54 @@ class ParallelResult(CCLResult):
     n_threads: int = 1
     backend: str = "serial"
     n_chunks: int = 1
+    engine: str = "interpreter"
+
+
+def _canonical_pair_order(labels: np.ndarray) -> np.ndarray:
+    """Renumber a correct component partition into AREMSP's numbering.
+
+    AREMSP hands out final numbers in the first-appearance order of its
+    scan traversal: rows are consumed in pairs, and within a pair the
+    walk is column-major — ``(r, c)`` then ``(r + 1, c)`` before
+    ``(r, c + 1)``. Emitting the pixels in that exact order and ranking
+    the distinct labels by first occurrence yields the sequential
+    numbering for *any* labeling with the same component partition,
+    which is what makes cross-engine byte-identity possible.
+    """
+    rows, cols = labels.shape
+    even = (rows // 2) * 2
+    parts = []
+    if even:
+        parts.append(
+            labels[:even].reshape(-1, 2, cols).transpose(0, 2, 1).ravel()
+        )
+    if rows > even:
+        parts.append(labels[even:].ravel())
+    if not parts:
+        return labels
+    seq = np.concatenate(parts) if len(parts) > 1 else parts[0]
+    # A label's first occurrence is necessarily a change point (a pixel
+    # differing from its traversal predecessor), so only change points
+    # compete in the first-occurrence minimisation — O(runs), not
+    # O(pixels), work past the single change-point scan.
+    prev = np.empty_like(seq)
+    prev[0] = 0
+    prev[1:] = seq[:-1]
+    cand = np.flatnonzero((seq != prev) & (seq > 0))
+    if cand.size == 0:
+        return labels
+    cand_labels = seq[cand]
+    n_labels = int(cand_labels.max())
+    first = np.full(n_labels + 1, seq.size, dtype=np.int64)
+    np.minimum.at(first, cand_labels, cand)
+    present = np.flatnonzero(first < seq.size)
+    rank = np.empty(len(present), dtype=LABEL_DTYPE)
+    rank[np.argsort(first[present], kind="stable")] = np.arange(
+        1, len(present) + 1, dtype=LABEL_DTYPE
+    )
+    lut = np.zeros(n_labels + 1, dtype=LABEL_DTYPE)
+    lut[present] = rank
+    return lut[labels]
 
 
 def paremsp(
@@ -47,6 +113,7 @@ def paremsp(
     backend: str = "serial",
     connectivity: int = 8,
     cost_model=None,
+    engine: str = "interpreter",
 ) -> ParallelResult:
     """Label *image* with PAREMSP.
 
@@ -65,13 +132,32 @@ def paremsp(
         Only for ``backend="simulated"``: a
         :class:`repro.simmachine.costmodel.CostModel` (defaults to the
         Hopper preset).
+    engine:
+        ``interpreter`` (default, paper-faithful) | ``vectorized`` |
+        ``vectorized-blocks`` (8-connectivity only). The simulated
+        backend models interpreter operation counts and accepts only
+        ``interpreter``.
 
     >>> import numpy as np
     >>> r = paremsp(np.ones((8, 8), dtype=np.uint8), n_threads=2)
     >>> int(r.n_components)
     1
     """
+    if engine not in ENGINES:
+        raise ValueError(
+            f"unknown engine {engine!r}; available: {list(ENGINES)}"
+        )
+    if engine == "vectorized-blocks" and connectivity != 8:
+        raise ValueError(
+            "engine 'vectorized-blocks' supports 8-connectivity only "
+            f"(got connectivity={connectivity})"
+        )
     if backend == "simulated":
+        if engine != "interpreter":
+            raise ValueError(
+                "backend 'simulated' models the interpreter scan's "
+                f"operation counts; engine {engine!r} is not simulable"
+            )
         from ..simmachine.machine import simulate_paremsp
 
         sim = simulate_paremsp(
@@ -84,35 +170,50 @@ def paremsp(
 
     img = as_binary_image(image)
     rows, cols = img.shape
-    img_rows = img.tolist()
+    check_label_capacity((rows, cols))
     chunks = partition_rows(rows, cols, n_threads)
     exec_backend = get_backend(backend)
-
-    p: list[int] = [0] * (rows * cols + 2)
+    vectorised = engine in VECTOR_ENGINES
     meta: dict = {}
 
     t0 = time.perf_counter()
     if chunks:
-        label_rows, used, scan_meta = exec_backend.scan(
-            img_rows, chunks, p, connectivity
+        label_source, used, p, scan_meta = exec_backend.scan(
+            img, chunks, connectivity, engine
         )
     else:
-        label_rows, used, scan_meta = [], [], {}
+        label_source = (
+            np.zeros((rows, cols), dtype=LABEL_DTYPE) if vectorised else []
+        )
+        used, scan_meta = [], {}
+        p = np.zeros(1, dtype=LABEL_DTYPE) if vectorised else [0, 0]
     t1 = time.perf_counter()
-    bound_meta = exec_backend.boundary(label_rows, chunks, cols, p, connectivity)
+    bound_meta = exec_backend.boundary(
+        label_source, chunks, cols, p, connectivity, engine
+    )
     t2 = time.perf_counter()
     ranges = [(c.label_start, u) for c, u in zip(chunks, used)]
-    n_components = flatten_ranges(p, ranges)
+    if isinstance(p, np.ndarray):
+        n_components = flatten_ranges_array(p, ranges)
+    else:
+        n_components = flatten_ranges(p, ranges)
     t3 = time.perf_counter()
     limit = max((u for u in used), default=1)
-    labels = apply_table(label_rows, p, limit) if label_rows else np.zeros(
-        (rows, cols), dtype=np.int32
-    )
+    if len(label_source):
+        labels = apply_table(label_source, p, limit).reshape(rows, cols)
+        if engine == "vectorized-blocks":
+            # the run kernel allocates ids in pair-traversal order, so
+            # its FLATTEN numbering already matches AREMSP; the block
+            # kernel numbers 2x2 blocks and needs the explicit remap.
+            labels = _canonical_pair_order(labels)
+    else:
+        labels = np.zeros((rows, cols), dtype=LABEL_DTYPE)
     t4 = time.perf_counter()
 
     meta.update(scan_meta)
     meta.update(bound_meta)
     meta["label_ranges"] = ranges
+    meta["engine"] = engine
     return ParallelResult(
         labels=labels,
         n_components=n_components,
@@ -128,4 +229,5 @@ def paremsp(
         n_threads=n_threads,
         backend=backend,
         n_chunks=len(chunks),
+        engine=engine,
     )

@@ -27,7 +27,9 @@ from __future__ import annotations
 
 from typing import MutableSequence, Sequence
 
-__all__ = ["flatten", "flatten_ranges"]
+import numpy as np
+
+__all__ = ["flatten", "flatten_ranges", "flatten_ranges_array"]
 
 
 def flatten(p: MutableSequence[int], count: int) -> int:
@@ -91,3 +93,44 @@ def flatten_ranges(
                 p[i] = k
                 k += 1
     return k - 1
+
+
+def flatten_ranges_array(
+    p: np.ndarray, ranges: Sequence[tuple[int, int]]
+) -> int:
+    """:func:`flatten_ranges` for ndarray equivalence tables, vectorised.
+
+    The sequential FLATTEN pass cannot be transcribed directly (each entry
+    reads an entry the same pass already rewrote), so the array form works
+    in three whole-array steps instead:
+
+    1. roots are the allocated entries with ``p[i] == i``; they receive
+       final labels ``1..K`` in ascending index order — exactly the order
+       the sequential pass hands them out;
+    2. every allocated entry is resolved to its root by pointer jumping
+       (``r = p[r]`` until fixpoint; Rem's splicing keeps the forest
+       shallow, so this converges in a handful of gathers);
+    3. root indices are sorted (they already are), so each entry's final
+       label is ``searchsorted(roots, r) + 1`` — no dense LUT needed.
+
+    Produces a table byte-identical to :func:`flatten_ranges` on the same
+    input. Unallocated gap entries are never read or written. Returns
+    ``K``, the number of final labels.
+    """
+    parts = [
+        np.arange(max(start, 1), stop, dtype=np.int64)
+        for start, stop in ranges
+        if stop > max(start, 1)
+    ]
+    if not parts:
+        return 0
+    idx = parts[0] if len(parts) == 1 else np.concatenate(parts)
+    r = p[idx].astype(np.int64, copy=True)
+    roots = idx[r == idx]
+    while True:
+        nxt = p[r]
+        if np.array_equal(nxt, r):
+            break
+        r = nxt
+    p[idx] = (np.searchsorted(roots, r) + 1).astype(p.dtype)
+    return len(roots)

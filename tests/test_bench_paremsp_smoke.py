@@ -1,0 +1,78 @@
+"""The paremsp engine-smoke harness at a tiny stand-in scale.
+
+Wall-clock orderings are load-dependent at this size, so assertions
+target the record's data contract and the one deterministic claim — the
+engines' final labels are identical — never the speedup value itself
+(the >= 5x floor is the tier-2 gate, enforced at full scale by
+``make bench-paremsp``).
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.bench.paremsp_smoke import main, run
+
+
+def test_run_record_contract():
+    record = run(size=96, n_threads=3, backend="serial", repeats=1)
+    assert record["benchmark"] == "paremsp_smoke"
+    assert record["image"]["generator"] == "blobs"
+    assert record["image"]["size"] == 96
+    assert record["backend"] == "serial"
+    assert record["n_threads"] == 3
+    assert record["final_labels_identical"] is True
+    assert record["interpreter_seconds"] > 0
+    assert record["vectorized_seconds"] > 0
+    assert record["speedup"] == (
+        record["interpreter_seconds"] / record["vectorized_seconds"]
+    )
+    assert record["n_components"] >= 1
+
+
+def test_run_processes_backend_tiny():
+    record = run(size=64, n_threads=2, backend="processes", repeats=1)
+    assert record["final_labels_identical"] is True
+
+
+def test_main_writes_json(tmp_path):
+    out = tmp_path / "bench.json"
+    rc = main(
+        [
+            "--size",
+            "80",
+            "--threads",
+            "2",
+            "--backend",
+            "serial",
+            "--repeats",
+            "1",
+            "--min-speedup",
+            "0",
+            "--out",
+            str(out),
+        ]
+    )
+    assert rc == 0
+    record = json.loads(out.read_text())
+    assert record["image"]["size"] == 80
+    assert record["final_labels_identical"] is True
+
+
+def test_main_fails_below_speedup_floor(tmp_path):
+    out = tmp_path / "bench.json"
+    rc = main(
+        [
+            "--size",
+            "80",
+            "--backend",
+            "serial",
+            "--repeats",
+            "1",
+            "--min-speedup",
+            "1e9",
+            "--out",
+            str(out),
+        ]
+    )
+    assert rc == 1

@@ -18,6 +18,8 @@ from repro.verify import flood_fill_label, labelings_equivalent
 
 BACKENDS = ["serial", "threads", "processes", "simulated"]
 THREADS = [1, 2, 3, 5, 8]
+ENGINES = ["interpreter", "vectorized", "vectorized-blocks"]
+EXEC_BACKENDS = ["serial", "threads", "processes"]
 
 
 @pytest.mark.parametrize("backend", BACKENDS)
@@ -134,6 +136,131 @@ def test_empty_image_all_backends():
     img = np.zeros((0, 0), dtype=np.uint8)
     for backend in ("serial", "threads", "simulated"):
         result = paremsp(img, n_threads=2, backend=backend)
+        assert result.n_components == 0
+
+
+class TestEngines:
+    """The determinism contract: final labels are byte-identical to
+    sequential AREMSP across every engine x backend x thread count."""
+
+    # degenerate geometries first: single row/column, odd row count,
+    # uniform images — the historical failure modes of chunked scans.
+    SHAPES = [(1, 1), (1, 9), (9, 1), (5, 7), (8, 8), (13, 17)]
+
+    @pytest.mark.parametrize("engine", ENGINES)
+    @pytest.mark.parametrize("backend", EXEC_BACKENDS)
+    def test_engine_backend_matrix_matches_aremsp(self, engine, backend, rng):
+        img = (rng.random((21, 14)) < 0.5).astype(np.uint8)
+        seq = aremsp(img, 8)
+        result = paremsp(img, n_threads=3, backend=backend, engine=engine)
+        assert result.n_components == seq.n_components
+        assert np.array_equal(result.labels, seq.labels)
+        assert result.engine == engine
+        assert result.meta["engine"] == engine
+
+    @pytest.mark.parametrize("connectivity", [4, 8])
+    @pytest.mark.parametrize("n_threads", [1, 2, 3, 7])
+    def test_vectorized_thread_sweep_matches_aremsp(
+        self, n_threads, connectivity, rng
+    ):
+        for shape in self.SHAPES:
+            for density in (0.0, 0.45, 1.0):
+                img = (rng.random(shape) < density).astype(np.uint8)
+                seq = aremsp(img, connectivity)
+                result = paremsp(
+                    img,
+                    n_threads=n_threads,
+                    backend="serial",
+                    connectivity=connectivity,
+                    engine="vectorized",
+                )
+                assert result.n_components == seq.n_components
+                assert np.array_equal(result.labels, seq.labels)
+
+    @pytest.mark.parametrize("n_threads", [1, 3, 7])
+    def test_blocks_engine_thread_sweep_matches_aremsp(self, n_threads, rng):
+        for shape in self.SHAPES:
+            for density in (0.0, 0.45, 1.0):
+                img = (rng.random(shape) < density).astype(np.uint8)
+                seq = aremsp(img, 8)
+                result = paremsp(
+                    img,
+                    n_threads=n_threads,
+                    backend="serial",
+                    engine="vectorized-blocks",
+                )
+                assert result.n_components == seq.n_components
+                assert np.array_equal(result.labels, seq.labels)
+
+    @given(
+        img=hnp.arrays(
+            dtype=np.uint8,
+            shape=hnp.array_shapes(
+                min_dims=2, max_dims=2, min_side=1, max_side=20
+            ),
+            elements=st.integers(0, 1),
+        ),
+        n_threads=st.integers(1, 7),
+        connectivity=st.sampled_from([4, 8]),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_property_vectorized_byte_identical_to_aremsp(
+        self, img, n_threads, connectivity
+    ):
+        seq = aremsp(img, connectivity)
+        result = paremsp(
+            img,
+            n_threads=n_threads,
+            backend="serial",
+            connectivity=connectivity,
+            engine="vectorized",
+        )
+        assert result.n_components == seq.n_components
+        assert np.array_equal(result.labels, seq.labels)
+
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_processes_engine_matches_interpreter_serial(self, engine, rng):
+        img = (rng.random((24, 13)) < 0.4).astype(np.uint8)
+        base = paremsp(img, n_threads=4, backend="serial")
+        result = paremsp(
+            img, n_threads=4, backend="processes", engine=engine
+        )
+        assert np.array_equal(result.labels, base.labels)
+        assert result.meta["transport"] == "shared_memory"
+
+    def test_processes_single_chunk_runs_inline(self):
+        img = np.ones((4, 4), dtype=np.uint8)
+        result = paremsp(
+            img, n_threads=1, backend="processes", engine="vectorized"
+        )
+        assert result.n_components == 1
+        assert result.meta["transport"] == "inline"
+
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(ValueError, match="unknown engine"):
+            paremsp(np.ones((4, 4), dtype=np.uint8), engine="gpu")
+
+    def test_simulated_rejects_vectorized(self):
+        with pytest.raises(ValueError, match="simulated"):
+            paremsp(
+                np.ones((4, 4), dtype=np.uint8),
+                backend="simulated",
+                engine="vectorized",
+            )
+
+    def test_blocks_engine_rejects_4conn(self):
+        with pytest.raises(ValueError, match="8-connectivity"):
+            paremsp(
+                np.ones((4, 4), dtype=np.uint8),
+                connectivity=4,
+                engine="vectorized-blocks",
+            )
+
+    def test_empty_image_vectorized(self):
+        img = np.zeros((0, 0), dtype=np.uint8)
+        result = paremsp(
+            img, n_threads=2, backend="serial", engine="vectorized"
+        )
         assert result.n_components == 0
 
 
