@@ -10,7 +10,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test bench-paremsp bench
+.PHONY: test bench-paremsp bench-trace bench
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -18,5 +18,11 @@ test:
 bench-paremsp:
 	$(PYTHON) -m repro.bench.paremsp_smoke --size 2048 --repeats 5 \
 		--out BENCH_paremsp.json
+
+# per-phase/per-thread breakdowns on all three backends; writes
+# trace_<backend>.jsonl next to the bench record.
+bench-trace:
+	$(PYTHON) -m repro.bench.paremsp_smoke --size 1024 --repeats 3 \
+		--trace --out BENCH_paremsp.json
 
 bench: bench-paremsp

@@ -37,6 +37,7 @@ from . import (
     ccl,
     data,
     mp,
+    obs,
     parallel,
     simmachine,
     unionfind,
@@ -46,13 +47,14 @@ from . import (
 from .ccl import CCLResult
 from .ccl.grayscale import grayscale_label
 from .ccl.registry import get_algorithm
+from .obs import TraceRecorder, use_recorder
 from .parallel.distributed import distributed_label
 from .parallel.paremsp import paremsp
 from .parallel.tiled import tiled_label
 from .types import Connectivity
 from .volume import volume_label
 
-__version__ = "1.0.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "label",
@@ -64,6 +66,8 @@ __all__ = [
     "distributed_label",
     "CCLResult",
     "Connectivity",
+    "TraceRecorder",
+    "use_recorder",
     "ccl",
     "parallel",
     "unionfind",
@@ -72,6 +76,7 @@ __all__ = [
     "simmachine",
     "analysis",
     "volume",
+    "obs",
     "mp",
 ]
 

@@ -26,10 +26,9 @@ Implementation notes:
 
 from __future__ import annotations
 
-import time
-
 import numpy as np
 
+from ..obs import PhaseTimer, get_recorder
 from ..types import LABEL_DTYPE, as_binary_image
 from .labeling import CCLResult
 
@@ -104,42 +103,46 @@ def contour_trace(image: np.ndarray, connectivity: int = 8) -> CCLResult:
         )
     img_arr = as_binary_image(image)
     rows, cols = img_arr.shape
-    t0 = time.perf_counter()
-    # frame with one background ring
-    img = [[0] * (cols + 2)]
-    img += [[0, *row, 0] for row in img_arr.tolist()]
-    img.append([0] * (cols + 2))
-    lab = [[0] * (cols + 2) for _ in range(rows + 2)]
-    count = 0
-    for r in range(1, rows + 1):
-        irow = img[r]
-        lrow = lab[r]
-        for c in range(1, cols + 1):
-            if not irow[c]:
-                continue
-            if lrow[c] == 0 and not img[r - 1][c]:
-                # step 1: unlabeled pixel with background above ->
-                # external contour of a new component
-                count += 1
-                _trace_contour(img, lab, r, c, count, external=True)
-            if not img[r + 1][c] and lab[r + 1][c] == 0:
-                # step 2: background below, not yet marked -> internal
-                # contour (hole border)
-                label = lrow[c] if lrow[c] > 0 else lrow[c - 1]
-                _trace_contour(img, lab, r, c, label, external=False)
-            if lrow[c] == 0:
-                # step 3: interior pixel inherits from the left
-                lrow[c] = lrow[c - 1]
-    t1 = time.perf_counter()
-    labels = np.asarray(
-        [row[1 : cols + 1] for row in lab[1 : rows + 1]], dtype=LABEL_DTYPE
-    ).reshape(rows, cols)
-    labels[labels < 0] = 0  # clear background marks
-    t2 = time.perf_counter()
+    rec = get_recorder()
+    mark = rec.mark()
+    timer = PhaseTimer(rec)
+    with timer.time("scan"):
+        # frame with one background ring
+        img = [[0] * (cols + 2)]
+        img += [[0, *row, 0] for row in img_arr.tolist()]
+        img.append([0] * (cols + 2))
+        lab = [[0] * (cols + 2) for _ in range(rows + 2)]
+        count = 0
+        for r in range(1, rows + 1):
+            irow = img[r]
+            lrow = lab[r]
+            for c in range(1, cols + 1):
+                if not irow[c]:
+                    continue
+                if lrow[c] == 0 and not img[r - 1][c]:
+                    # step 1: unlabeled pixel with background above ->
+                    # external contour of a new component
+                    count += 1
+                    _trace_contour(img, lab, r, c, count, external=True)
+                if not img[r + 1][c] and lab[r + 1][c] == 0:
+                    # step 2: background below, not yet marked -> internal
+                    # contour (hole border)
+                    label = lrow[c] if lrow[c] > 0 else lrow[c - 1]
+                    _trace_contour(img, lab, r, c, label, external=False)
+                if lrow[c] == 0:
+                    # step 3: interior pixel inherits from the left
+                    lrow[c] = lrow[c - 1]
+    with timer.time("label"):
+        labels = np.asarray(
+            [row[1 : cols + 1] for row in lab[1 : rows + 1]], dtype=LABEL_DTYPE
+        ).reshape(rows, cols)
+        labels[labels < 0] = 0  # clear background marks
+    timer.seconds.setdefault("flatten", 0.0)
     return CCLResult(
         labels=labels,
         n_components=count,
         provisional_count=count,
-        phase_seconds={"scan": t1 - t0, "flatten": 0.0, "label": t2 - t1},
+        phase_seconds=timer.seconds,
         algorithm="contour",
+        timings=rec.report(since=mark) if rec.enabled else None,
     )

@@ -20,11 +20,11 @@ what the paper's tables measure — are unaffected.
 from __future__ import annotations
 
 import dataclasses
-import time
 from typing import Callable, MutableSequence, Sequence
 
 import numpy as np
 
+from ..obs import PhaseTimer, get_recorder
 from ..types import LABEL_DTYPE, as_binary_image
 from ..unionfind.flatten import flatten
 
@@ -82,6 +82,10 @@ class CCLResult:
         Registry name of the algorithm that produced this result.
     meta:
         Algorithm-specific extras (e.g. pass counts for MULTIPASS).
+    timings:
+        ``None`` unless the run executed under an enabled
+        :class:`repro.obs.TraceRecorder`, in which case it holds the
+        run's :class:`repro.obs.ObsReport` (spans + metrics).
     """
 
     labels: np.ndarray
@@ -90,6 +94,7 @@ class CCLResult:
     phase_seconds: dict[str, float]
     algorithm: str
     meta: dict = dataclasses.field(default_factory=dict)
+    timings: object | None = None
 
     @property
     def total_seconds(self) -> float:
@@ -198,25 +203,24 @@ def run_two_pass(
         prealloc_capacity(rows, cols)
     )
 
-    t0 = time.perf_counter()
-    label_rows = scan(img_rows, p, merge, alloc, connectivity)
-    t1 = time.perf_counter()
-    count = used()
-    n_components = finalize(p, count)
-    t2 = time.perf_counter()
-    labels = apply_table(label_rows, p, count).reshape(rows, cols)
-    t3 = time.perf_counter()
+    rec = get_recorder()
+    mark = rec.mark()
+    timer = PhaseTimer(rec)
+    with timer.time("scan"):
+        label_rows = scan(img_rows, p, merge, alloc, connectivity)
+    with timer.time("flatten"):
+        count = used()
+        n_components = finalize(p, count)
+    with timer.time("label"):
+        labels = apply_table(label_rows, p, count).reshape(rows, cols)
 
     return CCLResult(
         labels=labels,
         n_components=n_components,
         provisional_count=count - 1,
-        phase_seconds={
-            "scan": t1 - t0,
-            "flatten": t2 - t1,
-            "label": t3 - t2,
-        },
+        phase_seconds=timer.seconds,
         algorithm=algorithm,
+        timings=rec.report(since=mark) if rec.enabled else None,
     )
 
 

@@ -25,10 +25,9 @@ bit-comparable with the two-pass algorithms.
 
 from __future__ import annotations
 
-import time
-
 import numpy as np
 
+from ..obs import PhaseTimer, get_recorder
 from ..types import LABEL_DTYPE, as_binary_image
 from ..verify.equivalence import canonicalize_labeling
 from .labeling import CCLResult
@@ -51,57 +50,61 @@ def multipass(image: np.ndarray, connectivity: int = 8) -> CCLResult:
         fwd = ((-1, 0), (0, -1))
     bwd = tuple((-dr, -dc) for dr, dc in fwd)
 
-    t0 = time.perf_counter()
+    rec = get_recorder()
+    mark = rec.mark()
+    timer = PhaseTimer(rec)
     passes = 0
     changed = True
-    while changed:
-        changed = False
-        # forward sweep
-        for r in range(rows):
-            row = lab[r]
-            for c in range(cols):
-                v = row[c]
-                if v:
-                    m = v
-                    for dr, dc in fwd:
-                        nr, nc = r + dr, c + dc
-                        if 0 <= nr < rows and 0 <= nc < cols:
-                            w = lab[nr][nc]
-                            if w and w < m:
-                                m = w
-                    if m != v:
-                        row[c] = m
-                        changed = True
-        # backward sweep
-        for r in range(rows - 1, -1, -1):
-            row = lab[r]
-            for c in range(cols - 1, -1, -1):
-                v = row[c]
-                if v:
-                    m = v
-                    for dr, dc in bwd:
-                        nr, nc = r + dr, c + dc
-                        if 0 <= nr < rows and 0 <= nc < cols:
-                            w = lab[nr][nc]
-                            if w and w < m:
-                                m = w
-                    if m != v:
-                        row[c] = m
-                        changed = True
-        passes += 1
-    t1 = time.perf_counter()
-    labels = canonicalize_labeling(
-        np.asarray(lab, dtype=LABEL_DTYPE).reshape(rows, cols)
-    )
-    t2 = time.perf_counter()
+    with timer.time("scan"):
+        while changed:
+            changed = False
+            # forward sweep
+            for r in range(rows):
+                row = lab[r]
+                for c in range(cols):
+                    v = row[c]
+                    if v:
+                        m = v
+                        for dr, dc in fwd:
+                            nr, nc = r + dr, c + dc
+                            if 0 <= nr < rows and 0 <= nc < cols:
+                                w = lab[nr][nc]
+                                if w and w < m:
+                                    m = w
+                        if m != v:
+                            row[c] = m
+                            changed = True
+            # backward sweep
+            for r in range(rows - 1, -1, -1):
+                row = lab[r]
+                for c in range(cols - 1, -1, -1):
+                    v = row[c]
+                    if v:
+                        m = v
+                        for dr, dc in bwd:
+                            nr, nc = r + dr, c + dc
+                            if 0 <= nr < rows and 0 <= nc < cols:
+                                w = lab[nr][nc]
+                                if w and w < m:
+                                    m = w
+                        if m != v:
+                            row[c] = m
+                            changed = True
+            passes += 1
+    with timer.time("label"):
+        labels = canonicalize_labeling(
+            np.asarray(lab, dtype=LABEL_DTYPE).reshape(rows, cols)
+        )
+    timer.seconds.setdefault("flatten", 0.0)
     n = int(labels.max()) if labels.size else 0
     return CCLResult(
         labels=labels,
         n_components=n,
         provisional_count=int(img.sum()),
-        phase_seconds={"scan": t1 - t0, "flatten": 0.0, "label": t2 - t1},
+        phase_seconds=timer.seconds,
         algorithm="multipass",
         meta={"passes": passes},
+        timings=rec.report(since=mark) if rec.enabled else None,
     )
 
 
@@ -134,23 +137,27 @@ def propagation_vectorized(
         (np.arange(1, rows * cols + 1, dtype=LABEL_DTYPE).reshape(rows, cols))
         * img
     )
-    t0 = time.perf_counter()
+    rec = get_recorder()
+    mark = rec.mark()
+    timer = PhaseTimer(rec)
     passes = 0
-    while True:
-        nxt = _neighbor_min(lab, connectivity)
-        passes += 1
-        if np.array_equal(nxt, lab):
-            break
-        lab = nxt
-    t1 = time.perf_counter()
-    labels = canonicalize_labeling(lab)
-    t2 = time.perf_counter()
+    with timer.time("scan"):
+        while True:
+            nxt = _neighbor_min(lab, connectivity)
+            passes += 1
+            if np.array_equal(nxt, lab):
+                break
+            lab = nxt
+    with timer.time("label"):
+        labels = canonicalize_labeling(lab)
+    timer.seconds.setdefault("flatten", 0.0)
     n = int(labels.max()) if labels.size else 0
     return CCLResult(
         labels=labels,
         n_components=n,
         provisional_count=int(img.sum()),
-        phase_seconds={"scan": t1 - t0, "flatten": 0.0, "label": t2 - t1},
+        phase_seconds=timer.seconds,
         algorithm="propagation-vectorized",
         meta={"passes": passes},
+        timings=rec.report(since=mark) if rec.enabled else None,
     )

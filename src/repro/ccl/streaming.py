@@ -9,7 +9,13 @@ still-active labels, and a component can be finalised the moment no run
 of the current row touches it.
 
 Peak memory is O(active components + row width), independent of image
-height — the property the test suite asserts.
+height — the property the test suite asserts. Labels are allocated
+append-only into the union-find array, so the labeler periodically
+*compacts*: once the array outgrows a constant multiple of
+(active + width) it is rebuilt over the live roots only, with an
+order-preserving renumbering (emission order — sorted root order — is
+unchanged, because renumbering is monotone and new labels are always
+larger than every remapped one, exactly as before compaction).
 
 Usage::
 
@@ -28,6 +34,7 @@ from typing import Iterable, Iterator
 
 import numpy as np
 
+from ..obs import get_recorder
 from ..unionfind.remsp import find_root, merge as remsp_merge
 from .run_based import row_runs
 
@@ -73,9 +80,17 @@ class _Stats:
 
 
 class StreamingLabeler:
-    """Online labeler over a row stream of fixed width."""
+    """Online labeler over a row stream of fixed width.
 
-    def __init__(self, cols: int, connectivity: int = 8) -> None:
+    *recorder* defaults to the ambient :func:`repro.obs.get_recorder`;
+    with tracing enabled the labeler counts rows, runs, unions,
+    finalisations, and compactions, and tracks the peak active-component
+    and union-find-slot gauges.
+    """
+
+    def __init__(
+        self, cols: int, connectivity: int = 8, recorder=None
+    ) -> None:
         if cols < 0:
             raise ValueError(f"row width must be >= 0, got {cols}")
         if connectivity not in (4, 8):
@@ -84,6 +99,7 @@ class StreamingLabeler:
             )
         self.cols = cols
         self.reach = 1 if connectivity == 8 else 0
+        self._rec = recorder if recorder is not None else get_recorder()
         self._p: list[int] = [0]
         self._stats: dict[int, _Stats] = {}
         self._prev: list[tuple[int, int, int]] = []  # (s, e, label)
@@ -102,7 +118,32 @@ class StreamingLabeler:
         winner = find_root(p, ra)
         loser = rb if winner == ra else ra
         self._stats[winner].fold(self._stats.pop(loser))
+        if self._rec.enabled:
+            self._rec.count("stream.unions")
         return winner
+
+    def _compact(self) -> None:
+        """Rebuild the union-find over live roots only.
+
+        The renumbering maps sorted active roots to 1..K, which is
+        monotone — so the sorted-root emission order is preserved (see
+        module docstring). ``_prev`` labels are resolved to roots first
+        so the dropped interior of old union chains is never needed
+        again.
+        """
+        p = self._p
+        remap: dict[int, int] = {}
+        new_p = [0]
+        for root in sorted(self._stats):
+            remap[root] = len(new_p)
+            new_p.append(len(new_p))
+        self._stats = {remap[r]: st for r, st in self._stats.items()}
+        self._prev = [
+            (s, e, remap[find_root(p, l)]) for s, e, l in self._prev
+        ]
+        self._p = new_p
+        if self._rec.enabled:
+            self._rec.count("stream.compactions")
 
     def _emit(self, root: int) -> FinishedComponent:
         st = self._stats.pop(root)
@@ -123,6 +164,12 @@ class StreamingLabeler:
     @property
     def completed_components(self) -> int:
         return self._emitted
+
+    @property
+    def equivalence_slots(self) -> int:
+        """Current union-find array length — the memory observable the
+        O(active + width) claim bounds (see :meth:`_compact`)."""
+        return len(self._p)
 
     def push_row(self, row: np.ndarray) -> list[FinishedComponent]:
         """Consume one row; return components finalised by it."""
@@ -167,6 +214,15 @@ class StreamingLabeler:
         out = [self._emit(root) for root in sorted(done)]
         self._prev = cur
         self._row = r + 1
+        if self._rec.enabled:
+            rec = self._rec
+            rec.count("stream.rows")
+            rec.count("stream.runs", len(cur))
+            rec.count("stream.finalized", len(out))
+            rec.gauge_max("stream.active_peak", len(self._stats))
+            rec.gauge_max("stream.slots_peak", len(p))
+        if len(self._p) > max(64, 4 * (len(self._stats) + self.cols + 2)):
+            self._compact()
         return out
 
     def finish(self) -> list[FinishedComponent]:
@@ -175,11 +231,17 @@ class StreamingLabeler:
             raise RuntimeError("labeler already finished")
         self._finished = True
         # the surviving stats keys are exactly the still-active roots
-        return [self._emit(root) for root in sorted(self._stats)]
+        out = [self._emit(root) for root in sorted(self._stats)]
+        if self._rec.enabled:
+            self._rec.count("stream.finalized", len(out))
+        return out
 
 
 def stream_label(
-    rows: Iterable[np.ndarray], cols: int, connectivity: int = 8
+    rows: Iterable[np.ndarray],
+    cols: int,
+    connectivity: int = 8,
+    recorder=None,
 ) -> Iterator[FinishedComponent]:
     """Generator convenience: yield finalised components from a row
     iterable.
@@ -189,7 +251,7 @@ def stream_label(
     >>> [c.area for c in stream_label(img, cols=3)]
     [1, 1, 3]
     """
-    labeler = StreamingLabeler(cols, connectivity)
+    labeler = StreamingLabeler(cols, connectivity, recorder=recorder)
     for row in rows:
         yield from labeler.push_row(row)
     yield from labeler.finish()

@@ -74,6 +74,13 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--stats", action="store_true", help="print per-component statistics"
     )
+    parser.add_argument(
+        "--trace",
+        metavar="PATH",
+        default=None,
+        help="record phase spans + metrics during labeling and write them "
+        "as trace.jsonl to PATH (also prints the phase table)",
+    )
     return parser
 
 
@@ -120,7 +127,18 @@ def main(argv: list[str] | None = None) -> int:
         fn = get_algorithm("run-vectorized")
     else:
         fn = get_algorithm(args.algorithm)
-    result = fn(image, args.connectivity)
+    if args.trace:
+        from .obs import TraceRecorder, use_recorder, write_trace_jsonl
+
+        rec = TraceRecorder()
+        with use_recorder(rec):
+            result = fn(image, args.connectivity)
+        report = rec.report()
+        write_trace_jsonl(report.spans, args.trace)
+        print(report.render())
+        print(f"trace -> {args.trace}")
+    else:
+        result = fn(image, args.connectivity)
     labels = result.labels
     n = result.n_components
     if args.min_area > 0:

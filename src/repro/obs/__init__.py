@@ -1,0 +1,71 @@
+"""``repro.obs`` — unified tracing + metrics for every execution path.
+
+The paper's whole evaluation is phase-level (Tables II-IV, Figures 4-5
+decompose runtime into first scan, boundary merge, FLATTEN, relabel),
+and the simulated machine has always exposed that decomposition
+(:mod:`repro.simmachine.trace`). This package brings the same
+per-phase/per-thread accounting to the *real* paths:
+
+* :class:`PhaseTimer` — phase wall-clock that feeds
+  ``CCLResult.phase_seconds`` exactly like the old inline
+  ``perf_counter`` pairs, and doubles as a span source when tracing;
+* :class:`TraceRecorder` / :class:`NullRecorder` — span + metrics
+  sinks; the null recorder is the ambient default, so tracing is
+  zero-overhead when disabled;
+* :class:`MetricsRegistry` — counters and gauges (union-find merges,
+  striped-lock contention, shared-memory bytes, seam unions, ...);
+* :mod:`repro.obs.export` — JSON reports, human tables and
+  ``trace.jsonl`` files whose span schema matches the simulated
+  machine's, so simulated and real runs diff against each other.
+
+Entry points: ``paremsp(..., recorder=...)``, ``tiled_label(...,
+recorder=...)``, ``StreamingLabeler(..., recorder=...)``, the ambient
+:func:`use_recorder` for the sequential algorithms, and
+``python -m repro.bench.paremsp_smoke --trace`` /
+``repro-label --trace`` on the command line. See
+``docs/OBSERVABILITY.md`` for the span/metric inventory.
+"""
+
+from .export import (
+    SPAN_FIELDS,
+    ObsReport,
+    read_trace_jsonl,
+    render_phase_table,
+    sim_trace_spans,
+    span_to_dict,
+    write_report_json,
+    write_trace_jsonl,
+)
+from .metrics import Counter, Gauge, MetricsRegistry
+from .recorder import (
+    NULL_RECORDER,
+    NullRecorder,
+    PhaseTimer,
+    Span,
+    TraceRecorder,
+    get_recorder,
+    set_recorder,
+    use_recorder,
+)
+
+__all__ = [
+    "Span",
+    "NullRecorder",
+    "TraceRecorder",
+    "PhaseTimer",
+    "NULL_RECORDER",
+    "get_recorder",
+    "set_recorder",
+    "use_recorder",
+    "Counter",
+    "Gauge",
+    "MetricsRegistry",
+    "SPAN_FIELDS",
+    "ObsReport",
+    "span_to_dict",
+    "write_trace_jsonl",
+    "read_trace_jsonl",
+    "sim_trace_spans",
+    "write_report_json",
+    "render_phase_table",
+]

@@ -1,0 +1,184 @@
+"""Exporters: JSON reports, ``trace.jsonl`` span files, human tables.
+
+The on-disk span schema is shared between real and simulated runs.
+Every ``trace.jsonl`` line is one span object carrying at least
+:data:`SPAN_FIELDS` (``lane``, ``phase``, ``start``, ``stop``); extra
+keys (``depth``) are allowed and ignored by consumers that don't know
+them. :func:`sim_trace_spans` adapts a simulated run
+(:class:`repro.simmachine.machine.SimResult`) to the same schema via
+:func:`repro.simmachine.trace.build_trace`, which is what lets a real
+``threads``/``processes`` trace be diffed line-for-line against the
+cost model's prediction for the same image.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from typing import Iterable, Sequence
+
+from .recorder import Span
+
+__all__ = [
+    "SPAN_FIELDS",
+    "span_to_dict",
+    "write_trace_jsonl",
+    "read_trace_jsonl",
+    "sim_trace_spans",
+    "ObsReport",
+    "write_report_json",
+    "render_phase_table",
+]
+
+#: keys every trace.jsonl span object must carry (simulated and real).
+SPAN_FIELDS = ("lane", "phase", "start", "stop")
+
+
+def span_to_dict(span) -> dict:
+    """Schema dict for any span-like object (``lane``/``phase``/
+    ``start``/``stop`` attributes — both :class:`repro.obs.Span` and
+    :class:`repro.simmachine.trace.TraceSpan` qualify)."""
+    out = {
+        "lane": span.lane,
+        "phase": span.phase,
+        "start": float(span.start),
+        "stop": float(span.stop),
+    }
+    depth = getattr(span, "depth", None)
+    if depth:
+        out["depth"] = int(depth)
+    return out
+
+
+def write_trace_jsonl(spans: Iterable, path) -> None:
+    """Write spans as one JSON object per line (``trace.jsonl``)."""
+    with open(path, "w") as fh:
+        for span in spans:
+            fh.write(json.dumps(span_to_dict(span)) + "\n")
+
+
+def read_trace_jsonl(path) -> list[Span]:
+    """Load a ``trace.jsonl`` back into :class:`Span` records."""
+    spans: list[Span] = []
+    with open(path) as fh:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            obj = json.loads(line)
+            missing = [k for k in SPAN_FIELDS if k not in obj]
+            if missing:
+                raise ValueError(
+                    f"trace line missing span fields {missing}: {obj!r}"
+                )
+            spans.append(
+                Span(
+                    lane=obj["lane"],
+                    phase=obj["phase"],
+                    start=float(obj["start"]),
+                    stop=float(obj["stop"]),
+                    depth=int(obj.get("depth", 0)),
+                )
+            )
+    return spans
+
+
+def sim_trace_spans(sim) -> list[Span]:
+    """Adapt a simulated run's timeline to observability spans.
+
+    The import is deferred: :mod:`repro.simmachine` imports the ccl
+    layer, which itself uses this package's recorder.
+    """
+    from ..simmachine.trace import build_trace
+
+    return [
+        Span(lane=s.lane, phase=s.phase, start=s.start, stop=s.stop)
+        for s in build_trace(sim)
+    ]
+
+
+@dataclasses.dataclass
+class ObsReport:
+    """One run's observability snapshot: spans + metrics.
+
+    This is what lands in ``CCLResult.timings`` when a trace recorder
+    is active, and what the bench/CLI ``--trace`` paths export.
+    """
+
+    spans: tuple[Span, ...]
+    metrics: dict
+
+    def as_dict(self) -> dict:
+        return {
+            "spans": [span_to_dict(s) for s in self.spans],
+            "metrics": self.metrics,
+        }
+
+    def phase_lane_seconds(self) -> dict[tuple[str, str], float]:
+        """Aggregate span durations by ``(lane, phase)``."""
+        agg: dict[tuple[str, str], float] = {}
+        for span in self.spans:
+            key = (span.lane, span.phase)
+            agg[key] = agg.get(key, 0.0) + span.duration
+        return agg
+
+    def render(self) -> str:
+        """Human per-phase/per-lane table (plus non-zero metrics)."""
+        return render_phase_table(self.spans, self.metrics)
+
+
+def write_report_json(report: ObsReport, path) -> None:
+    with open(path, "w") as fh:
+        json.dump(report.as_dict(), fh, indent=2)
+        fh.write("\n")
+
+
+def _lane_sort_key(lane: str) -> tuple:
+    # "machine" first, then numbered lane families in numeric order.
+    if lane == "machine":
+        return (0, "", 0)
+    parts = lane.rsplit(" ", 1)
+    if len(parts) == 2 and parts[1].isdigit():
+        return (1, parts[0], int(parts[1]))
+    return (2, lane, 0)
+
+
+def render_phase_table(spans: Sequence, metrics: dict | None = None) -> str:
+    """Monospace breakdown: one row per (lane, phase) with total
+    seconds, span count, and share of the run's wall clock."""
+    if not spans:
+        return "(no spans recorded)"
+    agg: dict[tuple[str, str], list] = {}
+    order: list[tuple[str, str]] = []
+    for span in spans:
+        key = (span.lane, span.phase)
+        if key not in agg:
+            agg[key] = [0.0, 0]
+            order.append(key)
+        agg[key][0] += span.stop - span.start
+        agg[key][1] += 1
+    total = max(s.stop for s in spans) - min(s.start for s in spans)
+    order.sort(key=lambda k: (_lane_sort_key(k[0]), k[1]))
+    lane_w = max(4, max(len(lane) for lane, _ in order))
+    phase_w = max(5, max(len(phase) for _, phase in order))
+    lines = [
+        f"{'lane':<{lane_w}s}  {'phase':<{phase_w}s}  "
+        f"{'seconds':>10s}  {'spans':>5s}  {'share':>6s}"
+    ]
+    for lane, phase in order:
+        seconds, n = agg[(lane, phase)]
+        share = seconds / total if total > 0 else 0.0
+        lines.append(
+            f"{lane:<{lane_w}s}  {phase:<{phase_w}s}  "
+            f"{seconds:>10.6f}  {n:>5d}  {share:>5.1%}"
+        )
+    if metrics:
+        counters = metrics.get("counters", {})
+        gauges = metrics.get("gauges", {})
+        if counters or gauges:
+            lines.append("")
+            for name, value in counters.items():
+                lines.append(f"counter {name} = {value}")
+            for name, value in gauges.items():
+                lines.append(f"gauge   {name} = {value:g}")
+    return "\n".join(lines)

@@ -1,0 +1,101 @@
+"""Counters and gauges: the metrics half of the observability layer.
+
+A :class:`MetricsRegistry` is a flat, thread-safe namespace of named
+instruments, created on first touch:
+
+* :class:`Counter` — monotonically increasing integer (union-find
+  merges, lock acquisitions, seam unions, worker forks, ...);
+* :class:`Gauge` — last-written float, with a ``set_max`` variant for
+  high-watermark tracking (shared-memory bytes, peak active
+  components, ...).
+
+Naming convention: dotted ``area.instrument`` strings, e.g.
+``merger.lock_contended`` or ``shm.bytes`` (the full inventory lives in
+``docs/OBSERVABILITY.md``).
+"""
+
+from __future__ import annotations
+
+import threading
+
+__all__ = ["Counter", "Gauge", "MetricsRegistry"]
+
+
+class Counter:
+    """Monotonic integer counter."""
+
+    __slots__ = ("name", "value", "_lock")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+        self._lock = threading.Lock()
+
+    def inc(self, n: int = 1) -> None:
+        if n < 0:
+            raise ValueError(f"counter {self.name!r} cannot decrease")
+        with self._lock:
+            self.value += n
+
+
+class Gauge:
+    """Last-value (or high-watermark) float instrument."""
+
+    __slots__ = ("name", "value", "_lock")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0.0
+        self._lock = threading.Lock()
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self.value = float(value)
+
+    def set_max(self, value: float) -> None:
+        with self._lock:
+            if value > self.value:
+                self.value = float(value)
+
+
+class MetricsRegistry:
+    """Create-on-touch registry of counters and gauges.
+
+    >>> reg = MetricsRegistry()
+    >>> reg.counter("uf.merges").inc(3)
+    >>> reg.gauge("shm.bytes").set(4096)
+    >>> reg.as_dict() == {"counters": {"uf.merges": 3},
+    ...                   "gauges": {"shm.bytes": 4096.0}}
+    True
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+
+    def counter(self, name: str) -> Counter:
+        with self._lock:
+            inst = self._counters.get(name)
+            if inst is None:
+                inst = self._counters[name] = Counter(name)
+        return inst
+
+    def gauge(self, name: str) -> Gauge:
+        with self._lock:
+            inst = self._gauges.get(name)
+            if inst is None:
+                inst = self._gauges[name] = Gauge(name)
+        return inst
+
+    def as_dict(self) -> dict:
+        """Plain-data snapshot: ``{"counters": {...}, "gauges": {...}}``."""
+        with self._lock:
+            return {
+                "counters": {
+                    k: c.value for k, c in sorted(self._counters.items())
+                },
+                "gauges": {
+                    k: g.value for k, g in sorted(self._gauges.items())
+                },
+            }

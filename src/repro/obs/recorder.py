@@ -1,0 +1,306 @@
+"""Span recording: the tracing half of the observability layer.
+
+Two recorder implementations share one protocol:
+
+* :class:`NullRecorder` — the default; every operation is a no-op on a
+  shared singleton, so instrumented code costs a couple of attribute
+  lookups per *phase* (never per pixel) when tracing is off;
+* :class:`TraceRecorder` — accumulates :class:`Span` records (monotonic
+  ``perf_counter`` timestamps, nestable via a per-thread stack, lane =
+  logical thread) plus a :class:`~repro.obs.metrics.MetricsRegistry`.
+
+The span schema is deliberately the one
+:mod:`repro.simmachine.trace` already uses for simulated runs —
+``(lane, phase, start, stop)`` — so a traced real run and a simulated
+run of the same image can be exported to the same ``trace.jsonl``
+format and diffed directly (see :mod:`repro.obs.export`).
+
+Lane naming convention (matches ``simmachine.trace.build_trace``):
+``"machine"`` for serial coordinator sections, ``"thread N"`` for the
+logical thread that owns chunk *N*, ``"worker N"`` for OS-process
+lifecycle spans, ``"tile N"`` / ``"main"`` elsewhere.
+
+Instrumented code obtains the ambient recorder with
+:func:`get_recorder`; benchmarks and tests install one with
+:func:`use_recorder`::
+
+    rec = TraceRecorder()
+    with use_recorder(rec):
+        paremsp(img, backend="threads")
+    print(rec.report().render())
+"""
+
+from __future__ import annotations
+
+import contextlib
+import dataclasses
+import threading
+import time
+from typing import Iterator
+
+from .metrics import MetricsRegistry
+
+__all__ = [
+    "Span",
+    "NullRecorder",
+    "TraceRecorder",
+    "PhaseTimer",
+    "NULL_RECORDER",
+    "get_recorder",
+    "set_recorder",
+    "use_recorder",
+]
+
+
+@dataclasses.dataclass(frozen=True)
+class Span:
+    """One timed activity of one lane.
+
+    ``start``/``stop`` are ``time.perf_counter`` readings (monotonic;
+    on Linux comparable across forked processes, which is how the
+    process backend's worker spans line up with the coordinator's).
+    ``depth`` is the nesting level at record time (0 = top level).
+    """
+
+    lane: str
+    phase: str
+    start: float
+    stop: float
+    depth: int = 0
+
+    @property
+    def duration(self) -> float:
+        return self.stop - self.start
+
+
+class _NullSpan:
+    """Reusable no-op context manager (one shared instance)."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        return False
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class NullRecorder:
+    """Disabled-tracing recorder: every operation is a no-op.
+
+    ``enabled`` is ``False`` so hot loops can skip even the no-op calls
+    (``if rec.enabled: ...``); the methods still exist so phase-level
+    code never needs the guard.
+    """
+
+    __slots__ = ()
+
+    enabled = False
+
+    def span(self, phase: str, lane: str | None = None) -> _NullSpan:
+        return _NULL_SPAN
+
+    def add_span(
+        self,
+        lane: str,
+        phase: str,
+        start: float,
+        stop: float,
+        depth: int = 0,
+    ) -> None:
+        return None
+
+    def count(self, name: str, n: int = 1) -> None:
+        return None
+
+    def gauge(self, name: str, value: float) -> None:
+        return None
+
+    def gauge_max(self, name: str, value: float) -> None:
+        return None
+
+    def mark(self) -> int:
+        return 0
+
+    def report(self, since: int = 0):
+        from .export import ObsReport
+
+        return ObsReport(spans=(), metrics={"counters": {}, "gauges": {}})
+
+
+#: the process-wide disabled recorder (default ambient recorder).
+NULL_RECORDER = NullRecorder()
+
+
+_tls = threading.local()
+
+
+def _span_stack() -> list:
+    stack = getattr(_tls, "stack", None)
+    if stack is None:
+        stack = _tls.stack = []
+    return stack
+
+
+def _default_lane() -> str:
+    name = threading.current_thread().name
+    return "main" if name == "MainThread" else name
+
+
+class _SpanCtx:
+    """Context manager produced by :meth:`TraceRecorder.span`."""
+
+    __slots__ = ("_rec", "phase", "lane", "start")
+
+    def __init__(
+        self, rec: "TraceRecorder", phase: str, lane: str | None
+    ) -> None:
+        self._rec = rec
+        self.phase = phase
+        self.lane = lane
+        self.start = 0.0
+
+    def __enter__(self) -> "_SpanCtx":
+        _span_stack().append(self)
+        self.start = self._rec._clock()
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        stop = self._rec._clock()
+        stack = _span_stack()
+        depth = len(stack) - 1
+        if stack and stack[-1] is self:
+            stack.pop()
+        self._rec.add_span(
+            self.lane or _default_lane(), self.phase, self.start, stop, depth
+        )
+        return False
+
+
+class TraceRecorder:
+    """Accumulating recorder: spans + metrics, safe for many threads."""
+
+    enabled = True
+
+    def __init__(self, clock=time.perf_counter) -> None:
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._spans: list[Span] = []
+        self.metrics = MetricsRegistry()
+
+    # -- spans -----------------------------------------------------------
+
+    def span(self, phase: str, lane: str | None = None) -> _SpanCtx:
+        """Context manager timing one activity; nests per thread."""
+        return _SpanCtx(self, phase, lane)
+
+    def add_span(
+        self,
+        lane: str,
+        phase: str,
+        start: float,
+        stop: float,
+        depth: int = 0,
+    ) -> None:
+        """Record an externally-measured interval (e.g. reported by a
+        forked worker through shared memory)."""
+        span = Span(lane=lane, phase=phase, start=start, stop=stop,
+                    depth=depth)
+        with self._lock:
+            self._spans.append(span)
+
+    @property
+    def spans(self) -> tuple[Span, ...]:
+        with self._lock:
+            return tuple(self._spans)
+
+    def mark(self) -> int:
+        """Position token for :meth:`report`'s ``since``."""
+        with self._lock:
+            return len(self._spans)
+
+    # -- metrics convenience --------------------------------------------
+
+    def count(self, name: str, n: int = 1) -> None:
+        self.metrics.counter(name).inc(n)
+
+    def gauge(self, name: str, value: float) -> None:
+        self.metrics.gauge(name).set(value)
+
+    def gauge_max(self, name: str, value: float) -> None:
+        self.metrics.gauge(name).set_max(value)
+
+    # -- reporting -------------------------------------------------------
+
+    def report(self, since: int = 0):
+        """Snapshot spans recorded at/after *since* plus all metrics."""
+        from .export import ObsReport
+
+        with self._lock:
+            spans = tuple(self._spans[since:])
+        return ObsReport(spans=spans, metrics=self.metrics.as_dict())
+
+
+_current: NullRecorder | TraceRecorder = NULL_RECORDER
+
+
+def get_recorder() -> NullRecorder | TraceRecorder:
+    """The ambient recorder (the :data:`NULL_RECORDER` by default)."""
+    return _current
+
+
+def set_recorder(rec) -> NullRecorder | TraceRecorder:
+    """Install *rec* as the ambient recorder; returns the previous one."""
+    global _current
+    previous = _current
+    _current = rec
+    return previous
+
+
+@contextlib.contextmanager
+def use_recorder(rec) -> Iterator:
+    """Scoped :func:`set_recorder` (restores the previous recorder)."""
+    previous = set_recorder(rec)
+    try:
+        yield rec
+    finally:
+        set_recorder(previous)
+
+
+class PhaseTimer:
+    """Phase timing that always measures and optionally records.
+
+    The drop-in replacement for the ad-hoc ``t0 = perf_counter()``
+    pairs: ``seconds`` accumulates wall-clock per phase exactly as
+    before (so ``CCLResult.phase_seconds`` is unchanged), and when the
+    recorder is enabled each phase additionally lands as a span.
+
+    >>> t = PhaseTimer(NULL_RECORDER)
+    >>> with t.time("scan"):
+    ...     pass
+    >>> sorted(t.seconds) == ["scan"]
+    True
+    """
+
+    __slots__ = ("seconds", "lane", "_rec")
+
+    def __init__(self, recorder=None, lane: str = "machine") -> None:
+        self._rec = recorder if recorder is not None else get_recorder()
+        self.lane = lane
+        self.seconds: dict[str, float] = {}
+
+    @contextlib.contextmanager
+    def time(self, phase: str) -> Iterator[None]:
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            stop = time.perf_counter()
+            self.seconds[phase] = (
+                self.seconds.get(phase, 0.0) + stop - start
+            )
+            if self._rec.enabled:
+                self._rec.add_span(self.lane, phase, start, stop)

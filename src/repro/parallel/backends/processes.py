@@ -40,6 +40,7 @@ from __future__ import annotations
 import multiprocessing
 import os
 import sys
+import time
 import weakref
 from multiprocessing import shared_memory
 from typing import Sequence
@@ -48,6 +49,7 @@ import numpy as np
 
 from ...ccl.scan_aremsp import scan_tworow
 from ...errors import BackendError
+from ...obs import NULL_RECORDER
 from ...types import LABEL_DTYPE, PIXEL_DTYPE
 from ...unionfind.remsp import merge as remsp_merge
 from ..boundary import (
@@ -137,7 +139,7 @@ def _attach(name: str) -> shared_memory.SharedMemory:
 
 
 def _scan_chunks_shm(
-    args: tuple[str, str, str, str, int, int, int, int, str, tuple],
+    args: tuple[str, str, str, str, str, int, int, int, int, str, tuple],
 ) -> None:
     """Top-level worker (picklable for spawn contexts): scan a batch of
     chunks in place.
@@ -146,12 +148,19 @@ def _scan_chunks_shm(
     reads image rows from the shared image and writes provisional
     labels, equivalence slices, and used-label watermarks into the
     shared outputs. Nothing bulk crosses the process boundary.
+
+    ``prof_name`` is the empty string unless the coordinator is
+    tracing, in which case it names a ``(n_chunks, 2)`` float64 segment
+    the worker fills with per-chunk ``perf_counter`` start/stop pairs —
+    ``CLOCK_MONOTONIC`` is machine-wide on Linux, so the coordinator
+    can line those readings up with its own spans.
     """
     (
         img_name,
         lab_name,
         p_name,
         used_name,
+        prof_name,
         n_chunks,
         rows,
         cols,
@@ -166,6 +175,12 @@ def _scan_chunks_shm(
             _attach(p_name),
             _attach(used_name),
         ]
+        prof = None
+        if prof_name:
+            segs.append(_attach(prof_name))
+            prof = np.ndarray(
+                (n_chunks, 2), dtype=np.float64, buffer=segs[-1].buf
+            )
         img = np.ndarray((rows, cols), dtype=PIXEL_DTYPE, buffer=segs[0].buf)
         labels = np.ndarray(
             (rows, cols), dtype=LABEL_DTYPE, buffer=segs[1].buf
@@ -175,6 +190,7 @@ def _scan_chunks_shm(
         )
         used_arr = np.ndarray(n_chunks, dtype=np.int64, buffer=segs[3].buf)
         for chunk_index, row_start, row_stop, label_start in batch:
+            t0 = time.perf_counter()
             chunk = img[row_start:row_stop]
             if engine == "interpreter":
                 out, used, p_slice = _scan_chunk(
@@ -194,6 +210,9 @@ def _scan_chunks_shm(
                 )
                 p[label_start:used] = p_slice
             used_arr[chunk_index] = used
+            if prof is not None:
+                prof[chunk_index, 0] = t0
+                prof[chunk_index, 1] = time.perf_counter()
         for seg in segs:
             seg.close()
     except BaseException:
@@ -222,12 +241,14 @@ class ProcessBackend:
         chunks: Sequence[RowChunk],
         connectivity: int,
         engine: str = "interpreter",
+        recorder=None,
     ) -> tuple[np.ndarray, list[int], np.ndarray, dict]:
+        rec = recorder if recorder is not None else NULL_RECORDER
         rows, cols = img.shape
         if len(chunks) <= 1:
             # one chunk: fork + shared-memory transport would be pure
             # overhead; run the same kernel in-process.
-            return self._scan_inline(img, chunks, connectivity, engine)
+            return self._scan_inline(img, chunks, connectivity, engine, rec)
         n_chunks = len(chunks)
         segments: list[shared_memory.SharedMemory] = []
         keep = None
@@ -248,10 +269,24 @@ class ProcessBackend:
                 create=True, size=n_chunks * 8
             )
             segments.append(shm_used)
+            shm_prof = None
+            if rec.enabled:
+                shm_prof = shared_memory.SharedMemory(
+                    create=True, size=n_chunks * 2 * 8
+                )
+                segments.append(shm_prof)
+                np.ndarray(
+                    (n_chunks, 2), dtype=np.float64, buffer=shm_prof.buf
+                )[:] = 0.0
             np.ndarray(
                 (rows, cols), dtype=PIXEL_DTYPE, buffer=shm_img.buf
             )[:] = img
             np.ndarray(n_chunks, dtype=np.int64, buffer=shm_used.buf)[:] = 0
+            if rec.enabled:
+                rec.gauge(
+                    "shm.bytes", float(sum(s.size for s in segments))
+                )
+                rec.count("shm.segments", len(segments))
             # one forked worker per core (not per chunk: oversubscribing
             # cores with processes buys nothing and each fork costs a
             # page-table copy), contiguous chunk batches per worker; no
@@ -272,6 +307,7 @@ class ProcessBackend:
                     shm_lab.name,
                     shm_p.name,
                     shm_used.name,
+                    shm_prof.name if shm_prof is not None else "",
                     n_chunks,
                     rows,
                     cols,
@@ -290,10 +326,19 @@ class ProcessBackend:
                 ctx.Process(target=_scan_chunks_shm, args=(job,))
                 for job in jobs
             ]
+            fork_t0 = time.perf_counter()
             for worker in workers:
                 worker.start()
+            if rec.enabled:
+                rec.count("worker.forked", len(workers))
+            lifetimes: list[float] = []
             for worker in workers:
                 worker.join()
+                lifetimes.append(time.perf_counter())
+            if rec.enabled:
+                for k, joined in enumerate(lifetimes):
+                    rec.add_span(f"worker {k}", "worker", fork_t0, joined)
+                rec.count("worker.joined", len(workers))
             failed = [w.exitcode for w in workers if w.exitcode != 0]
             if failed:
                 raise BackendError(
@@ -303,6 +348,14 @@ class ProcessBackend:
             used = np.ndarray(
                 n_chunks, dtype=np.int64, buffer=shm_used.buf
             ).tolist()
+            if shm_prof is not None:
+                prof = np.ndarray(
+                    (n_chunks, 2), dtype=np.float64, buffer=shm_prof.buf
+                )
+                for i in range(n_chunks):
+                    t0, t1 = float(prof[i, 0]), float(prof[i, 1])
+                    if t1 > t0 > 0.0:
+                        rec.add_span(f"thread {i}", "scan", t0, t1)
             # the provisional label plane is returned as a zero-copy view
             # of its segment: every segment is unlinked below (the POSIX
             # name goes away; the mapping survives until closed), and the
@@ -335,9 +388,11 @@ class ProcessBackend:
         chunks: Sequence[RowChunk],
         connectivity: int,
         engine: str,
+        rec=NULL_RECORDER,
     ) -> tuple[np.ndarray, list[int], np.ndarray, dict]:
         rows, cols = img.shape
         (chunk,) = chunks
+        t0 = time.perf_counter()
         if engine == "interpreter":
             out, used, p_slice = _scan_chunk(
                 (img.tolist(), chunk.label_start, cols, connectivity)
@@ -353,6 +408,8 @@ class ProcessBackend:
             )
             p = np.zeros(used, dtype=LABEL_DTYPE)
             p[chunk.label_start : used] = p_slice
+        if rec.enabled:
+            rec.add_span("thread 0", "scan", t0, time.perf_counter())
         return labels, [used], p, {"transport": "inline"}
 
     def boundary(
@@ -363,15 +420,20 @@ class ProcessBackend:
         p,
         connectivity: int,
         engine: str = "interpreter",
+        recorder=None,
     ) -> dict:
+        rec = recorder if recorder is not None else NULL_RECORDER
         if engine == "interpreter":
             ops = 0
             for row in boundary_rows(chunks):
                 ops += merge_boundary_row(
                     label_source, row, cols, p, remsp_merge, connectivity
                 )
-            return {"boundary_unions": ops}
-        edges = boundary_edges(
-            label_source, boundary_rows(chunks), connectivity
-        )
-        return {"boundary_unions": merge_edges(p, edges)}
+        else:
+            edges = boundary_edges(
+                label_source, boundary_rows(chunks), connectivity
+            )
+            ops = merge_edges(p, edges)
+        if rec.enabled:
+            rec.count("processes.boundary_unions", ops)
+        return {"boundary_unions": ops}

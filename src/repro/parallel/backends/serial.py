@@ -20,6 +20,7 @@ import numpy as np
 
 from ...ccl.labeling import remsp_alloc
 from ...ccl.scan_aremsp import scan_tworow
+from ...obs import NULL_RECORDER
 from ...types import LABEL_DTYPE
 from ...unionfind.remsp import merge as remsp_merge
 from ..boundary import (
@@ -47,7 +48,9 @@ class SerialBackend:
         chunks: Sequence[RowChunk],
         connectivity: int,
         engine: str = "interpreter",
+        recorder=None,
     ) -> tuple[list[list[int]] | np.ndarray, list[int], list[int] | np.ndarray, dict]:
+        rec = recorder if recorder is not None else NULL_RECORDER
         rows, cols = img.shape
         used: list[int] = []
         chunk_seconds: list[float] = []
@@ -55,7 +58,7 @@ class SerialBackend:
             img_rows = img.tolist()
             p: list[int] = [0] * (rows * cols + 2)
             label_rows: list[list[int]] = []
-            for chunk in chunks:
+            for i, chunk in enumerate(chunks):
                 alloc, watermark = remsp_alloc(p, start=chunk.label_start)
                 t0 = time.perf_counter()
                 out = scan_tworow(
@@ -65,14 +68,17 @@ class SerialBackend:
                     alloc,
                     connectivity,
                 )
-                chunk_seconds.append(time.perf_counter() - t0)
+                t1 = time.perf_counter()
+                chunk_seconds.append(t1 - t0)
+                if rec.enabled:
+                    rec.add_span(f"thread {i}", "scan", t0, t1)
                 label_rows.extend(out)
                 used.append(watermark())
             return label_rows, used, p, {"chunk_seconds": chunk_seconds}
         kernel = chunk_kernel(engine)
         labels = np.zeros((rows, cols), dtype=LABEL_DTYPE)
         slices: list[np.ndarray] = []
-        for chunk in chunks:
+        for i, chunk in enumerate(chunks):
             t0 = time.perf_counter()
             _, watermark, p_slice = kernel(
                 img[chunk.row_start : chunk.row_stop],
@@ -80,7 +86,10 @@ class SerialBackend:
                 connectivity,
                 out=labels[chunk.row_start : chunk.row_stop],
             )
-            chunk_seconds.append(time.perf_counter() - t0)
+            t1 = time.perf_counter()
+            chunk_seconds.append(t1 - t0)
+            if rec.enabled:
+                rec.add_span(f"thread {i}", "scan", t0, t1)
             used.append(watermark)
             slices.append(p_slice)
         p_arr = gather_equivalences(chunks, used, slices)
@@ -94,15 +103,20 @@ class SerialBackend:
         p,
         connectivity: int,
         engine: str = "interpreter",
+        recorder=None,
     ) -> dict:
+        rec = recorder if recorder is not None else NULL_RECORDER
         if engine == "interpreter":
             ops = 0
             for row in boundary_rows(chunks):
                 ops += merge_boundary_row(
                     label_source, row, cols, p, remsp_merge, connectivity
                 )
-            return {"boundary_unions": ops}
-        edges = boundary_edges(
-            label_source, boundary_rows(chunks), connectivity
-        )
-        return {"boundary_unions": merge_edges(p, edges)}
+        else:
+            edges = boundary_edges(
+                label_source, boundary_rows(chunks), connectivity
+            )
+            ops = merge_edges(p, edges)
+        if rec.enabled:
+            rec.count("serial.boundary_unions", ops)
+        return {"boundary_unions": ops}

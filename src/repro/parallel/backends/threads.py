@@ -19,6 +19,7 @@ batch (edge-list extraction + REMSP), since seam work is negligible
 
 from __future__ import annotations
 
+import time
 from concurrent.futures import ThreadPoolExecutor
 from typing import MutableSequence, Sequence
 
@@ -26,6 +27,7 @@ import numpy as np
 
 from ...ccl.labeling import remsp_alloc
 from ...ccl.scan_aremsp import scan_tworow
+from ...obs import NULL_RECORDER
 from ...types import LABEL_DTYPE
 from ...unionfind.parallel import LockStripedMerger
 from ...unionfind.remsp import merge as remsp_merge
@@ -52,14 +54,18 @@ class ThreadBackend:
         chunks: Sequence[RowChunk],
         connectivity: int,
         engine: str = "interpreter",
+        recorder=None,
     ) -> tuple[list[list[int]] | np.ndarray, list[int], list[int] | np.ndarray, dict]:
+        rec = recorder if recorder is not None else NULL_RECORDER
         rows, cols = img.shape
         if engine == "interpreter":
             img_rows = img.tolist()
             p: list[int] = [0] * (rows * cols + 2)
 
-            def run(chunk: RowChunk) -> tuple[list[list[int]], int]:
+            def run(job: tuple[int, RowChunk]) -> tuple[list[list[int]], int]:
+                i, chunk = job
                 alloc, watermark = remsp_alloc(p, start=chunk.label_start)
+                t0 = time.perf_counter()
                 out = scan_tworow(
                     img_rows[chunk.row_start : chunk.row_stop],
                     p,
@@ -71,10 +77,14 @@ class ThreadBackend:
                     alloc,
                     connectivity,
                 )
+                if rec.enabled:
+                    rec.add_span(
+                        f"thread {i}", "scan", t0, time.perf_counter()
+                    )
                 return out, watermark()
 
             with ThreadPoolExecutor(max_workers=max(1, len(chunks))) as pool:
-                results = list(pool.map(run, chunks))
+                results = list(pool.map(run, enumerate(chunks)))
             label_rows: list[list[int]] = []
             used: list[int] = []
             for out, watermark in results:
@@ -84,19 +94,23 @@ class ThreadBackend:
         kernel = chunk_kernel(engine)
         labels = np.zeros((rows, cols), dtype=LABEL_DTYPE)
 
-        def run_vec(chunk: RowChunk) -> tuple[int, np.ndarray]:
+        def run_vec(job: tuple[int, RowChunk]) -> tuple[int, np.ndarray]:
+            i, chunk = job
             # disjoint row slices: each worker paints its own window of
             # the shared label plane, no copy and no race.
+            t0 = time.perf_counter()
             _, watermark, p_slice = kernel(
                 img[chunk.row_start : chunk.row_stop],
                 chunk.label_start,
                 connectivity,
                 out=labels[chunk.row_start : chunk.row_stop],
             )
+            if rec.enabled:
+                rec.add_span(f"thread {i}", "scan", t0, time.perf_counter())
             return watermark, p_slice
 
         with ThreadPoolExecutor(max_workers=max(1, len(chunks))) as pool:
-            results_vec = list(pool.map(run_vec, chunks))
+            results_vec = list(pool.map(run_vec, enumerate(chunks)))
         used = [watermark for watermark, _ in results_vec]
         p_arr = gather_equivalences(
             chunks, used, [p_slice for _, p_slice in results_vec]
@@ -111,23 +125,33 @@ class ThreadBackend:
         p,
         connectivity: int,
         engine: str = "interpreter",
+        recorder=None,
     ) -> dict:
+        rec = recorder if recorder is not None else NULL_RECORDER
         seams = boundary_rows(chunks)
         if not seams:
             return {"boundary_unions": 0}
         if engine != "interpreter":
             edges = boundary_edges(label_source, seams, connectivity)
-            return {"boundary_unions": merge_edges(p, edges)}
-        merger = LockStripedMerger(p)
+            ops = merge_edges(p, edges)
+            if rec.enabled:
+                rec.count("threads.boundary_edges", len(edges))
+            return {"boundary_unions": ops}
+        merger = LockStripedMerger(p, recorder=rec)
 
         def union(pp: MutableSequence[int], x: int, y: int) -> int:
             return merger.merge(x, y)
 
-        def run(row: int) -> int:
-            return merge_boundary_row(
+        def run(job: tuple[int, int]) -> int:
+            i, row = job
+            t0 = time.perf_counter()
+            ops = merge_boundary_row(
                 label_source, row, cols, p, union, connectivity
             )
+            if rec.enabled:
+                rec.add_span(f"thread {i}", "merge", t0, time.perf_counter())
+            return ops
 
         with ThreadPoolExecutor(max_workers=max(1, len(seams))) as pool:
-            ops = sum(pool.map(run, seams))
+            ops = sum(pool.map(run, enumerate(seams)))
         return {"boundary_unions": ops}

@@ -28,11 +28,11 @@ column-major within the pair) before being returned.
 from __future__ import annotations
 
 import dataclasses
-import time
 
 import numpy as np
 
 from ..ccl.labeling import CCLResult, apply_table, check_label_capacity
+from ..obs import PhaseTimer, get_recorder
 from ..types import LABEL_DTYPE, as_binary_image
 from ..unionfind.flatten import flatten_ranges, flatten_ranges_array
 from .backends import get_backend
@@ -72,6 +72,10 @@ def _canonical_pair_order(labels: np.ndarray) -> np.ndarray:
     which is what makes cross-engine byte-identity possible.
     """
     rows, cols = labels.shape
+    if labels.size == 0:
+        # zero rows or zero columns: nothing to renumber (and the pair
+        # reshape below cannot infer a dimension from a 0-sized array)
+        return labels
     even = (rows // 2) * 2
     parts = []
     if even:
@@ -114,6 +118,7 @@ def paremsp(
     connectivity: int = 8,
     cost_model=None,
     engine: str = "interpreter",
+    recorder=None,
 ) -> ParallelResult:
     """Label *image* with PAREMSP.
 
@@ -137,6 +142,13 @@ def paremsp(
         ``vectorized-blocks`` (8-connectivity only). The simulated
         backend models interpreter operation counts and accepts only
         ``interpreter``.
+    recorder:
+        A :class:`repro.obs.TraceRecorder` to collect per-phase /
+        per-thread spans and metrics into; defaults to the ambient
+        recorder (:func:`repro.obs.get_recorder` — a no-op unless one
+        was installed). When tracing is enabled the result's
+        ``timings`` field carries the run's
+        :class:`repro.obs.ObsReport`.
 
     >>> import numpy as np
     >>> r = paremsp(np.ones((8, 8), dtype=np.uint8), n_threads=2)
@@ -152,6 +164,7 @@ def paremsp(
             "engine 'vectorized-blocks' supports 8-connectivity only "
             f"(got connectivity={connectivity})"
         )
+    rec = recorder if recorder is not None else get_recorder()
     if backend == "simulated":
         if engine != "interpreter":
             raise ValueError(
@@ -166,7 +179,17 @@ def paremsp(
             cost_model=cost_model,
             connectivity=connectivity,
         )
-        return sim.as_parallel_result()
+        result = sim.as_parallel_result()
+        if rec.enabled:
+            # replay the model timeline into the recorder so simulated
+            # and real runs flow through the same exporters.
+            from ..obs import sim_trace_spans
+
+            mark = rec.mark()
+            for span in sim_trace_spans(sim):
+                rec.add_span(span.lane, span.phase, span.start, span.stop)
+            result.timings = rec.report(since=mark)
+        return result
 
     img = as_binary_image(image)
     rows, cols = img.shape
@@ -176,40 +199,49 @@ def paremsp(
     vectorised = engine in VECTOR_ENGINES
     meta: dict = {}
 
-    t0 = time.perf_counter()
-    if chunks:
-        label_source, used, p, scan_meta = exec_backend.scan(
-            img, chunks, connectivity, engine
+    mark = rec.mark()
+    timer = PhaseTimer(rec)
+    with timer.time("scan"):
+        if chunks:
+            label_source, used, p, scan_meta = exec_backend.scan(
+                img, chunks, connectivity, engine, recorder=rec
+            )
+        else:
+            label_source = (
+                np.zeros((rows, cols), dtype=LABEL_DTYPE) if vectorised
+                else []
+            )
+            used, scan_meta = [], {}
+            p = np.zeros(1, dtype=LABEL_DTYPE) if vectorised else [0, 0]
+    with timer.time("merge"):
+        bound_meta = exec_backend.boundary(
+            label_source, chunks, cols, p, connectivity, engine,
+            recorder=rec,
         )
-    else:
-        label_source = (
-            np.zeros((rows, cols), dtype=LABEL_DTYPE) if vectorised else []
-        )
-        used, scan_meta = [], {}
-        p = np.zeros(1, dtype=LABEL_DTYPE) if vectorised else [0, 0]
-    t1 = time.perf_counter()
-    bound_meta = exec_backend.boundary(
-        label_source, chunks, cols, p, connectivity, engine
-    )
-    t2 = time.perf_counter()
-    ranges = [(c.label_start, u) for c, u in zip(chunks, used)]
-    if isinstance(p, np.ndarray):
-        n_components = flatten_ranges_array(p, ranges)
-    else:
-        n_components = flatten_ranges(p, ranges)
-    t3 = time.perf_counter()
-    limit = max((u for u in used), default=1)
-    if len(label_source):
-        labels = apply_table(label_source, p, limit).reshape(rows, cols)
-        if engine == "vectorized-blocks":
-            # the run kernel allocates ids in pair-traversal order, so
-            # its FLATTEN numbering already matches AREMSP; the block
-            # kernel numbers 2x2 blocks and needs the explicit remap.
-            labels = _canonical_pair_order(labels)
-    else:
-        labels = np.zeros((rows, cols), dtype=LABEL_DTYPE)
-    t4 = time.perf_counter()
+    with timer.time("flatten"):
+        ranges = [(c.label_start, u) for c, u in zip(chunks, used)]
+        if isinstance(p, np.ndarray):
+            n_components = flatten_ranges_array(p, ranges)
+        else:
+            n_components = flatten_ranges(p, ranges)
+    with timer.time("label"):
+        limit = max((u for u in used), default=1)
+        if len(label_source):
+            labels = apply_table(label_source, p, limit).reshape(rows, cols)
+            if engine == "vectorized-blocks":
+                # the run kernel allocates ids in pair-traversal order,
+                # so its FLATTEN numbering already matches AREMSP; the
+                # block kernel numbers 2x2 blocks and needs the
+                # explicit remap.
+                labels = _canonical_pair_order(labels)
+        else:
+            labels = np.zeros((rows, cols), dtype=LABEL_DTYPE)
 
+    if rec.enabled:
+        rec.count("paremsp.runs")
+        rec.count(
+            "unionfind.boundary_unions", bound_meta.get("boundary_unions", 0)
+        )
     meta.update(scan_meta)
     meta.update(bound_meta)
     meta["label_ranges"] = ranges
@@ -218,16 +250,12 @@ def paremsp(
         labels=labels,
         n_components=n_components,
         provisional_count=sum(u - c.label_start for c, u in zip(chunks, used)),
-        phase_seconds={
-            "scan": t1 - t0,
-            "merge": t2 - t1,
-            "flatten": t3 - t2,
-            "label": t4 - t3,
-        },
+        phase_seconds=timer.seconds,
         algorithm="paremsp",
         meta=meta,
         n_threads=n_threads,
         backend=backend,
         n_chunks=len(chunks),
         engine=engine,
+        timings=rec.report(since=mark) if rec.enabled else None,
     )

@@ -28,6 +28,7 @@ import numpy as np
 
 from ..ccl.labeling import CCLResult, check_label_capacity
 from ..ccl.run_based import run_based_vectorized
+from ..obs import PhaseTimer, get_recorder
 from ..types import LABEL_DTYPE
 from ..unionfind.flatten import flatten
 from ..unionfind.remsp import merge as remsp_merge
@@ -48,6 +49,7 @@ def tiled_label(
     tile_shape: tuple[int, int] = (256, 256),
     connectivity: int = 8,
     workers: int = 1,
+    recorder=None,
 ) -> CCLResult:
     """Label *image* tile by tile; result identical (as a partition) to
     whole-image labeling.
@@ -56,6 +58,11 @@ def tiled_label(
     are independent, so this is the embarrassingly parallel phase; seam
     stitching and FLATTEN stay in the coordinator (they are O(seams) and
     O(labels), off the critical path like PAREMSP's merge step).
+
+    *recorder* defaults to the ambient :func:`repro.obs.get_recorder`;
+    when tracing is enabled the phases land as spans (plus per-tile
+    spans on the in-process path), seam unions are counted, and the
+    result's ``timings`` field carries the run's report.
 
     >>> import numpy as np
     >>> img = np.ones((10, 10), dtype=np.uint8)
@@ -67,60 +74,79 @@ def tiled_label(
         raise ValueError(f"tile dimensions must be >= 1, got {tile_shape!r}")
     if workers < 1:
         raise ValueError(f"workers must be >= 1, got {workers}")
+    rec = recorder if recorder is not None else get_recorder()
     image = np.asarray(image)  # no copy: memmap slices stay lazy
     rows, cols = image.shape
     check_label_capacity((rows, cols))
     labels = np.zeros((rows, cols), dtype=LABEL_DTYPE)
 
-    t0 = time.perf_counter()
-    jobs = [
-        (r0, c0, np.ascontiguousarray(image[r0 : r0 + th, c0 : c0 + tw]),
-         connectivity)
-        for r0 in range(0, rows, th)
-        for c0 in range(0, cols, tw)
-    ]
-    n_tiles = len(jobs)
-    if workers > 1 and n_tiles > 1:
-        from concurrent.futures import ProcessPoolExecutor
+    mark = rec.mark()
+    timer = PhaseTimer(rec)
+    with timer.time("scan"):
+        jobs = [
+            (r0, c0, np.ascontiguousarray(image[r0 : r0 + th, c0 : c0 + tw]),
+             connectivity)
+            for r0 in range(0, rows, th)
+            for c0 in range(0, cols, tw)
+        ]
+        n_tiles = len(jobs)
+        if workers > 1 and n_tiles > 1:
+            from concurrent.futures import ProcessPoolExecutor
 
-        with ProcessPoolExecutor(max_workers=min(workers, n_tiles)) as pool:
-            results = list(pool.map(_label_tile, jobs))
-    else:
-        results = [_label_tile(j) for j in jobs]
-    count = 1
-    for r0, c0, local_labels, k in results:
-        if k:
-            labels[r0 : r0 + th, c0 : c0 + tw] = np.where(
-                local_labels > 0, local_labels + (count - 1), 0
+            with ProcessPoolExecutor(
+                max_workers=min(workers, n_tiles)
+            ) as pool:
+                results = list(pool.map(_label_tile, jobs))
+        elif rec.enabled:
+            results = []
+            for i, job in enumerate(jobs):
+                t0 = time.perf_counter()
+                results.append(_label_tile(job))
+                rec.add_span(f"tile {i}", "scan", t0, time.perf_counter())
+        else:
+            results = [_label_tile(j) for j in jobs]
+        count = 1
+        for r0, c0, local_labels, k in results:
+            if k:
+                labels[r0 : r0 + th, c0 : c0 + tw] = np.where(
+                    local_labels > 0, local_labels + (count - 1), 0
+                )
+                count += k
+
+    seam_unions = 0
+    with timer.time("merge"):
+        p: list[int] = list(range(count))
+        # horizontal seams: full-width boundary rows (cover corner
+        # diagonals)
+        for r in range(th, rows, th):
+            seam_unions += merge_boundary_row(
+                labels, r, cols, p, remsp_merge, connectivity
             )
-            count += k
-    t1 = time.perf_counter()
-
-    p: list[int] = list(range(count))
-    # horizontal seams: full-width boundary rows (cover corner diagonals)
-    for r in range(th, rows, th):
-        merge_boundary_row(labels, r, cols, p, remsp_merge, connectivity)
-    # vertical seams: boundary columns, reusing the row kernel on the
-    # transposed pattern (left column plays the "row above")
-    for c in range(tw, cols, tw):
-        col_pair = [labels[:, c - 1], labels[:, c]]
-        merge_boundary_row(col_pair, 1, rows, p, remsp_merge, connectivity)
-    t2 = time.perf_counter()
-    n_components = flatten(p, count)
-    t3 = time.perf_counter()
-    lut = np.asarray(p, dtype=LABEL_DTYPE)
-    final = lut[labels]
-    t4 = time.perf_counter()
+        # vertical seams: boundary columns, reusing the row kernel on the
+        # transposed pattern (left column plays the "row above")
+        for c in range(tw, cols, tw):
+            col_pair = [labels[:, c - 1], labels[:, c]]
+            seam_unions += merge_boundary_row(
+                col_pair, 1, rows, p, remsp_merge, connectivity
+            )
+    with timer.time("flatten"):
+        n_components = flatten(p, count)
+    with timer.time("label"):
+        lut = np.asarray(p, dtype=LABEL_DTYPE)
+        final = lut[labels]
+    if rec.enabled:
+        rec.count("tiled.seam_unions", seam_unions)
+        rec.gauge("tiled.n_tiles", n_tiles)
     return CCLResult(
         labels=final,
         n_components=n_components,
         provisional_count=count - 1,
-        phase_seconds={
-            "scan": t1 - t0,
-            "merge": t2 - t1,
-            "flatten": t3 - t2,
-            "label": t4 - t3,
-        },
+        phase_seconds=timer.seconds,
         algorithm="tiled",
-        meta={"tile_shape": (th, tw), "n_tiles": n_tiles},
+        meta={
+            "tile_shape": (th, tw),
+            "n_tiles": n_tiles,
+            "seam_unions": seam_unions,
+        },
+        timings=rec.report(since=mark) if rec.enabled else None,
     )

@@ -9,7 +9,9 @@ from hypothesis import strategies as st
 from hypothesis.extra import numpy as hnp
 
 from repro.analysis import areas, bounding_boxes
+from repro.ccl.aremsp import aremsp
 from repro.ccl.streaming import StreamingLabeler, stream_label
+from repro.obs import TraceRecorder
 from repro.verify import flood_fill_label
 
 
@@ -139,3 +141,90 @@ def test_property_streaming_totals(img, connectivity):
     assert len(comps) == n
     assert sum(c.area for c in comps) == int(img.sum())
     assert sorted(c.area for c in comps) == sorted(areas(labels).tolist())
+
+
+@pytest.mark.parametrize("connectivity", [4, 8])
+@pytest.mark.parametrize("density", [0.2, 0.45, 0.7])
+def test_equivalence_with_two_pass_aremsp(connectivity, density, rng):
+    """Count, area multiset, and bbox multiset all agree with the
+    two-pass oracle on random rasters."""
+    img = (rng.random((60, 33)) < density).astype(np.uint8)
+    comps = _stream_all(img, connectivity)
+    ref = aremsp(img, connectivity)
+    assert len(comps) == ref.n_components
+    assert sorted(c.area for c in comps) == sorted(
+        areas(ref.labels).tolist()
+    )
+    assert sorted(c.bbox for c in comps) == sorted(
+        tuple(b) for b in bounding_boxes(ref.labels).tolist()
+    )
+
+
+class TestPeakMemory:
+    """Regression guard for the docstring's O(active + width) claim:
+    the union-find slot count must stay bounded by a constant multiple
+    of (active components + row width) no matter how many components
+    the stream has retired."""
+
+    @staticmethod
+    def _bound(labeler: StreamingLabeler) -> int:
+        # the compaction threshold plus one row's worth of fresh labels
+        return 4 * (
+            labeler.active_components + labeler.cols + 2
+        ) + labeler.cols + 66
+
+    def test_slots_bounded_on_tall_many_component_stream(self):
+        """2000 rows of dense noise retire thousands of components; the
+        equivalence array must not grow with that total."""
+        rng = np.random.default_rng(42)
+        cols = 96
+        labeler = StreamingLabeler(cols=cols)
+        finished = 0
+        peak = 0
+        for _ in range(2000):
+            row = (rng.random(cols) < 0.45).astype(np.uint8)
+            finished += len(labeler.push_row(row))
+            peak = max(peak, labeler.equivalence_slots)
+            assert labeler.equivalence_slots <= self._bound(labeler)
+        finished += len(labeler.finish())
+        assert finished > 1000  # the stream really did retire many
+        assert peak < finished  # sublinear in retired components
+
+    def test_stacked_stripes_stay_small(self):
+        labeler = StreamingLabeler(cols=50)
+        blank = np.zeros(50, dtype=np.uint8)
+        stripe = np.ones(50, dtype=np.uint8)
+        for _ in range(500):
+            labeler.push_row(stripe)
+            labeler.push_row(blank)
+            assert labeler.equivalence_slots <= self._bound(labeler)
+
+    def test_compaction_preserves_emission_order_and_results(
+        self, monkeypatch
+    ):
+        """Same stream with and without compaction: identical
+        FinishedComponent sequences (compaction is order-preserving)."""
+        rng = np.random.default_rng(7)
+        img = (rng.random((300, 40)) < 0.5).astype(np.uint8)
+        compacted = list(stream_label(img, cols=40))
+        monkeypatch.setattr(
+            StreamingLabeler, "_compact", lambda self: None
+        )
+        baseline = list(stream_label(img, cols=40))
+        assert [
+            (c.ident, c.area, c.bbox) for c in compacted
+        ] == [(c.ident, c.area, c.bbox) for c in baseline]
+
+    def test_compaction_counted_when_traced(self):
+        rng = np.random.default_rng(3)
+        rec = TraceRecorder()
+        labeler = StreamingLabeler(cols=64, recorder=rec)
+        for _ in range(400):
+            labeler.push_row((rng.random(64) < 0.4).astype(np.uint8))
+        labeler.finish()
+        counters = rec.metrics.as_dict()["counters"]
+        assert counters["stream.compactions"] >= 1
+        assert counters["stream.rows"] == 400
+        gauges = rec.metrics.as_dict()["gauges"]
+        assert gauges["stream.active_peak"] >= 1
+        assert gauges["stream.slots_peak"] >= 1

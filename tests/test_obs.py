@@ -1,0 +1,374 @@
+"""Observability layer: spans, metrics, exporters, and the
+zero-overhead-when-disabled contract."""
+
+from __future__ import annotations
+
+import json
+import threading
+import timeit
+
+import numpy as np
+import pytest
+
+from repro.bench.paremsp_smoke import trace_backends
+from repro.ccl.aremsp import aremsp
+from repro.ccl.contour import contour_trace
+from repro.ccl.run_based import run_based_vectorized
+from repro.data.synthetic import blobs
+from repro.obs import (
+    NULL_RECORDER,
+    MetricsRegistry,
+    ObsReport,
+    PhaseTimer,
+    Span,
+    SPAN_FIELDS,
+    TraceRecorder,
+    get_recorder,
+    read_trace_jsonl,
+    render_phase_table,
+    sim_trace_spans,
+    span_to_dict,
+    use_recorder,
+    write_report_json,
+    write_trace_jsonl,
+)
+from repro.parallel import paremsp
+from repro.parallel.tiled import tiled_label
+from repro.unionfind.parallel import LockStripedMerger
+
+
+@pytest.fixture
+def img(rng) -> np.ndarray:
+    return (rng.random((24, 18)) < 0.5).astype(np.uint8)
+
+
+class TestRecorder:
+    def test_null_recorder_is_inert(self):
+        rec = NULL_RECORDER
+        assert rec.enabled is False
+        with rec.span("scan"):
+            pass
+        rec.add_span("machine", "scan", 0.0, 1.0)
+        rec.count("x")
+        rec.gauge("y", 3.0)
+        rec.gauge_max("y", 9.0)
+        assert rec.mark() == 0
+        report = rec.report()
+        assert report.spans == ()
+        assert report.metrics == {"counters": {}, "gauges": {}}
+
+    def test_ambient_default_is_null(self):
+        assert get_recorder() is NULL_RECORDER
+
+    def test_use_recorder_restores(self):
+        rec = TraceRecorder()
+        with use_recorder(rec):
+            assert get_recorder() is rec
+        assert get_recorder() is NULL_RECORDER
+
+    def test_use_recorder_restores_on_error(self):
+        rec = TraceRecorder()
+        with pytest.raises(RuntimeError):
+            with use_recorder(rec):
+                raise RuntimeError("boom")
+        assert get_recorder() is NULL_RECORDER
+
+    def test_span_records_interval(self):
+        rec = TraceRecorder()
+        with rec.span("scan", lane="machine"):
+            pass
+        (span,) = rec.spans
+        assert span.lane == "machine"
+        assert span.phase == "scan"
+        assert span.stop >= span.start
+        assert span.duration == span.stop - span.start
+
+    def test_span_nesting_depth(self):
+        rec = TraceRecorder()
+        with rec.span("outer", lane="machine"):
+            with rec.span("inner", lane="machine"):
+                pass
+        inner, outer = rec.spans  # inner exits (and records) first
+        assert inner.phase == "inner" and inner.depth == 1
+        assert outer.phase == "outer" and outer.depth == 0
+        assert outer.start <= inner.start <= inner.stop <= outer.stop
+
+    def test_span_default_lane_is_main(self):
+        rec = TraceRecorder()
+        with rec.span("scan"):
+            pass
+        assert rec.spans[0].lane == "main"
+
+    def test_span_stack_is_per_thread(self):
+        rec = TraceRecorder()
+        depths = {}
+
+        def work(name):
+            with rec.span("outer", lane=name):
+                with rec.span("inner", lane=name):
+                    pass
+
+        threads = [
+            threading.Thread(target=work, args=(f"t{i}",)) for i in range(4)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        for span in rec.spans:
+            depths.setdefault(span.lane, set()).add((span.phase, span.depth))
+        for lane, seen in depths.items():
+            assert seen == {("outer", 0), ("inner", 1)}
+
+    def test_mark_and_since(self):
+        rec = TraceRecorder()
+        rec.add_span("machine", "a", 0.0, 1.0)
+        mark = rec.mark()
+        rec.add_span("machine", "b", 1.0, 2.0)
+        report = rec.report(since=mark)
+        assert [s.phase for s in report.spans] == ["b"]
+
+    def test_phase_timer_accumulates_and_records(self):
+        rec = TraceRecorder()
+        timer = PhaseTimer(rec)
+        for _ in range(3):
+            with timer.time("scan"):
+                pass
+        assert set(timer.seconds) == {"scan"}
+        assert timer.seconds["scan"] >= 0.0
+        assert len(rec.spans) == 3
+        assert {s.lane for s in rec.spans} == {"machine"}
+
+    def test_phase_timer_null_recorder_still_measures(self):
+        timer = PhaseTimer(NULL_RECORDER)
+        with timer.time("scan"):
+            pass
+        assert "scan" in timer.seconds
+
+
+class TestMetrics:
+    def test_counter_and_gauge(self):
+        reg = MetricsRegistry()
+        reg.counter("c").inc()
+        reg.counter("c").inc(4)
+        reg.gauge("g").set(2.5)
+        reg.gauge("gm").set_max(1.0)
+        reg.gauge("gm").set_max(7.0)
+        reg.gauge("gm").set_max(3.0)
+        d = reg.as_dict()
+        assert d["counters"] == {"c": 5}
+        assert d["gauges"] == {"g": 2.5, "gm": 7.0}
+
+    def test_counter_rejects_negative(self):
+        reg = MetricsRegistry()
+        with pytest.raises(ValueError):
+            reg.counter("c").inc(-1)
+
+    def test_thread_safety(self):
+        reg = MetricsRegistry()
+
+        def work():
+            for _ in range(1000):
+                reg.counter("hits").inc()
+
+        threads = [threading.Thread(target=work) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert reg.as_dict()["counters"]["hits"] == 8000
+
+
+class TestExport:
+    def test_trace_jsonl_round_trip(self, tmp_path):
+        spans = [
+            Span("machine", "scan", 0.0, 1.5),
+            Span("thread 1", "merge", 1.5, 2.0, depth=1),
+        ]
+        path = tmp_path / "trace.jsonl"
+        write_trace_jsonl(spans, path)
+        back = read_trace_jsonl(path)
+        assert back == spans
+
+    def test_trace_jsonl_rejects_missing_fields(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"lane": "machine", "phase": "scan"}\n')
+        with pytest.raises(ValueError, match="missing span fields"):
+            read_trace_jsonl(path)
+
+    def test_span_dict_schema(self):
+        d = span_to_dict(Span("machine", "scan", 0.0, 1.0))
+        assert set(SPAN_FIELDS) <= set(d)
+
+    def test_sim_and_real_spans_share_schema(self, img):
+        from repro.simmachine.machine import simulate_paremsp
+
+        rec = TraceRecorder()
+        with use_recorder(rec):
+            paremsp(img, n_threads=3, engine="vectorized")
+        sim_spans = sim_trace_spans(simulate_paremsp(img, n_threads=3))
+        real_keys = {k for s in rec.spans for k in span_to_dict(s)}
+        sim_keys = {k for s in sim_spans for k in span_to_dict(s)}
+        assert set(SPAN_FIELDS) <= real_keys
+        assert set(SPAN_FIELDS) <= sim_keys
+
+    def test_report_json_and_render(self, tmp_path):
+        rec = TraceRecorder()
+        with rec.span("scan", lane="machine"):
+            pass
+        rec.count("hits", 3)
+        rec.gauge("depth", 2.0)
+        report = rec.report()
+        path = tmp_path / "report.json"
+        write_report_json(report, path)
+        data = json.loads(path.read_text())
+        assert data["metrics"]["counters"] == {"hits": 3}
+        assert data["spans"][0]["phase"] == "scan"
+        table = report.render()
+        assert "machine" in table and "scan" in table
+        assert "counter hits = 3" in table
+        assert "gauge   depth = 2" in table
+
+    def test_render_empty(self):
+        assert "no spans" in render_phase_table([])
+
+    def test_phase_lane_seconds(self):
+        report = ObsReport(
+            spans=(
+                Span("machine", "scan", 0.0, 1.0),
+                Span("machine", "scan", 2.0, 2.5),
+                Span("thread 0", "scan", 0.0, 0.75),
+            ),
+            metrics={"counters": {}, "gauges": {}},
+        )
+        agg = report.phase_lane_seconds()
+        assert agg[("machine", "scan")] == pytest.approx(1.5)
+        assert agg[("thread 0", "scan")] == pytest.approx(0.75)
+
+
+class TestInstrumentation:
+    """The recorder flows through every execution path with the
+    documented lanes and counters."""
+
+    def test_timings_none_by_default(self, img):
+        assert aremsp(img).timings is None
+        assert paremsp(img, n_threads=2).timings is None
+        assert tiled_label(img, tile_shape=(8, 8)).timings is None
+
+    def test_run_two_pass_traced(self, img):
+        rec = TraceRecorder()
+        with use_recorder(rec):
+            result = aremsp(img)
+        assert result.timings is not None
+        phases = {s.phase for s in result.timings.spans}
+        assert phases == {"scan", "flatten", "label"}
+
+    @pytest.mark.parametrize("backend", ["serial", "threads", "processes"])
+    def test_paremsp_backends_traced(self, backend, img):
+        rec = TraceRecorder()
+        with use_recorder(rec):
+            result = paremsp(
+                img, n_threads=3, backend=backend, engine="vectorized"
+            )
+        assert result.timings is not None
+        lanes = {s.lane for s in rec.spans}
+        assert "machine" in lanes
+        assert {f"thread {i}" for i in range(3)} <= lanes
+        machine_phases = {
+            s.phase for s in rec.spans if s.lane == "machine"
+        }
+        assert machine_phases == {"scan", "merge", "flatten", "label"}
+        counters = rec.metrics.as_dict()["counters"]
+        assert counters["paremsp.runs"] == 1
+        assert "unionfind.boundary_unions" in counters
+        if backend == "processes":
+            assert "worker 0" in lanes
+            assert counters["worker.forked"] == counters["worker.joined"]
+            assert rec.metrics.as_dict()["gauges"]["shm.bytes"] > 0
+
+    def test_paremsp_explicit_recorder_param(self, img):
+        rec = TraceRecorder()
+        result = paremsp(img, n_threads=2, recorder=rec)
+        assert result.timings is not None
+        assert len(rec.spans) > 0
+
+    def test_simulated_backend_traced(self, img):
+        rec = TraceRecorder()
+        with use_recorder(rec):
+            result = paremsp(img, n_threads=3, backend="simulated")
+        assert result.timings is not None
+        lanes = {s.lane for s in rec.spans}
+        assert "machine" in lanes and "thread 0" in lanes
+
+    def test_tiled_traced(self, img):
+        rec = TraceRecorder()
+        result = tiled_label(img, tile_shape=(8, 8), recorder=rec)
+        assert result.timings is not None
+        assert any(s.lane.startswith("tile ") for s in rec.spans)
+        counters = rec.metrics.as_dict()["counters"]
+        assert counters["tiled.seam_unions"] == result.meta["seam_unions"]
+
+    def test_contour_traced(self, img):
+        rec = TraceRecorder()
+        with use_recorder(rec):
+            result = contour_trace(img)
+        assert result.timings is not None
+        assert set(result.phase_seconds) == {"scan", "flatten", "label"}
+
+    def test_merger_counts_under_tracing(self):
+        rec = TraceRecorder()
+        p = list(range(16))
+        m = LockStripedMerger(p, recorder=rec)
+        assert m.merge(3, 5) == m.merge(5, 7)
+        counters = rec.metrics.as_dict()["counters"]
+        assert counters["merger.merges"] == 2
+        assert counters["merger.lock_acquires"] >= 2
+
+    def test_merger_without_recorder_unchanged(self):
+        p1, p2 = list(range(16)), list(range(16))
+        LockStripedMerger(p1).merge(3, 5)
+        LockStripedMerger(p2, recorder=TraceRecorder()).merge(3, 5)
+        assert p1 == p2
+
+    def test_trace_backends_helper(self, img):
+        reports = trace_backends(img, n_threads=2)
+        assert set(reports) == {"serial", "threads", "processes"}
+        for report in reports.values():
+            assert ("machine", "scan") in report.phase_lane_seconds()
+
+    def test_phase_seconds_unchanged_by_tracing(self, img):
+        plain = paremsp(img, n_threads=3, engine="vectorized")
+        rec = TraceRecorder()
+        with use_recorder(rec):
+            traced = paremsp(img, n_threads=3, engine="vectorized")
+        assert set(plain.phase_seconds) == set(traced.phase_seconds)
+        assert np.array_equal(plain.labels, traced.labels)
+
+
+class TestDisabledOverhead:
+    def test_disabled_overhead_under_two_percent(self):
+        """The instrumentation's cost with tracing off — every guard,
+        mark, and PhaseTimer touch a run makes — must stay below 2% of
+        a 512x512 vectorized scan."""
+        img = blobs((512, 512), 0.6, 5, seed=3)
+        best = min(
+            timeit.repeat(
+                lambda: run_based_vectorized(img), number=1, repeat=3
+            )
+        )
+        rec = NULL_RECORDER
+        per_guard = timeit.timeit(lambda: rec.enabled, number=50000) / 50000
+        per_mark = timeit.timeit(rec.mark, number=50000) / 50000
+        timer = PhaseTimer(rec)
+
+        def one_phase():
+            with timer.time("x"):
+                pass
+
+        per_phase = timeit.timeit(one_phase, number=20000) / 20000
+        # a run touches a handful of guards, one mark, and four phases
+        per_run_overhead = 16 * per_guard + per_mark + 4 * per_phase
+        assert per_run_overhead < 0.02 * best, (
+            f"disabled-tracing overhead {per_run_overhead * 1e6:.1f}us vs "
+            f"scan {best * 1e3:.2f}ms"
+        )

@@ -9,12 +9,15 @@ from hypothesis import strategies as st
 from hypothesis.extra import numpy as hnp
 
 from repro.ccl import aremsp
+from repro.ccl.registry import ALGORITHMS, EIGHT_CONNECTIVITY_ONLY
 from repro.errors import BackendError
 from repro.parallel import paremsp
 from repro.parallel.boundary import boundary_rows, merge_boundary_row
 from repro.parallel.partition import partition_rows
+from repro.parallel.tiled import tiled_label
 from repro.unionfind.remsp import merge as remsp_merge
 from repro.verify import flood_fill_label, labelings_equivalent
+from repro.verify.equivalence import canonicalize_labeling
 
 BACKENDS = ["serial", "threads", "processes", "simulated"]
 THREADS = [1, 2, 3, 5, 8]
@@ -262,6 +265,140 @@ class TestEngines:
             img, n_threads=2, backend="serial", engine="vectorized"
         )
         assert result.n_components == 0
+
+
+class TestDifferentialFuzz:
+    """Differential harness: every registered algorithm and the full
+    engine x backend x thread matrix against the AREMSP oracle on random
+    rasters of varying density, including zero- and one-column widths.
+
+    Two strengths of oracle relation are in play:
+
+    * the paremsp matrix is *byte-identical* to sequential AREMSP (the
+      library's determinism contract);
+    * independent sequential algorithms number components in their own
+      scan order, so they are compared after :func:`canonicalize_labeling`
+      — byte-level equality of canonical forms, which is exactly
+      partition identity plus count identity.
+    """
+
+    # degenerate widths first: (5, 0) and (0, 7) are the empty-edge
+    # cases, (1, 1)/(7, 1)/(1, 13) the single-row/column scans.
+    SHAPES = [
+        (0, 0), (0, 7), (5, 0), (1, 1), (7, 1), (1, 13), (9, 14), (16, 16),
+    ]
+    DENSITIES = (0.0, 0.2, 0.5, 0.8, 1.0)
+
+    @staticmethod
+    def _rasters():
+        rng = np.random.default_rng(20140519)
+        for shape in TestDifferentialFuzz.SHAPES:
+            for density in TestDifferentialFuzz.DENSITIES:
+                yield (rng.random(shape) < density).astype(np.uint8)
+
+    @pytest.mark.parametrize("name", sorted(ALGORITHMS))
+    @pytest.mark.parametrize("connectivity", [4, 8])
+    def test_registry_algorithms_match_oracle(self, name, connectivity):
+        if connectivity == 4 and name in EIGHT_CONNECTIVITY_ONLY:
+            pytest.skip(f"{name} is 8-connectivity only")
+        fn = ALGORITHMS[name]
+        for img in self._rasters():
+            ref = aremsp(img, connectivity)
+            res = fn(img, connectivity)
+            assert res.n_components == ref.n_components, (name, img.shape)
+            assert np.array_equal(
+                canonicalize_labeling(res.labels),
+                canonicalize_labeling(ref.labels),
+            ), (name, img.shape)
+
+    @pytest.mark.parametrize("engine", ENGINES)
+    @pytest.mark.parametrize("backend", EXEC_BACKENDS)
+    def test_engine_backend_matrix_byte_identical(self, engine, backend):
+        # fork cost makes the processes sweep the slow axis: sample it.
+        shapes = (
+            [(5, 0), (7, 1), (9, 14), (16, 16)]
+            if backend == "processes"
+            else self.SHAPES
+        )
+        thread_counts = (1, 2, 5) if backend == "serial" else (3,)
+        rng = np.random.default_rng(99)
+        for shape in shapes:
+            for density in (0.0, 0.5, 1.0):
+                img = (rng.random(shape) < density).astype(np.uint8)
+                ref = aremsp(img, 8)
+                for n_threads in thread_counts:
+                    res = paremsp(
+                        img,
+                        n_threads=n_threads,
+                        backend=backend,
+                        engine=engine,
+                    )
+                    assert res.n_components == ref.n_components
+                    assert np.array_equal(res.labels, ref.labels), (
+                        engine, backend, n_threads, shape, density,
+                    )
+
+    @given(
+        img=hnp.arrays(
+            dtype=np.uint8,
+            shape=hnp.array_shapes(
+                min_dims=2, max_dims=2, min_side=1, max_side=16
+            ),
+            elements=st.integers(0, 1),
+        ),
+        backend=st.sampled_from(EXEC_BACKENDS),
+        engine=st.sampled_from(ENGINES),
+        n_threads=st.integers(1, 5),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_property_matrix_byte_identical(
+        self, img, backend, engine, n_threads
+    ):
+        ref = aremsp(img, 8)
+        res = paremsp(
+            img, n_threads=n_threads, backend=backend, engine=engine
+        )
+        assert res.n_components == ref.n_components
+        assert np.array_equal(res.labels, ref.labels)
+
+    @pytest.mark.parametrize("tile_shape", [(4, 4), (5, 3), (16, 2)])
+    def test_tiled_canonical_vs_oracle(self, tile_shape):
+        for img in self._rasters():
+            ref = aremsp(img, 8)
+            res = tiled_label(img, tile_shape=tile_shape)
+            assert res.n_components == ref.n_components, img.shape
+            assert np.array_equal(
+                canonicalize_labeling(res.labels),
+                canonicalize_labeling(ref.labels),
+            ), (tile_shape, img.shape)
+
+    @pytest.mark.parametrize("backend", EXEC_BACKENDS)
+    def test_memmap_input(self, backend, tmp_path, rng):
+        """np.memmap rasters flow through every backend unchanged."""
+        img = (rng.random((33, 21)) < 0.5).astype(np.uint8)
+        path = tmp_path / "raster.dat"
+        mm = np.memmap(path, dtype=np.uint8, mode="w+", shape=img.shape)
+        mm[:] = img
+        mm.flush()
+        ro = np.memmap(path, dtype=np.uint8, mode="r", shape=img.shape)
+        ref = aremsp(img, 8)
+        res = paremsp(ro, n_threads=3, backend=backend, engine="vectorized")
+        assert np.array_equal(res.labels, ref.labels)
+
+    def test_memmap_input_tiled(self, tmp_path, rng):
+        img = (rng.random((40, 28)) < 0.5).astype(np.uint8)
+        path = tmp_path / "raster.dat"
+        mm = np.memmap(path, dtype=np.uint8, mode="w+", shape=img.shape)
+        mm[:] = img
+        mm.flush()
+        ro = np.memmap(path, dtype=np.uint8, mode="r", shape=img.shape)
+        ref = aremsp(img, 8)
+        res = tiled_label(ro, tile_shape=(16, 16))
+        assert res.n_components == ref.n_components
+        assert np.array_equal(
+            canonicalize_labeling(res.labels),
+            canonicalize_labeling(ref.labels),
+        )
 
 
 class TestBoundaryMerge:

@@ -1,0 +1,115 @@
+"""Process-backend failure injection: dying workers must surface as a
+clean BackendError — no hang, no leaked /dev/shm segments, and a quiet
+resource tracker on the happy path."""
+
+from __future__ import annotations
+
+import os
+import pathlib
+import subprocess
+import sys
+
+import numpy as np
+import pytest
+
+import repro.parallel.backends.processes as processes_mod
+from repro.errors import BackendError
+from repro.parallel import paremsp
+
+SHM_DIR = pathlib.Path("/dev/shm")
+
+
+def _shm_entries() -> set[str]:
+    if not SHM_DIR.is_dir():
+        return set()
+    return set(os.listdir(SHM_DIR))
+
+
+@pytest.fixture
+def img(rng) -> np.ndarray:
+    return (rng.random((40, 24)) < 0.5).astype(np.uint8)
+
+
+@pytest.mark.skipif(
+    not SHM_DIR.is_dir(), reason="no /dev/shm on this platform"
+)
+class TestWorkerDeath:
+    def test_worker_exit_mid_scan_raises_cleanly(
+        self, img, monkeypatch
+    ):
+        """A worker that dies after partial progress must produce a
+        BackendError naming the exit code — and every shared segment
+        must be unlinked by the coordinator's cleanup."""
+        def dying(args):  # pragma: no cover - runs in the forked child
+            # partial progress — attach to the shared image and read
+            # from it the way a real scan starts — then die without the
+            # worker's normal cleanup path.
+            seg = processes_mod._attach(args[0])
+            _ = bytes(seg.buf[:1])
+            os._exit(3)
+
+        monkeypatch.setattr(processes_mod, "_scan_chunks_shm", dying)
+        before = _shm_entries()
+        with pytest.raises(BackendError, match="scan workers failed"):
+            paremsp(img, n_threads=4, backend="processes")
+        assert _shm_entries() - before == set(), "leaked /dev/shm segments"
+
+    def test_worker_immediate_exit_raises_cleanly(self, img, monkeypatch):
+        monkeypatch.setattr(
+            processes_mod,
+            "_scan_chunks_shm",
+            lambda args: os._exit(9),
+        )
+        before = _shm_entries()
+        with pytest.raises(BackendError, match="exit codes"):
+            paremsp(img, n_threads=3, backend="processes")
+        assert _shm_entries() - before == set()
+
+    def test_recovery_after_failure(self, img, monkeypatch):
+        """The backend is stateless: a failed run must not poison the
+        next one."""
+        monkeypatch.setattr(
+            processes_mod, "_scan_chunks_shm", lambda args: os._exit(1)
+        )
+        with pytest.raises(BackendError):
+            paremsp(img, n_threads=3, backend="processes")
+        monkeypatch.undo()
+        from repro.ccl import aremsp
+
+        result = paremsp(img, n_threads=3, backend="processes")
+        assert np.array_equal(result.labels, aremsp(img, 8).labels)
+
+    def test_no_shm_growth_on_happy_path(self, img):
+        before = _shm_entries()
+        result = paremsp(img, n_threads=4, backend="processes")
+        del result
+        import gc
+
+        gc.collect()  # drop the label view -> finalizer closes mapping
+        assert _shm_entries() - before == set()
+
+
+def test_resource_tracker_silent_on_happy_path(tmp_path):
+    """End-to-end in a fresh interpreter: a multi-worker processes run
+    must not provoke resource_tracker leak warnings at shutdown."""
+    src = str(pathlib.Path(__file__).resolve().parent.parent / "src")
+    code = (
+        "import numpy as np\n"
+        "from repro.parallel import paremsp\n"
+        "rng = np.random.default_rng(0)\n"
+        "img = (rng.random((64, 32)) < 0.5).astype(np.uint8)\n"
+        "r = paremsp(img, n_threads=4, backend='processes',"
+        " engine='vectorized')\n"
+        "print(r.n_components)\n"
+    )
+    env = dict(os.environ, PYTHONPATH=src)
+    proc = subprocess.run(
+        [sys.executable, "-c", code],
+        capture_output=True,
+        text=True,
+        timeout=120,
+        env=env,
+    )
+    assert proc.returncode == 0, proc.stderr
+    assert "resource_tracker" not in proc.stderr, proc.stderr
+    assert "leaked" not in proc.stderr, proc.stderr
