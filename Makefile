@@ -6,11 +6,18 @@
 #                                  the engines diverge or the vectorized
 #                                  speedup drops below 5x on the
 #                                  2048x2048 reference raster.
+# Perf history on top of tier 2 (see docs/OBSERVABILITY.md):
+#   `make bench-history` appends a repro.perfdb record (median +
+#   bootstrap CI + environment fingerprint) under benchmarks/history/;
+#   `make perf-gate` diffs the latest record against the committed
+#   baseline and fails on regression; `make analyze-trace` prints the
+#   speedup decomposition of the traces bench-trace wrote.
 
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test bench-paremsp bench-trace bench
+.PHONY: test bench-paremsp bench-trace bench bench-history perf-gate \
+	analyze-trace
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -24,5 +31,24 @@ bench-paremsp:
 bench-trace:
 	$(PYTHON) -m repro.bench.paremsp_smoke --size 1024 --repeats 3 \
 		--trace --out BENCH_paremsp.json
+
+# append a perf-history record for `perf-gate`. Runs the gate
+# configuration (size 512 — what benchmarks/history/baseline.json was
+# recorded at); records only compare like-for-like.
+bench-history:
+	$(PYTHON) -m repro.bench.paremsp_smoke --size 512 --repeats 3 \
+		--warmup 1 --record-only --out BENCH_ci.json \
+		--history benchmarks/history
+
+# regression gate: latest history record vs the committed baseline.
+perf-gate:
+	$(PYTHON) -m repro.obs.cli compare benchmarks/history/baseline.json \
+		--dir benchmarks/history
+
+# speedup decomposition (serial fraction, imbalance, contention) of the
+# traces `make bench-trace` leaves behind.
+analyze-trace:
+	$(PYTHON) -m repro.obs.cli analyze trace_serial.jsonl \
+		trace_threads.jsonl trace_processes.jsonl
 
 bench: bench-paremsp

@@ -10,9 +10,12 @@ regression gate for the vectorised pipeline: it fails loudly if the
 engines ever diverge or if the vectorised speedup collapses below
 ``--min-speedup``.
 
-Interpreter timing uses one repeat (it is the slow side by construction
-and dominates wall clock); the vectorized engine gets ``--repeats``
-(best-of) like the other harnesses in this package.
+Both engines run ``--warmup`` untimed passes and then ``--repeats``
+timed repetitions; the record keeps *every* per-repetition value
+(total and per phase) and reports the median, which is what the perf
+history stores. ``--history DIR`` additionally appends a
+:mod:`repro.perfdb` record (median + bootstrap CI + environment
+fingerprint) for the ``repro-obs compare`` regression gate.
 """
 
 from __future__ import annotations
@@ -21,6 +24,7 @@ import argparse
 import json
 import pathlib
 import sys
+import time
 import timeit
 
 import numpy as np
@@ -33,7 +37,6 @@ from ..obs import (
     write_trace_jsonl,
 )
 from ..parallel.paremsp import paremsp
-from .timing import measure
 
 __all__ = ["run", "trace_backends", "main"]
 
@@ -58,11 +61,54 @@ def _disabled_overhead_fraction(
     return per_guard * guard_sites / vectorized_seconds
 
 
+def _median(values: list[float]) -> float:
+    ordered = sorted(values)
+    n = len(ordered)
+    mid = n // 2
+    if n % 2:
+        return ordered[mid]
+    return (ordered[mid - 1] + ordered[mid]) / 2.0
+
+
+def _time_engine(
+    img: np.ndarray,
+    n_threads: int,
+    backend: str,
+    engine: str,
+    repeats: int,
+    warmup: int,
+):
+    """Warmup + timed repetitions of one engine.
+
+    Returns ``(rep_seconds, phase_reps, last_result)`` where
+    ``phase_reps`` maps phase name -> one value per repetition, so the
+    record preserves the full distribution, not just a summary.
+    """
+    def one():
+        return paremsp(
+            img, n_threads=n_threads, backend=backend, engine=engine
+        )
+
+    for _ in range(warmup):
+        one()
+    rep_seconds: list[float] = []
+    phase_reps: dict[str, list[float]] = {}
+    result = None
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        result = one()
+        rep_seconds.append(time.perf_counter() - t0)
+        for phase, seconds in result.phase_seconds.items():
+            phase_reps.setdefault(phase, []).append(seconds)
+    return rep_seconds, phase_reps, result
+
+
 def run(
     size: int = 2048,
     n_threads: int = 4,
     backend: str = "processes",
     repeats: int = 3,
+    warmup: int = 1,
     seed: int = 0,
     density: float = 0.7,
     smoothing: int = 6,
@@ -76,29 +122,25 @@ def run(
     the vectorised kernel's cost is run-bound. The default backend is
     ``processes``: the configuration the speedup floor is stated
     against.
+
+    Both engines get *warmup* untimed passes then *repeats* timed ones;
+    ``interpreter_seconds`` / ``vectorized_seconds`` and the ``phases``
+    entries are **medians** over the repetitions, with the raw
+    per-repetition vectors alongside (``*_reps`` / ``phase_reps``).
     """
     img = blobs((size, size), density, smoothing, seed=seed)
-    interp = measure(
-        paremsp,
-        img,
-        n_threads=n_threads,
-        backend=backend,
-        engine="interpreter",
-        repeats=1,
+    interp_reps, interp_phases, interp = _time_engine(
+        img, n_threads, backend, "interpreter", repeats, warmup
     )
-    vector = measure(
-        paremsp,
-        img,
-        n_threads=n_threads,
-        backend=backend,
-        engine="vectorized",
-        repeats=repeats,
+    vector_reps, vector_phases, vector = _time_engine(
+        img, n_threads, backend, "vectorized", repeats, warmup
     )
-    identical = bool(
-        np.array_equal(interp.result.labels, vector.result.labels)
-    )
+    identical = bool(np.array_equal(interp.labels, vector.labels))
+    interp_median = _median(interp_reps)
+    vector_median = _median(vector_reps)
     return {
         "benchmark": "paremsp_smoke",
+        "schema_version": 2,
         "image": {
             "generator": "blobs",
             "size": size,
@@ -108,17 +150,29 @@ def run(
         },
         "n_threads": n_threads,
         "backend": backend,
-        "n_components": int(interp.result.n_components),
-        "interpreter_seconds": interp.best,
-        "vectorized_seconds": vector.best,
-        "speedup": interp.best / vector.best,
+        "repeats": repeats,
+        "warmup": warmup,
+        "n_components": int(interp.n_components),
+        "interpreter_seconds": interp_median,
+        "interpreter_reps": interp_reps,
+        "vectorized_seconds": vector_median,
+        "vectorized_reps": vector_reps,
+        "speedup": interp_median / vector_median,
         "final_labels_identical": identical,
         "phases": {
-            "interpreter": dict(interp.result.phase_seconds),
-            "vectorized": dict(vector.result.phase_seconds),
+            "interpreter": {
+                p: _median(v) for p, v in interp_phases.items()
+            },
+            "vectorized": {
+                p: _median(v) for p, v in vector_phases.items()
+            },
+        },
+        "phase_reps": {
+            "interpreter": interp_phases,
+            "vectorized": vector_phases,
         },
         "disabled_overhead_estimate": _disabled_overhead_fraction(
-            vector.best, n_threads
+            vector_median, n_threads
         ),
     }
 
@@ -149,6 +203,12 @@ def main(argv: list[str] | None = None) -> int:
     ap.add_argument("--threads", type=int, default=4)
     ap.add_argument("--backend", default="processes")
     ap.add_argument("--repeats", type=int, default=3)
+    ap.add_argument(
+        "--warmup",
+        type=int,
+        default=1,
+        help="untimed passes per engine before the timed repetitions",
+    )
     ap.add_argument("--seed", type=int, default=0)
     ap.add_argument("--density", type=float, default=0.7)
     ap.add_argument("--smoothing", type=int, default=6)
@@ -172,6 +232,13 @@ def main(argv: list[str] | None = None) -> int:
         help="write the record but never fail the gates (CI smoke mode "
         "on machines whose timing is not representative)",
     )
+    ap.add_argument(
+        "--history",
+        metavar="DIR",
+        default=None,
+        help="append a repro.perfdb record (median + bootstrap CI + "
+        "environment fingerprint) under DIR for 'repro-obs compare'",
+    )
     args = ap.parse_args(argv)
 
     record = run(
@@ -179,6 +246,7 @@ def main(argv: list[str] | None = None) -> int:
         n_threads=args.threads,
         backend=args.backend,
         repeats=args.repeats,
+        warmup=args.warmup,
         seed=args.seed,
         density=args.density,
         smoothing=args.smoothing,
@@ -195,7 +263,7 @@ def main(argv: list[str] | None = None) -> int:
             img, n_threads=args.threads
         ).items():
             trace_path = out_dir / f"trace_{backend}.jsonl"
-            write_trace_jsonl(report.spans, trace_path)
+            write_trace_jsonl(report.spans, trace_path, metrics=report.metrics)
             print(f"\n[{backend}] trace -> {trace_path}")
             print(report.render())
         print()
@@ -204,11 +272,30 @@ def main(argv: list[str] | None = None) -> int:
         fh.write("\n")
     print(
         f"paremsp {args.size}x{args.size} ({args.backend}, "
-        f"{args.threads} threads): interpreter "
+        f"{args.threads} threads, median of {args.repeats} after "
+        f"{args.warmup} warmup): interpreter "
         f"{record['interpreter_seconds']:.3f}s, vectorized "
         f"{record['vectorized_seconds']:.3f}s "
         f"({record['speedup']:.1f}x) -> {args.out}"
     )
+    if args.history:
+        from ..perfdb import append_record, build_record, environment_fingerprint
+
+        history_record = build_record(
+            "paremsp_smoke",
+            record["vectorized_reps"],
+            phases=record["phase_reps"]["vectorized"],
+            warmup=args.warmup,
+            meta={
+                "image": record["image"],
+                "backend": record["backend"],
+                "engine": "vectorized",
+                "speedup_vs_interpreter": record["speedup"],
+            },
+            env=environment_fingerprint(n_threads=args.threads),
+        )
+        path = append_record(history_record, args.history)
+        print(f"history record -> {path}")
     if not record["final_labels_identical"]:
         # correctness is machine-independent: fatal even in record-only
         print("FAIL: engines produced different final labelings")

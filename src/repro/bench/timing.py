@@ -36,17 +36,38 @@ class TimingSample:
         return sum(self.seconds) / len(self.seconds)
 
     @property
+    def median(self) -> float:
+        """The robust summary the perf history stores (insensitive to
+        one scheduler hiccup, unlike the mean or even the best)."""
+        ordered = sorted(self.seconds)
+        n = len(ordered)
+        mid = n // 2
+        if n % 2:
+            return ordered[mid]
+        return (ordered[mid - 1] + ordered[mid]) / 2.0
+
+    @property
     def best_ms(self) -> float:
         return self.best * 1e3
 
 
 def measure(
-    fn: Callable[..., Any], *args: Any, repeats: int = 1, **kwargs: Any
+    fn: Callable[..., Any],
+    *args: Any,
+    repeats: int = 1,
+    warmup: int = 0,
+    **kwargs: Any,
 ) -> TimingSample:
     """Call ``fn(*args, **kwargs)`` *repeats* times; keep every duration
-    and the last return value."""
+    and the last return value. *warmup* extra untimed calls run first
+    (page-cache/allocator/JIT-free steady state before the clock
+    starts)."""
     if repeats < 1:
         raise ValueError(f"repeats must be >= 1, got {repeats}")
+    if warmup < 0:
+        raise ValueError(f"warmup must be >= 0, got {warmup}")
+    for _ in range(warmup):
+        fn(*args, **kwargs)
     times = []
     result = None
     for _ in range(repeats):

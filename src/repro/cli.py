@@ -134,7 +134,7 @@ def main(argv: list[str] | None = None) -> int:
         with use_recorder(rec):
             result = fn(image, args.connectivity)
         report = rec.report()
-        write_trace_jsonl(report.spans, args.trace)
+        write_trace_jsonl(report.spans, args.trace, metrics=report.metrics)
         print(report.render())
         print(f"trace -> {args.trace}")
     else:

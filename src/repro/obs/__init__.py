@@ -26,9 +26,28 @@ recorder=...)``, ``StreamingLabeler(..., recorder=...)``, the ambient
 ``docs/OBSERVABILITY.md`` for the span/metric inventory.
 """
 
+from .analyze import (
+    AmdahlFit,
+    MergeContention,
+    PhaseStats,
+    TraceAnalysis,
+    amdahl_fit,
+    analyze_report,
+    analyze_spans,
+    trace_thread_count,
+)
+from .chrome import (
+    chrome_to_spans,
+    read_chrome_trace,
+    spans_to_chrome,
+    write_chrome_trace,
+)
 from .export import (
     SPAN_FIELDS,
+    TRACE_SCHEMA_VERSION,
     ObsReport,
+    TraceFile,
+    read_trace,
     read_trace_jsonl,
     render_phase_table,
     sim_trace_spans,
@@ -61,11 +80,26 @@ __all__ = [
     "Gauge",
     "MetricsRegistry",
     "SPAN_FIELDS",
+    "TRACE_SCHEMA_VERSION",
     "ObsReport",
+    "TraceFile",
     "span_to_dict",
     "write_trace_jsonl",
+    "read_trace",
     "read_trace_jsonl",
     "sim_trace_spans",
     "write_report_json",
     "render_phase_table",
+    "TraceAnalysis",
+    "PhaseStats",
+    "MergeContention",
+    "AmdahlFit",
+    "analyze_spans",
+    "analyze_report",
+    "amdahl_fit",
+    "trace_thread_count",
+    "spans_to_chrome",
+    "chrome_to_spans",
+    "write_chrome_trace",
+    "read_chrome_trace",
 ]

@@ -1,0 +1,422 @@
+"""Trace analysis: turn the span schema into scaling answers.
+
+The paper's headline claim is a speedup curve (up to 20.1x on 24
+cores); this module interrogates that kind of claim from recorded
+traces instead of trusting a single headline number. Given one trace —
+a live :class:`~repro.obs.recorder.TraceRecorder`, a ``trace.jsonl``
+file, or a simulated run via :func:`~repro.obs.export.sim_trace_spans`
+— :func:`analyze_spans` computes the decomposition Sutton et al. and
+Chen et al. use to attribute their wins:
+
+* per-phase wall clock, critical path, **load-imbalance %** and idle
+  time across the ``thread N`` lanes;
+* the **observed serial fraction**: the share of the run's wall clock
+  during which *no* worker lane was busy (interval-union coverage, so
+  overlapping lanes are not double-counted);
+* a **merge-contention report** from the
+  :class:`~repro.unionfind.parallel.LockStripedMerger` counters
+  (``merger.lock_acquires`` / ``merger.lock_contended`` / ...).
+
+Given runs at several thread counts, :func:`amdahl_fit` least-squares
+fits ``T(n) = T1 * (s + (1 - s)/n)`` and reports the Amdahl serial
+fraction ``s`` plus the asymptotic speedup ceiling ``1/s`` — the
+model the paper's Figure 4 scaling discussion implicitly argues
+against.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from typing import Iterable, Mapping, Sequence
+
+from .recorder import Span
+
+__all__ = [
+    "PhaseStats",
+    "MergeContention",
+    "TraceAnalysis",
+    "AmdahlFit",
+    "analyze_spans",
+    "analyze_report",
+    "amdahl_fit",
+    "trace_thread_count",
+]
+
+#: lane-name prefixes that represent actual chunk/tile work (used for
+#: serial-fraction coverage; ``worker N`` lanes are process lifecycle
+#: envelopes and would double-count their threads).
+WORK_LANE_PREFIXES = ("thread ", "tile ")
+
+
+def _is_work_lane(lane: str) -> bool:
+    return lane.startswith(WORK_LANE_PREFIXES)
+
+
+@dataclasses.dataclass(frozen=True)
+class PhaseStats:
+    """One phase's decomposition across lanes.
+
+    ``wall`` is the coordinator's bracket for the phase (the
+    ``machine``-lane span) when one exists, else the envelope of the
+    phase's worker spans. ``thread_busy`` maps each worker lane to its
+    summed busy seconds within the phase.
+    """
+
+    phase: str
+    wall: float
+    thread_busy: dict[str, float]
+
+    @property
+    def n_threads(self) -> int:
+        return len(self.thread_busy)
+
+    @property
+    def critical_path(self) -> float:
+        """The slowest lane's busy time — the phase's lower bound."""
+        return max(self.thread_busy.values(), default=0.0)
+
+    @property
+    def mean_busy(self) -> float:
+        if not self.thread_busy:
+            return 0.0
+        return sum(self.thread_busy.values()) / len(self.thread_busy)
+
+    @property
+    def imbalance_pct(self) -> float:
+        """``100 * (1 - mean/max)`` over lane busy times.
+
+        0% = perfectly balanced; 50% = on average each lane idles half
+        of the slowest lane's time. Phases with fewer than two lanes
+        report 0 (imbalance is undefined for serial phases).
+        """
+        crit = self.critical_path
+        if len(self.thread_busy) < 2 or crit <= 0:
+            return 0.0
+        return 100.0 * (1.0 - self.mean_busy / crit)
+
+    @property
+    def idle_seconds(self) -> float:
+        """Summed lane idle time while waiting for the slowest lane."""
+        crit = self.critical_path
+        return sum(crit - busy for busy in self.thread_busy.values())
+
+
+@dataclasses.dataclass(frozen=True)
+class MergeContention:
+    """Algorithm 8's synchronisation cost, from the merger counters."""
+
+    merges: int = 0
+    lock_acquires: int = 0
+    lock_contended: int = 0
+    splices: int = 0
+    boundary_unions: int = 0
+
+    @property
+    def contention_pct(self) -> float:
+        """Share of lock acquisitions that found the stripe held."""
+        if self.lock_acquires <= 0:
+            return 0.0
+        return 100.0 * self.lock_contended / self.lock_acquires
+
+    @property
+    def has_lock_data(self) -> bool:
+        """False for vectorized/serial merges, which never take locks
+        (the coordinator batch needs no Algorithm-8 locking)."""
+        return self.lock_acquires > 0 or self.merges > 0
+
+    def describe(self) -> str:
+        if not self.has_lock_data:
+            return (
+                f"merge contention: no lock data "
+                f"({self.boundary_unions} boundary unions ran lock-free)"
+            )
+        return (
+            f"merge contention: {self.merges} merges, "
+            f"{self.lock_acquires} lock acquires, "
+            f"{self.lock_contended} contended ({self.contention_pct:.2f}%), "
+            f"{self.splices} splices"
+        )
+
+
+@dataclasses.dataclass(frozen=True)
+class TraceAnalysis:
+    """One trace's full decomposition (see :func:`analyze_spans`)."""
+
+    wall_seconds: float
+    phases: tuple[PhaseStats, ...]
+    serial_seconds: float
+    n_threads: int
+    contention: MergeContention
+    metrics: dict
+
+    @property
+    def parallel_seconds(self) -> float:
+        return self.wall_seconds - self.serial_seconds
+
+    @property
+    def serial_fraction(self) -> float:
+        """Observed serial fraction: wall-clock share with no worker
+        lane busy. An upper bound on Amdahl's *s* for this run."""
+        if self.wall_seconds <= 0:
+            return 0.0
+        return self.serial_seconds / self.wall_seconds
+
+    @property
+    def max_imbalance_pct(self) -> float:
+        return max((p.imbalance_pct for p in self.phases), default=0.0)
+
+    def as_dict(self) -> dict:
+        return {
+            "wall_seconds": self.wall_seconds,
+            "n_threads": self.n_threads,
+            "serial_seconds": self.serial_seconds,
+            "serial_fraction": self.serial_fraction,
+            "phases": [
+                {
+                    "phase": p.phase,
+                    "wall_seconds": p.wall,
+                    "critical_path_seconds": p.critical_path,
+                    "n_threads": p.n_threads,
+                    "imbalance_pct": p.imbalance_pct,
+                    "idle_seconds": p.idle_seconds,
+                    "thread_busy_seconds": dict(p.thread_busy),
+                }
+                for p in self.phases
+            ],
+            "contention": {
+                "merges": self.contention.merges,
+                "lock_acquires": self.contention.lock_acquires,
+                "lock_contended": self.contention.lock_contended,
+                "splices": self.contention.splices,
+                "boundary_unions": self.contention.boundary_unions,
+                "contention_pct": self.contention.contention_pct,
+            },
+        }
+
+    def render(self) -> str:
+        """Human decomposition table."""
+        lines = [
+            f"wall clock      : {self.wall_seconds:.6f} s "
+            f"({self.n_threads} worker lanes)",
+            f"serial fraction : {self.serial_fraction:.1%} observed "
+            f"({self.serial_seconds:.6f} s with no worker lane busy)",
+            self.contention.describe(),
+        ]
+        if self.phases:
+            lines.append("")
+            lines.append(
+                f"{'phase':<10s} {'wall(s)':>10s} {'crit(s)':>10s} "
+                f"{'lanes':>5s} {'imbalance':>9s} {'idle(s)':>10s} "
+                f"{'share':>6s}"
+            )
+            for p in self.phases:
+                share = (
+                    p.wall / self.wall_seconds if self.wall_seconds > 0
+                    else 0.0
+                )
+                lines.append(
+                    f"{p.phase:<10s} {p.wall:>10.6f} "
+                    f"{p.critical_path:>10.6f} {p.n_threads:>5d} "
+                    f"{p.imbalance_pct:>8.1f}% {p.idle_seconds:>10.6f} "
+                    f"{share:>5.1%}"
+                )
+        return "\n".join(lines)
+
+
+def _coverage_seconds(intervals: list[tuple[float, float]]) -> float:
+    """Total length of the union of (possibly overlapping) intervals."""
+    if not intervals:
+        return 0.0
+    intervals.sort()
+    total = 0.0
+    cur_start, cur_stop = intervals[0]
+    for start, stop in intervals[1:]:
+        if start > cur_stop:
+            total += cur_stop - cur_start
+            cur_start, cur_stop = start, stop
+        else:
+            cur_stop = max(cur_stop, stop)
+    total += cur_stop - cur_start
+    return total
+
+
+def trace_thread_count(spans: Sequence[Span], metrics: dict | None = None) -> int:
+    """The trace's worker-team size.
+
+    Prefers the ``paremsp.n_chunks`` gauge (written by
+    :func:`repro.parallel.paremsp.paremsp` under tracing) so a trace
+    file is self-describing; falls back to counting distinct
+    ``thread N`` / ``tile N`` lanes.
+    """
+    if metrics:
+        gauge = metrics.get("gauges", {}).get("paremsp.n_chunks")
+        if gauge:
+            return int(gauge)
+    return len({s.lane for s in spans if _is_work_lane(s.lane)})
+
+
+def analyze_spans(
+    spans: Iterable[Span], metrics: dict | None = None
+) -> TraceAnalysis:
+    """Decompose one trace (see module docstring).
+
+    Accepts any span-likes with ``lane``/``phase``/``start``/``stop``;
+    *metrics* is the ``{"counters": ..., "gauges": ...}`` dict a
+    :class:`~repro.obs.metrics.MetricsRegistry` exports (carried by
+    schema-v2 trace files) and feeds the contention report.
+    """
+    spans = [
+        s if isinstance(s, Span)
+        else Span(s.lane, s.phase, float(s.start), float(s.stop))
+        for s in spans
+    ]
+    metrics = metrics or {}
+    counters = metrics.get("counters", {})
+    contention = MergeContention(
+        merges=int(counters.get("merger.merges", 0)),
+        lock_acquires=int(counters.get("merger.lock_acquires", 0)),
+        lock_contended=int(counters.get("merger.lock_contended", 0)),
+        splices=int(counters.get("merger.splices", 0)),
+        boundary_unions=int(counters.get("unionfind.boundary_unions", 0)),
+    )
+    if not spans:
+        return TraceAnalysis(
+            wall_seconds=0.0,
+            phases=(),
+            serial_seconds=0.0,
+            n_threads=trace_thread_count((), metrics),
+            contention=contention,
+            metrics=metrics,
+        )
+    t0 = min(s.start for s in spans)
+    t1 = max(s.stop for s in spans)
+    wall = t1 - t0
+
+    # Phase order = timeline order (earliest span of each phase).
+    first_start: dict[str, float] = {}
+    for span in spans:
+        if span.phase not in first_start or span.start < first_start[span.phase]:
+            first_start[span.phase] = span.start
+    order = sorted(first_start, key=first_start.__getitem__)
+
+    machine_wall: dict[str, float] = {}
+    envelope: dict[str, tuple[float, float]] = {}
+    busy: dict[str, dict[str, float]] = {p: {} for p in order}
+    for span in spans:
+        if span.lane == "machine":
+            machine_wall[span.phase] = (
+                machine_wall.get(span.phase, 0.0) + span.duration
+            )
+        lo, hi = envelope.get(span.phase, (math.inf, -math.inf))
+        envelope[span.phase] = (min(lo, span.start), max(hi, span.stop))
+        if _is_work_lane(span.lane):
+            lane_busy = busy[span.phase]
+            lane_busy[span.lane] = lane_busy.get(span.lane, 0.0) + span.duration
+
+    phases = tuple(
+        PhaseStats(
+            phase=phase,
+            wall=machine_wall.get(
+                phase, envelope[phase][1] - envelope[phase][0]
+            ),
+            thread_busy=busy[phase],
+        )
+        for phase in order
+    )
+    work_intervals = [
+        (s.start, s.stop) for s in spans if _is_work_lane(s.lane)
+    ]
+    serial = wall - _coverage_seconds(work_intervals)
+    return TraceAnalysis(
+        wall_seconds=wall,
+        phases=phases,
+        serial_seconds=max(0.0, serial),
+        n_threads=trace_thread_count(spans, metrics),
+        contention=contention,
+        metrics=metrics,
+    )
+
+
+def analyze_report(report) -> TraceAnalysis:
+    """Analyze an :class:`~repro.obs.export.ObsReport` (spans+metrics)."""
+    return analyze_spans(report.spans, report.metrics)
+
+
+@dataclasses.dataclass(frozen=True)
+class AmdahlFit:
+    """Least-squares Amdahl model over (thread count, seconds) pairs.
+
+    ``T(n) = t1 * (serial_fraction + (1 - serial_fraction) / n)``.
+    """
+
+    serial_fraction: float
+    t1: float
+    residual: float
+    points: tuple[tuple[int, float], ...]
+
+    @property
+    def max_speedup(self) -> float:
+        """Amdahl ceiling ``1/s`` (inf for a perfectly parallel fit)."""
+        if self.serial_fraction <= 0:
+            return math.inf
+        return 1.0 / self.serial_fraction
+
+    def predict(self, n_threads: int) -> float:
+        s = self.serial_fraction
+        return self.t1 * (s + (1.0 - s) / n_threads)
+
+    def describe(self) -> str:
+        ceiling = (
+            "unbounded" if math.isinf(self.max_speedup)
+            else f"{self.max_speedup:.1f}x"
+        )
+        pts = ", ".join(f"{n}t={t:.4f}s" for n, t in self.points)
+        return (
+            f"Amdahl fit over {len(self.points)} runs ({pts}): "
+            f"serial fraction {self.serial_fraction:.1%}, "
+            f"T1 {self.t1:.4f} s, speedup ceiling {ceiling}"
+        )
+
+
+def amdahl_fit(runs: Mapping[int, float] | Sequence[tuple[int, float]]) -> AmdahlFit:
+    """Fit Amdahl's law to wall times at several thread counts.
+
+    *runs* maps thread count -> seconds (or is a pair sequence). The
+    model ``T(n) = a + b/n`` is linear in ``a = t1*s`` and
+    ``b = t1*(1-s)``, so an exact least-squares solve suffices; the
+    serial fraction is clipped to ``[0, 1]`` (measurement noise can
+    push the raw estimate slightly outside).
+    """
+    import numpy as np
+
+    points = sorted(
+        runs.items() if isinstance(runs, Mapping) else runs
+    )
+    if len(points) < 2:
+        raise ValueError(
+            f"Amdahl fit needs runs at >= 2 distinct thread counts, "
+            f"got {len(points)}"
+        )
+    if len({n for n, _ in points}) < 2:
+        raise ValueError("Amdahl fit needs >= 2 *distinct* thread counts")
+    if any(n < 1 for n, _ in points):
+        raise ValueError("thread counts must be >= 1")
+    n = np.array([float(p[0]) for p in points])
+    t = np.array([float(p[1]) for p in points])
+    design = np.column_stack([np.ones_like(n), 1.0 / n])
+    (a, b), *_ = np.linalg.lstsq(design, t, rcond=None)
+    t1 = float(a + b)
+    s = float(a / t1) if t1 > 0 else 1.0
+    s = min(1.0, max(0.0, s))
+    if s < 1e-12:  # below lstsq round-off: perfectly parallel
+        s = 0.0
+    residual = float(
+        np.sqrt(np.mean((design @ np.array([a, b]) - t) ** 2))
+    )
+    return AmdahlFit(
+        serial_fraction=s,
+        t1=t1,
+        residual=residual,
+        points=tuple((int(p[0]), float(p[1])) for p in points),
+    )

@@ -1,0 +1,160 @@
+"""Chrome trace-event export: make any trace visually inspectable.
+
+Converts the shared span schema (real backends *and* simmachine runs)
+to the Trace Event Format consumed by Perfetto / ``chrome://tracing``
+(JSON object form: ``{"traceEvents": [...]}``). Each span becomes one
+complete ("ph": "X") event with microsecond ``ts``/``dur``; each lane
+becomes a named thread via ``thread_name`` metadata events, ordered
+with the same lane sort the text tables use (``machine`` first, then
+``thread 0..N``). Timestamps are rebased to the trace's start — the
+raw ``perf_counter`` origin is process-boot-relative and would put the
+timeline hours from zero — and the original origin is kept in
+``otherData.t0_seconds`` so :func:`read_chrome_trace` round-trips back
+to the jsonl schema's absolute floats (see the round-trip tests).
+
+Open the output via https://ui.perfetto.dev or ``chrome://tracing``.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Iterable
+
+from .export import TRACE_SCHEMA_VERSION, _lane_sort_key
+from .recorder import Span
+
+__all__ = [
+    "spans_to_chrome",
+    "chrome_to_spans",
+    "write_chrome_trace",
+    "read_chrome_trace",
+]
+
+_PID = 1  # one trace = one process row in the viewer
+
+
+def spans_to_chrome(spans: Iterable, metrics: dict | None = None) -> dict:
+    """Build the trace-event JSON object for *spans*.
+
+    Accepts any span-likes with ``lane``/``phase``/``start``/``stop``
+    (and optionally ``depth``). Metrics ride in ``otherData.metrics``
+    so the viewer's metadata panel shows counters/gauges.
+    """
+    spans = list(spans)
+    lanes = sorted({s.lane for s in spans}, key=_lane_sort_key)
+    tid_of = {lane: i for i, lane in enumerate(lanes)}
+    t0 = min((float(s.start) for s in spans), default=0.0)
+    events: list[dict] = [
+        {
+            "name": "process_name",
+            "ph": "M",
+            "pid": _PID,
+            "tid": 0,
+            "args": {"name": "repro"},
+        }
+    ]
+    for lane in lanes:
+        events.append(
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "pid": _PID,
+                "tid": tid_of[lane],
+                "args": {"name": lane},
+            }
+        )
+        events.append(
+            {
+                "name": "thread_sort_index",
+                "ph": "M",
+                "pid": _PID,
+                "tid": tid_of[lane],
+                "args": {"sort_index": tid_of[lane]},
+            }
+        )
+    for span in spans:
+        start = float(span.start)
+        stop = float(span.stop)
+        event = {
+            "name": span.phase,
+            "cat": "phase",
+            "ph": "X",
+            "ts": (start - t0) * 1e6,
+            "dur": (stop - start) * 1e6,
+            "pid": _PID,
+            "tid": tid_of[span.lane],
+            "args": {"lane": span.lane},
+        }
+        depth = int(getattr(span, "depth", 0) or 0)
+        if depth:
+            event["args"]["depth"] = depth
+        events.append(event)
+    out = {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "schema_version": TRACE_SCHEMA_VERSION,
+            "t0_seconds": t0,
+            "generator": "repro.obs.chrome",
+        },
+    }
+    if metrics is not None:
+        out["otherData"]["metrics"] = {
+            "counters": metrics.get("counters", {}),
+            "gauges": metrics.get("gauges", {}),
+        }
+    return out
+
+
+def chrome_to_spans(obj: dict) -> list[Span]:
+    """Parse a trace-event object back into :class:`Span` records.
+
+    Only complete ("X") events are spans; metadata events rebuild the
+    tid -> lane mapping. ``otherData.t0_seconds`` (written by
+    :func:`spans_to_chrome`) restores the absolute time origin; traces
+    from other producers fall back to a zero origin.
+    """
+    events = obj.get("traceEvents")
+    if not isinstance(events, list):
+        raise ValueError(
+            "not a trace-event object: missing 'traceEvents' list"
+        )
+    t0 = float(obj.get("otherData", {}).get("t0_seconds", 0.0))
+    lane_of_tid: dict[tuple, str] = {}
+    for ev in events:
+        if ev.get("ph") == "M" and ev.get("name") == "thread_name":
+            lane_of_tid[(ev.get("pid"), ev.get("tid"))] = ev["args"]["name"]
+    spans: list[Span] = []
+    for ev in events:
+        if ev.get("ph") != "X":
+            continue
+        args = ev.get("args", {})
+        lane = args.get("lane") or lane_of_tid.get(
+            (ev.get("pid"), ev.get("tid")), f"tid {ev.get('tid')}"
+        )
+        start = t0 + float(ev["ts"]) / 1e6
+        spans.append(
+            Span(
+                lane=lane,
+                phase=ev["name"],
+                start=start,
+                stop=start + float(ev.get("dur", 0.0)) / 1e6,
+                depth=int(args.get("depth", 0)),
+            )
+        )
+    return spans
+
+
+def write_chrome_trace(spans: Iterable, path, metrics: dict | None = None) -> None:
+    """Write *spans* as a ``chrome://tracing``-loadable JSON file."""
+    with open(path, "w") as fh:
+        json.dump(spans_to_chrome(spans, metrics=metrics), fh, indent=1)
+        fh.write("\n")
+
+
+def read_chrome_trace(path) -> tuple[list[Span], dict | None]:
+    """Load a chrome-trace file back: ``(spans, metrics-or-None)``."""
+    with open(path) as fh:
+        obj = json.load(fh)
+    metrics = obj.get("otherData", {}).get("metrics")
+    return chrome_to_spans(obj), metrics

@@ -1,0 +1,330 @@
+"""``repro-obs`` — interrogate traces and the perf history from the shell.
+
+Four subcommands turn the observability layer's raw material into
+answers::
+
+    repro-obs analyze trace.jsonl            # speedup decomposition
+    repro-obs analyze t1.jsonl t4.jsonl ...  # + Amdahl fit across runs
+    repro-obs analyze --sim 512 --threads 8  # simmachine trace, no file
+    repro-obs export-chrome trace.jsonl -o trace.json   # chrome://tracing
+    repro-obs history --dir benchmarks/history          # list records
+    repro-obs compare baseline.json new.json            # regression gate
+
+``compare`` exits nonzero on regression; ``--warn-only`` keeps soft
+regressions advisory (shared CI runners) while per-phase blowups past
+``--hard-threshold`` stay fatal.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+
+from .analyze import amdahl_fit, analyze_spans, trace_thread_count
+from .chrome import write_chrome_trace
+from .export import read_trace
+
+__all__ = ["main", "build_parser"]
+
+#: default on-disk history location (matches repro.perfdb.record).
+DEFAULT_HISTORY_DIR = "benchmarks/history"
+
+
+def _sim_trace(size: int, n_threads: int, seed: int):
+    """Simulate a PAREMSP run on a blob raster; return (spans, metrics)."""
+    from ..data.synthetic import blobs
+    from ..simmachine.machine import simulate_paremsp
+    from ..simmachine.trace import sim_metrics
+    from .export import sim_trace_spans
+
+    sim = simulate_paremsp(
+        blobs((size, size), 0.6, 5, seed=seed), n_threads=n_threads
+    )
+    return sim_trace_spans(sim), sim_metrics(sim)
+
+
+def _load_traces(args) -> list[tuple[str, list, dict | None]]:
+    """Resolve the analyze/export sources: files and/or --sim."""
+    sources: list[tuple[str, list, dict | None]] = []
+    for path in args.traces:
+        trace = read_trace(path)
+        if trace.truncated:
+            print(
+                f"note: {path} ended mid-line; dropped the partial "
+                "record (crash-truncated trace)",
+                file=sys.stderr,
+            )
+        sources.append((path, list(trace.spans), trace.metrics))
+    if args.sim is not None:
+        spans, metrics = _sim_trace(args.sim, args.threads, args.seed)
+        sources.append(
+            (f"<sim {args.sim}x{args.sim}, {args.threads} threads>",
+             spans, metrics),
+        )
+    if not sources:
+        raise SystemExit("error: give trace files and/or --sim SIZE")
+    return sources
+
+
+def _cmd_analyze(args) -> int:
+    sources = _load_traces(args)
+    analyses = [
+        (name, analyze_spans(spans, metrics))
+        for name, spans, metrics in sources
+    ]
+    fit = None
+    by_threads = {a.n_threads: a.wall_seconds for _, a in analyses
+                  if a.n_threads >= 1 and a.wall_seconds > 0}
+    if len(by_threads) >= 2:
+        fit = amdahl_fit(by_threads)
+    if args.json:
+        out = {
+            "traces": [
+                {"trace": name, **a.as_dict()} for name, a in analyses
+            ],
+        }
+        if fit is not None:
+            out["amdahl"] = {
+                "serial_fraction": fit.serial_fraction,
+                "t1_seconds": fit.t1,
+                "max_speedup": (
+                    None if fit.max_speedup == float("inf")
+                    else fit.max_speedup
+                ),
+                "residual": fit.residual,
+                "points": [list(p) for p in fit.points],
+            }
+        print(json.dumps(out, indent=2))
+        return 0
+    for name, analysis in analyses:
+        print(f"== {name}")
+        print(analysis.render())
+        print()
+    if fit is not None:
+        print(fit.describe())
+    elif len(analyses) > 1:
+        print(
+            "(no Amdahl fit: the traces do not span >= 2 distinct "
+            "thread counts)"
+        )
+    return 0
+
+
+def _cmd_export_chrome(args) -> int:
+    sources = _load_traces(args)
+    out = args.out
+    if out is None:
+        if args.traces:
+            out = str(pathlib.Path(args.traces[0]).with_suffix("")) + \
+                "_chrome.json"
+        else:
+            out = "trace_chrome.json"
+    if len(sources) > 1:
+        raise SystemExit(
+            "error: export-chrome takes exactly one source "
+            "(one trace file or --sim)"
+        )
+    _, spans, metrics = sources[0]
+    write_chrome_trace(spans, out, metrics=metrics)
+    print(
+        f"chrome trace -> {out} ({len(spans)} spans; open in "
+        "https://ui.perfetto.dev or chrome://tracing)"
+    )
+    return 0
+
+
+def _cmd_history(args) -> int:
+    from ..perfdb import list_records
+
+    records = list_records(args.dir, benchmark=args.benchmark)
+    if args.show:
+        from ..perfdb import load_record
+
+        record = load_record(args.show)
+        print(json.dumps(record, indent=2))
+        return 0
+    if not records:
+        print(f"(no perf records under {args.dir})")
+        return 0
+    print(
+        f"{'created (UTC)':<21s} {'benchmark':<16s} {'median':>10s} "
+        f"{'ci95':>23s} {'reps':>4s} {'sha':>8s}  path"
+    )
+    for path, record in records:
+        total = record["total"]
+        lo, hi = total["ci95"]
+        sha = (record.get("env") or {}).get("git_sha") or "-"
+        print(
+            f"{record['created_utc']:<21s} {record['benchmark']:<16s} "
+            f"{total['median']:>9.4f}s "
+            f"[{lo:>9.4f}, {hi:>9.4f}] {len(total['reps']):>4d} "
+            f"{sha[:8]:>8s}  {path}"
+        )
+    return 0
+
+
+def _cmd_compare(args) -> int:
+    from ..perfdb import compare_records, latest_record, load_record
+
+    new_path = args.new
+    if new_path is None:
+        latest = latest_record(args.dir, benchmark=args.benchmark)
+        if latest is None:
+            raise SystemExit(
+                f"error: no records under {args.dir} to compare; run the "
+                "bench with --history first"
+            )
+        new_path = latest[0]
+    baseline_path = args.baseline
+    if baseline_path is None:
+        raise SystemExit(
+            "error: give a baseline record (positional) — e.g. the "
+            "committed benchmarks/history/baseline.json"
+        )
+    baseline = load_record(baseline_path)
+    new = load_record(new_path)
+    if baseline_path == new_path:
+        print(f"note: comparing {new_path} against itself", file=sys.stderr)
+    comparison = compare_records(
+        baseline,
+        new,
+        threshold=args.threshold,
+        phase_threshold=args.phase_threshold,
+        hard_threshold=args.hard_threshold,
+        baseline_path=baseline_path,
+        new_path=new_path,
+    )
+    if args.json:
+        print(json.dumps(comparison.as_dict(), indent=2))
+    else:
+        print(comparison.render())
+    if comparison.ok:
+        return 0
+    if args.warn_only and not comparison.has_hard:
+        print(
+            "warn-only: regressions reported but not fatal "
+            "(no phase crossed the hard threshold)"
+        )
+        return 0
+    return 1
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-obs",
+        description=(
+            "Analyze traces and gate performance history for the "
+            "PAREMSP reproduction"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_trace_sources(p) -> None:
+        p.add_argument(
+            "traces",
+            nargs="*",
+            help="trace.jsonl files (schema v1 or v2)",
+        )
+        p.add_argument(
+            "--sim",
+            type=int,
+            metavar="SIZE",
+            default=None,
+            help="also analyze a simulated SIZExSIZE PAREMSP run "
+            "(cost-model trace via sim_trace_spans)",
+        )
+        p.add_argument("--threads", type=int, default=4,
+                       help="thread count for --sim (default 4)")
+        p.add_argument("--seed", type=int, default=0,
+                       help="raster seed for --sim")
+
+    p_analyze = sub.add_parser(
+        "analyze",
+        help="speedup decomposition: serial fraction, imbalance, "
+        "idle time, merge contention; Amdahl fit across >= 2 traces",
+    )
+    add_trace_sources(p_analyze)
+    p_analyze.add_argument("--json", action="store_true",
+                           help="machine-readable output")
+    p_analyze.set_defaults(fn=_cmd_analyze)
+
+    p_chrome = sub.add_parser(
+        "export-chrome",
+        help="convert a trace to Perfetto/chrome://tracing JSON",
+    )
+    add_trace_sources(p_chrome)
+    p_chrome.add_argument("-o", "--out", default=None,
+                          help="output path (default <trace>_chrome.json)")
+    p_chrome.set_defaults(fn=_cmd_export_chrome)
+
+    p_history = sub.add_parser(
+        "history", help="list perf-history records"
+    )
+    p_history.add_argument("--dir", default=DEFAULT_HISTORY_DIR)
+    p_history.add_argument("--benchmark", default=None,
+                           help="filter by benchmark name")
+    p_history.add_argument("--show", metavar="PATH", default=None,
+                           help="print one record as JSON")
+    p_history.set_defaults(fn=_cmd_history)
+
+    p_compare = sub.add_parser(
+        "compare",
+        help="diff two history records; exit 1 on regression",
+    )
+    p_compare.add_argument(
+        "baseline",
+        nargs="?",
+        default=None,
+        help="baseline record (e.g. committed "
+        "benchmarks/history/baseline.json)",
+    )
+    p_compare.add_argument(
+        "new",
+        nargs="?",
+        default=None,
+        help="new record (default: latest under --dir)",
+    )
+    p_compare.add_argument("--dir", default=DEFAULT_HISTORY_DIR)
+    p_compare.add_argument("--benchmark", default=None)
+    p_compare.add_argument(
+        "--threshold", type=float, default=0.25,
+        help="relative total-median movement to flag (default 0.25)",
+    )
+    p_compare.add_argument(
+        "--phase-threshold", type=float, default=0.50,
+        help="relative per-phase movement to flag (default 0.50)",
+    )
+    p_compare.add_argument(
+        "--hard-threshold", type=float, default=3.0,
+        help="ratio past which a regression stays fatal even with "
+        "--warn-only (default 3.0)",
+    )
+    p_compare.add_argument(
+        "--warn-only", action="store_true",
+        help="report soft regressions without failing (shared CI "
+        "runners); hard regressions still exit 1",
+    )
+    p_compare.add_argument("--json", action="store_true",
+                           help="machine-readable output")
+    p_compare.set_defaults(fn=_cmd_compare)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return args.fn(args)
+    except BrokenPipeError:
+        # downstream closed the pipe (analyze | head); not an error.
+        # Point stdout at devnull so interpreter teardown's flush
+        # doesn't raise a second time.
+        import os
+
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,10 +1,18 @@
 """Exporters: JSON reports, ``trace.jsonl`` span files, human tables.
 
 The on-disk span schema is shared between real and simulated runs.
-Every ``trace.jsonl`` line is one span object carrying at least
-:data:`SPAN_FIELDS` (``lane``, ``phase``, ``start``, ``stop``); extra
-keys (``depth``) are allowed and ignored by consumers that don't know
-them. :func:`sim_trace_spans` adapts a simulated run
+A ``trace.jsonl`` file opens with a header line carrying an explicit
+``schema_version`` (:data:`TRACE_SCHEMA_VERSION`); every following span
+line is one JSON object carrying at least :data:`SPAN_FIELDS`
+(``lane``, ``phase``, ``start``, ``stop``); extra keys (``depth``) are
+allowed and ignored by consumers that don't know them. A file may close
+with one ``{"kind": "metrics", ...}`` line holding the run's counters
+and gauges, which is how LockStripedMerger contention and the
+``paremsp.*`` run-shape gauges travel alongside the spans into
+:mod:`repro.obs.analyze`. Version-1 files (bare span lines, no header)
+still read back unchanged, as do files with a truncated final line
+(the writer may have died mid-record; a partial trace is still a
+trace). :func:`sim_trace_spans` adapts a simulated run
 (:class:`repro.simmachine.machine.SimResult`) to the same schema via
 :func:`repro.simmachine.trace.build_trace`, which is what lets a real
 ``threads``/``processes`` trace be diffed line-for-line against the
@@ -21,8 +29,11 @@ from .recorder import Span
 
 __all__ = [
     "SPAN_FIELDS",
+    "TRACE_SCHEMA_VERSION",
+    "TraceFile",
     "span_to_dict",
     "write_trace_jsonl",
+    "read_trace",
     "read_trace_jsonl",
     "sim_trace_spans",
     "ObsReport",
@@ -32,6 +43,10 @@ __all__ = [
 
 #: keys every trace.jsonl span object must carry (simulated and real).
 SPAN_FIELDS = ("lane", "phase", "start", "stop")
+
+#: current trace.jsonl schema: 2 = header line + optional metrics line.
+#: Version 1 (bare span lines only) is still accepted on read.
+TRACE_SCHEMA_VERSION = 2
 
 
 def span_to_dict(span) -> dict:
@@ -50,37 +65,122 @@ def span_to_dict(span) -> dict:
     return out
 
 
-def write_trace_jsonl(spans: Iterable, path) -> None:
-    """Write spans as one JSON object per line (``trace.jsonl``)."""
+def write_trace_jsonl(spans: Iterable, path, metrics: dict | None = None) -> None:
+    """Write spans as one JSON object per line (``trace.jsonl``).
+
+    The first line is a ``schema_version`` header; when *metrics* is
+    given (the ``{"counters": ..., "gauges": ...}`` shape of
+    :meth:`~repro.obs.metrics.MetricsRegistry.as_dict`) it lands as a
+    final ``{"kind": "metrics"}`` line so the analyzer can reconstruct
+    contention and run-shape facts from the file alone.
+    """
     with open(path, "w") as fh:
+        fh.write(
+            json.dumps(
+                {"kind": "header", "schema_version": TRACE_SCHEMA_VERSION}
+            )
+            + "\n"
+        )
         for span in spans:
             fh.write(json.dumps(span_to_dict(span)) + "\n")
+        if metrics is not None:
+            fh.write(
+                json.dumps(
+                    {
+                        "kind": "metrics",
+                        "counters": metrics.get("counters", {}),
+                        "gauges": metrics.get("gauges", {}),
+                    }
+                )
+                + "\n"
+            )
+
+
+@dataclasses.dataclass(frozen=True)
+class TraceFile:
+    """A parsed ``trace.jsonl``: spans plus whatever rode along.
+
+    ``schema_version`` is 1 for headerless legacy files; ``metrics`` is
+    ``None`` when the file carried no metrics line; ``truncated`` is
+    ``True`` when an unparseable final line was dropped (the writer
+    died mid-record — the remaining spans are intact).
+    """
+
+    spans: tuple[Span, ...]
+    metrics: dict | None = None
+    schema_version: int = 1
+    truncated: bool = False
+
+
+def read_trace(path) -> TraceFile:
+    """Parse a ``trace.jsonl`` tolerantly.
+
+    Unknown keys on span lines and unknown ``kind`` lines are ignored
+    (forward compatibility); a final line that fails to parse as JSON is
+    dropped and flagged via :attr:`TraceFile.truncated` (crash-safe
+    partial traces). A malformed line *before* the end of the file is
+    still an error — that is corruption, not truncation.
+    """
+    spans: list[Span] = []
+    metrics: dict | None = None
+    schema_version = 1
+    truncated = False
+    with open(path) as fh:
+        lines = [ln.strip() for ln in fh]
+    lines = [ln for ln in lines if ln]
+    for i, line in enumerate(lines):
+        try:
+            obj = json.loads(line)
+        except json.JSONDecodeError:
+            if i == len(lines) - 1:
+                truncated = True
+                break
+            raise ValueError(
+                f"{path}: malformed trace line {i + 1}: {line[:80]!r}"
+            ) from None
+        if not isinstance(obj, dict):
+            raise ValueError(
+                f"{path}: trace line {i + 1} is not an object: {line[:80]!r}"
+            )
+        kind = obj.get("kind")
+        if kind is not None or "schema_version" in obj:
+            if kind == "header" or (kind is None and "schema_version" in obj):
+                schema_version = int(
+                    obj.get("schema_version", TRACE_SCHEMA_VERSION)
+                )
+            elif kind == "metrics":
+                metrics = {
+                    "counters": dict(obj.get("counters", {})),
+                    "gauges": dict(obj.get("gauges", {})),
+                }
+            # any other kind: a future record type — skip it.
+            continue
+        missing = [k for k in SPAN_FIELDS if k not in obj]
+        if missing:
+            raise ValueError(
+                f"trace line missing span fields {missing}: {obj!r}"
+            )
+        spans.append(
+            Span(
+                lane=obj["lane"],
+                phase=obj["phase"],
+                start=float(obj["start"]),
+                stop=float(obj["stop"]),
+                depth=int(obj.get("depth", 0)),
+            )
+        )
+    return TraceFile(
+        spans=tuple(spans),
+        metrics=metrics,
+        schema_version=schema_version,
+        truncated=truncated,
+    )
 
 
 def read_trace_jsonl(path) -> list[Span]:
-    """Load a ``trace.jsonl`` back into :class:`Span` records."""
-    spans: list[Span] = []
-    with open(path) as fh:
-        for line in fh:
-            line = line.strip()
-            if not line:
-                continue
-            obj = json.loads(line)
-            missing = [k for k in SPAN_FIELDS if k not in obj]
-            if missing:
-                raise ValueError(
-                    f"trace line missing span fields {missing}: {obj!r}"
-                )
-            spans.append(
-                Span(
-                    lane=obj["lane"],
-                    phase=obj["phase"],
-                    start=float(obj["start"]),
-                    stop=float(obj["stop"]),
-                    depth=int(obj.get("depth", 0)),
-                )
-            )
-    return spans
+    """Load a ``trace.jsonl`` back into :class:`Span` records
+    (spans only — :func:`read_trace` also surfaces metrics/version)."""
+    return list(read_trace(path).spans)
 
 
 def sim_trace_spans(sim) -> list[Span]:

@@ -138,6 +138,12 @@ class ThreadBackend:
                 rec.count("threads.boundary_edges", len(edges))
             return {"boundary_unions": ops}
         merger = LockStripedMerger(p, recorder=rec)
+        if rec.enabled:
+            # stripe count contextualises the contention counters: the
+            # contended rate only means something relative to how many
+            # stripes the acquisitions were spread over.
+            rec.gauge("merger.stripes", float(merger.n_stripes))
+            rec.count("merger.seam_rows", len(seams))
 
         def union(pp: MutableSequence[int], x: int, y: int) -> int:
             return merger.merge(x, y)

@@ -184,10 +184,16 @@ def paremsp(
             # replay the model timeline into the recorder so simulated
             # and real runs flow through the same exporters.
             from ..obs import sim_trace_spans
+            from ..simmachine.trace import sim_metrics
 
             mark = rec.mark()
             for span in sim_trace_spans(sim):
                 rec.add_span(span.lane, span.phase, span.start, span.stop)
+            model_metrics = sim_metrics(sim)
+            for name, value in model_metrics["counters"].items():
+                rec.count(name, int(value))
+            for name, value in model_metrics["gauges"].items():
+                rec.gauge(name, value)
             result.timings = rec.report(since=mark)
         return result
 
@@ -242,6 +248,12 @@ def paremsp(
         rec.count(
             "unionfind.boundary_unions", bound_meta.get("boundary_unions", 0)
         )
+        # run-shape gauges make an exported trace self-describing: the
+        # analyzer reads the team size from the file instead of
+        # guessing it from lane names.
+        rec.gauge("paremsp.n_threads", float(n_threads))
+        rec.gauge("paremsp.n_chunks", float(len(chunks)))
+        rec.gauge("paremsp.pixels", float(img.size))
     meta.update(scan_meta)
     meta.update(bound_meta)
     meta["label_ranges"] = ranges

@@ -1,0 +1,46 @@
+"""``repro.perfdb`` — append-only performance history with a gate.
+
+Performance work needs memory *and* teeth. The bench harnesses measure;
+this package remembers and judges:
+
+* :mod:`repro.perfdb.record` — turn repeated measurements into one
+  JSON record (median + bootstrap confidence interval per phase) with
+  an environment fingerprint (git sha, python/numpy versions, CPU,
+  thread count), stored append-only under ``benchmarks/history/``:
+  every run is a new file, nothing is ever rewritten;
+* :mod:`repro.perfdb.compare` — diff two records with per-phase
+  thresholds; the ``repro-obs compare`` CLI exits nonzero on
+  regression, which is the CI perf gate (warn-only on shared runners,
+  hard-fail on per-phase blowups past the hard threshold).
+
+The existing :mod:`repro.bench.history` snapshots *rendered report
+tables* (the paper-artefact diff workflow); perfdb records raw
+repetition vectors, which is what confidence intervals and per-phase
+gates need.
+"""
+
+from .compare import Comparison, Regression, compare_records
+from .record import (
+    RECORD_SCHEMA_VERSION,
+    append_record,
+    bootstrap_ci,
+    build_record,
+    environment_fingerprint,
+    latest_record,
+    list_records,
+    load_record,
+)
+
+__all__ = [
+    "RECORD_SCHEMA_VERSION",
+    "environment_fingerprint",
+    "bootstrap_ci",
+    "build_record",
+    "append_record",
+    "load_record",
+    "list_records",
+    "latest_record",
+    "Regression",
+    "Comparison",
+    "compare_records",
+]

@@ -1,0 +1,206 @@
+"""Record comparison: the regression gate's judgement logic.
+
+Two records are compared median-to-median, total and per phase.
+A movement past ``threshold`` (total) / ``phase_threshold`` (per
+phase) is a **regression**; past ``hard_threshold`` (default 3x) it
+is a **hard** regression — the kind that stays fatal even in the
+warn-only mode CI uses on shared runners, because no amount of noisy
+-neighbour scheduling makes a phase 3x slower on its own.
+
+Bootstrap CIs stored in the records soften the verdict: when the two
+medians' confidence intervals overlap, the movement is flagged as
+``within_noise`` and does not count toward the exit status (it is
+still listed, because a consistent drift of within-noise movements is
+worth eyeballing).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Mapping
+
+__all__ = ["Regression", "Comparison", "compare_records"]
+
+
+@dataclasses.dataclass(frozen=True)
+class Regression:
+    """One metric that moved between two records."""
+
+    name: str  # "total" or "phase:<name>"
+    baseline: float
+    new: float
+    threshold: float
+    hard: bool = False
+    within_noise: bool = False
+
+    @property
+    def ratio(self) -> float:
+        return self.new / self.baseline if self.baseline > 0 else float("inf")
+
+    @property
+    def is_regression(self) -> bool:
+        return self.new > self.baseline
+
+    def describe(self) -> str:
+        direction = "slower" if self.is_regression else "faster"
+        qualifier = ""
+        if self.hard:
+            qualifier = " [HARD]"
+        elif self.within_noise:
+            qualifier = " [within CI noise]"
+        return (
+            f"{self.name}: {self.baseline:.6f}s -> {self.new:.6f}s "
+            f"({self.ratio:.2f}x, {direction}, threshold "
+            f"{1 + self.threshold:.2f}x){qualifier}"
+        )
+
+
+@dataclasses.dataclass
+class Comparison:
+    """Outcome of one baseline-vs-new diff."""
+
+    baseline_path: str
+    new_path: str
+    regressions: list[Regression]
+    improvements: list[Regression]
+
+    @property
+    def counted_regressions(self) -> list[Regression]:
+        """Regressions that count toward the exit status (hard ones
+        always count; soft ones only when outside CI noise)."""
+        return [
+            r for r in self.regressions if r.hard or not r.within_noise
+        ]
+
+    @property
+    def ok(self) -> bool:
+        return not self.counted_regressions
+
+    @property
+    def has_hard(self) -> bool:
+        return any(r.hard for r in self.regressions)
+
+    def render(self) -> str:
+        lines = [f"baseline: {self.baseline_path}", f"new:      {self.new_path}"]
+        if not self.regressions and not self.improvements:
+            lines.append("no metric moved past its threshold")
+        for reg in self.regressions:
+            lines.append(f"REGRESSION  {reg.describe()}")
+        for imp in self.improvements:
+            lines.append(f"improvement {imp.describe()}")
+        lines.append(
+            "verdict: "
+            + ("ok" if self.ok else
+               "REGRESSED" + (" (hard)" if self.has_hard else ""))
+        )
+        return "\n".join(lines)
+
+    def as_dict(self) -> dict[str, Any]:
+        def one(r: Regression) -> dict[str, Any]:
+            return {
+                "name": r.name,
+                "baseline": r.baseline,
+                "new": r.new,
+                "ratio": r.ratio,
+                "threshold": r.threshold,
+                "hard": r.hard,
+                "within_noise": r.within_noise,
+            }
+
+        return {
+            "baseline": self.baseline_path,
+            "new": self.new_path,
+            "ok": self.ok,
+            "has_hard": self.has_hard,
+            "regressions": [one(r) for r in self.regressions],
+            "improvements": [one(r) for r in self.improvements],
+        }
+
+
+def _ci(summary: Mapping[str, Any]) -> tuple[float, float] | None:
+    ci = summary.get("ci95")
+    if isinstance(ci, (list, tuple)) and len(ci) == 2:
+        return float(ci[0]), float(ci[1])
+    return None
+
+
+def _judge(
+    name: str,
+    old_summary: Mapping[str, Any],
+    new_summary: Mapping[str, Any],
+    threshold: float,
+    hard_threshold: float,
+) -> Regression | None:
+    old = float(old_summary["median"])
+    new = float(new_summary["median"])
+    if old <= 0:
+        return None
+    ratio = new / old
+    if abs(ratio - 1.0) <= threshold:
+        return None
+    old_ci, new_ci = _ci(old_summary), _ci(new_summary)
+    within_noise = bool(
+        old_ci and new_ci
+        and new_ci[0] <= old_ci[1] and old_ci[0] <= new_ci[1]
+    )
+    return Regression(
+        name=name,
+        baseline=old,
+        new=new,
+        threshold=threshold,
+        hard=ratio > hard_threshold,
+        within_noise=within_noise,
+    )
+
+
+def compare_records(
+    baseline: Mapping[str, Any],
+    new: Mapping[str, Any],
+    threshold: float = 0.25,
+    phase_threshold: float = 0.50,
+    hard_threshold: float = 3.0,
+    baseline_path: str = "<baseline>",
+    new_path: str = "<new>",
+) -> Comparison:
+    """Diff two perfdb records (see module docstring for semantics).
+
+    Thresholds are *relative* movements: ``threshold=0.25`` flags a
+    total-median change past 1.25x (or below 0.75x, reported as an
+    improvement). Phases present in only one record are ignored — a
+    renamed phase should be re-baselined, not silently diffed.
+    """
+    if baseline.get("benchmark") != new.get("benchmark"):
+        raise ValueError(
+            f"comparing different benchmarks: "
+            f"{baseline.get('benchmark')!r} vs {new.get('benchmark')!r}"
+        )
+    regressions: list[Regression] = []
+    improvements: list[Regression] = []
+
+    def sort_in(move: Regression | None) -> None:
+        if move is None:
+            return
+        (regressions if move.is_regression else improvements).append(move)
+
+    sort_in(
+        _judge("total", baseline["total"], new["total"], threshold,
+               hard_threshold)
+    )
+    old_phases = baseline.get("phases", {})
+    new_phases = new.get("phases", {})
+    for name in sorted(set(old_phases) & set(new_phases)):
+        sort_in(
+            _judge(
+                f"phase:{name}",
+                old_phases[name],
+                new_phases[name],
+                phase_threshold,
+                hard_threshold,
+            )
+        )
+    return Comparison(
+        baseline_path=baseline_path,
+        new_path=new_path,
+        regressions=regressions,
+        improvements=improvements,
+    )

@@ -1,0 +1,247 @@
+"""Perf-history records: median + bootstrap CI + environment fingerprint.
+
+One record = one benchmark run (N repetitions after warmup). Records
+are stored append-only: :func:`append_record` always creates a new
+file named ``<benchmark>-<utc stamp>-<sha>.json`` (uniquified if
+needed) and never rewrites an existing one, so ``benchmarks/history/``
+is a log you can bisect, not a mutable cache.
+
+The summary statistic is the **median** (robust to the occasional
+scheduler hiccup that poisons a mean) with a percentile-bootstrap
+confidence interval, so a compare can tell "noise" from "moved".
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import subprocess
+import time
+from typing import Any, Mapping, Sequence, Union
+
+__all__ = [
+    "RECORD_SCHEMA_VERSION",
+    "DEFAULT_HISTORY_DIR",
+    "environment_fingerprint",
+    "bootstrap_ci",
+    "median",
+    "build_record",
+    "record_filename",
+    "append_record",
+    "load_record",
+    "list_records",
+    "latest_record",
+]
+
+PathLike = Union[str, os.PathLike]
+
+#: record schema; bump on breaking layout changes.
+RECORD_SCHEMA_VERSION = 1
+
+#: where the repo keeps its committed history (relative to the cwd).
+DEFAULT_HISTORY_DIR = os.path.join("benchmarks", "history")
+
+
+def _git_sha() -> str | None:
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            capture_output=True,
+            text=True,
+            timeout=10,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return None
+    sha = out.stdout.strip()
+    return sha if out.returncode == 0 and sha else None
+
+
+def environment_fingerprint(n_threads: int | None = None) -> dict[str, Any]:
+    """What produced this measurement: code, interpreter, machine.
+
+    Everything a future reader needs to decide whether two records are
+    comparable at all. Fields are best-effort: ``git_sha`` is ``None``
+    outside a work tree rather than an error.
+    """
+    import numpy
+
+    return {
+        "git_sha": _git_sha(),
+        "python": platform.python_version(),
+        "numpy": numpy.__version__,
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "processor": platform.processor() or None,
+        "cpu_count": os.cpu_count(),
+        "n_threads": n_threads,
+    }
+
+
+def median(values: Sequence[float]) -> float:
+    """Plain median (no numpy needed at call sites)."""
+    if not values:
+        raise ValueError("median of an empty sequence")
+    ordered = sorted(values)
+    n = len(ordered)
+    mid = n // 2
+    if n % 2:
+        return float(ordered[mid])
+    return (ordered[mid - 1] + ordered[mid]) / 2.0
+
+
+def bootstrap_ci(
+    values: Sequence[float],
+    confidence: float = 0.95,
+    n_boot: int = 2000,
+    seed: int = 0,
+) -> tuple[float, float]:
+    """Percentile-bootstrap CI of the median of *values*.
+
+    Deterministic (seeded) so re-summarising a record reproduces the
+    stored interval. With a single repetition the interval collapses to
+    the point — honest, if useless, which is the right incentive to run
+    more repetitions.
+    """
+    import numpy as np
+
+    if not values:
+        raise ValueError("bootstrap_ci of an empty sequence")
+    if not 0.0 < confidence < 1.0:
+        raise ValueError(f"confidence must be in (0, 1), got {confidence}")
+    arr = np.asarray(values, dtype=float)
+    if arr.size == 1:
+        return float(arr[0]), float(arr[0])
+    rng = np.random.default_rng(seed)
+    samples = rng.choice(arr, size=(n_boot, arr.size), replace=True)
+    medians = np.median(samples, axis=1)
+    alpha = (1.0 - confidence) / 2.0
+    lo, hi = np.quantile(medians, [alpha, 1.0 - alpha])
+    return float(lo), float(hi)
+
+
+def _summary(values: Sequence[float]) -> dict[str, Any]:
+    lo, hi = bootstrap_ci(values)
+    return {
+        "reps": [float(v) for v in values],
+        "median": median(values),
+        "ci95": [lo, hi],
+    }
+
+
+def build_record(
+    benchmark: str,
+    reps: Sequence[float],
+    phases: Mapping[str, Sequence[float]] | None = None,
+    warmup: int = 0,
+    meta: Mapping[str, Any] | None = None,
+    env: Mapping[str, Any] | None = None,
+    created: float | None = None,
+) -> dict[str, Any]:
+    """Assemble one history record from raw repetition vectors.
+
+    *reps* are total wall seconds per repetition; *phases* maps phase
+    name -> per-repetition seconds (same length). *created* is a unix
+    timestamp (defaults to now).
+    """
+    if not reps:
+        raise ValueError("a record needs at least one repetition")
+    phases = phases or {}
+    for name, values in phases.items():
+        if len(values) != len(reps):
+            raise ValueError(
+                f"phase {name!r} has {len(values)} reps, total has "
+                f"{len(reps)}"
+            )
+    created = time.time() if created is None else float(created)
+    return {
+        "schema_version": RECORD_SCHEMA_VERSION,
+        "benchmark": benchmark,
+        "created": created,
+        "created_utc": time.strftime(
+            "%Y-%m-%dT%H:%M:%SZ", time.gmtime(created)
+        ),
+        "warmup": int(warmup),
+        "total": _summary(reps),
+        "phases": {name: _summary(values) for name, values in phases.items()},
+        "env": dict(env) if env is not None else environment_fingerprint(),
+        "meta": dict(meta) if meta else {},
+    }
+
+
+def record_filename(record: Mapping[str, Any]) -> str:
+    """Canonical file name: benchmark, UTC stamp, short sha."""
+    stamp = time.strftime(
+        "%Y%m%dT%H%M%SZ", time.gmtime(float(record["created"]))
+    )
+    sha = (record.get("env") or {}).get("git_sha") or "nogit"
+    return f"{record['benchmark']}-{stamp}-{sha[:7]}.json"
+
+
+def append_record(record: Mapping[str, Any], directory: PathLike) -> str:
+    """Write *record* as a brand-new file under *directory*.
+
+    Append-only by construction: an existing name gets a ``-N``
+    suffix instead of being overwritten. Returns the path written.
+    """
+    directory = os.fspath(directory)
+    os.makedirs(directory, exist_ok=True)
+    base = record_filename(record)
+    stem, ext = os.path.splitext(base)
+    path = os.path.join(directory, base)
+    n = 1
+    while os.path.exists(path):
+        path = os.path.join(directory, f"{stem}-{n}{ext}")
+        n += 1
+    with open(path, "w") as fh:
+        json.dump(record, fh, indent=2)
+        fh.write("\n")
+    return path
+
+
+def load_record(path: PathLike) -> dict[str, Any]:
+    """Load one record; validates the schema version."""
+    with open(path) as fh:
+        record = json.load(fh)
+    version = record.get("schema_version")
+    if version != RECORD_SCHEMA_VERSION:
+        raise ValueError(
+            f"{os.fspath(path)}: unsupported perfdb record schema "
+            f"{version!r} (expected {RECORD_SCHEMA_VERSION})"
+        )
+    return record
+
+
+def list_records(
+    directory: PathLike, benchmark: str | None = None
+) -> list[tuple[str, dict[str, Any]]]:
+    """All ``(path, record)`` pairs under *directory*, oldest first.
+
+    Non-record JSON files are skipped silently (the directory may hold
+    a committed baseline with other provenance).
+    """
+    directory = os.fspath(directory)
+    if not os.path.isdir(directory):
+        return []
+    out: list[tuple[str, dict[str, Any]]] = []
+    for name in sorted(os.listdir(directory)):
+        if not name.endswith(".json"):
+            continue
+        path = os.path.join(directory, name)
+        try:
+            record = load_record(path)
+        except (ValueError, json.JSONDecodeError, OSError):
+            continue
+        if benchmark is not None and record.get("benchmark") != benchmark:
+            continue
+        out.append((path, record))
+    out.sort(key=lambda pr: float(pr[1].get("created", 0.0)))
+    return out
+
+
+def latest_record(
+    directory: PathLike, benchmark: str | None = None
+) -> tuple[str, dict[str, Any]] | None:
+    """Newest ``(path, record)`` under *directory*, or ``None``."""
+    records = list_records(directory, benchmark=benchmark)
+    return records[-1] if records else None

@@ -15,7 +15,7 @@ import dataclasses
 
 from .machine import SimResult
 
-__all__ = ["TraceSpan", "build_trace", "render_gantt"]
+__all__ = ["TraceSpan", "build_trace", "sim_metrics", "render_gantt"]
 
 
 @dataclasses.dataclass(frozen=True)
@@ -66,6 +66,36 @@ def build_trace(sim: SimResult) -> list[TraceSpan]:
             spans.append(TraceSpan(f"thread {i}", "label", t, t + label))
     t += label
     return spans
+
+
+def sim_metrics(sim: SimResult) -> dict:
+    """The model run's counters in the observability metrics shape.
+
+    Mirrors what a traced real run records — boundary unions, merger
+    lock operations, run shape — so a simulated ``trace.jsonl`` (or a
+    ``repro-obs analyze --sim`` call) feeds the same contention and
+    team-size readers as a real one. Lock operations come from the
+    counting union-find kernels' ``lock_ops`` tallies; the model has no
+    notion of a *contended* acquisition (no real interleaving), so only
+    the acquisition count is emitted.
+    """
+    merge_unions = sum(c.uf_merge for c in sim.merge_counters)
+    lock_ops = sum(c.lock_ops for c in sim.merge_counters)
+    counters = {
+        "paremsp.runs": 1,
+        "unionfind.boundary_unions": merge_unions,
+        "merger.merges": merge_unions,
+        "merger.lock_acquires": lock_ops,
+    }
+    gauges = {
+        "paremsp.n_threads": float(sim.n_threads),
+        "paremsp.n_chunks": float(sim.n_chunks),
+        "paremsp.pixels": float(sim.labels.size),
+    }
+    return {
+        "counters": {k: v for k, v in counters.items() if v},
+        "gauges": gauges,
+    }
 
 
 _PHASE_CHARS = {

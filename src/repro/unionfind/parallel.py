@@ -78,6 +78,12 @@ class LockStripedMerger:
         self._mask = n - 1
         self._rec = recorder
 
+    @property
+    def n_stripes(self) -> int:
+        """Actual stripe count (the requested count rounded up to a
+        power of two)."""
+        return len(self._locks)
+
     def merge(self, x: int, y: int) -> int:
         """Thread-safe union of the sets of *x* and *y* (Algorithm 8)."""
         rec = self._rec

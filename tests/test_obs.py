@@ -17,6 +17,7 @@ from repro.ccl.run_based import run_based_vectorized
 from repro.data.synthetic import blobs
 from repro.obs import (
     NULL_RECORDER,
+    TRACE_SCHEMA_VERSION,
     MetricsRegistry,
     ObsReport,
     PhaseTimer,
@@ -24,6 +25,7 @@ from repro.obs import (
     SPAN_FIELDS,
     TraceRecorder,
     get_recorder,
+    read_trace,
     read_trace_jsonl,
     render_phase_table,
     sim_trace_spans,
@@ -244,6 +246,95 @@ class TestExport:
         agg = report.phase_lane_seconds()
         assert agg[("machine", "scan")] == pytest.approx(1.5)
         assert agg[("thread 0", "scan")] == pytest.approx(0.75)
+
+
+class TestTraceSchemaV2:
+    """trace.jsonl v2: header line, metrics trailer, crash tolerance."""
+
+    SPANS = [
+        Span("machine", "scan", 0.0, 1.5),
+        Span("thread 1", "merge", 1.5, 2.0, depth=1),
+    ]
+
+    def test_writes_versioned_header(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        write_trace_jsonl(self.SPANS, path)
+        header = json.loads(path.read_text().splitlines()[0])
+        assert header == {
+            "kind": "header",
+            "schema_version": TRACE_SCHEMA_VERSION,
+        }
+        assert read_trace(path).schema_version == TRACE_SCHEMA_VERSION
+
+    def test_metrics_trailer_round_trip(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        metrics = {"counters": {"hits": 3}, "gauges": {"depth": 2.0}}
+        write_trace_jsonl(self.SPANS, path, metrics=metrics)
+        trace = read_trace(path)
+        assert list(trace.spans) == self.SPANS
+        assert trace.metrics == metrics
+        assert trace.truncated is False
+
+    def test_v1_headerless_file_still_reads(self, tmp_path):
+        path = tmp_path / "old.jsonl"
+        path.write_text(
+            '{"lane": "machine", "phase": "scan", "start": 0.0, '
+            '"stop": 1.0}\n'
+        )
+        trace = read_trace(path)
+        assert trace.schema_version == 1
+        assert trace.metrics is None
+        assert [s.phase for s in trace.spans] == ["scan"]
+
+    def test_truncated_trailing_line_tolerated(self, tmp_path):
+        """A crash mid-write loses only the partial final record."""
+        path = tmp_path / "trace.jsonl"
+        write_trace_jsonl(self.SPANS, path)
+        clipped = path.read_text()[:-10]
+        path.write_text(clipped)
+        trace = read_trace(path)
+        assert trace.truncated is True
+        assert [s.phase for s in trace.spans] == ["scan"]
+        assert read_trace_jsonl(path) == [self.SPANS[0]]
+
+    def test_mid_file_corruption_still_errors(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        lines = [
+            '{"kind": "header", "schema_version": 2}',
+            "{nope",
+            '{"lane": "machine", "phase": "scan", "start": 0, "stop": 1}',
+        ]
+        path.write_text("\n".join(lines) + "\n")
+        with pytest.raises(ValueError, match="malformed trace line"):
+            read_trace(path)
+
+    def test_unknown_span_fields_ignored(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        path.write_text(
+            '{"lane": "machine", "phase": "scan", "start": 0.0, '
+            '"stop": 1.0, "color": "red"}\n'
+        )
+        (span,) = read_trace(path).spans
+        assert span == Span("machine", "scan", 0.0, 1.0)
+
+    def test_unknown_kind_lines_skipped(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        write_trace_jsonl(self.SPANS, path)
+        with open(path, "a") as fh:
+            fh.write('{"kind": "future-extension", "payload": 7}\n')
+        assert list(read_trace(path).spans) == self.SPANS
+
+    def test_zero_span_trace_round_trip(self, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        write_trace_jsonl([], path, metrics={"counters": {}, "gauges": {}})
+        trace = read_trace(path)
+        assert trace.spans == ()
+        assert trace.metrics == {"counters": {}, "gauges": {}}
+
+    def test_read_trace_jsonl_unchanged_contract(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        write_trace_jsonl(self.SPANS, path, metrics={"counters": {"c": 1}})
+        assert read_trace_jsonl(path) == self.SPANS
 
 
 class TestInstrumentation:

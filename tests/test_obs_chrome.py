@@ -1,0 +1,192 @@
+"""Chrome trace-event export: shape validation and round-trips."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.data.synthetic import blobs
+from repro.obs import (
+    Span,
+    TraceRecorder,
+    chrome_to_spans,
+    read_chrome_trace,
+    read_trace,
+    sim_trace_spans,
+    spans_to_chrome,
+    use_recorder,
+    write_chrome_trace,
+    write_trace_jsonl,
+)
+from repro.parallel import paremsp
+
+
+def assert_valid_trace_event_json(obj):
+    """The subset of the Trace Event Format contract we rely on."""
+    assert isinstance(obj, dict)
+    assert isinstance(obj["traceEvents"], list)
+    for ev in obj["traceEvents"]:
+        assert isinstance(ev, dict)
+        assert "ph" in ev and "name" in ev and "pid" in ev and "tid" in ev
+        if ev["ph"] == "X":
+            assert isinstance(ev["ts"], (int, float))
+            assert isinstance(ev["dur"], (int, float))
+            assert ev["ts"] >= 0
+            assert ev["dur"] >= 0
+        elif ev["ph"] == "M":
+            assert "args" in ev
+        else:
+            raise AssertionError(f"unexpected event phase {ev['ph']!r}")
+
+
+SPANS = [
+    Span("machine", "scan", 100.0, 101.5),
+    Span("thread 0", "scan", 100.1, 101.0),
+    Span("thread 1", "scan", 100.1, 101.4, depth=1),
+    Span("machine", "flatten", 101.5, 101.6),
+]
+
+
+class TestSpansToChrome:
+    def test_valid_shape(self):
+        assert_valid_trace_event_json(spans_to_chrome(SPANS))
+
+    def test_one_x_event_per_span(self):
+        obj = spans_to_chrome(SPANS)
+        xs = [e for e in obj["traceEvents"] if e["ph"] == "X"]
+        assert len(xs) == len(SPANS)
+
+    def test_thread_name_metadata_per_lane(self):
+        obj = spans_to_chrome(SPANS)
+        names = {
+            e["args"]["name"]
+            for e in obj["traceEvents"]
+            if e["ph"] == "M" and e["name"] == "thread_name"
+        }
+        assert names == {"machine", "thread 0", "thread 1"}
+
+    def test_machine_lane_sorts_first(self):
+        obj = spans_to_chrome(SPANS)
+        tid_of = {
+            e["args"]["name"]: e["tid"]
+            for e in obj["traceEvents"]
+            if e["ph"] == "M" and e["name"] == "thread_name"
+        }
+        assert tid_of["machine"] < tid_of["thread 0"] < tid_of["thread 1"]
+
+    def test_timestamps_rebased_to_zero(self):
+        obj = spans_to_chrome(SPANS)
+        xs = [e for e in obj["traceEvents"] if e["ph"] == "X"]
+        assert min(e["ts"] for e in xs) == pytest.approx(0.0)
+        assert obj["otherData"]["t0_seconds"] == pytest.approx(100.0)
+
+    def test_durations_in_microseconds(self):
+        obj = spans_to_chrome(SPANS)
+        scan = next(
+            e for e in obj["traceEvents"]
+            if e["ph"] == "X" and e["args"]["lane"] == "machine"
+        )
+        assert scan["dur"] == pytest.approx(1.5e6)
+
+    def test_metrics_ride_in_other_data(self):
+        metrics = {"counters": {"c": 1}, "gauges": {"g": 2.0}}
+        obj = spans_to_chrome(SPANS, metrics=metrics)
+        assert obj["otherData"]["metrics"]["counters"] == {"c": 1}
+
+    def test_empty_trace_still_valid(self):
+        obj = spans_to_chrome([])
+        assert_valid_trace_event_json(obj)
+        assert chrome_to_spans(obj) == []
+
+
+class TestRoundTrip:
+    def test_spans_round_trip(self):
+        back = chrome_to_spans(spans_to_chrome(SPANS))
+        assert len(back) == len(SPANS)
+        for orig, rt in zip(SPANS, back):
+            assert rt.lane == orig.lane
+            assert rt.phase == orig.phase
+            assert rt.depth == orig.depth
+            assert rt.start == pytest.approx(orig.start, abs=1e-9)
+            assert rt.stop == pytest.approx(orig.stop, abs=1e-9)
+
+    def test_jsonl_to_chrome_to_spans(self, tmp_path):
+        """The full pipeline: trace.jsonl -> spans -> chrome -> spans."""
+        jsonl = tmp_path / "trace.jsonl"
+        metrics = {"counters": {"hits": 3}, "gauges": {}}
+        write_trace_jsonl(SPANS, jsonl, metrics=metrics)
+        trace = read_trace(jsonl)
+        chrome_path = tmp_path / "trace_chrome.json"
+        write_chrome_trace(trace.spans, chrome_path, metrics=trace.metrics)
+        assert_valid_trace_event_json(json.loads(chrome_path.read_text()))
+        spans, back_metrics = read_chrome_trace(chrome_path)
+        assert [s.phase for s in spans] == [s.phase for s in SPANS]
+        assert back_metrics["counters"] == {"hits": 3}
+
+    def test_parse_foreign_trace_without_other_data(self):
+        """Traces from other producers (no t0/args.lane) still parse."""
+        obj = {
+            "traceEvents": [
+                {"name": "thread_name", "ph": "M", "pid": 7, "tid": 3,
+                 "args": {"name": "renderer"}},
+                {"name": "work", "ph": "X", "ts": 10.0, "dur": 5.0,
+                 "pid": 7, "tid": 3},
+            ]
+        }
+        (span,) = chrome_to_spans(obj)
+        assert span.lane == "renderer"
+        assert span.start == pytest.approx(10e-6)
+        assert span.duration == pytest.approx(5e-6)
+
+    def test_rejects_non_trace_object(self):
+        with pytest.raises(ValueError, match="traceEvents"):
+            chrome_to_spans({"spans": []})
+
+
+class TestRealAndSimulatedExports:
+    """Acceptance: chrome export of a real-backend and a simmachine
+    trace both validate against the trace-event shape."""
+
+    def test_real_backend_trace_exports(self, tmp_path):
+        img = blobs((64, 64), 0.6, 4, seed=3)
+        rec = TraceRecorder()
+        with use_recorder(rec):
+            paremsp(img, n_threads=4, backend="threads",
+                    engine="vectorized")
+        report = rec.report()
+        path = tmp_path / "real_chrome.json"
+        write_chrome_trace(report.spans, path, metrics=report.metrics)
+        obj = json.loads(path.read_text())
+        assert_valid_trace_event_json(obj)
+        lanes = {
+            e["args"]["name"]
+            for e in obj["traceEvents"]
+            if e["ph"] == "M" and e["name"] == "thread_name"
+        }
+        assert {"machine", "thread 0", "thread 3"} <= lanes
+
+    def test_simmachine_trace_exports(self, tmp_path):
+        from repro.simmachine.machine import simulate_paremsp
+
+        img = blobs((48, 48), 0.6, 4, seed=1)
+        spans = sim_trace_spans(simulate_paremsp(img, n_threads=4))
+        path = tmp_path / "sim_chrome.json"
+        write_chrome_trace(spans, path)
+        obj = json.loads(path.read_text())
+        assert_valid_trace_event_json(obj)
+        phases = {
+            e["name"] for e in obj["traceEvents"] if e["ph"] == "X"
+        }
+        assert {"scan", "flatten"} <= phases
+
+    def test_zero_span_image_trace(self, tmp_path):
+        """A 0-size image records no worker spans; export still works."""
+        import numpy as np
+
+        rec = TraceRecorder()
+        with use_recorder(rec):
+            paremsp(np.zeros((0, 0), dtype=np.uint8), n_threads=2)
+        path = tmp_path / "empty_chrome.json"
+        write_chrome_trace(rec.report().spans, path)
+        assert_valid_trace_event_json(json.loads(path.read_text()))

@@ -1,0 +1,167 @@
+"""The ``repro-obs`` command-line tool."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.data.synthetic import blobs
+from repro.obs import TraceRecorder, use_recorder, write_trace_jsonl
+from repro.obs.cli import main
+from repro.parallel import paremsp
+from repro.perfdb import append_record, build_record
+
+
+@pytest.fixture
+def trace_file(tmp_path):
+    """A real 4-thread PAREMSP interpreter trace on disk (schema v2,
+    metrics included — the acceptance-criteria configuration)."""
+    img = blobs((64, 64), 0.6, 4, seed=5)
+    rec = TraceRecorder()
+    with use_recorder(rec):
+        paremsp(img, n_threads=4, backend="threads", engine="interpreter")
+    report = rec.report()
+    path = tmp_path / "trace.jsonl"
+    write_trace_jsonl(report.spans, path, metrics=report.metrics)
+    return path
+
+
+def history_record(scale=1.0, created=1_000_000.0):
+    return build_record(
+        "paremsp_smoke",
+        [0.10 * scale, 0.11 * scale, 0.105 * scale],
+        phases={"scan": [0.07 * scale, 0.071 * scale, 0.072 * scale]},
+        created=created,
+    )
+
+
+class TestAnalyze:
+    def test_reports_the_acceptance_triple(self, trace_file, capsys):
+        """serial fraction + per-thread imbalance + merge contention."""
+        assert main(["analyze", str(trace_file)]) == 0
+        out = capsys.readouterr().out
+        assert "serial fraction" in out
+        assert "imbalance" in out
+        assert "merge contention" in out
+        assert "4 worker lanes" in out
+
+    def test_json_output(self, trace_file, capsys):
+        assert main(["analyze", "--json", str(trace_file)]) == 0
+        data = json.loads(capsys.readouterr().out)
+        (trace,) = data["traces"]
+        assert trace["n_threads"] == 4
+        assert 0.0 <= trace["serial_fraction"] <= 1.0
+        assert trace["contention"]["merges"] > 0
+
+    def test_amdahl_fit_across_thread_counts(self, tmp_path, capsys):
+        img = blobs((64, 64), 0.6, 4, seed=5)
+        paths = []
+        for n in (1, 2, 4):
+            rec = TraceRecorder()
+            with use_recorder(rec):
+                paremsp(img, n_threads=n, backend="serial",
+                        engine="vectorized")
+            report = rec.report()
+            path = tmp_path / f"trace_{n}.jsonl"
+            write_trace_jsonl(report.spans, path, metrics=report.metrics)
+            paths.append(str(path))
+        assert main(["analyze", *paths]) == 0
+        out = capsys.readouterr().out
+        assert "Amdahl fit over 3 runs" in out
+
+    def test_sim_source(self, capsys):
+        assert main(["analyze", "--sim", "48", "--threads", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "sim 48x48" in out
+        assert "serial fraction" in out
+
+    def test_no_sources_errors(self):
+        with pytest.raises(SystemExit):
+            main(["analyze"])
+
+
+class TestExportChrome:
+    def test_export_real_trace(self, trace_file, tmp_path, capsys):
+        out = tmp_path / "chrome.json"
+        assert main(["export-chrome", str(trace_file), "-o", str(out)]) == 0
+        obj = json.loads(out.read_text())
+        assert isinstance(obj["traceEvents"], list)
+        assert "chrome trace ->" in capsys.readouterr().out
+
+    def test_default_output_name(self, trace_file, capsys):
+        assert main(["export-chrome", str(trace_file)]) == 0
+        expected = trace_file.with_suffix("")
+        assert (expected.parent / (expected.name + "_chrome.json")).exists()
+
+    def test_export_sim(self, tmp_path, capsys):
+        out = tmp_path / "sim.json"
+        assert main(["export-chrome", "--sim", "48", "-o", str(out)]) == 0
+        obj = json.loads(out.read_text())
+        assert any(e["ph"] == "X" for e in obj["traceEvents"])
+
+
+class TestHistory:
+    def test_empty_dir(self, tmp_path, capsys):
+        assert main(["history", "--dir", str(tmp_path)]) == 0
+        assert "no perf records" in capsys.readouterr().out
+
+    def test_lists_records(self, tmp_path, capsys):
+        append_record(history_record(), tmp_path)
+        assert main(["history", "--dir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "paremsp_smoke" in out
+        assert "0.105" in out
+
+    def test_show(self, tmp_path, capsys):
+        path = append_record(history_record(), tmp_path)
+        assert main(["history", "--show", path]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["benchmark"] == "paremsp_smoke"
+
+
+class TestCompare:
+    def test_ok_exits_zero(self, tmp_path, capsys):
+        b = append_record(history_record(created=1.0), tmp_path)
+        n = append_record(history_record(created=2.0), tmp_path)
+        assert main(["compare", b, n]) == 0
+        assert "verdict: ok" in capsys.readouterr().out
+
+    def test_injected_regression_exits_nonzero(self, tmp_path, capsys):
+        """Acceptance: a synthetic regression fails the gate."""
+        b = append_record(history_record(created=1.0), tmp_path)
+        n = append_record(history_record(scale=2.0, created=2.0), tmp_path)
+        assert main(["compare", b, n]) == 1
+        assert "REGRESSION" in capsys.readouterr().out
+
+    def test_new_defaults_to_latest_in_dir(self, tmp_path):
+        b = append_record(history_record(created=1.0), tmp_path)
+        append_record(history_record(scale=2.0, created=2.0), tmp_path)
+        assert main(["compare", b, "--dir", str(tmp_path)]) == 1
+
+    def test_warn_only_soft_regression_passes(self, tmp_path, capsys):
+        b = append_record(history_record(created=1.0), tmp_path)
+        n = append_record(history_record(scale=1.6, created=2.0), tmp_path)
+        assert main(["compare", "--warn-only", b, n]) == 0
+        assert "warn-only" in capsys.readouterr().out
+
+    def test_warn_only_hard_regression_still_fails(self, tmp_path):
+        b = append_record(history_record(created=1.0), tmp_path)
+        n = append_record(history_record(scale=4.0, created=2.0), tmp_path)
+        assert main(["compare", "--warn-only", b, n]) == 1
+
+    def test_json_output(self, tmp_path, capsys):
+        b = append_record(history_record(created=1.0), tmp_path)
+        n = append_record(history_record(scale=2.0, created=2.0), tmp_path)
+        assert main(["compare", "--json", b, n]) == 1
+        data = json.loads(capsys.readouterr().out)
+        assert data["ok"] is False
+
+    def test_missing_baseline_errors(self, tmp_path):
+        append_record(history_record(), tmp_path)
+        with pytest.raises(SystemExit):
+            main(["compare", "--dir", str(tmp_path)])
+
+    def test_empty_dir_errors(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["compare", "base.json", "--dir", str(tmp_path / "x")])

@@ -1,0 +1,217 @@
+"""The perf-history DB: records, append-only storage, regression gate."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.perfdb import (
+    RECORD_SCHEMA_VERSION,
+    append_record,
+    bootstrap_ci,
+    build_record,
+    compare_records,
+    environment_fingerprint,
+    latest_record,
+    list_records,
+    load_record,
+)
+
+
+def make_record(benchmark="bench", scale=1.0, created=1_000_000.0, **kw):
+    reps = [0.100 * scale, 0.104 * scale, 0.102 * scale, 0.101 * scale]
+    phases = {
+        "scan": [0.070 * scale, 0.072 * scale, 0.071 * scale,
+                 0.0705 * scale],
+        "merge": [0.004, 0.0041, 0.004, 0.00405],
+    }
+    return build_record(
+        benchmark, reps, phases=phases, warmup=1, created=created, **kw
+    )
+
+
+class TestEnvironmentFingerprint:
+    def test_fields(self):
+        env = environment_fingerprint(n_threads=4)
+        assert set(env) == {
+            "git_sha", "python", "numpy", "platform", "machine",
+            "processor", "cpu_count", "n_threads",
+        }
+        assert env["n_threads"] == 4
+        assert env["python"].count(".") == 2
+
+    def test_git_sha_in_this_repo(self):
+        sha = environment_fingerprint()["git_sha"]
+        assert sha is None or (len(sha) == 40 and set(sha) <= set("0123456789abcdef"))
+
+
+class TestBootstrapCI:
+    def test_brackets_the_median(self):
+        values = [1.0, 1.1, 0.9, 1.05, 0.95, 1.02, 0.98]
+        lo, hi = bootstrap_ci(values)
+        assert lo <= 1.02 <= hi
+        assert lo < hi
+
+    def test_deterministic(self):
+        values = [1.0, 1.2, 0.8, 1.1]
+        assert bootstrap_ci(values) == bootstrap_ci(values)
+
+    def test_single_value_collapses(self):
+        assert bootstrap_ci([2.5]) == (2.5, 2.5)
+
+    def test_rejects_empty_and_bad_confidence(self):
+        with pytest.raises(ValueError):
+            bootstrap_ci([])
+        with pytest.raises(ValueError):
+            bootstrap_ci([1.0, 2.0], confidence=1.5)
+
+
+class TestBuildRecord:
+    def test_shape(self):
+        record = make_record()
+        assert record["schema_version"] == RECORD_SCHEMA_VERSION
+        assert record["benchmark"] == "bench"
+        assert record["total"]["median"] == pytest.approx(0.1015)
+        assert len(record["total"]["reps"]) == 4
+        lo, hi = record["total"]["ci95"]
+        assert lo <= record["total"]["median"] <= hi
+        assert set(record["phases"]) == {"scan", "merge"}
+        assert record["created_utc"].endswith("Z")
+        assert "git_sha" in record["env"]
+
+    def test_rejects_mismatched_phase_lengths(self):
+        with pytest.raises(ValueError, match="reps"):
+            build_record("b", [0.1, 0.2], phases={"scan": [0.1]})
+
+    def test_rejects_empty_reps(self):
+        with pytest.raises(ValueError):
+            build_record("b", [])
+
+
+class TestStorage:
+    def test_append_and_load(self, tmp_path):
+        record = make_record()
+        path = append_record(record, tmp_path)
+        assert load_record(path)["total"] == record["total"]
+
+    def test_append_only_never_overwrites(self, tmp_path):
+        record = make_record()
+        p1 = append_record(record, tmp_path)
+        p2 = append_record(record, tmp_path)  # same name -> new file
+        assert p1 != p2
+        assert len(list(tmp_path.glob("*.json"))) == 2
+
+    def test_list_sorted_by_created(self, tmp_path):
+        newer = make_record(created=2_000_000.0)
+        older = make_record(created=1_000_000.0)
+        append_record(newer, tmp_path)
+        append_record(older, tmp_path)
+        records = list_records(tmp_path)
+        assert [r["created"] for _, r in records] == [1_000_000.0, 2_000_000.0]
+
+    def test_latest_and_benchmark_filter(self, tmp_path):
+        append_record(make_record("a", created=1.0), tmp_path)
+        append_record(make_record("b", created=2.0), tmp_path)
+        assert latest_record(tmp_path)[1]["benchmark"] == "b"
+        assert latest_record(tmp_path, benchmark="a")[1]["benchmark"] == "a"
+        assert latest_record(tmp_path, benchmark="zzz") is None
+
+    def test_list_skips_foreign_json(self, tmp_path):
+        (tmp_path / "notes.json").write_text('{"hello": 1}')
+        (tmp_path / "broken.json").write_text("{nope")
+        append_record(make_record(), tmp_path)
+        assert len(list_records(tmp_path)) == 1
+
+    def test_missing_dir_lists_empty(self, tmp_path):
+        assert list_records(tmp_path / "absent") == []
+
+    def test_load_rejects_wrong_schema(self, tmp_path):
+        path = tmp_path / "old.json"
+        path.write_text(json.dumps({"schema_version": 99}))
+        with pytest.raises(ValueError, match="schema"):
+            load_record(path)
+
+
+class TestCompare:
+    def test_no_movement_is_ok(self):
+        cmp = compare_records(make_record(), make_record())
+        assert cmp.ok
+        assert not cmp.regressions
+        assert "verdict: ok" in cmp.render()
+
+    def test_total_regression_detected(self):
+        cmp = compare_records(make_record(), make_record(scale=1.5))
+        assert not cmp.ok
+        names = [r.name for r in cmp.regressions]
+        assert "total" in names
+
+    def test_improvement_is_not_a_regression(self):
+        cmp = compare_records(make_record(), make_record(scale=0.5))
+        assert cmp.ok
+        assert cmp.improvements
+
+    def test_phase_threshold_independent_of_total(self):
+        # scan x1.8: past the 0.5 phase threshold; merge untouched
+        base = make_record()
+        new = make_record()
+        for key in ("reps", "ci95"):
+            new["phases"]["scan"][key] = [
+                v * 1.8 for v in new["phases"]["scan"][key]
+            ]
+        new["phases"]["scan"]["median"] *= 1.8
+        cmp = compare_records(base, new)
+        assert [r.name for r in cmp.regressions] == ["phase:scan"]
+
+    def test_hard_regression_past_3x(self):
+        cmp = compare_records(make_record(), make_record(scale=4.0))
+        assert cmp.has_hard
+        assert any(r.hard and r.name == "total" for r in cmp.regressions)
+
+    def test_within_noise_does_not_count(self):
+        # widen the baseline CI so the moved median stays inside it
+        base = make_record()
+        new = make_record(scale=1.4)
+        base["total"]["ci95"] = [0.05, 0.30]
+        new["total"]["ci95"] = [0.05, 0.30]
+        for p in base["phases"].values():
+            p["ci95"] = [0.0, 10.0]
+        for p in new["phases"].values():
+            p["ci95"] = [0.0, 10.0]
+        cmp = compare_records(base, new)
+        assert cmp.regressions  # still listed...
+        assert all(r.within_noise for r in cmp.regressions)
+        assert cmp.ok  # ...but not fatal
+
+    def test_hard_overrules_noise(self):
+        base = make_record()
+        new = make_record(scale=5.0)
+        base["total"]["ci95"] = [0.0, 10.0]
+        new["total"]["ci95"] = [0.0, 10.0]
+        for old_p, new_p in zip(base["phases"].values(),
+                                new["phases"].values()):
+            old_p["ci95"] = [0.0, 10.0]
+            new_p["ci95"] = [0.0, 10.0]
+        cmp = compare_records(base, new)
+        assert not cmp.ok
+        assert cmp.has_hard
+
+    def test_rejects_different_benchmarks(self):
+        with pytest.raises(ValueError, match="different benchmarks"):
+            compare_records(make_record("a"), make_record("b"))
+
+    def test_phases_in_only_one_record_ignored(self):
+        base = make_record()
+        new = make_record()
+        del new["phases"]["merge"]
+        new["phases"]["relabel"] = new["phases"]["scan"]
+        cmp = compare_records(base, new)
+        assert all("merge" not in r.name and "relabel" not in r.name
+                   for r in cmp.regressions + cmp.improvements)
+
+    def test_as_dict(self):
+        cmp = compare_records(make_record(), make_record(scale=1.5))
+        d = cmp.as_dict()
+        assert d["ok"] is False
+        assert d["regressions"][0]["name"] == "total"
+        assert d["regressions"][0]["ratio"] == pytest.approx(1.5, rel=0.05)
