@@ -16,11 +16,18 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test bench-paremsp bench-trace bench bench-history perf-gate \
-	analyze-trace
+.PHONY: test chaos bench-paremsp bench-trace bench bench-history \
+	perf-gate analyze-trace
 
 test:
 	$(PYTHON) -m pytest -x -q
+
+# fault-injection suite (see docs/RESILIENCE.md): every (backend x
+# fault) cell must recover byte-identically or raise a typed error —
+# the hard timeout turns any hang into a failure rather than a wedged
+# job.
+chaos:
+	timeout 600 $(PYTHON) -m pytest -m chaos -q
 
 bench-paremsp:
 	$(PYTHON) -m repro.bench.paremsp_smoke --size 2048 --repeats 5 \

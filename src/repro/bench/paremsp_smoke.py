@@ -30,6 +30,7 @@ import timeit
 import numpy as np
 
 from ..data.synthetic import blobs
+from ..faults import NULL_PLAN
 from ..obs import (
     NULL_RECORDER,
     TraceRecorder,
@@ -48,17 +49,24 @@ TRACE_BACKENDS = ("serial", "threads", "processes")
 def _disabled_overhead_fraction(
     vectorized_seconds: float, n_threads: int
 ) -> float:
-    """Estimated fraction of a vectorized run spent in disabled-recorder
-    guards: one ``rec.enabled`` attribute test costs ~tens of ns, and a
-    paremsp run executes a handful of guard sites per phase plus one per
-    chunk. Recorded so regressions of the zero-overhead contract show up
-    in the bench history."""
+    """Estimated fraction of a vectorized run spent in disabled-hook
+    guards: one ``enabled`` attribute test costs ~tens of ns, and a
+    paremsp run executes a handful of guard sites per phase plus a few
+    per chunk — both the recorder's (``rec.enabled``) and the fault
+    plan's (``plan.enabled``), which share the ambient-null-object
+    pattern. Recorded so regressions of the zero-overhead contract show
+    up in the bench history, and gated by ``--max-disabled-overhead``."""
     if vectorized_seconds <= 0:
         return 0.0
     rec = NULL_RECORDER
-    per_guard = timeit.timeit(lambda: rec.enabled, number=20000) / 20000
-    guard_sites = 16 + 4 * n_threads
-    return per_guard * guard_sites / vectorized_seconds
+    plan = NULL_PLAN
+    per_rec_guard = timeit.timeit(lambda: rec.enabled, number=20000) / 20000
+    per_plan_guard = timeit.timeit(lambda: plan.enabled, number=20000) / 20000
+    rec_sites = 16 + 4 * n_threads
+    plan_sites = 8 + 2 * n_threads
+    return (
+        per_rec_guard * rec_sites + per_plan_guard * plan_sites
+    ) / vectorized_seconds
 
 
 def _median(values: list[float]) -> float:
@@ -218,6 +226,14 @@ def main(argv: list[str] | None = None) -> int:
         default=5.0,
         help="fail unless vectorized beats interpreter by this factor",
     )
+    ap.add_argument(
+        "--max-disabled-overhead",
+        type=float,
+        default=0.02,
+        help="fail if the estimated disabled-hook (recorder + fault "
+        "plan) guard overhead exceeds this fraction of the vectorized "
+        "run (default: 0.02 = 2%%)",
+    )
     ap.add_argument("--out", default="BENCH_paremsp.json")
     ap.add_argument(
         "--trace",
@@ -304,6 +320,16 @@ def main(argv: list[str] | None = None) -> int:
         print(
             f"FAIL: speedup {record['speedup']:.2f}x below the "
             f"{args.min_speedup:.1f}x floor"
+        )
+        if args.record_only:
+            print("(record-only mode: timing gate not fatal)")
+            return 0
+        return 1
+    if record["disabled_overhead_estimate"] > args.max_disabled_overhead:
+        print(
+            f"FAIL: disabled-hook overhead estimate "
+            f"{record['disabled_overhead_estimate']:.2%} exceeds the "
+            f"{args.max_disabled_overhead:.0%} ceiling"
         )
         if args.record_only:
             print("(record-only mode: timing gate not fatal)")

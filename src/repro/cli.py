@@ -52,6 +52,33 @@ def build_parser() -> argparse.ArgumentParser:
         "--connectivity", type=int, choices=(4, 8), default=8
     )
     parser.add_argument(
+        "--backend",
+        choices=("serial", "threads", "processes"),
+        default=None,
+        help="run the parallel PAREMSP pipeline on this backend instead "
+        "of the single-pass --algorithm (uses --engine interpreter or "
+        "vectorized)",
+    )
+    parser.add_argument(
+        "--threads",
+        type=int,
+        default=4,
+        help="worker/chunk count for --backend runs (default: 4)",
+    )
+    parser.add_argument(
+        "--retries",
+        type=int,
+        default=None,
+        help="max per-phase worker retries for --backend runs "
+        "(default: the ResilienceConfig default)",
+    )
+    parser.add_argument(
+        "--degrade",
+        action="store_true",
+        help="on a backend failure, fall back down the ladder "
+        "(processes -> threads -> serial) instead of erroring out",
+    )
+    parser.add_argument(
         "--level",
         type=float,
         default=0.5,
@@ -123,7 +150,32 @@ def main(argv: list[str] | None = None) -> int:
     if args.clear_border:
         image = clear_border(image, args.connectivity)
 
-    if args.engine == "vectorized":
+    if args.backend:
+        import dataclasses as _dc
+
+        from .faults import DEFAULT_RESILIENCE, DegradationPolicy
+        from .parallel import paremsp
+
+        resilience = (
+            _dc.replace(DEFAULT_RESILIENCE, max_retries=args.retries)
+            if args.retries is not None
+            else None
+        )
+        degradation = DegradationPolicy() if args.degrade else None
+        engine = "vectorized" if args.engine == "vectorized" else "interpreter"
+
+        def fn(image, connectivity):
+            return paremsp(
+                image,
+                n_threads=args.threads,
+                backend=args.backend,
+                connectivity=connectivity,
+                engine=engine,
+                resilience=resilience,
+                degradation=degradation,
+            )
+
+    elif args.engine == "vectorized":
         fn = get_algorithm("run-vectorized")
     else:
         fn = get_algorithm(args.algorithm)
@@ -151,6 +203,12 @@ def main(argv: list[str] | None = None) -> int:
         f"{n} components -> {out_path.name} "
         f"({result.total_seconds * 1e3:.1f} ms, {result.algorithm})"
     )
+    degraded_from = (result.meta or {}).get("degraded_from")
+    if degraded_from:
+        print(
+            f"note: backend {degraded_from!r} failed; run degraded to "
+            f"{result.backend!r}"
+        )
     if args.stats and n:
         stats = component_stats(labels)
         order = np.argsort(stats.areas)[::-1]

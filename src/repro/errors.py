@@ -15,6 +15,9 @@ __all__ = [
     "PartitionError",
     "UnknownAlgorithmError",
     "BackendError",
+    "WorkerCrashError",
+    "PhaseTimeoutError",
+    "DeadlockError",
     "CostModelError",
 ]
 
@@ -52,6 +55,80 @@ class UnknownAlgorithmError(ReproError, KeyError):
 
 class BackendError(ReproError, RuntimeError):
     """A parallel backend failed or was asked for an unsupported feature."""
+
+
+class WorkerCrashError(BackendError):
+    """One or more parallel workers died (process exit, injected kill).
+
+    Carries enough diagnostics to answer *which* participant failed and
+    *where*: ``ranks`` (worker/chunk indices), ``phase`` (``scan`` /
+    ``merge`` / ...), ``exit_codes`` (process backend), and ``attempts``
+    (how many supervised tries were made before giving up).
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        ranks: tuple[int, ...] = (),
+        phase: str | None = None,
+        exit_codes: tuple[int, ...] = (),
+        attempts: int | None = None,
+    ) -> None:
+        super().__init__(message)
+        self.ranks = tuple(ranks)
+        self.phase = phase
+        self.exit_codes = tuple(exit_codes)
+        self.attempts = attempts
+
+
+class PhaseTimeoutError(BackendError, TimeoutError):
+    """A parallel phase overran its watchdog deadline.
+
+    The watchdog converts a hang (dead worker holding a barrier, lost
+    message, runaway straggler) into a typed, bounded-latency failure.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        phase: str | None = None,
+        timeout: float | None = None,
+        ranks: tuple[int, ...] = (),
+    ) -> None:
+        super().__init__(message)
+        self.phase = phase
+        self.timeout = timeout
+        self.ranks = tuple(ranks)
+
+
+class DeadlockError(BackendError, TimeoutError):
+    """A blocking receive or collective could not complete.
+
+    Raised by :class:`repro.mp.comm.Communicator` when a message never
+    arrives: either the awaited rank is known to have died (``dead``
+    names it), the run was cancelled by the launcher's watchdog, or the
+    receive deadline expired with every peer apparently alive
+    (mismatched send/recv or collective ordering).
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        rank: int | None = None,
+        source: int | None = None,
+        tag: int | None = None,
+        phase: str | None = None,
+        dead: tuple[int, ...] = (),
+    ) -> None:
+        super().__init__(message)
+        self.rank = rank
+        self.source = source
+        self.tag = tag
+        self.phase = phase
+        self.dead = tuple(dead)
 
 
 class CostModelError(ReproError, ValueError):

@@ -1,0 +1,63 @@
+"""``repro.faults`` — deterministic fault injection + recovery policy.
+
+The ROADMAP's production north star means the parallel phases must
+*provably* survive a dead worker, a failed ``/dev/shm`` allocation, a
+straggler, a poisoned lock, or a lost message — Patwary et al.'s MERGER
+correctness argument assumes every merge participant finishes, so the
+only way to trust the recovery machinery is to break things on purpose
+and assert byte-exact results afterwards.
+
+Two halves, mirroring chaos-engineering practice:
+
+* **injection** (:mod:`repro.faults.plan`) — seeded, deterministic
+  :class:`FaultPlan` objects consulted at fixed sites in the
+  ``processes`` / ``threads`` / ``simulated`` backends and the
+  :mod:`repro.mp` communicator, behind a zero-overhead-when-disabled
+  ambient hook (:data:`NULL_PLAN`, :func:`use_fault_plan`) exactly like
+  the :mod:`repro.obs` recorder;
+* **recovery** (:mod:`repro.faults.resilience`) — the
+  :class:`ResilienceConfig` retry/backoff/watchdog knobs consumed by the
+  process supervisor (:mod:`repro.parallel.supervisor`) and the
+  :class:`DegradationPolicy` backend ladder consumed by
+  :func:`repro.parallel.paremsp.paremsp`.
+
+Everything observable lands in the existing trace schema as ``fault.*``
+/ ``retry.*`` / ``degrade.*`` events, so ``repro-obs analyze`` reports
+injected-vs-recovered counts next to the speedup decomposition. See
+``docs/RESILIENCE.md`` for the taxonomy, the knobs, and the test
+matrix.
+"""
+
+from .plan import (
+    KINDS,
+    NULL_PLAN,
+    FaultPlan,
+    FaultSpec,
+    NullFaultPlan,
+    get_fault_plan,
+    record_injection,
+    set_fault_plan,
+    use_fault_plan,
+)
+from .resilience import (
+    DEFAULT_RESILIENCE,
+    DegradationPolicy,
+    ResilienceConfig,
+    backoff_delays,
+)
+
+__all__ = [
+    "KINDS",
+    "FaultSpec",
+    "FaultPlan",
+    "NullFaultPlan",
+    "NULL_PLAN",
+    "get_fault_plan",
+    "set_fault_plan",
+    "use_fault_plan",
+    "record_injection",
+    "ResilienceConfig",
+    "DEFAULT_RESILIENCE",
+    "DegradationPolicy",
+    "backoff_delays",
+]

@@ -1,0 +1,272 @@
+"""Deterministic fault plans: *what* breaks, *where*, and *when*.
+
+A :class:`FaultPlan` is an ordered set of :class:`FaultSpec` directives
+describing injectable failures — kill a worker at a chosen phase, fail a
+``shared_memory`` allocation, delay a straggler chunk, poison a lock
+acquisition, drop (truncate) a message in flight. The plan is consulted
+at fixed *sites* inside the execution backends; with the default
+:data:`NULL_PLAN` installed every site is a single ``plan.enabled``
+attribute test, mirroring how :mod:`repro.obs` threads its recorder —
+zero overhead unless a test or chaos run installs a real plan.
+
+Determinism contract: a plan is pure data plus a monotonically-consumed
+firing budget. Matching depends only on ``(kind, phase, rank, attempt)``
+and the per-spec ``times`` budget — never on wall clock or OS
+scheduling — so a given (image, plan) pair injects the same faults on
+every run, which is what lets the fault-matrix tests assert byte-exact
+recovery. :meth:`FaultPlan.sample` derives a plan from a seed for
+randomised sweeps that stay replayable.
+
+Arbitration for the ``processes`` backend happens in the *coordinator*
+(it asks for :meth:`FaultPlan.directives` before forking each attempt
+and ships the matching specs to the worker inside its job), so firing
+budgets need no cross-process shared state: a spec with ``attempt=0``
+kills the first try and lets the supervised respawn succeed.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import dataclasses
+import random
+import threading
+from typing import Iterable, Iterator
+
+__all__ = [
+    "KINDS",
+    "FaultSpec",
+    "FaultPlan",
+    "NullFaultPlan",
+    "NULL_PLAN",
+    "get_fault_plan",
+    "set_fault_plan",
+    "use_fault_plan",
+    "record_injection",
+]
+
+#: the fault taxonomy (docs/RESILIENCE.md has the site-by-site map).
+KINDS = (
+    "kill_worker",   # worker dies (os._exit in a process, raise in a thread)
+    "shm_fail",      # a shared_memory allocation raises OSError
+    "delay_chunk",   # a straggler: sleep before scanning a chunk
+    "poison_lock",   # a MERGER lock acquisition raises DeadlockError
+    "truncate_msg",  # a Communicator.send is silently dropped
+)
+
+#: kinds a forked scan worker executes itself (shipped as directives).
+WORKER_KINDS = ("kill_worker", "delay_chunk")
+
+
+@dataclasses.dataclass(frozen=True)
+class FaultSpec:
+    """One injectable failure.
+
+    ``rank`` selects the target worker/chunk/rank (``None`` = first
+    site asked, whatever its rank); ``attempt`` is the retry attempt on
+    which the fault fires (0 = the first try), so recovery paths can be
+    exercised deterministically; ``times`` bounds total firings for
+    in-process sites. ``after_chunks`` delays a ``kill_worker`` until
+    the worker has finished that many chunks of its batch — the
+    "mid-scan" kill of the acceptance tests.
+    """
+
+    kind: str
+    phase: str = "scan"
+    rank: int | None = None
+    attempt: int = 0
+    times: int = 1
+    after_chunks: int = 0
+    delay_seconds: float = 0.05
+    exit_code: int = 137
+
+    def __post_init__(self) -> None:
+        if self.kind not in KINDS:
+            raise ValueError(
+                f"unknown fault kind {self.kind!r}; available: {list(KINDS)}"
+            )
+        if self.times < 1:
+            raise ValueError(f"times must be >= 1, got {self.times}")
+        if self.attempt < 0:
+            raise ValueError(f"attempt must be >= 0, got {self.attempt}")
+
+
+class FaultPlan:
+    """An armed, consumable set of :class:`FaultSpec` directives."""
+
+    enabled = True
+
+    def __init__(self, specs: Iterable[FaultSpec] = (), seed: int = 0) -> None:
+        self.specs: tuple[FaultSpec, ...] = tuple(specs)
+        self.seed = seed
+        self._remaining = [spec.times for spec in self.specs]
+        self._lock = threading.Lock()
+        #: total faults fired through this plan (all sites).
+        self.injected = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"FaultPlan(seed={self.seed}, specs={len(self.specs)}, "
+            f"injected={self.injected})"
+        )
+
+    def _matches(
+        self, spec: FaultSpec, kind: str, phase: str,
+        rank: int | None, attempt: int,
+    ) -> bool:
+        return (
+            spec.kind == kind
+            and spec.phase == phase
+            and (spec.rank is None or rank is None or spec.rank == rank)
+            and spec.attempt == attempt
+        )
+
+    def take(
+        self, kind: str, phase: str,
+        rank: int | None = None, attempt: int = 0,
+    ) -> FaultSpec | None:
+        """Consume and return the first armed spec matching the site.
+
+        Thread-safe; decrements the spec's firing budget. Returns
+        ``None`` when nothing matches (the overwhelmingly common case).
+        """
+        with self._lock:
+            for i, spec in enumerate(self.specs):
+                if self._remaining[i] > 0 and self._matches(
+                    spec, kind, phase, rank, attempt
+                ):
+                    self._remaining[i] -= 1
+                    self.injected += 1
+                    return spec
+        return None
+
+    def directives(
+        self, phase: str, rank: int, attempt: int,
+        kinds: tuple[str, ...] = WORKER_KINDS,
+    ) -> tuple[FaultSpec, ...]:
+        """Consume every armed worker-side spec for one (rank, attempt).
+
+        The coordinator calls this before forking a worker and ships
+        the result in the worker's job, so the budget accounting lives
+        entirely in the coordinator process.
+        """
+        out: list[FaultSpec] = []
+        with self._lock:
+            for i, spec in enumerate(self.specs):
+                if (
+                    spec.kind in kinds
+                    and self._remaining[i] > 0
+                    and self._matches(spec, spec.kind, phase, rank, attempt)
+                ):
+                    self._remaining[i] -= 1
+                    self.injected += 1
+                    out.append(spec)
+        return tuple(out)
+
+    def remaining(self) -> int:
+        """Total unfired budget across all specs."""
+        with self._lock:
+            return sum(self._remaining)
+
+    def reset(self) -> None:
+        """Re-arm every spec to its full ``times`` budget."""
+        with self._lock:
+            self._remaining = [spec.times for spec in self.specs]
+            self.injected = 0
+
+    @classmethod
+    def sample(
+        cls,
+        seed: int,
+        n_ranks: int = 4,
+        n_faults: int = 1,
+        kinds: Iterable[str] = KINDS,
+        phases: Iterable[str] = ("scan", "merge"),
+    ) -> "FaultPlan":
+        """A replayable random plan: same seed, same faults.
+
+        >>> a = FaultPlan.sample(7, n_ranks=3, n_faults=2)
+        >>> b = FaultPlan.sample(7, n_ranks=3, n_faults=2)
+        >>> a.specs == b.specs
+        True
+        """
+        rng = random.Random(seed)
+        kinds = tuple(kinds)
+        phases = tuple(phases)
+        specs = []
+        for _ in range(n_faults):
+            kind = rng.choice(kinds)
+            phase = "alloc" if kind == "shm_fail" else (
+                "comm" if kind == "truncate_msg" else rng.choice(phases)
+            )
+            specs.append(
+                FaultSpec(
+                    kind=kind,
+                    phase=phase,
+                    rank=rng.randrange(n_ranks),
+                    after_chunks=rng.randrange(2),
+                    delay_seconds=rng.uniform(0.0, 0.05),
+                )
+            )
+        return cls(specs, seed=seed)
+
+
+class NullFaultPlan:
+    """Disabled-injection plan: every site short-circuits on ``enabled``.
+
+    One shared instance (:data:`NULL_PLAN`) is the ambient default, so
+    the hooks cost one attribute test when injection is off — the same
+    zero-overhead contract the null recorder gives tracing.
+    """
+
+    __slots__ = ()
+
+    enabled = False
+    injected = 0
+
+    def take(self, kind, phase, rank=None, attempt=0):
+        return None
+
+    def directives(self, phase, rank, attempt, kinds=WORKER_KINDS):
+        return ()
+
+    def remaining(self) -> int:
+        return 0
+
+    def reset(self) -> None:
+        return None
+
+
+#: the process-wide disabled plan (default ambient plan).
+NULL_PLAN = NullFaultPlan()
+
+_current: NullFaultPlan | FaultPlan = NULL_PLAN
+
+
+def get_fault_plan() -> NullFaultPlan | FaultPlan:
+    """The ambient fault plan (the :data:`NULL_PLAN` by default)."""
+    return _current
+
+
+def set_fault_plan(plan) -> NullFaultPlan | FaultPlan:
+    """Install *plan* as the ambient plan; returns the previous one."""
+    global _current
+    previous = _current
+    _current = plan
+    return previous
+
+
+@contextlib.contextmanager
+def use_fault_plan(plan) -> Iterator:
+    """Scoped :func:`set_fault_plan` (restores the previous plan)."""
+    previous = set_fault_plan(plan)
+    try:
+        yield plan
+    finally:
+        set_fault_plan(previous)
+
+
+def record_injection(rec, spec: FaultSpec, n: int = 1) -> None:
+    """Emit the ``fault.*`` events for *n* firings of *spec*."""
+    if rec.enabled:
+        rec.count("fault.injected", n)
+        rec.count(f"fault.{spec.kind}", n)

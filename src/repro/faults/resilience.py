@@ -1,0 +1,101 @@
+"""Recovery policy: retry budgets, backoff, watchdogs, degradation.
+
+Two knobs objects configure how the execution layer survives the faults
+:mod:`repro.faults.plan` can inject (and their real-world counterparts —
+OOM-killed workers, ``/dev/shm`` exhaustion, scheduling stalls):
+
+* :class:`ResilienceConfig` — per-backend mechanics: how many times a
+  failed worker/chunk is retried, the exponential backoff between
+  attempts, the per-phase watchdog deadline that converts hangs into
+  typed :class:`~repro.errors.PhaseTimeoutError`;
+* :class:`DegradationPolicy` — the cross-backend ladder: when a backend
+  exhausts its retries, :func:`repro.parallel.paremsp.paremsp` falls
+  back ``processes -> threads -> serial`` (each rung trades speed for a
+  smaller failure surface; ``serial`` has no workers left to lose).
+
+Both are plain frozen dataclasses so a configuration can be logged,
+compared, and shipped across a fork boundary without ceremony.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Iterator
+
+__all__ = [
+    "ResilienceConfig",
+    "DEFAULT_RESILIENCE",
+    "DegradationPolicy",
+    "backoff_delays",
+]
+
+
+@dataclasses.dataclass(frozen=True)
+class ResilienceConfig:
+    """Retry/backoff/watchdog knobs for one backend's supervised phases.
+
+    ``max_retries`` counts *re*-tries: the first attempt plus
+    ``max_retries`` respawns, then :class:`~repro.errors.WorkerCrashError`.
+    ``phase_timeout`` is the watchdog deadline for one supervised phase
+    (scan); ``alloc_retries`` bounds shared-memory allocation retries.
+    """
+
+    max_retries: int = 2
+    backoff_base: float = 0.05
+    backoff_factor: float = 2.0
+    backoff_max: float = 1.0
+    phase_timeout: float = 300.0
+    alloc_retries: int = 2
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise ValueError(f"max_retries must be >= 0, got {self.max_retries}")
+        if self.backoff_base < 0 or self.backoff_factor < 1:
+            raise ValueError(
+                "backoff_base must be >= 0 and backoff_factor >= 1 "
+                f"(got {self.backoff_base}, {self.backoff_factor})"
+            )
+        if self.phase_timeout <= 0:
+            raise ValueError(
+                f"phase_timeout must be > 0, got {self.phase_timeout}"
+            )
+
+    def backoff(self, attempt: int) -> float:
+        """Delay before retry *attempt* (1-based), capped at
+        ``backoff_max``."""
+        if attempt <= 0:
+            return 0.0
+        return min(
+            self.backoff_max,
+            self.backoff_base * self.backoff_factor ** (attempt - 1),
+        )
+
+
+#: the default knobs: bounded retries, sub-second total backoff.
+DEFAULT_RESILIENCE = ResilienceConfig()
+
+
+def backoff_delays(config: ResilienceConfig) -> Iterator[float]:
+    """The backoff schedule as an iterator (one delay per retry)."""
+    for attempt in range(1, config.max_retries + 1):
+        yield config.backoff(attempt)
+
+
+@dataclasses.dataclass(frozen=True)
+class DegradationPolicy:
+    """The backend fallback ladder for repeated backend failure.
+
+    ``ladder_from(backend)`` yields the backends to attempt, starting
+    at *backend*'s rung: a ``processes`` run degrades to ``threads``
+    then ``serial``; a backend outside the ladder (``simulated``) gets
+    no fallback. ``serial`` is the terminal rung by construction — it
+    cannot lose a worker it never spawned.
+    """
+
+    ladder: tuple[str, ...] = ("processes", "threads", "serial")
+    enabled: bool = True
+
+    def ladder_from(self, backend: str) -> tuple[str, ...]:
+        if not self.enabled or backend not in self.ladder:
+            return (backend,)
+        return self.ladder[self.ladder.index(backend):]

@@ -14,19 +14,38 @@ No buffers are shared: payloads are passed by reference but the
 algorithms in this repository treat received arrays as read-only or copy
 them, mirroring real message-passing discipline (enforced in tests by
 sending copies where mutation follows).
+
+Failure semantics: the :class:`Network` carries a registry of dead
+ranks and a run-wide cancellation flag. Receives poll instead of
+blocking for the full timeout, so a rank waiting on a peer that already
+died fails *fast* with :class:`~repro.errors.WorkerCrashError` naming
+the dead rank, and a cancelled run unwinds every blocked rank with
+:class:`~repro.errors.DeadlockError` instead of leaving daemon threads
+parked in ``Queue.get`` forever. A receive that simply never gets its
+message still times out (``RECV_TIMEOUT``) — but now with a typed
+:class:`~repro.errors.DeadlockError` carrying rank/source/tag/phase
+diagnostics and the list of known-dead ranks.
 """
 
 from __future__ import annotations
 
 import queue
 import threading
+import time
 from typing import Any, Callable, Sequence
+
+from ..errors import DeadlockError, WorkerCrashError
 
 __all__ = ["Communicator", "Network"]
 
 
 class Network:
-    """Shared mailbox fabric for one SPMD run."""
+    """Shared mailbox fabric for one SPMD run.
+
+    Besides the mailboxes it tracks run health: ranks that raised
+    (:meth:`mark_failed`) and a run-wide :meth:`cancel` flag, both
+    consulted by every polling receive.
+    """
 
     def __init__(self, size: int) -> None:
         if size < 1:
@@ -34,6 +53,9 @@ class Network:
         self.size = size
         self._boxes: dict[tuple[int, int, int], queue.Queue] = {}
         self._lock = threading.Lock()
+        self._failed: dict[int, BaseException] = {}
+        self._cancelled = threading.Event()
+        self.cancel_reason: str | None = None
 
     def mailbox(self, src: int, dst: int, tag: int) -> queue.Queue:
         key = (src, dst, tag)
@@ -42,6 +64,32 @@ class Network:
             if box is None:
                 box = self._boxes[key] = queue.Queue()
             return box
+
+    # -- run health ---------------------------------------------------------
+
+    def mark_failed(self, rank: int, exc: BaseException) -> None:
+        """Record that *rank* died with *exc* (receives from it fail fast)."""
+        with self._lock:
+            self._failed.setdefault(rank, exc)
+
+    def failure(self, rank: int) -> BaseException | None:
+        """The exception *rank* died with, or ``None`` if it is healthy."""
+        with self._lock:
+            return self._failed.get(rank)
+
+    def failed_ranks(self) -> tuple[int, ...]:
+        """Sorted ranks known to have died."""
+        with self._lock:
+            return tuple(sorted(self._failed))
+
+    def cancel(self, reason: str) -> None:
+        """Abort the run: every blocked receive raises ``DeadlockError``."""
+        self.cancel_reason = reason
+        self._cancelled.set()
+
+    @property
+    def cancelled(self) -> bool:
+        return self._cancelled.is_set()
 
 
 class Communicator:
@@ -59,32 +107,89 @@ class Communicator:
     #: surfaces as an error instead of hanging the test suite.
     RECV_TIMEOUT = 60.0
 
+    #: polling granularity (seconds) of the blocking receives — the
+    #: latency bound on noticing a dead peer or a cancelled run.
+    POLL = 0.05
+
     def __init__(self, network: Network, rank: int) -> None:
         self._net = network
         self.rank = rank
         self.size = network.size
         self._coll_seq = 0
+        #: optional phase label carried into receive diagnostics
+        #: (set it around algorithm phases: ``comm.phase = "merge"``).
+        self.phase: str | None = None
 
     # -- point-to-point ---------------------------------------------------
 
     def send(self, obj: Any, dest: int, tag: int = 0) -> None:
         """Send *obj* to rank *dest* (asynchronous, never blocks)."""
         self._check_rank(dest)
+        from ..faults import get_fault_plan, record_injection
+
+        plan = get_fault_plan()
+        if plan.enabled:
+            spec = plan.take("truncate_msg", phase="comm", rank=self.rank)
+            if spec is not None:
+                from ..obs import get_recorder
+
+                record_injection(get_recorder(), spec)
+                # the message is dropped in flight: the receiver's
+                # typed timeout is the observable under test.
+                return
         self._net.mailbox(self.rank, dest, tag).put(obj)
 
     def recv(self, source: int, tag: int = 0) -> Any:
-        """Blocking receive of the next message from (source, tag)."""
+        """Blocking receive of the next message from (source, tag).
+
+        Raises :class:`~repro.errors.WorkerCrashError` as soon as
+        *source* is known dead, :class:`~repro.errors.DeadlockError`
+        when the run is cancelled or ``RECV_TIMEOUT`` expires.
+        """
         self._check_rank(source)
-        try:
-            return self._net.mailbox(source, self.rank, tag).get(
-                timeout=self.RECV_TIMEOUT
-            )
-        except queue.Empty:
-            raise TimeoutError(
-                f"rank {self.rank} timed out receiving from rank "
-                f"{source} (tag {tag}) — mismatched send/recv or "
-                "collective ordering?"
-            ) from None
+        return self._recv_poll(source, tag, collective=False)
+
+    def _recv_poll(self, source: int, tag: int, collective: bool) -> Any:
+        box = self._net.mailbox(source, self.rank, tag)
+        deadline = time.monotonic() + self.RECV_TIMEOUT
+        where = "in a collective " if collective else ""
+        while True:
+            try:
+                return box.get(timeout=self.POLL)
+            except queue.Empty:
+                pass
+            exc = self._net.failure(source)
+            if exc is not None:
+                raise WorkerCrashError(
+                    f"rank {self.rank} was {where}receiving from rank "
+                    f"{source} (tag {tag}) when that rank died: "
+                    f"{type(exc).__name__}: {exc}",
+                    ranks=(source,),
+                    phase=self.phase,
+                ) from None
+            if self._net.cancelled:
+                raise DeadlockError(
+                    f"rank {self.rank} {where}receive from rank {source} "
+                    f"(tag {tag}) aborted: run cancelled "
+                    f"({self._net.cancel_reason})",
+                    rank=self.rank,
+                    source=source,
+                    tag=tag,
+                    phase=self.phase,
+                    dead=self._net.failed_ranks(),
+                ) from None
+            if time.monotonic() >= deadline:
+                raise DeadlockError(
+                    f"rank {self.rank} timed out {where}receiving from "
+                    f"rank {source} (tag {tag}) after "
+                    f"{self.RECV_TIMEOUT:.1f}s — mismatched send/recv or "
+                    "collective ordering?",
+                    rank=self.rank,
+                    source=source,
+                    tag=tag,
+                    phase=self.phase,
+                    dead=self._net.failed_ranks(),
+                ) from None
 
     def _check_rank(self, r: int) -> None:
         if not 0 <= r < self.size:
@@ -165,12 +270,4 @@ class Communicator:
         return self.bcast(self.reduce(obj, op=op))
 
     def _recv_tagged(self, source: int, tag: int) -> Any:
-        try:
-            return self._net.mailbox(source, self.rank, tag).get(
-                timeout=self.RECV_TIMEOUT
-            )
-        except queue.Empty:
-            raise TimeoutError(
-                f"rank {self.rank} timed out in a collective (source "
-                f"{source}, tag {tag})"
-            ) from None
+        return self._recv_poll(source, tag, collective=True)

@@ -1,13 +1,35 @@
-"""SPMD launcher: one thread per rank, exceptions propagated."""
+"""SPMD launcher: one thread per rank, exceptions propagated.
+
+Failure handling is two-layered:
+
+* a rank that raises is recorded on the :class:`~repro.mp.comm.Network`
+  failure registry *immediately*, so peers blocked in a receive on it
+  fail fast with :class:`~repro.errors.WorkerCrashError` instead of
+  burning their full ``RECV_TIMEOUT``;
+* if any rank is still running when the run *timeout* expires, the
+  network is cancelled — every receive-blocked rank unwinds with
+  :class:`~repro.errors.DeadlockError` within one poll interval — and
+  after a short grace period the launcher raises :class:`SpmdError`
+  with a typed :class:`~repro.errors.PhaseTimeoutError` entry for each
+  rank that still did not finish. Only a rank spinning in pure compute
+  (never touching the communicator) can survive the cancel; it stays a
+  daemon thread and is reported as timed out rather than silently
+  abandoned mid-``recv``.
+"""
 
 from __future__ import annotations
 
 import threading
 from typing import Any, Callable
 
+from ..errors import PhaseTimeoutError
 from .comm import Communicator, Network
 
 __all__ = ["run_spmd", "SpmdError"]
+
+#: extra time (seconds) granted after a cancel for blocked ranks to
+#: unwind through their poll loop and report a typed error.
+_CANCEL_GRACE = 2.0
 
 
 class SpmdError(RuntimeError):
@@ -31,9 +53,10 @@ def run_spmd(
     """Run ``program(comm, *args, **kwargs)`` on *size* ranks.
 
     Returns the per-rank return values in rank order. If any rank raises,
-    every failure is collected into one :class:`SpmdError` (surviving
-    ranks may block on a peer that died — their ``recv`` timeout converts
-    the hang into an error that is reported too).
+    every failure is collected into one :class:`SpmdError`; surviving
+    ranks blocked on the dead peer fail fast through the network's
+    failure registry. Ranks that outlive *timeout* are cancelled and
+    reported as :class:`~repro.errors.PhaseTimeoutError` failures.
     """
     network = Network(size)
     results: list[Any] = [None] * size
@@ -45,6 +68,9 @@ def run_spmd(
             results[rank] = program(comm, *args, **kwargs)
         except BaseException as exc:  # noqa: BLE001 - reported to caller
             errors[rank] = exc
+            # peers blocked in a recv on this rank fail fast instead of
+            # waiting out their full RECV_TIMEOUT.
+            network.mark_failed(rank, exc)
 
     threads = [
         threading.Thread(target=entry, args=(r,), daemon=True, name=f"rank-{r}")
@@ -56,13 +82,22 @@ def run_spmd(
         t.join(timeout=timeout)
     hung = [t for t in threads if t.is_alive()]
     if hung:
-        raise SpmdError(
-            errors
-            or {
-                int(t.name.split("-")[1]): TimeoutError("rank did not finish")
-                for t in hung
-            }
+        network.cancel(
+            f"{len(hung)} rank(s) exceeded the {timeout:.1f}s run deadline"
         )
+        for t in hung:
+            t.join(timeout=_CANCEL_GRACE)
+        failures = dict(errors)
+        for t in hung:
+            rank = int(t.name.split("-")[1])
+            if rank not in failures:
+                failures[rank] = PhaseTimeoutError(
+                    "rank did not finish",
+                    phase="spmd",
+                    timeout=timeout,
+                    ranks=(rank,),
+                )
+        raise SpmdError(failures)
     if errors:
         raise SpmdError(errors)
     return results

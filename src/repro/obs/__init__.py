@@ -28,6 +28,7 @@ recorder=...)``, ``StreamingLabeler(..., recorder=...)``, the ambient
 
 from .analyze import (
     AmdahlFit,
+    FaultReport,
     MergeContention,
     PhaseStats,
     TraceAnalysis,
@@ -93,6 +94,7 @@ __all__ = [
     "TraceAnalysis",
     "PhaseStats",
     "MergeContention",
+    "FaultReport",
     "AmdahlFit",
     "analyze_spans",
     "analyze_report",

@@ -35,6 +35,7 @@ from .recorder import Span
 __all__ = [
     "PhaseStats",
     "MergeContention",
+    "FaultReport",
     "TraceAnalysis",
     "AmdahlFit",
     "analyze_spans",
@@ -140,6 +141,80 @@ class MergeContention:
 
 
 @dataclasses.dataclass(frozen=True)
+class FaultReport:
+    """Injected-vs-recovered accounting from the ``fault.*`` /
+    ``retry.*`` / ``degrade.*`` counters (see docs/RESILIENCE.md)."""
+
+    injected: int = 0
+    kinds: tuple[tuple[str, int], ...] = ()
+    retries: int = 0
+    recovered: int = 0
+    exhausted: int = 0
+    worker_crashes: int = 0
+    respawned: int = 0
+    watchdog_timeouts: int = 0
+    degraded: int = 0
+
+    @property
+    def has_data(self) -> bool:
+        """False for clean runs (no injection and no recovery events)."""
+        return bool(
+            self.injected
+            or self.retries
+            or self.worker_crashes
+            or self.watchdog_timeouts
+            or self.degraded
+        )
+
+    def describe(self) -> str:
+        if not self.has_data:
+            return "faults: none injected, none observed"
+        kinds = (
+            " (" + ", ".join(f"{k.split('.', 1)[1]} x{n}" for k, n in self.kinds) + ")"
+            if self.kinds
+            else ""
+        )
+        parts = [f"faults: {self.injected} injected{kinds}"]
+        parts.append(
+            f"{self.recovered} recovered over {self.retries} retr"
+            f"{'y' if self.retries == 1 else 'ies'}"
+        )
+        if self.worker_crashes:
+            parts.append(
+                f"{self.worker_crashes} worker crash(es), "
+                f"{self.respawned} respawn(s)"
+            )
+        if self.exhausted:
+            parts.append(f"{self.exhausted} retry budget(s) exhausted")
+        if self.watchdog_timeouts:
+            parts.append(f"{self.watchdog_timeouts} watchdog timeout(s)")
+        if self.degraded:
+            parts.append(f"{self.degraded} backend degradation(s)")
+        return "; ".join(parts)
+
+
+def _fault_report(counters: Mapping) -> FaultReport:
+    kinds = tuple(
+        sorted(
+            (name, int(value))
+            for name, value in counters.items()
+            if name.startswith("fault.") and name != "fault.injected"
+        )
+    )
+    return FaultReport(
+        injected=int(counters.get("fault.injected", 0)),
+        kinds=kinds,
+        retries=int(counters.get("retry.attempt", 0)),
+        recovered=int(counters.get("retry.succeeded", 0)),
+        exhausted=int(counters.get("retry.exhausted", 0)),
+        worker_crashes=int(counters.get("worker.crashed", 0)),
+        respawned=int(counters.get("worker.respawned", 0)),
+        watchdog_timeouts=int(counters.get("watchdog.timeout", 0)),
+        degraded=int(counters.get("degrade.fallback", 0)),
+    )
+
+
+@dataclasses.dataclass(frozen=True)
 class TraceAnalysis:
     """One trace's full decomposition (see :func:`analyze_spans`)."""
 
@@ -149,6 +224,7 @@ class TraceAnalysis:
     n_threads: int
     contention: MergeContention
     metrics: dict
+    faults: FaultReport = dataclasses.field(default_factory=FaultReport)
 
     @property
     def parallel_seconds(self) -> float:
@@ -192,6 +268,17 @@ class TraceAnalysis:
                 "boundary_unions": self.contention.boundary_unions,
                 "contention_pct": self.contention.contention_pct,
             },
+            "faults": {
+                "injected": self.faults.injected,
+                "kinds": dict(self.faults.kinds),
+                "retries": self.faults.retries,
+                "recovered": self.faults.recovered,
+                "exhausted": self.faults.exhausted,
+                "worker_crashes": self.faults.worker_crashes,
+                "respawned": self.faults.respawned,
+                "watchdog_timeouts": self.faults.watchdog_timeouts,
+                "degraded": self.faults.degraded,
+            },
         }
 
     def render(self) -> str:
@@ -203,6 +290,8 @@ class TraceAnalysis:
             f"({self.serial_seconds:.6f} s with no worker lane busy)",
             self.contention.describe(),
         ]
+        if self.faults.has_data:
+            lines.append(self.faults.describe())
         if self.phases:
             lines.append("")
             lines.append(
@@ -280,6 +369,7 @@ def analyze_spans(
         splices=int(counters.get("merger.splices", 0)),
         boundary_unions=int(counters.get("unionfind.boundary_unions", 0)),
     )
+    faults = _fault_report(counters)
     if not spans:
         return TraceAnalysis(
             wall_seconds=0.0,
@@ -288,6 +378,7 @@ def analyze_spans(
             n_threads=trace_thread_count((), metrics),
             contention=contention,
             metrics=metrics,
+            faults=faults,
         )
     t0 = min(s.start for s in spans)
     t1 = max(s.stop for s in spans)
@@ -335,6 +426,7 @@ def analyze_spans(
         n_threads=trace_thread_count(spans, metrics),
         contention=contention,
         metrics=metrics,
+        faults=faults,
     )
 
 

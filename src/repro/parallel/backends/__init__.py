@@ -36,13 +36,21 @@ _BACKENDS = {
 }
 
 
-def get_backend(name: str):
+def get_backend(name: str, resilience=None, fault_plan=None):
     """Instantiate a backend by name (``serial``/``threads``/``processes``;
-    ``simulated`` is routed in :func:`repro.parallel.paremsp.paremsp`)."""
+    ``simulated`` is routed in :func:`repro.parallel.paremsp.paremsp`).
+
+    *resilience* and *fault_plan* flow to the backends that execute
+    concurrently (``threads``/``processes``); ``serial`` has no fault
+    sites and takes neither.
+    """
     try:
-        return _BACKENDS[name.lower()]()
+        cls = _BACKENDS[name.lower()]
     except KeyError:
         raise BackendError(
             f"unknown backend {name!r}; available: "
             f"{sorted(_BACKENDS)} + ['simulated']"
         ) from None
+    if cls is SerialBackend:
+        return cls()
+    return cls(resilience=resilience, fault_plan=fault_plan)

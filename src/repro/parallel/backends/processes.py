@@ -25,6 +25,19 @@ The coordinator still performs the (tiny) boundary merge itself; that
 remains the one departure from the paper's model, recorded in
 DESIGN.md §2.
 
+The scan phase runs *supervised* (:mod:`repro.parallel.supervisor`):
+worker death is detected through process sentinels, incomplete chunks
+are respawned with exponential backoff up to the
+:class:`~repro.faults.ResilienceConfig` retry budget (safe because
+chunk scans write disjoint shared-memory ranges and are idempotent), a
+per-phase watchdog bounds hangs with a typed
+:class:`~repro.errors.PhaseTimeoutError`, and every exit path —
+including ``KeyboardInterrupt`` — kills live workers and unlinks every
+``/dev/shm`` segment. Deterministic fault injection
+(:class:`~repro.faults.FaultPlan`) is arbitrated coordinator-side and
+shipped to workers as per-batch directives, so chaos tests can kill a
+worker mid-scan and assert byte-identical recovery.
+
 For the ``interpreter`` engine each worker scans over Python row lists
 built from its *own* slice of the shared image (list indexing is the
 faithful-transcription fast path in CPython), then bulk-copies the
@@ -49,6 +62,11 @@ import numpy as np
 
 from ...ccl.scan_aremsp import scan_tworow
 from ...errors import BackendError
+from ...faults import (
+    DEFAULT_RESILIENCE,
+    get_fault_plan,
+    record_injection,
+)
 from ...obs import NULL_RECORDER
 from ...types import LABEL_DTYPE, PIXEL_DTYPE
 from ...unionfind.remsp import merge as remsp_merge
@@ -59,6 +77,7 @@ from ..boundary import (
     merge_edges,
 )
 from ..partition import RowChunk
+from ..supervisor import supervise
 from ._common import chunk_kernel
 
 __all__ = ["ProcessBackend", "OffsetList"]
@@ -138,8 +157,26 @@ def _attach(name: str) -> shared_memory.SharedMemory:
         resource_tracker.register = original
 
 
+def _apply_directives(directives: tuple, done: int) -> None:
+    """Execute coordinator-issued fault directives at a batch position.
+
+    Each directive is ``(kind, after_chunks, value)``; a directive
+    fires when the worker has completed exactly ``after_chunks`` chunks
+    of its batch — ``kill_worker`` dies with ``value`` as the exit
+    code, ``delay_chunk`` sleeps ``value`` seconds (a straggler).
+    """
+    for kind, after, value in directives:
+        if after != done:
+            continue
+        if kind == "delay_chunk":
+            time.sleep(value)
+        elif kind == "kill_worker":
+            os._exit(int(value))
+
+
 def _scan_chunks_shm(
-    args: tuple[str, str, str, str, str, int, int, int, int, str, tuple],
+    args: tuple[str, str, str, str, str, int, int, int, int, str, tuple,
+                tuple],
 ) -> None:
     """Top-level worker (picklable for spawn contexts): scan a batch of
     chunks in place.
@@ -147,13 +184,20 @@ def _scan_chunks_shm(
     Receives only shared-memory segment names and chunk coordinates;
     reads image rows from the shared image and writes provisional
     labels, equivalence slices, and used-label watermarks into the
-    shared outputs. Nothing bulk crosses the process boundary.
+    shared outputs. Nothing bulk crosses the process boundary. The
+    used-watermark write happens strictly *after* a chunk's label rows
+    and equivalence slice land, so the coordinator can treat a nonzero
+    watermark as "chunk complete" when deciding what a respawned
+    worker must redo.
 
     ``prof_name`` is the empty string unless the coordinator is
     tracing, in which case it names a ``(n_chunks, 2)`` float64 segment
     the worker fills with per-chunk ``perf_counter`` start/stop pairs —
     ``CLOCK_MONOTONIC`` is machine-wide on Linux, so the coordinator
     can line those readings up with its own spans.
+
+    ``directives`` are the fault-injection triples of
+    :func:`_apply_directives` (empty outside chaos runs).
     """
     (
         img_name,
@@ -167,6 +211,7 @@ def _scan_chunks_shm(
         connectivity,
         engine,
         batch,
+        directives,
     ) = args
     try:
         segs = [
@@ -189,7 +234,10 @@ def _scan_chunks_shm(
             rows * cols + 2, dtype=LABEL_DTYPE, buffer=segs[2].buf
         )
         used_arr = np.ndarray(n_chunks, dtype=np.int64, buffer=segs[3].buf)
+        done = 0
         for chunk_index, row_start, row_stop, label_start in batch:
+            if directives:
+                _apply_directives(directives, done)
             t0 = time.perf_counter()
             chunk = img[row_start:row_stop]
             if engine == "interpreter":
@@ -213,6 +261,9 @@ def _scan_chunks_shm(
             if prof is not None:
                 prof[chunk_index, 0] = t0
                 prof[chunk_index, 1] = time.perf_counter()
+            done += 1
+        if directives:
+            _apply_directives(directives, done)
         for seg in segs:
             seg.close()
     except BaseException:
@@ -229,11 +280,94 @@ def _scan_chunks_shm(
     os._exit(0)
 
 
+def _release_segments(segments, keep) -> None:
+    """Unlink every segment name and close every mapping except *keep*.
+
+    Best-effort per segment: one failed unlink (already gone, racing
+    cleanup) must not leak the rest.
+    """
+    for seg in segments:
+        try:
+            seg.unlink()
+        except (FileNotFoundError, OSError):
+            pass
+        if seg is not keep:
+            try:
+                seg.close()
+            except OSError:  # pragma: no cover - defensive
+                pass
+
+
 class ProcessBackend:
     """Fork-per-chunk execution of the PAREMSP scan phase over shared
-    memory."""
+    memory, supervised for worker death and hangs.
+
+    *resilience* configures the supervisor's retry/backoff/watchdog
+    budgets (defaults to :data:`repro.faults.DEFAULT_RESILIENCE`);
+    *fault_plan* overrides the ambient injection plan
+    (:func:`repro.faults.get_fault_plan`, the disabled plan unless a
+    chaos test installed one).
+    """
 
     name = "processes"
+
+    def __init__(self, resilience=None, fault_plan=None) -> None:
+        self.resilience = (
+            resilience if resilience is not None else DEFAULT_RESILIENCE
+        )
+        self._fault_plan = fault_plan
+
+    def _plan(self):
+        return (
+            self._fault_plan
+            if self._fault_plan is not None
+            else get_fault_plan()
+        )
+
+    def _create_segment(
+        self, size: int, plan, rec, attempt: int
+    ) -> shared_memory.SharedMemory:
+        """One shared-memory allocation, with the ``shm_fail`` site."""
+        if plan.enabled:
+            spec = plan.take("shm_fail", phase="alloc", attempt=attempt)
+            if spec is not None:
+                record_injection(rec, spec)
+                raise OSError(
+                    28, "injected shared_memory allocation failure"
+                )
+        return shared_memory.SharedMemory(create=True, size=size)
+
+    def _allocate_segments(
+        self, sizes: Sequence[int], plan, rec
+    ) -> list[shared_memory.SharedMemory]:
+        """Allocate every segment or none, retrying with backoff.
+
+        A failed allocation (injected or a genuinely full ``/dev/shm``)
+        unlinks whatever partial set was created, backs off, and
+        retries up to ``alloc_retries`` times before surfacing a
+        :class:`BackendError`.
+        """
+        config = self.resilience
+        for attempt in range(config.alloc_retries + 1):
+            segments: list[shared_memory.SharedMemory] = []
+            try:
+                for size in sizes:
+                    segments.append(
+                        self._create_segment(size, plan, rec, attempt)
+                    )
+                return segments
+            except OSError as exc:
+                _release_segments(segments, keep=None)
+                if attempt >= config.alloc_retries:
+                    raise BackendError(
+                        "shared memory allocation failed after "
+                        f"{attempt + 1} attempt(s): {exc}"
+                    ) from exc
+                if rec.enabled:
+                    rec.count("shm.alloc_retries")
+                    rec.count("retry.attempt")
+                time.sleep(config.backoff(attempt + 1))
+        raise AssertionError("unreachable")  # pragma: no cover
 
     def scan(
         self,
@@ -244,44 +378,39 @@ class ProcessBackend:
         recorder=None,
     ) -> tuple[np.ndarray, list[int], np.ndarray, dict]:
         rec = recorder if recorder is not None else NULL_RECORDER
+        plan = self._plan()
         rows, cols = img.shape
         if len(chunks) <= 1:
             # one chunk: fork + shared-memory transport would be pure
-            # overhead; run the same kernel in-process.
+            # overhead; run the same kernel in-process (no fault sites —
+            # there is no worker to lose).
             return self._scan_inline(img, chunks, connectivity, engine, rec)
         n_chunks = len(chunks)
-        segments: list[shared_memory.SharedMemory] = []
+        sizes = [
+            img.nbytes,
+            rows * cols * _LABEL_ITEMSIZE,
+            (rows * cols + 2) * _LABEL_ITEMSIZE,
+            n_chunks * 8,
+        ]
+        if rec.enabled:
+            sizes.append(n_chunks * 2 * 8)
+        segments = self._allocate_segments(sizes, plan, rec)
         keep = None
+        stats = {"attempts": 1, "respawned": 0}
         try:
-            shm_img = shared_memory.SharedMemory(
-                create=True, size=img.nbytes
-            )
-            segments.append(shm_img)
-            shm_lab = shared_memory.SharedMemory(
-                create=True, size=rows * cols * _LABEL_ITEMSIZE
-            )
-            segments.append(shm_lab)
-            shm_p = shared_memory.SharedMemory(
-                create=True, size=(rows * cols + 2) * _LABEL_ITEMSIZE
-            )
-            segments.append(shm_p)
-            shm_used = shared_memory.SharedMemory(
-                create=True, size=n_chunks * 8
-            )
-            segments.append(shm_used)
-            shm_prof = None
-            if rec.enabled:
-                shm_prof = shared_memory.SharedMemory(
-                    create=True, size=n_chunks * 2 * 8
-                )
-                segments.append(shm_prof)
+            shm_img, shm_lab, shm_p, shm_used = segments[:4]
+            shm_prof = segments[4] if rec.enabled else None
+            if shm_prof is not None:
                 np.ndarray(
                     (n_chunks, 2), dtype=np.float64, buffer=shm_prof.buf
                 )[:] = 0.0
             np.ndarray(
                 (rows, cols), dtype=PIXEL_DTYPE, buffer=shm_img.buf
             )[:] = img
-            np.ndarray(n_chunks, dtype=np.int64, buffer=shm_used.buf)[:] = 0
+            used_view = np.ndarray(
+                n_chunks, dtype=np.int64, buffer=shm_used.buf
+            )
+            used_view[:] = 0
             if rec.enabled:
                 rec.gauge(
                     "shm.bytes", float(sum(s.size for s in segments))
@@ -301,8 +430,14 @@ class ProcessBackend:
                 batches[index % n_workers].append(
                     (index, c.row_start, c.row_stop, c.label_start)
                 )
-            jobs = [
-                (
+            ctx = multiprocessing.get_context(
+                "fork"
+                if "fork" in multiprocessing.get_all_start_methods()
+                else None
+            )
+
+            def spawn(batch, directives):
+                job = (
                     shm_img.name,
                     shm_lab.name,
                     shm_p.name,
@@ -314,40 +449,25 @@ class ProcessBackend:
                     connectivity,
                     engine,
                     tuple(batch),
+                    directives,
                 )
-                for batch in batches
-            ]
-            ctx = multiprocessing.get_context(
-                "fork"
-                if "fork" in multiprocessing.get_all_start_methods()
-                else None
+                return ctx.Process(target=_scan_chunks_shm, args=(job,))
+
+            def chunk_done(chunk) -> bool:
+                # the worker writes a chunk's watermark (always > 0)
+                # only after its labels and equivalence slice landed.
+                return bool(used_view[chunk[0]] != 0)
+
+            stats = supervise(
+                batches,
+                spawn,
+                chunk_done,
+                self.resilience,
+                recorder=rec,
+                fault_plan=plan,
+                phase="scan",
             )
-            workers = [
-                ctx.Process(target=_scan_chunks_shm, args=(job,))
-                for job in jobs
-            ]
-            fork_t0 = time.perf_counter()
-            for worker in workers:
-                worker.start()
-            if rec.enabled:
-                rec.count("worker.forked", len(workers))
-            lifetimes: list[float] = []
-            for worker in workers:
-                worker.join()
-                lifetimes.append(time.perf_counter())
-            if rec.enabled:
-                for k, joined in enumerate(lifetimes):
-                    rec.add_span(f"worker {k}", "worker", fork_t0, joined)
-                rec.count("worker.joined", len(workers))
-            failed = [w.exitcode for w in workers if w.exitcode != 0]
-            if failed:
-                raise BackendError(
-                    f"{len(failed)} of {len(workers)} scan workers failed "
-                    f"(exit codes {failed})"
-                )
-            used = np.ndarray(
-                n_chunks, dtype=np.int64, buffer=shm_used.buf
-            ).tolist()
+            used = used_view.tolist()
             if shm_prof is not None:
                 prof = np.ndarray(
                     (n_chunks, 2), dtype=np.float64, buffer=shm_prof.buf
@@ -375,12 +495,16 @@ class ProcessBackend:
                 p[c.label_start : u] = p_shared[c.label_start : u]
             keep = shm_lab
         finally:
-            for seg in segments:
-                seg.unlink()
-                if seg is not keep:
-                    seg.close()
+            # every exit path — success, typed failure, KeyboardInterrupt
+            # — must leave /dev/shm clean: unlink every name, close every
+            # mapping except the label plane we hand back as a view.
+            _release_segments(segments, keep)
         weakref.finalize(labels, keep.close)
-        return labels, used, p, {"transport": "shared_memory"}
+        return labels, used, p, {
+            "transport": "shared_memory",
+            "scan_attempts": stats["attempts"],
+            "workers_respawned": stats["respawned"],
+        }
 
     def _scan_inline(
         self,
@@ -423,6 +547,20 @@ class ProcessBackend:
         recorder=None,
     ) -> dict:
         rec = recorder if recorder is not None else NULL_RECORDER
+        plan = self._plan()
+        if plan.enabled:
+            # the coordinator-side merge takes no locks; a poisoned
+            # "acquisition" models the whole merge batch failing, the
+            # same contract as the threads backend's vectorised path.
+            spec = plan.take("poison_lock", phase="merge")
+            if spec is not None:
+                record_injection(rec, spec)
+                from ...errors import DeadlockError
+
+                raise DeadlockError(
+                    "injected poisoned boundary merge",
+                    phase="merge",
+                )
         if engine == "interpreter":
             ops = 0
             for row in boundary_rows(chunks):

@@ -27,6 +27,12 @@ import numpy as np
 
 from ...ccl.labeling import remsp_alloc
 from ...ccl.scan_aremsp import scan_tworow
+from ...errors import WorkerCrashError
+from ...faults import (
+    DEFAULT_RESILIENCE,
+    get_fault_plan,
+    record_injection,
+)
 from ...obs import NULL_RECORDER
 from ...types import LABEL_DTYPE
 from ...unionfind.parallel import LockStripedMerger
@@ -44,9 +50,70 @@ __all__ = ["ThreadBackend"]
 
 
 class ThreadBackend:
-    """Thread-pool execution of the PAREMSP phases."""
+    """Thread-pool execution of the PAREMSP phases.
+
+    *resilience* bounds the per-chunk retry loop the fault hooks feed
+    (a simulated worker death at a chunk's start is retried in place
+    with backoff); *fault_plan* overrides the ambient injection plan.
+    The injection site sits at the start of each chunk scan, before any
+    shared state is touched, so a retried chunk re-runs from scratch.
+    """
 
     name = "threads"
+
+    def __init__(self, resilience=None, fault_plan=None) -> None:
+        self.resilience = (
+            resilience if resilience is not None else DEFAULT_RESILIENCE
+        )
+        self._fault_plan = fault_plan
+
+    def _plan(self):
+        return (
+            self._fault_plan
+            if self._fault_plan is not None
+            else get_fault_plan()
+        )
+
+    def _run_chunk(self, fn, i: int, plan, rec):
+        """Run one chunk scan with fault sites + bounded in-place retry."""
+        if not plan.enabled:
+            return fn()
+        config = self.resilience
+        attempt = 0
+        while True:
+            try:
+                spec = plan.take(
+                    "delay_chunk", phase="scan", rank=i, attempt=attempt
+                )
+                if spec is not None:
+                    record_injection(rec, spec)
+                    time.sleep(spec.delay_seconds)
+                spec = plan.take(
+                    "kill_worker", phase="scan", rank=i, attempt=attempt
+                )
+                if spec is not None:
+                    record_injection(rec, spec)
+                    raise WorkerCrashError(
+                        f"injected worker death scanning chunk {i}",
+                        ranks=(i,),
+                        phase="scan",
+                        attempts=attempt + 1,
+                    )
+                result = fn()
+                if attempt > 0 and rec.enabled:
+                    rec.count("retry.succeeded")
+                return result
+            except WorkerCrashError:
+                if rec.enabled:
+                    rec.count("worker.crashed")
+                if attempt >= config.max_retries:
+                    if rec.enabled:
+                        rec.count("retry.exhausted")
+                    raise
+                attempt += 1
+                if rec.enabled:
+                    rec.count("retry.attempt")
+                time.sleep(config.backoff(attempt))
 
     def scan(
         self,
@@ -57,6 +124,7 @@ class ThreadBackend:
         recorder=None,
     ) -> tuple[list[list[int]] | np.ndarray, list[int], list[int] | np.ndarray, dict]:
         rec = recorder if recorder is not None else NULL_RECORDER
+        plan = self._plan()
         rows, cols = img.shape
         if engine == "interpreter":
             img_rows = img.tolist()
@@ -64,24 +132,30 @@ class ThreadBackend:
 
             def run(job: tuple[int, RowChunk]) -> tuple[list[list[int]], int]:
                 i, chunk = job
-                alloc, watermark = remsp_alloc(p, start=chunk.label_start)
-                t0 = time.perf_counter()
-                out = scan_tworow(
-                    img_rows[chunk.row_start : chunk.row_stop],
-                    p,
-                    # scan-phase merges stay inside one chunk's label
-                    # range, so the sequential kernel is safe here (the
-                    # paper's Algorithm 7 likewise uses plain merge in
-                    # the scan).
-                    remsp_merge,
-                    alloc,
-                    connectivity,
-                )
-                if rec.enabled:
-                    rec.add_span(
-                        f"thread {i}", "scan", t0, time.perf_counter()
+
+                def scan_once():
+                    alloc, watermark = remsp_alloc(
+                        p, start=chunk.label_start
                     )
-                return out, watermark()
+                    t0 = time.perf_counter()
+                    out = scan_tworow(
+                        img_rows[chunk.row_start : chunk.row_stop],
+                        p,
+                        # scan-phase merges stay inside one chunk's label
+                        # range, so the sequential kernel is safe here
+                        # (the paper's Algorithm 7 likewise uses plain
+                        # merge in the scan).
+                        remsp_merge,
+                        alloc,
+                        connectivity,
+                    )
+                    if rec.enabled:
+                        rec.add_span(
+                            f"thread {i}", "scan", t0, time.perf_counter()
+                        )
+                    return out, watermark()
+
+                return self._run_chunk(scan_once, i, plan, rec)
 
             with ThreadPoolExecutor(max_workers=max(1, len(chunks))) as pool:
                 results = list(pool.map(run, enumerate(chunks)))
@@ -96,18 +170,24 @@ class ThreadBackend:
 
         def run_vec(job: tuple[int, RowChunk]) -> tuple[int, np.ndarray]:
             i, chunk = job
-            # disjoint row slices: each worker paints its own window of
-            # the shared label plane, no copy and no race.
-            t0 = time.perf_counter()
-            _, watermark, p_slice = kernel(
-                img[chunk.row_start : chunk.row_stop],
-                chunk.label_start,
-                connectivity,
-                out=labels[chunk.row_start : chunk.row_stop],
-            )
-            if rec.enabled:
-                rec.add_span(f"thread {i}", "scan", t0, time.perf_counter())
-            return watermark, p_slice
+
+            def scan_once():
+                # disjoint row slices: each worker paints its own window
+                # of the shared label plane, no copy and no race.
+                t0 = time.perf_counter()
+                _, watermark, p_slice = kernel(
+                    img[chunk.row_start : chunk.row_stop],
+                    chunk.label_start,
+                    connectivity,
+                    out=labels[chunk.row_start : chunk.row_stop],
+                )
+                if rec.enabled:
+                    rec.add_span(
+                        f"thread {i}", "scan", t0, time.perf_counter()
+                    )
+                return watermark, p_slice
+
+            return self._run_chunk(scan_once, i, plan, rec)
 
         with ThreadPoolExecutor(max_workers=max(1, len(chunks))) as pool:
             results_vec = list(pool.map(run_vec, enumerate(chunks)))
@@ -128,16 +208,30 @@ class ThreadBackend:
         recorder=None,
     ) -> dict:
         rec = recorder if recorder is not None else NULL_RECORDER
+        plan = self._plan()
         seams = boundary_rows(chunks)
         if not seams:
             return {"boundary_unions": 0}
         if engine != "interpreter":
+            if plan.enabled:
+                # the vectorised merge is one lock-free coordinator
+                # batch; a poisoned "acquisition" models the batch
+                # failing outright.
+                spec = plan.take("poison_lock", phase="merge")
+                if spec is not None:
+                    record_injection(rec, spec)
+                    from ...errors import DeadlockError
+
+                    raise DeadlockError(
+                        "injected poisoned boundary merge",
+                        phase="merge",
+                    )
             edges = boundary_edges(label_source, seams, connectivity)
             ops = merge_edges(p, edges)
             if rec.enabled:
                 rec.count("threads.boundary_edges", len(edges))
             return {"boundary_unions": ops}
-        merger = LockStripedMerger(p, recorder=rec)
+        merger = LockStripedMerger(p, recorder=rec, fault_plan=plan)
         if rec.enabled:
             # stripe count contextualises the contention counters: the
             # contended rate only means something relative to how many

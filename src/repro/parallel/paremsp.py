@@ -28,10 +28,12 @@ column-major within the pair) before being returned.
 from __future__ import annotations
 
 import dataclasses
+import logging
 
 import numpy as np
 
 from ..ccl.labeling import CCLResult, apply_table, check_label_capacity
+from ..errors import BackendError
 from ..obs import PhaseTimer, get_recorder
 from ..types import LABEL_DTYPE, as_binary_image
 from ..unionfind.flatten import flatten_ranges, flatten_ranges_array
@@ -40,6 +42,8 @@ from .backends._common import VECTOR_ENGINES
 from .partition import partition_rows
 
 __all__ = ["ParallelResult", "ENGINES", "paremsp"]
+
+_LOG = logging.getLogger(__name__)
 
 #: scan engines accepted by :func:`paremsp`.
 ENGINES = ("interpreter",) + VECTOR_ENGINES
@@ -119,6 +123,9 @@ def paremsp(
     cost_model=None,
     engine: str = "interpreter",
     recorder=None,
+    resilience=None,
+    degradation=None,
+    fault_plan=None,
 ) -> ParallelResult:
     """Label *image* with PAREMSP.
 
@@ -149,6 +156,22 @@ def paremsp(
         was installed). When tracing is enabled the result's
         ``timings`` field carries the run's
         :class:`repro.obs.ObsReport`.
+    resilience:
+        A :class:`repro.faults.ResilienceConfig` bounding worker
+        retries, backoff and the phase watchdog in the concurrent
+        backends (defaults to
+        :data:`repro.faults.DEFAULT_RESILIENCE`).
+    degradation:
+        A :class:`repro.faults.DegradationPolicy`. When given, a
+        :class:`~repro.errors.BackendError` from one backend falls
+        back down the policy's ladder (``processes`` → ``threads`` →
+        ``serial``) and the result carries ``meta["degraded_from"]``
+        plus ``degrade.*`` trace counters. ``None`` (the default)
+        keeps historical behaviour: backend errors propagate.
+    fault_plan:
+        A :class:`repro.faults.FaultPlan` overriding the ambient plan
+        (:func:`repro.faults.get_fault_plan`) for deterministic fault
+        injection; chaos tests use this instead of the ambient hook.
 
     >>> import numpy as np
     >>> r = paremsp(np.ones((8, 8), dtype=np.uint8), n_threads=2)
@@ -178,6 +201,8 @@ def paremsp(
             n_threads=n_threads,
             cost_model=cost_model,
             connectivity=connectivity,
+            fault_plan=fault_plan,
+            resilience=resilience,
         )
         result = sim.as_parallel_result()
         if rec.enabled:
@@ -200,10 +225,56 @@ def paremsp(
     img = as_binary_image(image)
     rows, cols = img.shape
     check_label_capacity((rows, cols))
+
+    ladder = (backend,)
+    if degradation is not None:
+        ladder = degradation.ladder_from(backend)
+    for step, active in enumerate(ladder):
+        try:
+            return _run_pipeline(
+                img, n_threads, active, backend, connectivity, engine,
+                rec, resilience, fault_plan,
+            )
+        except BackendError as exc:
+            if step + 1 >= len(ladder):
+                raise
+            if rec.enabled:
+                rec.count("degrade.fallback")
+                rec.count(f"degrade.to.{ladder[step + 1]}")
+            _LOG.warning(
+                "backend %r failed (%s); degrading to %r",
+                active, exc, ladder[step + 1],
+            )
+    raise AssertionError("unreachable: ladder is never empty")
+
+
+def _run_pipeline(
+    img: np.ndarray,
+    n_threads: int,
+    backend: str,
+    requested_backend: str,
+    connectivity: int,
+    engine: str,
+    rec,
+    resilience,
+    fault_plan,
+) -> ParallelResult:
+    """One complete PAREMSP pass on one concrete backend.
+
+    Split out of :func:`paremsp` so the degradation ladder can re-run
+    the whole pipeline on a lower backend with a fresh timer and a
+    fresh trace mark — a degraded run's spans must not mix with the
+    failed attempt's.
+    """
+    rows, cols = img.shape
     chunks = partition_rows(rows, cols, n_threads)
-    exec_backend = get_backend(backend)
+    exec_backend = get_backend(
+        backend, resilience=resilience, fault_plan=fault_plan
+    )
     vectorised = engine in VECTOR_ENGINES
     meta: dict = {}
+    if backend != requested_backend:
+        meta["degraded_from"] = requested_backend
 
     mark = rec.mark()
     timer = PhaseTimer(rec)

@@ -29,6 +29,8 @@ import numpy as np
 from ..ccl.labeling import apply_table, remsp_alloc
 from ..ccl.opcount import tworow_opcounts
 from ..ccl.scan_aremsp import scan_tworow
+from ..errors import BackendError, DeadlockError, WorkerCrashError
+from ..faults import DEFAULT_RESILIENCE, get_fault_plan
 from ..parallel.boundary import boundary_rows, merge_boundary_row
 from ..parallel.partition import partition_rows
 from ..types import as_binary_image
@@ -93,6 +95,9 @@ class SimResult:
     scan_counters: list[OpCounter]
     merge_counters: list[OpCounter]
     cost_model: CostModel
+    #: ``fault.*`` / ``retry.*`` event counts priced into the model
+    #: timeline (empty unless a fault plan was armed).
+    fault_events: dict[str, int] = dataclasses.field(default_factory=dict)
 
     @property
     def local_seconds(self) -> float:
@@ -116,6 +121,11 @@ class SimResult:
                 "simulated": True,
                 "scan_counters": [c.as_dict() for c in self.scan_counters],
                 "merge_counters": [c.as_dict() for c in self.merge_counters],
+                **(
+                    {"fault_events": dict(self.fault_events)}
+                    if self.fault_events
+                    else {}
+                ),
             },
             n_threads=self.n_threads,
             backend="simulated",
@@ -129,6 +139,8 @@ def simulate_paremsp(
     cost_model: CostModel | None = None,
     connectivity: int = 8,
     linear_scale: float = 1.0,
+    fault_plan=None,
+    resilience=None,
 ) -> SimResult:
     """Run PAREMSP on the simulated machine.
 
@@ -145,10 +157,44 @@ def simulate_paremsp(
     stand-in, totals are extrapolated — valid because the generators are
     granularity-controlled so densities are scale-stationary (asserted
     in ``tests/test_simmachine.py``).
+
+    An armed *fault_plan* is priced into the model timeline: a killed
+    scan worker re-runs its chunk after *resilience* backoff (or raises
+    :class:`~repro.errors.WorkerCrashError` when retries are
+    exhausted), a delayed chunk becomes a straggler, a failed
+    allocation retries into the spawn cost, and a poisoned merge lock
+    raises :class:`~repro.errors.DeadlockError` — the same recovery
+    semantics as the real backends, on model time, so the fault matrix
+    covers the ``simulated`` backend without wall-clock flakiness.
     """
     if linear_scale <= 0:
         raise ValueError(f"linear_scale must be > 0, got {linear_scale}")
     cm = cost_model if cost_model is not None else HOPPER
+    plan = fault_plan if fault_plan is not None else get_fault_plan()
+    resil = resilience if resilience is not None else DEFAULT_RESILIENCE
+    fault_events: dict[str, int] = {}
+
+    def note(name: str, n: int = 1) -> None:
+        fault_events[name] = fault_events.get(name, 0) + n
+
+    spawn_extra = 0.0
+    if plan.enabled:
+        # allocation faults retry into the spawn cost, mirroring the
+        # process backend's bounded shared-memory allocation loop.
+        for alloc_attempt in range(resil.alloc_retries + 1):
+            spec = plan.take("shm_fail", phase="alloc", attempt=alloc_attempt)
+            if spec is None:
+                break
+            note("fault.injected")
+            note("fault.shm_fail")
+            if alloc_attempt >= resil.alloc_retries:
+                raise BackendError(
+                    "simulated shared memory allocation failed after "
+                    f"{alloc_attempt + 1} attempt(s)"
+                )
+            note("shm.alloc_retries")
+            note("retry.attempt")
+            spawn_extra += resil.backoff(alloc_attempt + 1)
     area_scale = linear_scale * linear_scale
     img = as_binary_image(image)
     rows, cols = img.shape
@@ -184,7 +230,50 @@ def simulate_paremsp(
         scan_counters.append(counter)
     thread_scan = [cm.scan_seconds(c) * area_scale for c in scan_counters]
 
+    if plan.enabled:
+        # scan-phase faults: a straggler adds its delay, a killed worker
+        # re-runs its (idempotent) chunk after backoff — or exhausts the
+        # retry budget like the supervised process backend.
+        for i in range(len(chunks)):
+            base = thread_scan[i]
+            attempt = 0
+            while True:
+                specs = plan.directives("scan", i, attempt)
+                for spec in specs:
+                    note("fault.injected")
+                    note(f"fault.{spec.kind}")
+                    if spec.kind == "delay_chunk":
+                        thread_scan[i] += spec.delay_seconds
+                killed = any(s.kind == "kill_worker" for s in specs)
+                if not killed:
+                    if attempt > 0:
+                        note("retry.succeeded")
+                    break
+                note("worker.crashed")
+                if attempt >= resil.max_retries:
+                    note("retry.exhausted")
+                    raise WorkerCrashError(
+                        f"simulated scan worker {i} failed after "
+                        f"{attempt + 1} attempt(s)",
+                        ranks=(i,),
+                        phase="scan",
+                        attempts=attempt + 1,
+                    )
+                attempt += 1
+                note("retry.attempt")
+                note("worker.respawned")
+                thread_scan[i] += base + resil.backoff(attempt)
+
     # --- boundary merge phase --------------------------------------------
+    if plan.enabled:
+        spec = plan.take("poison_lock", phase="merge")
+        if spec is not None:
+            note("fault.injected")
+            note("fault.poison_lock")
+            raise DeadlockError(
+                "simulated poisoned lock acquisition in MERGER",
+                phase="merge",
+            )
     merge_counters = [OpCounter() for _ in range(max(1, len(chunks)))]
     for i, row in enumerate(boundary_rows(chunks)):
         counter = merge_counters[i % len(merge_counters)]
@@ -209,7 +298,7 @@ def simulate_paremsp(
     )
 
     phase_seconds = {
-        "spawn": cm.spawn_seconds(n_threads),
+        "spawn": cm.spawn_seconds(n_threads) + spawn_extra,
         "scan": max(thread_scan, default=0.0),
         "merge": max(thread_merge, default=0.0),
         "flatten": cm.flatten_seconds(flatten_entries) * area_scale,
@@ -227,6 +316,7 @@ def simulate_paremsp(
         scan_counters=scan_counters,
         merge_counters=merge_counters,
         cost_model=cm,
+        fault_events=fault_events,
     )
 
 

@@ -86,6 +86,9 @@ def sim_metrics(sim: SimResult) -> dict:
         "unionfind.boundary_unions": merge_unions,
         "merger.merges": merge_unions,
         "merger.lock_acquires": lock_ops,
+        # fault/recovery events priced into the model timeline flow
+        # through the same counter channel as the real backends'.
+        **sim.fault_events,
     }
     gauges = {
         "paremsp.n_threads": float(sim.n_threads),

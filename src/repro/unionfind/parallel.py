@@ -51,6 +51,12 @@ class LockStripedMerger:
     cost. With the default null recorder the uninstrumented kernel runs
     unchanged.
 
+    When *fault_plan* is an enabled :class:`repro.faults.FaultPlan`
+    with an armed ``poison_lock`` spec, the next merge's lock
+    acquisition raises :class:`~repro.errors.DeadlockError` instead of
+    acquiring — the injection site for "a merge participant never
+    finishes". Disabled plans cost one attribute test per merge.
+
     >>> p = list(range(8))
     >>> m = LockStripedMerger(p)
     >>> m.merge(3, 5)
@@ -59,13 +65,14 @@ class LockStripedMerger:
     3
     """
 
-    __slots__ = ("p", "_locks", "_mask", "_rec")
+    __slots__ = ("p", "_locks", "_mask", "_rec", "_plan")
 
     def __init__(
         self,
         p: MutableSequence[int],
         n_stripes: int = DEFAULT_STRIPES,
         recorder=None,
+        fault_plan=None,
     ) -> None:
         if n_stripes < 1:
             raise ValueError(f"need at least one lock stripe, got {n_stripes}")
@@ -77,6 +84,7 @@ class LockStripedMerger:
         self._locks = tuple(threading.Lock() for _ in range(n))
         self._mask = n - 1
         self._rec = recorder
+        self._plan = fault_plan
 
     @property
     def n_stripes(self) -> int:
@@ -86,6 +94,19 @@ class LockStripedMerger:
 
     def merge(self, x: int, y: int) -> int:
         """Thread-safe union of the sets of *x* and *y* (Algorithm 8)."""
+        plan = self._plan
+        if plan is not None and plan.enabled:
+            spec = plan.take("poison_lock", phase="merge")
+            if spec is not None:
+                from ..errors import DeadlockError
+                from ..faults import record_injection
+
+                if self._rec is not None:
+                    record_injection(self._rec, spec)
+                raise DeadlockError(
+                    "injected poisoned lock acquisition in MERGER",
+                    phase="merge",
+                )
         rec = self._rec
         if rec is not None and rec.enabled:
             return _merger_counting(

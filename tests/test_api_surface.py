@@ -24,8 +24,12 @@ PUBLIC_MODULES = [
     "repro.ccl.opcount",
     "repro.ccl.streaming",
     "repro.ccl.grayscale",
+    "repro.faults",
+    "repro.faults.plan",
+    "repro.faults.resilience",
     "repro.parallel",
     "repro.parallel.partition",
+    "repro.parallel.supervisor",
     "repro.parallel.boundary",
     "repro.parallel.distributed",
     "repro.parallel.tiled",

@@ -1,0 +1,137 @@
+"""The fault matrix: every (backend x fault kind) cell must either
+recover to a byte-identical labeling or raise a typed
+:class:`~repro.errors.BackendError` subclass within the watchdog
+deadline — never hang, never leak ``/dev/shm`` segments.
+
+Marked ``chaos`` so CI can run it in a dedicated job with a hard
+timeout (``make chaos``); it also runs as part of the plain suite.
+"""
+
+from __future__ import annotations
+
+import gc
+import os
+import pathlib
+
+import numpy as np
+import pytest
+
+from repro.ccl import aremsp
+from repro.errors import BackendError, DeadlockError
+from repro.faults import KINDS, FaultPlan, FaultSpec, ResilienceConfig
+from repro.parallel import paremsp
+
+pytestmark = pytest.mark.chaos
+
+SHM_DIR = pathlib.Path("/dev/shm")
+
+#: bounded retries, no wall-clock backoff padding, tight-but-safe watchdog.
+FAST = ResilienceConfig(max_retries=2, backoff_base=0.0, phase_timeout=60.0)
+
+#: engine per backend, chosen so the matrix also covers both engines'
+#: fault sites (the threads backend has engine-specific merge paths).
+BACKENDS = (
+    ("threads", "vectorized"),
+    ("processes", "interpreter"),
+    ("simulated", "interpreter"),
+)
+
+#: expected cell outcome per fault kind. ``recovered`` means the run
+#: completes byte-identically (possibly after retries); ``typed`` means
+#: a BackendError subclass; ``unfired`` means the plan's site does not
+#: exist on that backend, so the run is clean and the budget survives.
+EXPECTATIONS = {
+    "kill_worker": "recovered",
+    "delay_chunk": "recovered",
+    "shm_fail": "recovered",  # retried where the site exists
+    "poison_lock": "typed",
+    "truncate_msg": "unfired",  # mp-layer site; no paremsp backend has it
+}
+
+
+def _spec_for(kind: str) -> FaultSpec:
+    if kind == "shm_fail":
+        return FaultSpec("shm_fail", phase="alloc", attempt=0)
+    if kind == "poison_lock":
+        return FaultSpec("poison_lock", phase="merge")
+    if kind == "truncate_msg":
+        return FaultSpec("truncate_msg", phase="comm")
+    if kind == "delay_chunk":
+        return FaultSpec("delay_chunk", after_chunks=0, delay_seconds=0.02)
+    return FaultSpec("kill_worker", after_chunks=0)
+
+
+@pytest.fixture(autouse=True)
+def shm_leak_audit():
+    """Fail any cell that leaks a shared-memory segment."""
+    if not SHM_DIR.is_dir():
+        yield
+        return
+    before = set(os.listdir(SHM_DIR))
+    yield
+    gc.collect()
+    leaked = set(os.listdir(SHM_DIR)) - before
+    assert not leaked, f"leaked /dev/shm segments: {sorted(leaked)}"
+
+
+@pytest.fixture
+def img(rng) -> np.ndarray:
+    # solid foreground border forces seam merges, so merge-phase fault
+    # sites are reachable on every backend.
+    arr = (rng.random((40, 24)) < 0.5).astype(np.uint8)
+    arr[0, :] = arr[-1, :] = arr[:, 0] = arr[:, -1] = 1
+    return arr
+
+
+@pytest.mark.parametrize(
+    "backend,engine", BACKENDS, ids=[b for b, _ in BACKENDS]
+)
+@pytest.mark.parametrize("kind", KINDS)
+def test_cell_recovers_or_raises_typed(img, backend, engine, kind):
+    oracle = aremsp(img, 8).labels
+    plan = FaultPlan([_spec_for(kind)])
+    expect = EXPECTATIONS[kind]
+    try:
+        result = paremsp(
+            img, n_threads=4, backend=backend, engine=engine,
+            resilience=FAST, fault_plan=plan,
+        )
+    except DeadlockError:
+        assert expect == "typed", (
+            f"{backend}/{kind}: unexpected deadlock error"
+        )
+        return
+    except BackendError as exc:  # pragma: no cover - diagnostic path
+        pytest.fail(f"{backend}/{kind}: unexpected {type(exc).__name__}: {exc}")
+    # the run completed: the labeling must be byte-identical regardless
+    # of whether the fault actually fired on this backend.
+    assert np.array_equal(result.labels, oracle), f"{backend}/{kind}"
+    if expect == "typed":
+        # poison_lock only has sites on the merge path; all three
+        # backends implement one, so a completed run means the site was
+        # never reached — that would be a coverage hole.
+        pytest.fail(f"{backend}/{kind}: expected a typed error, got success")
+    if expect == "unfired":
+        assert plan.injected == 0
+        assert plan.remaining() == 1
+
+
+@pytest.mark.parametrize(
+    "backend,engine", BACKENDS, ids=[b for b, _ in BACKENDS]
+)
+def test_sampled_plans_never_hang(img, backend, engine):
+    """Randomised-but-replayable chaos: sampled plans either recover or
+    raise typed errors; no cell may hang past the watchdog."""
+    oracle = aremsp(img, 8).labels
+    for seed in range(3):
+        plan = FaultPlan.sample(seed, n_ranks=4, n_faults=3)
+        try:
+            result = paremsp(
+                img, n_threads=4, backend=backend, engine=engine,
+                resilience=FAST, fault_plan=plan,
+            )
+        except BackendError:
+            continue
+        assert np.array_equal(result.labels, oracle), (
+            f"{backend} seed={seed}: recovered run diverged from oracle"
+        )

@@ -1,0 +1,218 @@
+"""Fault-plan semantics: deterministic matching, consumable budgets,
+the ambient hook, and the recovery-policy knobs."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.faults import (
+    DEFAULT_RESILIENCE,
+    KINDS,
+    NULL_PLAN,
+    DegradationPolicy,
+    FaultPlan,
+    FaultSpec,
+    ResilienceConfig,
+    backoff_delays,
+    get_fault_plan,
+    record_injection,
+    set_fault_plan,
+    use_fault_plan,
+)
+from repro.faults.plan import WORKER_KINDS
+from repro.obs import TraceRecorder
+
+
+class TestFaultSpec:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown fault kind"):
+            FaultSpec("explode")
+
+    def test_times_must_be_positive(self):
+        with pytest.raises(ValueError, match="times"):
+            FaultSpec("kill_worker", times=0)
+
+    def test_attempt_must_be_nonnegative(self):
+        with pytest.raises(ValueError, match="attempt"):
+            FaultSpec("kill_worker", attempt=-1)
+
+    def test_frozen(self):
+        spec = FaultSpec("kill_worker")
+        with pytest.raises(Exception):
+            spec.kind = "shm_fail"
+
+
+class TestTake:
+    def test_exact_site_match(self):
+        plan = FaultPlan(
+            [FaultSpec("kill_worker", phase="scan", rank=2, attempt=1)]
+        )
+        assert plan.take("kill_worker", phase="scan", rank=2, attempt=0) is None
+        assert plan.take("kill_worker", phase="merge", rank=2, attempt=1) is None
+        assert plan.take("kill_worker", phase="scan", rank=1, attempt=1) is None
+        spec = plan.take("kill_worker", phase="scan", rank=2, attempt=1)
+        assert spec is not None and spec.rank == 2
+
+    def test_rank_none_is_wildcard(self):
+        plan = FaultPlan([FaultSpec("delay_chunk", rank=None)])
+        assert plan.take("delay_chunk", phase="scan", rank=7) is not None
+
+    def test_budget_consumed(self):
+        plan = FaultPlan([FaultSpec("poison_lock", phase="merge", times=2)])
+        assert plan.take("poison_lock", phase="merge") is not None
+        assert plan.take("poison_lock", phase="merge") is not None
+        assert plan.take("poison_lock", phase="merge") is None
+        assert plan.injected == 2
+        assert plan.remaining() == 0
+
+    def test_reset_rearms(self):
+        plan = FaultPlan([FaultSpec("shm_fail", phase="alloc")])
+        assert plan.take("shm_fail", phase="alloc") is not None
+        plan.reset()
+        assert plan.remaining() == 1
+        assert plan.injected == 0
+        assert plan.take("shm_fail", phase="alloc") is not None
+
+    def test_determinism_same_queries_same_firings(self):
+        def fire(plan):
+            out = []
+            for attempt in range(3):
+                for rank in range(4):
+                    spec = plan.take(
+                        "kill_worker", phase="scan", rank=rank,
+                        attempt=attempt,
+                    )
+                    out.append(spec is not None)
+            return out
+
+        specs = [
+            FaultSpec("kill_worker", rank=1, attempt=0),
+            FaultSpec("kill_worker", rank=3, attempt=2),
+        ]
+        assert fire(FaultPlan(specs)) == fire(FaultPlan(specs))
+
+
+class TestDirectives:
+    def test_only_worker_kinds_shipped(self):
+        plan = FaultPlan(
+            [
+                FaultSpec("kill_worker", rank=0),
+                FaultSpec("delay_chunk", rank=0),
+                FaultSpec("poison_lock", phase="scan", rank=0),
+            ]
+        )
+        shipped = plan.directives("scan", 0, 0)
+        assert {s.kind for s in shipped} == set(WORKER_KINDS)
+        # the non-worker kind stays armed for its in-process site
+        assert plan.remaining() == 1
+
+    def test_directives_consume_budget(self):
+        plan = FaultPlan([FaultSpec("kill_worker", rank=1)])
+        assert plan.directives("scan", 1, 0)
+        assert plan.directives("scan", 1, 0) == ()
+
+
+class TestSample:
+    def test_replayable(self):
+        a = FaultPlan.sample(7, n_ranks=3, n_faults=4)
+        b = FaultPlan.sample(7, n_ranks=3, n_faults=4)
+        assert a.specs == b.specs
+
+    def test_seeds_differ(self):
+        assert (
+            FaultPlan.sample(1, n_faults=4).specs
+            != FaultPlan.sample(2, n_faults=4).specs
+        )
+
+    def test_kinds_are_valid(self):
+        plan = FaultPlan.sample(3, n_faults=8)
+        assert all(s.kind in KINDS for s in plan.specs)
+
+
+class TestAmbient:
+    def test_default_is_disabled(self):
+        assert get_fault_plan() is NULL_PLAN
+        assert not NULL_PLAN.enabled
+
+    def test_use_fault_plan_scopes(self):
+        plan = FaultPlan([FaultSpec("kill_worker")])
+        with use_fault_plan(plan) as active:
+            assert active is plan
+            assert get_fault_plan() is plan
+        assert get_fault_plan() is NULL_PLAN
+
+    def test_set_returns_previous(self):
+        plan = FaultPlan([])
+        previous = set_fault_plan(plan)
+        try:
+            assert previous is NULL_PLAN
+        finally:
+            set_fault_plan(previous)
+
+
+class TestNullPlan:
+    def test_all_sites_are_noops(self):
+        assert NULL_PLAN.take("kill_worker", phase="scan") is None
+        assert NULL_PLAN.directives("scan", 0, 0) == ()
+        assert NULL_PLAN.remaining() == 0
+        assert NULL_PLAN.reset() is None
+        assert NULL_PLAN.injected == 0
+
+
+def test_record_injection_counters():
+    rec = TraceRecorder()
+    record_injection(rec, FaultSpec("kill_worker"), n=2)
+    counters = rec.report().metrics["counters"]
+    assert counters["fault.injected"] == 2
+    assert counters["fault.kill_worker"] == 2
+
+
+class TestResilienceConfig:
+    def test_backoff_schedule_is_exponential_and_capped(self):
+        config = ResilienceConfig(
+            max_retries=5, backoff_base=0.1, backoff_factor=2.0,
+            backoff_max=0.5,
+        )
+        assert config.backoff(0) == 0.0
+        assert config.backoff(1) == pytest.approx(0.1)
+        assert config.backoff(2) == pytest.approx(0.2)
+        assert config.backoff(3) == pytest.approx(0.4)
+        assert config.backoff(4) == 0.5  # capped
+        assert list(backoff_delays(config)) == [
+            config.backoff(i) for i in range(1, 6)
+        ]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ResilienceConfig(max_retries=-1)
+        with pytest.raises(ValueError):
+            ResilienceConfig(backoff_factor=0.5)
+        with pytest.raises(ValueError):
+            ResilienceConfig(phase_timeout=0.0)
+
+    def test_default_is_bounded(self):
+        assert DEFAULT_RESILIENCE.max_retries >= 1
+        assert DEFAULT_RESILIENCE.phase_timeout > 0
+
+
+class TestDegradationPolicy:
+    def test_ladder_from_top(self):
+        policy = DegradationPolicy()
+        assert policy.ladder_from("processes") == (
+            "processes", "threads", "serial",
+        )
+
+    def test_ladder_from_middle(self):
+        assert DegradationPolicy().ladder_from("threads") == (
+            "threads", "serial",
+        )
+
+    def test_serial_is_terminal(self):
+        assert DegradationPolicy().ladder_from("serial") == ("serial",)
+
+    def test_unknown_backend_gets_no_fallback(self):
+        assert DegradationPolicy().ladder_from("simulated") == ("simulated",)
+
+    def test_disabled_policy(self):
+        policy = DegradationPolicy(enabled=False)
+        assert policy.ladder_from("processes") == ("processes",)

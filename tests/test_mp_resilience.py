@@ -1,0 +1,152 @@
+"""Failure semantics of the message-passing substrate: dead peers fail
+fast, hangs become typed errors, cancellation unwinds blocked ranks,
+and the mp-layer fault site (``truncate_msg``) is exercised."""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.errors import DeadlockError, PhaseTimeoutError, WorkerCrashError
+from repro.faults import FaultPlan, FaultSpec, use_fault_plan
+from repro.mp import Communicator, SpmdError, run_spmd
+
+
+def _rank_threads() -> list[threading.Thread]:
+    return [
+        t for t in threading.enumerate()
+        if t.is_alive() and t.name.startswith("rank-")
+    ]
+
+
+class TestDeadPeerFailFast:
+    def test_recv_from_dead_rank_raises_worker_crash(self):
+        def program(comm):
+            if comm.rank == 1:
+                raise ValueError("injected rank death")
+            return comm.recv(1, tag=0)
+
+        t0 = time.monotonic()
+        with pytest.raises(SpmdError) as ei:
+            run_spmd(program, 2)
+        elapsed = time.monotonic() - t0
+        # fail-fast: far below the 60s RECV_TIMEOUT
+        assert elapsed < 10.0
+        failures = ei.value.failures
+        assert isinstance(failures[1], ValueError)
+        assert isinstance(failures[0], WorkerCrashError)
+        assert failures[0].ranks == (1,)
+        assert "rank 1" in str(failures[0])
+
+    def test_collective_on_dead_rank_raises_worker_crash(self):
+        def program(comm):
+            if comm.rank == 2:
+                raise RuntimeError("boom")
+            return comm.gather(comm.rank, root=0)
+
+        with pytest.raises(SpmdError) as ei:
+            run_spmd(program, 3)
+        assert isinstance(ei.value.failures[2], RuntimeError)
+        assert any(
+            isinstance(e, WorkerCrashError)
+            for r, e in ei.value.failures.items()
+            if r != 2
+        )
+
+
+class TestTypedDeadlock:
+    def test_recv_timeout_is_typed_with_diagnostics(self, monkeypatch):
+        monkeypatch.setattr(Communicator, "RECV_TIMEOUT", 0.5)
+
+        def program(comm):
+            if comm.rank == 0:
+                return comm.recv(1, tag=9)  # never sent
+            return None
+
+        with pytest.raises(SpmdError) as ei:
+            run_spmd(program, 2)
+        err = ei.value.failures[0]
+        assert isinstance(err, DeadlockError)
+        assert err.rank == 0
+        assert err.source == 1
+        assert err.tag == 9
+        assert "mismatched send/recv" in str(err)
+
+
+class TestCancellation:
+    def test_run_timeout_unwinds_blocked_ranks(self):
+        """A rank blocked in recv with a huge RECV_TIMEOUT is cancelled
+        by the run deadline and reported as a typed failure — no daemon
+        thread left dangling in the receive."""
+        release = threading.Event()
+
+        def program(comm):
+            if comm.rank == 0:
+                return comm.recv(1, tag=3)  # blocks until cancelled
+            release.wait(30.0)
+            return None
+
+        t0 = time.monotonic()
+        with pytest.raises(SpmdError) as ei:
+            run_spmd(program, 2, timeout=0.5)
+        elapsed = time.monotonic() - t0
+        release.set()
+        assert elapsed < 10.0
+        failures = ei.value.failures
+        # rank 0 unwound through the cancel path with a typed error
+        assert isinstance(failures[0], DeadlockError)
+        assert "cancelled" in str(failures[0])
+        # rank 1 never touched the communicator; the launcher reports it
+        assert isinstance(failures[1], PhaseTimeoutError)
+        # the receive-blocked thread actually exited
+        deadline = time.monotonic() + 5.0
+        while _rank_threads() and time.monotonic() < deadline:
+            time.sleep(0.05)
+        assert not _rank_threads()
+
+    def test_timeout_failures_never_empty(self):
+        def program(comm):
+            if comm.rank == 0:
+                time.sleep(2.0)  # pure compute: survives the cancel
+            return None
+
+        with pytest.raises(SpmdError) as ei:
+            run_spmd(program, 2, timeout=0.2)
+        assert ei.value.failures
+        assert isinstance(ei.value.failures[0], PhaseTimeoutError)
+        assert ei.value.failures[0].phase == "spmd"
+
+
+class TestTruncateMsgSite:
+    def test_dropped_message_times_out_typed(self, monkeypatch):
+        monkeypatch.setattr(Communicator, "RECV_TIMEOUT", 0.5)
+        plan = FaultPlan([FaultSpec("truncate_msg", phase="comm", rank=0)])
+
+        def program(comm):
+            if comm.rank == 0:
+                comm.send("payload", dest=1, tag=5)  # dropped by the plan
+                return None
+            return comm.recv(0, tag=5)
+
+        with use_fault_plan(plan):
+            with pytest.raises(SpmdError) as ei:
+                run_spmd(program, 2)
+        assert plan.injected == 1
+        err = ei.value.failures[1]
+        assert isinstance(err, DeadlockError)
+        assert err.source == 0
+
+    def test_unmatched_rank_does_not_drop(self):
+        plan = FaultPlan([FaultSpec("truncate_msg", phase="comm", rank=3)])
+
+        def program(comm):
+            if comm.rank == 0:
+                comm.send("payload", dest=1, tag=5)
+                return None
+            return comm.recv(0, tag=5)
+
+        with use_fault_plan(plan):
+            assert run_spmd(program, 2)[1] == "payload"
+        assert plan.injected == 0

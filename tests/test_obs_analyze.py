@@ -130,6 +130,7 @@ class TestAnalyzeSpans:
             "serial_fraction",
             "phases",
             "contention",
+            "faults",
         }
         assert d["phases"][0]["phase"] == "scan"
         assert "imbalance_pct" in d["phases"][0]

@@ -1,0 +1,298 @@
+"""Recovery behaviour under injected faults: retry to byte-identical
+results, typed errors when budgets run out, watchdog bounds on hangs,
+and the cross-backend degradation ladder."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.ccl import aremsp
+from repro.errors import (
+    BackendError,
+    DeadlockError,
+    PhaseTimeoutError,
+    WorkerCrashError,
+)
+from repro.faults import (
+    DegradationPolicy,
+    FaultPlan,
+    FaultSpec,
+    ResilienceConfig,
+)
+from repro.obs import TraceRecorder
+from repro.parallel import paremsp
+
+#: retries without wall-clock padding, watchdog far away.
+FAST = ResilienceConfig(max_retries=2, backoff_base=0.0, phase_timeout=60.0)
+
+
+def kill_every_attempt(max_retries: int, **kwargs) -> FaultPlan:
+    """A plan that kills the worker on the first try and every retry."""
+    return FaultPlan(
+        [
+            FaultSpec("kill_worker", attempt=a, **kwargs)
+            for a in range(max_retries + 1)
+        ]
+    )
+
+
+@pytest.fixture
+def img(rng) -> np.ndarray:
+    return (rng.random((40, 24)) < 0.5).astype(np.uint8)
+
+
+@pytest.fixture
+def oracle(img) -> np.ndarray:
+    return aremsp(img, 8).labels
+
+
+class TestProcessesRecovery:
+    def test_kill_before_first_chunk_recovers_byte_identical(
+        self, img, oracle
+    ):
+        rec = TraceRecorder()
+        plan = FaultPlan([FaultSpec("kill_worker", after_chunks=0)])
+        result = paremsp(
+            img, n_threads=4, backend="processes",
+            resilience=FAST, fault_plan=plan, recorder=rec,
+        )
+        assert np.array_equal(result.labels, oracle)
+        assert result.meta["scan_attempts"] == 2
+        assert result.meta["workers_respawned"] == 1
+        counters = rec.report().metrics["counters"]
+        assert counters["fault.injected"] == 1
+        assert counters["fault.kill_worker"] == 1
+        assert counters["worker.crashed"] == 1
+        assert counters["retry.attempt"] == 1
+        assert counters["retry.succeeded"] == 1
+
+    def test_kill_mid_scan_recovers_byte_identical(self, img, oracle):
+        """The acceptance scenario: the worker dies after completing one
+        chunk; only the incomplete chunks are re-scanned, and the final
+        labeling is byte-identical to the serial oracle."""
+        rec = TraceRecorder()
+        plan = FaultPlan([FaultSpec("kill_worker", after_chunks=1)])
+        result = paremsp(
+            img, n_threads=4, backend="processes",
+            resilience=FAST, fault_plan=plan, recorder=rec,
+        )
+        assert np.array_equal(result.labels, oracle)
+        counters = rec.report().metrics["counters"]
+        assert counters["fault.injected"] == 1
+        assert counters["retry.succeeded"] == 1
+
+    def test_retries_exhausted_raises_typed(self, img):
+        plan = kill_every_attempt(FAST.max_retries)
+        with pytest.raises(WorkerCrashError, match="scan workers failed") as ei:
+            paremsp(
+                img, n_threads=4, backend="processes",
+                resilience=FAST, fault_plan=plan,
+            )
+        assert ei.value.phase == "scan"
+        assert ei.value.attempts == FAST.max_retries + 1
+        assert ei.value.exit_codes  # the injected exit code propagates
+
+    def test_watchdog_converts_hang_to_typed_timeout(self, img):
+        config = ResilienceConfig(
+            max_retries=0, backoff_base=0.0, phase_timeout=0.5
+        )
+        plan = FaultPlan(
+            [FaultSpec("delay_chunk", after_chunks=0, delay_seconds=30.0)]
+        )
+        with pytest.raises(PhaseTimeoutError, match="watchdog") as ei:
+            paremsp(
+                img, n_threads=4, backend="processes",
+                resilience=config, fault_plan=plan,
+            )
+        assert ei.value.phase == "scan"
+        assert ei.value.timeout == 0.5
+
+    def test_straggler_delay_still_succeeds(self, img, oracle):
+        plan = FaultPlan(
+            [FaultSpec("delay_chunk", after_chunks=0, delay_seconds=0.05)]
+        )
+        result = paremsp(
+            img, n_threads=4, backend="processes",
+            resilience=FAST, fault_plan=plan,
+        )
+        assert np.array_equal(result.labels, oracle)
+
+    def test_alloc_failure_retried(self, img, oracle):
+        rec = TraceRecorder()
+        plan = FaultPlan([FaultSpec("shm_fail", phase="alloc", attempt=0)])
+        result = paremsp(
+            img, n_threads=4, backend="processes",
+            resilience=FAST, fault_plan=plan, recorder=rec,
+        )
+        assert np.array_equal(result.labels, oracle)
+        counters = rec.report().metrics["counters"]
+        assert counters["fault.shm_fail"] == 1
+        assert counters["shm.alloc_retries"] == 1
+
+    def test_alloc_failure_exhausted_raises(self, img):
+        plan = FaultPlan(
+            [
+                FaultSpec("shm_fail", phase="alloc", attempt=a)
+                for a in range(FAST.alloc_retries + 1)
+            ]
+        )
+        with pytest.raises(
+            BackendError, match="shared memory allocation failed"
+        ):
+            paremsp(
+                img, n_threads=4, backend="processes",
+                resilience=FAST, fault_plan=plan,
+            )
+
+    def test_poison_lock_raises_deadlock(self, img):
+        plan = FaultPlan([FaultSpec("poison_lock", phase="merge")])
+        with pytest.raises(DeadlockError):
+            paremsp(
+                img, n_threads=4, backend="processes",
+                resilience=FAST, fault_plan=plan,
+            )
+
+
+class TestThreadsRecovery:
+    @pytest.mark.parametrize("engine", ["interpreter", "vectorized"])
+    def test_kill_recovers_byte_identical(self, img, oracle, engine):
+        rec = TraceRecorder()
+        plan = FaultPlan([FaultSpec("kill_worker", rank=0)])
+        result = paremsp(
+            img, n_threads=4, backend="threads", engine=engine,
+            resilience=FAST, fault_plan=plan, recorder=rec,
+        )
+        assert np.array_equal(result.labels, oracle)
+        counters = rec.report().metrics["counters"]
+        assert counters["fault.kill_worker"] == 1
+        assert counters["worker.crashed"] == 1
+        assert counters["retry.succeeded"] == 1
+
+    def test_retries_exhausted_raises_typed(self, img):
+        plan = kill_every_attempt(FAST.max_retries, rank=0)
+        with pytest.raises(WorkerCrashError, match="injected worker death") as ei:
+            paremsp(
+                img, n_threads=4, backend="threads",
+                resilience=FAST, fault_plan=plan,
+            )
+        assert ei.value.ranks == (0,)
+
+    @pytest.mark.parametrize("engine", ["interpreter", "vectorized"])
+    def test_poison_lock_raises_deadlock(self, engine):
+        # all-foreground guarantees seam merges, so the interpreter
+        # path's striped-lock site is actually reached.
+        ones = np.ones((16, 8), dtype=np.uint8)
+        plan = FaultPlan([FaultSpec("poison_lock", phase="merge")])
+        with pytest.raises(DeadlockError) as ei:
+            paremsp(
+                ones, n_threads=4, backend="threads", engine=engine,
+                resilience=FAST, fault_plan=plan,
+            )
+        assert ei.value.phase == "merge"
+
+
+class TestSimulatedRecovery:
+    def test_kill_recovers_and_prices_retry(self, img, oracle):
+        plan = FaultPlan([FaultSpec("kill_worker", rank=0)])
+        clean = paremsp(img, n_threads=4, backend="simulated")
+        result = paremsp(
+            img, n_threads=4, backend="simulated",
+            resilience=FAST, fault_plan=plan,
+        )
+        assert np.array_equal(result.labels, oracle)
+        events = result.meta["fault_events"]
+        assert events["fault.kill_worker"] == 1
+        assert events["retry.succeeded"] == 1
+        # the re-run is priced into model time
+        assert result.phase_seconds["scan"] > clean.phase_seconds["scan"]
+
+    def test_retries_exhausted_raises_typed(self, img):
+        plan = kill_every_attempt(FAST.max_retries, rank=0)
+        with pytest.raises(WorkerCrashError):
+            paremsp(
+                img, n_threads=4, backend="simulated",
+                resilience=FAST, fault_plan=plan,
+            )
+
+    def test_poison_lock_raises_deadlock(self, img):
+        plan = FaultPlan([FaultSpec("poison_lock", phase="merge")])
+        with pytest.raises(DeadlockError):
+            paremsp(
+                img, n_threads=4, backend="simulated", fault_plan=plan,
+            )
+
+    def test_alloc_failure_prices_spawn_retry(self, img):
+        plan = FaultPlan([FaultSpec("shm_fail", phase="alloc", attempt=0)])
+        clean = paremsp(img, n_threads=4, backend="simulated")
+        result = paremsp(
+            img, n_threads=4, backend="simulated", fault_plan=plan,
+        )
+        assert result.phase_seconds["spawn"] > clean.phase_seconds["spawn"]
+
+
+class TestDegradation:
+    def test_processes_falls_back_to_threads(self, img, oracle):
+        rec = TraceRecorder()
+        plan = kill_every_attempt(FAST.max_retries)
+        result = paremsp(
+            img, n_threads=4, backend="processes",
+            resilience=FAST, fault_plan=plan,
+            degradation=DegradationPolicy(), recorder=rec,
+        )
+        assert np.array_equal(result.labels, oracle)
+        assert result.backend == "threads"
+        assert result.meta["degraded_from"] == "processes"
+        counters = rec.report().metrics["counters"]
+        assert counters["degrade.fallback"] == 1
+        assert counters["degrade.to.threads"] == 1
+        assert counters["retry.exhausted"] == 1
+
+    def test_threads_falls_back_to_serial(self, img, oracle):
+        plan = kill_every_attempt(FAST.max_retries, rank=0)
+        result = paremsp(
+            img, n_threads=4, backend="threads",
+            resilience=FAST, fault_plan=plan,
+            degradation=DegradationPolicy(),
+        )
+        assert np.array_equal(result.labels, oracle)
+        assert result.backend == "serial"
+        assert result.meta["degraded_from"] == "threads"
+
+    def test_without_policy_error_propagates(self, img):
+        plan = kill_every_attempt(FAST.max_retries)
+        with pytest.raises(WorkerCrashError):
+            paremsp(
+                img, n_threads=4, backend="processes",
+                resilience=FAST, fault_plan=plan,
+            )
+
+    def test_degraded_runs_match_requested_backend_results(self, img):
+        """Degradation preserves the determinism contract: the fallback
+        backend's labels equal what the requested backend would have
+        produced on a clean run."""
+        plan = kill_every_attempt(FAST.max_retries)
+        degraded = paremsp(
+            img, n_threads=4, backend="processes",
+            resilience=FAST, fault_plan=plan,
+            degradation=DegradationPolicy(),
+        )
+        clean = paremsp(img, n_threads=4, backend="processes")
+        assert np.array_equal(degraded.labels, clean.labels)
+
+    def test_analyzer_reports_injected_vs_recovered(self, img):
+        from repro.obs import analyze_report
+
+        rec = TraceRecorder()
+        plan = FaultPlan([FaultSpec("kill_worker", after_chunks=0)])
+        paremsp(
+            img, n_threads=4, backend="processes",
+            resilience=FAST, fault_plan=plan, recorder=rec,
+        )
+        analysis = analyze_report(rec.report())
+        assert analysis.faults.has_data
+        assert analysis.faults.injected == 1
+        assert analysis.faults.recovered == 1
+        assert dict(analysis.faults.kinds)["fault.kill_worker"] == 1
+        assert "injected" in analysis.faults.describe()
+        assert "faults" in analysis.as_dict()
