@@ -23,9 +23,10 @@ test:
 	$(PYTHON) -m pytest -x -q
 
 # fault-injection suite (see docs/RESILIENCE.md): every (backend x
-# fault) cell must recover byte-identically or raise a typed error —
-# the hard timeout turns any hang into a failure rather than a wedged
-# job.
+# fault) cell must recover byte-identically or raise a typed error,
+# and a checkpointed job SIGKILLed mid-run must resume through the CLI
+# to byte-identical labels — the hard timeout turns any hang into a
+# failure rather than a wedged job.
 chaos:
 	timeout 600 $(PYTHON) -m pytest -m chaos -q
 

@@ -35,6 +35,7 @@ import numpy as np
 from . import (
     analysis,
     ccl,
+    checkpoint,
     data,
     mp,
     obs,
@@ -51,10 +52,10 @@ from .obs import TraceRecorder, use_recorder
 from .parallel.distributed import distributed_label
 from .parallel.paremsp import paremsp
 from .parallel.tiled import tiled_label
-from .types import Connectivity
+from .types import Connectivity, ensure_input
 from .volume import volume_label
 
-__version__ = "1.2.0"
+__version__ = "1.5.0"
 
 __all__ = [
     "label",
@@ -68,7 +69,9 @@ __all__ = [
     "Connectivity",
     "TraceRecorder",
     "use_recorder",
+    "ensure_input",
     "ccl",
+    "checkpoint",
     "parallel",
     "unionfind",
     "data",
@@ -118,7 +121,7 @@ def label(
             f"unknown engine {engine!r}; expected None, 'python' or "
             "'vectorized'"
         )
-    result = fn(image, connectivity)
+    result = fn(ensure_input(image), connectivity)
     return result.labels, result.n_components
 
 

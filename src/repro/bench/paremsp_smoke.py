@@ -52,20 +52,31 @@ def _disabled_overhead_fraction(
     """Estimated fraction of a vectorized run spent in disabled-hook
     guards: one ``enabled`` attribute test costs ~tens of ns, and a
     paremsp run executes a handful of guard sites per phase plus a few
-    per chunk — both the recorder's (``rec.enabled``) and the fault
-    plan's (``plan.enabled``), which share the ambient-null-object
-    pattern. Recorded so regressions of the zero-overhead contract show
-    up in the bench history, and gated by ``--max-disabled-overhead``."""
+    per chunk — the recorder's (``rec.enabled``), the fault plan's
+    (``plan.enabled``), and the checkpointer's (``ckpt.enabled``, one
+    test per row/tile-batch in the job loops), which all share the
+    ambient-null-object pattern. Recorded so regressions of the
+    zero-overhead contract show up in the bench history, and gated by
+    ``--max-disabled-overhead``."""
     if vectorized_seconds <= 0:
         return 0.0
+    from ..checkpoint import NULL_CHECKPOINT
+
     rec = NULL_RECORDER
     plan = NULL_PLAN
+    ckpt = NULL_CHECKPOINT
     per_rec_guard = timeit.timeit(lambda: rec.enabled, number=20000) / 20000
     per_plan_guard = timeit.timeit(lambda: plan.enabled, number=20000) / 20000
+    per_ckpt_guard = timeit.timeit(lambda: ckpt.enabled, number=20000) / 20000
     rec_sites = 16 + 4 * n_threads
     plan_sites = 8 + 2 * n_threads
+    # job loops test the checkpointer once per row / tile batch; scale
+    # by the chunk count as a paremsp-shaped proxy for that cadence
+    ckpt_sites = 8 + 2 * n_threads
     return (
-        per_rec_guard * rec_sites + per_plan_guard * plan_sites
+        per_rec_guard * rec_sites
+        + per_plan_guard * plan_sites
+        + per_ckpt_guard * ckpt_sites
     ) / vectorized_seconds
 
 

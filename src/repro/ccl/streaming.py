@@ -34,6 +34,7 @@ from typing import Iterable, Iterator
 
 import numpy as np
 
+from ..errors import InputError
 from ..obs import get_recorder
 from ..unionfind.remsp import find_root, merge as remsp_merge
 from .run_based import row_runs
@@ -46,12 +47,17 @@ class FinishedComponent:
     """A component that can no longer grow.
 
     ``ident`` numbers components in completion order (1-based); ``bbox``
-    is (row_min, col_min, row_max, col_max) inclusive.
+    is (row_min, col_min, row_max, col_max) inclusive. ``runs`` is
+    ``None`` unless the labeler was constructed with ``track_runs=True``,
+    in which case it holds every maximal run of the component as
+    ``(row, start, stop)`` half-open column intervals — enough to paint
+    the component's pixels (what the checkpointed streaming job does).
     """
 
     ident: int
     area: int
     bbox: tuple[int, int, int, int]
+    runs: tuple[tuple[int, int, int], ...] | None = None
 
 
 class _Stats:
@@ -89,7 +95,11 @@ class StreamingLabeler:
     """
 
     def __init__(
-        self, cols: int, connectivity: int = 8, recorder=None
+        self,
+        cols: int,
+        connectivity: int = 8,
+        recorder=None,
+        track_runs: bool = False,
     ) -> None:
         if cols < 0:
             raise ValueError(f"row width must be >= 0, got {cols}")
@@ -106,6 +116,9 @@ class StreamingLabeler:
         self._row = 0
         self._emitted = 0
         self._finished = False
+        self._track_runs = bool(track_runs)
+        # per-root run lists; peak memory becomes O(active area) when on
+        self._runs: dict[int, list[tuple[int, int, int]]] = {}
 
     # -- internals ---------------------------------------------------------
 
@@ -118,6 +131,8 @@ class StreamingLabeler:
         winner = find_root(p, ra)
         loser = rb if winner == ra else ra
         self._stats[winner].fold(self._stats.pop(loser))
+        if self._track_runs:
+            self._runs[winner].extend(self._runs.pop(loser))
         if self._rec.enabled:
             self._rec.count("stream.unions")
         return winner
@@ -138,6 +153,8 @@ class StreamingLabeler:
             remap[root] = len(new_p)
             new_p.append(len(new_p))
         self._stats = {remap[r]: st for r, st in self._stats.items()}
+        if self._track_runs:
+            self._runs = {remap[r]: v for r, v in self._runs.items()}
         self._prev = [
             (s, e, remap[find_root(p, l)]) for s, e, l in self._prev
         ]
@@ -152,6 +169,7 @@ class StreamingLabeler:
             ident=self._emitted,
             area=st.area,
             bbox=(st.r0, st.c0, st.r1, st.c1),
+            runs=tuple(self._runs.pop(root)) if self._track_runs else None,
         )
 
     # -- public API ----------------------------------------------------------
@@ -172,13 +190,38 @@ class StreamingLabeler:
         return len(self._p)
 
     def push_row(self, row: np.ndarray) -> list[FinishedComponent]:
-        """Consume one row; return components finalised by it."""
+        """Consume one row; return components finalised by it.
+
+        Rows are validated like every other public input (see
+        :func:`repro.types.ensure_input`): ``bool`` and wide-integer
+        rows are coerced, values outside ``{0, 1}`` raise
+        :class:`~repro.errors.InputError`.
+        """
         if self._finished:
             raise RuntimeError("labeler already finished")
-        row = np.asarray(row).ravel()
+        row = np.asarray(row)
+        if row.dtype.kind == "b":
+            row = row.astype(np.uint8)
+        elif row.dtype.kind == "f":
+            if row.size and not np.isin(row, (0.0, 1.0)).all():
+                raise InputError(
+                    "float row must contain only 0.0 and 1.0"
+                )
+            row = row.astype(np.uint8)
+        elif row.dtype.kind not in "ui":
+            raise InputError(
+                f"unsupported row dtype {row.dtype!r}; expected a "
+                "boolean, integer, or binary float row"
+            )
+        row = row.ravel()
         if len(row) != self.cols:
-            raise ValueError(
+            raise InputError(
                 f"expected a row of width {self.cols}, got {len(row)}"
+            )
+        if row.size and (row.max() > 1 or row.min() < 0):
+            bad = np.unique(row[(row > 1) | (row < 0)])
+            raise InputError(
+                f"row may contain only 0 and 1, found {bad[:8]!r}"
             )
         p = self._p
         r = self._row
@@ -201,8 +244,12 @@ class StreamingLabeler:
                 label = len(p)
                 p.append(label)
                 self._stats[label] = _Stats(r, s, e)
+                if self._track_runs:
+                    self._runs[label] = [(r, s, e)]
             else:
                 self._stats[label].add_run(r, s, e)
+                if self._track_runs:
+                    self._runs[label].append((r, s, e))
             cur.append((s, e, label))
         # finalise: previous-row components with no successor run
         survivors = {find_root(p, l) for _, _, l in cur}
@@ -224,6 +271,68 @@ class StreamingLabeler:
         if len(self._p) > max(64, 4 * (len(self._stats) + self.cols + 2)):
             self._compact()
         return out
+
+    def state(self) -> dict:
+        """A plain-data snapshot of the full labeler state.
+
+        Everything a byte-identical continuation needs: the frontier
+        (``prev`` runs and next row index), the active union-find array
+        (whose length is the compaction watermark), per-root statistics
+        and (when tracked) run lists, and the emission counter. The
+        dict contains only builtins, so it serialises with any codec;
+        :meth:`from_state` inverts it exactly.
+        """
+        return {
+            "cols": self.cols,
+            "connectivity": 8 if self.reach else 4,
+            "p": list(self._p),
+            "stats": {
+                int(root): (st.area, st.r0, st.c0, st.r1, st.c1)
+                for root, st in self._stats.items()
+            },
+            "prev": [tuple(t) for t in self._prev],
+            "row": self._row,
+            "emitted": self._emitted,
+            "finished": self._finished,
+            "track_runs": self._track_runs,
+            "runs": (
+                {int(r): [tuple(t) for t in v] for r, v in self._runs.items()}
+                if self._track_runs
+                else None
+            ),
+        }
+
+    @classmethod
+    def from_state(cls, state: dict, recorder=None) -> "StreamingLabeler":
+        """Reconstruct a labeler from a :meth:`state` snapshot.
+
+        The reconstruction is exact: pushing the same remaining rows
+        into the restored labeler emits the same components (same
+        idents, areas, bboxes, runs) as the original would have.
+        """
+        obj = cls(
+            cols=state["cols"],
+            connectivity=state["connectivity"],
+            recorder=recorder,
+            track_runs=state["track_runs"],
+        )
+        obj._p = [int(v) for v in state["p"]]
+        stats: dict[int, _Stats] = {}
+        for root, (area, r0, c0, r1, c1) in state["stats"].items():
+            st = _Stats.__new__(_Stats)
+            st.area, st.r0, st.c0, st.r1, st.c1 = area, r0, c0, r1, c1
+            stats[int(root)] = st
+        obj._stats = stats
+        obj._prev = [tuple(t) for t in state["prev"]]
+        obj._row = int(state["row"])
+        obj._emitted = int(state["emitted"])
+        obj._finished = bool(state["finished"])
+        if state["track_runs"]:
+            obj._runs = {
+                int(r): [tuple(t) for t in v]
+                for r, v in state["runs"].items()
+            }
+        return obj
 
     def finish(self) -> list[FinishedComponent]:
         """Signal end of stream; return all remaining components."""

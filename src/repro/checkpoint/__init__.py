@@ -1,0 +1,45 @@
+"""``repro.checkpoint`` — crash-safe checkpoint/resume for long jobs.
+
+The paper's headline workload is a 465 MB raster; at production scale
+(the ROADMAP's north star) such a job runs for minutes, and PR 4's
+retry/degradation machinery can only restart it *from zero*. This
+package makes in-flight labeling state durable instead:
+
+* :class:`SnapshotStore` — periodic, crash-consistent snapshots
+  (atomic rename + JSON manifest + SHA-256 content checksum), with
+  corruption detection that falls back to the newest older valid
+  snapshot and typed errors
+  (:class:`~repro.errors.CheckpointCorruptError`,
+  :class:`~repro.errors.ResumeMismatchError`) when nothing survives;
+* :class:`StreamingJob` / :class:`TiledJob` — the two out-of-core
+  paths as resumable jobs: streaming snapshots the frontier row, the
+  active union-find and the compaction watermark; tiled snapshots the
+  completed-tile bitmap, the boundary-merge forest and the output
+  memmap's high-water mark. Resuming from *any* snapshot yields final
+  labels **byte-identical** to an uninterrupted run;
+* :class:`JobRunner` — composes resume with PR 4's
+  :class:`~repro.faults.DegradationPolicy` and retry budgets, so a
+  degraded rung continues from the last snapshot instead of starting
+  over (``repro-label --checkpoint-dir/--checkpoint-every/--resume``);
+* fault hooks — the ``crash_at_checkpoint`` / ``torn_write`` /
+  ``corrupt_snapshot`` kinds of :mod:`repro.faults` fire inside
+  :meth:`SnapshotStore.save`, and every operation lands in the trace
+  schema as ``checkpoint.*`` counters and spans.
+
+See ``docs/RESILIENCE.md`` ("Checkpoint & resume") for the durability
+guarantees and their limits.
+"""
+
+from .jobs import JobResult, StreamingJob, TiledJob
+from .runner import JobRunner
+from .snapshot import NULL_CHECKPOINT, NullCheckpointer, SnapshotStore
+
+__all__ = [
+    "SnapshotStore",
+    "NullCheckpointer",
+    "NULL_CHECKPOINT",
+    "JobResult",
+    "StreamingJob",
+    "TiledJob",
+    "JobRunner",
+]

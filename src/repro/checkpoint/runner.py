@@ -1,0 +1,102 @@
+"""``JobRunner`` — checkpointing composed with PR 4's recovery policy.
+
+The degradation ladder and retry budgets of :mod:`repro.faults` were
+built for *stateless* runs: a failed backend rung restarts the whole
+labeling from zero. Checkpointed jobs change the economics — a retry or
+a degraded rung can **resume from the latest snapshot**, so a pool that
+dies at tile 9 000 of 10 000 costs 1 000 tiles, not 10 000. The runner
+encodes exactly that composition:
+
+* per-rung retries (``ResilienceConfig.max_retries``, with the same
+  exponential backoff) — each retry resumes;
+* on retry exhaustion, the next :class:`~repro.faults.DegradationPolicy`
+  rung (``processes → threads → serial``) — the new rung *also*
+  resumes, because completed tiles are backend-agnostic state;
+* an unrecoverable checkpoint directory
+  (:class:`~repro.errors.CheckpointCorruptError`) triggers at most one
+  clean restart from scratch — progress is lost, correctness is not.
+
+:class:`~repro.errors.InjectedCrashError` is deliberately **not**
+handled: it models the process dying, and a dead process runs nothing.
+The caller (or the next invocation of ``repro-label --resume``) is the
+recovery path, exactly as with a real ``SIGKILL``.
+"""
+
+from __future__ import annotations
+
+import time
+
+from ..errors import BackendError, CheckpointCorruptError
+from ..faults import DEFAULT_RESILIENCE
+from ..obs import get_recorder
+
+__all__ = ["JobRunner"]
+
+
+class JobRunner:
+    """Run a checkpointed job under retry + degradation supervision.
+
+    *job* is any object with ``run(resume=...)``, a ``backend_name``
+    attribute and ``degrade_to(rung)`` (both job shapes in
+    :mod:`repro.checkpoint.jobs` qualify). ``degradation=None`` (the
+    default) pins the job to its own backend; pass a
+    :class:`~repro.faults.DegradationPolicy` to enable the ladder.
+    """
+
+    def __init__(
+        self,
+        job,
+        degradation=None,
+        resilience=None,
+        recorder=None,
+    ) -> None:
+        self.job = job
+        self.degradation = degradation
+        self.resilience = (
+            resilience if resilience is not None else DEFAULT_RESILIENCE
+        )
+        self._rec = recorder if recorder is not None else get_recorder()
+
+    def run(self, resume: bool = False):
+        rec = self._rec
+        if self.degradation is not None:
+            ladder = self.degradation.ladder_from(self.job.backend_name)
+        else:
+            ladder = (self.job.backend_name,)
+        restarted = False
+        last: BackendError | None = None
+        for step, rung in enumerate(ladder):
+            if step:
+                self.job.degrade_to(rung)
+                if rec.enabled:
+                    rec.count("degrade.attempts")
+                    rec.count(f"degrade.to_{rung}")
+            attempt = 0
+            while True:
+                try:
+                    result = self.job.run(resume=resume or step > 0 or attempt > 0)
+                except CheckpointCorruptError:
+                    # the snapshots are beyond salvage: one clean restart
+                    # (losing progress) is allowed; a second corruption
+                    # means the directory itself is sick — propagate
+                    if restarted:
+                        raise
+                    restarted = True
+                    resume = False
+                    if rec.enabled:
+                        rec.count("checkpoint.restarts")
+                    continue
+                except BackendError as exc:
+                    last = exc
+                    if rec.enabled:
+                        rec.count("retry.job_attempts")
+                    if attempt >= self.resilience.max_retries:
+                        break  # rung exhausted; fall down the ladder
+                    attempt += 1
+                    time.sleep(self.resilience.backoff(attempt))
+                    continue
+                if step and isinstance(result.meta, dict):
+                    result.meta["degraded_from"] = ladder[0]
+                return result
+        assert last is not None
+        raise last

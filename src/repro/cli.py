@@ -79,6 +79,43 @@ def build_parser() -> argparse.ArgumentParser:
         "(processes -> threads -> serial) instead of erroring out",
     )
     parser.add_argument(
+        "--job",
+        choices=("streaming", "tiled"),
+        default=None,
+        help="run as an out-of-core job (row-streaming or tiled) that "
+        "labels straight into an on-disk array; required for "
+        "checkpointing",
+    )
+    parser.add_argument(
+        "--tile-shape",
+        metavar="HxW",
+        default="256x256",
+        help="tile grid for --job tiled (default: 256x256); a resume "
+        "must use the same shape as the interrupted run",
+    )
+    parser.add_argument(
+        "--checkpoint-dir",
+        metavar="DIR",
+        default=None,
+        help="directory for crash-safe snapshots of the --job state "
+        "(atomic rename + checksum); a killed run restarted with "
+        "--resume continues from the latest valid snapshot",
+    )
+    parser.add_argument(
+        "--checkpoint-every",
+        type=int,
+        metavar="N",
+        default=None,
+        help="snapshot cadence: every N rows (streaming) or every N "
+        "tiles/seams/blocks (tiled); defaults 256 rows / 8 tiles",
+    )
+    parser.add_argument(
+        "--resume",
+        action="store_true",
+        help="resume the --job from the latest valid snapshot in "
+        "--checkpoint-dir instead of starting over",
+    )
+    parser.add_argument(
         "--level",
         type=float,
         default=0.5,
@@ -136,10 +173,132 @@ def _save(path: pathlib.Path, labels: np.ndarray) -> None:
                   maxval=max(1, mx))
 
 
+def _print_stats(labels: np.ndarray, n: int) -> None:
+    stats = component_stats(labels)
+    order = np.argsort(stats.areas)[::-1]
+    print(f"{'label':>6s} {'area':>8s} {'bbox':>20s} {'centroid':>16s}")
+    for i in order[:20]:
+        c = stats.component(int(i) + 1)
+        r0, c0, r1, c1 = c["bbox"]
+        cy, cx = c["centroid"]
+        print(
+            f"{c['label']:6d} {c['area']:8d} "
+            f"{f'({r0},{c0})-({r1},{c1})':>20s} "
+            f"{f'({cy:.1f},{cx:.1f})':>16s}"
+        )
+    if n > 20:
+        print(f"... {n - 20} more")
+
+
+def _run_job(args, image, in_path, out_path) -> int:
+    """The ``--job`` path: checkpointable out-of-core labeling."""
+    import dataclasses as _dc
+    import time
+
+    from .checkpoint import JobRunner, StreamingJob, TiledJob
+    from .faults import DEFAULT_RESILIENCE, DegradationPolicy
+
+    # the job writes .npy; for .pgm/.ppm outputs label into a sidecar
+    # .npy and convert at the end
+    job_out = (
+        out_path
+        if out_path.suffix == ".npy"
+        else out_path.with_name(out_path.name + ".labels.npy")
+    )
+    kwargs: dict = {"checkpoint_dir": args.checkpoint_dir,
+                    "connectivity": args.connectivity}
+    if args.checkpoint_every is not None:
+        kwargs["every"] = args.checkpoint_every
+    if args.job == "tiled":
+        try:
+            th, _, tw = args.tile_shape.lower().partition("x")
+            tile_shape = (int(th), int(tw or th))
+        except ValueError:
+            print(
+                f"error: bad --tile-shape {args.tile_shape!r} "
+                "(expected HxW, e.g. 128x128)",
+                file=sys.stderr,
+            )
+            return 2
+
+    def build_and_run():
+        # built inside the recorder context: the job and its snapshot
+        # store capture the ambient recorder at construction
+        if args.job == "streaming":
+            job = StreamingJob(image, job_out, **kwargs)
+        else:
+            job = TiledJob(
+                image, job_out,
+                tile_shape=tile_shape,
+                workers=args.threads,
+                pool=args.backend or "processes",
+                **kwargs,
+            )
+        resilience = (
+            _dc.replace(DEFAULT_RESILIENCE, max_retries=args.retries)
+            if args.retries is not None
+            else None
+        )
+        degradation = DegradationPolicy() if args.degrade else None
+        runner = JobRunner(job, degradation=degradation,
+                           resilience=resilience)
+        return job, runner.run(resume=args.resume)
+
+    t0 = time.perf_counter()
+    if args.trace:
+        from .obs import TraceRecorder, use_recorder, write_trace_jsonl
+
+        rec = TraceRecorder()
+        with use_recorder(rec):
+            job, result = build_and_run()
+        report = rec.report()
+        write_trace_jsonl(report.spans, args.trace, metrics=report.metrics)
+        print(report.render())
+        print(f"trace -> {args.trace}")
+    else:
+        job, result = build_and_run()
+    elapsed = time.perf_counter() - t0
+    labels = result.labels
+    n = result.n_components
+    if args.min_area > 0:
+        labels = filter_components(np.asarray(labels), min_area=args.min_area)
+        n = int(labels.max(initial=0))
+    if job_out != out_path:
+        _save(out_path, np.asarray(labels))
+        job_out.unlink(missing_ok=True)
+    elif args.min_area > 0:
+        np.save(out_path, labels)  # re-save the filtered labels
+    print(
+        f"{in_path.name}: {image.shape[0]}x{image.shape[1]}, "
+        f"{n} components -> {out_path.name} "
+        f"({elapsed * 1e3:.1f} ms, {args.job} job)"
+    )
+    if result.resumed_from is not None:
+        print(f"note: resumed from snapshot seq {result.resumed_from}")
+    degraded_from = result.meta.get("degraded_from")
+    if degraded_from:
+        print(
+            f"note: backend {degraded_from!r} failed; job degraded to "
+            f"{job.backend_name!r}"
+        )
+    if args.stats and n:
+        _print_stats(np.asarray(labels), n)
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     in_path = pathlib.Path(args.input)
     out_path = pathlib.Path(args.output)
+    if args.checkpoint_dir and not args.job:
+        print(
+            "error: --checkpoint-dir requires --job (streaming or tiled)",
+            file=sys.stderr,
+        )
+        return 2
+    if args.resume and not args.checkpoint_dir:
+        print("error: --resume requires --checkpoint-dir", file=sys.stderr)
+        return 2
     if not in_path.exists():
         print(f"error: no such file: {in_path}", file=sys.stderr)
         return 2
@@ -149,6 +308,9 @@ def main(argv: list[str] | None = None) -> int:
         image = fill_holes(image, args.connectivity)
     if args.clear_border:
         image = clear_border(image, args.connectivity)
+
+    if args.job:
+        return _run_job(args, image, in_path, out_path)
 
     if args.backend:
         import dataclasses as _dc
@@ -210,20 +372,7 @@ def main(argv: list[str] | None = None) -> int:
             f"{result.backend!r}"
         )
     if args.stats and n:
-        stats = component_stats(labels)
-        order = np.argsort(stats.areas)[::-1]
-        print(f"{'label':>6s} {'area':>8s} {'bbox':>20s} {'centroid':>16s}")
-        for i in order[:20]:
-            c = stats.component(int(i) + 1)
-            r0, c0, r1, c1 = c["bbox"]
-            cy, cx = c["centroid"]
-            print(
-                f"{c['label']:6d} {c['area']:8d} "
-                f"{f'({r0},{c0})-({r1},{c1})':>20s} "
-                f"{f'({cy:.1f},{cx:.1f})':>16s}"
-            )
-        if n > 20:
-            print(f"... {n - 20} more")
+        _print_stats(labels, n)
     return 0
 
 

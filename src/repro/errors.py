@@ -10,6 +10,7 @@ from __future__ import annotations
 
 __all__ = [
     "ReproError",
+    "InputError",
     "ImageFormatError",
     "LabelOverflowError",
     "PartitionError",
@@ -19,6 +20,10 @@ __all__ = [
     "PhaseTimeoutError",
     "DeadlockError",
     "CostModelError",
+    "CheckpointError",
+    "CheckpointCorruptError",
+    "ResumeMismatchError",
+    "InjectedCrashError",
 ]
 
 
@@ -26,7 +31,21 @@ class ReproError(Exception):
     """Base class for all errors raised by :mod:`repro`."""
 
 
-class ImageFormatError(ReproError, ValueError):
+class InputError(ReproError, ValueError):
+    """A public-API input array is unusable as given.
+
+    The umbrella for every input-shape/dtype/layout rejection the
+    validated entry points (``label``, ``label_parallel``/``paremsp``,
+    the streaming labeler, ``tiled_label``) can make: non-2-D arrays,
+    unsupported dtypes, values outside ``{0, 1}``. Layout oddities
+    (Fortran order, non-contiguous views, read-only memmaps, ``bool`` /
+    ``uint16`` pixels) are *coerced*, not rejected — only genuinely
+    uninterpretable inputs raise. Subclasses ``ValueError`` so
+    pre-existing ``except ValueError`` callers keep working.
+    """
+
+
+class ImageFormatError(InputError):
     """An input array is not a valid binary image for CCL.
 
     Raised for non-2D inputs, unsupported dtypes, or pixel values outside
@@ -133,3 +152,65 @@ class DeadlockError(BackendError, TimeoutError):
 
 class CostModelError(ReproError, ValueError):
     """A simulated-machine cost model is inconsistent (negative costs...)."""
+
+
+class CheckpointError(ReproError, RuntimeError):
+    """Base class for checkpoint/resume failures (:mod:`repro.checkpoint`)."""
+
+
+class CheckpointCorruptError(CheckpointError):
+    """No valid snapshot survives in a checkpoint directory.
+
+    Raised only when *every* snapshot fails validation (missing payload,
+    size mismatch, checksum mismatch, unreadable manifest) — a corrupt
+    newest snapshot with an older valid one behind it falls back
+    silently instead. ``candidates`` lists the (seq, reason) pairs that
+    were rejected.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        directory: str | None = None,
+        candidates: tuple[tuple[int, str], ...] = (),
+    ) -> None:
+        super().__init__(message)
+        self.directory = directory
+        self.candidates = tuple(candidates)
+
+
+class ResumeMismatchError(CheckpointError):
+    """A snapshot exists but belongs to a different job.
+
+    The manifest's job fingerprint (shape, dtype, connectivity,
+    parameters) disagrees with the run asking to resume — restarting
+    from it could silently produce labels for the wrong input, so the
+    mismatch is fatal. ``expected``/``found`` carry both fingerprints.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        expected: dict | None = None,
+        found: dict | None = None,
+    ) -> None:
+        super().__init__(message)
+        self.expected = expected
+        self.found = found
+
+
+class InjectedCrashError(ReproError, SystemError):
+    """A deterministic in-process stand-in for a hard process death.
+
+    The ``crash_at_checkpoint`` fault kind raises this instead of
+    calling ``os._exit`` so single-process tests can simulate a crash at
+    a checkpoint boundary and then resume; the chaos suite uses a real
+    ``SIGKILL`` for the out-of-process version. Never caught by the
+    library's own recovery machinery — a crash is a crash.
+    """
+
+    def __init__(self, message: str, *, seq: int | None = None) -> None:
+        super().__init__(message)
+        self.seq = seq

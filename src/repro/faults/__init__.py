@@ -29,6 +29,7 @@ matrix.
 """
 
 from .plan import (
+    CHECKPOINT_KINDS,
     KINDS,
     NULL_PLAN,
     FaultPlan,
@@ -48,6 +49,7 @@ from .resilience import (
 
 __all__ = [
     "KINDS",
+    "CHECKPOINT_KINDS",
     "FaultSpec",
     "FaultPlan",
     "NullFaultPlan",

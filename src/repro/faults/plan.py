@@ -34,6 +34,7 @@ from typing import Iterable, Iterator
 
 __all__ = [
     "KINDS",
+    "CHECKPOINT_KINDS",
     "FaultSpec",
     "FaultPlan",
     "NullFaultPlan",
@@ -51,10 +52,19 @@ KINDS = (
     "delay_chunk",   # a straggler: sleep before scanning a chunk
     "poison_lock",   # a MERGER lock acquisition raises DeadlockError
     "truncate_msg",  # a Communicator.send is silently dropped
+    # checkpoint-durability kinds (phase="checkpoint", consulted by
+    # repro.checkpoint.SnapshotStore.save; `attempt` selects the n-th
+    # save of the run):
+    "crash_at_checkpoint",  # process dies right after a snapshot commits
+    "torn_write",           # payload truncated under a committed manifest
+    "corrupt_snapshot",     # one payload byte flipped after commit
 )
 
 #: kinds a forked scan worker executes itself (shipped as directives).
 WORKER_KINDS = ("kill_worker", "delay_chunk")
+
+#: kinds consumed at the SnapshotStore.save site (phase="checkpoint").
+CHECKPOINT_KINDS = ("crash_at_checkpoint", "torn_write", "corrupt_snapshot")
 
 
 @dataclasses.dataclass(frozen=True)
@@ -195,9 +205,14 @@ class FaultPlan:
         specs = []
         for _ in range(n_faults):
             kind = rng.choice(kinds)
-            phase = "alloc" if kind == "shm_fail" else (
-                "comm" if kind == "truncate_msg" else rng.choice(phases)
-            )
+            if kind == "shm_fail":
+                phase = "alloc"
+            elif kind == "truncate_msg":
+                phase = "comm"
+            elif kind in CHECKPOINT_KINDS:
+                phase = "checkpoint"
+            else:
+                phase = rng.choice(phases)
             specs.append(
                 FaultSpec(
                     kind=kind,

@@ -35,7 +35,7 @@ import numpy as np
 from ..ccl.labeling import CCLResult, apply_table, check_label_capacity
 from ..errors import BackendError
 from ..obs import PhaseTimer, get_recorder
-from ..types import LABEL_DTYPE, as_binary_image
+from ..types import LABEL_DTYPE, ensure_input
 from ..unionfind.flatten import flatten_ranges, flatten_ranges_array
 from .backends import get_backend
 from .backends._common import VECTOR_ENGINES
@@ -222,7 +222,7 @@ def paremsp(
             result.timings = rec.report(since=mark)
         return result
 
-    img = as_binary_image(image)
+    img = ensure_input(image)
     rows, cols = img.shape
     check_label_capacity((rows, cols))
 

@@ -22,14 +22,16 @@ at a time.
 
 from __future__ import annotations
 
+import pathlib
 import time
 
 import numpy as np
 
 from ..ccl.labeling import CCLResult, check_label_capacity
 from ..ccl.run_based import run_based_vectorized
+from ..errors import InputError
 from ..obs import PhaseTimer, get_recorder
-from ..types import LABEL_DTYPE
+from ..types import LABEL_DTYPE, ensure_input
 from ..unionfind.flatten import flatten
 from ..unionfind.remsp import merge as remsp_merge
 from .boundary import merge_boundary_row
@@ -44,12 +46,52 @@ def _label_tile(args: tuple) -> tuple[int, int, np.ndarray, int]:
     return r0, c0, local.labels, local.n_components
 
 
+def _finalize_memmap(
+    lut: np.ndarray, labels: np.ndarray, out, th: int
+) -> np.ndarray:
+    """Gather final labels into *out* with fsync + atomic rename.
+
+    Writes tile-row blocks through the LUT into ``<out>.tmp``, flushes
+    the memmap, ``fsync``'s the file and only then renames it over
+    *out* (followed by a directory fsync) — the two-step the checkpoint
+    store uses for its payloads, applied to the result artifact. Returns
+    a read-only memmap of the finalised file.
+    """
+    import os
+
+    from numpy.lib.format import open_memmap
+
+    out = pathlib.Path(out)
+    tmp = out.with_name(out.name + ".tmp")
+    rows = labels.shape[0]
+    mm = open_memmap(tmp, mode="w+", dtype=LABEL_DTYPE, shape=labels.shape)
+    for r0 in range(0, rows, th):
+        mm[r0 : r0 + th] = lut[labels[r0 : r0 + th]]
+    mm.flush()
+    del mm
+    fd = os.open(tmp, os.O_RDONLY)
+    try:
+        os.fsync(fd)
+    finally:
+        os.close(fd)
+    os.replace(tmp, out)
+    dfd = os.open(out.parent, os.O_RDONLY)
+    try:
+        os.fsync(dfd)
+    except OSError:  # pragma: no cover - filesystem-dependent
+        pass
+    finally:
+        os.close(dfd)
+    return np.load(out, mmap_mode="r")
+
+
 def tiled_label(
     image: np.ndarray,
     tile_shape: tuple[int, int] = (256, 256),
     connectivity: int = 8,
     workers: int = 1,
     recorder=None,
+    out: str | pathlib.Path | None = None,
 ) -> CCLResult:
     """Label *image* tile by tile; result identical (as a partition) to
     whole-image labeling.
@@ -64,6 +106,14 @@ def tiled_label(
     spans on the in-process path), seam unions are counted, and the
     result's ``timings`` field carries the run's report.
 
+    *out*, when given, is a ``.npy`` path the final labels are written
+    to **atomically**: the gather lands in ``<out>.tmp``, is flushed
+    and ``fsync``'d, and only then renamed over *out* — a run killed
+    mid-write can never leave a truncated file at *out* masquerading as
+    a complete result. The returned ``labels`` is a read-only memmap of
+    the finalised file. (For crash *resume* on top of atomicity, see
+    :class:`repro.checkpoint.TiledJob`.)
+
     >>> import numpy as np
     >>> img = np.ones((10, 10), dtype=np.uint8)
     >>> int(tiled_label(img, tile_shape=(4, 4)).n_components)
@@ -75,7 +125,20 @@ def tiled_label(
     if workers < 1:
         raise ValueError(f"workers must be >= 1, got {workers}")
     rec = recorder if recorder is not None else get_recorder()
-    image = np.asarray(image)  # no copy: memmap slices stay lazy
+    if isinstance(image, np.memmap):
+        # memmap slices stay lazy; per-tile validation happens inside
+        # the tile kernel so the raster is only ever read once
+        if image.ndim != 2:
+            raise InputError(
+                f"image must be 2-D, got shape {image.shape!r}"
+            )
+        if image.dtype.kind not in "buif":
+            raise InputError(
+                f"unsupported image dtype {image.dtype!r}; expected a "
+                "boolean, integer, or binary float array"
+            )
+    else:
+        image = ensure_input(image)
     rows, cols = image.shape
     check_label_capacity((rows, cols))
     labels = np.zeros((rows, cols), dtype=LABEL_DTYPE)
@@ -133,7 +196,10 @@ def tiled_label(
         n_components = flatten(p, count)
     with timer.time("label"):
         lut = np.asarray(p, dtype=LABEL_DTYPE)
-        final = lut[labels]
+        if out is not None:
+            final = _finalize_memmap(lut, labels, out, th)
+        else:
+            final = lut[labels]
     if rec.enabled:
         rec.count("tiled.seam_unions", seam_unions)
         rec.gauge("tiled.n_tiles", n_tiles)

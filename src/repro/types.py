@@ -29,6 +29,7 @@ __all__ = [
     "FOREGROUND",
     "Connectivity",
     "as_binary_image",
+    "ensure_input",
     "max_labels_for",
 ]
 
@@ -96,6 +97,72 @@ def as_binary_image(image: Any, *, validate: bool = True) -> np.ndarray:
     if arr.dtype != PIXEL_DTYPE:
         arr = arr.astype(PIXEL_DTYPE)
     return np.ascontiguousarray(arr)
+
+
+def ensure_input(image: Any, *, what: str = "image") -> np.ndarray:
+    """Validate and canonicalise a public-API binary image.
+
+    One gate shared by every labeling entry point (``label``,
+    ``label_parallel``/``paremsp``, the streaming labeler,
+    ``tiled_label``) so layout oddities meet one policy instead of
+    backend-specific crashes:
+
+    * **coerced** — ``bool`` and wider integer dtypes (``uint16``,
+      ``int64``, ...), float arrays whose values are exactly ``{0, 1}``,
+      Fortran-order and otherwise non-contiguous views, read-only
+      buffers/memmaps (copied only when a dtype or layout change forces
+      it; a canonical read-only array passes through untouched — the
+      engines never write into their input);
+    * **rejected** with :class:`~repro.errors.InputError` — non-2-D
+      arrays, complex/object/string dtypes, and any value outside
+      ``{0, 1}``.
+
+    Returns a C-contiguous ``uint8`` array with values in ``{0, 1}``.
+
+    >>> import numpy as np
+    >>> f = np.asfortranarray(np.eye(3, dtype=np.uint16))
+    >>> out = ensure_input(f)
+    >>> out.dtype.name, out.flags.c_contiguous
+    ('uint8', True)
+    """
+    from .errors import InputError
+
+    try:
+        arr = np.asarray(image)
+    except Exception as exc:  # ragged lists, unconvertible objects
+        raise InputError(f"{what} is not convertible to an array: {exc}") from exc
+    if arr.ndim != 2:
+        raise InputError(
+            f"{what} must be 2-D, got shape {arr.shape!r}"
+            + (" (see repro.volume for 3-D labeling)" if arr.ndim == 3 else "")
+        )
+    kind = arr.dtype.kind
+    if kind == "b":
+        arr = arr.astype(PIXEL_DTYPE)
+    elif kind == "f":
+        # accept float rasters that are exactly binary (e.g. thresholded
+        # images saved as float); anything else needs explicit im2bw
+        if arr.size and not np.isin(arr, (0.0, 1.0)).all():
+            raise InputError(
+                f"float {what} must contain only 0.0 and 1.0; threshold "
+                "it first (repro.data.binarize.im2bw)"
+            )
+        arr = arr.astype(PIXEL_DTYPE)
+    elif kind not in "ui":
+        raise InputError(
+            f"unsupported {what} dtype {arr.dtype!r}; expected a "
+            "boolean, integer, or binary float array"
+        )
+    if arr.size and not np.isin(arr, (BACKGROUND, FOREGROUND)).all():
+        bad = np.unique(arr[~np.isin(arr, (BACKGROUND, FOREGROUND))])
+        raise InputError(
+            f"{what} may contain only 0 and 1, found {bad[:8]!r}"
+        )
+    if arr.dtype != PIXEL_DTYPE:
+        arr = arr.astype(PIXEL_DTYPE)
+    if not arr.flags.c_contiguous:
+        arr = np.ascontiguousarray(arr)
+    return arr
 
 
 def max_labels_for(shape: tuple[int, int]) -> int:

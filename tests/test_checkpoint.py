@@ -1,0 +1,487 @@
+"""Checkpoint/resume: crash consistency, corruption fallback, and the
+byte-identity contract.
+
+The acceptance bar from the resilience docs: a labeling job killed at
+*any* point and resumed from its latest valid snapshot must produce
+final labels byte-identical to an uninterrupted run, and a corrupt
+checkpoint directory may cost progress but never correctness (fallback
+to an older snapshot, or a typed error — never a wrong answer).
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.checkpoint import (
+    NULL_CHECKPOINT,
+    JobRunner,
+    SnapshotStore,
+    StreamingJob,
+    TiledJob,
+)
+from repro.errors import (
+    CheckpointCorruptError,
+    InjectedCrashError,
+    ResumeMismatchError,
+)
+from repro.faults import DegradationPolicy, FaultPlan, FaultSpec
+from repro.obs import TraceRecorder
+from repro.parallel.tiled import tiled_label
+
+
+def _image(rows=200, cols=180, seed=5, density=0.4):
+    rng = np.random.default_rng(seed)
+    return (rng.random((rows, cols)) < density).astype(np.uint8)
+
+
+def _leftovers(directory: pathlib.Path) -> list[str]:
+    if not directory.exists():
+        return []
+    return sorted(p.name for p in directory.iterdir())
+
+
+# ---------------------------------------------------------------------------
+# SnapshotStore semantics
+
+
+class TestSnapshotStore:
+    def test_save_latest_roundtrip(self, tmp_path):
+        store = SnapshotStore(tmp_path, fingerprint={"job": "t"})
+        state = {"row": 7, "arr": np.arange(5)}
+        store.save(state, seq=7)
+        seq, loaded = store.latest()
+        assert seq == 7
+        assert loaded["row"] == 7
+        np.testing.assert_array_equal(loaded["arr"], np.arange(5))
+
+    def test_empty_store_latest_is_none(self, tmp_path):
+        assert SnapshotStore(tmp_path).latest() is None
+
+    def test_prunes_to_keep(self, tmp_path):
+        store = SnapshotStore(tmp_path, keep=2)
+        for seq in (1, 2, 3, 4):
+            store.save({"seq": seq}, seq=seq)
+        assert store.sequences() == [3, 4]
+        # pruned snapshots leave no payloads behind either
+        names = _leftovers(tmp_path)
+        assert all("0000000" + str(s) in n for s in (3, 4) for n in names
+                   if n.startswith("snap-")) or len(names) == 4
+
+    def test_resave_same_seq_replaces(self, tmp_path):
+        store = SnapshotStore(tmp_path)
+        store.save({"v": 1}, seq=3)
+        store.save({"v": 2}, seq=3)
+        assert store.latest() == (3, {"v": 2})
+
+    def test_clear_leaves_empty_dir(self, tmp_path):
+        store = SnapshotStore(tmp_path)
+        for seq in (1, 2):
+            store.save({"seq": seq}, seq=seq)
+        store.clear()
+        assert _leftovers(tmp_path) == []
+
+    def test_keep_validates(self, tmp_path):
+        with pytest.raises(ValueError, match="keep"):
+            SnapshotStore(tmp_path, keep=0)
+
+    def test_null_checkpointer_disabled(self):
+        assert NULL_CHECKPOINT.enabled is False
+
+
+# ---------------------------------------------------------------------------
+# corruption detection and fallback
+
+
+class TestCorruption:
+    def _two_snapshots(self, tmp_path):
+        store = SnapshotStore(tmp_path, fingerprint={"job": "t"}, keep=3)
+        store.save({"seq": 1, "good": True}, seq=1)
+        store.save({"seq": 2, "good": True}, seq=2)
+        return store
+
+    def test_truncated_payload_falls_back(self, tmp_path):
+        store = self._two_snapshots(tmp_path)
+        payload = store._payload_path(2)
+        payload.write_bytes(payload.read_bytes()[:10])
+        rec = TraceRecorder()
+        store._rec = rec
+        seq, state = store.latest()
+        assert (seq, state["seq"]) == (1, 1)
+        counters = rec.report().metrics["counters"]
+        assert counters["checkpoint.corrupt_detected"] == 1
+        assert counters["checkpoint.fallbacks"] == 1
+
+    def test_bitflip_payload_falls_back(self, tmp_path):
+        store = self._two_snapshots(tmp_path)
+        payload = store._payload_path(2)
+        raw = bytearray(payload.read_bytes())
+        raw[len(raw) // 2] ^= 0xFF
+        payload.write_bytes(bytes(raw))  # same size: only the checksum trips
+        seq, _ = store.latest()
+        assert seq == 1
+
+    def test_stale_manifest_missing_payload_falls_back(self, tmp_path):
+        store = self._two_snapshots(tmp_path)
+        store._payload_path(2).unlink()
+        seq, _ = store.latest()
+        assert seq == 1
+
+    def test_unreadable_manifest_falls_back(self, tmp_path):
+        store = self._two_snapshots(tmp_path)
+        store._manifest_path(2).write_text("{not json")
+        seq, _ = store.latest()
+        assert seq == 1
+
+    def test_all_corrupt_raises_typed_error(self, tmp_path):
+        store = self._two_snapshots(tmp_path)
+        for seq in (1, 2):
+            store._payload_path(seq).write_bytes(b"x")
+        with pytest.raises(CheckpointCorruptError) as err:
+            store.latest()
+        assert err.value.directory == str(tmp_path)
+        assert sorted(s for s, _ in err.value.candidates) == [1, 2]
+
+    def test_fingerprint_mismatch_raises(self, tmp_path):
+        self._two_snapshots(tmp_path)
+        other = SnapshotStore(tmp_path, fingerprint={"job": "other"})
+        with pytest.raises(ResumeMismatchError) as err:
+            other.latest()
+        assert err.value.expected == {"job": "other"}
+        assert err.value.found == {"job": "t"}
+
+    def test_manifest_is_json_with_checksum(self, tmp_path):
+        store = SnapshotStore(tmp_path, fingerprint={"job": "t"})
+        manifest_path = store.save({"seq": 1}, seq=1)
+        manifest = json.loads(manifest_path.read_text())
+        assert manifest["seq"] == 1
+        assert len(manifest["sha256"]) == 64
+        assert manifest["fingerprint"] == {"job": "t"}
+
+    def test_pickle_tampering_same_length_detected(self, tmp_path):
+        # adversarial-ish: replace the payload with a *valid* pickle of
+        # the same length — the checksum must still reject it
+        store = self._two_snapshots(tmp_path)
+        payload = store._payload_path(2)
+        n = len(payload.read_bytes())
+        fake = pickle.dumps({"seq": 999})
+        payload.write_bytes(fake.ljust(n, b"\x00")[:n])
+        seq, state = store.latest()
+        assert (seq, state["seq"]) == (1, 1)
+
+
+# ---------------------------------------------------------------------------
+# injected checkpoint faults
+
+
+class TestCheckpointFaults:
+    def test_torn_write_detected_on_resume(self, tmp_path):
+        plan = FaultPlan([FaultSpec("torn_write", phase="checkpoint",
+                                    attempt=1)])
+        store = SnapshotStore(tmp_path, keep=3, fault_plan=plan)
+        store.save({"seq": 1}, seq=1)
+        store.save({"seq": 2}, seq=2)  # torn after commit
+        seq, _ = store.latest()
+        assert seq == 1
+
+    def test_corrupt_snapshot_detected_on_resume(self, tmp_path):
+        plan = FaultPlan([FaultSpec("corrupt_snapshot", phase="checkpoint",
+                                    attempt=1)])
+        store = SnapshotStore(tmp_path, keep=3, fault_plan=plan)
+        store.save({"seq": 1}, seq=1)
+        store.save({"seq": 2}, seq=2)  # bit-flipped after commit
+        seq, _ = store.latest()
+        assert seq == 1
+
+    def test_crash_at_checkpoint_raises_after_commit(self, tmp_path):
+        plan = FaultPlan([FaultSpec("crash_at_checkpoint",
+                                    phase="checkpoint", attempt=0)])
+        store = SnapshotStore(tmp_path, fault_plan=plan)
+        with pytest.raises(InjectedCrashError) as err:
+            store.save({"seq": 5}, seq=5)
+        assert err.value.seq == 5
+        # the crash fires *after* the commit: the snapshot is durable
+        assert SnapshotStore(tmp_path).latest() == (5, {"seq": 5})
+
+
+# ---------------------------------------------------------------------------
+# streaming job crash/resume byte-identity
+
+
+class TestStreamingJob:
+    def test_fresh_run_matches_reference_and_leaves_no_scratch(
+        self, tmp_path
+    ):
+        img = _image()
+        ref = StreamingJob(img, tmp_path / "ref.npy").run()
+        res = StreamingJob(
+            img, tmp_path / "out.npy", checkpoint_dir=tmp_path / "ck",
+            every=32,
+        ).run()
+        assert np.array_equal(np.asarray(res.labels), np.asarray(ref.labels))
+        assert res.n_components == ref.n_components
+        assert _leftovers(tmp_path / "ck") == []
+        assert sorted(p.name for p in tmp_path.iterdir()) == [
+            "ck", "out.npy", "ref.npy",
+        ]
+
+    def test_crash_then_resume_byte_identical(self, tmp_path):
+        img = _image(rows=160)
+        ref = StreamingJob(img, tmp_path / "ref.npy").run()
+        plan = FaultPlan([FaultSpec("crash_at_checkpoint",
+                                    phase="checkpoint", attempt=2)])
+        job = StreamingJob(
+            img, tmp_path / "out.npy", checkpoint_dir=tmp_path / "ck",
+            every=32, fault_plan=plan,
+        )
+        with pytest.raises(InjectedCrashError):
+            job.run()
+        assert not (tmp_path / "out.npy").exists()  # never half-finalised
+        res = StreamingJob(
+            img, tmp_path / "out.npy", checkpoint_dir=tmp_path / "ck",
+            every=32,
+        ).run(resume=True)
+        assert res.resumed_from == 96  # third save: rows 32, 64, 96
+        assert (tmp_path / "out.npy").read_bytes() == (
+            tmp_path / "ref.npy"
+        ).read_bytes()
+        assert res.components == ref.components
+        assert _leftovers(tmp_path / "ck") == []
+
+    def test_resume_after_torn_last_snapshot_falls_back(self, tmp_path):
+        img = _image(rows=160)
+        ref = StreamingJob(img, tmp_path / "ref.npy").run()
+        plan = FaultPlan([
+            FaultSpec("torn_write", phase="checkpoint", attempt=2),
+            FaultSpec("crash_at_checkpoint", phase="checkpoint", attempt=2),
+        ])
+        job = StreamingJob(
+            img, tmp_path / "out.npy", checkpoint_dir=tmp_path / "ck",
+            every=32, keep=3, fault_plan=plan,
+        )
+        with pytest.raises(InjectedCrashError):
+            job.run()
+        res = StreamingJob(
+            img, tmp_path / "out.npy", checkpoint_dir=tmp_path / "ck",
+            every=32, keep=3,
+        ).run(resume=True)
+        assert res.resumed_from == 64  # seq 96 torn -> fallback to 64
+        assert (tmp_path / "out.npy").read_bytes() == (
+            tmp_path / "ref.npy"
+        ).read_bytes()
+
+    def test_resume_flag_without_snapshots_runs_fresh(self, tmp_path):
+        img = _image(rows=64, cols=64)
+        res = StreamingJob(
+            img, tmp_path / "out.npy", checkpoint_dir=tmp_path / "ck",
+            every=16,
+        ).run(resume=True)
+        assert res.resumed_from is None
+        assert res.n_components > 0
+
+    def test_fresh_run_clears_stale_snapshots(self, tmp_path):
+        img = _image(rows=96, cols=64)
+        plan = FaultPlan([FaultSpec("crash_at_checkpoint",
+                                    phase="checkpoint", attempt=1)])
+        with pytest.raises(InjectedCrashError):
+            StreamingJob(
+                img, tmp_path / "out.npy", checkpoint_dir=tmp_path / "ck",
+                every=16, fault_plan=plan,
+            ).run()
+        assert _leftovers(tmp_path / "ck") != []
+        res = StreamingJob(
+            img, tmp_path / "out.npy", checkpoint_dir=tmp_path / "ck",
+            every=16,
+        ).run()  # resume=False: stale snapshots must not survive
+        assert res.resumed_from is None
+        assert _leftovers(tmp_path / "ck") == []
+
+    def test_resume_with_missing_work_file_is_typed(self, tmp_path):
+        img = _image(rows=96, cols=64)
+        plan = FaultPlan([FaultSpec("crash_at_checkpoint",
+                                    phase="checkpoint", attempt=1)])
+        with pytest.raises(InjectedCrashError):
+            StreamingJob(
+                img, tmp_path / "out.npy", checkpoint_dir=tmp_path / "ck",
+                every=16, fault_plan=plan,
+            ).run()
+        (tmp_path / "out.npy.partial").unlink()
+        with pytest.raises(CheckpointCorruptError):
+            StreamingJob(
+                img, tmp_path / "out.npy", checkpoint_dir=tmp_path / "ck",
+                every=16,
+            ).run(resume=True)
+
+    def test_wrong_image_resume_is_mismatch(self, tmp_path):
+        img = _image(rows=96, cols=64)
+        plan = FaultPlan([FaultSpec("crash_at_checkpoint",
+                                    phase="checkpoint", attempt=1)])
+        with pytest.raises(InjectedCrashError):
+            StreamingJob(
+                img, tmp_path / "out.npy", checkpoint_dir=tmp_path / "ck",
+                every=16, fault_plan=plan,
+            ).run()
+        with pytest.raises(ResumeMismatchError):
+            StreamingJob(
+                _image(rows=128, cols=64), tmp_path / "out.npy",
+                checkpoint_dir=tmp_path / "ck", every=16,
+            ).run(resume=True)
+
+
+# ---------------------------------------------------------------------------
+# tiled job crash/resume byte-identity, per phase
+
+
+class TestTiledJob:
+    # 200x180 with 64x64 tiles: 12 tiles, 5 seams, 4 label blocks.
+    # ``every`` and the crash attempt pick which phase dies.
+    KW = {"tile_shape": (64, 64)}
+
+    def _ref(self, img, tmp_path):
+        return TiledJob(img, tmp_path / "ref.npy", **self.KW).run()
+
+    def test_matches_tiled_label(self, tmp_path):
+        img = _image()
+        res = TiledJob(
+            img, tmp_path / "out.npy", checkpoint_dir=tmp_path / "ck",
+            every=3, **self.KW,
+        ).run()
+        direct = tiled_label(img, tile_shape=(64, 64))
+        assert np.array_equal(np.asarray(res.labels), direct.labels)
+        assert res.n_components == direct.n_components
+        assert _leftovers(tmp_path / "ck") == []
+        assert not (tmp_path / "out.npy.prov").exists()
+        assert not (tmp_path / "out.npy.partial").exists()
+
+    # with every=3: 12 tiles save on attempts 0-2 (seqs 3/6/9), the 5
+    # seams save once on attempt 3 (seq 12+3), the 4 label blocks save
+    # once on attempt 4 (seq 12+5+3) — seqs stay monotone across phases
+    @pytest.mark.parametrize(
+        "attempt, expect_seq",
+        [(1, 6), (3, 15), (4, 20)],
+        ids=["tiles", "merge", "label"],
+    )
+    def test_crash_each_phase_resume_byte_identical(
+        self, tmp_path, attempt, expect_seq
+    ):
+        img = _image()
+        ref = self._ref(img, tmp_path)
+        plan = FaultPlan([FaultSpec("crash_at_checkpoint",
+                                    phase="checkpoint", attempt=attempt)])
+        job = TiledJob(
+            img, tmp_path / "out.npy", checkpoint_dir=tmp_path / "ck",
+            every=3, fault_plan=plan, **self.KW,
+        )
+        with pytest.raises(InjectedCrashError):
+            job.run()
+        res = TiledJob(
+            img, tmp_path / "out.npy", checkpoint_dir=tmp_path / "ck",
+            every=3, **self.KW,
+        ).run(resume=True)
+        assert res.resumed_from == expect_seq
+        assert (tmp_path / "out.npy").read_bytes() == (
+            tmp_path / "ref.npy"
+        ).read_bytes()
+        assert res.n_components == ref.n_components
+        assert _leftovers(tmp_path / "ck") == []
+        assert not (tmp_path / "out.npy.prov").exists()
+
+    def test_double_crash_double_resume(self, tmp_path):
+        img = _image()
+        self._ref(img, tmp_path)
+        for attempt in (0, 1):
+            plan = FaultPlan([FaultSpec("crash_at_checkpoint",
+                                        phase="checkpoint",
+                                        attempt=attempt)])
+            with pytest.raises(InjectedCrashError):
+                TiledJob(
+                    img, tmp_path / "out.npy",
+                    checkpoint_dir=tmp_path / "ck", every=3,
+                    fault_plan=plan, **self.KW,
+                ).run(resume=attempt > 0)
+        res = TiledJob(
+            img, tmp_path / "out.npy", checkpoint_dir=tmp_path / "ck",
+            every=3, **self.KW,
+        ).run(resume=True)
+        assert (tmp_path / "out.npy").read_bytes() == (
+            tmp_path / "ref.npy"
+        ).read_bytes()
+
+
+# ---------------------------------------------------------------------------
+# JobRunner: degradation + resume composition
+
+
+class _FlakyPoolJob(TiledJob):
+    """A tiled job whose 'processes' pool is broken, to force the ladder."""
+
+    def _label_batch(self, batch):
+        if self.pool == "processes":
+            from repro.errors import BackendError
+
+            raise BackendError("injected: processes pool is broken")
+        return super()._label_batch(batch)
+
+
+class TestJobRunner:
+    def test_degrades_and_resumes(self, tmp_path):
+        img = _image()
+        ref = TiledJob(img, tmp_path / "ref.npy", tile_shape=(64, 64)).run()
+        job = _FlakyPoolJob(
+            img, tmp_path / "out.npy", checkpoint_dir=tmp_path / "ck",
+            every=3, tile_shape=(64, 64), workers=2, pool="processes",
+        )
+        from repro.faults import ResilienceConfig
+
+        runner = JobRunner(
+            job,
+            degradation=DegradationPolicy(),
+            resilience=ResilienceConfig(max_retries=1, backoff_base=0.0),
+        )
+        res = runner.run()
+        assert res.meta["degraded_from"] == "processes"
+        assert job.backend_name in ("threads", "serial")
+        assert (tmp_path / "out.npy").read_bytes() == (
+            tmp_path / "ref.npy"
+        ).read_bytes()
+
+    def test_corrupt_directory_triggers_one_clean_restart(self, tmp_path):
+        img = _image(rows=96, cols=64)
+        plan = FaultPlan([FaultSpec("crash_at_checkpoint",
+                                    phase="checkpoint", attempt=1)])
+        with pytest.raises(InjectedCrashError):
+            StreamingJob(
+                img, tmp_path / "out.npy", checkpoint_dir=tmp_path / "ck",
+                every=16, fault_plan=plan,
+            ).run()
+        # rot every snapshot: resume must fall back to a clean restart
+        for p in (tmp_path / "ck").glob("*.state.pkl"):
+            p.write_bytes(b"rot")
+        job = StreamingJob(
+            img, tmp_path / "out.npy", checkpoint_dir=tmp_path / "ck",
+            every=16,
+        )
+        res = JobRunner(job).run(resume=True)
+        assert res.resumed_from is None  # restarted from scratch
+        ref = StreamingJob(img, tmp_path / "ref.npy").run()
+        assert (tmp_path / "out.npy").read_bytes() == (
+            tmp_path / "ref.npy"
+        ).read_bytes()
+        assert ref.n_components == res.n_components
+
+    def test_checkpoint_counters_land_in_trace(self, tmp_path):
+        img = _image(rows=96, cols=64)
+        rec = TraceRecorder()
+        StreamingJob(
+            img, tmp_path / "out.npy", checkpoint_dir=tmp_path / "ck",
+            every=16, recorder=rec,
+        ).run()
+        counters = rec.report().metrics["counters"]
+        assert counters["checkpoint.saves"] == 5  # rows 16..80
+        assert counters["checkpoint.bytes"] > 0
+        phases = {s.phase for s in rec.report().spans}
+        assert "checkpoint.save" in phases

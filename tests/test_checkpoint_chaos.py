@@ -1,0 +1,211 @@
+"""Chaos: a real ``SIGKILL`` mid-job, then a resume round-trip.
+
+The in-suite crash tests use the injected ``crash_at_checkpoint`` fault
+(a raised exception); this module kills an actual OS process with
+``SIGKILL`` — no cleanup handlers, no atexit, exactly what a OOM-killer
+or a pre-empted node does — and then resumes through the public CLI.
+Byte-identity against an uninterrupted run is the acceptance bar.
+
+Marked ``chaos`` (the ``make chaos`` / CI chaos-job set, which runs
+under a hard wall-clock timeout); every subprocess here also carries
+its own ``timeout=`` so a hang can never eat the whole job budget.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+import select
+import signal
+import subprocess
+import sys
+import time
+
+import numpy as np
+import pytest
+
+from repro.checkpoint import StreamingJob, TiledJob
+
+pytestmark = pytest.mark.chaos
+
+SRC = str(pathlib.Path(__file__).resolve().parent.parent / "src")
+
+#: child-side throttle after each snapshot commit, to widen the window
+#: the parent's SIGKILL lands in (the job itself takes only ~100 ms).
+THROTTLE = (
+    "import time as _t\n"
+    "from repro.checkpoint import snapshot as _snap\n"
+    "_orig = _snap.SnapshotStore.save\n"
+    "def _slow(self, state, seq):\n"
+    "    path = _orig(self, state, seq)\n"
+    "    print(f'CKPT {seq}', flush=True)\n"
+    "    _t.sleep(0.25)\n"
+    "    return path\n"
+    "_snap.SnapshotStore.save = _slow\n"
+)
+
+
+def _spawn(code: str) -> subprocess.Popen:
+    return subprocess.Popen(
+        [sys.executable, "-u", "-c", code],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE,
+        text=True,
+        env=dict(os.environ, PYTHONPATH=SRC),
+    )
+
+
+def _kill_after_checkpoints(proc: subprocess.Popen, n: int, deadline: float):
+    """Read child stdout until *n* ``CKPT`` lines, then SIGKILL it."""
+    seen = 0
+    while time.monotonic() < deadline:
+        ready, _, _ = select.select([proc.stdout], [], [], 1.0)
+        if not ready:
+            if proc.poll() is not None:
+                break
+            continue
+        line = proc.stdout.readline()
+        if not line:
+            break
+        if line.startswith("CKPT"):
+            seen += 1
+            if seen >= n:
+                os.kill(proc.pid, signal.SIGKILL)
+                proc.wait(timeout=30)
+                return seen
+    pytest.fail(
+        f"child finished or timed out before {n} checkpoints "
+        f"(saw {seen}; rc={proc.poll()}; stderr={proc.stderr.read()!r})"
+    )
+
+
+def _job_code(kind: str, img, out, ck) -> str:
+    ctor = {
+        "streaming": "StreamingJob(img, out, checkpoint_dir=ck, every=16)",
+        "tiled": (
+            "TiledJob(img, out, checkpoint_dir=ck, every=2, "
+            "tile_shape=(32, 32))"
+        ),
+    }[kind]
+    return (
+        "import numpy as np\n"
+        "from repro.checkpoint import StreamingJob, TiledJob\n"
+        + THROTTLE
+        + f"img = np.load({str(img)!r})\n"
+        f"out, ck = {str(out)!r}, {str(ck)!r}\n"
+        f"res = {ctor}.run()\n"
+        "print('DONE', res.n_components, flush=True)\n"
+    )
+
+
+@pytest.mark.parametrize("kind", ["streaming", "tiled"])
+def test_sigkill_then_cli_resume_round_trip(tmp_path, kind):
+    rng = np.random.default_rng(17)
+    img = (rng.random((128, 96)) < 0.45).astype(np.uint8)
+    np.save(tmp_path / "img.npy", img)
+    ck = tmp_path / "ck"
+
+    # uninterrupted reference (no checkpointing at all)
+    job_cls = {"streaming": StreamingJob, "tiled": TiledJob}[kind]
+    kwargs = {} if kind == "streaming" else {"tile_shape": (32, 32)}
+    ref = job_cls(img, tmp_path / "ref.npy", **kwargs).run()
+
+    deadline = time.monotonic() + 60.0
+    proc = _spawn(
+        _job_code(kind, tmp_path / "img.npy", tmp_path / "out.npy", ck)
+    )
+    try:
+        _kill_after_checkpoints(proc, n=2, deadline=deadline)
+    finally:
+        if proc.poll() is None:  # pragma: no cover - watchdog path
+            proc.kill()
+    assert proc.returncode == -signal.SIGKILL
+    # the kill left work behind: snapshots + the partial, but never a
+    # file at the final output path
+    assert list(ck.iterdir()), "no snapshots survived the kill"
+    assert not (tmp_path / "out.npy").exists()
+
+    # resume through the public CLI, under its own hard timeout
+    cli = subprocess.run(
+        [
+            sys.executable, "-m", "repro.cli",
+            str(tmp_path / "img.npy"), str(tmp_path / "out.npy"),
+            "--job", kind, "--checkpoint-dir", str(ck),
+            "--checkpoint-every", "16" if kind == "streaming" else "2",
+            "--tile-shape", "32x32",
+            "--resume",
+        ],
+        capture_output=True,
+        text=True,
+        timeout=120,
+        env=dict(os.environ, PYTHONPATH=SRC),
+    )
+    assert cli.returncode == 0, cli.stderr
+    assert "resumed from snapshot" in cli.stdout
+
+    assert (tmp_path / "out.npy").read_bytes() == (
+        tmp_path / "ref.npy"
+    ).read_bytes()
+    assert ref.n_components > 0
+    # a completed resume leaves zero snapshot/scratch files
+    assert list(ck.iterdir()) == []
+    leftovers = sorted(
+        p.name for p in tmp_path.iterdir()
+        if p.name not in ("img.npy", "out.npy", "ref.npy", "ck")
+    )
+    assert leftovers == [], leftovers
+
+
+def test_sigkill_between_checkpoints_resume_in_process(tmp_path):
+    """Kill while rows are streaming (not inside a save): the rows since
+    the last snapshot are replayed and the result is still identical."""
+    rng = np.random.default_rng(23)
+    img = (rng.random((160, 64)) < 0.4).astype(np.uint8)
+    np.save(tmp_path / "img.npy", img)
+    ref = StreamingJob(img, tmp_path / "ref.npy").run()
+
+    code = (
+        "import numpy as np, time\n"
+        "from repro.checkpoint import StreamingJob\n"
+        "from repro.ccl.streaming import StreamingLabeler\n"
+        "_orig = StreamingLabeler.push_row\n"
+        "def _slow(self, row):\n"
+        "    time.sleep(0.01)\n"
+        "    if self._row == 48: print('MIDWAY', flush=True)\n"
+        "    return _orig(self, row)\n"
+        "StreamingLabeler.push_row = _slow\n"
+        f"img = np.load({str(tmp_path / 'img.npy')!r})\n"
+        f"StreamingJob(img, {str(tmp_path / 'out.npy')!r}, "
+        f"checkpoint_dir={str(tmp_path / 'ck')!r}, every=16).run()\n"
+    )
+    proc = _spawn(code)
+    deadline = time.monotonic() + 60.0
+    try:
+        while time.monotonic() < deadline:
+            ready, _, _ = select.select([proc.stdout], [], [], 1.0)
+            if ready:
+                line = proc.stdout.readline()
+                if line.startswith("MIDWAY"):
+                    os.kill(proc.pid, signal.SIGKILL)
+                    proc.wait(timeout=30)
+                    break
+                if not line:
+                    break
+            elif proc.poll() is not None:
+                break
+        else:  # pragma: no cover - watchdog path
+            proc.kill()
+            pytest.fail("child never reached the midway marker")
+    finally:
+        if proc.poll() is None:  # pragma: no cover
+            proc.kill()
+    assert proc.returncode == -signal.SIGKILL
+
+    res = StreamingJob(
+        img, tmp_path / "out.npy", checkpoint_dir=tmp_path / "ck", every=16
+    ).run(resume=True)
+    assert res.resumed_from == 48  # last committed snapshot before row 48+
+    assert (tmp_path / "out.npy").read_bytes() == (
+        tmp_path / "ref.npy"
+    ).read_bytes()
+    assert list((tmp_path / "ck").iterdir()) == []

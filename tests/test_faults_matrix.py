@@ -18,7 +18,13 @@ import pytest
 
 from repro.ccl import aremsp
 from repro.errors import BackendError, DeadlockError
-from repro.faults import KINDS, FaultPlan, FaultSpec, ResilienceConfig
+from repro.faults import (
+    CHECKPOINT_KINDS,
+    KINDS,
+    FaultPlan,
+    FaultSpec,
+    ResilienceConfig,
+)
 from repro.parallel import paremsp
 
 pytestmark = pytest.mark.chaos
@@ -46,6 +52,12 @@ EXPECTATIONS = {
     "shm_fail": "recovered",  # retried where the site exists
     "poison_lock": "typed",
     "truncate_msg": "unfired",  # mp-layer site; no paremsp backend has it
+    # checkpoint sites live in repro.checkpoint's SnapshotStore, not in
+    # paremsp — the budgets must survive an un-checkpointed run intact
+    # (the job-side cells are in the checkpoint matrix below)
+    "crash_at_checkpoint": "unfired",
+    "torn_write": "unfired",
+    "corrupt_snapshot": "unfired",
 }
 
 
@@ -58,6 +70,8 @@ def _spec_for(kind: str) -> FaultSpec:
         return FaultSpec("truncate_msg", phase="comm")
     if kind == "delay_chunk":
         return FaultSpec("delay_chunk", after_chunks=0, delay_seconds=0.02)
+    if kind in ("crash_at_checkpoint", "torn_write", "corrupt_snapshot"):
+        return FaultSpec(kind, phase="checkpoint", attempt=0)
     return FaultSpec("kill_worker", after_chunks=0)
 
 
@@ -135,3 +149,57 @@ def test_sampled_plans_never_hang(img, backend, engine):
         assert np.array_equal(result.labels, oracle), (
             f"{backend} seed={seed}: recovered run diverged from oracle"
         )
+
+
+# ---------------------------------------------------------------------------
+# the checkpoint half of the matrix: every (job x checkpoint kind) cell
+# must resume to byte-identical labels after the injected failure
+
+
+CHECKPOINT_JOBS = ("streaming", "tiled")
+
+
+def _make_job(kind: str, img, tmp_path, fault_plan=None):
+    from repro.checkpoint import StreamingJob, TiledJob
+
+    if kind == "streaming":
+        return StreamingJob(
+            img, tmp_path / "out.npy", checkpoint_dir=tmp_path / "ck",
+            every=8, keep=3, fault_plan=fault_plan,
+        )
+    return TiledJob(
+        img, tmp_path / "out.npy", checkpoint_dir=tmp_path / "ck",
+        every=2, keep=3, tile_shape=(16, 16), fault_plan=fault_plan,
+    )
+
+
+@pytest.mark.parametrize("job_kind", CHECKPOINT_JOBS)
+@pytest.mark.parametrize("fault_kind", CHECKPOINT_KINDS)
+def test_checkpoint_cell_resumes_byte_identical(
+    img, tmp_path, job_kind, fault_kind
+):
+    from repro.checkpoint import StreamingJob, TiledJob
+    from repro.errors import InjectedCrashError
+
+    if job_kind == "streaming":
+        ref = StreamingJob(img, tmp_path / "ref.npy").run()
+    else:
+        ref = TiledJob(img, tmp_path / "ref.npy", tile_shape=(16, 16)).run()
+
+    # arm the fault on the second save, then kill the run at the same
+    # save so the defect is the *latest* snapshot the resume sees
+    specs = [FaultSpec("crash_at_checkpoint", phase="checkpoint", attempt=1)]
+    if fault_kind != "crash_at_checkpoint":
+        specs.insert(
+            0, FaultSpec(fault_kind, phase="checkpoint", attempt=1)
+        )
+    with pytest.raises(InjectedCrashError):
+        _make_job(job_kind, img, tmp_path, fault_plan=FaultPlan(specs)).run()
+
+    res = _make_job(job_kind, img, tmp_path).run(resume=True)
+    assert res.resumed_from is not None
+    assert (tmp_path / "out.npy").read_bytes() == (
+        tmp_path / "ref.npy"
+    ).read_bytes(), f"{job_kind}/{fault_kind}: resumed run diverged"
+    assert ref.n_components == res.n_components
+    assert list((tmp_path / "ck").iterdir()) == []
