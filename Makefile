@@ -17,7 +17,7 @@ PYTHON ?= python
 export PYTHONPATH := src
 
 .PHONY: test chaos bench-paremsp bench-trace bench bench-history \
-	perf-gate analyze-trace
+	perf-gate analyze-trace service-smoke
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -48,9 +48,15 @@ bench-history:
 		--warmup 1 --record-only --out BENCH_ci.json \
 		--history benchmarks/history
 
-# regression gate: latest history record vs the committed baseline.
+# regression gate: latest history record vs the committed baseline,
+# per benchmark (the compare picks the newest record matching the
+# baseline's own benchmark name, so the shared history directory is
+# safe). The service gate covers queue-latency percentiles too.
 perf-gate:
 	$(PYTHON) -m repro.obs.cli compare benchmarks/history/baseline.json \
+		--dir benchmarks/history
+	$(PYTHON) -m repro.obs.cli compare \
+		benchmarks/history/baseline_service.json \
 		--dir benchmarks/history
 
 # speedup decomposition (serial fraction, imbalance, contention) of the
@@ -59,4 +65,14 @@ analyze-trace:
 	$(PYTHON) -m repro.obs.cli analyze trace_serial.jsonl \
 		trace_threads.jsonl trace_processes.jsonl
 
-bench: bench-paremsp
+# warm-pool service gate (see docs/SERVICE.md): boots the labeling
+# service, replays a stream of small-image requests, and fails unless
+# warm throughput beats per-call fork by 2x with byte-identical answers
+# and a clean /dev/shm after the drain. Merges a "service" section into
+# BENCH_paremsp.json and appends queue-latency percentiles to the perf
+# history for `perf-gate`.
+service-smoke:
+	$(PYTHON) -m repro.bench.service_smoke --requests 64 --repeats 3 \
+		--out BENCH_paremsp.json --history benchmarks/history
+
+bench: bench-paremsp service-smoke

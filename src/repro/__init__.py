@@ -40,6 +40,7 @@ from . import (
     mp,
     obs,
     parallel,
+    service,
     simmachine,
     unionfind,
     verify,
@@ -55,7 +56,7 @@ from .parallel.tiled import tiled_label
 from .types import Connectivity, ensure_input
 from .volume import volume_label
 
-__version__ = "1.5.0"
+__version__ = "1.6.0"
 
 __all__ = [
     "label",
@@ -81,6 +82,7 @@ __all__ = [
     "volume",
     "obs",
     "mp",
+    "service",
 ]
 
 

@@ -1,0 +1,302 @@
+"""Warm-pool service smoke benchmark: amortised fork must pay off.
+
+``python -m repro.bench.service_smoke --requests 64 --out BENCH_paremsp.json``
+
+Replays one stream of small-image label requests (the <=256x256 regime
+the micro-batching path targets) two ways:
+
+* **cold** — per-call fork: every request builds a fresh one-worker
+  pool (fork + shared-memory arena + attach), dispatches, and tears it
+  down — the cost profile of calling the process backend per request;
+* **warm** — one :class:`repro.service.LabelService` serves the whole
+  stream from pre-forked workers attached once to a long-lived arena.
+
+The gate: warm sustained throughput must beat cold by
+``--min-speedup`` (default 2x), every answer must be **byte-identical**
+to the serial vectorised engine (:func:`repro.label` with
+``engine="vectorized"``) with the component count also checked against
+the default AREMSP path, and ``/dev/shm`` must be exactly as clean
+after the drain as before the bench. Queue-latency percentiles from
+the service's own gauges land in the record and, with ``--history``,
+in a :mod:`repro.perfdb` record for the ``repro-obs compare``
+regression gate.
+
+The record is merged into ``--out`` as a ``"service"`` section so the
+paremsp smoke record and this one share one artifact
+(``BENCH_paremsp.json``); correctness failures are fatal even under
+``--record-only``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import pathlib
+import sys
+import time
+
+import numpy as np
+
+__all__ = ["run", "main"]
+
+
+def _shm_segments() -> set[str]:
+    try:
+        return {
+            f for f in os.listdir("/dev/shm") if f.startswith("psm_")
+        }
+    except FileNotFoundError:  # pragma: no cover - non-Linux
+        return set()
+
+
+def _request_stream(
+    n: int, shape: tuple[int, int], density: float, seed: int
+) -> list[np.ndarray]:
+    rng = np.random.default_rng(seed)
+    return [
+        (rng.random(shape) < density).astype(np.uint8) for _ in range(n)
+    ]
+
+
+def _median(values: list[float]) -> float:
+    ordered = sorted(values)
+    n = len(ordered)
+    mid = n // 2
+    if n % 2:
+        return ordered[mid]
+    return (ordered[mid - 1] + ordered[mid]) / 2.0
+
+
+def _check_stream(images, answers) -> None:
+    """Every answer must match both engines — the service's headline
+    correctness contract (fatal even in record-only mode)."""
+    import repro
+
+    for img, (lab, n) in zip(images, answers):
+        exp, n_exp = repro.label(img, engine="vectorized")
+        if not np.array_equal(lab, exp) or n != n_exp:
+            raise SystemExit(
+                "FAIL: service answer diverged from the serial "
+                "vectorised engine"
+            )
+        _, n_dflt = repro.label(img)
+        if n != n_dflt:
+            raise SystemExit(
+                "FAIL: component count diverged from the default "
+                "label() path"
+            )
+
+
+def _cold_pass(images, workers: int) -> list[float]:
+    """Per-call fork baseline: a fresh pool per request."""
+    from ..service import WarmWorkerPool
+
+    seconds = []
+    for img in images:
+        t0 = time.perf_counter()
+        with WarmWorkerPool(workers=1, batch_slots=1) as pool:
+            pool.dispatch([img])
+        seconds.append(time.perf_counter() - t0)
+    return seconds
+
+
+def _warm_pass(images, workers: int, batch_size: int):
+    """One service, whole stream; returns (wall_s, answers, stats)."""
+    from ..service import LabelService, ServiceConfig
+
+    with LabelService(
+        ServiceConfig(
+            workers=workers,
+            batch_size=batch_size,
+            max_queue=max(64, 2 * len(images)),
+            tenant_quota=max(64, 2 * len(images)),
+        )
+    ) as svc:
+        # warm-up request so worker forks are off the clock for both
+        # passes symmetrically (the cold pass pays fork *inside* the
+        # timed region by design — that is the thing being measured).
+        svc.label(images[0])
+        t0 = time.perf_counter()
+        futures = [svc.submit(img) for img in images]
+        answers = [f.result(120.0) for f in futures]
+        wall = time.perf_counter() - t0
+        stats = svc.stats()
+    return wall, answers, stats
+
+
+def run(
+    requests: int = 64,
+    shape: tuple[int, int] = (128, 128),
+    density: float = 0.45,
+    workers: int = 2,
+    batch_size: int = 8,
+    repeats: int = 3,
+    seed: int = 0,
+) -> dict:
+    """Time the warm service against per-call fork on one stream.
+
+    Cold is timed once per request (each request *is* a full
+    fork/attach/teardown cycle, so per-request times are the
+    repetitions); warm replays the same stream *repeats* times and
+    keeps every wall time. Throughputs are medians.
+    """
+    images = _request_stream(requests, shape, density, seed)
+    shm_before = _shm_segments()
+
+    cold_seconds = _cold_pass(images, workers)
+    cold_wall = sum(cold_seconds)
+
+    warm_walls = []
+    stats = None
+    for _ in range(repeats):
+        wall, answers, stats = _warm_pass(images, workers, batch_size)
+        warm_walls.append(wall)
+        _check_stream(images, answers)
+
+    leaked = _shm_segments() - shm_before
+    if leaked:
+        raise SystemExit(
+            f"FAIL: drained service leaked shm segments: {sorted(leaked)}"
+        )
+
+    warm_wall = _median(warm_walls)
+    return {
+        "benchmark": "service_smoke",
+        "schema_version": 1,
+        "stream": {
+            "requests": requests,
+            "shape": list(shape),
+            "density": density,
+            "seed": seed,
+        },
+        "workers": workers,
+        "batch_size": batch_size,
+        "repeats": repeats,
+        "cold_wall_seconds": cold_wall,
+        "cold_per_request_seconds": _median(cold_seconds),
+        "warm_wall_seconds": warm_wall,
+        "warm_wall_reps": warm_walls,
+        "cold_throughput_rps": requests / cold_wall,
+        "warm_throughput_rps": requests / warm_wall,
+        "throughput_speedup": cold_wall / warm_wall,
+        "byte_identical": True,  # _check_stream is fatal otherwise
+        "shm_clean_after_drain": True,  # leak check is fatal otherwise
+        "latency_ms": {
+            "p50": stats.latency_p50_ms,
+            "p95": stats.latency_p95_ms,
+            "p99": stats.latency_p99_ms,
+        },
+        "batches": stats.batches,
+        "pool_respawns": stats.pool_respawns,
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--requests", type=int, default=64)
+    ap.add_argument(
+        "--side",
+        type=int,
+        default=128,
+        help="request image side length (<= 256, the service slot)",
+    )
+    ap.add_argument("--density", type=float, default=0.45)
+    ap.add_argument("--workers", type=int, default=2)
+    ap.add_argument("--batch-size", type=int, default=8)
+    ap.add_argument("--repeats", type=int, default=3)
+    ap.add_argument("--seed", type=int, default=0)
+    ap.add_argument(
+        "--min-speedup",
+        type=float,
+        default=2.0,
+        help="fail unless warm throughput beats per-call fork by this "
+        "factor",
+    )
+    ap.add_argument("--out", default="BENCH_paremsp.json")
+    ap.add_argument(
+        "--record-only",
+        action="store_true",
+        help="write the record but never fail the timing gate (CI smoke "
+        "mode); correctness and shm-leak checks stay fatal",
+    )
+    ap.add_argument(
+        "--history",
+        metavar="DIR",
+        default=None,
+        help="append a repro.perfdb record (median + bootstrap CI + "
+        "environment fingerprint) under DIR for 'repro-obs compare'",
+    )
+    args = ap.parse_args(argv)
+
+    record = run(
+        requests=args.requests,
+        shape=(args.side, args.side),
+        density=args.density,
+        workers=args.workers,
+        batch_size=args.batch_size,
+        repeats=args.repeats,
+        seed=args.seed,
+    )
+
+    out = pathlib.Path(args.out)
+    merged: dict = {}
+    if out.exists():
+        try:
+            merged = json.loads(out.read_text())
+        except (json.JSONDecodeError, OSError):
+            merged = {}
+    if not isinstance(merged, dict):
+        merged = {}
+    merged["service"] = record
+    with open(out, "w") as fh:
+        json.dump(merged, fh, indent=2)
+        fh.write("\n")
+
+    print(
+        f"service {args.requests}x{args.side}x{args.side} stream "
+        f"({args.workers} workers, batch {args.batch_size}): cold "
+        f"{record['cold_throughput_rps']:.1f} req/s, warm "
+        f"{record['warm_throughput_rps']:.1f} req/s "
+        f"({record['throughput_speedup']:.1f}x), p50/p95/p99 "
+        f"{record['latency_ms']['p50']:.1f}/"
+        f"{record['latency_ms']['p95']:.1f}/"
+        f"{record['latency_ms']['p99']:.1f} ms -> {out}"
+    )
+
+    if args.history:
+        from ..perfdb import (
+            append_record,
+            build_record,
+            environment_fingerprint,
+        )
+
+        history_record = build_record(
+            "service_smoke",
+            record["warm_wall_reps"],
+            meta={
+                "stream": record["stream"],
+                "workers": record["workers"],
+                "batch_size": record["batch_size"],
+                "throughput_speedup": record["throughput_speedup"],
+                "latency_ms": record["latency_ms"],
+            },
+            env=environment_fingerprint(n_threads=args.workers),
+        )
+        path = append_record(history_record, args.history)
+        print(f"history record -> {path}")
+
+    if record["throughput_speedup"] < args.min_speedup:
+        print(
+            f"FAIL: warm/cold speedup {record['throughput_speedup']:.2f}x "
+            f"below the {args.min_speedup:.1f}x floor"
+        )
+        if args.record_only:
+            print("(record-only mode: timing gate not fatal)")
+            return 0
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -47,6 +47,7 @@ from ..ccl.run_based import run_based_vectorized
 from ..ccl.streaming import StreamingLabeler
 from ..errors import BackendError, CheckpointCorruptError, InputError
 from ..obs import get_recorder
+from ..parallel.backends.executor import map_with_payload
 from ..parallel.boundary import merge_boundary_row
 from ..types import LABEL_DTYPE
 from ..unionfind.flatten import flatten
@@ -288,6 +289,19 @@ def _label_tile(args: tuple) -> tuple[int, np.ndarray, int]:
     return t, local.labels, local.n_components
 
 
+def _label_tile_at_index(payload: tuple, i: int) -> tuple[int, np.ndarray, int]:
+    """Payload-transport tile worker: slice the shared image by index.
+
+    *payload* is ``(image, tile_shape, origins, connectivity)``
+    installed once per pool worker; *i* indexes ``origins`` — the only
+    thing pickled per tile.
+    """
+    image, (th, tw), origins, connectivity = payload
+    r0, c0 = origins[i]
+    tile = np.ascontiguousarray(image[r0 : r0 + th, c0 : c0 + tw])
+    return _label_tile((i, tile, connectivity))
+
+
 class TiledJob(_JobBase):
     """Checkpointed tiled labeling: tiles → seam merge → final relabel.
 
@@ -358,20 +372,36 @@ class TiledJob(_JobBase):
 
     # -- tile batch execution ---------------------------------------------
 
-    def _label_batch(self, batch: list[tuple]) -> list[tuple]:
-        if self.workers > 1 and self.pool != "serial" and len(batch) > 1:
-            if self.pool == "processes":
-                from concurrent.futures import ProcessPoolExecutor as Pool
-            else:
-                from concurrent.futures import ThreadPoolExecutor as Pool
-            try:
-                with Pool(max_workers=min(self.workers, len(batch))) as ex:
-                    return list(ex.map(_label_tile, batch))
-            except (OSError, RuntimeError, BackendError) as exc:
-                raise BackendError(
-                    f"tile pool ({self.pool}) failed: {exc}"
-                ) from exc
-        return [_label_tile(job) for job in batch]
+    def _label_batch(
+        self, batch_idx: list[int], origins: list[tuple[int, int]]
+    ) -> list[tuple]:
+        """Label the tiles at *batch_idx* through the shared executor.
+
+        Runs on the pinned-context pool of
+        :mod:`repro.parallel.backends.executor` (``fork`` where
+        available, documented ``spawn`` fallback): the image ships to
+        workers once as the pool payload — free under ``fork``, once
+        per worker under ``spawn`` — and the per-tile traffic is a tile
+        index, so nothing tile-sized is pickled per call.
+        """
+        payload = (
+            self.image, self.tile_shape, tuple(origins), self.connectivity
+        )
+        workers = self.workers
+        if self.pool == "serial" or len(batch_idx) <= 1:
+            workers = 1
+        try:
+            return map_with_payload(
+                self.pool if workers > 1 else "serial",
+                _label_tile_at_index,
+                batch_idx,
+                payload,
+                max_workers=min(workers, len(batch_idx)),
+            )
+        except (OSError, RuntimeError, BackendError) as exc:
+            raise BackendError(
+                f"tile pool ({self.pool}) failed: {exc}"
+            ) from exc
 
     # -- the three phases --------------------------------------------------
 
@@ -436,20 +466,7 @@ class TiledJob(_JobBase):
             batch_size = max(self.every, 1) if store.enabled else n_tiles
             while t < n_tiles:
                 batch_idx = list(range(t, min(t + batch_size, n_tiles)))
-                batch = [
-                    (
-                        i,
-                        np.ascontiguousarray(
-                            self.image[
-                                origins[i][0] : origins[i][0] + th,
-                                origins[i][1] : origins[i][1] + tw,
-                            ]
-                        ),
-                        self.connectivity,
-                    )
-                    for i in batch_idx
-                ]
-                for i, local, k in self._label_batch(batch):
+                for i, local, k in self._label_batch(batch_idx, origins):
                     r0, c0 = origins[i]
                     offset = 1 + int(counts[:i].sum())
                     if k:

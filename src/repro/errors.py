@@ -24,6 +24,10 @@ __all__ = [
     "CheckpointCorruptError",
     "ResumeMismatchError",
     "InjectedCrashError",
+    "ServiceError",
+    "ServiceClosedError",
+    "ServiceOverloadedError",
+    "QuotaExceededError",
 ]
 
 
@@ -199,6 +203,50 @@ class ResumeMismatchError(CheckpointError):
         super().__init__(message)
         self.expected = expected
         self.found = found
+
+
+class ServiceError(ReproError, RuntimeError):
+    """Base class for labeling-service failures (:mod:`repro.service`)."""
+
+
+class ServiceClosedError(ServiceError):
+    """A request arrived at a drained or never-started service.
+
+    Graceful drain closes the front door first: requests already queued
+    are completed, new ones get this error immediately instead of
+    waiting on a queue that will never advance.
+    """
+
+
+class ServiceOverloadedError(ServiceError):
+    """Admission control rejected a request: the queue is full.
+
+    Backpressure is a *typed, immediate* rejection rather than an
+    unbounded queue — the caller knows within microseconds that it
+    should retry later or shed load, and the service's latency SLO is
+    protected from convoy collapse. ``queue_depth`` carries the depth
+    at rejection time.
+    """
+
+    def __init__(self, message: str, *, queue_depth: int = 0) -> None:
+        super().__init__(message)
+        self.queue_depth = queue_depth
+
+
+class QuotaExceededError(ServiceError):
+    """A tenant exceeded its in-flight request quota.
+
+    Per-tenant admission control: one chatty client saturating the
+    queue must not starve the rest. ``tenant`` and ``in_flight`` say
+    who and by how much.
+    """
+
+    def __init__(
+        self, message: str, *, tenant: str = "", in_flight: int = 0
+    ) -> None:
+        super().__init__(message)
+        self.tenant = tenant
+        self.in_flight = in_flight
 
 
 class InjectedCrashError(ReproError, SystemError):

@@ -168,22 +168,31 @@ def _cmd_history(args) -> int:
 def _cmd_compare(args) -> int:
     from ..perfdb import compare_records, latest_record, load_record
 
-    new_path = args.new
-    if new_path is None:
-        latest = latest_record(args.dir, benchmark=args.benchmark)
-        if latest is None:
-            raise SystemExit(
-                f"error: no records under {args.dir} to compare; run the "
-                "bench with --history first"
-            )
-        new_path = latest[0]
     baseline_path = args.baseline
     if baseline_path is None:
         raise SystemExit(
             "error: give a baseline record (positional) — e.g. the "
             "committed benchmarks/history/baseline.json"
         )
-    baseline = load_record(baseline_path)
+    try:
+        baseline = load_record(baseline_path)
+    except FileNotFoundError:
+        raise SystemExit(
+            f"error: baseline record {baseline_path!r} does not exist"
+        ) from None
+    new_path = args.new
+    if new_path is None:
+        # default the filter to the baseline's own benchmark so a
+        # history directory shared by several benches (paremsp_smoke +
+        # service_smoke) never pairs records across benchmarks.
+        benchmark = args.benchmark or baseline.get("benchmark")
+        latest = latest_record(args.dir, benchmark=benchmark)
+        if latest is None:
+            raise SystemExit(
+                f"error: no {benchmark!r} records under {args.dir} to "
+                "compare; run the bench with --history first"
+            )
+        new_path = latest[0]
     new = load_record(new_path)
     if baseline_path == new_path:
         print(f"note: comparing {new_path} against itself", file=sys.stderr)

@@ -23,11 +23,28 @@ the package docstring of :mod:`repro.parallel` for the roster.
 from __future__ import annotations
 
 from ...errors import BackendError
+from .executor import (
+    MAP_EXECUTOR_KINDS,
+    executor_context,
+    executor_context_name,
+    get_map_executor,
+    map_with_payload,
+)
 from .processes import ProcessBackend
 from .serial import SerialBackend
 from .threads import ThreadBackend
 
-__all__ = ["get_backend", "SerialBackend", "ThreadBackend", "ProcessBackend"]
+__all__ = [
+    "get_backend",
+    "SerialBackend",
+    "ThreadBackend",
+    "ProcessBackend",
+    "get_map_executor",
+    "map_with_payload",
+    "executor_context",
+    "executor_context_name",
+    "MAP_EXECUTOR_KINDS",
+]
 
 _BACKENDS = {
     "serial": SerialBackend,

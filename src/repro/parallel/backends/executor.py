@@ -1,0 +1,234 @@
+"""Shared map-executor abstraction: one pool policy for every caller.
+
+Three call sites used to build their own throwaway pools with the
+platform-default start method: ``tiled_label`` constructed a fresh
+``ProcessPoolExecutor`` per call, ``TiledJob`` another per batch, and
+each pickled every materialised tile array through the pool's queues.
+This module centralises the policy so the tiled path, the checkpointed
+jobs, and the labeling service (:mod:`repro.service`) share it:
+
+* **pinned start method** — ``fork`` wherever the platform offers it
+  (Linux; cheap, inherits the coordinator's address space so the
+  payload below ships for free), with a documented ``spawn`` fallback
+  elsewhere (macOS/Windows default; the payload is pickled **once per
+  worker** through the pool initializer instead of once per item);
+* **payload-once transport** — :func:`map_with_payload` installs a
+  large read-only payload (the full image) where workers can see it
+  and maps a function over *small* items (tile coordinates), so the
+  per-item traffic is a few integers instead of a pickled tile array;
+* **one roster** — :func:`get_map_executor` hands out the
+  ``serial`` / ``threads`` / ``processes`` rungs the
+  :class:`~repro.faults.DegradationPolicy` ladder names, so degraded
+  callers switch executor kind without changing call shape.
+
+The warm, long-lived variant (workers that attach once to a shared
+arena and serve many requests over pipes) lives in
+:mod:`repro.service.pool`; this module covers the batch-scoped pools.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from typing import Callable, Iterable, Sequence
+
+from ...errors import BackendError
+
+__all__ = [
+    "executor_context",
+    "executor_context_name",
+    "get_map_executor",
+    "map_with_payload",
+    "MAP_EXECUTOR_KINDS",
+]
+
+#: the executor roster (matches the DegradationPolicy ladder rungs).
+MAP_EXECUTOR_KINDS = ("serial", "threads", "processes")
+
+
+def executor_context_name() -> str:
+    """The pinned start method: ``fork`` where available, else
+    ``spawn``.
+
+    ``fork`` is pinned explicitly rather than trusting the platform
+    default: it is the method the shared-memory scan backend already
+    assumes, it makes the payload-once transport free (children inherit
+    the coordinator's pages copy-on-write), and the default has been
+    drifting (Python 3.14 switched Linux to ``forkserver``). ``spawn``
+    is the documented fallback for platforms without ``fork``
+    (Windows); there the payload is shipped once per worker via the
+    pool initializer.
+    """
+    return (
+        "fork"
+        if "fork" in multiprocessing.get_all_start_methods()
+        else "spawn"
+    )
+
+
+def executor_context():
+    """The pinned :mod:`multiprocessing` context for every pool."""
+    return multiprocessing.get_context(executor_context_name())
+
+
+# -- payload-once transport ----------------------------------------------
+
+#: the per-worker payload slot. Under ``fork`` the child inherits the
+#: coordinator's binding copy-on-write; under ``spawn`` the pool
+#: initializer assigns it once per worker. Batch-scoped pools only —
+#: the slot is installed for the lifetime of one ``map_with_payload``
+#: call and cleared afterwards.
+_PAYLOAD = None
+
+
+def _install_payload(payload) -> None:
+    global _PAYLOAD
+    _PAYLOAD = payload
+
+
+def _call_with_payload(args: tuple) -> object:
+    fn, item = args
+    return fn(_PAYLOAD, item)
+
+
+def map_with_payload(
+    kind: str,
+    fn: Callable,
+    items: Sequence,
+    payload,
+    max_workers: int,
+) -> list:
+    """``[fn(payload, item) for item in items]`` on the *kind* executor.
+
+    *payload* is the large shared operand (the full image); *items* are
+    small descriptors (tile coordinates). On ``processes`` the payload
+    crosses the process boundary once per worker at most — zero times
+    under ``fork`` — never once per item; ``serial`` and ``threads``
+    share the coordinator's object directly. Pool failures surface as
+    :class:`~repro.errors.BackendError` so callers can degrade.
+    """
+    if kind not in MAP_EXECUTOR_KINDS:
+        raise BackendError(
+            f"unknown executor kind {kind!r}; "
+            f"available: {list(MAP_EXECUTOR_KINDS)}"
+        )
+    if kind == "serial" or max_workers <= 1 or len(items) <= 1:
+        return [fn(payload, item) for item in items]
+    workers = min(max_workers, len(items))
+    if kind == "threads":
+        from concurrent.futures import ThreadPoolExecutor
+
+        with ThreadPoolExecutor(max_workers=workers) as pool:
+            return list(pool.map(fn, (payload,) * len(items), items))
+    from concurrent.futures import ProcessPoolExecutor
+
+    _install_payload(payload)
+    try:
+        with ProcessPoolExecutor(
+            max_workers=workers,
+            mp_context=executor_context(),
+            initializer=_install_payload,
+            initargs=(payload,),
+        ) as pool:
+            return list(
+                pool.map(_call_with_payload, ((fn, item) for item in items))
+            )
+    except (OSError, RuntimeError) as exc:
+        raise BackendError(f"process map executor failed: {exc}") from exc
+    finally:
+        _install_payload(None)
+
+
+# -- plain map executors --------------------------------------------------
+
+
+class _SerialMapExecutor:
+    """In-process map; the terminal degradation rung."""
+
+    kind = "serial"
+
+    def __init__(self, max_workers: int = 1) -> None:
+        self.max_workers = 1
+
+    def map(self, fn: Callable, items: Iterable) -> list:
+        return [fn(item) for item in items]
+
+    def close(self) -> None:
+        pass
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        self.close()
+        return False
+
+
+class _ThreadMapExecutor(_SerialMapExecutor):
+    """Thread-pool map: concurrency without fork, GIL-bound compute."""
+
+    kind = "threads"
+
+    def __init__(self, max_workers: int) -> None:
+        from concurrent.futures import ThreadPoolExecutor
+
+        self.max_workers = max(1, max_workers)
+        self._pool = ThreadPoolExecutor(max_workers=self.max_workers)
+
+    def map(self, fn: Callable, items: Iterable) -> list:
+        try:
+            return list(self._pool.map(fn, items))
+        except (OSError, RuntimeError) as exc:
+            raise BackendError(f"thread map executor failed: {exc}") from exc
+
+    def close(self) -> None:
+        self._pool.shutdown(wait=True)
+
+
+class _ProcessMapExecutor(_SerialMapExecutor):
+    """Process-pool map on the pinned context."""
+
+    kind = "processes"
+
+    def __init__(self, max_workers: int) -> None:
+        from concurrent.futures import ProcessPoolExecutor
+
+        self.max_workers = max(1, max_workers)
+        self._pool = ProcessPoolExecutor(
+            max_workers=self.max_workers, mp_context=executor_context()
+        )
+
+    def map(self, fn: Callable, items: Iterable) -> list:
+        try:
+            return list(self._pool.map(fn, items))
+        except (OSError, RuntimeError) as exc:
+            raise BackendError(
+                f"process map executor failed: {exc}"
+            ) from exc
+
+    def close(self) -> None:
+        self._pool.shutdown(wait=True)
+
+
+_MAP_EXECUTORS = {
+    "serial": _SerialMapExecutor,
+    "threads": _ThreadMapExecutor,
+    "processes": _ProcessMapExecutor,
+}
+
+
+def get_map_executor(kind: str, max_workers: int = 1):
+    """Instantiate a map executor by degradation-rung name.
+
+    Returned objects are context managers with ``map(fn, items)`` /
+    ``close()``; ``map`` raises :class:`~repro.errors.BackendError` on
+    pool failure so callers can walk the
+    :class:`~repro.faults.DegradationPolicy` ladder.
+    """
+    try:
+        cls = _MAP_EXECUTORS[kind.lower()]
+    except KeyError:
+        raise BackendError(
+            f"unknown executor kind {kind!r}; "
+            f"available: {list(_MAP_EXECUTORS)}"
+        ) from None
+    return cls(max_workers)

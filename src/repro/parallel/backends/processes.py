@@ -53,6 +53,7 @@ from __future__ import annotations
 import multiprocessing
 import os
 import sys
+import threading
 import time
 import weakref
 from multiprocessing import shared_memory
@@ -80,7 +81,7 @@ from ..partition import RowChunk
 from ..supervisor import supervise
 from ._common import chunk_kernel
 
-__all__ = ["ProcessBackend", "OffsetList"]
+__all__ = ["ProcessBackend", "OffsetList", "create_segment"]
 
 _LABEL_ITEMSIZE = np.dtype(LABEL_DTYPE).itemsize
 
@@ -135,26 +136,62 @@ def _scan_chunk(
     return rows, used, p.data[: used - label_start]
 
 
+#: does ``SharedMemory`` accept ``track=`` (Python >= 3.13)?
+_HAS_TRACK_KWARG = sys.version_info >= (3, 13)
+
+#: serialises the register-swap on interpreters without ``track=``.
+#: Attaches happen concurrently now — the warm worker pool
+#: (:mod:`repro.service`) respawns workers and serves requests from
+#: multiple dispatcher threads — so the process-global monkeypatch must
+#: be mutually exclusive or two overlapping attaches race on the swap:
+#: one leaves the no-op ``register`` installed forever (every later
+#: *owned* segment leaks) while the other lets a registration slip
+#: through (the coordinator's unlink then double-unregisters and
+#: crashes the tracker thread).
+_ATTACH_LOCK = threading.Lock()
+
+
+def create_segment(size: int) -> shared_memory.SharedMemory:
+    """Create (and own) a segment, safely concurrent with `_attach`.
+
+    On Python < 3.13 an in-flight attach has the no-op ``register``
+    installed; a creation racing that window would silently skip its
+    tracker registration (the segment then survives a coordinator
+    crash). Taking :data:`_ATTACH_LOCK` for the creation closes the
+    window. Every coordinator-side segment creation that can overlap an
+    attach in the same process — the warm pool's arena, the scan
+    segments — must go through this helper.
+    """
+    if _HAS_TRACK_KWARG:
+        return shared_memory.SharedMemory(create=True, size=size)
+    with _ATTACH_LOCK:
+        return shared_memory.SharedMemory(create=True, size=size)
+
+
 def _attach(name: str) -> shared_memory.SharedMemory:
     """Attach to an existing segment without registering it with the
     resource tracker.
 
     Ownership stays with the creating coordinator: only it may unlink.
-    Python < 3.13 has no ``track=False``, and letting attachments
-    register would have every worker announce the same segment name to
-    the shared tracker — whichever unregister lands first wins and the
-    rest crash the tracker thread — so registration is suppressed for
-    the duration of the attach (worker processes run our jobs serially,
-    making the swap race-free).
+    Letting attachments register would have every worker announce the
+    same segment name to the shared tracker — whichever unregister
+    lands first wins and the rest crash the tracker thread. On
+    Python >= 3.13 ``track=False`` says exactly that; older
+    interpreters suppress registration for the duration of the attach,
+    under :data:`_ATTACH_LOCK` so concurrent attaches (warm-pool
+    respawns, multi-threaded dispatchers) cannot race on the swap.
     """
+    if _HAS_TRACK_KWARG:
+        return shared_memory.SharedMemory(name=name, track=False)
     from multiprocessing import resource_tracker
 
-    original = resource_tracker.register
-    resource_tracker.register = lambda *args, **kwargs: None
-    try:
-        return shared_memory.SharedMemory(name=name)
-    finally:
-        resource_tracker.register = original
+    with _ATTACH_LOCK:
+        original = resource_tracker.register
+        resource_tracker.register = lambda *args, **kwargs: None
+        try:
+            return shared_memory.SharedMemory(name=name)
+        finally:
+            resource_tracker.register = original
 
 
 def _apply_directives(directives: tuple, done: int) -> None:
@@ -335,7 +372,7 @@ class ProcessBackend:
                 raise OSError(
                     28, "injected shared_memory allocation failure"
                 )
-        return shared_memory.SharedMemory(create=True, size=size)
+        return create_segment(size)
 
     def _allocate_segments(
         self, sizes: Sequence[int], plan, rec

@@ -40,19 +40,54 @@ from ..errors import PhaseTimeoutError, WorkerCrashError
 from ..faults import NULL_PLAN, ResilienceConfig, record_injection
 from ..obs import NULL_RECORDER
 
-__all__ = ["supervise"]
+__all__ = ["supervise", "kill_workers", "interruptible_backoff"]
 
 #: grace period (seconds) for a killed worker to be reaped.
 _KILL_GRACE = 5.0
 
 
-def _kill_all(procs) -> None:
+def kill_workers(procs) -> None:
+    """Kill and reap every live process in *procs* — **idempotent**.
+
+    Safe to call twice (a second signal races a first drain), safe on
+    already-dead or never-started processes, safe concurrently:
+    ``kill`` on a reaped process is a no-op and double ``join`` just
+    returns. Both the scan supervisor and the warm worker pool
+    (:mod:`repro.service.pool`) funnel every shutdown path through
+    here so no exit path can strand a child.
+    """
     for proc in procs:
-        if proc.is_alive():
-            proc.kill()
+        try:
+            if proc.is_alive():
+                proc.kill()
+        except (ValueError, OSError):  # pragma: no cover - closed proc
+            pass
     for proc in procs:
-        if proc.pid is not None:
-            proc.join(_KILL_GRACE)
+        try:
+            if proc.pid is not None:
+                proc.join(_KILL_GRACE)
+        except (ValueError, OSError):  # pragma: no cover - closed proc
+            pass
+
+
+# kept under the historical private name for existing callers/tests.
+_kill_all = kill_workers
+
+
+def interruptible_backoff(delay: float, stop_event=None) -> bool:
+    """Sleep *delay* seconds, waking early if *stop_event* is set.
+
+    Returns ``True`` when the sleep was interrupted (drain requested).
+    A plain ``time.sleep`` here is how a graceful drain used to strand
+    a respawning worker: the drain signal landed mid-backoff and the
+    supervisor woke up afterwards and re-forked anyway.
+    """
+    if delay <= 0:
+        return bool(stop_event is not None and stop_event.is_set())
+    if stop_event is None:
+        time.sleep(delay)
+        return False
+    return stop_event.wait(delay)
 
 
 def supervise(
@@ -63,6 +98,7 @@ def supervise(
     recorder=NULL_RECORDER,
     fault_plan=NULL_PLAN,
     phase: str = "scan",
+    stop_event=None,
 ) -> dict:
     """Run *batches* of chunk work under supervision until complete.
 
@@ -72,14 +108,31 @@ def supervise(
     after_chunks, value)`` triples); ``chunk_done(chunk)`` must report
     whether a chunk's results already landed in shared memory.
 
-    Returns ``{"attempts": ..., "respawned": ...}``. Raises
-    :class:`WorkerCrashError` when retries are exhausted and
+    *stop_event*, when given, is a drain signal (``threading.Event``):
+    once set, the in-flight attempt is allowed to finish (bounded by
+    the watchdog as always) but **no further respawn happens** — the
+    respawn backoff sleep wakes immediately instead of re-forking
+    afterwards, every child is reaped, and supervision returns with
+    ``"drained": True`` (incomplete chunks stay incomplete). Setting
+    the event again — or from several threads at once — is a no-op:
+    shutdown is idempotent under double-signal by construction, since
+    every exit funnels through :func:`kill_workers`.
+
+    Returns ``{"attempts": ..., "respawned": ..., "drained": ...}``.
+    Raises :class:`WorkerCrashError` when retries are exhausted and
     :class:`PhaseTimeoutError` when the watchdog deadline expires.
     """
     deadline = time.monotonic() + config.phase_timeout
     pending = [list(batch) for batch in batches if batch]
     attempt = 0
-    stats = {"attempts": 0, "respawned": 0}
+    stats = {"attempts": 0, "respawned": 0, "drained": False}
+
+    def drain_requested() -> bool:
+        return stop_event is not None and stop_event.is_set()
+
+    if drain_requested():
+        stats["drained"] = True
+        return stats
     while pending:
         stats["attempts"] = attempt + 1
         workers = []
@@ -161,6 +214,14 @@ def supervise(
             if recorder.enabled:
                 recorder.count("retry.succeeded")
             return stats
+        if drain_requested():
+            # drain beats respawn: the failed batch's chunks stay
+            # incomplete, nothing is re-forked, children are already
+            # reaped by the finally above.
+            if recorder.enabled:
+                recorder.count("supervisor.drained")
+            stats["drained"] = True
+            return stats
         if attempt >= config.max_retries:
             if recorder.enabled:
                 recorder.count("retry.exhausted")
@@ -179,7 +240,16 @@ def supervise(
             recorder.count("worker.respawned", len(redo))
         stats["respawned"] += len(redo)
         delay = config.backoff(attempt)
-        if delay > 0:
-            time.sleep(min(delay, max(0.0, deadline - time.monotonic())))
+        if interruptible_backoff(
+            min(delay, max(0.0, deadline - time.monotonic())), stop_event
+        ):
+            # the double-signal window: drain arrived while the backoff
+            # sleep was in flight. Waking here (instead of sleeping the
+            # full delay and re-forking anyway) is what guarantees a
+            # graceful drain can never strand a respawning worker.
+            if recorder.enabled:
+                recorder.count("supervisor.drained")
+            stats["drained"] = True
+            return stats
         pending = redo
     return stats

@@ -46,6 +46,20 @@ def _label_tile(args: tuple) -> tuple[int, int, np.ndarray, int]:
     return r0, c0, local.labels, local.n_components
 
 
+def _label_tile_at(payload: tuple, item: tuple) -> tuple[int, int, np.ndarray, int]:
+    """Payload-transport worker: slice the shared image at coordinates.
+
+    *payload* is ``(image, tile_shape, connectivity)`` — installed once
+    per pool worker by :func:`repro.parallel.backends.executor.
+    map_with_payload` (inherited for free under ``fork``); *item* is
+    just ``(r0, c0)``, so nothing tile-sized is pickled per call.
+    """
+    image, (th, tw), connectivity = payload
+    r0, c0 = item
+    tile = np.ascontiguousarray(image[r0 : r0 + th, c0 : c0 + tw])
+    return _label_tile((r0, c0, tile, connectivity))
+
+
 def _finalize_memmap(
     lut: np.ndarray, labels: np.ndarray, out, th: int
 ) -> np.ndarray:
@@ -146,28 +160,37 @@ def tiled_label(
     mark = rec.mark()
     timer = PhaseTimer(rec)
     with timer.time("scan"):
-        jobs = [
-            (r0, c0, np.ascontiguousarray(image[r0 : r0 + th, c0 : c0 + tw]),
-             connectivity)
+        origins = [
+            (r0, c0)
             for r0 in range(0, rows, th)
             for c0 in range(0, cols, tw)
         ]
-        n_tiles = len(jobs)
+        n_tiles = len(origins)
         if workers > 1 and n_tiles > 1:
-            from concurrent.futures import ProcessPoolExecutor
+            # pinned-context pool via the shared executor: the image
+            # ships to workers once (free under fork), the per-tile
+            # traffic is the (r0, c0) pair — no tile arrays are
+            # pickled per call.
+            from .backends.executor import map_with_payload
 
-            with ProcessPoolExecutor(
-                max_workers=min(workers, n_tiles)
-            ) as pool:
-                results = list(pool.map(_label_tile, jobs))
+            results = map_with_payload(
+                "processes",
+                _label_tile_at,
+                origins,
+                ((image, (th, tw), connectivity)),
+                max_workers=min(workers, n_tiles),
+            )
         elif rec.enabled:
             results = []
-            for i, job in enumerate(jobs):
+            for i, (r0, c0) in enumerate(origins):
                 t0 = time.perf_counter()
-                results.append(_label_tile(job))
+                results.append(
+                    _label_tile_at((image, (th, tw), connectivity), (r0, c0))
+                )
                 rec.add_span(f"tile {i}", "scan", t0, time.perf_counter())
         else:
-            results = [_label_tile(j) for j in jobs]
+            payload = (image, (th, tw), connectivity)
+            results = [_label_tile_at(payload, o) for o in origins]
         count = 1
         for r0, c0, local_labels, k in results:
             if k:

@@ -1,0 +1,43 @@
+"""Labeling-as-a-service: a warm worker pool behind an async front end.
+
+Per-call :func:`repro.label` pays fork + shared-memory setup on every
+request — fine for one 4096² image, ruinous for a stream of 256² ones.
+This package amortises that cost across a request stream:
+
+* :class:`WarmWorkerPool` (:mod:`repro.service.pool`) — pre-forked
+  labeler processes attached **once** to a long-lived shared-memory
+  arena, serving micro-batches over a pipe protocol; workers are
+  respawned on death with the usual resilience budgets and the whole
+  pool drains gracefully and idempotently;
+* :class:`LabelService` (:mod:`repro.service.frontend`) — admission
+  control (bounded queue → :class:`~repro.errors.ServiceOverloadedError`,
+  per-tenant quotas → :class:`~repro.errors.QuotaExceededError`),
+  micro-batching of small images, degradation to in-coordinator
+  executors when the pool is gone, and ``service.*`` gauges/counters
+  on the ambient :mod:`repro.obs` recorder.
+
+Quick start::
+
+    import numpy as np
+    from repro.service import LabelService, ServiceConfig
+
+    with LabelService(ServiceConfig(workers=2)) as svc:
+        labels, n = svc.label(np.eye(64, dtype=np.uint8))
+
+Answers are byte-identical to :func:`repro.label` — workers run the
+run-based vectorised engine, whose finals equal sequential AREMSP by
+the PR-1 determinism contract. See docs/SERVICE.md for the full tour.
+"""
+
+from __future__ import annotations
+
+from .frontend import LabelService, ServiceConfig, ServiceStats
+from .pool import DEFAULT_SLOT_SHAPE, WarmWorkerPool
+
+__all__ = [
+    "LabelService",
+    "ServiceConfig",
+    "ServiceStats",
+    "WarmWorkerPool",
+    "DEFAULT_SLOT_SHAPE",
+]

@@ -1,0 +1,234 @@
+"""Regression tests for the `_attach` register-swap race.
+
+`_attach` must never let a shared-memory attachment register with the
+resource tracker — and must stay safe when many attaches overlap, which
+is exactly what the warm worker pool does (respawning workers and
+multi-threaded dispatchers attach to the long-lived arena
+concurrently). The historical implementation monkeypatched
+``resource_tracker.register`` process-globally with no mutual
+exclusion; two overlapping attaches could either leave the no-op
+``register`` installed forever (silently leaking every later owned
+segment) or let a registration slip through (the owner's unlink then
+double-unregisters and crashes the tracker thread). These tests attach
+from many threads at once, 100 iterations, and audit both the tracker
+state and ``/dev/shm``.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+import sys
+import threading
+from multiprocessing import resource_tracker, shared_memory
+
+import pytest
+
+from repro.parallel.backends.processes import _attach, create_segment
+
+SHM_DIR = pathlib.Path("/dev/shm")
+
+pytestmark = pytest.mark.skipif(
+    not SHM_DIR.is_dir(), reason="no /dev/shm on this platform"
+)
+
+
+def _shm_entries() -> set[str]:
+    return set(os.listdir(SHM_DIR))
+
+
+@pytest.fixture
+def registrations(monkeypatch):
+    """Wrap the real tracker ``register`` to log shared-memory names.
+
+    The wrapper is installed *underneath* `_attach`'s machinery: a
+    correct `_attach` never reaches it for the attached segment, so any
+    logged name is a registration that leaked through the swap.
+    """
+    if sys.version_info >= (3, 13):
+        # the ``track=False`` path never touches ``register`` at all;
+        # the wrapper still audits owned-segment registrations.
+        pass
+    seen: list[str] = []
+    original = resource_tracker.register
+
+    def logging_register(name, rtype, *args, **kwargs):
+        if rtype == "shared_memory":
+            seen.append(name)
+        return original(name, rtype, *args, **kwargs)
+
+    monkeypatch.setattr(resource_tracker, "register", logging_register)
+    yield seen
+    # `_attach` must have restored whatever it found installed — the
+    # wrapper — on every exit path; a lingering no-op lambda here is
+    # the "leak every later segment" half of the race.
+    assert resource_tracker.register is logging_register
+
+
+class TestConcurrentAttach:
+    N_THREADS = 8
+    ITERATIONS = 100
+
+    def test_100_iterations_no_leak_no_registration(self, registrations):
+        """100 rounds of 8-way concurrent attach: zero /dev/shm leaks,
+        zero tracker registrations of the attached segment, register
+        restored."""
+        before = _shm_entries()
+        owner = shared_memory.SharedMemory(create=True, size=4096)
+        try:
+            segment = owner.name.lstrip("/")
+            for _ in range(self.ITERATIONS):
+                barrier = threading.Barrier(self.N_THREADS)
+                attached: list[shared_memory.SharedMemory] = []
+                errors: list[BaseException] = []
+                lock = threading.Lock()
+
+                def attach_one():
+                    try:
+                        barrier.wait()  # maximise swap overlap
+                        seg = _attach(owner.name)
+                        with lock:
+                            attached.append(seg)
+                    except BaseException as exc:  # pragma: no cover
+                        with lock:
+                            errors.append(exc)
+
+                threads = [
+                    threading.Thread(target=attach_one)
+                    for _ in range(self.N_THREADS)
+                ]
+                for t in threads:
+                    t.start()
+                for t in threads:
+                    t.join()
+                assert not errors, f"concurrent attach failed: {errors!r}"
+                assert len(attached) == self.N_THREADS
+                for seg in attached:
+                    seg.close()
+            # the owner's create() registers the name exactly once;
+            # every additional registration is an attach that leaked
+            # through the swap (and a future double-unregister crash).
+            n_registered = sum(
+                segment in name for name in registrations
+            )
+            assert n_registered == 1, (
+                f"segment registered {n_registered} times "
+                f"({800} attaches ran); attaches must never register"
+            )
+        finally:
+            owner.close()
+            owner.unlink()
+        assert _shm_entries() - before == set(), "leaked /dev/shm segments"
+
+    def test_attach_interleaved_with_owned_creation(self, registrations):
+        """Segments *created* while attaches are in flight must still be
+        tracker-registered (the no-op swap must never leak outside the
+        attach). Creations go through :func:`create_segment`, the
+        sanctioned path for coordinator-side allocations that can
+        overlap attaches in the same process."""
+        owner = shared_memory.SharedMemory(create=True, size=1024)
+        created: list[shared_memory.SharedMemory] = []
+        stop = threading.Event()
+        errors: list[BaseException] = []
+
+        def attach_loop():
+            try:
+                while not stop.is_set():
+                    seg = _attach(owner.name)
+                    seg.close()
+            except BaseException as exc:  # pragma: no cover
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=attach_loop) for _ in range(4)
+        ]
+        for t in threads:
+            t.start()
+        try:
+            for _ in range(20):
+                created.append(create_segment(256))
+        finally:
+            stop.set()
+            for t in threads:
+                t.join()
+            names = [seg.name.lstrip("/") for seg in created]
+            for seg in created:
+                seg.close()
+                seg.unlink()
+            owner.close()
+            owner.unlink()
+        assert not errors
+        if sys.version_info < (3, 13):
+            # on the lock path every owned creation must have reached
+            # the real register: none may observe the no-op swap.
+            missing = [
+                name
+                for name in names
+                if not any(name in reg for reg in registrations)
+            ]
+            assert missing == [], (
+                "owned segments created during concurrent attaches were "
+                f"not tracker-registered: {missing}"
+            )
+
+
+def test_attach_data_visible_and_closeable():
+    """Plain single-threaded contract: attached view sees owner bytes."""
+    owner = shared_memory.SharedMemory(create=True, size=64)
+    try:
+        owner.buf[:4] = b"abcd"
+        seg = _attach(owner.name)
+        try:
+            assert bytes(seg.buf[:4]) == b"abcd"
+        finally:
+            seg.close()
+    finally:
+        owner.close()
+        owner.unlink()
+
+
+def test_tracker_quiet_after_concurrent_attach_subprocess():
+    """End-to-end audit in a fresh interpreter: concurrent attaches then
+    owner unlink must produce no resource-tracker stderr (a slipped
+    registration surfaces as a double-unregister / leaked-object
+    warning at interpreter shutdown)."""
+    import subprocess
+
+    code = """
+import threading
+from multiprocessing import shared_memory
+from repro.parallel.backends.processes import _attach
+
+owner = shared_memory.SharedMemory(create=True, size=4096)
+for _ in range(25):
+    barrier = threading.Barrier(6)
+    segs = []
+    lock = threading.Lock()
+    def go():
+        barrier.wait()
+        s = _attach(owner.name)
+        with lock:
+            segs.append(s)
+    ts = [threading.Thread(target=go) for _ in range(6)]
+    [t.start() for t in ts]
+    [t.join() for t in ts]
+    for s in segs:
+        s.close()
+owner.close()
+owner.unlink()
+print("OK")
+"""
+    env = dict(os.environ)
+    env["PYTHONPATH"] = "src" + os.pathsep + env.get("PYTHONPATH", "")
+    proc = subprocess.run(
+        [sys.executable, "-c", code],
+        capture_output=True,
+        text=True,
+        cwd=pathlib.Path(__file__).resolve().parent.parent,
+        timeout=120,
+        env=env,
+    )
+    assert proc.returncode == 0, proc.stderr
+    assert "OK" in proc.stdout
+    assert "resource_tracker" not in proc.stderr, proc.stderr
+    assert "leaked" not in proc.stderr, proc.stderr

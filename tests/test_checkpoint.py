@@ -419,12 +419,12 @@ class TestTiledJob:
 class _FlakyPoolJob(TiledJob):
     """A tiled job whose 'processes' pool is broken, to force the ladder."""
 
-    def _label_batch(self, batch):
+    def _label_batch(self, batch_idx, origins):
         if self.pool == "processes":
             from repro.errors import BackendError
 
             raise BackendError("injected: processes pool is broken")
-        return super()._label_batch(batch)
+        return super()._label_batch(batch_idx, origins)
 
 
 class TestJobRunner:

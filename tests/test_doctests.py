@@ -26,6 +26,8 @@ MODULE_NAMES = [
     "repro.ccl.streaming",
     "repro.mp.comm",
     "repro.volume.labeling3d",
+    "repro.service.pool",
+    "repro.service.frontend",
 ]
 
 

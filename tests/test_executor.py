@@ -1,0 +1,87 @@
+"""Unit tests for the shared map-executor abstraction
+(:mod:`repro.parallel.backends.executor`)."""
+
+from __future__ import annotations
+
+import multiprocessing
+import sys
+
+import numpy as np
+import pytest
+
+from repro.errors import BackendError
+from repro.parallel.backends.executor import (
+    MAP_EXECUTOR_KINDS,
+    executor_context,
+    executor_context_name,
+    get_map_executor,
+    map_with_payload,
+)
+
+
+def test_context_is_pinned_not_platform_default():
+    """The pinned method is fork wherever fork exists (Linux/macOS),
+    spawn only where it doesn't — never whatever the platform default
+    happens to be this Python version."""
+    name = executor_context_name()
+    if "fork" in multiprocessing.get_all_start_methods():
+        assert name == "fork"
+    else:  # pragma: no cover - Windows
+        assert name == "spawn"
+    assert executor_context().get_start_method() == name
+
+
+def _double(payload, item):
+    return payload["scale"] * item
+
+
+def _row_sum(payload, r):
+    return int(payload[r].sum())
+
+
+class TestMapWithPayload:
+    PAYLOAD = {"scale": 3}
+    ITEMS = list(range(8))
+    WANT = [3 * i for i in range(8)]
+
+    @pytest.mark.parametrize("kind", MAP_EXECUTOR_KINDS)
+    def test_all_kinds_agree(self, kind):
+        got = map_with_payload(
+            kind, _double, self.ITEMS, self.PAYLOAD, max_workers=4
+        )
+        assert got == self.WANT
+
+    def test_single_item_runs_inline(self):
+        assert map_with_payload(
+            "processes", _double, [5], self.PAYLOAD, max_workers=4
+        ) == [15]
+
+    def test_unknown_kind_is_typed(self):
+        with pytest.raises(BackendError, match="unknown executor kind"):
+            map_with_payload("mpi", _double, [1], self.PAYLOAD, 2)
+
+    def test_large_payload_small_items(self):
+        """The canonical shape: a big array payload, coordinate items."""
+        image = np.arange(64 * 64, dtype=np.int64).reshape(64, 64)
+        got = map_with_payload(
+            "processes", _row_sum, list(range(64)), image, max_workers=2
+        )
+        assert got == [int(image[r].sum()) for r in range(64)]
+
+
+class TestGetMapExecutor:
+    @pytest.mark.parametrize("kind", MAP_EXECUTOR_KINDS)
+    def test_map_roundtrip(self, kind):
+        with get_map_executor(kind, max_workers=2) as ex:
+            assert ex.kind == kind
+            assert ex.map(abs, [-1, 2, -3]) == [1, 2, 3]
+
+    def test_unknown_kind_is_typed(self):
+        with pytest.raises(BackendError, match="unknown executor kind"):
+            get_map_executor("gpu")
+
+    def test_serial_is_terminal_rung(self):
+        ex = get_map_executor("serial", max_workers=8)
+        assert ex.max_workers == 1
+        ex.close()  # idempotent no-op
+        ex.close()

@@ -1,0 +1,206 @@
+"""Supervisor graceful-drain semantics: idempotent under double-signal.
+
+The bug class these pin down: a drain request landing while the
+supervisor sleeps in respawn backoff used to be *lost* — the plain
+``time.sleep`` finished and the worker was re-forked anyway, stranding
+a child past the drain. Shutdown must be idempotent: a second signal
+(or two threads signalling at once) changes nothing, and no exit path
+leaves a live worker behind.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.faults import FaultPlan, FaultSpec, ResilienceConfig
+from repro.parallel.supervisor import (
+    interruptible_backoff,
+    kill_workers,
+    supervise,
+)
+
+CTX = multiprocessing.get_context(
+    "fork" if "fork" in multiprocessing.get_all_start_methods() else None
+)
+
+
+def _exit_zero(directives) -> None:  # pragma: no cover - child process
+    os._exit(0)
+
+
+def _exit_code(code) -> None:  # pragma: no cover - child process
+    os._exit(code)
+
+
+class TestInterruptibleBackoff:
+    def test_plain_sleep_without_event(self):
+        t0 = time.monotonic()
+        assert interruptible_backoff(0.05) is False
+        assert time.monotonic() - t0 >= 0.04
+
+    def test_preset_event_returns_immediately(self):
+        ev = threading.Event()
+        ev.set()
+        t0 = time.monotonic()
+        assert interruptible_backoff(30.0, ev) is True
+        assert time.monotonic() - t0 < 5.0
+
+    def test_mid_sleep_signal_wakes(self):
+        ev = threading.Event()
+        threading.Timer(0.05, ev.set).start()
+        t0 = time.monotonic()
+        assert interruptible_backoff(30.0, ev) is True
+        assert time.monotonic() - t0 < 5.0
+
+    def test_zero_delay(self):
+        ev = threading.Event()
+        assert interruptible_backoff(0.0, ev) is False
+        ev.set()
+        assert interruptible_backoff(0.0, ev) is True
+
+
+class TestKillWorkersIdempotent:
+    def test_double_kill_and_unstarted(self):
+        live = CTX.Process(target=time.sleep, args=(60,))
+        live.start()
+        dead = CTX.Process(target=_exit_zero, args=((),))
+        dead.start()
+        dead.join()
+        unstarted = CTX.Process(target=_exit_zero, args=((),))
+        procs = [live, dead, unstarted]
+        kill_workers(procs)   # first signal
+        kill_workers(procs)   # double signal: must be a pure no-op
+        assert not live.is_alive()
+        assert not dead.is_alive()
+        assert unstarted.pid is None
+
+    def test_concurrent_kill(self):
+        procs = [CTX.Process(target=time.sleep, args=(60,)) for _ in range(3)]
+        for p in procs:
+            p.start()
+        threads = [
+            threading.Thread(target=kill_workers, args=(procs,))
+            for _ in range(4)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert all(not p.is_alive() for p in procs)
+
+
+def _spawn_ok(batch, directives):
+    return CTX.Process(target=_exit_zero, args=(directives,))
+
+
+class TestSuperviseDrain:
+    CONFIG = ResilienceConfig(
+        max_retries=5, backoff_base=30.0, backoff_factor=1.0,
+        backoff_max=30.0, phase_timeout=120.0,
+    )
+
+    def test_preset_stop_skips_everything(self):
+        ev = threading.Event()
+        ev.set()
+        done = np.zeros(2, dtype=bool)
+        stats = supervise(
+            [[(0,)], [(1,)]],
+            _spawn_ok,
+            lambda c: bool(done[c[0]]),
+            self.CONFIG,
+            stop_event=ev,
+        )
+        assert stats["drained"] is True
+        assert stats["attempts"] == 0
+
+    def test_completes_normally_with_unset_event(self):
+        ev = threading.Event()
+        done = np.zeros(2, dtype=bool)
+
+        def spawn(batch, directives):
+            for c in batch:
+                done[c[0]] = True
+            return CTX.Process(target=_exit_zero, args=(directives,))
+
+        stats = supervise(
+            [[(0,)], [(1,)]],
+            spawn,
+            lambda c: bool(done[c[0]]),
+            self.CONFIG,
+            stop_event=ev,
+        )
+        assert stats["drained"] is False
+        assert stats["attempts"] == 1
+
+    @pytest.mark.chaos
+    def test_double_signal_mid_backoff_strands_nothing(self):
+        """kill_worker fires, the supervisor enters a 30 s respawn
+        backoff, and TWO drain signals land mid-sleep: supervision must
+        wake promptly, re-fork nothing, and leave no live child."""
+        plan = FaultPlan(
+            [FaultSpec(kind="kill_worker", phase="scan", rank=0,
+                       attempt=0, exit_code=9)]
+        )
+        spawned: list = []
+
+        def spawn(batch, directives):
+            # a directive-bearing spawn dies via _apply_directives-style
+            # exit; model it directly with the directive's exit code.
+            code = directives[0][2] if directives else 0
+            proc = CTX.Process(target=_exit_code, args=(code,))
+            spawned.append(proc)
+            return proc
+
+        ev = threading.Event()
+        signals = [threading.Timer(0.3, ev.set) for _ in range(2)]
+        for s in signals:
+            s.start()
+        t0 = time.monotonic()
+        stats = supervise(
+            [[(0,)]],
+            spawn,
+            lambda c: False,
+            self.CONFIG,
+            fault_plan=plan,
+            stop_event=ev,
+        )
+        elapsed = time.monotonic() - t0
+        assert stats["drained"] is True
+        assert elapsed < 10.0, "drain lost in respawn backoff"
+        # exactly the one killed attempt — the drain pre-empted respawn
+        assert stats["attempts"] == 1
+        assert len(spawned) == 1
+        assert all(not p.is_alive() for p in spawned), "stranded worker"
+
+    @pytest.mark.chaos
+    def test_drain_after_crash_beats_retry_exhaustion(self):
+        """Drain requested between a crash and the retry decision must
+        return drained instead of raising or respawning."""
+        ev = threading.Event()
+        plan = FaultPlan(
+            [FaultSpec(kind="kill_worker", phase="scan", rank=0,
+                       attempt=0, exit_code=7)]
+        )
+
+        def spawn(batch, directives):
+            code = directives[0][2] if directives else 0
+            if code:
+                ev.set()  # the "signal while failure handling runs" race
+            return CTX.Process(target=_exit_code, args=(code,))
+
+        stats = supervise(
+            [[(0,)]],
+            spawn,
+            lambda c: False,
+            self.CONFIG,
+            fault_plan=plan,
+            stop_event=ev,
+        )
+        assert stats["drained"] is True
+        assert stats["respawned"] == 0
