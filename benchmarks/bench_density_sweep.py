@@ -1,0 +1,244 @@
+"""Density/shape sweep: race every vectorised engine across regimes.
+
+``make bench-density`` / ``python benchmarks/bench_density_sweep.py``
+
+The engine family's relative speed flips with image statistics (see
+``docs/ALGORITHMS.md``): run-based scanning pays per-run, propagation
+pays per-sweep, block labeling pays per-block-edge. This harness makes
+that flip *measured data*:
+
+* races every candidate engine (``repro.ccl.dispatch.CANDIDATE_ENGINES``)
+  over a pattern x density grid — an i.i.d.-noise density ladder plus
+  the structured stripe/diagonal families whose statistics separate the
+  engines — at both connectivities, warmup + repeats, checking every
+  cell byte-identical (after canonicalization) against the default
+  engine — a divergence fails the run, timing is never reported for
+  wrong answers;
+* appends one :mod:`repro.perfdb` record (benchmark ``density_sweep``,
+  one phase per ``engine/connectivity/pattern/density`` cell) to the
+  history directory, which is what ``make perf-gate`` diffs against the
+  committed ``baseline_density.json``;
+* with ``--write-table``, reduces the fresh record to the dispatch
+  table (:func:`repro.ccl.dispatch.build_dispatch_table`) and writes it
+  where the ``auto`` engine loads it — regenerating the table on new
+  hardware is this one command.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+import time
+
+import numpy as np
+
+from repro.ccl.dispatch import (
+    CANDIDATE_ENGINES,
+    DEFAULT_ENGINE,
+    TABLE_PATH,
+    build_dispatch_table,
+    image_stats,
+)
+from repro.ccl.registry import EIGHT_CONNECTIVITY_ONLY, get_algorithm
+from repro.data.synthetic import diagonal_chains, random_noise
+from repro.perfdb import append_record, build_record, environment_fingerprint
+from repro.verify import canonicalize_labeling
+
+DENSITIES = (0.05, 0.2, 0.35, 0.5, 0.65, 0.8, 0.95)
+
+
+def _vstripes(shape, density, seed):
+    """1-px vertical stripes: maximal row fragmentation, zero vertical
+    fragmentation — the iterative engine's best case."""
+    period = max(2, int(round(1.0 / density)))
+    img = np.zeros(shape, dtype=np.uint8)
+    img[:, ::period] = 1
+    return img
+
+
+def _hstripes(shape, density, seed):
+    period = max(2, int(round(1.0 / density)))
+    img = np.zeros(shape, dtype=np.uint8)
+    img[::period, :] = 1
+    return img
+
+
+def _diag(shape, density, seed):
+    """Zigzag diagonal chains: fragmented on BOTH axes — propagation's
+    worst case, and the regime the column-runs feature exists to spot."""
+    spacing = max(2, int(round(1.0 / density)))
+    return diagonal_chains(shape, spacing=spacing, zigzag=True)
+
+
+#: pattern -> (builder, densities it is swept at). Structured families
+#: pin density 0.5: their point is shape statistics, not the ladder.
+PATTERNS = {
+    "noise": (lambda shape, d, seed: random_noise(shape, d, seed=seed),
+              DENSITIES),
+    "vstripes": (_vstripes, (0.5,)),
+    "hstripes": (_hstripes, (0.5,)),
+    "diag": (_diag, (0.5,)),
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        description="engine x pattern x density x connectivity timing sweep"
+    )
+    parser.add_argument("--size", type=int, default=512,
+                        help="raster side (default: 512)")
+    parser.add_argument("--repeats", type=int, default=3)
+    parser.add_argument("--warmup", type=int, default=1)
+    parser.add_argument("--seed", type=int, default=20140519)
+    parser.add_argument(
+        "--densities", default=",".join(str(d) for d in DENSITIES),
+        help="comma-separated foreground densities for the noise ladder",
+    )
+    parser.add_argument(
+        "--patterns", default=",".join(PATTERNS),
+        help=f"comma-separated pattern families (default: {','.join(PATTERNS)})",
+    )
+    parser.add_argument(
+        "--connectivities", default="4,8",
+        help="comma-separated connectivities (default: 4,8)",
+    )
+    parser.add_argument("--out", default=None, metavar="JSON",
+                        help="write the summary record here")
+    parser.add_argument("--history", default=None, metavar="DIR",
+                        help="append a repro.perfdb record to this directory")
+    parser.add_argument(
+        "--write-table", nargs="?", const=str(TABLE_PATH), default=None,
+        metavar="PATH",
+        help="derive the dispatch table from this run and write it "
+        f"(default path: {TABLE_PATH})",
+    )
+    return parser
+
+
+def sweep(args) -> dict:
+    densities = [float(d) for d in args.densities.split(",") if d]
+    patterns = [p for p in args.patterns.split(",") if p]
+    connectivities = [int(c) for c in args.connectivities.split(",") if c]
+    shape = (args.size, args.size)
+    phases: dict[str, list[float]] = {}
+    totals = [0.0] * args.repeats
+    cells = []
+    for pattern in patterns:
+        builder, pattern_densities = PATTERNS[pattern]
+        if pattern == "noise":
+            pattern_densities = densities
+        for density in pattern_densities:
+            img = builder(shape, density, args.seed)
+            stats = image_stats(img)
+            for conn in connectivities:
+                oracle = canonicalize_labeling(
+                    get_algorithm(DEFAULT_ENGINE)(img, conn).labels
+                )
+                for engine in CANDIDATE_ENGINES:
+                    if engine in EIGHT_CONNECTIVITY_ONLY and conn != 8:
+                        continue
+                    fn = get_algorithm(engine)
+                    for _ in range(args.warmup):
+                        fn(img, conn)
+                    reps = []
+                    for rep in range(args.repeats):
+                        t0 = time.perf_counter()
+                        result = fn(img, conn)
+                        elapsed = time.perf_counter() - t0
+                        reps.append(elapsed)
+                        totals[rep] += elapsed
+                    if not np.array_equal(
+                        canonicalize_labeling(result.labels), oracle
+                    ):
+                        raise SystemExit(
+                            f"FATAL: engine {engine!r} diverged from "
+                            f"{DEFAULT_ENGINE!r} on pattern {pattern!r} at "
+                            f"density {density}, connectivity {conn}"
+                        )
+                    key = f"{engine}/{conn}c/{pattern}/d{density:.2f}"
+                    phases[key] = reps
+                    cells.append({
+                        "connectivity": conn,
+                        "pattern": pattern,
+                        "density": density,
+                        "features": [round(f, 6) for f in stats.features],
+                        "engine": engine,
+                        "best_seconds": min(reps),
+                    })
+    record = build_record(
+        "density_sweep",
+        totals,
+        phases=phases,
+        warmup=args.warmup,
+        meta={
+            "size": args.size,
+            "patterns": patterns,
+            "densities": densities,
+            "connectivities": connectivities,
+            "engines": list(CANDIDATE_ENGINES),
+            "seed": args.seed,
+        },
+        env=environment_fingerprint(),
+    )
+    record["cells"] = cells
+    return record
+
+
+def render(record: dict) -> str:
+    """Winner table: one row per measured regime."""
+    by_regime: dict[tuple[int, str, float], dict[str, float]] = {}
+    for cell in record["cells"]:
+        by_regime.setdefault(
+            (cell["connectivity"], cell["pattern"], cell["density"]), {}
+        )[cell["engine"]] = cell["best_seconds"]
+    lines = [
+        f"{'conn':>4} {'pattern':>9} {'density':>8} {'winner':>16} "
+        f"{'best ms':>9} {'default ms':>11} {'speedup':>8}"
+    ]
+    for (conn, pattern, density), engines in sorted(by_regime.items()):
+        winner = min(engines, key=lambda e: engines[e])
+        best = engines[winner]
+        base = engines.get(DEFAULT_ENGINE, best)
+        lines.append(
+            f"{conn:>4} {pattern:>9} {density:>8.2f} {winner:>16} "
+            f"{best * 1e3:>9.2f} {base * 1e3:>11.2f} {base / best:>7.2f}x"
+        )
+    return "\n".join(lines)
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    record = sweep(args)
+    print(render(record))
+    if args.out:
+        with open(args.out, "w") as fh:
+            json.dump(record, fh, indent=2)
+            fh.write("\n")
+        print(f"record -> {args.out}")
+    if args.history:
+        path = append_record(record, args.history)
+        print(f"history -> {path}")
+    if args.write_table:
+        table = build_dispatch_table(record)
+        table_path = pathlib.Path(args.write_table)
+        with open(table_path, "w") as fh:
+            json.dump(table, fh, indent=2)
+            fh.write("\n")
+        print(f"dispatch table -> {table_path}")
+        non_default = {
+            (cell["connectivity"], cell["pattern"], cell["density"]):
+                cell["engine"]
+            for cell in table["cells"]
+            if cell["engine"] != DEFAULT_ENGINE
+        }
+        if non_default:
+            print(f"non-default regimes: {non_default}")
+        else:
+            print("warning: default engine won every regime")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

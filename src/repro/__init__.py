@@ -56,7 +56,7 @@ from .parallel.tiled import tiled_label
 from .types import Connectivity, ensure_input
 from .volume import volume_label
 
-__version__ = "1.6.0"
+__version__ = "1.7.0"
 
 __all__ = [
     "label",
@@ -104,9 +104,12 @@ def label(
     connectivity:
         8 (paper default) or 4.
     engine:
-        ``None`` (the named algorithm as published), or ``"vectorized"``
-        as a convenience alias for the NumPy run-based engine — the right
-        choice for large images regardless of *algorithm*.
+        ``None`` (the named algorithm as published), ``"vectorized"``
+        as a convenience alias for the NumPy run-based engine,
+        ``"auto"`` to let the measured dispatch table pick the fastest
+        engine for this image's statistics (see
+        :mod:`repro.ccl.dispatch`), or any registry name (``"itequiv"``,
+        ``"coarse2fine"``, ``"block2x2"``, ...) to force that kernel.
 
     Returns
     -------
@@ -119,10 +122,7 @@ def label(
     elif engine in (None, "python"):
         fn = get_algorithm(algorithm)
     else:
-        raise ValueError(
-            f"unknown engine {engine!r}; expected None, 'python' or "
-            "'vectorized'"
-        )
+        fn = get_algorithm(engine)  # registry names incl. "auto"
     result = fn(ensure_input(image), connectivity)
     return result.labels, result.n_components
 

@@ -162,7 +162,9 @@ def block_label(image: np.ndarray, connectivity: int = 8) -> CCLResult:
     1
     """
     if connectivity != 8:
-        raise ValueError(
+        from ..errors import ConnectivityError
+
+        raise ConnectivityError(
             "block-based labeling is defined for 8-connectivity only"
         )
     img = as_binary_image(image)

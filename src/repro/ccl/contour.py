@@ -98,7 +98,9 @@ def contour_trace(image: np.ndarray, connectivity: int = 8) -> CCLResult:
     1
     """
     if connectivity != 8:
-        raise ValueError(
+        from ..errors import ConnectivityError
+
+        raise ConnectivityError(
             "contour tracing is defined for 8-connectivity only"
         )
     img_arr = as_binary_image(image)

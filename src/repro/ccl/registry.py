@@ -7,6 +7,7 @@ the paper's tables.
 
 from __future__ import annotations
 
+import difflib
 from typing import Callable
 
 import numpy as np
@@ -17,7 +18,10 @@ from .arun import arun
 from .block2x2 import block_label
 from .ccllrpc import ccllrpc
 from .cclremsp import cclremsp
+from .coarse2fine import coarse2fine
 from .contour import contour_trace
+from .dispatch import auto_label
+from .itequiv import itequiv
 from .labeling import CCLResult
 from .multipass import multipass, propagation_vectorized
 from .run_based import run_based, run_based_vectorized
@@ -45,6 +49,9 @@ ALGORITHMS: dict[str, LabelFn] = {
     "suzuki": suzuki,
     "contour": contour_trace,
     "block2x2": block_label,
+    "itequiv": itequiv,
+    "coarse2fine": coarse2fine,
+    "auto": auto_label,
 }
 
 #: algorithms defined only for 8-connectivity (contour tracing has no
@@ -61,12 +68,21 @@ SEQUENTIAL_TABLE2: tuple[str, ...] = (
 
 
 def get_algorithm(name: str) -> LabelFn:
-    """Resolve a registry name (case-insensitive) to its entry point."""
+    """Resolve a registry name (case-insensitive) to its entry point.
+
+    An unknown name raises :class:`~repro.errors.UnknownAlgorithmError`
+    listing every registered name, plus a "did you mean" suggestion for
+    near misses (``run-vectorised`` → ``run-vectorized``) so a CLI typo
+    is a one-glance fix.
+    """
     key = name.lower()
     try:
         return ALGORITHMS[key]
     except KeyError:
+        available = sorted(ALGORITHMS)
+        close = difflib.get_close_matches(key, available, n=1, cutoff=0.6)
+        hint = f" (did you mean {close[0]!r}?)" if close else ""
         raise UnknownAlgorithmError(
-            f"unknown CCL algorithm {name!r}; available: "
-            f"{sorted(ALGORITHMS)}"
+            f"unknown CCL algorithm {name!r}{hint}; available: "
+            f"{', '.join(available)}"
         ) from None

@@ -31,9 +31,11 @@ from .pnm import read_pnm, write_pnm
 from .synthetic import (
     blobs,
     checkerboard,
+    diagonal_chains,
     diagonal_stripes,
     granularity,
     halves,
+    hilbert_curve,
     maze,
     random_noise,
     ridges,
@@ -56,6 +58,8 @@ __all__ = [
     "halves",
     "granularity",
     "ridges",
+    "hilbert_curve",
+    "diagonal_chains",
     "DatasetImage",
     "texture_suite",
     "aerial_suite",

@@ -38,6 +38,8 @@ __all__ = [
     "halves",
     "granularity",
     "ridges",
+    "hilbert_curve",
+    "diagonal_chains",
 ]
 
 
@@ -226,6 +228,90 @@ def ridges(
     u = xx * np.cos(theta) + yy * np.sin(theta)
     wave = np.sin(2 * np.pi * u / wavelength + warp * np.sin(phase_r[2] + 2 * np.pi * yy / max(rows, 1)))
     return (wave > 0).astype(PIXEL_DTYPE)
+
+
+def _hilbert_points(order: int) -> np.ndarray:
+    """The ``4**order`` cells of the order-*order* Hilbert curve, in path
+    order, as an ``(n, 2)`` array of ``(row, col)`` on a ``2**order``
+    grid. Standard d → (x, y) bit transform, vectorised over d."""
+    n = 1 << order
+    d = np.arange(n * n, dtype=np.int64)
+    x = np.zeros_like(d)
+    y = np.zeros_like(d)
+    t = d.copy()
+    s = 1
+    while s < n:
+        rx = 1 & (t // 2)
+        ry = 1 & (t ^ rx)
+        # rotate the quadrant
+        flip = ry == 0
+        swap_mask = flip & (rx == 1)
+        x_f = np.where(swap_mask, s - 1 - x, x)
+        y_f = np.where(swap_mask, s - 1 - y, y)
+        x, y = np.where(flip, y_f, x_f), np.where(flip, x_f, y_f)
+        x = x + s * rx
+        y = y + s * ry
+        t //= 4
+        s *= 2
+    return np.stack([y, x], axis=1)
+
+
+def hilbert_curve(shape: tuple[int, int], order: int | None = None) -> np.ndarray:
+    """A 1-px-wide serpentine path tracing a Hilbert curve.
+
+    The known worst case for propagation-style engines: one component
+    whose geodesic diameter is the pixel count, folded so that *every*
+    step of the path is a direction change — labels must travel the
+    whole path, one bend at a time. *order* defaults to the largest
+    curve whose ``2**(order+1) - 1`` canvas fits *shape*; the canvas is
+    placed at the top-left and padded with background.
+    """
+    rows, cols = shape
+    if order is None:
+        order = 1
+        while (1 << (order + 2)) - 1 <= min(rows, cols):
+            order += 1
+    if order < 1:
+        raise ValueError(f"order must be >= 1, got {order}")
+    img = np.zeros((rows, cols), dtype=PIXEL_DTYPE)
+    if rows < 1 or cols < 1:
+        return img
+    pts = _hilbert_points(order) * 2  # spread so arms don't touch
+    # draw vertices and the midpoint between consecutive path cells
+    mids = (pts[:-1] + pts[1:]) // 2
+    for arr in (pts, mids):
+        rr, cc = arr[:, 0], arr[:, 1]
+        keep = (rr < rows) & (cc < cols)
+        img[rr[keep], cc[keep]] = 1
+    return img
+
+
+def diagonal_chains(
+    shape: tuple[int, int], spacing: int = 3, zigzag: bool = True
+) -> np.ndarray:
+    """Single-pixel chains connected *only* diagonally.
+
+    With ``zigzag=True`` each chain bounces between two adjacent
+    columns, so every run has length 1 and every adjacency is diagonal —
+    the worst case for run-based scanning (maximal run count) *and* for
+    propagation engines (no run to shortcut along; labels cross one
+    diagonal per sweep). ``zigzag=False`` gives straight 45° chains
+    (equivalent to ``diagonal_stripes(width=1)``), the classic two-pass
+    merge stressor. Under 4-connectivity every pixel is its own
+    component — the other extreme of the same image.
+    """
+    if spacing < 2:
+        raise ValueError(f"spacing must be >= 2, got {spacing}")
+    rows, cols = shape
+    r = np.arange(rows)[:, None]
+    c = np.arange(cols)[None, :]
+    if zigzag:
+        # chain k occupies columns {k*spacing + (r % 2)}
+        offset = c - (r % 2)
+        img = (offset >= 0) & (offset % spacing == 0)
+    else:
+        img = (r + c) % spacing == 0
+    return img.astype(PIXEL_DTYPE)
 
 
 def solid(shape: tuple[int, int], value: int = 1) -> np.ndarray:

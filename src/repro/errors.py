@@ -14,6 +14,7 @@ __all__ = [
     "ImageFormatError",
     "LabelOverflowError",
     "PartitionError",
+    "ConnectivityError",
     "UnknownAlgorithmError",
     "BackendError",
     "WorkerCrashError",
@@ -72,8 +73,23 @@ class PartitionError(ReproError, ValueError):
     """A parallel row partition is invalid (empty chunks, bad alignment)."""
 
 
+class ConnectivityError(ReproError, ValueError):
+    """An algorithm was asked for a connectivity it does not define.
+
+    The registry's :data:`~repro.ccl.registry.EIGHT_CONNECTIVITY_ONLY`
+    entries (contour tracing, 2x2-block labeling) have no 4-connectivity
+    formulation; asking for one is a typed, catchable error rather than
+    a silently wrong answer. Subclasses ``ValueError`` so pre-existing
+    ``except ValueError`` callers keep working.
+    """
+
+
 class UnknownAlgorithmError(ReproError, KeyError):
-    """An algorithm name was not found in :mod:`repro.ccl.registry`."""
+    """An algorithm name was not found in :mod:`repro.ccl.registry`.
+
+    The message lists every registered name and, for near misses, a
+    "did you mean" suggestion.
+    """
 
 
 class BackendError(ReproError, RuntimeError):

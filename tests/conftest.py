@@ -9,8 +9,10 @@ from hypothesis import HealthCheck, settings
 from repro.data import (
     blobs,
     checkerboard,
+    diagonal_chains,
     diagonal_stripes,
     halves,
+    hilbert_curve,
     maze,
     random_noise,
     solid,
@@ -56,6 +58,9 @@ def _structural_images() -> list[tuple[str, np.ndarray]]:
         ("checker2", checkerboard((12, 10), cell=2)),
         ("stripes", diagonal_stripes((16, 16), period=4)),
         ("spiral", spiral((21, 21), gap=2)),
+        ("hilbert", hilbert_curve((16, 16))),
+        ("diag_chains", diagonal_chains((16, 16), spacing=3, zigzag=True)),
+        ("diag_straight", diagonal_chains((14, 15), spacing=3, zigzag=False)),
         ("noise_lo", random_noise((15, 17), 0.2, seed=11)),
         ("noise_mid", random_noise((16, 16), 0.5, seed=12)),
         ("noise_hi", random_noise((17, 15), 0.8, seed=13)),

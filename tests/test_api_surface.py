@@ -88,6 +88,9 @@ def test_registry_names_are_stable():
         "suzuki",
         "contour",
         "block2x2",
+        "itequiv",
+        "coarse2fine",
+        "auto",
     } == set(ALGORITHMS)
 
 

@@ -1,0 +1,113 @@
+"""Coarse-to-fine engine: block invariance and the refinement law.
+
+The engine's central invariant is that the fine phase's block-local
+labeling *refines* the final partition: every local component lies
+inside exactly one final component, and the boundary merge only ever
+fuses local components — it never splits one. These tests check that
+law directly from public outputs, plus block-size invariance (the block
+parameter is a performance knob, never a correctness knob).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.ccl.coarse2fine import DEFAULT_BLOCK, coarse2fine
+from repro.errors import ConnectivityError
+from repro.verify import canonicalize_labeling, flood_fill_label
+
+binary_images = hnp.arrays(
+    dtype=np.uint8,
+    shape=hnp.array_shapes(min_dims=2, max_dims=2, min_side=1, max_side=24),
+    elements=st.integers(0, 1),
+)
+
+
+@given(
+    img=binary_images,
+    connectivity=st.sampled_from([4, 8]),
+    block=st.sampled_from([2, 3, 4, 8]),
+)
+def test_property_block_size_is_invisible(img, connectivity, block):
+    """Any block size produces byte-identical labels (all canonical)."""
+    a = coarse2fine(img, connectivity, block=block)
+    b = coarse2fine(img, connectivity, block=DEFAULT_BLOCK)
+    assert np.array_equal(a.labels, b.labels)
+    assert a.n_components == b.n_components
+
+
+@given(img=binary_images, connectivity=st.sampled_from([4, 8]))
+def test_property_matches_flood_fill_and_is_canonical(img, connectivity):
+    expected, n = flood_fill_label(img, connectivity)
+    result = coarse2fine(img, connectivity, block=4)
+    assert result.n_components == n
+    assert np.array_equal(result.labels, canonicalize_labeling(expected))
+    assert np.array_equal(result.labels, canonicalize_labeling(result.labels))
+
+
+@given(
+    img=binary_images,
+    connectivity=st.sampled_from([4, 8]),
+    block=st.sampled_from([2, 4, 8]),
+)
+def test_property_local_labels_refine_final_partition(img, connectivity,
+                                                      block):
+    """Relabeling each block tile in isolation must yield components
+    that sit inside exactly one final component each."""
+    result = coarse2fine(img, connectivity, block=block)
+    img = np.asarray(img)
+    rows, cols = img.shape
+    for r0 in range(0, rows, block):
+        for c0 in range(0, cols, block):
+            tile = img[r0:r0 + block, c0:c0 + block]
+            final = result.labels[r0:r0 + block, c0:c0 + block]
+            local, n_local = flood_fill_label(tile, connectivity)
+            for k in range(1, n_local + 1):
+                finals = np.unique(final[local == k])
+                assert finals.size == 1, (
+                    "local component straddles final components"
+                )
+
+
+@given(img=binary_images, connectivity=st.sampled_from([4, 8]))
+def test_property_merge_only_fuses(img, connectivity):
+    """Boundary refinement can only reduce the component count, and
+    without seam edges it must not change it at all."""
+    result = coarse2fine(img, connectivity, block=4)
+    assert result.meta["local_components"] >= result.n_components
+    if result.meta["boundary_edges"] == 0:
+        assert result.meta["local_components"] == result.n_components
+
+
+def test_meta_and_phases():
+    img = np.zeros((40, 40), dtype=np.uint8)
+    img[::3, :] = 1
+    result = coarse2fine(img, 8, block=8)
+    assert result.algorithm == "coarse2fine"
+    assert result.meta["block"] == 8
+    assert result.meta["iterations"] >= 1
+    assert set(result.phase_seconds) >= {"scan", "merge", "flatten", "label"}
+
+
+def test_bad_parameters_are_typed():
+    img = np.eye(4, dtype=np.uint8)
+    with pytest.raises(ConnectivityError):
+        coarse2fine(img, 5)
+    with pytest.raises(ValueError):
+        coarse2fine(img, 8, block=1)
+
+
+@pytest.mark.parametrize(
+    "shape", [(0, 0), (1, 37), (37, 1), (5, 5)], ids=str
+)
+def test_degenerate_shapes(shape):
+    for value in (0, 1):
+        img = np.full(shape, value, dtype=np.uint8)
+        result = coarse2fine(img, 8)
+        assert result.labels.shape == shape
+        expected_n = 1 if value and np.prod(shape) else 0
+        assert result.n_components == expected_n

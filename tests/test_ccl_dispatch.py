@@ -1,0 +1,211 @@
+"""The ``auto`` engine: statistics, table plumbing, dispatch rules.
+
+The dispatch table is measured data (``make bench-density``); these
+tests pin the machinery around it — the cheap statistics, the
+nearest-cell rule, every fallback path — with injected tables, plus one
+test against the *committed* table asserting the headline behaviour:
+auto picks a non-default engine for the fragmented-vertical regime the
+sweep measured it winning.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+import repro
+from repro.ccl.dispatch import (
+    CANDIDATE_ENGINES,
+    DEFAULT_ENGINE,
+    FEATURES,
+    SMALL_IMAGE_PIXELS,
+    TABLE_PATH,
+    auto_label,
+    build_dispatch_table,
+    choose_engine,
+    image_stats,
+    load_dispatch_table,
+)
+from repro.ccl.registry import ALGORITHMS
+
+
+def _vstripes(n=128):
+    img = np.zeros((n, n), dtype=np.uint8)
+    img[:, ::2] = 1
+    return img
+
+
+def _table(cells):
+    return {
+        "schema_version": 2,
+        "source": "test",
+        "default": DEFAULT_ENGINE,
+        "features": list(FEATURES),
+        "cells": cells,
+    }
+
+
+class TestImageStats:
+    def test_empty(self):
+        s = image_stats(np.zeros((0, 0), dtype=np.uint8))
+        assert s.pixels == 0
+        assert s.features == (0.0, 0.0, 0.0)
+
+    def test_vertical_stripes_fragment_rows_not_columns(self):
+        s = image_stats(_vstripes(64))
+        assert s.density == pytest.approx(0.5)
+        assert s.row_runs_per_pixel == pytest.approx(0.5)
+        # one run start per foreground column = 32 starts / 4096 px
+        assert s.col_runs_per_pixel == pytest.approx(32 / 4096)
+
+    def test_horizontal_stripes_mirror(self):
+        v = image_stats(_vstripes(64))
+        h = image_stats(np.ascontiguousarray(_vstripes(64).T))
+        assert v.row_runs_per_pixel == pytest.approx(h.col_runs_per_pixel)
+        assert v.col_runs_per_pixel == pytest.approx(h.row_runs_per_pixel)
+
+    def test_solid_block(self):
+        s = image_stats(np.ones((10, 10), dtype=np.uint8))
+        assert s.density == 1.0
+        assert s.row_runs_per_pixel == pytest.approx(0.1)
+        assert s.col_runs_per_pixel == pytest.approx(0.1)
+
+
+class TestChooseEngine:
+    def test_small_image_short_circuits(self):
+        table = _table([{
+            "connectivity": 8, "pattern": "x", "density": 0.5,
+            "features": [0.5, 0.5, 0.0], "engine": "itequiv",
+        }])
+        img = np.ones((4, 4), dtype=np.uint8)
+        engine, info = choose_engine(img, 8, table=table)
+        assert engine == DEFAULT_ENGINE
+        assert info["rule"] == "small-image"
+        assert img.size < SMALL_IMAGE_PIXELS
+
+    def test_no_cells_for_connectivity(self):
+        table = _table([{
+            "connectivity": 8, "pattern": "x", "density": 0.5,
+            "features": [0.5, 0.5, 0.0], "engine": "itequiv",
+        }])
+        engine, info = choose_engine(_vstripes(), 4, table=table)
+        assert engine == DEFAULT_ENGINE
+        assert info["rule"] == "no-table-cells"
+
+    def test_nearest_cell_wins(self):
+        table = _table([
+            {"connectivity": 4, "pattern": "noise", "density": 0.5,
+             "features": [0.5, 0.25, 0.25], "engine": "run-vectorized"},
+            {"connectivity": 4, "pattern": "vstripes", "density": 0.5,
+             "features": [0.5, 0.5, 0.0], "engine": "itequiv"},
+        ])
+        engine, info = choose_engine(_vstripes(), 4, table=table)
+        assert engine == "itequiv"
+        assert info["rule"] == "nearest-cell"
+        assert info["nearest"]["pattern"] == "vstripes"
+        rng = np.random.default_rng(3)
+        noise = (rng.random((128, 128)) < 0.5).astype(np.uint8)
+        engine, info = choose_engine(noise, 4, table=table)
+        assert engine == "run-vectorized"
+        assert info["nearest"]["pattern"] == "noise"
+
+    def test_unavailable_cell_engine_falls_back(self):
+        table = _table([{
+            "connectivity": 4, "pattern": "x", "density": 0.5,
+            "features": [0.5, 0.5, 0.0], "engine": "block2x2",
+        }])
+        engine, info = choose_engine(_vstripes(), 4, table=table)
+        assert engine == DEFAULT_ENGINE
+        assert info["rule"] == "cell-engine-unavailable"
+
+
+class TestTablePlumbing:
+    def test_load_missing_file_uses_fallback(self, tmp_path):
+        table = load_dispatch_table(tmp_path / "nope.json")
+        assert table["source"] == "fallback"
+        assert table["schema_version"] == 2
+
+    def test_load_malformed_uses_fallback(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json")
+        assert load_dispatch_table(bad)["source"] == "fallback"
+        bad.write_text(json.dumps({"schema_version": 1, "entries": {}}))
+        assert load_dispatch_table(bad)["source"] == "fallback"
+
+    def test_fallback_names_known_engines_only(self):
+        table = load_dispatch_table("/definitely/not/there.json")
+        for cell in table["cells"]:
+            assert cell["engine"] in ALGORITHMS
+            assert cell["engine"] in CANDIDATE_ENGINES
+
+    def test_build_reduces_record_to_winners(self):
+        record = {
+            "benchmark": "density_sweep",
+            "cells": [
+                {"connectivity": 4, "pattern": "p", "density": 0.5,
+                 "features": [0.5, 0.5, 0.0], "engine": "run-vectorized",
+                 "best_seconds": 2.0},
+                {"connectivity": 4, "pattern": "p", "density": 0.5,
+                 "features": [0.5, 0.5, 0.0], "engine": "itequiv",
+                 "best_seconds": 1.0},
+                {"connectivity": 8, "pattern": "p", "density": 0.5,
+                 "features": [0.5, 0.5, 0.0], "engine": "run-vectorized",
+                 "best_seconds": 1.0},
+            ],
+        }
+        table = build_dispatch_table(record)
+        winners = {
+            (c["connectivity"], c["pattern"]): c["engine"]
+            for c in table["cells"]
+        }
+        assert winners == {(4, "p"): "itequiv", (8, "p"): "run-vectorized"}
+        four = next(c for c in table["cells"] if c["connectivity"] == 4)
+        assert four["best_seconds"] == 1.0
+        assert four["default_seconds"] == 2.0
+
+    def test_build_skips_malformed_cells(self):
+        record = {"cells": [{"connectivity": "x"}, 42, None]}
+        assert build_dispatch_table(record)["cells"] == []
+
+
+class TestAutoLabel:
+    def test_result_is_audited(self):
+        result = auto_label(np.eye(8, dtype=np.uint8), 8)
+        dispatch = result.meta["dispatch"]
+        assert dispatch["requested"] == "auto"
+        assert dispatch["engine"] == result.algorithm
+        assert dispatch["rule"] == "small-image"
+        assert result.n_components == 1
+
+    def test_registry_and_label_expose_auto(self):
+        img = np.eye(8, dtype=np.uint8)
+        from repro.ccl.registry import get_algorithm
+
+        assert get_algorithm("auto") is auto_label
+        _, n = repro.label(img, engine="auto")
+        assert n == 1
+
+    def test_committed_table_picks_non_default_for_vstripes(self):
+        """The acceptance headline: on the fragmented-vertical regime
+        the committed, measured table routes away from the default
+        engine (and the result is still byte-correct)."""
+        assert TABLE_PATH.exists(), "committed dispatch table missing"
+        table = load_dispatch_table()
+        assert table["source"] == "density_sweep"
+        img = _vstripes(256)
+        engine, info = choose_engine(img, 4, table=table)
+        assert info["rule"] == "nearest-cell"
+        assert engine != DEFAULT_ENGINE
+        result = auto_label(img, 4)
+        assert result.algorithm == engine
+        expected = repro.label(img, connectivity=4)[0]
+        assert result.n_components == int(expected.max())
+
+    def test_auto_matches_default_on_noise(self):
+        rng = np.random.default_rng(5)
+        img = (rng.random((96, 96)) < 0.4).astype(np.uint8)
+        auto = auto_label(img, 8)
+        ref, n = repro.label(img, connectivity=8)
+        assert auto.n_components == n

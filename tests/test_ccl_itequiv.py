@@ -1,0 +1,120 @@
+"""Iterative min-propagation engine: fixed-point and termination laws.
+
+Beyond the shared oracle matrix (``test_ccl_oracle.py``, which itequiv
+joins via the registry), these are the properties that make the engine
+*correct by construction*: sweeps only ever lower labels, the iteration
+count respects the provable bound, the final state is a genuine fixed
+point of ``sweep_once``, and the output needs no canonicalization pass.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.ccl.itequiv import _BIG, iteration_bound, itequiv, sweep_once
+from repro.errors import ConnectivityError
+from repro.types import LABEL_DTYPE
+from repro.verify import canonicalize_labeling, flood_fill_label
+
+binary_images = hnp.arrays(
+    dtype=np.uint8,
+    shape=hnp.array_shapes(min_dims=2, max_dims=2, min_side=1, max_side=24),
+    elements=st.integers(0, 1),
+)
+
+
+def _initial_work(img):
+    fg = np.asarray(img) != 0
+    rows, cols = fg.shape
+    init = np.arange(1, rows * cols + 1, dtype=LABEL_DTYPE).reshape(rows, cols)
+    return np.where(fg, init, LABEL_DTYPE(_BIG)), fg
+
+
+def _fixed_point_work(labels, fg):
+    """Reconstruct the converged work array from the final labels: every
+    pixel holds its component's minimal initial label."""
+    rows, cols = fg.shape
+    init = np.arange(1, rows * cols + 1, dtype=LABEL_DTYPE).reshape(rows, cols)
+    mins = np.full(int(labels.max()) + 1, _BIG, dtype=LABEL_DTYPE)
+    np.minimum.at(mins, labels.ravel(), init.ravel())
+    work = np.full((rows, cols), LABEL_DTYPE(_BIG))
+    work[fg] = mins[labels[fg]]
+    return work
+
+
+@given(img=binary_images, connectivity=st.sampled_from([4, 8]))
+def test_property_terminates_within_bound(img, connectivity):
+    result = itequiv(img, connectivity)
+    assert result.meta["iterations"] <= result.meta["bound"]
+    assert result.meta["bound"] == iteration_bound(img)
+
+
+@given(img=binary_images, connectivity=st.sampled_from([4, 8]))
+def test_property_output_is_fixed_point(img, connectivity):
+    result = itequiv(img, connectivity)
+    fg = np.asarray(img) != 0
+    work = _fixed_point_work(result.labels, fg)
+    again = sweep_once(work, fg, connectivity)
+    assert np.array_equal(again, work)
+
+
+@given(img=binary_images, connectivity=st.sampled_from([4, 8]))
+def test_property_sweeps_never_raise_labels(img, connectivity):
+    work, fg = _initial_work(img)
+    for _ in range(3):
+        nxt = sweep_once(work, fg, connectivity)
+        assert (nxt <= work).all()
+        work = nxt
+
+
+@given(img=binary_images, connectivity=st.sampled_from([4, 8]))
+def test_property_output_is_already_canonical(img, connectivity):
+    result = itequiv(img, connectivity)
+    assert np.array_equal(result.labels, canonicalize_labeling(result.labels))
+
+
+@given(img=binary_images, connectivity=st.sampled_from([4, 8]))
+def test_property_matches_flood_fill(img, connectivity):
+    expected, n = flood_fill_label(img, connectivity)
+    result = itequiv(img, connectivity)
+    assert result.n_components == n
+    assert np.array_equal(result.labels, canonicalize_labeling(expected))
+
+
+def test_iteration_metadata_and_gauge():
+    img = np.zeros((8, 8), dtype=np.uint8)
+    img[:, ::2] = 1  # vertical stripes converge in two sweeps
+    result = itequiv(img, 4)
+    assert result.meta["iterations"] == 2
+    assert result.algorithm == "itequiv"
+    assert set(result.phase_seconds) >= {"scan", "flatten", "label"}
+
+
+def test_serpentine_needs_many_sweeps_but_stays_within_bound():
+    # single-pixel-wide serpentine: the hardest shape for propagation
+    img = np.zeros((9, 9), dtype=np.uint8)
+    img[::2, :] = 1
+    img[1::4, -1] = 1
+    img[3::4, 0] = 1
+    result = itequiv(img, 4)
+    assert result.n_components == 1
+    assert 1 < result.meta["iterations"] <= result.meta["bound"]
+
+
+def test_bad_connectivity_is_typed():
+    with pytest.raises(ConnectivityError):
+        itequiv(np.eye(3, dtype=np.uint8), 6)
+
+
+@pytest.mark.parametrize(
+    "shape", [(0, 0), (1, 7), (7, 1), (1, 1)], ids=str
+)
+def test_degenerate_shapes(shape):
+    result = itequiv(np.ones(shape, dtype=np.uint8), 8)
+    expected_n = 1 if np.prod(shape) else 0
+    assert result.n_components == expected_n
+    assert result.labels.shape == shape

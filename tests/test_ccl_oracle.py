@@ -20,7 +20,15 @@ from repro.ccl.registry import (
     EIGHT_CONNECTIVITY_ONLY,
     get_algorithm,
 )
+from repro.data.synthetic import (
+    checkerboard,
+    diagonal_chains,
+    hilbert_curve,
+    spiral,
+)
+from repro.errors import ConnectivityError
 from repro.verify import (
+    canonicalize_labeling,
     flood_fill_label,
     have_scipy,
     labelings_equivalent,
@@ -33,8 +41,28 @@ ALL_NAMES = sorted(ALGORITHMS)
 #: must match the oracle's raster first-appearance numbering exactly.
 RASTER_ORDER = ("ccllrpc", "cclremsp", "run", "run-vectorized", "suzuki", "contour")
 
+#: algorithms whose output is canonical (raster first-appearance
+#: numbering) even though they do not scan in raster order: the
+#: propagation engines converge to per-component *minimum* linear
+#: indexes, which sort exactly like first appearances.
+CANONICAL_OUTPUT = RASTER_ORDER + ("itequiv", "coarse2fine")
+
 #: algorithms that also support 4-connectivity.
 FOUR_CONN = tuple(n for n in ALL_NAMES if n not in EIGHT_CONNECTIVITY_ONLY)
+
+#: adversarial pattern cases every registry entry must survive. These
+#: target specific engine weak spots: serpentine paths (propagation must
+#: turn a corner per sweep), purely diagonal adjacency (no run of
+#: length > 1 anywhere), unit checkerboards (maximum component count at
+#: 4-connectivity, a single component at 8), and nested spirals (one
+#: long component crossing every block seam).
+ADVERSARIAL_IMAGES = [
+    ("hilbert", hilbert_curve((20, 20))),
+    ("diag_zigzag", diagonal_chains((17, 19), spacing=3, zigzag=True)),
+    ("diag_straight", diagonal_chains((16, 16), spacing=2, zigzag=False)),
+    ("checker_unit", checkerboard((13, 14))),
+    ("spiral", spiral((21, 21), gap=2)),
+]
 
 
 @pytest.mark.parametrize("name", ALL_NAMES)
@@ -53,11 +81,49 @@ def test_partition_matches_oracle_4(structural_image, name):
     assert labelings_equivalent(result.labels, expected)
 
 
-@pytest.mark.parametrize("name", RASTER_ORDER)
-def test_raster_algorithms_match_oracle_exactly(structural_image, name):
+@pytest.mark.parametrize("name", CANONICAL_OUTPUT)
+def test_canonical_algorithms_match_oracle_exactly(structural_image, name):
     expected, _ = flood_fill_label(structural_image, 8)
     result = get_algorithm(name)(structural_image, 8)
     assert np.array_equal(result.labels, expected)
+
+
+@pytest.mark.parametrize("dtype", [np.uint8, bool, np.int64],
+                         ids=["uint8", "bool", "int64"])
+@pytest.mark.parametrize("connectivity", [4, 8])
+@pytest.mark.parametrize("pattern,img", ADVERSARIAL_IMAGES,
+                         ids=[n for n, _ in ADVERSARIAL_IMAGES])
+@pytest.mark.parametrize("name", ALL_NAMES)
+def test_differential_matrix_vs_aremsp(name, pattern, img, connectivity,
+                                       dtype):
+    """The generalized oracle matrix: engine x connectivity x dtype x
+    adversarial pattern, byte-identical to AREMSP after
+    canonicalization. New registry entries join automatically."""
+    if connectivity != 8 and name in EIGHT_CONNECTIVITY_ONLY:
+        pytest.skip("8-connectivity-only engine")
+    reference = canonicalize_labeling(
+        get_algorithm("aremsp")(img, connectivity).labels
+    )
+    result = get_algorithm(name)(img.astype(dtype), connectivity)
+    got = canonicalize_labeling(result.labels)
+    assert got.tobytes() == reference.tobytes()
+    assert result.n_components == int(reference.max())
+
+
+@pytest.mark.parametrize("name", ALL_NAMES)
+def test_connectivity_gating_is_typed(name):
+    """Every registry entry either supports 4-connectivity (and then
+    matches the 4-connectivity oracle) or refuses it with the typed
+    :class:`ConnectivityError` — never a wrong answer or a bare crash."""
+    img = checkerboard((9, 9))
+    expected, n_expected = flood_fill_label(img, 4)
+    if name in EIGHT_CONNECTIVITY_ONLY:
+        with pytest.raises(ConnectivityError):
+            get_algorithm(name)(img, 4)
+    else:
+        result = get_algorithm(name)(img, 4)
+        assert result.n_components == n_expected
+        assert labelings_equivalent(result.labels, expected)
 
 
 @pytest.mark.parametrize("name", ALL_NAMES)

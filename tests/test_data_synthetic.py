@@ -8,8 +8,10 @@ import pytest
 from repro.data.synthetic import (
     blobs,
     checkerboard,
+    diagonal_chains,
     diagonal_stripes,
     halves,
+    hilbert_curve,
     maze,
     random_noise,
     solid,
@@ -26,6 +28,9 @@ GENERATORS = [
     ("maze", lambda: maze((20, 24), 0.5, seed=1)),
     ("solid", lambda: solid((20, 24))),
     ("halves", lambda: halves((20, 24))),
+    ("hilbert", lambda: hilbert_curve((20, 20))),
+    ("diag_chains", lambda: diagonal_chains((20, 24), spacing=3)),
+    ("diag_straight", lambda: diagonal_chains((20, 24), 3, zigzag=False)),
 ]
 
 
@@ -124,6 +129,47 @@ def test_halves_orientations():
     assert h[:2, :].all() and not h[2:, :].any()
     with pytest.raises(ValueError):
         halves((4, 4), "diagonal")
+
+
+@pytest.mark.parametrize("size", [7, 15, 20, 31, 33])
+def test_hilbert_curve_is_one_serpentine_component(size):
+    img = hilbert_curve((size, size))
+    _, n4 = flood_fill_label(img, 4)
+    _, n8 = flood_fill_label(img, 8)
+    assert n4 == 1  # the path is 4-connected end to end
+    assert n8 == 1
+
+
+def test_hilbert_curve_order_controls_length():
+    small = hilbert_curve((40, 40), order=2)
+    large = hilbert_curve((40, 40), order=4)
+    assert small.sum() == 4**2 * 2 - 1  # cells + midpoints
+    assert large.sum() == 4**4 * 2 - 1
+    with pytest.raises(ValueError):
+        hilbert_curve((10, 10), order=0)
+
+
+def test_diagonal_chains_zigzag_connectivity_extremes():
+    img = diagonal_chains((20, 24), spacing=3, zigzag=True)
+    _, n4 = flood_fill_label(img, 4)
+    _, n8 = flood_fill_label(img, 8)
+    assert n4 == int(img.sum())  # every pixel isolated at 4-conn
+    assert n8 == 8  # one component per chain at 8-conn
+
+    # every horizontal run has length exactly 1 — the run-count worst case
+    runs = img.astype(bool)
+    assert not (runs[:, 1:] & runs[:, :-1]).any()
+
+
+def test_diagonal_chains_straight_matches_45_degrees():
+    img = diagonal_chains((16, 16), spacing=4, zigzag=False)
+    rr, cc = np.nonzero(img)
+    assert (((rr + cc) % 4) == 0).all()
+
+
+def test_diagonal_chains_validation():
+    with pytest.raises(ValueError):
+        diagonal_chains((8, 8), spacing=1)
 
 
 def test_blobs_smoother_than_noise():

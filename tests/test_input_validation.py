@@ -114,6 +114,11 @@ ENTRY_POINTS = [
     pytest.param(
         lambda img: tiled_label(img, tile_shape=(4, 4)), id="tiled"
     ),
+    pytest.param(lambda img: label(img, engine="itequiv"), id="itequiv"),
+    pytest.param(
+        lambda img: label(img, engine="coarse2fine"), id="coarse2fine"
+    ),
+    pytest.param(lambda img: label(img, engine="auto"), id="auto"),
 ]
 
 
@@ -165,6 +170,33 @@ class TestEntryPointsShareThePolicy:
                 np.load(tmp_path / "deep.npy", mmap_mode="r"),
                 tile_shape=(4, 4),
             )
+
+
+class TestDegenerateShapesAcrossEngines:
+    """0x0, 1xN, Nx1, all-foreground and all-background inputs go
+    through the same validation policy and produce the same counts on
+    every vectorised engine the registry exposes."""
+
+    ENGINES = ("vectorized", "itequiv", "coarse2fine", "block2x2", "auto")
+
+    @pytest.mark.parametrize("engine", ENGINES)
+    @pytest.mark.parametrize(
+        "shape", [(0, 0), (1, 9), (9, 1), (1, 1)], ids=str
+    )
+    def test_degenerate_all_foreground(self, engine, shape):
+        labels, n = label(np.ones(shape, dtype=np.uint8), engine=engine)
+        assert labels.shape == shape
+        assert n == (1 if np.prod(shape) else 0)
+
+    @pytest.mark.parametrize("engine", ENGINES)
+    @pytest.mark.parametrize(
+        "shape", [(0, 0), (1, 9), (9, 1), (6, 7)], ids=str
+    )
+    def test_degenerate_all_background(self, engine, shape):
+        labels, n = label(np.zeros(shape, dtype=np.uint8), engine=engine)
+        assert labels.shape == shape
+        assert n == 0
+        assert not labels.any()
 
 
 class TestStreamingRowValidation:

@@ -127,12 +127,36 @@ class TestTopLevelAPI:
         assert n1 == n2
 
     def test_label_bad_engine(self):
-        with pytest.raises(ValueError):
+        # engine names resolve through the registry now, so a bad one is
+        # the same typed error as a bad algorithm, with suggestions
+        with pytest.raises(UnknownAlgorithmError, match="available"):
             repro.label(np.zeros((2, 2)), engine="cuda")
+
+    def test_label_registry_engine_names(self):
+        img = np.eye(6, dtype=np.uint8)
+        for engine in ("itequiv", "coarse2fine", "auto"):
+            _, n = repro.label(img, engine=engine)
+            assert n == 1
 
     def test_label_unknown_algorithm(self):
         with pytest.raises(UnknownAlgorithmError):
             repro.label(np.zeros((2, 2)), algorithm="fancy")
+
+    def test_unknown_algorithm_error_lists_names_and_suggests(self):
+        from repro.ccl.registry import ALGORITHMS, get_algorithm
+
+        with pytest.raises(UnknownAlgorithmError) as excinfo:
+            get_algorithm("aremps")  # transposed typo
+        message = str(excinfo.value)
+        assert "aremsp" in message  # the nearest-match suggestion
+        for name in ALGORITHMS:  # and the full roster
+            assert name in message
+
+    def test_unknown_algorithm_error_without_near_miss(self):
+        from repro.ccl.registry import get_algorithm
+
+        with pytest.raises(UnknownAlgorithmError, match="available"):
+            get_algorithm("zzzzzz")
 
     def test_label_parallel(self, rng):
         img = (rng.random((14, 14)) < 0.5).astype(np.uint8)
