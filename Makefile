@@ -17,7 +17,8 @@ PYTHON ?= python
 export PYTHONPATH := src
 
 .PHONY: test chaos bench-paremsp bench-trace bench bench-history \
-	bench-density dispatch-table perf-gate analyze-trace service-smoke
+	bench-density dispatch-table perf-gate analyze-trace service-smoke \
+	service-metrics-smoke
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -93,4 +94,13 @@ service-smoke:
 	$(PYTHON) -m repro.bench.service_smoke --requests 64 --repeats 3 \
 		--out BENCH_paremsp.json --history benchmarks/history
 
-bench: bench-paremsp service-smoke
+# runtime-telemetry gate (see docs/OBSERVABILITY.md "Runtime
+# telemetry"): boots a traced service behind /metrics, scrapes it
+# mid-run (required families, live latency quantiles, slo_* breaches),
+# verifies one request id stitches frontend + >= 2 worker lanes
+# through a chrome-export round trip, and enforces the sampling
+# profiler's overhead budget (<2% detached, <5% attached).
+service-metrics-smoke:
+	$(PYTHON) -m repro.bench.metrics_smoke --out BENCH_paremsp.json
+
+bench: bench-paremsp service-smoke service-metrics-smoke

@@ -311,9 +311,25 @@ def auto_label(image: np.ndarray, connectivity: int = 8) -> CCLResult:
     rec = get_recorder()
     if rec.enabled:
         rec.count(f"dispatch.pick.{engine}")
+        rec.count("dispatch.engine_selected")
         rec.gauge("dispatch.density", info["density"])
         rec.gauge("dispatch.pixels", float(info["pixels"]))
-    result = get_algorithm(engine)(img, connectivity)
+        # the decision rides the trace too: one span wrapping the
+        # engine run, attributed with the pick and the rule that
+        # fired, so a chrome export answers "which engine, and why"
+        # per request without cross-referencing counters.
+        with rec.span(
+            "dispatch",
+            attrs={
+                "engine": engine,
+                "rule": info["rule"],
+                "density": info["density"],
+                "pixels": info["pixels"],
+            },
+        ):
+            result = get_algorithm(engine)(img, connectivity)
+    else:
+        result = get_algorithm(engine)(img, connectivity)
     meta = dict(result.meta)
     meta["dispatch"] = dict(info, engine=engine)
     return dataclasses.replace(result, meta=meta)

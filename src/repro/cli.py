@@ -149,7 +149,36 @@ def build_parser() -> argparse.ArgumentParser:
         help="record phase spans + metrics during labeling and write them "
         "as trace.jsonl to PATH (also prints the phase table)",
     )
+    parser.add_argument(
+        "--profile",
+        metavar="PATH",
+        default=None,
+        help="attach the sampling profiler during labeling and write "
+        "collapsed stacks (flamegraph.pl / speedscope input, one "
+        "'phase;frame;... count' line each) to PATH",
+    )
     return parser
+
+
+def _maybe_profiler(args):
+    """The --profile context: a live sampler, or an inert null."""
+    if not args.profile:
+        import contextlib
+
+        return contextlib.nullcontext(None)
+    from .obs.runtime import SamplingProfiler
+
+    return SamplingProfiler()
+
+
+def _write_profile(args, prof) -> None:
+    if prof is None:
+        return
+    prof.write_collapsed(args.profile)
+    print(
+        f"profile -> {args.profile} ({prof.sample_count} samples; "
+        "feed to flamegraph.pl or speedscope)"
+    )
 
 
 def _load(path: pathlib.Path, level: float) -> np.ndarray:
@@ -249,19 +278,23 @@ def _run_job(args, image, in_path, out_path) -> int:
         return job, runner.run(resume=args.resume)
 
     t0 = time.perf_counter()
-    if args.trace:
-        from .obs import TraceRecorder, use_recorder, write_trace_jsonl
+    with _maybe_profiler(args) as prof:
+        if args.trace:
+            from .obs import TraceRecorder, use_recorder, write_trace_jsonl
 
-        rec = TraceRecorder()
-        with use_recorder(rec):
+            rec = TraceRecorder()
+            with use_recorder(rec):
+                job, result = build_and_run()
+            report = rec.report()
+            write_trace_jsonl(
+                report.spans, args.trace, metrics=report.metrics
+            )
+            print(report.render())
+            print(f"trace -> {args.trace}")
+        else:
             job, result = build_and_run()
-        report = rec.report()
-        write_trace_jsonl(report.spans, args.trace, metrics=report.metrics)
-        print(report.render())
-        print(f"trace -> {args.trace}")
-    else:
-        job, result = build_and_run()
     elapsed = time.perf_counter() - t0
+    _write_profile(args, prof)
     labels = result.labels
     n = result.n_components
     if args.min_area > 0:
@@ -347,18 +380,22 @@ def main(argv: list[str] | None = None) -> int:
         fn = get_algorithm(args.engine)  # auto / itequiv / coarse2fine / ...
     else:
         fn = get_algorithm(args.algorithm)
-    if args.trace:
-        from .obs import TraceRecorder, use_recorder, write_trace_jsonl
+    with _maybe_profiler(args) as prof:
+        if args.trace:
+            from .obs import TraceRecorder, use_recorder, write_trace_jsonl
 
-        rec = TraceRecorder()
-        with use_recorder(rec):
+            rec = TraceRecorder()
+            with use_recorder(rec):
+                result = fn(image, args.connectivity)
+            report = rec.report()
+            write_trace_jsonl(
+                report.spans, args.trace, metrics=report.metrics
+            )
+            print(report.render())
+            print(f"trace -> {args.trace}")
+        else:
             result = fn(image, args.connectivity)
-        report = rec.report()
-        write_trace_jsonl(report.spans, args.trace, metrics=report.metrics)
-        print(report.render())
-        print(f"trace -> {args.trace}")
-    else:
-        result = fn(image, args.connectivity)
+    _write_profile(args, prof)
     labels = result.labels
     n = result.n_components
     if args.min_area > 0:

@@ -48,6 +48,7 @@ def run_spmd(
     size: int,
     *args: Any,
     timeout: float = 120.0,
+    executor_kind: str | None = None,
     **kwargs: Any,
 ) -> list[Any]:
     """Run ``program(comm, *args, **kwargs)`` on *size* ranks.
@@ -57,7 +58,24 @@ def run_spmd(
     ranks blocked on the dead peer fail fast through the network's
     failure registry. Ranks that outlive *timeout* are cancelled and
     reported as :class:`~repro.errors.PhaseTimeoutError` failures.
+
+    ``executor_kind="threads"`` launches the ranks through the shared
+    map-executor roster (:func:`repro.parallel.backends.executor.
+    get_map_executor`) instead of hand-rolled daemon threads, so SPMD
+    runs emit the same ``executor.map`` spans and counters as every
+    other parallel path; a watchdog timer cancels the in-process
+    network at *timeout* so blocked ranks still unwind. Only
+    ``"threads"`` is valid: ``"serial"`` would deadlock the first
+    rank-to-rank receive, and ``"processes"`` cannot share the
+    in-process :class:`~repro.mp.comm.Network`. The default (``None``)
+    keeps the legacy daemon-thread path, whose hung-rank reporting the
+    resilience suite depends on.
     """
+    if executor_kind not in (None, "threads"):
+        raise ValueError(
+            "executor_kind must be None or 'threads' for in-process "
+            f"SPMD, got {executor_kind!r}"
+        )
     network = Network(size)
     results: list[Any] = [None] * size
     errors: dict[int, BaseException] = {}
@@ -71,6 +89,26 @@ def run_spmd(
             # peers blocked in a recv on this rank fail fast instead of
             # waiting out their full RECV_TIMEOUT.
             network.mark_failed(rank, exc)
+
+    if executor_kind == "threads":
+        from ..parallel.backends.executor import get_map_executor
+
+        watchdog = threading.Timer(
+            timeout,
+            lambda: network.cancel(
+                f"SPMD run exceeded the {timeout:.1f}s deadline"
+            ),
+        )
+        watchdog.daemon = True
+        watchdog.start()
+        try:
+            with get_map_executor("threads", max_workers=size) as ex:
+                ex.map(entry, range(size))
+        finally:
+            watchdog.cancel()
+        if errors:
+            raise SpmdError(dict(errors))
+        return results
 
     threads = [
         threading.Thread(target=entry, args=(r,), daemon=True, name=f"rank-{r}")

@@ -64,6 +64,7 @@ from .recorder import (
     Span,
     TraceRecorder,
     get_recorder,
+    set_phase_hook,
     set_recorder,
     use_recorder,
 )
@@ -76,6 +77,7 @@ __all__ = [
     "NULL_RECORDER",
     "get_recorder",
     "set_recorder",
+    "set_phase_hook",
     "use_recorder",
     "Counter",
     "Gauge",

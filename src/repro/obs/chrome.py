@@ -88,6 +88,11 @@ def spans_to_chrome(spans: Iterable, metrics: dict | None = None) -> dict:
         depth = int(getattr(span, "depth", 0) or 0)
         if depth:
             event["args"]["depth"] = depth
+        attrs = getattr(span, "attrs", None)
+        if attrs:
+            # span annotations (request ids, dispatch decisions) show in
+            # the viewer's args panel and round-trip via chrome_to_spans.
+            event["args"]["attrs"] = dict(attrs)
         events.append(event)
     out = {
         "traceEvents": events,
@@ -133,6 +138,7 @@ def chrome_to_spans(obj: dict) -> list[Span]:
             (ev.get("pid"), ev.get("tid")), f"tid {ev.get('tid')}"
         )
         start = t0 + float(ev["ts"]) / 1e6
+        attrs = args.get("attrs")
         spans.append(
             Span(
                 lane=lane,
@@ -140,6 +146,7 @@ def chrome_to_spans(obj: dict) -> list[Span]:
                 start=start,
                 stop=start + float(ev.get("dur", 0.0)) / 1e6,
                 depth=int(args.get("depth", 0)),
+                attrs=dict(attrs) if isinstance(attrs, dict) else None,
             )
         )
     return spans

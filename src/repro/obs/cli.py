@@ -1,6 +1,6 @@
 """``repro-obs`` — interrogate traces and the perf history from the shell.
 
-Four subcommands turn the observability layer's raw material into
+Five subcommands turn the observability layer's raw material into
 answers::
 
     repro-obs analyze trace.jsonl            # speedup decomposition
@@ -9,10 +9,15 @@ answers::
     repro-obs export-chrome trace.jsonl -o trace.json   # chrome://tracing
     repro-obs history --dir benchmarks/history          # list records
     repro-obs compare baseline.json new.json            # regression gate
+    repro-obs top http://127.0.0.1:9200      # live /metrics snapshot
 
 ``compare`` exits nonzero on regression; ``--warn-only`` keeps soft
 regressions advisory (shared CI runners) while per-phase blowups past
-``--hard-threshold`` stay fatal.
+``--hard-threshold`` stay fatal. ``top`` scrapes a running service's
+``/metrics`` endpoint (:mod:`repro.obs.runtime.server`) and renders
+the service families — latency quantiles, queue depth, rejections,
+SLO breaches — once or on an interval, like a one-file ``htop`` for
+the labeling service.
 """
 
 from __future__ import annotations
@@ -220,6 +225,97 @@ def _cmd_compare(args) -> int:
     return 1
 
 
+def _fetch_metrics(url: str, timeout: float) -> dict[str, dict[str, float]]:
+    """Scrape *url* (``/metrics`` appended if missing) and parse it."""
+    import urllib.request
+
+    from .runtime.aggregator import parse_prometheus_text
+
+    if not url.startswith(("http://", "https://")):
+        url = "http://" + url
+    if not url.rstrip("/").endswith("/metrics"):
+        url = url.rstrip("/") + "/metrics"
+    with urllib.request.urlopen(url, timeout=timeout) as resp:
+        text = resp.read().decode("utf-8")
+    return parse_prometheus_text(text)
+
+
+def _render_top(metrics: dict[str, dict[str, float]]) -> str:
+    """One snapshot frame: service families first, the rest after."""
+    lines = []
+
+    def row(label: str, value) -> None:
+        lines.append(f"  {label:<40s} {value}")
+
+    def fam(name: str) -> dict[str, float]:
+        return metrics.get(name, {})
+
+    lat = fam("service_latency_ms")
+    if lat:
+        lines.append("latency (rolling window)")
+        for labels_text in sorted(lat):
+            if "quantile" in labels_text:
+                q = labels_text.split('"')[1]
+                row(f"p{float(q) * 100:g}", f"{lat[labels_text]:10.3f} ms")
+        count = fam("service_latency_ms_count").get("", 0)
+        row("window samples", f"{count:10.0f}")
+    lines.append("occupancy")
+    for label, name in (
+        ("queue depth", "service_queue_depth"),
+        ("in flight", "service_inflight"),
+        ("pool respawns", "service_pool_respawns"),
+        ("degraded (forced)", "service_degraded"),
+    ):
+        series = fam(name)
+        if series:
+            row(label, f"{series.get('', 0):10.0f}")
+    lines.append("traffic")
+    for label, name in (
+        ("requests", "service_requests_total"),
+        ("batches", "service_batches_total"),
+        ("batch failures", "service_batch_failed_total"),
+    ):
+        series = fam(name)
+        if series:
+            row(label, f"{sum(series.values()):10.0f}")
+    for name, header in (
+        ("service_rejected_total", "rejections"),
+        ("service_degraded_batches_total", "degraded batches"),
+        ("slo_breaches_total", "slo breaches"),
+    ):
+        series = fam(name)
+        if series:
+            lines.append(header)
+            for labels_text in sorted(series):
+                row(labels_text or "(total)",
+                    f"{series[labels_text]:10.0f}")
+    return "\n".join(lines)
+
+
+def _cmd_top(args) -> int:
+    import time as _time
+    import urllib.error
+
+    remaining = args.count
+    while True:
+        try:
+            metrics = _fetch_metrics(args.url, args.timeout)
+        except (urllib.error.URLError, OSError) as exc:
+            raise SystemExit(
+                f"error: could not scrape {args.url!r}: {exc}"
+            ) from None
+        print(f"== {args.url} ==")
+        print(_render_top(metrics))
+        if remaining is not None:
+            remaining -= 1
+            if remaining <= 0:
+                return 0
+        if args.interval <= 0:
+            return 0
+        print()
+        _time.sleep(args.interval)
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-obs",
@@ -318,6 +414,29 @@ def build_parser() -> argparse.ArgumentParser:
     p_compare.add_argument("--json", action="store_true",
                            help="machine-readable output")
     p_compare.set_defaults(fn=_cmd_compare)
+
+    p_top = sub.add_parser(
+        "top",
+        help="scrape a live /metrics endpoint and render a service "
+        "snapshot (latency quantiles, queue depth, rejections, SLOs)",
+    )
+    p_top.add_argument(
+        "url",
+        help="endpoint base or full /metrics URL "
+        "(e.g. http://127.0.0.1:9200)",
+    )
+    p_top.add_argument(
+        "--interval", type=float, default=0.0,
+        help="refresh every N seconds (default: print once and exit)",
+    )
+    p_top.add_argument(
+        "--count", type=int, default=None,
+        help="stop after N snapshots (default: once, or forever "
+        "with --interval)",
+    )
+    p_top.add_argument("--timeout", type=float, default=5.0,
+                       help="per-scrape HTTP timeout (default 5s)")
+    p_top.set_defaults(fn=_cmd_top)
     return parser
 
 

@@ -62,6 +62,9 @@ def span_to_dict(span) -> dict:
     depth = getattr(span, "depth", None)
     if depth:
         out["depth"] = int(depth)
+    attrs = getattr(span, "attrs", None)
+    if attrs:
+        out["attrs"] = dict(attrs)
     return out
 
 
@@ -160,6 +163,7 @@ def read_trace(path) -> TraceFile:
             raise ValueError(
                 f"trace line missing span fields {missing}: {obj!r}"
             )
+        attrs = obj.get("attrs")
         spans.append(
             Span(
                 lane=obj["lane"],
@@ -167,6 +171,7 @@ def read_trace(path) -> TraceFile:
                 start=float(obj["start"]),
                 stop=float(obj["stop"]),
                 depth=int(obj.get("depth", 0)),
+                attrs=dict(attrs) if isinstance(attrs, dict) else None,
             )
         )
     return TraceFile(

@@ -33,10 +33,20 @@ Instrumented code obtains the ambient recorder with
 from __future__ import annotations
 
 import contextlib
+import contextvars
 import dataclasses
 import threading
 import time
-from typing import Iterator
+from typing import Iterator, Mapping
+
+#: the ambient request id (see :mod:`repro.obs.runtime.context`): when
+#: set, every span recorded on that thread/context is auto-annotated
+#: with ``attrs["request_id"]`` so cross-process traces stitch. Lives
+#: here (not in the runtime package) so :meth:`TraceRecorder.add_span`
+#: can read it without an import cycle.
+_REQUEST_ID: contextvars.ContextVar = contextvars.ContextVar(
+    "repro_request_id", default=None
+)
 
 from .metrics import MetricsRegistry
 
@@ -49,10 +59,11 @@ __all__ = [
     "get_recorder",
     "set_recorder",
     "use_recorder",
+    "set_phase_hook",
 ]
 
 
-@dataclasses.dataclass(frozen=True)
+@dataclasses.dataclass(frozen=True, eq=True)
 class Span:
     """One timed activity of one lane.
 
@@ -60,6 +71,9 @@ class Span:
     on Linux comparable across forked processes, which is how the
     process backend's worker spans line up with the coordinator's).
     ``depth`` is the nesting level at record time (0 = top level).
+    ``attrs`` carries optional key/value annotations (request ids,
+    dispatch decisions, tenant names) that survive the jsonl and
+    chrome export round-trips; ``None`` means no annotations.
     """
 
     lane: str
@@ -67,6 +81,7 @@ class Span:
     start: float
     stop: float
     depth: int = 0
+    attrs: Mapping | None = None
 
     @property
     def duration(self) -> float:
@@ -100,7 +115,12 @@ class NullRecorder:
 
     enabled = False
 
-    def span(self, phase: str, lane: str | None = None) -> _NullSpan:
+    def span(
+        self,
+        phase: str,
+        lane: str | None = None,
+        attrs: Mapping | None = None,
+    ) -> _NullSpan:
         return _NULL_SPAN
 
     def add_span(
@@ -110,6 +130,7 @@ class NullRecorder:
         start: float,
         stop: float,
         depth: int = 0,
+        attrs: Mapping | None = None,
     ) -> None:
         return None
 
@@ -150,32 +171,64 @@ def _default_lane() -> str:
     return "main" if name == "MainThread" else name
 
 
+#: the sampling profiler's phase hook: ``hook(phase, entering)`` is
+#: called from the thread entering/leaving a span so samples can be
+#: attributed per phase. ``None`` (the default) costs one global read
+#: and a ``None`` check per *phase* — never per pixel.
+_PHASE_HOOK = None
+
+
+def set_phase_hook(hook):
+    """Install (or clear, with ``None``) the per-phase profiler hook.
+
+    Returns the previous hook so callers can restore it. The hook is
+    ``hook(phase: str, entering: bool)``, invoked on the thread that
+    runs the phase; see :class:`repro.obs.runtime.SamplingProfiler`.
+    """
+    global _PHASE_HOOK
+    previous = _PHASE_HOOK
+    _PHASE_HOOK = hook
+    return previous
+
+
 class _SpanCtx:
     """Context manager produced by :meth:`TraceRecorder.span`."""
 
-    __slots__ = ("_rec", "phase", "lane", "start")
+    __slots__ = ("_rec", "phase", "lane", "start", "attrs")
 
     def __init__(
-        self, rec: "TraceRecorder", phase: str, lane: str | None
+        self,
+        rec: "TraceRecorder",
+        phase: str,
+        lane: str | None,
+        attrs: Mapping | None = None,
     ) -> None:
         self._rec = rec
         self.phase = phase
         self.lane = lane
+        self.attrs = attrs
         self.start = 0.0
 
     def __enter__(self) -> "_SpanCtx":
         _span_stack().append(self)
+        hook = _PHASE_HOOK
+        if hook is not None:
+            hook(self.phase, True)
         self.start = self._rec._clock()
         return self
 
     def __exit__(self, *exc) -> bool:
         stop = self._rec._clock()
+        hook = _PHASE_HOOK
+        if hook is not None:
+            hook(self.phase, False)
         stack = _span_stack()
         depth = len(stack) - 1
         if stack and stack[-1] is self:
             stack.pop()
         self._rec.add_span(
-            self.lane or _default_lane(), self.phase, self.start, stop, depth
+            self.lane or _default_lane(), self.phase, self.start, stop,
+            depth, self.attrs,
         )
         return False
 
@@ -193,9 +246,14 @@ class TraceRecorder:
 
     # -- spans -----------------------------------------------------------
 
-    def span(self, phase: str, lane: str | None = None) -> _SpanCtx:
+    def span(
+        self,
+        phase: str,
+        lane: str | None = None,
+        attrs: Mapping | None = None,
+    ) -> _SpanCtx:
         """Context manager timing one activity; nests per thread."""
-        return _SpanCtx(self, phase, lane)
+        return _SpanCtx(self, phase, lane, attrs)
 
     def add_span(
         self,
@@ -204,11 +262,15 @@ class TraceRecorder:
         start: float,
         stop: float,
         depth: int = 0,
+        attrs: Mapping | None = None,
     ) -> None:
         """Record an externally-measured interval (e.g. reported by a
         forked worker through shared memory)."""
+        rid = _REQUEST_ID.get()
+        if rid is not None and (attrs is None or "request_id" not in attrs):
+            attrs = dict(attrs or (), request_id=rid)
         span = Span(lane=lane, phase=phase, start=start, stop=stop,
-                    depth=depth)
+                    depth=depth, attrs=attrs)
         with self._lock:
             self._spans.append(span)
 
@@ -294,11 +356,16 @@ class PhaseTimer:
 
     @contextlib.contextmanager
     def time(self, phase: str) -> Iterator[None]:
+        hook = _PHASE_HOOK
+        if hook is not None:
+            hook(phase, True)
         start = time.perf_counter()
         try:
             yield
         finally:
             stop = time.perf_counter()
+            if hook is not None:
+                hook(phase, False)
             self.seconds[phase] = (
                 self.seconds.get(phase, 0.0) + stop - start
             )

@@ -1,0 +1,59 @@
+"""``repro.obs.runtime`` — live telemetry for the long-running system.
+
+The recording substrate (:mod:`repro.obs`) is post-hoc: spans and
+metrics accumulate and are analyzed after the run. This package is the
+*live* half a service needs (ROADMAP item 1 follow-ups):
+
+* :mod:`~repro.obs.runtime.context` — request ids minted at service
+  admission and propagated across the fork boundary into worker and
+  engine-phase spans, so one request stitches into one multi-lane
+  trace in the chrome exporter;
+* :mod:`~repro.obs.runtime.aggregator` — rolling-window histograms,
+  labelled counters and gauges with Prometheus text exposition;
+* :mod:`~repro.obs.runtime.server` — stdlib-HTTP ``/metrics`` +
+  ``/healthz`` + ``/readyz``;
+* :mod:`~repro.obs.runtime.profiler` — a sampling thread-stack
+  profiler emitting collapsed-stack (flamegraph) output per engine
+  phase, zero-thread when detached;
+* :mod:`~repro.obs.runtime.slo` — declarative SLO monitors evaluated
+  over the rolling windows, emitting ``slo.breach`` counters and
+  optionally triggering the
+  :class:`~repro.faults.DegradationPolicy` ladder.
+
+See the "Runtime telemetry" section of ``docs/OBSERVABILITY.md``.
+"""
+
+from .aggregator import (
+    RollingWindow,
+    RuntimeAggregator,
+    parse_prometheus_text,
+    prom_name,
+)
+from .context import (
+    current_request_id,
+    new_request_id,
+    request_context,
+    set_request_id,
+)
+from .profiler import SamplingProfiler
+from .server import MetricsServer, serve_service_metrics
+from .slo import SLO, SLOBreach, SLOMonitor, degradation_trigger, load_slos
+
+__all__ = [
+    "RollingWindow",
+    "RuntimeAggregator",
+    "parse_prometheus_text",
+    "prom_name",
+    "new_request_id",
+    "current_request_id",
+    "set_request_id",
+    "request_context",
+    "SamplingProfiler",
+    "MetricsServer",
+    "serve_service_metrics",
+    "SLO",
+    "SLOBreach",
+    "SLOMonitor",
+    "load_slos",
+    "degradation_trigger",
+]

@@ -1,0 +1,332 @@
+"""Runtime metric aggregation: rolling windows + Prometheus exposition.
+
+The :class:`~repro.obs.metrics.MetricsRegistry` records a run's final
+counters and gauges; a *live* service needs the complementary shape —
+metrics that can be scraped mid-run and that forget old traffic. A
+:class:`RuntimeAggregator` holds three instrument kinds, all
+thread-safe and created on first touch:
+
+* **counters** — monotonic totals, optionally labelled
+  (``inc("slo.breaches", labels={"slo": "latency_p99"})``);
+* **gauges** — last-written values (queue depth, in-flight requests);
+* **windows** — rolling time-window samples
+  (``observe("service.latency_ms", 3.2)``) from which quantiles,
+  counts and sums are computed over the last ``window_seconds`` only,
+  so a scrape reflects *current* behaviour, not the whole run.
+
+:meth:`RuntimeAggregator.render_prometheus` serialises everything in
+the Prometheus text exposition format (version 0.0.4): dotted names
+become underscore names, counters gain the ``_total`` suffix, windows
+render as summaries with ``quantile`` labels plus ``_count``/``_sum``.
+:func:`parse_prometheus_text` reads that format back (used by
+``repro-obs top`` and the metrics smoke gate).
+"""
+
+from __future__ import annotations
+
+import collections
+import threading
+import time
+from typing import Iterable, Mapping
+
+__all__ = [
+    "RollingWindow",
+    "RuntimeAggregator",
+    "prom_name",
+    "parse_prometheus_text",
+]
+
+#: quantiles every window exposes in /metrics (the SLO trio).
+DEFAULT_QUANTILES = (0.5, 0.95, 0.99)
+
+_LabelKey = tuple  # sorted ((k, v), ...) pairs
+
+
+def _label_key(labels: Mapping | None) -> _LabelKey:
+    if not labels:
+        return ()
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+def _label_text(key: _LabelKey, extra: str = "") -> str:
+    parts = [f'{k}="{v}"' for k, v in key]
+    if extra:
+        parts.append(extra)
+    return "{" + ",".join(parts) + "}" if parts else ""
+
+
+def prom_name(name: str) -> str:
+    """Sanitise a dotted instrument name for Prometheus exposition.
+
+    >>> prom_name("service.latency_ms")
+    'service_latency_ms'
+    """
+    out = "".join(
+        ch if (ch.isalnum() or ch == "_") else "_" for ch in name
+    )
+    if not out or out[0].isdigit():
+        out = "_" + out
+    return out
+
+
+class RollingWindow:
+    """Time-bounded sample buffer with quantile readout.
+
+    Samples older than ``window_seconds`` are evicted lazily on the
+    next observe/read, so an idle window decays to empty — a scrape
+    after a traffic burst reports the burst only while it is recent.
+
+    >>> w = RollingWindow(window_seconds=60.0)
+    >>> for v in (1.0, 2.0, 3.0, 4.0):
+    ...     w.observe(v)
+    >>> w.quantile(0.5)
+    3.0
+    >>> w.count
+    4
+    """
+
+    __slots__ = ("window_seconds", "max_samples", "_samples", "_lock")
+
+    def __init__(
+        self, window_seconds: float = 60.0, max_samples: int = 4096
+    ) -> None:
+        if window_seconds <= 0:
+            raise ValueError(
+                f"window_seconds must be > 0, got {window_seconds}"
+            )
+        self.window_seconds = float(window_seconds)
+        self.max_samples = int(max_samples)
+        self._samples: collections.deque = collections.deque(
+            maxlen=self.max_samples
+        )
+        self._lock = threading.Lock()
+
+    def _evict(self, now: float) -> None:
+        horizon = now - self.window_seconds
+        samples = self._samples
+        while samples and samples[0][0] < horizon:
+            samples.popleft()
+
+    def observe(self, value: float, now: float | None = None) -> None:
+        now = time.monotonic() if now is None else now
+        with self._lock:
+            self._evict(now)
+            self._samples.append((now, float(value)))
+
+    def values(self, now: float | None = None) -> list[float]:
+        now = time.monotonic() if now is None else now
+        with self._lock:
+            self._evict(now)
+            return [v for _, v in self._samples]
+
+    @property
+    def count(self) -> int:
+        return len(self.values())
+
+    def quantile(self, q: float, now: float | None = None) -> float:
+        """Nearest-rank quantile of the live samples (0.0 if empty)."""
+        values = sorted(self.values(now))
+        if not values:
+            return 0.0
+        rank = min(
+            len(values) - 1, max(0, int(round(q * (len(values) - 1))))
+        )
+        return values[rank]
+
+
+class RuntimeAggregator:
+    """Thread-safe live-metric store behind ``/metrics``.
+
+    >>> agg = RuntimeAggregator()
+    >>> agg.inc("service.requests")
+    >>> agg.set_gauge("service.queue_depth", 3)
+    >>> agg.observe("service.latency_ms", 1.5)
+    >>> "service_requests_total 1" in agg.render_prometheus()
+    True
+    """
+
+    def __init__(
+        self,
+        window_seconds: float = 60.0,
+        quantiles: Iterable[float] = DEFAULT_QUANTILES,
+    ) -> None:
+        self.window_seconds = float(window_seconds)
+        self.quantiles = tuple(quantiles)
+        self._lock = threading.Lock()
+        self._counters: dict[str, dict[_LabelKey, float]] = {}
+        self._gauges: dict[str, dict[_LabelKey, float]] = {}
+        self._windows: dict[str, RollingWindow] = {}
+
+    # -- write side ------------------------------------------------------
+
+    def inc(
+        self, name: str, n: float = 1, labels: Mapping | None = None
+    ) -> None:
+        if n < 0:
+            raise ValueError(f"counter {name!r} cannot decrease")
+        key = _label_key(labels)
+        with self._lock:
+            series = self._counters.setdefault(name, {})
+            series[key] = series.get(key, 0) + n
+
+    def set_gauge(
+        self, name: str, value: float, labels: Mapping | None = None
+    ) -> None:
+        key = _label_key(labels)
+        with self._lock:
+            self._gauges.setdefault(name, {})[key] = float(value)
+
+    def observe(self, name: str, value: float) -> None:
+        self.window(name).observe(value)
+
+    def window(self, name: str) -> RollingWindow:
+        with self._lock:
+            win = self._windows.get(name)
+            if win is None:
+                win = self._windows[name] = RollingWindow(
+                    self.window_seconds
+                )
+        return win
+
+    # -- read side -------------------------------------------------------
+
+    def counter_value(
+        self, name: str, labels: Mapping | None = None
+    ) -> float:
+        """One labelled series' total, or the sum over all series."""
+        with self._lock:
+            series = self._counters.get(name, {})
+            if labels is None:
+                return sum(series.values())
+            return series.get(_label_key(labels), 0)
+
+    def gauge_value(self, name: str, default: float = 0.0) -> float:
+        with self._lock:
+            series = self._gauges.get(name, {})
+            return series.get((), default) if series else default
+
+    def has_gauge(self, name: str) -> bool:
+        with self._lock:
+            return name in self._gauges
+
+    def quantile(self, name: str, q: float) -> float:
+        with self._lock:
+            win = self._windows.get(name)
+        return win.quantile(q) if win is not None else 0.0
+
+    def snapshot(self) -> dict:
+        """Plain-data view (the ``repro-obs top`` / healthz payload)."""
+        with self._lock:
+            counters = {
+                name: {
+                    _label_text(key) or "": value
+                    for key, value in series.items()
+                }
+                for name, series in sorted(self._counters.items())
+            }
+            gauges = {
+                name: {
+                    _label_text(key) or "": value
+                    for key, value in series.items()
+                }
+                for name, series in sorted(self._gauges.items())
+            }
+            windows = dict(self._windows)
+        window_stats = {}
+        for name, win in sorted(windows.items()):
+            values = win.values()
+            window_stats[name] = {
+                "count": len(values),
+                "sum": sum(values),
+                "quantiles": {
+                    str(q): win.quantile(q) for q in self.quantiles
+                },
+            }
+        return {
+            "counters": counters,
+            "gauges": gauges,
+            "windows": window_stats,
+        }
+
+    def render_prometheus(self) -> str:
+        """Serialise everything as Prometheus text format 0.0.4."""
+        with self._lock:
+            counters = {
+                name: dict(series)
+                for name, series in sorted(self._counters.items())
+            }
+            gauges = {
+                name: dict(series)
+                for name, series in sorted(self._gauges.items())
+            }
+            windows = dict(sorted(self._windows.items()))
+        lines: list[str] = []
+        for name, series in counters.items():
+            metric = prom_name(name) + "_total"
+            lines.append(f"# HELP {metric} Counter {name}")
+            lines.append(f"# TYPE {metric} counter")
+            for key, value in sorted(series.items()):
+                lines.append(f"{metric}{_label_text(key)} {value:g}")
+        for name, series in gauges.items():
+            metric = prom_name(name)
+            lines.append(f"# HELP {metric} Gauge {name}")
+            lines.append(f"# TYPE {metric} gauge")
+            for key, value in sorted(series.items()):
+                lines.append(f"{metric}{_label_text(key)} {value:g}")
+        for name, win in windows.items():
+            metric = prom_name(name)
+            values = win.values()
+            lines.append(
+                f"# HELP {metric} Rolling {win.window_seconds:g}s "
+                f"window of {name}"
+            )
+            lines.append(f"# TYPE {metric} summary")
+            for q in self.quantiles:
+                lines.append(
+                    f'{metric}{{quantile="{q:g}"}} {win.quantile(q):g}'
+                )
+            lines.append(f"{metric}_sum {sum(values):g}")
+            lines.append(f"{metric}_count {len(values)}")
+        return "\n".join(lines) + "\n"
+
+
+def parse_prometheus_text(text: str) -> dict[str, dict[str, float]]:
+    """Parse exposition text into ``{metric: {labels_text: value}}``.
+
+    The inverse of :meth:`RuntimeAggregator.render_prometheus`, close
+    enough for the smoke gate and ``repro-obs top``: comment/blank
+    lines are skipped, each sample line is ``name{labels} value`` or
+    ``name value``. Malformed sample lines raise :class:`ValueError`
+    (the smoke gate *wants* format drift to be loud).
+    """
+    out: dict[str, dict[str, float]] = {}
+    for lineno, raw in enumerate(text.splitlines(), 1):
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        name_part, _, value_part = line.rpartition(" ")
+        if not name_part:
+            raise ValueError(f"line {lineno}: no value in {raw!r}")
+        try:
+            value = float(value_part)
+        except ValueError:
+            raise ValueError(
+                f"line {lineno}: bad sample value in {raw!r}"
+            ) from None
+        labels = ""
+        metric = name_part.strip()
+        if "{" in metric:
+            metric, _, rest = metric.partition("{")
+            if not rest.endswith("}"):
+                raise ValueError(
+                    f"line {lineno}: unterminated labels in {raw!r}"
+                )
+            labels = "{" + rest
+        if not metric or not (
+            metric[0].isalpha() or metric[0] == "_"
+        ) or not all(ch.isalnum() or ch in "_:" for ch in metric):
+            raise ValueError(
+                f"line {lineno}: bad metric name {metric!r}"
+            )
+        out.setdefault(metric, {})[labels] = value
+    return out

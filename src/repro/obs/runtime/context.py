@@ -1,0 +1,74 @@
+"""Cross-process request identity: mint, propagate, stitch.
+
+A request id is minted once, at :meth:`repro.service.LabelService.submit`
+admission, and travels with the request everywhere it executes:
+
+* on the **front end** it annotates the admission/request spans
+  (``attrs["request_id"]``);
+* across the **fork boundary** it rides the warm-pool pipe protocol
+  (a few bytes per item — see :mod:`repro.service.pool`), so the spans
+  a worker records for that request carry the same id;
+* inside **engine phases** it is attached automatically: while a
+  :func:`request_context` is active on a thread, every span that
+  thread records is annotated (see ``TraceRecorder.add_span``).
+
+The id format is ``"<pid-hex>-<seq>"`` — unique within a service
+lifetime, cheap to mint (no UUID machinery), and obviously greppable
+in a chrome export.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import itertools
+import os
+from typing import Iterator
+
+from ..recorder import _REQUEST_ID
+
+__all__ = [
+    "new_request_id",
+    "current_request_id",
+    "set_request_id",
+    "request_context",
+]
+
+_SEQ = itertools.count(1)
+
+
+def new_request_id(prefix: str | None = None) -> str:
+    """Mint a fresh request id, unique within this process.
+
+    >>> a, b = new_request_id(), new_request_id()
+    >>> a != b
+    True
+    """
+    head = prefix if prefix is not None else f"{os.getpid():x}"
+    return f"{head}-{next(_SEQ):06d}"
+
+
+def current_request_id() -> str | None:
+    """The ambient request id on this thread/context (or ``None``)."""
+    return _REQUEST_ID.get()
+
+
+def set_request_id(request_id: str | None):
+    """Install *request_id* as the ambient id; returns a reset token."""
+    return _REQUEST_ID.set(request_id)
+
+
+@contextlib.contextmanager
+def request_context(request_id: str | None) -> Iterator[str | None]:
+    """Scoped ambient request id: spans recorded inside are annotated.
+
+    >>> with request_context("abc-000001") as rid:
+    ...     current_request_id() == rid
+    True
+    >>> current_request_id() is None
+    True
+    """
+    token = _REQUEST_ID.set(request_id)
+    try:
+        yield request_id
+    finally:
+        _REQUEST_ID.reset(token)

@@ -1,0 +1,171 @@
+"""Stdlib-HTTP exposition: ``/metrics``, ``/healthz``, ``/readyz``.
+
+A :class:`MetricsServer` binds a :class:`ThreadingHTTPServer` on a
+daemon thread and serves three endpoints:
+
+* ``/metrics`` — the aggregator's Prometheus text exposition
+  (content type ``text/plain; version=0.0.4``), scrapeable mid-run;
+* ``/healthz`` — liveness: always ``200`` with a JSON snapshot of the
+  aggregator while the server is up (a hung service still answers —
+  liveness is about the process, readiness about the service);
+* ``/readyz`` — readiness: ``200 ready`` while the optional
+  ``ready_check`` callable returns truthy, ``503 draining`` otherwise
+  (a draining :class:`~repro.service.LabelService` flips this before
+  it stops answering, the standard rolling-restart contract).
+
+The server holds only callables and an aggregator — it never imports
+the service layer, so ``repro.obs`` stays import-cycle-free; use
+:func:`serve_service_metrics` to wire a running ``LabelService`` up by
+duck type.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+from .aggregator import RuntimeAggregator
+
+__all__ = ["MetricsServer", "serve_service_metrics"]
+
+#: the Prometheus text exposition content type.
+PROM_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+
+class _Handler(BaseHTTPRequestHandler):
+    server_version = "repro-metrics/1"
+
+    def _send(self, status: int, body: str, content_type: str) -> None:
+        payload = body.encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(payload)))
+        self.end_headers()
+        self.wfile.write(payload)
+
+    def do_GET(self) -> None:  # noqa: N802 - http.server API
+        owner: "MetricsServer" = self.server.owner  # type: ignore[attr-defined]
+        path = self.path.split("?", 1)[0]
+        try:
+            if path == "/metrics":
+                self._send(
+                    200, owner.render_metrics(), PROM_CONTENT_TYPE
+                )
+            elif path == "/healthz":
+                self._send(
+                    200,
+                    json.dumps(
+                        {"status": "ok",
+                         "metrics": owner.runtime.snapshot()}
+                    ) + "\n",
+                    "application/json",
+                )
+            elif path == "/readyz":
+                if owner.ready():
+                    self._send(200, "ready\n", "text/plain")
+                else:
+                    self._send(503, "draining\n", "text/plain")
+            else:
+                self._send(404, "not found\n", "text/plain")
+        except BrokenPipeError:  # pragma: no cover - client went away
+            pass
+
+    def log_message(self, *args) -> None:  # silence per-request stderr
+        pass
+
+
+class MetricsServer:
+    """Serve an aggregator's live metrics over HTTP.
+
+    ``port=0`` (the default) binds an ephemeral port — read it back
+    from :attr:`port` / :attr:`url`. ``collect`` callables run before
+    every ``/metrics`` render so pull-only values (pool respawn
+    counts, queue depth) are fresh at scrape time without a publisher
+    thread.
+
+    >>> agg = RuntimeAggregator()
+    >>> agg.inc("demo.requests")
+    >>> with MetricsServer(agg) as srv:
+    ...     import urllib.request
+    ...     body = urllib.request.urlopen(srv.url + "/metrics").read()
+    >>> b"demo_requests_total 1" in body
+    True
+    """
+
+    def __init__(
+        self,
+        runtime: RuntimeAggregator,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        ready_check=None,
+        collect=(),
+    ) -> None:
+        self.runtime = runtime
+        self._ready_check = ready_check
+        self._collect = tuple(collect)
+        self._httpd = ThreadingHTTPServer((host, port), _Handler)
+        self._httpd.daemon_threads = True
+        self._httpd.owner = self  # type: ignore[attr-defined]
+        self.host, self.port = self._httpd.server_address[:2]
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever,
+            name="repro-metrics-server",
+            daemon=True,
+        )
+        self._thread.start()
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    def ready(self) -> bool:
+        if self._ready_check is None:
+            return True
+        try:
+            return bool(self._ready_check())
+        except Exception:  # pragma: no cover - broken probe = not ready
+            return False
+
+    def render_metrics(self) -> str:
+        for fn in self._collect:
+            try:
+                fn()
+            except Exception:  # pragma: no cover - stale beats down
+                pass
+        return self.runtime.render_prometheus()
+
+    def close(self) -> None:
+        """Stop serving; idempotent."""
+        httpd, self._httpd = self._httpd, None
+        if httpd is None:
+            return
+        httpd.shutdown()
+        httpd.server_close()
+        self._thread.join(timeout=5.0)
+
+    def __enter__(self) -> "MetricsServer":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        self.close()
+        return False
+
+
+def serve_service_metrics(
+    service, host: str = "127.0.0.1", port: int = 0
+) -> MetricsServer:
+    """Expose a :class:`~repro.service.LabelService`'s live telemetry.
+
+    Duck-typed on the service's ``runtime`` aggregator,
+    ``publish_runtime()`` refresher and ``state`` attribute, so the obs
+    layer needs no import of the service package. Readiness flips to
+    503 the moment the service starts draining.
+    """
+    return MetricsServer(
+        service.runtime,
+        host=host,
+        port=port,
+        ready_check=lambda: service.state == "running",
+        collect=(service.publish_runtime,),
+    )

@@ -1,0 +1,252 @@
+"""Declarative SLO monitors over the runtime rolling windows.
+
+An :class:`SLO` names one objective as data: *which* instrument to
+read (a rolling-window quantile, a gauge, or a counter total), the
+*threshold* it must stay at or under, and how many window samples the
+verdict needs before it counts (``min_samples`` — an empty window is
+never a breach). A :class:`SLOMonitor` evaluates a set of SLOs over a
+:class:`~repro.obs.runtime.aggregator.RuntimeAggregator`:
+
+* every breach increments the ``slo.breaches`` counter (labelled
+  ``{slo="<name>"}``) in the same aggregator, so ``/metrics`` exposes
+  the ``slo_*`` family next to the signals it judges;
+* a breach also lands on the ambient trace recorder
+  (``slo.breach`` counter) when tracing is enabled;
+* ``on_breach`` callbacks fire per breach — the hook that lets an SLO
+  drive the existing :class:`~repro.faults.DegradationPolicy` ladder
+  (see :func:`degradation_trigger` and
+  :meth:`repro.service.LabelService.force_degraded`).
+
+Monitors are declarative enough to live in JSON config::
+
+    [{"name": "p99-under-50ms", "metric": "service.latency_ms",
+      "quantile": 0.99, "max_value": 50.0}]
+
+loaded with :func:`load_slos`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import threading
+import time
+from typing import Callable, Iterable, Mapping, Sequence
+
+from ..recorder import get_recorder
+from .aggregator import RuntimeAggregator
+
+__all__ = [
+    "SLO",
+    "SLOBreach",
+    "SLOMonitor",
+    "load_slos",
+    "degradation_trigger",
+]
+
+
+@dataclasses.dataclass(frozen=True)
+class SLO:
+    """One objective: ``read(metric) <= max_value``.
+
+    ``quantile`` selects the instrument kind: a float reads that
+    quantile of the metric's rolling window; ``None`` reads the gauge
+    of that name if one exists, else the counter total — so queue
+    depth, respawn and rejection objectives need no special casing.
+    """
+
+    name: str
+    metric: str
+    max_value: float
+    quantile: float | None = None
+    min_samples: int = 1
+
+    def __post_init__(self) -> None:
+        if self.quantile is not None and not (
+            0.0 <= self.quantile <= 1.0
+        ):
+            raise ValueError(
+                f"SLO {self.name!r}: quantile must be in [0, 1], "
+                f"got {self.quantile}"
+            )
+        if self.min_samples < 1:
+            raise ValueError(
+                f"SLO {self.name!r}: min_samples must be >= 1"
+            )
+
+    @classmethod
+    def from_dict(cls, obj: Mapping) -> "SLO":
+        try:
+            return cls(
+                name=str(obj["name"]),
+                metric=str(obj["metric"]),
+                max_value=float(obj["max_value"]),
+                quantile=(
+                    None if obj.get("quantile") is None
+                    else float(obj["quantile"])
+                ),
+                min_samples=int(obj.get("min_samples", 1)),
+            )
+        except KeyError as exc:
+            raise ValueError(
+                f"SLO config missing required key {exc.args[0]!r}: "
+                f"{dict(obj)!r}"
+            ) from None
+
+    def as_dict(self) -> dict:
+        return dataclasses.asdict(self)
+
+
+@dataclasses.dataclass(frozen=True)
+class SLOBreach:
+    """One observed violation: what was read vs what was promised."""
+
+    slo: SLO
+    observed: float
+    at_monotonic: float
+
+    def describe(self) -> str:
+        kind = (
+            f"q{self.slo.quantile:g}" if self.slo.quantile is not None
+            else "value"
+        )
+        return (
+            f"SLO {self.slo.name!r} breached: {self.slo.metric} "
+            f"{kind}={self.observed:g} > {self.slo.max_value:g}"
+        )
+
+
+def load_slos(source) -> list[SLO]:
+    """Parse SLOs from a JSON file path, JSON text, or dict sequence."""
+    if isinstance(source, (list, tuple)):
+        objs = source
+    else:
+        text = str(source)
+        if text.lstrip().startswith("["):
+            objs = json.loads(text)
+        else:
+            with open(text) as fh:
+                objs = json.load(fh)
+        if not isinstance(objs, list):
+            raise ValueError(
+                "SLO config must be a JSON list of objects"
+            )
+    return [
+        slo if isinstance(slo, SLO) else SLO.from_dict(slo)
+        for slo in objs
+    ]
+
+
+class SLOMonitor:
+    """Evaluate declarative SLOs over a runtime aggregator.
+
+    >>> agg = RuntimeAggregator()
+    >>> mon = SLOMonitor(
+    ...     [SLO("shallow-queue", "service.queue_depth", 4.0)], agg)
+    >>> agg.set_gauge("service.queue_depth", 9)
+    >>> [b.slo.name for b in mon.evaluate()]
+    ['shallow-queue']
+    >>> agg.counter_value("slo.breaches")
+    1
+    """
+
+    def __init__(
+        self,
+        slos: Iterable[SLO | Mapping],
+        runtime: RuntimeAggregator,
+        recorder=None,
+        on_breach: Sequence[Callable[[SLOBreach], None]] = (),
+    ) -> None:
+        self.slos = load_slos(list(slos))
+        self.runtime = runtime
+        self._rec = recorder
+        self.on_breach = tuple(on_breach)
+        self._thread: threading.Thread | None = None
+        self._stop = threading.Event()
+
+    def _read(self, slo: SLO) -> tuple[float, int]:
+        """Read the instrument: ``(value, samples_backing_it)``."""
+        if slo.quantile is not None:
+            win = self.runtime.window(slo.metric)
+            return win.quantile(slo.quantile), win.count
+        if self.runtime.has_gauge(slo.metric):
+            return self.runtime.gauge_value(slo.metric), 1
+        return self.runtime.counter_value(slo.metric), 1
+
+    def evaluate(self) -> list[SLOBreach]:
+        """One pass over every SLO; returns (and records) breaches."""
+        rec = self._rec if self._rec is not None else get_recorder()
+        breaches = []
+        now = time.monotonic()
+        for slo in self.slos:
+            observed, samples = self._read(slo)
+            if samples < slo.min_samples:
+                continue
+            if observed > slo.max_value:
+                breach = SLOBreach(slo, observed, now)
+                breaches.append(breach)
+                self.runtime.inc(
+                    "slo.breaches", labels={"slo": slo.name}
+                )
+                if rec.enabled:
+                    rec.count("slo.breach")
+                    rec.count(f"slo.breach.{slo.name}")
+                for hook in self.on_breach:
+                    hook(breach)
+        self.runtime.set_gauge("slo.monitors", len(self.slos))
+        return breaches
+
+    # -- background evaluation ------------------------------------------
+
+    def start(self, interval: float = 1.0) -> "SLOMonitor":
+        """Evaluate every *interval* seconds on a daemon thread."""
+        if interval <= 0:
+            raise ValueError(f"interval must be > 0, got {interval}")
+        if self._thread is not None:
+            return self
+        self._stop.clear()
+
+        def loop() -> None:
+            while not self._stop.wait(interval):
+                self.evaluate()
+
+        self._thread = threading.Thread(
+            target=loop, name="repro-slo-monitor", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def stop(self) -> "SLOMonitor":
+        thread = self._thread
+        if thread is None:
+            return self
+        self._thread = None
+        self._stop.set()
+        thread.join(timeout=5.0)
+        return self
+
+    def __enter__(self) -> "SLOMonitor":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        self.stop()
+        return False
+
+
+def degradation_trigger(
+    service, rung: str = "threads"
+) -> Callable[[SLOBreach], None]:
+    """An ``on_breach`` hook that degrades *service* to *rung*.
+
+    The returned callback calls ``service.force_degraded(rung)`` on
+    the first breach (idempotent afterwards), walking the same
+    processes→threads→serial ladder the
+    :class:`~repro.faults.DegradationPolicy` names — an overloaded or
+    crash-looping warm pool stops taking batches and the coordinator
+    serves them inline until the operator clears the override.
+    """
+
+    def trigger(breach: SLOBreach) -> None:
+        service.force_degraded(rung)
+
+    return trigger

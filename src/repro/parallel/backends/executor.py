@@ -32,6 +32,7 @@ import multiprocessing
 from typing import Callable, Iterable, Sequence
 
 from ...errors import BackendError
+from ...obs import get_recorder
 
 __all__ = [
     "executor_context",
@@ -68,6 +69,27 @@ def executor_context_name() -> str:
 def executor_context():
     """The pinned :mod:`multiprocessing` context for every pool."""
     return multiprocessing.get_context(executor_context_name())
+
+
+def _traced_map(kind: str, workers: int, n_items: int, run: Callable):
+    """Run one map under the ambient recorder's executor instruments.
+
+    Every map path — batch pools here, distributed rank launches in
+    :func:`repro.mp.runner.run_spmd` — funnels through this, so one
+    span/counter family (``executor.map``) covers them all. Zero cost
+    when tracing is off: one recorder fetch and an ``enabled`` check.
+    """
+    rec = get_recorder()
+    if not rec.enabled:
+        return run()
+    rec.count("executor.map.calls")
+    rec.count(f"executor.map.kind.{kind}")
+    rec.count("executor.map.items", n_items)
+    with rec.span(
+        "executor.map",
+        attrs={"kind": kind, "workers": workers, "items": n_items},
+    ):
+        return run()
 
 
 # -- payload-once transport ----------------------------------------------
@@ -112,30 +134,46 @@ def map_with_payload(
             f"available: {list(MAP_EXECUTOR_KINDS)}"
         )
     if kind == "serial" or max_workers <= 1 or len(items) <= 1:
-        return [fn(payload, item) for item in items]
+        return _traced_map(
+            "serial", 1, len(items),
+            lambda: [fn(payload, item) for item in items],
+        )
     workers = min(max_workers, len(items))
     if kind == "threads":
         from concurrent.futures import ThreadPoolExecutor
 
-        with ThreadPoolExecutor(max_workers=workers) as pool:
-            return list(pool.map(fn, (payload,) * len(items), items))
+        def run_threads() -> list:
+            with ThreadPoolExecutor(max_workers=workers) as pool:
+                return list(
+                    pool.map(fn, (payload,) * len(items), items)
+                )
+
+        return _traced_map("threads", workers, len(items), run_threads)
     from concurrent.futures import ProcessPoolExecutor
 
-    _install_payload(payload)
-    try:
-        with ProcessPoolExecutor(
-            max_workers=workers,
-            mp_context=executor_context(),
-            initializer=_install_payload,
-            initargs=(payload,),
-        ) as pool:
-            return list(
-                pool.map(_call_with_payload, ((fn, item) for item in items))
-            )
-    except (OSError, RuntimeError) as exc:
-        raise BackendError(f"process map executor failed: {exc}") from exc
-    finally:
-        _install_payload(None)
+    def run_processes() -> list:
+        _install_payload(payload)
+        try:
+            with ProcessPoolExecutor(
+                max_workers=workers,
+                mp_context=executor_context(),
+                initializer=_install_payload,
+                initargs=(payload,),
+            ) as pool:
+                return list(
+                    pool.map(
+                        _call_with_payload,
+                        ((fn, item) for item in items),
+                    )
+                )
+        except (OSError, RuntimeError) as exc:
+            raise BackendError(
+                f"process map executor failed: {exc}"
+            ) from exc
+        finally:
+            _install_payload(None)
+
+    return _traced_map("processes", workers, len(items), run_processes)
 
 
 # -- plain map executors --------------------------------------------------
@@ -150,7 +188,11 @@ class _SerialMapExecutor:
         self.max_workers = 1
 
     def map(self, fn: Callable, items: Iterable) -> list:
-        return [fn(item) for item in items]
+        items = list(items)
+        return _traced_map(
+            self.kind, self.max_workers, len(items),
+            lambda: [fn(item) for item in items],
+        )
 
     def close(self) -> None:
         pass
@@ -175,10 +217,17 @@ class _ThreadMapExecutor(_SerialMapExecutor):
         self._pool = ThreadPoolExecutor(max_workers=self.max_workers)
 
     def map(self, fn: Callable, items: Iterable) -> list:
-        try:
-            return list(self._pool.map(fn, items))
-        except (OSError, RuntimeError) as exc:
-            raise BackendError(f"thread map executor failed: {exc}") from exc
+        items = list(items)
+
+        def run() -> list:
+            try:
+                return list(self._pool.map(fn, items))
+            except (OSError, RuntimeError) as exc:
+                raise BackendError(
+                    f"thread map executor failed: {exc}"
+                ) from exc
+
+        return _traced_map(self.kind, self.max_workers, len(items), run)
 
     def close(self) -> None:
         self._pool.shutdown(wait=True)
@@ -198,12 +247,17 @@ class _ProcessMapExecutor(_SerialMapExecutor):
         )
 
     def map(self, fn: Callable, items: Iterable) -> list:
-        try:
-            return list(self._pool.map(fn, items))
-        except (OSError, RuntimeError) as exc:
-            raise BackendError(
-                f"process map executor failed: {exc}"
-            ) from exc
+        items = list(items)
+
+        def run() -> list:
+            try:
+                return list(self._pool.map(fn, items))
+            except (OSError, RuntimeError) as exc:
+                raise BackendError(
+                    f"process map executor failed: {exc}"
+                ) from exc
+
+        return _traced_map(self.kind, self.max_workers, len(items), run)
 
     def close(self) -> None:
         self._pool.shutdown(wait=True)

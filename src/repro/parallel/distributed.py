@@ -151,7 +151,16 @@ def distributed_label(
     import time
 
     t0 = time.perf_counter()
-    results = run_spmd(distributed_label_program, n_ranks, image, connectivity)
+    # route the rank launch through the shared map-executor roster so a
+    # distributed run emits the same executor.map spans/counters as the
+    # tiled and service paths (see run_spmd's executor_kind contract).
+    results = run_spmd(
+        distributed_label_program,
+        n_ranks,
+        image,
+        connectivity,
+        executor_kind="threads",
+    )
     dt = time.perf_counter() - t0
     labels, n_components = results[0]
     return CCLResult(

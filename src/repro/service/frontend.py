@@ -34,8 +34,18 @@ Observability: ``service.queue_depth`` / ``service.inflight`` gauges
 track occupancy, ``service.latency_p50_ms`` / ``p95`` / ``p99`` the
 submit→complete latency distribution over a sliding window, and
 ``service.*`` counters the admission/batch/degrade traffic — the same
-``repro.obs`` stream the perf gate reads, so SLOs regress loudly (see
-docs/OBSERVABILITY.md and docs/SERVICE.md).
+``repro.obs`` stream the perf gate reads, so SLOs regress loudly. The
+gauges publish **incrementally** (on every completed batch, not just
+at ``stats()``/drain), so a mid-run ``/metrics`` scrape sees live
+values. Every service also carries an always-on
+:class:`~repro.obs.runtime.RuntimeAggregator` (``service.runtime``)
+feeding rolling-window latency quantiles, labelled rejection counters
+and queue-depth gauges to the ``/metrics`` endpoint
+(:func:`repro.obs.runtime.serve_service_metrics`) and the SLO
+monitors; tracing adds a ``frontend`` lane span per request whose
+``request_id`` attr stitches to the worker-lane spans shipped back
+through the pool pipe (see docs/OBSERVABILITY.md and
+docs/SERVICE.md).
 """
 
 from __future__ import annotations
@@ -59,6 +69,8 @@ from ..errors import (
 )
 from ..faults import DegradationPolicy
 from ..obs import get_recorder
+from ..obs.runtime.aggregator import RuntimeAggregator
+from ..obs.runtime.context import new_request_id
 from ..parallel.backends.executor import get_map_executor
 from ..types import ensure_input
 from .pool import DEFAULT_SLOT_SHAPE, WarmWorkerPool
@@ -87,6 +99,7 @@ class ServiceConfig:
     slot_shape: tuple[int, int] = DEFAULT_SLOT_SHAPE
     connectivity: int = 8
     latency_window: int = 512
+    engine: str = "run-vectorized"
 
     def __post_init__(self) -> None:
         if self.workers < 1:
@@ -106,6 +119,11 @@ class ServiceConfig:
         if self.batch_window < 0:
             raise ValueError(
                 f"batch_window must be >= 0, got {self.batch_window}"
+            )
+        if self.engine not in ("run-vectorized", "auto"):
+            raise ValueError(
+                f"engine must be 'run-vectorized' or 'auto', "
+                f"got {self.engine!r}"
             )
 
 
@@ -128,7 +146,8 @@ class ServiceStats:
 
 class _Request:
     __slots__ = (
-        "image", "tenant", "future", "submitted", "connectivity"
+        "image", "tenant", "future", "submitted", "connectivity",
+        "request_id",
     )
 
     def __init__(self, image, tenant, connectivity) -> None:
@@ -137,6 +156,7 @@ class _Request:
         self.connectivity = connectivity
         self.future: Future = Future()
         self.submitted = time.perf_counter()
+        self.request_id = new_request_id()
 
 
 class LabelService:
@@ -160,11 +180,17 @@ class LabelService:
         self.config = config if config is not None else ServiceConfig()
         self._rec = recorder if recorder is not None else get_recorder()
         self._degradation = degradation
+        #: always-on live telemetry — cheap enough to keep even when
+        #: span tracing is off; ``/metrics`` and the SLO monitors read
+        #: it (:func:`repro.obs.runtime.serve_service_metrics`).
+        self.runtime = RuntimeAggregator()
+        self._forced_rung: str | None = None
         self._pool = WarmWorkerPool(
             workers=self.config.workers,
             batch_slots=self.config.batch_size,
             slot_shape=self.config.slot_shape,
             connectivity=self.config.connectivity,
+            engine=self.config.engine,
             resilience=resilience,
             fault_plan=fault_plan,
             recorder=self._rec,
@@ -233,6 +259,9 @@ class LabelService:
             depth = len(self._queue)
             if depth >= self.config.max_queue:
                 self._rejected_overload += 1
+                self.runtime.inc(
+                    "service.rejected", labels={"reason": "overload"}
+                )
                 if self._rec.enabled:
                     self._rec.count("service.rejected.overload")
                 raise ServiceOverloadedError(
@@ -243,6 +272,9 @@ class LabelService:
             inflight = self._tenant_inflight.get(req.tenant, 0)
             if inflight >= self.config.tenant_quota:
                 self._rejected_quota += 1
+                self.runtime.inc(
+                    "service.rejected", labels={"reason": "quota"}
+                )
                 if self._rec.enabled:
                     self._rec.count("service.rejected.quota")
                 raise QuotaExceededError(
@@ -253,6 +285,10 @@ class LabelService:
                 )
             self._tenant_inflight[req.tenant] = inflight + 1
             self._queue.append(req)
+            self.runtime.inc("service.requests")
+            self.runtime.set_gauge(
+                "service.queue_depth", float(len(self._queue))
+            )
             if self._rec.enabled:
                 self._rec.count("service.requests")
                 self._rec.gauge(
@@ -270,6 +306,61 @@ class LabelService:
     ) -> tuple[np.ndarray, int]:
         """Synchronous convenience: submit and wait."""
         return self.submit(image, tenant, connectivity).result(timeout)
+
+    @property
+    def state(self) -> str:
+        """``running`` → ``draining`` → ``closed`` (readiness probes
+        key off this: anything but ``running`` answers 503)."""
+        return self._state
+
+    def publish_runtime(self) -> None:
+        """Refresh pull-only runtime gauges (scrape-time collect hook).
+
+        Counter-style and latency values publish incrementally from
+        the hot path; this covers the handful of values that are only
+        observable by asking (pool respawn count, live queue depth
+        between batches) so a scrape never reads startup zeros.
+        """
+        with self._lock:
+            depth = len(self._queue)
+            inflight = sum(self._tenant_inflight.values())
+        self.runtime.set_gauge("service.queue_depth", float(depth))
+        self.runtime.set_gauge("service.inflight", float(inflight))
+        self.runtime.set_gauge(
+            "service.pool_respawns", float(self._pool.respawns)
+        )
+        self.runtime.set_gauge(
+            "service.degraded",
+            0.0 if self._forced_rung is None else 1.0,
+        )
+
+    def force_degraded(self, rung: str = "threads") -> None:
+        """Pin batch execution to an in-coordinator ladder rung.
+
+        The SLO hook (:func:`repro.obs.runtime.degradation_trigger`)
+        calls this on breach: subsequent batches skip the warm pool
+        and run on the named :class:`~repro.faults.DegradationPolicy`
+        rung (``threads`` or ``serial``) until
+        :meth:`clear_degraded` — slower, never wrong, and the pool
+        stays warm for the recovery. Idempotent per rung.
+        """
+        if rung not in ("threads", "serial"):
+            raise ValueError(
+                f"rung must be 'threads' or 'serial', got {rung!r}"
+            )
+        with self._lock:
+            previous, self._forced_rung = self._forced_rung, rung
+        if previous != rung:
+            self.runtime.inc(
+                "service.degrade.forced", labels={"rung": rung}
+            )
+            if self._rec.enabled:
+                self._rec.count("service.degrade.forced")
+
+    def clear_degraded(self) -> None:
+        """Lift a :meth:`force_degraded` override (operator action)."""
+        with self._lock:
+            self._forced_rung = None
 
     def stats(self) -> ServiceStats:
         """Snapshot health and publish the gauges the perf gate reads."""
@@ -407,9 +498,20 @@ class LabelService:
     def _run_batch(self, batch: list[_Request]) -> None:
         images = [req.image for req in batch]
         connectivity = batch[0].connectivity
+        forced = self._forced_rung
         try:
-            labels, counts = self._pool.dispatch(images, connectivity)
-            degraded_to = None
+            if forced is not None:
+                labels, counts = self._run_inline(
+                    images, connectivity, forced
+                )
+                degraded_to = forced
+            else:
+                labels, counts = self._pool.dispatch(
+                    images,
+                    connectivity,
+                    request_ids=[req.request_id for req in batch],
+                )
+                degraded_to = None
         except ReproError as exc:
             labels, counts, degraded_to = self._degrade_batch(
                 images, connectivity, exc, batch
@@ -430,11 +532,72 @@ class LabelService:
             excess = len(self._latencies) - self.config.latency_window
             if excess > 0:
                 del self._latencies[:excess]
+            lat = sorted(self._latencies)
+        # incremental publication: gauges and rolling windows are
+        # fresh after every batch, so a mid-run /metrics scrape (or
+        # an SLO evaluation) sees live values, not drain-time flushes.
+        self.runtime.inc("service.batches")
+        if degraded_to is not None:
+            self.runtime.inc(
+                "service.degraded_batches", labels={"rung": degraded_to}
+            )
+        for req in batch:
+            self.runtime.observe(
+                "service.latency_ms", (now - req.submitted) * 1e3
+            )
+        self.runtime.set_gauge(
+            "service.latency_p50_ms", _percentile(lat, 0.50) * 1e3
+        )
+        self.runtime.set_gauge(
+            "service.latency_p95_ms", _percentile(lat, 0.95) * 1e3
+        )
+        self.runtime.set_gauge(
+            "service.latency_p99_ms", _percentile(lat, 0.99) * 1e3
+        )
         if self._rec.enabled:
             self._rec.count("service.batches")
             self._rec.count("service.batch_images", len(batch))
+            self._rec.gauge(
+                "service.latency_p50_ms", _percentile(lat, 0.50) * 1e3
+            )
+            self._rec.gauge(
+                "service.latency_p95_ms", _percentile(lat, 0.95) * 1e3
+            )
+            self._rec.gauge(
+                "service.latency_p99_ms", _percentile(lat, 0.99) * 1e3
+            )
+            for req in batch:
+                attrs = {
+                    "request_id": req.request_id,
+                    "tenant": req.tenant,
+                }
+                if degraded_to is not None:
+                    attrs["degraded_to"] = degraded_to
+                self._rec.add_span(
+                    "frontend",
+                    "service.request",
+                    req.submitted,
+                    now,
+                    attrs=attrs,
+                )
         for req, lab, n in zip(batch, labels, counts):
             req.future.set_result((lab, n))
+
+    def _run_inline(
+        self,
+        images: Sequence[np.ndarray],
+        connectivity: int,
+        rung: str,
+    ) -> tuple[list[np.ndarray], list[int]]:
+        """Label a batch in-coordinator on a degradation-ladder rung."""
+        with get_map_executor(
+            rung, max_workers=self.config.workers
+        ) as ex:
+            results = ex.map(
+                _label_inline,
+                [(img, connectivity) for img in images],
+            )
+        return [r[0] for r in results], [r[1] for r in results]
 
     def _degrade_batch(
         self,
@@ -450,22 +613,17 @@ class LabelService:
             else ()
         )
         for rung in ladder:
+            self.runtime.inc(
+                "service.degrade.fallback", labels={"rung": rung}
+            )
             if self._rec.enabled:
                 self._rec.count("service.degrade.fallback")
                 self._rec.count(f"service.degrade.to.{rung}")
             try:
-                with get_map_executor(
-                    rung, max_workers=self.config.workers
-                ) as ex:
-                    results = ex.map(
-                        _label_inline,
-                        [(img, connectivity) for img in images],
-                    )
-                return (
-                    [r[0] for r in results],
-                    [r[1] for r in results],
-                    rung,
+                labels, counts = self._run_inline(
+                    images, connectivity, rung
                 )
+                return labels, counts, rung
             except ReproError:  # pragma: no cover - rung also broken
                 continue
         self._fail_batch(batch, exc)
@@ -477,6 +635,7 @@ class LabelService:
                 self._tenant_inflight[req.tenant] -= 1
                 if self._tenant_inflight[req.tenant] <= 0:
                     del self._tenant_inflight[req.tenant]
+        self.runtime.inc("service.batch_failed")
         if self._rec.enabled:
             self._rec.count("service.batch_failed")
         for req in batch:

@@ -95,16 +95,30 @@ class _WorkerDied(Exception):
         self.exitcode = exitcode
 
 
+def _worker_label_fn(engine: str):
+    """Resolve the worker's label callable from the engine name."""
+    if engine == "auto":
+        from ..ccl.dispatch import auto_label
+
+        return auto_label
+    return run_based_vectorized
+
+
 def _pool_worker(args: tuple) -> None:
     """Worker main loop: attach once, serve label requests forever.
 
     ``args`` is ``(img_name, lab_name, n_slots, slot_px, conn,
-    parent_pid, directives)``. Requests are ``("job", job_id,
-    [(slot, rows, cols), ...], connectivity)``; the reply is ``("done",
-    job_id, [n_components, ...])`` — labels travel through the shared
-    label plane, never the pipe. ``("stop",)`` exits cleanly. A parent
-    that vanishes (pipe EOF, or reparenting observed on the idle poll)
-    ends the worker too: a warm pool must never orphan labelers.
+    parent_pid, directives, engine)``. Requests are ``("job", job_id,
+    [(slot, rows, cols, request_id), ...], connectivity, trace)``; the
+    reply is ``("done", job_id, [n_components, ...], spans)`` — labels
+    travel through the shared label plane, never the pipe. When
+    *trace* is set the worker times every request (plus its engine
+    phases, reconstructed from ``phase_seconds``) and ships the spans
+    back as plain tuples; ``perf_counter`` is fork-comparable on
+    Linux, so they line up with the coordinator's lanes. ``("stop",)``
+    exits cleanly. A parent that vanishes (pipe EOF, or reparenting
+    observed on the idle poll) ends the worker too: a warm pool must
+    never orphan labelers.
     """
     (
         img_name,
@@ -114,6 +128,7 @@ def _pool_worker(args: tuple) -> None:
         conn,
         parent_pid,
         directives,
+        engine,
     ) = args
     try:
         segs = [_attach(img_name), _attach(lab_name)]
@@ -123,6 +138,8 @@ def _pool_worker(args: tuple) -> None:
         lab_arena = np.ndarray(
             (n_slots, slot_px), dtype=LABEL_DTYPE, buffer=segs[1].buf
         )
+        label_fn = _worker_label_fn(engine)
+        pid = os.getpid()
         served = 0
         while True:
             while not conn.poll(_ORPHAN_POLL_S):
@@ -134,16 +151,42 @@ def _pool_worker(args: tuple) -> None:
                 break
             if msg[0] == "stop":
                 break
-            _, job_id, items, connectivity = msg
+            _, job_id, items, connectivity, trace = msg
             if directives:
                 _apply_directives(directives, served)
             counts = []
-            for slot, rows, cols in items:
+            spans: list[tuple] = []
+            for slot, rows, cols, request_id in items:
                 img = img_arena[slot, : rows * cols].reshape(rows, cols)
-                local = run_based_vectorized(img, connectivity)
+                t0 = time.perf_counter()
+                local = label_fn(img, connectivity)
+                t1 = time.perf_counter()
                 lab_arena[slot, : rows * cols] = local.labels.ravel()
                 counts.append(int(local.n_components))
-            conn.send(("done", job_id, counts))
+                if trace:
+                    attrs = {"pid": pid, "engine": local.algorithm}
+                    if request_id is not None:
+                        attrs["request_id"] = request_id
+                    dispatch = (local.meta or {}).get("dispatch")
+                    if dispatch:
+                        attrs["dispatch_rule"] = dispatch.get("rule")
+                        attrs["dispatch_engine"] = dispatch.get("engine")
+                    spans.append(
+                        ("main", "request", t0, t1, 0, attrs)
+                    )
+                    # engine phases ran back-to-back inside [t0, t1];
+                    # reconstruct them as nested sub-spans.
+                    t = t0
+                    sub = (
+                        {"request_id": request_id}
+                        if request_id is not None else None
+                    )
+                    for phase, dur in local.phase_seconds.items():
+                        spans.append(
+                            ("main", phase, t, t + dur, 1, sub)
+                        )
+                        t += dur
+            conn.send(("done", job_id, counts, spans))
             served += 1
         for seg in segs:
             seg.close()
@@ -172,6 +215,11 @@ class WarmWorkerPool:
         problem (the front end rejects them at admission).
     connectivity:
         Default connectivity for :meth:`dispatch`.
+    engine:
+        Worker-side labeling engine: ``"run-vectorized"`` (default,
+        the PR-1 determinism contract) or ``"auto"`` (the measured
+        dispatcher — its pick lands in the worker span's
+        ``dispatch_engine``/``dispatch_rule`` attrs).
     resilience / fault_plan / recorder:
         The usual knobs (:class:`~repro.faults.ResilienceConfig`
         respawn budgets; ambient fault plan; ambient-or-given trace
@@ -192,12 +240,18 @@ class WarmWorkerPool:
         batch_slots: int = 8,
         slot_shape: tuple[int, int] = DEFAULT_SLOT_SHAPE,
         connectivity: int = 8,
+        engine: str = "run-vectorized",
         resilience=None,
         fault_plan=None,
         recorder=None,
     ) -> None:
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
+        if engine not in ("run-vectorized", "auto"):
+            raise ValueError(
+                f"engine must be 'run-vectorized' or 'auto', "
+                f"got {engine!r}"
+            )
         if batch_slots < 1:
             raise ValueError(
                 f"batch_slots must be >= 1, got {batch_slots}"
@@ -212,6 +266,7 @@ class WarmWorkerPool:
         self.slot_shape = (int(rows), int(cols))
         self.slot_px = int(rows) * int(cols)
         self.connectivity = connectivity
+        self.engine = engine
         self.resilience = (
             resilience if resilience is not None else DEFAULT_RESILIENCE
         )
@@ -296,6 +351,7 @@ class WarmWorkerPool:
             child_conn,
             os.getpid(),
             directives,
+            self.engine,
         )
         proc = self._ctx.Process(
             target=_pool_worker, args=(job,), daemon=True
@@ -411,6 +467,7 @@ class WarmWorkerPool:
         images: Sequence[np.ndarray],
         connectivity: int | None = None,
         timeout: float | None = None,
+        request_ids: Sequence[str | None] | None = None,
     ) -> tuple[list[np.ndarray], list[int]]:
         """Label a micro-batch of canonical images on one warm worker.
 
@@ -419,6 +476,10 @@ class WarmWorkerPool:
         ``slot_shape``, at most ``batch_slots`` of them. Returns
         ``(labels, counts)`` — label arrays are fresh copies, the
         arena slots are reusable on return.
+
+        *request_ids* (one per image, optional) travel to the worker
+        and back on its spans, so a traced service request stitches
+        into one multi-lane chrome trace across the fork boundary.
 
         A worker that dies mid-request is respawned (attached to the
         same arena) and the batch is redone — slot writes are
@@ -445,7 +506,9 @@ class WarmWorkerPool:
             last_exc: Exception | None = None
             for attempt in range(config.max_retries + 1):
                 try:
-                    return self._dispatch_once(w, images, conn_value)
+                    return self._dispatch_once(
+                        w, images, conn_value, request_ids
+                    )
                 except _WorkerDied as exc:
                     last_exc = exc
                     if self._rec.enabled:
@@ -501,9 +564,11 @@ class WarmWorkerPool:
         w: int,
         images: Sequence[np.ndarray],
         connectivity: int,
+        request_ids: Sequence[str | None] | None = None,
     ) -> tuple[list[np.ndarray], list[int]]:
         proc, pipe = self._procs[w]
         base = w * self.batch_slots
+        trace = self._rec.enabled
         items = []
         for i, img in enumerate(images):
             rows, cols = img.shape
@@ -514,12 +579,17 @@ class WarmWorkerPool:
                 )
             slot = base + i
             self._img_arena[slot, : rows * cols] = img.ravel()
-            items.append((slot, rows, cols))
+            rid = (
+                request_ids[i]
+                if request_ids is not None and i < len(request_ids)
+                else None
+            )
+            items.append((slot, rows, cols, rid))
         with self._job_lock:
             self._job_seq += 1
             job_id = self._job_seq
         try:
-            pipe.send(("job", job_id, items, connectivity))
+            pipe.send(("job", job_id, items, connectivity, trace))
         except (BrokenPipeError, OSError):
             raise _WorkerDied(proc.exitcode) from None
         deadline = time.monotonic() + self.resilience.phase_timeout
@@ -557,7 +627,7 @@ class WarmWorkerPool:
             )
         counts = reply[2]
         labels = []
-        for (slot, rows, cols), _n in zip(items, counts):
+        for (slot, rows, cols, _rid), _n in zip(items, counts):
             labels.append(
                 np.array(
                     self._lab_arena[slot, : rows * cols].reshape(
@@ -566,7 +636,26 @@ class WarmWorkerPool:
                     copy=True,
                 )
             )
-        if self._rec.enabled:
+        if trace:
+            self._absorb_worker_spans(w, reply[3])
             self._rec.count("service.dispatches")
             self._rec.count("service.images_labeled", len(images))
         return labels, [int(n) for n in counts]
+
+    def _absorb_worker_spans(self, w: int, raw_spans) -> None:
+        """Re-lane spans shipped back from worker *w* into the trace.
+
+        The worker records on its own default lanes ("main"); here
+        they become ``worker {w}`` so the chrome export shows one
+        lane per pool worker next to the coordinator's frontend lane.
+        ``perf_counter`` is fork-comparable on Linux, so the worker's
+        raw timestamps slot straight in.
+        """
+        for lane, phase, start, stop, depth, attrs in raw_spans:
+            if lane in ("main", "machine"):
+                lane = f"worker {w}"
+            else:
+                lane = f"worker {w} {lane}"
+            self._rec.add_span(
+                lane, phase, start, stop, depth=depth, attrs=attrs
+            )

@@ -209,3 +209,36 @@ class TestAutoLabel:
         auto = auto_label(img, 8)
         ref, n = repro.label(img, connectivity=8)
         assert auto.n_components == n
+
+
+class TestDispatchTelemetry:
+    def test_auto_label_records_decision_span_and_counter(self):
+        """A traced auto run leaves one ``dispatch`` span whose attrs
+        answer "which engine, and why" plus the
+        ``dispatch.engine_selected`` counter the runtime layer rolls
+        up (the observability PR's satellite contract)."""
+        from repro.obs import TraceRecorder, use_recorder
+
+        rng = np.random.default_rng(7)
+        img = (rng.random((96, 96)) < 0.4).astype(np.uint8)
+        rec = TraceRecorder()
+        with use_recorder(rec):
+            result = auto_label(img, 8)
+        spans = [s for s in rec.spans if s.phase == "dispatch"]
+        assert len(spans) == 1
+        attrs = spans[0].attrs or {}
+        assert attrs["engine"] == result.algorithm
+        assert attrs["rule"] == result.meta["dispatch"]["rule"]
+        assert attrs["density"] == pytest.approx(
+            result.meta["dispatch"]["density"]
+        )
+        assert attrs["pixels"] == img.size
+        counters = rec.metrics.as_dict()["counters"]
+        assert counters["dispatch.engine_selected"] == 1
+        assert counters[f"dispatch.pick.{result.algorithm}"] == 1
+        assert spans[0].stop > spans[0].start
+
+    def test_null_recorder_pays_nothing(self):
+        img = _vstripes(64)
+        result = auto_label(img, 4)
+        assert "dispatch" in result.meta

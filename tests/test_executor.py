@@ -85,3 +85,50 @@ class TestGetMapExecutor:
         assert ex.max_workers == 1
         ex.close()  # idempotent no-op
         ex.close()
+
+
+class TestExecutorTelemetry:
+    """Every map funnel emits the shared ``executor.map`` span/counters
+    when a recorder is active (the runtime-telemetry PR's one-funnel
+    contract), and stays silent on the null recorder."""
+
+    @pytest.mark.parametrize("kind", MAP_EXECUTOR_KINDS)
+    def test_get_map_executor_emits_span_and_counters(self, kind):
+        from repro.obs import TraceRecorder, use_recorder
+
+        rec = TraceRecorder()
+        with use_recorder(rec):
+            with get_map_executor(kind, max_workers=2) as ex:
+                assert ex.map(abs, [-1, 2, -3]) == [1, 2, 3]
+        spans = [s for s in rec.spans if s.phase == "executor.map"]
+        assert len(spans) == 1
+        attrs = spans[0].attrs or {}
+        assert attrs["kind"] == kind
+        assert attrs["items"] == 3
+        counters = rec.metrics.as_dict()["counters"]
+        assert counters["executor.map.calls"] == 1
+        assert counters[f"executor.map.kind.{kind}"] == 1
+        assert counters["executor.map.items"] == 3
+
+    @pytest.mark.parametrize("kind", MAP_EXECUTOR_KINDS)
+    def test_map_with_payload_emits_span(self, kind):
+        from repro.obs import TraceRecorder, use_recorder
+
+        rec = TraceRecorder()
+        with use_recorder(rec):
+            got = map_with_payload(
+                kind, _double, list(range(4)), {"scale": 3},
+                max_workers=2,
+            )
+        assert got == [0, 3, 6, 9]
+        spans = [s for s in rec.spans if s.phase == "executor.map"]
+        assert len(spans) == 1
+        assert (spans[0].attrs or {})["kind"] == kind
+
+    def test_null_recorder_stays_silent(self):
+        from repro.obs import get_recorder
+
+        rec = get_recorder()
+        assert not rec.enabled
+        with get_map_executor("serial") as ex:
+            assert ex.map(abs, [-5]) == [5]

@@ -1,0 +1,543 @@
+"""Runtime telemetry: aggregator, /metrics server, SLOs, profiler, ids.
+
+The live-observability layer (``repro.obs.runtime``) under test, plus
+the two regression surfaces the PR carved out of the service:
+
+* the :class:`LabelService` must publish its latency gauges and rolling
+  windows **incrementally** (a mid-run scrape reads live values, not a
+  drain-time flush), and
+* a single request id minted at admission must stitch the ``frontend``
+  lane to the ``worker N`` lanes across the fork boundary — and that
+  multi-lane trace must survive a chrome-export round trip losslessly.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+import urllib.error
+import urllib.request
+
+import numpy as np
+import pytest
+
+from repro.faults import ResilienceConfig
+from repro.obs import TraceRecorder, use_recorder
+from repro.obs.chrome import read_chrome_trace, write_chrome_trace
+from repro.obs.runtime import (
+    SLO,
+    MetricsServer,
+    RollingWindow,
+    RuntimeAggregator,
+    SamplingProfiler,
+    SLOMonitor,
+    current_request_id,
+    degradation_trigger,
+    load_slos,
+    new_request_id,
+    parse_prometheus_text,
+    prom_name,
+    request_context,
+    serve_service_metrics,
+)
+from repro.service import LabelService, ServiceConfig
+
+FAST = ResilienceConfig(
+    max_retries=2, backoff_base=0.01, backoff_factor=2.0,
+    backoff_max=0.05, phase_timeout=60.0,
+)
+
+
+def _rand_images(seed, n, shape=(32, 32), density=0.45):
+    rng = np.random.default_rng(seed)
+    return [
+        (rng.random(shape) < density).astype(np.uint8) for _ in range(n)
+    ]
+
+
+def _get(url: str) -> tuple[int, str]:
+    try:
+        with urllib.request.urlopen(url, timeout=5.0) as resp:
+            return resp.status, resp.read().decode()
+    except urllib.error.HTTPError as exc:
+        return exc.code, exc.read().decode()
+
+
+# ---------------------------------------------------------------------------
+# RollingWindow / RuntimeAggregator
+
+
+class TestRollingWindow:
+    def test_quantiles_and_count(self):
+        win = RollingWindow(window_seconds=60.0)
+        for v in (1.0, 2.0, 3.0, 4.0):
+            win.observe(v)
+        assert win.count == 4
+        assert win.quantile(0.0) == 1.0
+        assert win.quantile(1.0) == 4.0
+        assert win.quantile(0.5) in (2.0, 3.0)
+
+    def test_old_samples_evicted(self):
+        win = RollingWindow(window_seconds=10.0)
+        win.observe(1.0, now=0.0)
+        win.observe(2.0, now=5.0)
+        win.observe(3.0, now=50.0)  # evicts both earlier samples
+        assert win.values(now=50.0) == [3.0]
+
+    def test_empty_window_quantile_is_zero(self):
+        assert RollingWindow().quantile(0.99) == 0.0
+
+    def test_rejects_nonpositive_window(self):
+        with pytest.raises(ValueError):
+            RollingWindow(window_seconds=0.0)
+
+
+class TestRuntimeAggregator:
+    def test_counters_sum_and_labelled_series(self):
+        agg = RuntimeAggregator()
+        agg.inc("service.rejected", labels={"reason": "overload"})
+        agg.inc("service.rejected", 2, labels={"reason": "quota"})
+        assert agg.counter_value("service.rejected") == 3
+        assert agg.counter_value(
+            "service.rejected", labels={"reason": "quota"}
+        ) == 2
+        assert agg.counter_value("service.rejected", labels={}) == 0
+
+    def test_counter_cannot_decrease(self):
+        with pytest.raises(ValueError):
+            RuntimeAggregator().inc("x", -1)
+
+    def test_gauges(self):
+        agg = RuntimeAggregator()
+        assert not agg.has_gauge("service.queue_depth")
+        agg.set_gauge("service.queue_depth", 7)
+        assert agg.has_gauge("service.queue_depth")
+        assert agg.gauge_value("service.queue_depth") == 7.0
+        assert agg.gauge_value("absent", default=-1.0) == -1.0
+
+    def test_windows_and_quantile(self):
+        agg = RuntimeAggregator()
+        for v in range(10):
+            agg.observe("service.latency_ms", float(v))
+        assert agg.window("service.latency_ms").count == 10
+        assert agg.quantile("service.latency_ms", 1.0) == 9.0
+        assert agg.quantile("absent", 0.5) == 0.0
+
+    def test_snapshot_shape(self):
+        agg = RuntimeAggregator()
+        agg.inc("a.b", labels={"k": "v"})
+        agg.set_gauge("g", 1.5)
+        agg.observe("w", 2.0)
+        snap = agg.snapshot()
+        assert snap["counters"]["a.b"] == {'{k="v"}': 1}
+        assert snap["gauges"]["g"] == {"": 1.5}
+        assert snap["windows"]["w"]["count"] == 1
+        assert snap["windows"]["w"]["sum"] == 2.0
+
+    def test_prom_name_sanitisation(self):
+        assert prom_name("service.latency_ms") == "service_latency_ms"
+        assert prom_name("9lives") == "_9lives"
+
+
+class TestPrometheusExposition:
+    def test_render_parse_round_trip(self):
+        agg = RuntimeAggregator()
+        agg.inc("service.requests", 5)
+        agg.inc("slo.breaches", 2, labels={"slo": "p99"})
+        agg.set_gauge("service.queue_depth", 3)
+        for v in (1.0, 2.0, 3.0, 4.0):
+            agg.observe("service.latency_ms", v)
+        parsed = parse_prometheus_text(agg.render_prometheus())
+        assert parsed["service_requests_total"][""] == 5.0
+        assert parsed["slo_breaches_total"]['{slo="p99"}'] == 2.0
+        assert parsed["service_queue_depth"][""] == 3.0
+        lat = parsed["service_latency_ms"]
+        assert lat['{quantile="0.99"}'] == 4.0
+        assert parsed["service_latency_ms_count"][""] == 4.0
+        assert parsed["service_latency_ms_sum"][""] == 10.0
+
+    def test_parse_rejects_malformed_lines(self):
+        with pytest.raises(ValueError):
+            parse_prometheus_text("metric_without_value\n")
+        with pytest.raises(ValueError):
+            parse_prometheus_text("m{unterminated 1\n")
+        with pytest.raises(ValueError):
+            parse_prometheus_text("bad-name 1\n")
+
+
+# ---------------------------------------------------------------------------
+# MetricsServer
+
+
+class TestMetricsServer:
+    def test_metrics_healthz_readyz(self):
+        agg = RuntimeAggregator()
+        agg.inc("demo.requests")
+        ready = threading.Event()
+        ready.set()
+        with MetricsServer(agg, ready_check=ready.is_set) as srv:
+            status, body = _get(srv.url + "/metrics")
+            assert status == 200
+            assert parse_prometheus_text(body)[
+                "demo_requests_total"][""] == 1.0
+            status, body = _get(srv.url + "/healthz")
+            assert status == 200
+            payload = json.loads(body)
+            assert payload["status"] == "ok"
+            assert "demo.requests" in payload["metrics"]["counters"]
+            assert _get(srv.url + "/readyz")[0] == 200
+            ready.clear()
+            assert _get(srv.url + "/readyz")[0] == 503
+            assert _get(srv.url + "/nope")[0] == 404
+
+    def test_collect_hooks_refresh_before_scrape(self):
+        agg = RuntimeAggregator()
+        with MetricsServer(
+            agg,
+            collect=(lambda: agg.set_gauge("fresh.gauge", 42.0),),
+        ) as srv:
+            parsed = parse_prometheus_text(_get(srv.url + "/metrics")[1])
+        assert parsed["fresh_gauge"][""] == 42.0
+
+    def test_close_idempotent(self):
+        srv = MetricsServer(RuntimeAggregator())
+        srv.close()
+        srv.close()
+
+
+# ---------------------------------------------------------------------------
+# SLOs
+
+
+class TestSLO:
+    def test_load_slos_from_json_text(self):
+        slos = load_slos(
+            '[{"name": "p99", "metric": "service.latency_ms",'
+            ' "quantile": 0.99, "max_value": 50.0}]'
+        )
+        assert slos == [
+            SLO("p99", "service.latency_ms", 50.0, quantile=0.99)
+        ]
+
+    def test_from_dict_missing_key(self):
+        with pytest.raises(ValueError, match="max_value"):
+            SLO.from_dict({"name": "x", "metric": "m"})
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SLO("bad", "m", 1.0, quantile=1.5)
+        with pytest.raises(ValueError):
+            SLO("bad", "m", 1.0, min_samples=0)
+
+    def test_gauge_breach_counts_and_hooks(self):
+        agg = RuntimeAggregator()
+        rec = TraceRecorder()
+        seen = []
+        mon = SLOMonitor(
+            [SLO("shallow-queue", "service.queue_depth", 4.0)],
+            agg, recorder=rec, on_breach=(seen.append,),
+        )
+        agg.set_gauge("service.queue_depth", 9)
+        breaches = mon.evaluate()
+        assert [b.slo.name for b in breaches] == ["shallow-queue"]
+        assert "9" in breaches[0].describe()
+        assert agg.counter_value(
+            "slo.breaches", labels={"slo": "shallow-queue"}
+        ) == 1
+        counters = rec.metrics.as_dict()["counters"]
+        assert counters["slo.breach"] == 1
+        assert seen[0].observed == 9.0
+        # back under the objective: no new breach
+        agg.set_gauge("service.queue_depth", 1)
+        assert mon.evaluate() == []
+
+    def test_quantile_slo_respects_min_samples(self):
+        agg = RuntimeAggregator()
+        mon = SLOMonitor(
+            [SLO("p50", "lat", 1.0, quantile=0.5, min_samples=3)], agg
+        )
+        agg.observe("lat", 100.0)
+        assert mon.evaluate() == []  # 1 sample < min_samples
+        agg.observe("lat", 100.0)
+        agg.observe("lat", 100.0)
+        assert len(mon.evaluate()) == 1
+
+    def test_counter_slo_when_no_gauge(self):
+        agg = RuntimeAggregator()
+        mon = SLOMonitor([SLO("respawns", "pool.respawns", 0.0)], agg)
+        assert mon.evaluate() == []
+        agg.inc("pool.respawns")
+        assert len(mon.evaluate()) == 1
+
+    def test_background_evaluation_thread(self):
+        agg = RuntimeAggregator()
+        agg.set_gauge("depth", 10)
+        mon = SLOMonitor([SLO("depth", "depth", 1.0)], agg)
+        with mon.start(interval=0.01):
+            deadline = time.monotonic() + 5.0
+            while (agg.counter_value("slo.breaches") == 0
+                   and time.monotonic() < deadline):
+                time.sleep(0.01)
+        assert agg.counter_value("slo.breaches") >= 1
+
+    def test_degradation_trigger_forces_rung(self):
+        calls = []
+
+        class FakeService:
+            def force_degraded(self, rung):
+                calls.append(rung)
+
+        agg = RuntimeAggregator()
+        agg.set_gauge("depth", 10)
+        mon = SLOMonitor(
+            [SLO("depth", "depth", 1.0)], agg,
+            on_breach=(degradation_trigger(FakeService(), "serial"),),
+        )
+        mon.evaluate()
+        assert calls == ["serial"]
+
+
+# ---------------------------------------------------------------------------
+# SamplingProfiler
+
+
+def _busy(stop: threading.Event) -> None:
+    while not stop.is_set():
+        sum(i * i for i in range(5000))
+
+
+class TestSamplingProfiler:
+    def test_samples_running_threads(self, tmp_path):
+        stop = threading.Event()
+        t = threading.Thread(target=_busy, args=(stop,), daemon=True)
+        t.start()
+        prof = SamplingProfiler(interval=0.002)
+        try:
+            with prof:
+                time.sleep(0.15)
+        finally:
+            stop.set()
+            t.join()
+        assert prof.sample_count > 0
+        lines = prof.collapsed()
+        assert lines
+        # collapsed format: phase;frame;...;frame count
+        assert all(line.rsplit(" ", 1)[1].isdigit() for line in lines)
+        assert any("_busy" in line for line in lines)
+        out = tmp_path / "profile.txt"
+        prof.write_collapsed(out)
+        assert out.read_text().splitlines() == lines
+
+    def test_phase_attribution(self):
+        rec = TraceRecorder()
+        stop = threading.Event()
+
+        def work():
+            with use_recorder(rec):
+                with rec.span("scanphase"):
+                    while not stop.is_set():
+                        sum(i * i for i in range(5000))
+
+        t = threading.Thread(target=work, daemon=True)
+        prof = SamplingProfiler(interval=0.002)
+        with prof:
+            t.start()
+            time.sleep(0.15)
+            stop.set()
+            t.join()
+        phases = prof.phase_seconds()
+        assert any(p == "scanphase" for p in phases)
+
+    def test_start_stop_idempotent_and_restartable(self):
+        prof = SamplingProfiler(interval=0.005)
+        assert not prof.attached
+        prof.start()
+        prof.start()  # no-op
+        assert prof.attached
+        prof.stop()
+        prof.stop()  # no-op
+        assert not prof.attached
+        # restart accumulates into the same counters
+        with prof:
+            assert prof.attached
+        assert not prof.attached
+
+    def test_rejects_nonpositive_interval(self):
+        with pytest.raises(ValueError):
+            SamplingProfiler(interval=0.0)
+
+
+# ---------------------------------------------------------------------------
+# Request ids
+
+
+class TestRequestContext:
+    def test_ids_unique_and_greppable(self):
+        a, b = new_request_id(), new_request_id()
+        assert a != b
+        assert "-" in a
+
+    def test_context_scopes_ambient_id(self):
+        assert current_request_id() is None
+        with request_context("abc-000001") as rid:
+            assert current_request_id() == rid == "abc-000001"
+        assert current_request_id() is None
+
+    def test_add_span_injects_ambient_id(self):
+        rec = TraceRecorder()
+        with request_context("abc-000042"):
+            rec.add_span("lane", "phase", 0.0, 1.0)
+            rec.add_span("lane", "phase", 0.0, 1.0,
+                         attrs={"request_id": "explicit"})
+        rec.add_span("lane", "phase", 0.0, 1.0)
+        rids = [
+            (s.attrs or {}).get("request_id") for s in rec.spans
+        ]
+        assert rids == ["abc-000042", "explicit", None]
+
+
+# ---------------------------------------------------------------------------
+# Service integration: incremental publication + stitched chrome trace
+
+
+class TestServiceRuntimeTelemetry:
+    def test_latency_gauges_publish_incrementally(self):
+        """Regression: gauges/windows must be live mid-run, not only
+        flushed at drain."""
+        imgs = _rand_images(3, 6)
+        svc = LabelService(
+            ServiceConfig(workers=2, batch_size=2), resilience=FAST,
+        )
+        try:
+            futures = [svc.submit(img) for img in imgs]
+            for f in futures:
+                f.result(timeout=30.0)
+            # still running — nothing has drained yet
+            assert svc.state == "running"
+            agg = svc.runtime
+            assert agg.counter_value("service.requests") == len(imgs)
+            assert agg.counter_value("service.batches") >= 1
+            assert agg.window("service.latency_ms").count == len(imgs)
+            for g in ("service.latency_p50_ms",
+                      "service.latency_p95_ms",
+                      "service.latency_p99_ms"):
+                assert agg.has_gauge(g), f"{g} not published mid-run"
+                assert agg.gauge_value(g) > 0.0
+            svc.publish_runtime()
+            assert agg.has_gauge("service.queue_depth")
+            assert agg.has_gauge("service.inflight")
+        finally:
+            svc.drain()
+
+    def test_serve_service_metrics_readiness_flips_at_drain(self):
+        svc = LabelService(ServiceConfig(workers=1), resilience=FAST)
+        srv = serve_service_metrics(svc)
+        try:
+            svc.label(_rand_images(4, 1)[0])
+            assert _get(srv.url + "/readyz")[0] == 200
+            parsed = parse_prometheus_text(_get(srv.url + "/metrics")[1])
+            assert parsed["service_requests_total"][""] == 1.0
+            assert "service_queue_depth" in parsed
+            svc.drain()
+            assert _get(srv.url + "/readyz")[0] == 503
+        finally:
+            svc.drain()
+            srv.close()
+
+    def test_forced_degradation_runs_inline_and_counts(self):
+        imgs = _rand_images(5, 2)
+        rec = TraceRecorder()
+        with use_recorder(rec):
+            svc = LabelService(
+                ServiceConfig(workers=1), resilience=FAST,
+            )
+            try:
+                svc.force_degraded("serial")
+                svc.force_degraded("serial")  # idempotent per rung
+                with pytest.raises(ValueError):
+                    svc.force_degraded("processes")
+                for img in imgs:
+                    svc.label(img)
+                agg = svc.runtime
+                assert agg.counter_value(
+                    "service.degrade.forced", labels={"rung": "serial"}
+                ) == 1
+                assert agg.counter_value(
+                    "service.degraded_batches", labels={"rung": "serial"}
+                ) >= 1
+                svc.clear_degraded()
+                svc.label(imgs[0])
+            finally:
+                svc.drain()
+        degraded = [
+            s for s in rec.spans
+            if s.phase == "service.request"
+            and (s.attrs or {}).get("degraded_to") == "serial"
+        ]
+        assert len(degraded) == len(imgs)
+
+    def test_request_id_stitches_lanes_through_chrome_round_trip(
+        self, tmp_path
+    ):
+        """One trace, many processes: frontend + >=2 worker lanes share
+        request ids and survive the chrome export losslessly."""
+        imgs = _rand_images(6, 12)
+        rec = TraceRecorder()
+        with use_recorder(rec):
+            with LabelService(
+                ServiceConfig(workers=2, batch_size=2),
+                resilience=FAST,
+            ) as svc:
+                futures = [svc.submit(img) for img in imgs]
+                for f in futures:
+                    f.result(timeout=30.0)
+        spans = rec.spans
+        lanes = {s.lane for s in spans}
+        assert "frontend" in lanes
+        worker_lanes = {l for l in lanes if l.startswith("worker ")}
+        assert len(worker_lanes) >= 2, f"lanes: {sorted(lanes)}"
+
+        def rids(span_iter, lane_pred):
+            return {
+                (s.attrs or {}).get("request_id")
+                for s in span_iter
+                if lane_pred(s.lane)
+                and (s.attrs or {}).get("request_id")
+            }
+
+        front = rids(spans, lambda l: l == "frontend")
+        workers = rids(spans, lambda l: l.startswith("worker "))
+        assert front, "frontend spans carry no request ids"
+        assert front & workers, "no request id stitched across the fork"
+
+        # chrome round trip is lossless: same lanes, phases, attrs
+        path = tmp_path / "trace.chrome.json"
+        write_chrome_trace(spans, path)
+        back, _metrics = read_chrome_trace(path)
+        def shape(span_iter):
+            return sorted(
+                (s.lane, s.phase, s.depth,
+                 json.dumps(s.attrs or {}, sort_keys=True))
+                for s in span_iter
+            )
+
+        orig = shape(spans)
+        round_tripped = shape(back)
+        assert round_tripped == orig
+        assert rids(back, lambda l: l == "frontend") == front
+        assert rids(back, lambda l: l.startswith("worker ")) == workers
+
+        # worker request spans carry engine + pid provenance, and the
+        # engine phase sub-spans nest inside them at depth 1
+        wreq = [
+            s for s in back
+            if s.lane.startswith("worker ") and s.phase == "request"
+        ]
+        assert wreq
+        assert all((s.attrs or {}).get("pid") for s in wreq)
+        subphases = {
+            s.phase for s in back
+            if s.lane.startswith("worker ") and s.depth == 1
+        }
+        assert {"scan", "label"} <= subphases

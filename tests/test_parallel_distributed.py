@@ -84,3 +84,33 @@ def test_property_distributed_matches_oracle(img, n_ranks):
     result = distributed_label(img, n_ranks=n_ranks)
     assert result.n_components == n
     assert labelings_equivalent(result.labels, expected)
+
+
+def test_ranks_run_through_shared_executor(structural_image):
+    """The distributed path now launches ranks through the shared map
+    executor, so a traced run shows the same ``executor.map`` funnel
+    (kind=threads, one item per rank) as every other backend."""
+    from repro.obs import TraceRecorder, use_recorder
+
+    rec = TraceRecorder()
+    with use_recorder(rec):
+        result = distributed_label(structural_image, n_ranks=3)
+    expected, n = flood_fill_label(structural_image, 8)
+    assert result.n_components == n
+    spans = [s for s in rec.spans if s.phase == "executor.map"]
+    assert len(spans) == 1
+    attrs = spans[0].attrs or {}
+    assert attrs["kind"] == "threads"
+    assert attrs["items"] == 3
+    counters = rec.metrics.as_dict()["counters"]
+    assert counters["executor.map.kind.threads"] == 1
+
+
+def test_run_spmd_rejects_foreign_executor_kinds():
+    from repro.mp.runner import run_spmd
+
+    def program(machine):
+        return machine.rank
+
+    with pytest.raises(ValueError, match="executor_kind"):
+        run_spmd(program, 2, executor_kind="processes")

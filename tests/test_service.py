@@ -170,7 +170,8 @@ class _BlockedPool:
         self.entered = threading.Event()
         self.respawns = 0
 
-    def dispatch(self, images, connectivity=None, timeout=None):
+    def dispatch(self, images, connectivity=None, timeout=None,
+                 request_ids=None):
         self.entered.set()
         assert self.release.wait(30.0)
         out = []
