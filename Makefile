@@ -18,7 +18,7 @@ export PYTHONPATH := src
 
 .PHONY: test chaos bench-paremsp bench-trace bench bench-history \
 	bench-density dispatch-table perf-gate analyze-trace service-smoke \
-	service-metrics-smoke
+	service-metrics-smoke shard-smoke
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -77,6 +77,9 @@ perf-gate:
 	$(PYTHON) -m repro.obs.cli compare \
 		benchmarks/history/baseline_density.json \
 		--dir benchmarks/history
+	$(PYTHON) -m repro.obs.cli compare \
+		benchmarks/history/baseline_shard.json \
+		--dir benchmarks/history
 
 # speedup decomposition (serial fraction, imbalance, contention) of the
 # traces `make bench-trace` leaves behind.
@@ -103,4 +106,14 @@ service-smoke:
 service-metrics-smoke:
 	$(PYTHON) -m repro.bench.metrics_smoke --out BENCH_paremsp.json
 
-bench: bench-paremsp service-smoke service-metrics-smoke
+# elastic-shard gate (see docs/SHARDED.md): labels a ~64 MB on-disk
+# raster with 4 supervised shard processes, kills one rank mid-scan,
+# and fails unless recovery resumes from the shard's checkpoints to
+# byte-identical labels within the overhead ceiling, with /dev/shm and
+# the checkpoint directory left clean. Appends the recovery-overhead
+# record to the perf history for `perf-gate`.
+shard-smoke:
+	$(PYTHON) benchmarks/bench_shard_smoke.py --repeats 2 \
+		--out BENCH_paremsp.json --history benchmarks/history
+
+bench: bench-paremsp service-smoke service-metrics-smoke shard-smoke

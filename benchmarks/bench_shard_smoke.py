@@ -1,0 +1,312 @@
+"""Sharded-runtime smoke: out-of-core labeling must survive a rank kill.
+
+``make shard-smoke`` / ``python benchmarks/bench_shard_smoke.py``
+
+Builds a ~64 MB on-disk raster (8192x8192 uint8, written block-wise so
+the image never sits in RAM at once), labels it with the elastic
+sharded runtime (:func:`repro.parallel.shard_label`, 4 shards) straight
+into an on-disk label array, then repeats the run with one injected
+``kill_rank`` fault mid-scan against a checkpoint directory. The gates:
+
+* **byte-identity** — the clean runs *and* the faulted run must match
+  the serial ``tiled_label`` oracle file byte-for-byte (fatal even
+  under ``--record-only``);
+* **recovery overhead** — the faulted run's wall time over the clean
+  median must stay under ``--max-overhead`` (default 3x): a kill costs
+  a respawn plus the re-scan of the chunks since the victim's last
+  snapshot, never a from-scratch rerun;
+* **hygiene** — ``/dev/shm`` and the checkpoint directory must be
+  exactly as clean after the bench as before it.
+
+The record merges into ``--out`` as a ``"shard"`` section (sharing one
+artifact with the paremsp/service smokes); with ``--history`` a
+:mod:`repro.perfdb` record (benchmark ``shard_smoke``) lands in the
+history directory for the ``repro-obs compare`` regression gate
+against the committed ``baseline_shard.json``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import pathlib
+import sys
+import tempfile
+import time
+
+import numpy as np
+from numpy.lib.format import open_memmap
+
+from repro.faults import FaultPlan, FaultSpec, ResilienceConfig
+from repro.parallel import shard_label, tiled_label
+
+__all__ = ["run", "main"]
+
+TILE = (256, 256)
+
+#: bounded respawns, no backoff padding, a watchdog sized for the
+#: full-raster scan on a busy CI box.
+RESILIENCE = ResilienceConfig(
+    max_retries=2, backoff_base=0.0, phase_timeout=600.0
+)
+
+
+def _shm_segments() -> set[str]:
+    try:
+        return set(os.listdir("/dev/shm"))
+    except FileNotFoundError:  # pragma: no cover - non-Linux
+        return set()
+
+
+def _median(values: list[float]) -> float:
+    ordered = sorted(values)
+    n = len(ordered)
+    mid = n // 2
+    if n % 2:
+        return ordered[mid]
+    return (ordered[mid - 1] + ordered[mid]) / 2.0
+
+
+def _write_raster(
+    path: pathlib.Path, side: int, density: float, seed: int,
+    block: int = 512,
+) -> None:
+    """Fill an on-disk uint8 raster block-wise (out-of-core build)."""
+    rng = np.random.default_rng(seed)
+    mm = open_memmap(path, mode="w+", dtype=np.uint8, shape=(side, side))
+    for r0 in range(0, side, block):
+        r1 = min(side, r0 + block)
+        mm[r0:r1] = rng.random((r1 - r0, side)) < density
+    mm.flush()
+    del mm
+
+
+def _files_identical(a: pathlib.Path, b: pathlib.Path) -> bool:
+    if os.path.getsize(a) != os.path.getsize(b):
+        return False
+    chunk = 1 << 22
+    with open(a, "rb") as fa, open(b, "rb") as fb:
+        while True:
+            ba = fa.read(chunk)
+            if ba != fb.read(chunk):
+                return False
+            if not ba:
+                return True
+
+
+def run(
+    side: int = 8192,
+    density: float = 0.45,
+    n_shards: int = 4,
+    repeats: int = 2,
+    seed: int = 0,
+    checkpoint_every: int = 4,
+    workdir: str | os.PathLike | None = None,
+) -> dict:
+    """Time clean vs one-kill sharded runs of a *side* x *side* raster.
+
+    Returns the record dict; raises ``SystemExit`` on a correctness or
+    hygiene failure (those are fatal regardless of the timing gate).
+    """
+    tmp_ctx = None
+    if workdir is None:
+        tmp_ctx = tempfile.TemporaryDirectory(prefix="repro-shard-smoke-")
+        root = pathlib.Path(tmp_ctx.name)
+    else:
+        root = pathlib.Path(workdir)
+        root.mkdir(parents=True, exist_ok=True)
+    shm_before = _shm_segments()
+    try:
+        img_path = root / "img.npy"
+        _write_raster(img_path, side, density, seed)
+        image = np.load(img_path, mmap_mode="r")
+
+        oracle = tiled_label(image, tile_shape=TILE, out=root / "oracle.npy")
+        n_oracle = oracle.n_components
+        del oracle
+
+        clean_reps: list[float] = []
+        for _ in range(repeats):
+            t0 = time.perf_counter()
+            res = shard_label(
+                image, n_shards=n_shards, tile_shape=TILE,
+                out=root / "clean.npy",
+            )
+            clean_reps.append(time.perf_counter() - t0)
+            del res
+            if not _files_identical(root / "clean.npy", root / "oracle.npy"):
+                raise SystemExit(
+                    "FAIL: clean sharded labels diverged from tiled_label"
+                )
+
+        # the faulted pass: rank 0 is killed after its first snapshot
+        # batch, so recovery must resume the shard from its checkpoint
+        plan = FaultPlan(
+            [FaultSpec("kill_rank", phase="scan", rank=0, after_chunks=1)]
+        )
+        ck = root / "ck"
+        t0 = time.perf_counter()
+        faulted = shard_label(
+            image, n_shards=n_shards, tile_shape=TILE,
+            checkpoint_dir=ck, checkpoint_every=checkpoint_every,
+            resilience=RESILIENCE, fault_plan=plan,
+            out=root / "fault.npy",
+        )
+        fault_wall = time.perf_counter() - t0
+        if not _files_identical(root / "fault.npy", root / "oracle.npy"):
+            raise SystemExit(
+                "FAIL: post-kill sharded labels diverged from tiled_label"
+            )
+        if plan.injected != 1:
+            raise SystemExit("FAIL: the kill_rank fault never fired")
+        if faulted.meta["rank_deaths"] < 1:
+            raise SystemExit("FAIL: no rank death recorded for the kill")
+        meta = dict(faulted.meta)
+        n_faulted = faulted.n_components
+        del faulted
+        if n_faulted != n_oracle:
+            raise SystemExit("FAIL: component count diverged after the kill")
+        if (ck / "scratch").exists():
+            raise SystemExit(
+                "FAIL: recovery left scratch state under the checkpoint dir"
+            )
+    finally:
+        if tmp_ctx is not None:
+            tmp_ctx.cleanup()
+
+    leaked = _shm_segments() - shm_before
+    if leaked:
+        raise SystemExit(
+            f"FAIL: sharded run leaked shm segments: {sorted(leaked)}"
+        )
+
+    clean_wall = _median(clean_reps)
+    mpix = side * side / 1e6
+    return {
+        "benchmark": "shard_smoke",
+        "schema_version": 1,
+        "raster": {
+            "side": side,
+            "bytes": side * side,
+            "density": density,
+            "seed": seed,
+        },
+        "n_shards": n_shards,
+        "tile_shape": list(TILE),
+        "checkpoint_every": checkpoint_every,
+        "repeats": repeats,
+        "n_components": n_oracle,
+        "clean_wall_reps": clean_reps,
+        "clean_wall_seconds": clean_wall,
+        "clean_throughput_mpix_s": mpix / clean_wall,
+        "fault_wall_seconds": fault_wall,
+        "recovery_overhead": fault_wall / clean_wall,
+        "rank_deaths": meta["rank_deaths"],
+        "respawns": meta["respawns"],
+        "reassigned": meta["reassigned"],
+        "rescan_chunks": meta["rescan_chunks"],
+        "shards_resumed": list(meta["shards_resumed"]),
+        "byte_identical": True,        # identity checks are fatal otherwise
+        "shm_clean": True,             # leak check is fatal otherwise
+        "checkpoint_dir_clean": True,  # scratch check is fatal otherwise
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument(
+        "--side", type=int, default=8192,
+        help="raster side length (default 8192 = a 64 MB uint8 memmap)",
+    )
+    ap.add_argument("--density", type=float, default=0.45)
+    ap.add_argument("--shards", type=int, default=4)
+    ap.add_argument("--repeats", type=int, default=2)
+    ap.add_argument("--seed", type=int, default=0)
+    ap.add_argument("--checkpoint-every", type=int, default=4)
+    ap.add_argument(
+        "--max-overhead", type=float, default=3.0,
+        help="fail when the killed run costs more than this factor of "
+        "the clean median wall time",
+    )
+    ap.add_argument("--out", default="BENCH_paremsp.json")
+    ap.add_argument(
+        "--record-only", action="store_true",
+        help="write the record but never fail the timing gate (CI smoke "
+        "mode); correctness and hygiene checks stay fatal",
+    )
+    ap.add_argument(
+        "--history", metavar="DIR", default=None,
+        help="append a repro.perfdb record (median + bootstrap CI + "
+        "environment fingerprint) under DIR for 'repro-obs compare'",
+    )
+    args = ap.parse_args(argv)
+
+    record = run(
+        side=args.side,
+        density=args.density,
+        n_shards=args.shards,
+        repeats=args.repeats,
+        seed=args.seed,
+        checkpoint_every=args.checkpoint_every,
+    )
+
+    out = pathlib.Path(args.out)
+    merged: dict = {}
+    if out.exists():
+        try:
+            merged = json.loads(out.read_text())
+        except (json.JSONDecodeError, OSError):
+            merged = {}
+    if not isinstance(merged, dict):
+        merged = {}
+    merged["shard"] = record
+    with open(out, "w") as fh:
+        json.dump(merged, fh, indent=2)
+        fh.write("\n")
+
+    print(
+        f"shard {args.side}x{args.side} raster ({args.shards} shards): "
+        f"clean {record['clean_wall_seconds']:.2f}s "
+        f"({record['clean_throughput_mpix_s']:.1f} Mpix/s), one kill "
+        f"{record['fault_wall_seconds']:.2f}s "
+        f"({record['recovery_overhead']:.2f}x, "
+        f"{record['rescan_chunks']} chunks rescanned) -> {out}"
+    )
+
+    if args.history:
+        from repro.perfdb import (
+            append_record,
+            build_record,
+            environment_fingerprint,
+        )
+
+        history_record = build_record(
+            "shard_smoke",
+            record["clean_wall_reps"],
+            meta={
+                "raster": record["raster"],
+                "n_shards": record["n_shards"],
+                "recovery_overhead": record["recovery_overhead"],
+                "fault_wall_seconds": record["fault_wall_seconds"],
+                "rescan_chunks": record["rescan_chunks"],
+            },
+            env=environment_fingerprint(n_threads=args.shards),
+        )
+        path = append_record(history_record, args.history)
+        print(f"history record -> {path}")
+
+    if record["recovery_overhead"] > args.max_overhead:
+        print(
+            f"FAIL: recovery overhead {record['recovery_overhead']:.2f}x "
+            f"above the {args.max_overhead:.1f}x ceiling"
+        )
+        if args.record_only:
+            print("(record-only mode: timing gate not fatal)")
+            return 0
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

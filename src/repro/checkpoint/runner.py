@@ -27,7 +27,7 @@ from __future__ import annotations
 import time
 
 from ..errors import BackendError, CheckpointCorruptError
-from ..faults import DEFAULT_RESILIENCE
+from ..faults import DEFAULT_RESILIENCE, degradation_reason
 from ..obs import get_recorder
 
 __all__ = ["JobRunner"]
@@ -96,7 +96,9 @@ class JobRunner:
                     time.sleep(self.resilience.backoff(attempt))
                     continue
                 if step and isinstance(result.meta, dict):
-                    result.meta["degraded_from"] = ladder[0]
+                    result.meta["degraded_from"] = degradation_reason(
+                        ladder[0], last
+                    )
                 return result
         assert last is not None
         raise last

@@ -116,8 +116,27 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--resume",
         action="store_true",
-        help="resume the --job from the latest valid snapshot in "
-        "--checkpoint-dir instead of starting over",
+        help="resume the --job (or --shards run) from the latest valid "
+        "snapshot in --checkpoint-dir / --shard-checkpoint-dir instead "
+        "of starting over",
+    )
+    parser.add_argument(
+        "--shards",
+        type=int,
+        metavar="N",
+        default=None,
+        help="label via the elastic sharded runtime: cut the raster "
+        "into N band shards executed by supervised worker processes "
+        "with tree-reduce seam merging (see docs/SHARDED.md); uses "
+        "--tile-shape and --checkpoint-every",
+    )
+    parser.add_argument(
+        "--shard-checkpoint-dir",
+        metavar="DIR",
+        default=None,
+        help="durable scratch directory for --shards runs; a killed "
+        "run restarted with --resume continues from the per-shard "
+        "snapshots",
     )
     parser.add_argument(
         "--level",
@@ -223,6 +242,81 @@ def _print_stats(labels: np.ndarray, n: int) -> None:
         print(f"... {n - 20} more")
 
 
+def _degrade_detail(reason: dict) -> str:
+    """Render the error/ranks portion of a ``degraded_from`` reason."""
+    bits = []
+    if reason.get("error"):
+        bits.append(reason["error"])
+    if reason.get("ranks"):
+        bits.append(f"ranks {list(reason['ranks'])}")
+    return f" ({', '.join(bits)})" if bits else ""
+
+
+def _parse_tile_shape(raw: str) -> tuple[int, int] | None:
+    try:
+        th, _, tw = raw.lower().partition("x")
+        return (int(th), int(tw or th))
+    except ValueError:
+        print(
+            f"error: bad --tile-shape {raw!r} (expected HxW, e.g. 128x128)",
+            file=sys.stderr,
+        )
+        return None
+
+
+def _run_sharded(args, image, in_path, out_path) -> int:
+    """The ``--shards`` path: elastic multi-process sharded labeling."""
+    import time
+
+    from .parallel import shard_label
+
+    tile_shape = _parse_tile_shape(args.tile_shape)
+    if tile_shape is None:
+        return 2
+    kwargs: dict = {}
+    if args.checkpoint_every is not None:
+        kwargs["checkpoint_every"] = args.checkpoint_every
+    t0 = time.perf_counter()
+    with _maybe_profiler(args) as prof:
+        result = shard_label(
+            image,
+            n_shards=args.shards,
+            tile_shape=tile_shape,
+            connectivity=args.connectivity,
+            checkpoint_dir=args.shard_checkpoint_dir,
+            resume=args.resume,
+            **kwargs,
+        )
+    elapsed = time.perf_counter() - t0
+    _write_profile(args, prof)
+    labels = np.asarray(result.labels)
+    n = result.n_components
+    if args.min_area > 0:
+        labels = filter_components(labels, min_area=args.min_area)
+        n = int(labels.max(initial=0))
+    _save(out_path, labels)
+    print(
+        f"{in_path.name}: {image.shape[0]}x{image.shape[1]}, "
+        f"{n} components -> {out_path.name} "
+        f"({elapsed * 1e3:.1f} ms, sharded x{result.meta['n_shards']})"
+    )
+    resumed = result.meta.get("shards_resumed")
+    if resumed:
+        print(
+            f"note: resumed {len(resumed)} shard(s) from checkpoint "
+            f"({result.meta['rescan_chunks']} chunks rescanned)"
+        )
+    degraded_from = result.meta.get("degraded_from")
+    if degraded_from:
+        print(
+            f"note: shard pool lost quorum"
+            f"{_degrade_detail(degraded_from)}; finished inline"
+        )
+    if args.stats and n:
+        _print_stats(labels, n)
+    return 0
+
+
 def _run_job(args, image, in_path, out_path) -> int:
     """The ``--job`` path: checkpointable out-of-core labeling."""
     import dataclasses as _dc
@@ -243,15 +337,8 @@ def _run_job(args, image, in_path, out_path) -> int:
     if args.checkpoint_every is not None:
         kwargs["every"] = args.checkpoint_every
     if args.job == "tiled":
-        try:
-            th, _, tw = args.tile_shape.lower().partition("x")
-            tile_shape = (int(th), int(tw or th))
-        except ValueError:
-            print(
-                f"error: bad --tile-shape {args.tile_shape!r} "
-                "(expected HxW, e.g. 128x128)",
-                file=sys.stderr,
-            )
+        tile_shape = _parse_tile_shape(args.tile_shape)
+        if tile_shape is None:
             return 2
 
     def build_and_run():
@@ -315,7 +402,8 @@ def _run_job(args, image, in_path, out_path) -> int:
     degraded_from = result.meta.get("degraded_from")
     if degraded_from:
         print(
-            f"note: backend {degraded_from!r} failed; job degraded to "
+            f"note: backend {degraded_from['backend']!r} failed"
+            f"{_degrade_detail(degraded_from)}; job degraded to "
             f"{job.backend_name!r}"
         )
     if args.stats and n:
@@ -333,8 +421,24 @@ def main(argv: list[str] | None = None) -> int:
             file=sys.stderr,
         )
         return 2
-    if args.resume and not args.checkpoint_dir:
-        print("error: --resume requires --checkpoint-dir", file=sys.stderr)
+    if args.shards is not None and args.job:
+        print(
+            "error: --shards and --job are mutually exclusive",
+            file=sys.stderr,
+        )
+        return 2
+    if args.shard_checkpoint_dir and args.shards is None:
+        print(
+            "error: --shard-checkpoint-dir requires --shards",
+            file=sys.stderr,
+        )
+        return 2
+    if args.resume and not (args.checkpoint_dir or args.shard_checkpoint_dir):
+        print(
+            "error: --resume requires --checkpoint-dir "
+            "(or --shard-checkpoint-dir for --shards runs)",
+            file=sys.stderr,
+        )
         return 2
     if not in_path.exists():
         print(f"error: no such file: {in_path}", file=sys.stderr)
@@ -348,6 +452,8 @@ def main(argv: list[str] | None = None) -> int:
 
     if args.job:
         return _run_job(args, image, in_path, out_path)
+    if args.shards is not None:
+        return _run_sharded(args, image, in_path, out_path)
 
     if args.backend:
         import dataclasses as _dc
@@ -411,7 +517,8 @@ def main(argv: list[str] | None = None) -> int:
     degraded_from = (result.meta or {}).get("degraded_from")
     if degraded_from:
         print(
-            f"note: backend {degraded_from!r} failed; run degraded to "
+            f"note: backend {degraded_from['backend']!r} failed"
+            f"{_degrade_detail(degraded_from)}; run degraded to "
             f"{result.backend!r}"
         )
     dispatch = (result.meta or {}).get("dispatch")

@@ -32,6 +32,7 @@ from .plan import (
     CHECKPOINT_KINDS,
     KINDS,
     NULL_PLAN,
+    RANK_KINDS,
     FaultPlan,
     FaultSpec,
     NullFaultPlan,
@@ -45,11 +46,13 @@ from .resilience import (
     DegradationPolicy,
     ResilienceConfig,
     backoff_delays,
+    degradation_reason,
 )
 
 __all__ = [
     "KINDS",
     "CHECKPOINT_KINDS",
+    "RANK_KINDS",
     "FaultSpec",
     "FaultPlan",
     "NullFaultPlan",
@@ -62,4 +65,5 @@ __all__ = [
     "DEFAULT_RESILIENCE",
     "DegradationPolicy",
     "backoff_delays",
+    "degradation_reason",
 ]

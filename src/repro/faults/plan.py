@@ -35,6 +35,7 @@ from typing import Iterable, Iterator
 __all__ = [
     "KINDS",
     "CHECKPOINT_KINDS",
+    "RANK_KINDS",
     "FaultSpec",
     "FaultPlan",
     "NullFaultPlan",
@@ -58,6 +59,10 @@ KINDS = (
     "crash_at_checkpoint",  # process dies right after a snapshot commits
     "torn_write",           # payload truncated under a committed manifest
     "corrupt_snapshot",     # one payload byte flipped after commit
+    # sharded-runtime kinds (consumed by repro.parallel.sharded; the
+    # phase names a shard phase: "scan", "seam", "reduce-<level>"):
+    "kill_rank",       # an elastic shard rank dies (os._exit mid-phase)
+    "drop_seam_msg",   # a seam task's pair file is lost in flight
 )
 
 #: kinds a forked scan worker executes itself (shipped as directives).
@@ -65,6 +70,10 @@ WORKER_KINDS = ("kill_worker", "delay_chunk")
 
 #: kinds consumed at the SnapshotStore.save site (phase="checkpoint").
 CHECKPOINT_KINDS = ("crash_at_checkpoint", "torn_write", "corrupt_snapshot")
+
+#: kinds shipped to the elastic shard ranks of repro.parallel.sharded
+#: (arbitrated coordinator-side at fork, like WORKER_KINDS).
+RANK_KINDS = ("kill_rank", "drop_seam_msg")
 
 
 @dataclasses.dataclass(frozen=True)
@@ -211,6 +220,12 @@ class FaultPlan:
                 phase = "comm"
             elif kind in CHECKPOINT_KINDS:
                 phase = "checkpoint"
+            elif kind == "drop_seam_msg":
+                phase = "seam"
+            elif kind == "kill_rank":
+                # the shard runtime's supervised phases: a rank death is
+                # survivable in any of them (docs/SHARDED.md).
+                phase = rng.choice(("scan", "seam", "reduce-0"))
             else:
                 phase = rng.choice(phases)
             specs.append(

@@ -27,7 +27,38 @@ __all__ = [
     "DEFAULT_RESILIENCE",
     "DegradationPolicy",
     "backoff_delays",
+    "degradation_reason",
 ]
+
+
+def degradation_reason(
+    backend: str,
+    exc: BaseException | None = None,
+    ranks: tuple[int, ...] = (),
+) -> dict:
+    """The auditable ``meta["degraded_from"]`` record for a rung drop.
+
+    Every degradation carries not just the rung it fell *from* but
+    *why*: the exception type, a bounded message, and the ranks that
+    failed (taken from the exception when it knows them, e.g.
+    :class:`~repro.errors.WorkerCrashError.ranks`). Traces and the CLI
+    surface this verbatim, so a shard-quorum degradation in production
+    is attributable to a concrete rank death rather than a bare
+    "came from processes".
+    """
+    reason: dict = {"backend": backend}
+    if exc is not None:
+        reason["error"] = type(exc).__name__
+        message = str(exc)
+        if message:
+            reason["message"] = message[:200]
+    resolved = tuple(ranks) or tuple(getattr(exc, "ranks", ()) or ())
+    if resolved:
+        reason["ranks"] = [int(r) for r in resolved]
+    phase = getattr(exc, "phase", None)
+    if phase:
+        reason["phase"] = phase
+    return reason
 
 
 @dataclasses.dataclass(frozen=True)

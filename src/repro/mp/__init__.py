@@ -19,12 +19,19 @@ lives in :mod:`repro.parallel.distributed`.
 
 from .comm import Communicator
 from .metering import MeteredCommunicator, NetworkModel, TrafficCounter
-from .runner import SpmdError, run_spmd
+from .runner import (
+    DEFAULT_SPMD_TIMEOUT,
+    SpmdError,
+    resolve_spmd_timeout,
+    run_spmd,
+)
 
 __all__ = [
     "Communicator",
     "run_spmd",
     "SpmdError",
+    "DEFAULT_SPMD_TIMEOUT",
+    "resolve_spmd_timeout",
     "MeteredCommunicator",
     "TrafficCounter",
     "NetworkModel",

@@ -19,17 +19,49 @@ Failure handling is two-layered:
 
 from __future__ import annotations
 
+import os
 import threading
 from typing import Any, Callable
 
 from ..errors import PhaseTimeoutError
 from .comm import Communicator, Network
 
-__all__ = ["run_spmd", "SpmdError"]
+__all__ = ["run_spmd", "SpmdError", "DEFAULT_SPMD_TIMEOUT", "resolve_spmd_timeout"]
 
 #: extra time (seconds) granted after a cancel for blocked ranks to
 #: unwind through their poll loop and report a typed error.
 _CANCEL_GRACE = 2.0
+
+#: the hung-rank unwind deadline when neither the ``timeout`` argument
+#: nor the ``REPRO_SPMD_TIMEOUT`` environment variable is set.
+DEFAULT_SPMD_TIMEOUT = 120.0
+
+#: environment knob overriding the default run deadline (seconds).
+_TIMEOUT_ENV = "REPRO_SPMD_TIMEOUT"
+
+
+def resolve_spmd_timeout(timeout: float | None) -> float:
+    """The effective SPMD run deadline: explicit argument beats the
+    ``REPRO_SPMD_TIMEOUT`` environment variable beats the default.
+
+    A malformed or non-positive value (argument or environment) raises
+    ``ValueError`` immediately — a deadline that silently became 0 or
+    ``-5`` would report every run as hung.
+    """
+    if timeout is None:
+        raw = os.environ.get(_TIMEOUT_ENV)
+        if raw is None or not raw.strip():
+            return DEFAULT_SPMD_TIMEOUT
+        try:
+            timeout = float(raw)
+        except ValueError:
+            raise ValueError(
+                f"{_TIMEOUT_ENV} must be a number of seconds, got {raw!r}"
+            ) from None
+    timeout = float(timeout)
+    if timeout <= 0:
+        raise ValueError(f"SPMD timeout must be > 0 seconds, got {timeout}")
+    return timeout
 
 
 class SpmdError(RuntimeError):
@@ -47,7 +79,7 @@ def run_spmd(
     program: Callable[..., Any],
     size: int,
     *args: Any,
-    timeout: float = 120.0,
+    timeout: float | None = None,
     executor_kind: str | None = None,
     **kwargs: Any,
 ) -> list[Any]:
@@ -56,8 +88,14 @@ def run_spmd(
     Returns the per-rank return values in rank order. If any rank raises,
     every failure is collected into one :class:`SpmdError`; surviving
     ranks blocked on the dead peer fail fast through the network's
-    failure registry. Ranks that outlive *timeout* are cancelled and
-    reported as :class:`~repro.errors.PhaseTimeoutError` failures.
+    failure registry. Ranks that outlive the run deadline are cancelled
+    and reported as :class:`~repro.errors.PhaseTimeoutError` failures
+    naming the stuck ranks.
+
+    The deadline is configurable: pass *timeout* in seconds, or set the
+    ``REPRO_SPMD_TIMEOUT`` environment variable (the argument wins);
+    with neither, :data:`DEFAULT_SPMD_TIMEOUT` applies. Malformed or
+    non-positive values raise ``ValueError`` up front.
 
     ``executor_kind="threads"`` launches the ranks through the shared
     map-executor roster (:func:`repro.parallel.backends.executor.
@@ -76,6 +114,7 @@ def run_spmd(
             "executor_kind must be None or 'threads' for in-process "
             f"SPMD, got {executor_kind!r}"
         )
+    timeout = resolve_spmd_timeout(timeout)
     network = Network(size)
     results: list[Any] = [None] * size
     errors: dict[int, BaseException] = {}
@@ -126,15 +165,23 @@ def run_spmd(
         for t in hung:
             t.join(timeout=_CANCEL_GRACE)
         failures = dict(errors)
-        for t in hung:
-            rank = int(t.name.split("-")[1])
-            if rank not in failures:
-                failures[rank] = PhaseTimeoutError(
-                    "rank did not finish",
-                    phase="spmd",
-                    timeout=timeout,
-                    ranks=(rank,),
-                )
+        stuck = tuple(
+            sorted(
+                int(t.name.split("-")[1])
+                for t in hung
+                if int(t.name.split("-")[1]) not in failures
+            )
+        )
+        for rank in stuck:
+            failures[rank] = PhaseTimeoutError(
+                f"rank {rank} did not finish within the {timeout:.1f}s "
+                f"run deadline (stuck ranks: {list(stuck)}; raise it via "
+                "run_spmd(timeout=...) or the REPRO_SPMD_TIMEOUT "
+                "environment variable)",
+                phase="spmd",
+                timeout=timeout,
+                ranks=stuck,
+            )
         raise SpmdError(failures)
     if errors:
         raise SpmdError(errors)

@@ -29,6 +29,7 @@ algorithm from the execution vehicle:
 from .distributed import distributed_label
 from .paremsp import ParallelResult, paremsp
 from .partition import RowChunk, partition_rows
+from .sharded import ShardPlan, build_reduce_schedule, plan_shards, shard_label
 from .tiled import tiled_label
 
 __all__ = [
@@ -38,4 +39,8 @@ __all__ = [
     "partition_rows",
     "distributed_label",
     "tiled_label",
+    "shard_label",
+    "ShardPlan",
+    "plan_shards",
+    "build_reduce_schedule",
 ]

@@ -139,9 +139,16 @@ def distributed_label_program(
 
 
 def distributed_label(
-    image: np.ndarray, n_ranks: int = 4, connectivity: int = 8
+    image: np.ndarray,
+    n_ranks: int = 4,
+    connectivity: int = 8,
+    timeout: float | None = None,
 ) -> CCLResult:
     """Label *image* with the distributed-memory algorithm.
+
+    *timeout* is the SPMD run deadline, forwarded to
+    :func:`~repro.mp.run_spmd` (default: the ``REPRO_SPMD_TIMEOUT``
+    environment variable, then 120 s).
 
     >>> import numpy as np
     >>> r = distributed_label(np.ones((8, 4), dtype=np.uint8), n_ranks=3)
@@ -159,6 +166,7 @@ def distributed_label(
         n_ranks,
         image,
         connectivity,
+        timeout=timeout,
         executor_kind="threads",
     )
     dt = time.perf_counter() - t0

@@ -34,6 +34,7 @@ import numpy as np
 
 from ..ccl.labeling import CCLResult, apply_table, check_label_capacity
 from ..errors import BackendError
+from ..faults import degradation_reason
 from ..obs import PhaseTimer, get_recorder
 from ..types import LABEL_DTYPE, ensure_input
 from ..unionfind.flatten import flatten_ranges, flatten_ranges_array
@@ -229,13 +230,18 @@ def paremsp(
     ladder = (backend,)
     if degradation is not None:
         ladder = degradation.ladder_from(backend)
+    last_exc: BackendError | None = None
     for step, active in enumerate(ladder):
         try:
             return _run_pipeline(
                 img, n_threads, active, backend, connectivity, engine,
                 rec, resilience, fault_plan,
+                degraded_reason=(
+                    degradation_reason(backend, last_exc) if step else None
+                ),
             )
         except BackendError as exc:
+            last_exc = exc
             if step + 1 >= len(ladder):
                 raise
             if rec.enabled:
@@ -258,6 +264,7 @@ def _run_pipeline(
     rec,
     resilience,
     fault_plan,
+    degraded_reason: dict | None = None,
 ) -> ParallelResult:
     """One complete PAREMSP pass on one concrete backend.
 
@@ -274,7 +281,14 @@ def _run_pipeline(
     vectorised = engine in VECTOR_ENGINES
     meta: dict = {}
     if backend != requested_backend:
-        meta["degraded_from"] = requested_backend
+        # a reasoned record, not a bare rung name: which backend the
+        # run fell from, why (exception type + message), and the ranks
+        # implicated (see repro.faults.degradation_reason).
+        meta["degraded_from"] = (
+            degraded_reason
+            if degraded_reason is not None
+            else degradation_reason(requested_backend)
+        )
 
     mark = rec.mark()
     timer = PhaseTimer(rec)

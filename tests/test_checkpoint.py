@@ -443,7 +443,8 @@ class TestJobRunner:
             resilience=ResilienceConfig(max_retries=1, backoff_base=0.0),
         )
         res = runner.run()
-        assert res.meta["degraded_from"] == "processes"
+        assert res.meta["degraded_from"]["backend"] == "processes"
+        assert res.meta["degraded_from"]["error"]
         assert job.backend_name in ("threads", "serial")
         assert (tmp_path / "out.npy").read_bytes() == (
             tmp_path / "ref.npy"

@@ -58,6 +58,11 @@ EXPECTATIONS = {
     "crash_at_checkpoint": "unfired",
     "torn_write": "unfired",
     "corrupt_snapshot": "unfired",
+    # sharded-runtime sites live in repro.parallel.sharded's rank pool;
+    # paremsp never consults them (the shard cells are in the shard
+    # matrix below)
+    "kill_rank": "unfired",
+    "drop_seam_msg": "unfired",
 }
 
 
@@ -72,6 +77,10 @@ def _spec_for(kind: str) -> FaultSpec:
         return FaultSpec("delay_chunk", after_chunks=0, delay_seconds=0.02)
     if kind in ("crash_at_checkpoint", "torn_write", "corrupt_snapshot"):
         return FaultSpec(kind, phase="checkpoint", attempt=0)
+    if kind == "kill_rank":
+        return FaultSpec("kill_rank", phase="scan", rank=0)
+    if kind == "drop_seam_msg":
+        return FaultSpec("drop_seam_msg", phase="seam", rank=0)
     return FaultSpec("kill_worker", after_chunks=0)
 
 
@@ -203,3 +212,87 @@ def test_checkpoint_cell_resumes_byte_identical(
     ).read_bytes(), f"{job_kind}/{fault_kind}: resumed run diverged"
     assert ref.n_components == res.n_components
     assert list((tmp_path / "ck").iterdir()) == []
+
+
+# ---------------------------------------------------------------------------
+# the shard half of the matrix: every (shard phase x rank fault kind)
+# cell of the elastic sharded runtime must recover byte-identically,
+# leave the checkpoint directory empty, and orphan no rank process
+
+
+#: (fault kind, phase, after_chunks). ``after_chunks=1`` on the scan
+#: cell delays the kill past the first snapshot batch, so recovery must
+#: go through a checkpoint *resume* (proven via ``shard.rescan_chunks``)
+#: rather than a from-scratch rescan.
+SHARD_CELLS = (
+    ("kill_rank", "scan", 0),
+    ("kill_rank", "scan", 1),
+    ("kill_rank", "seam", 0),
+    ("kill_rank", "reduce-0", 0),
+    ("kill_rank", "reduce-1", 0),
+    ("drop_seam_msg", "seam", 0),
+)
+
+
+@pytest.mark.parametrize(
+    "kind,phase,after", SHARD_CELLS,
+    ids=[f"{k}-{p}-{a}" for k, p, a in SHARD_CELLS],
+)
+def test_shard_cell_recovers_byte_identical(img, tmp_path, kind, phase, after):
+    import multiprocessing
+
+    from repro.obs import TraceRecorder
+    from repro.parallel import shard_label, tiled_label
+
+    oracle = np.asarray(tiled_label(img, tile_shape=(8, 8)).labels)
+    plan = FaultPlan(
+        [FaultSpec(kind, phase=phase, rank=0, after_chunks=after)]
+    )
+    rec = TraceRecorder()
+    result = shard_label(
+        img, n_shards=4, tile_shape=(8, 8),
+        checkpoint_dir=tmp_path / "ck", checkpoint_every=1,
+        resilience=FAST, fault_plan=plan, recorder=rec,
+    )
+    assert np.array_equal(np.asarray(result.labels), oracle), (
+        f"{kind}/{phase}: recovered run diverged"
+    )
+    assert plan.injected == 1, f"{kind}/{phase}: fault never fired"
+    counters = rec.report().metrics["counters"]
+    if kind == "kill_rank":
+        assert result.meta["rank_deaths"] >= 1
+        assert counters.get("shard.rank_deaths", 0) >= 1
+    else:
+        assert result.meta["seam_recovered"] >= 1
+    if phase == "scan" and after > 0:
+        # the mid-scan kill recovered through the shard's snapshot
+        assert counters.get("shard.rescan_chunks", 0) >= 1
+        assert result.meta["shards_resumed"]
+    # clean exit: empty checkpoint dir, no orphaned rank processes
+    assert not (tmp_path / "ck" / "scratch").exists()
+    assert not [
+        p for p in multiprocessing.active_children()
+        if p.name.startswith("shard-rank")
+    ]
+
+
+def test_shard_sampled_plans_never_hang(img, tmp_path):
+    """Replayable random shard chaos: sampled rank-fault plans recover
+    byte-identically; no cell may hang past the watchdog."""
+    from repro.faults import RANK_KINDS
+    from repro.parallel import shard_label, tiled_label
+
+    oracle = np.asarray(tiled_label(img, tile_shape=(8, 8)).labels)
+    for seed in range(3):
+        plan = FaultPlan.sample(
+            seed, n_ranks=4, n_faults=2, kinds=RANK_KINDS
+        )
+        result = shard_label(
+            img, n_shards=4, tile_shape=(8, 8),
+            checkpoint_dir=tmp_path / f"ck-{seed}", checkpoint_every=1,
+            resilience=FAST, fault_plan=plan,
+        )
+        assert np.array_equal(np.asarray(result.labels), oracle), (
+            f"seed={seed}: recovered run diverged from oracle"
+        )
+        assert not (tmp_path / f"ck-{seed}" / "scratch").exists()

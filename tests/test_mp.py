@@ -182,3 +182,98 @@ def test_exception_propagates_with_rank():
         run_spmd(program, 2)
     assert 1 in exc_info.value.failures
     assert isinstance(exc_info.value.failures[1], ValueError)
+
+
+class TestSpmdTimeout:
+    """The configurable run deadline: argument > env var > default."""
+
+    def test_resolution_order(self, monkeypatch):
+        from repro.mp import DEFAULT_SPMD_TIMEOUT, resolve_spmd_timeout
+
+        monkeypatch.delenv("REPRO_SPMD_TIMEOUT", raising=False)
+        assert resolve_spmd_timeout(None) == DEFAULT_SPMD_TIMEOUT
+        monkeypatch.setenv("REPRO_SPMD_TIMEOUT", "7.5")
+        assert resolve_spmd_timeout(None) == 7.5
+        assert resolve_spmd_timeout(3.0) == 3.0  # the argument wins
+
+    @pytest.mark.parametrize("raw", ["zero", "", "-1", "0"])
+    def test_malformed_env_raises_up_front(self, monkeypatch, raw):
+        from repro.mp import resolve_spmd_timeout
+
+        monkeypatch.setenv("REPRO_SPMD_TIMEOUT", raw)
+        if raw.strip() == "":
+            # blank counts as unset, not malformed
+            from repro.mp import DEFAULT_SPMD_TIMEOUT
+
+            assert resolve_spmd_timeout(None) == DEFAULT_SPMD_TIMEOUT
+            return
+        with pytest.raises(ValueError):
+            resolve_spmd_timeout(None)
+
+    @pytest.mark.parametrize("bad", [0, -2.5])
+    def test_nonpositive_argument_rejected(self, bad):
+        with pytest.raises(ValueError):
+            run_spmd(lambda comm: comm.rank, 2, timeout=bad)
+
+    def test_stuck_rank_reported_with_typed_error(self):
+        import threading
+
+        from repro.errors import PhaseTimeoutError
+
+        # a released Event (not a long sleep) so the surviving daemon
+        # thread drains right after the assertion instead of lingering
+        # into later tests' rank-thread hygiene checks.
+        release = threading.Event()
+
+        def program(comm):
+            if comm.rank == 1:
+                release.wait(30.0)  # pure compute: never touches the network
+            return comm.rank
+
+        try:
+            with pytest.raises(SpmdError) as exc_info:
+                run_spmd(program, 2, timeout=0.2)
+        finally:
+            release.set()
+        err = exc_info.value.failures[1]
+        assert isinstance(err, PhaseTimeoutError)
+        assert err.ranks == (1,)
+        assert "rank 1" in str(err)
+        assert "0.2s" in str(err)
+        assert "REPRO_SPMD_TIMEOUT" in str(err)
+
+    def test_env_deadline_applies(self, monkeypatch):
+        import threading
+        import time
+
+        monkeypatch.setenv("REPRO_SPMD_TIMEOUT", "0.2")
+        release = threading.Event()
+
+        def program(comm):
+            if comm.rank == 0:
+                release.wait(30.0)
+            return comm.rank
+
+        t0 = time.monotonic()
+        try:
+            with pytest.raises(SpmdError):
+                run_spmd(program, 2)
+        finally:
+            release.set()
+        assert time.monotonic() - t0 < 10.0
+
+    def test_distributed_label_forwards_timeout(self, monkeypatch):
+        import repro.parallel.distributed as dist
+
+        seen = {}
+        real = dist.run_spmd
+
+        def spy(program, size, *args, **kwargs):
+            seen["timeout"] = kwargs.get("timeout")
+            return real(program, size, *args, **kwargs)
+
+        monkeypatch.setattr(dist, "run_spmd", spy)
+        img = np.ones((8, 4), dtype=np.uint8)
+        res = dist.distributed_label(img, n_ranks=2, timeout=45.0)
+        assert seen["timeout"] == 45.0
+        assert res.n_components == 1

@@ -242,7 +242,8 @@ class TestDegradation:
         )
         assert np.array_equal(result.labels, oracle)
         assert result.backend == "threads"
-        assert result.meta["degraded_from"] == "processes"
+        assert result.meta["degraded_from"]["backend"] == "processes"
+        assert result.meta["degraded_from"]["error"] == "WorkerCrashError"
         counters = rec.report().metrics["counters"]
         assert counters["degrade.fallback"] == 1
         assert counters["degrade.to.threads"] == 1
@@ -257,7 +258,7 @@ class TestDegradation:
         )
         assert np.array_equal(result.labels, oracle)
         assert result.backend == "serial"
-        assert result.meta["degraded_from"] == "threads"
+        assert result.meta["degraded_from"]["backend"] == "threads"
 
     def test_without_policy_error_propagates(self, img):
         plan = kill_every_attempt(FAST.max_retries)
