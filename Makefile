@@ -18,7 +18,7 @@ export PYTHONPATH := src
 
 .PHONY: test chaos bench-paremsp bench-trace bench bench-history \
 	bench-density dispatch-table perf-gate analyze-trace service-smoke \
-	service-metrics-smoke shard-smoke
+	service-metrics-smoke shard-smoke net-shard-smoke
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -80,6 +80,9 @@ perf-gate:
 	$(PYTHON) -m repro.obs.cli compare \
 		benchmarks/history/baseline_shard.json \
 		--dir benchmarks/history
+	$(PYTHON) -m repro.obs.cli compare \
+		benchmarks/history/baseline_netshard.json \
+		--dir benchmarks/history
 
 # speedup decomposition (serial fraction, imbalance, contention) of the
 # traces `make bench-trace` leaves behind.
@@ -116,4 +119,16 @@ shard-smoke:
 	$(PYTHON) benchmarks/bench_shard_smoke.py --repeats 2 \
 		--out BENCH_paremsp.json --history benchmarks/history
 
-bench: bench-paremsp service-smoke service-metrics-smoke shard-smoke
+# multi-host gate (see docs/SHARDED.md "Multi-host"): labels the same
+# ~64 MB raster across 2 loopback virtual hosts x 4 shards over the
+# real socket transport, blacks one host out as the reduce tree starts
+# (level 0), and fails unless the run stays byte-identical within the
+# overhead ceiling with no leaked sockets, worker processes, or
+# scratch claims. Appends the recovery-overhead record to the perf
+# history for `perf-gate`.
+net-shard-smoke:
+	$(PYTHON) benchmarks/bench_net_shard_smoke.py --repeats 2 \
+		--out BENCH_paremsp.json --history benchmarks/history
+
+bench: bench-paremsp service-smoke service-metrics-smoke shard-smoke \
+	net-shard-smoke

@@ -1,0 +1,359 @@
+"""Multi-host shard smoke: labeling must survive a network partition.
+
+``make net-shard-smoke`` / ``python benchmarks/bench_net_shard_smoke.py``
+
+Builds a ~64 MB on-disk raster (8192x8192 uint8, written block-wise so
+the image never sits in RAM at once), labels it across **2 loopback
+virtual hosts** x 4 shards with the multi-host sharded runtime
+(:func:`repro.parallel.net_shard_label` — real sockets, real worker
+processes, loopback addresses), then repeats the run with an injected
+``partition`` blackout against one host as the reduce tree starts
+(level 0). The gates:
+
+* **byte-identity** — the clean runs *and* the partitioned run must
+  match the serial ``tiled_label`` oracle file byte-for-byte (fatal
+  even under ``--record-only``);
+* **recovery overhead** — the partitioned run's wall time over the
+  clean median must stay under ``--max-overhead`` (default 3x): a
+  blackout costs retries/backoff plus at worst a lease expiry and the
+  migration of the dark host's tasks, never a from-scratch rerun;
+* **hygiene** — ``/dev/shm``, live child processes, and the checkpoint
+  directory must be exactly as clean after the bench as before it.
+
+The record merges into ``--out`` as a ``"netshard"`` section (sharing
+one artifact with the paremsp/service/shard smokes); with ``--history``
+a :mod:`repro.perfdb` record (benchmark ``netshard_smoke``) lands in
+the history directory for the ``repro-obs compare`` regression gate
+against the committed ``baseline_netshard.json``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import multiprocessing
+import os
+import pathlib
+import sys
+import tempfile
+import time
+
+import numpy as np
+from numpy.lib.format import open_memmap
+
+from repro.faults import FaultPlan, FaultSpec, ResilienceConfig
+from repro.parallel import net_shard_label, tiled_label
+from repro.parallel.net import NetConfig
+
+__all__ = ["run", "main"]
+
+TILE = (256, 256)
+
+#: bounded respawns, no backoff padding, a watchdog sized for the
+#: full-raster scan on a busy CI box.
+RESILIENCE = ResilienceConfig(
+    max_retries=2, backoff_base=0.0, phase_timeout=600.0
+)
+
+#: enough retry budget to ride out the injected blackout without
+#: waiting on the cap between attempts.
+NET = NetConfig(max_retries=6, backoff_base=0.05, backoff_cap=0.5)
+
+
+def _shm_segments() -> set[str]:
+    try:
+        return set(os.listdir("/dev/shm"))
+    except FileNotFoundError:  # pragma: no cover - non-Linux
+        return set()
+
+
+def _live_children() -> set[str]:
+    return {p.name for p in multiprocessing.active_children()}
+
+
+def _median(values: list[float]) -> float:
+    ordered = sorted(values)
+    n = len(ordered)
+    mid = n // 2
+    if n % 2:
+        return ordered[mid]
+    return (ordered[mid - 1] + ordered[mid]) / 2.0
+
+
+def _write_raster(
+    path: pathlib.Path, side: int, density: float, seed: int,
+    block: int = 512,
+) -> None:
+    """Fill an on-disk uint8 raster block-wise (out-of-core build)."""
+    rng = np.random.default_rng(seed)
+    mm = open_memmap(path, mode="w+", dtype=np.uint8, shape=(side, side))
+    for r0 in range(0, side, block):
+        r1 = min(side, r0 + block)
+        mm[r0:r1] = rng.random((r1 - r0, side)) < density
+    mm.flush()
+    del mm
+
+
+def _files_identical(a: pathlib.Path, b: pathlib.Path) -> bool:
+    if os.path.getsize(a) != os.path.getsize(b):
+        return False
+    chunk = 1 << 22
+    with open(a, "rb") as fa, open(b, "rb") as fb:
+        while True:
+            ba = fa.read(chunk)
+            if ba != fb.read(chunk):
+                return False
+            if not ba:
+                return True
+
+
+def run(
+    side: int = 8192,
+    density: float = 0.45,
+    n_hosts: int = 2,
+    n_shards: int = 4,
+    repeats: int = 2,
+    seed: int = 0,
+    partition_seconds: float = 1.0,
+    checkpoint_every: int = 4,
+    workdir: str | os.PathLike | None = None,
+) -> dict:
+    """Time clean vs one-partition multi-host runs of a raster.
+
+    Returns the record dict; raises ``SystemExit`` on a correctness or
+    hygiene failure (those are fatal regardless of the timing gate).
+    """
+    tmp_ctx = None
+    if workdir is None:
+        tmp_ctx = tempfile.TemporaryDirectory(prefix="repro-netshard-smoke-")
+        root = pathlib.Path(tmp_ctx.name)
+    else:
+        root = pathlib.Path(workdir)
+        root.mkdir(parents=True, exist_ok=True)
+    shm_before = _shm_segments()
+    children_before = _live_children()
+    try:
+        img_path = root / "img.npy"
+        _write_raster(img_path, side, density, seed)
+        image = np.load(img_path, mmap_mode="r")
+
+        oracle = tiled_label(image, tile_shape=TILE, out=root / "oracle.npy")
+        n_oracle = oracle.n_components
+        del oracle
+
+        clean_reps: list[float] = []
+        clean_meta: dict = {}
+        for _ in range(repeats):
+            t0 = time.perf_counter()
+            res = net_shard_label(
+                image, virtual_hosts=n_hosts, n_shards=n_shards,
+                tile_shape=TILE, resilience=RESILIENCE, net_config=NET,
+                out=root / "clean.npy",
+            )
+            clean_reps.append(time.perf_counter() - t0)
+            clean_meta = dict(res.meta)
+            del res
+            if not _files_identical(root / "clean.npy", root / "oracle.npy"):
+                raise SystemExit(
+                    "FAIL: clean multi-host labels diverged from tiled_label"
+                )
+            if clean_meta.get("degraded_from"):
+                raise SystemExit(
+                    "FAIL: clean multi-host run degraded off the cluster "
+                    f"rung: {clean_meta['degraded_from']}"
+                )
+
+        # the faulted pass: host 0 goes dark as the reduce tree starts
+        # (level 0); retries ride out the blackout, or the lease expires
+        # and its tasks migrate — either path must stay byte-identical
+        plan = FaultPlan([
+            FaultSpec("partition", phase="reduce-0", rank=0,
+                      delay_seconds=partition_seconds),
+        ])
+        ck = root / "ck"
+        t0 = time.perf_counter()
+        faulted = net_shard_label(
+            image, virtual_hosts=n_hosts, n_shards=n_shards,
+            tile_shape=TILE, resilience=RESILIENCE, net_config=NET,
+            checkpoint_dir=ck, checkpoint_every=checkpoint_every,
+            fault_plan=plan, out=root / "fault.npy",
+        )
+        fault_wall = time.perf_counter() - t0
+        if not _files_identical(root / "fault.npy", root / "oracle.npy"):
+            raise SystemExit(
+                "FAIL: post-partition labels diverged from tiled_label"
+            )
+        if plan.injected != 1:
+            raise SystemExit("FAIL: the partition fault never fired")
+        net_stats = dict(faulted.meta["net"])
+        if net_stats["partitions"] != 1:
+            raise SystemExit("FAIL: no partition recorded for the blackout")
+        meta = dict(faulted.meta)
+        n_faulted = faulted.n_components
+        del faulted
+        if n_faulted != n_oracle:
+            raise SystemExit(
+                "FAIL: component count diverged after the partition"
+            )
+        if (ck / "scratch").exists():
+            raise SystemExit(
+                "FAIL: recovery left scratch state under the checkpoint dir"
+            )
+    finally:
+        if tmp_ctx is not None:
+            tmp_ctx.cleanup()
+
+    leaked = _shm_segments() - shm_before
+    if leaked:
+        raise SystemExit(
+            f"FAIL: multi-host run leaked shm segments: {sorted(leaked)}"
+        )
+    stragglers = _live_children() - children_before
+    if stragglers:
+        raise SystemExit(
+            f"FAIL: multi-host run leaked worker processes: "
+            f"{sorted(stragglers)}"
+        )
+
+    clean_wall = _median(clean_reps)
+    mpix = side * side / 1e6
+    return {
+        "benchmark": "netshard_smoke",
+        "schema_version": 1,
+        "raster": {
+            "side": side,
+            "bytes": side * side,
+            "density": density,
+            "seed": seed,
+        },
+        "n_hosts": n_hosts,
+        "n_shards": n_shards,
+        "tile_shape": list(TILE),
+        "checkpoint_every": checkpoint_every,
+        "partition_seconds": partition_seconds,
+        "repeats": repeats,
+        "n_components": n_oracle,
+        "clean_wall_reps": clean_reps,
+        "clean_wall_seconds": clean_wall,
+        "clean_throughput_mpix_s": mpix / clean_wall,
+        "fault_wall_seconds": fault_wall,
+        "recovery_overhead": fault_wall / clean_wall,
+        "net_tasks": net_stats["net_tasks"],
+        "partitions": net_stats["partitions"],
+        "lease_expired": net_stats["lease_expired"],
+        "rejoined": net_stats["rejoined"],
+        "tasks_deduped": net_stats["tasks_deduped"],
+        "degraded": bool(meta.get("degraded_from")),
+        "byte_identical": True,        # identity checks are fatal otherwise
+        "shm_clean": True,             # leak check is fatal otherwise
+        "no_leaked_processes": True,   # straggler check is fatal otherwise
+        "checkpoint_dir_clean": True,  # scratch check is fatal otherwise
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument(
+        "--side", type=int, default=8192,
+        help="raster side length (default 8192 = a 64 MB uint8 memmap)",
+    )
+    ap.add_argument("--density", type=float, default=0.45)
+    ap.add_argument("--hosts", type=int, default=2,
+                    help="loopback virtual hosts (default 2)")
+    ap.add_argument("--shards", type=int, default=4)
+    ap.add_argument("--repeats", type=int, default=2)
+    ap.add_argument("--seed", type=int, default=0)
+    ap.add_argument("--partition-seconds", type=float, default=1.0)
+    ap.add_argument("--checkpoint-every", type=int, default=4)
+    ap.add_argument(
+        "--max-overhead", type=float, default=3.0,
+        help="fail when the partitioned run costs more than this factor "
+        "of the clean median wall time",
+    )
+    ap.add_argument("--out", default="BENCH_paremsp.json")
+    ap.add_argument(
+        "--record-only", action="store_true",
+        help="write the record but never fail the timing gate (CI smoke "
+        "mode); correctness and hygiene checks stay fatal",
+    )
+    ap.add_argument(
+        "--history", metavar="DIR", default=None,
+        help="append a repro.perfdb record (median + bootstrap CI + "
+        "environment fingerprint) under DIR for 'repro-obs compare'",
+    )
+    args = ap.parse_args(argv)
+
+    record = run(
+        side=args.side,
+        density=args.density,
+        n_hosts=args.hosts,
+        n_shards=args.shards,
+        repeats=args.repeats,
+        seed=args.seed,
+        partition_seconds=args.partition_seconds,
+        checkpoint_every=args.checkpoint_every,
+    )
+
+    out = pathlib.Path(args.out)
+    merged: dict = {}
+    if out.exists():
+        try:
+            merged = json.loads(out.read_text())
+        except (json.JSONDecodeError, OSError):
+            merged = {}
+    if not isinstance(merged, dict):
+        merged = {}
+    merged["netshard"] = record
+    with open(out, "w") as fh:
+        json.dump(merged, fh, indent=2)
+        fh.write("\n")
+
+    print(
+        f"netshard {args.side}x{args.side} raster "
+        f"({args.hosts} hosts x {args.shards} shards): "
+        f"clean {record['clean_wall_seconds']:.2f}s "
+        f"({record['clean_throughput_mpix_s']:.1f} Mpix/s), one "
+        f"partition {record['fault_wall_seconds']:.2f}s "
+        f"({record['recovery_overhead']:.2f}x, "
+        f"{record['lease_expired']} lease(s) expired, "
+        f"{record['tasks_deduped']} task(s) deduped) -> {out}"
+    )
+
+    if args.history:
+        from repro.perfdb import (
+            append_record,
+            build_record,
+            environment_fingerprint,
+        )
+
+        history_record = build_record(
+            "netshard_smoke",
+            record["clean_wall_reps"],
+            meta={
+                "raster": record["raster"],
+                "n_hosts": record["n_hosts"],
+                "n_shards": record["n_shards"],
+                "recovery_overhead": record["recovery_overhead"],
+                "fault_wall_seconds": record["fault_wall_seconds"],
+                "partitions": record["partitions"],
+                "lease_expired": record["lease_expired"],
+            },
+            env=environment_fingerprint(n_threads=args.shards),
+        )
+        path = append_record(history_record, args.history)
+        print(f"history record -> {path}")
+
+    if record["recovery_overhead"] > args.max_overhead:
+        print(
+            f"FAIL: recovery overhead {record['recovery_overhead']:.2f}x "
+            f"above the {args.max_overhead:.1f}x ceiling"
+        )
+        if args.record_only:
+            print("(record-only mode: timing gate not fatal)")
+            return 0
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

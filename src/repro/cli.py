@@ -139,6 +139,25 @@ def build_parser() -> argparse.ArgumentParser:
         "snapshots",
     )
     parser.add_argument(
+        "--hosts",
+        metavar="HOST:PORT,...",
+        default=None,
+        help="run --shards across these repro-shard-worker daemons "
+        "(comma-separated addresses); the scratch directory must be on "
+        "a filesystem every host shares. Unreachable hosts degrade the "
+        "run down the ladder (multi-host -> local shards -> inline) "
+        "unless quorum holds",
+    )
+    parser.add_argument(
+        "--virtual-hosts",
+        type=int,
+        metavar="N",
+        default=None,
+        help="run --shards across N loopback worker daemons spawned "
+        "locally -- the CI/dev stand-in for --hosts, exercising the "
+        "real socket transport without real machines",
+    )
+    parser.add_argument(
         "--level",
         type=float,
         default=0.5,
@@ -265,10 +284,9 @@ def _parse_tile_shape(raw: str) -> tuple[int, int] | None:
 
 
 def _run_sharded(args, image, in_path, out_path) -> int:
-    """The ``--shards`` path: elastic multi-process sharded labeling."""
+    """The ``--shards`` path: elastic sharded labeling, multi-process
+    locally or multi-host over ``--hosts`` / ``--virtual-hosts``."""
     import time
-
-    from .parallel import shard_label
 
     tile_shape = _parse_tile_shape(args.tile_shape)
     if tile_shape is None:
@@ -278,15 +296,32 @@ def _run_sharded(args, image, in_path, out_path) -> int:
         kwargs["checkpoint_every"] = args.checkpoint_every
     t0 = time.perf_counter()
     with _maybe_profiler(args) as prof:
-        result = shard_label(
-            image,
-            n_shards=args.shards,
-            tile_shape=tile_shape,
-            connectivity=args.connectivity,
-            checkpoint_dir=args.shard_checkpoint_dir,
-            resume=args.resume,
-            **kwargs,
-        )
+        if args.hosts or args.virtual_hosts:
+            from .parallel import net_shard_label
+
+            result = net_shard_label(
+                image,
+                hosts=args.hosts,
+                virtual_hosts=args.virtual_hosts,
+                n_shards=args.shards,
+                tile_shape=tile_shape,
+                connectivity=args.connectivity,
+                checkpoint_dir=args.shard_checkpoint_dir,
+                resume=args.resume,
+                **kwargs,
+            )
+        else:
+            from .parallel import shard_label
+
+            result = shard_label(
+                image,
+                n_shards=args.shards,
+                tile_shape=tile_shape,
+                connectivity=args.connectivity,
+                checkpoint_dir=args.shard_checkpoint_dir,
+                resume=args.resume,
+                **kwargs,
+            )
     elapsed = time.perf_counter() - t0
     _write_profile(args, prof)
     labels = np.asarray(result.labels)
@@ -295,10 +330,16 @@ def _run_sharded(args, image, in_path, out_path) -> int:
         labels = filter_components(labels, min_area=args.min_area)
         n = int(labels.max(initial=0))
     _save(out_path, labels)
+    n_hosts = result.meta.get("n_hosts")
+    mode = (
+        f"sharded x{result.meta['n_shards']} over {n_hosts} host(s)"
+        if n_hosts
+        else f"sharded x{result.meta['n_shards']}"
+    )
     print(
         f"{in_path.name}: {image.shape[0]}x{image.shape[1]}, "
         f"{n} components -> {out_path.name} "
-        f"({elapsed * 1e3:.1f} ms, sharded x{result.meta['n_shards']})"
+        f"({elapsed * 1e3:.1f} ms, {mode})"
     )
     resumed = result.meta.get("shards_resumed")
     if resumed:
@@ -308,10 +349,17 @@ def _run_sharded(args, image, in_path, out_path) -> int:
         )
     degraded_from = result.meta.get("degraded_from")
     if degraded_from:
-        print(
-            f"note: shard pool lost quorum"
-            f"{_degrade_detail(degraded_from)}; finished inline"
-        )
+        if degraded_from.get("backend") == "net-sharded":
+            print(
+                f"note: host pool lost quorum"
+                f"{_degrade_detail(degraded_from)}; finished on "
+                "local shards"
+            )
+        else:
+            print(
+                f"note: shard pool lost quorum"
+                f"{_degrade_detail(degraded_from)}; finished inline"
+            )
     if args.stats and n:
         _print_stats(labels, n)
     return 0
@@ -430,6 +478,18 @@ def main(argv: list[str] | None = None) -> int:
     if args.shard_checkpoint_dir and args.shards is None:
         print(
             "error: --shard-checkpoint-dir requires --shards",
+            file=sys.stderr,
+        )
+        return 2
+    if (args.hosts or args.virtual_hosts) and args.shards is None:
+        print(
+            "error: --hosts/--virtual-hosts require --shards",
+            file=sys.stderr,
+        )
+        return 2
+    if args.hosts and args.virtual_hosts:
+        print(
+            "error: --hosts and --virtual-hosts are mutually exclusive",
             file=sys.stderr,
         )
         return 2

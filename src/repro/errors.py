@@ -29,6 +29,11 @@ __all__ = [
     "ServiceClosedError",
     "ServiceOverloadedError",
     "QuotaExceededError",
+    "NetError",
+    "FrameCorruptError",
+    "FrameTruncatedError",
+    "PeerUnreachableError",
+    "ClusterQuorumError",
 ]
 
 
@@ -263,6 +268,80 @@ class QuotaExceededError(ServiceError):
         super().__init__(message)
         self.tenant = tenant
         self.in_flight = in_flight
+
+
+class NetError(ReproError, RuntimeError):
+    """Base class for socket-transport failures (:mod:`repro.parallel.net`)."""
+
+
+class FrameCorruptError(NetError, ValueError):
+    """A received frame failed its integrity check.
+
+    Either the magic/header bytes are not the protocol's (``fatal`` is
+    ``True``: the stream is desynchronised and the connection must be
+    torn down) or the payload's CRC32 did not match (``fatal`` is
+    ``False``: the header framed the bad bytes correctly, so the
+    receiver can reject just this frame and keep the stream).
+    """
+
+    def __init__(
+        self, message: str, *, seq: int | None = None, fatal: bool = False
+    ) -> None:
+        super().__init__(message)
+        self.seq = seq
+        self.fatal = fatal
+
+
+class FrameTruncatedError(NetError, ConnectionError):
+    """The stream ended mid-frame (peer died or connection was cut)."""
+
+    def __init__(self, message: str, *, wanted: int = 0, got: int = 0) -> None:
+        super().__init__(message)
+        self.wanted = wanted
+        self.got = got
+
+
+class PeerUnreachableError(NetError, ConnectionError):
+    """A peer could not be reached within the retry/backoff budget.
+
+    ``peer`` names the ``host:port`` endpoint, ``attempts`` how many
+    connect/send cycles were burned before giving up.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        peer: str = "",
+        attempts: int = 0,
+        phase: str | None = None,
+    ) -> None:
+        super().__init__(message)
+        self.peer = peer
+        self.attempts = attempts
+        self.phase = phase
+
+
+class ClusterQuorumError(NetError):
+    """Too few hosts are reachable to keep a multi-host run going.
+
+    Raised only when degradation is disabled; with ``degrade=True`` the
+    runtime steps down the ladder (multi-host -> single-host sharded ->
+    inline) and records the reason in ``meta["degraded_from"]``.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        reachable: tuple[str, ...] = (),
+        unreachable: tuple[str, ...] = (),
+        quorum: int = 0,
+    ) -> None:
+        super().__init__(message)
+        self.reachable = tuple(reachable)
+        self.unreachable = tuple(unreachable)
+        self.quorum = quorum
 
 
 class InjectedCrashError(ReproError, SystemError):

@@ -31,6 +31,7 @@ matrix.
 from .plan import (
     CHECKPOINT_KINDS,
     KINDS,
+    NET_KINDS,
     NULL_PLAN,
     RANK_KINDS,
     FaultPlan,
@@ -53,6 +54,7 @@ __all__ = [
     "KINDS",
     "CHECKPOINT_KINDS",
     "RANK_KINDS",
+    "NET_KINDS",
     "FaultSpec",
     "FaultPlan",
     "NullFaultPlan",

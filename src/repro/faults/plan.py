@@ -36,6 +36,7 @@ __all__ = [
     "KINDS",
     "CHECKPOINT_KINDS",
     "RANK_KINDS",
+    "NET_KINDS",
     "FaultSpec",
     "FaultPlan",
     "NullFaultPlan",
@@ -63,6 +64,15 @@ KINDS = (
     # phase names a shard phase: "scan", "seam", "reduce-<level>"):
     "kill_rank",       # an elastic shard rank dies (os._exit mid-phase)
     "drop_seam_msg",   # a seam task's pair file is lost in flight
+    # network-transport kinds (consumed by repro.parallel.net; the four
+    # per-call kinds fire at phase="net" on the client's send path,
+    # `partition` fires at the shard phase it should black out and
+    # `delay_seconds` is the partition's duration before it heals):
+    "drop_conn",       # the connection is cut right after a send
+    "partition",       # a host becomes unreachable, then heals
+    "slow_link",       # delay_seconds of extra latency on one send
+    "corrupt_frame",   # one payload byte flipped in flight (CRC catches)
+    "dup_msg",         # a frame is delivered twice (receiver dedups)
 )
 
 #: kinds a forked scan worker executes itself (shipped as directives).
@@ -74,6 +84,11 @@ CHECKPOINT_KINDS = ("crash_at_checkpoint", "torn_write", "corrupt_snapshot")
 #: kinds shipped to the elastic shard ranks of repro.parallel.sharded
 #: (arbitrated coordinator-side at fork, like WORKER_KINDS).
 RANK_KINDS = ("kill_rank", "drop_seam_msg")
+
+#: kinds consumed at the socket-transport layer (repro.parallel.net).
+#: The per-call kinds fire at the PeerClient send site (phase="net");
+#: `partition` is arbitrated by the cluster coordinator per shard phase.
+NET_KINDS = ("drop_conn", "partition", "slow_link", "corrupt_frame", "dup_msg")
 
 
 @dataclasses.dataclass(frozen=True)
@@ -226,6 +241,12 @@ class FaultPlan:
                 # the shard runtime's supervised phases: a rank death is
                 # survivable in any of them (docs/SHARDED.md).
                 phase = rng.choice(("scan", "seam", "reduce-0"))
+            elif kind == "partition":
+                # a partition can black out a host during any shard
+                # phase; the lease machinery must migrate its work.
+                phase = rng.choice(("scan", "seam", "reduce-0"))
+            elif kind in NET_KINDS:
+                phase = "net"
             else:
                 phase = rng.choice(phases)
             specs.append(

@@ -26,8 +26,11 @@ See the "Runtime telemetry" section of ``docs/OBSERVABILITY.md``.
 from .aggregator import (
     RollingWindow,
     RuntimeAggregator,
+    get_runtime_aggregator,
     parse_prometheus_text,
     prom_name,
+    set_runtime_aggregator,
+    use_runtime_aggregator,
 )
 from .context import (
     current_request_id,
@@ -44,6 +47,9 @@ __all__ = [
     "RuntimeAggregator",
     "parse_prometheus_text",
     "prom_name",
+    "get_runtime_aggregator",
+    "set_runtime_aggregator",
+    "use_runtime_aggregator",
     "new_request_id",
     "current_request_id",
     "set_request_id",

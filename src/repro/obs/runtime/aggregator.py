@@ -34,6 +34,9 @@ __all__ = [
     "RuntimeAggregator",
     "prom_name",
     "parse_prometheus_text",
+    "get_runtime_aggregator",
+    "set_runtime_aggregator",
+    "use_runtime_aggregator",
 ]
 
 #: quantiles every window exposes in /metrics (the SLO trio).
@@ -330,3 +333,45 @@ def parse_prometheus_text(text: str) -> dict[str, dict[str, float]]:
             )
         out.setdefault(metric, {})[labels] = value
     return out
+
+
+# -- the ambient aggregator ------------------------------------------------
+#
+# The service publishes its aggregator through `LabelService.runtime`;
+# batch-style runtimes (the sharded pool, the net transport) have no
+# service object to hang one on, so they publish through this ambient
+# hook instead — same pattern as `repro.obs.get_recorder`. `None` (the
+# default) costs one module-global read per *recovery event*, never per
+# pixel, so the disabled-overhead contract holds.
+
+_ambient_aggregator: "RuntimeAggregator | None" = None
+
+
+def get_runtime_aggregator() -> "RuntimeAggregator | None":
+    """The ambient :class:`RuntimeAggregator`, or ``None`` when no
+    ``/metrics`` endpoint wants live labelled counters."""
+    return _ambient_aggregator
+
+
+def set_runtime_aggregator(agg) -> "RuntimeAggregator | None":
+    """Install *agg* as the ambient aggregator; returns the previous."""
+    global _ambient_aggregator
+    previous = _ambient_aggregator
+    _ambient_aggregator = agg
+    return previous
+
+
+class use_runtime_aggregator:
+    """Scoped :func:`set_runtime_aggregator` (restores the previous)."""
+
+    def __init__(self, agg) -> None:
+        self._agg = agg
+        self._previous: "RuntimeAggregator | None" = None
+
+    def __enter__(self):
+        self._previous = set_runtime_aggregator(self._agg)
+        return self._agg
+
+    def __exit__(self, *exc) -> bool:
+        set_runtime_aggregator(self._previous)
+        return False

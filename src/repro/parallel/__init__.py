@@ -27,6 +27,7 @@ algorithm from the execution vehicle:
 """
 
 from .distributed import distributed_label
+from .net import net_shard_label
 from .paremsp import ParallelResult, paremsp
 from .partition import RowChunk, partition_rows
 from .sharded import ShardPlan, build_reduce_schedule, plan_shards, shard_label
@@ -40,6 +41,7 @@ __all__ = [
     "distributed_label",
     "tiled_label",
     "shard_label",
+    "net_shard_label",
     "ShardPlan",
     "plan_shards",
     "build_reduce_schedule",

@@ -1,0 +1,56 @@
+"""``repro.parallel.net`` — the multi-host transport + membership layer.
+
+Dependency-free (stdlib sockets) plumbing that lets the elastic
+sharded runtime span machines:
+
+* :mod:`~repro.parallel.net.framing` — the length-prefixed, CRC32'd,
+  sequence-numbered wire protocol and the receiver-side
+  :class:`~repro.parallel.net.framing.ReplayCache` that makes
+  at-least-once delivery idempotent;
+* :mod:`~repro.parallel.net.transport` — per-peer channels with
+  bounded exponential backoff + jitter, ``REPRO_NET_*`` timeout
+  precedence, and the client-side network fault-injection sites;
+* :mod:`~repro.parallel.net.membership` — lease-based liveness on the
+  observer's monotonic clock (clock-skew-safe), expiry → migration,
+  rejoin → incarnation bump;
+* :mod:`~repro.parallel.net.worker` — the stateless
+  ``repro-shard-worker`` host daemon;
+* :mod:`~repro.parallel.net.cluster` — the coordinator:
+  :func:`~repro.parallel.net.cluster.net_shard_label`, real ``--hosts``
+  or CI loopback
+  :class:`~repro.parallel.net.cluster.VirtualHostPool` virtual hosts,
+  and the net → single-host-sharded → inline degradation ladder.
+
+See docs/SHARDED.md ("Multi-host").
+"""
+
+from .cluster import NetPool, VirtualHostPool, net_shard_label, parse_hosts
+from .framing import ReplayCache, decode_header, encode_frame, read_frame
+from .membership import Lease, LeaseTable
+from .transport import (
+    NetConfig,
+    PartitionLink,
+    PeerClient,
+    backoff_delay,
+    resolve_net_timeout,
+)
+from .worker import WorkerServer
+
+__all__ = [
+    "encode_frame",
+    "decode_header",
+    "read_frame",
+    "ReplayCache",
+    "resolve_net_timeout",
+    "backoff_delay",
+    "NetConfig",
+    "PartitionLink",
+    "PeerClient",
+    "Lease",
+    "LeaseTable",
+    "WorkerServer",
+    "parse_hosts",
+    "VirtualHostPool",
+    "NetPool",
+    "net_shard_label",
+]

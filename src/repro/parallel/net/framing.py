@@ -1,0 +1,203 @@
+"""Framed message protocol: length-prefix + CRC32 + per-peer sequence.
+
+The wire unit is a **frame**::
+
+    MAGIC(4) | seq(8, unsigned big-endian) | length(4) | crc32(4) | payload
+
+``seq`` is a monotonic per-(peer, channel) sequence number assigned by
+the sender; ``crc32`` covers the payload bytes only. The header is
+deliberately self-describing enough to distinguish the two corruption
+regimes the transport must survive:
+
+* a **payload** whose CRC does not match its header — the header framed
+  the bad bytes correctly, so the receiver rejects *just this frame*
+  (:class:`~repro.errors.FrameCorruptError` with ``fatal=False``) and
+  the stream stays usable: the sender retries the same ``seq``;
+* a **header** that is not the protocol's (bad magic, absurd length) —
+  the stream is desynchronised and the only safe move is to tear the
+  connection down (``fatal=True``) and let reconnect re-frame it.
+
+Delivery is **at-least-once**: a sender that saw no reply resends the
+same frame (same ``seq``) on a fresh connection, and a flaky link may
+duplicate frames outright (the ``dup_msg`` fault). Receivers therefore
+dedup with a :class:`ReplayCache` keyed by ``(peer, seq)``: the first
+delivery executes and caches its reply, every later delivery of the
+same key returns the cached reply without re-executing — which is what
+makes retries safe for non-idempotent handlers and free for idempotent
+ones.
+
+Payloads are JSON objects (the transport moves *control* messages;
+bulk data stays on the shared filesystem — see docs/SHARDED.md).
+"""
+
+from __future__ import annotations
+
+import collections
+import json
+import struct
+import threading
+import zlib
+
+from ...errors import FrameCorruptError, FrameTruncatedError
+
+__all__ = [
+    "MAGIC",
+    "HEADER",
+    "MAX_FRAME_PAYLOAD",
+    "encode_frame",
+    "decode_header",
+    "read_frame",
+    "recv_exact",
+    "dumps_payload",
+    "loads_payload",
+    "ReplayCache",
+]
+
+#: protocol magic, bumped with any incompatible layout change.
+MAGIC = b"RPN1"
+
+#: header layout: magic, seq, payload length, payload crc32.
+HEADER = struct.Struct("!4sQII")
+
+#: sanity bound on a frame payload (control messages are tiny; a
+#: multi-megabyte "length" is a desynchronised or hostile stream).
+MAX_FRAME_PAYLOAD = 16 * 1024 * 1024
+
+
+def dumps_payload(obj: dict) -> bytes:
+    """Encode a JSON control message for the wire."""
+    return json.dumps(obj, separators=(",", ":")).encode("utf-8")
+
+
+def loads_payload(data: bytes) -> dict:
+    """Decode a wire payload back into its JSON object."""
+    return json.loads(data.decode("utf-8"))
+
+
+def encode_frame(seq: int, payload: bytes) -> bytes:
+    """One wire frame for *payload* with sequence number *seq*."""
+    if seq < 0:
+        raise ValueError(f"seq must be >= 0, got {seq}")
+    if len(payload) > MAX_FRAME_PAYLOAD:
+        raise ValueError(
+            f"payload of {len(payload)} bytes exceeds the "
+            f"{MAX_FRAME_PAYLOAD}-byte frame bound"
+        )
+    return (
+        HEADER.pack(MAGIC, seq, len(payload), zlib.crc32(payload)) + payload
+    )
+
+
+def decode_header(header: bytes) -> tuple[int, int, int]:
+    """Validate a header; returns ``(seq, length, crc)``.
+
+    Raises :class:`FrameCorruptError` with ``fatal=True`` on a bad
+    magic or an out-of-bounds length — both mean the byte stream is no
+    longer frame-aligned and the connection must be dropped.
+    """
+    magic, seq, length, crc = HEADER.unpack(header)
+    if magic != MAGIC:
+        raise FrameCorruptError(
+            f"bad frame magic {magic!r} (stream desynchronised)", fatal=True
+        )
+    if length > MAX_FRAME_PAYLOAD:
+        raise FrameCorruptError(
+            f"frame length {length} exceeds the {MAX_FRAME_PAYLOAD}-byte "
+            "bound (stream desynchronised)",
+            seq=seq,
+            fatal=True,
+        )
+    return seq, length, crc
+
+
+def recv_exact(sock, n: int) -> bytes:
+    """Read exactly *n* bytes from *sock* or raise
+    :class:`FrameTruncatedError` (the peer died / the link was cut)."""
+    chunks: list[bytes] = []
+    got = 0
+    while got < n:
+        chunk = sock.recv(n - got)
+        if not chunk:
+            raise FrameTruncatedError(
+                f"stream ended after {got} of {n} bytes", wanted=n, got=got
+            )
+        chunks.append(chunk)
+        got += len(chunk)
+    return b"".join(chunks)
+
+
+def read_frame(sock) -> tuple[int, bytes]:
+    """Read one complete frame; returns ``(seq, payload)``.
+
+    Integrity failures are typed: a truncated stream raises
+    :class:`FrameTruncatedError`; a corrupt payload raises
+    :class:`FrameCorruptError` with ``fatal=False`` (the frame was
+    delimited correctly — skip it, keep the stream); a corrupt header
+    raises with ``fatal=True`` (drop the connection).
+    """
+    seq, length, crc = decode_header(recv_exact(sock, HEADER.size))
+    payload = recv_exact(sock, length)
+    if zlib.crc32(payload) != crc:
+        raise FrameCorruptError(
+            f"payload CRC mismatch on frame seq={seq}", seq=seq, fatal=False
+        )
+    return seq, payload
+
+
+class ReplayCache:
+    """At-least-once dedup: remember each ``(peer, seq)``'s reply.
+
+    ``start(peer, seq)`` returns either ``("new", event)`` — the caller
+    owns execution and must finish with :meth:`done` — or
+    ``("wait", event)`` — another delivery of the same key is executing
+    right now; wait on the event then :meth:`get` the reply — or
+    ``("cached", reply)`` — the key already completed. The in-progress
+    path matters for slow handlers: a retry arriving *while* the first
+    delivery is still executing must not run the handler a second time
+    concurrently.
+
+    Bounded: the oldest completed entries are evicted beyond
+    *capacity* per peer (sequence numbers are monotonic per peer, so an
+    evicted entry can only be hit by a pathologically late duplicate —
+    which then re-executes, safe for idempotent handlers).
+    """
+
+    def __init__(self, capacity: int = 512) -> None:
+        self.capacity = capacity
+        self._lock = threading.Lock()
+        self._done: dict[str, collections.OrderedDict] = {}
+        self._inflight: dict[tuple[str, int], threading.Event] = {}
+        #: duplicate deliveries answered from cache (or a wait).
+        self.deduped = 0
+
+    def start(self, peer: str, seq: int):
+        with self._lock:
+            per_peer = self._done.setdefault(peer, collections.OrderedDict())
+            if seq in per_peer:
+                self.deduped += 1
+                return "cached", per_peer[seq]
+            key = (peer, seq)
+            event = self._inflight.get(key)
+            if event is not None:
+                self.deduped += 1
+                return "wait", event
+            event = threading.Event()
+            self._inflight[key] = event
+            return "new", event
+
+    def done(self, peer: str, seq: int, reply: dict) -> None:
+        with self._lock:
+            per_peer = self._done.setdefault(peer, collections.OrderedDict())
+            per_peer[seq] = reply
+            while len(per_peer) > self.capacity:
+                per_peer.popitem(last=False)
+            event = self._inflight.pop((peer, seq), None)
+        if event is not None:
+            event.set()
+
+    def get(self, peer: str, seq: int) -> dict | None:
+        with self._lock:
+            per_peer = self._done.get(peer)
+            if per_peer is None:
+                return None
+            return per_peer.get(seq)

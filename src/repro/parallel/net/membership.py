@@ -1,0 +1,130 @@
+"""Lease-based liveness: heartbeats renew a lease, silence expires it.
+
+A :class:`LeaseTable` tracks one lease per member. Every successful
+heartbeat **renews** the member's lease for ``duration`` seconds of the
+*observer's monotonic clock* — never the member's wall clock, so clock
+skew between hosts cannot fake liveness or death (the same fix the
+file-based heartbeats of :mod:`repro.parallel.sharded` get from
+monotonic counters). A :meth:`sweep` reports members whose lease ran
+out; the caller releases their claims — the same claim-release path a
+dead local rank takes — so a partitioned host's work migrates to
+reachable survivors. A member heard from *after* expiry **rejoins**
+with a bumped incarnation number: its stale in-flight work is
+deduplicated downstream by the durable done markers, which is what
+makes a partition that heals harmless.
+
+The table is thread-safe: renewals arrive from per-peer ping threads
+while the coordinator sweeps.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import threading
+import time
+
+__all__ = ["Lease", "LeaseTable"]
+
+
+@dataclasses.dataclass
+class Lease:
+    """One member's liveness state (all times ``time.monotonic``)."""
+
+    member: str
+    deadline: float
+    incarnation: int = 0
+    alive: bool = True
+    #: renewals observed (diagnostic; monotonic per incarnation).
+    renewals: int = 0
+
+
+class LeaseTable:
+    """Members, their leases, and the expiry/rejoin bookkeeping."""
+
+    def __init__(self, duration: float, clock=time.monotonic) -> None:
+        if duration <= 0:
+            raise ValueError(f"lease duration must be > 0, got {duration}")
+        self.duration = duration
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._leases: dict[str, Lease] = {}
+        #: cumulative counts (expired includes every incarnation).
+        self.expired_total = 0
+        self.rejoined_total = 0
+
+    def members(self) -> tuple[str, ...]:
+        with self._lock:
+            return tuple(self._leases)
+
+    def add(self, member: str) -> Lease:
+        """Register *member* with a fresh lease (idempotent)."""
+        with self._lock:
+            lease = self._leases.get(member)
+            if lease is None:
+                lease = Lease(member, self._clock() + self.duration)
+                self._leases[member] = lease
+            return lease
+
+    def renew(self, member: str) -> bool:
+        """A heartbeat from *member*: extend its lease.
+
+        Returns ``True`` when this renewal **rejoined** an expired
+        member (the partition healed) — the caller should restart its
+        dispatcher and count the recovery.
+        """
+        with self._lock:
+            lease = self._leases.get(member)
+            if lease is None:
+                lease = Lease(member, 0.0)
+                self._leases[member] = lease
+            rejoined = not lease.alive
+            if rejoined:
+                lease.alive = True
+                lease.incarnation += 1
+                lease.renewals = 0
+                self.rejoined_total += 1
+            lease.renewals += 1
+            lease.deadline = self._clock() + self.duration
+            return rejoined
+
+    def sweep(self) -> tuple[str, ...]:
+        """Expire overdue members; returns the newly expired ones.
+
+        Idempotent per expiry: a member is reported exactly once per
+        incarnation, however often the sweep runs.
+        """
+        now = self._clock()
+        expired: list[str] = []
+        with self._lock:
+            for lease in self._leases.values():
+                if lease.alive and now > lease.deadline:
+                    lease.alive = False
+                    self.expired_total += 1
+                    expired.append(lease.member)
+        return tuple(expired)
+
+    def expire(self, member: str) -> bool:
+        """Forcibly expire *member* now (e.g. unreachable at connect
+        time, before any lease period has had a chance to run out).
+        Returns ``True`` if the member was alive."""
+        with self._lock:
+            lease = self._leases.get(member)
+            if lease is not None and lease.alive:
+                lease.alive = False
+                self.expired_total += 1
+                return True
+        return False
+
+    def is_alive(self, member: str) -> bool:
+        with self._lock:
+            lease = self._leases.get(member)
+            return bool(lease is not None and lease.alive)
+
+    def alive_members(self) -> tuple[str, ...]:
+        with self._lock:
+            return tuple(m for m, l in self._leases.items() if l.alive)
+
+    def incarnation(self, member: str) -> int:
+        with self._lock:
+            lease = self._leases.get(member)
+            return 0 if lease is None else lease.incarnation

@@ -1,0 +1,383 @@
+"""Per-peer connection management: retries, backoff + jitter, timeouts.
+
+One :class:`PeerClient` owns one logical **channel** to one peer — a
+TCP connection it (re)establishes on demand, a monotonic sequence
+counter, and a bounded retry loop implementing idempotent
+at-least-once delivery on top of :mod:`.framing`:
+
+* a call sends one request frame and waits for the reply frame with the
+  same ``seq`` (stale replies — a duplicated or late answer from an
+  earlier attempt — are discarded by sequence number);
+* any transport failure (connect refused, send/recv timeout, truncated
+  stream, fatally corrupt header) tears the connection down, sleeps a
+  **bounded exponential backoff with jitter**, reconnects, and resends
+  the *same* frame — the receiver's :class:`~.framing.ReplayCache`
+  makes the retry safe;
+* a *non*-fatally corrupt reply (payload CRC mismatch) is counted and
+  retried on the same connection — the stream is still frame-aligned;
+* when the retry budget is spent the caller gets a typed
+  :class:`~repro.errors.PeerUnreachableError`.
+
+Timeouts follow the ``resolve_spmd_timeout`` precedence (argument >
+environment > default) via :func:`resolve_net_timeout`, with one
+environment knob per timeout class (``REPRO_NET_CONNECT_TIMEOUT``,
+``REPRO_NET_CALL_TIMEOUT``, ``REPRO_NET_EXEC_TIMEOUT``).
+
+Fault injection (``drop_conn`` / ``slow_link`` / ``corrupt_frame`` /
+``dup_msg``, consulted at phase ``"net"``) happens on the client's
+send path, and a shared :class:`PartitionLink` lets the cluster layer
+black out *every* channel to a host at once — the ``partition`` fault —
+then heal it.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import socket
+import time
+
+from ...errors import (
+    FrameCorruptError,
+    FrameTruncatedError,
+    PeerUnreachableError,
+)
+from ...faults import NULL_PLAN, record_injection
+from ...obs import NULL_RECORDER
+from .framing import dumps_payload, encode_frame, loads_payload, read_frame
+
+__all__ = [
+    "DEFAULT_CONNECT_TIMEOUT",
+    "DEFAULT_CALL_TIMEOUT",
+    "DEFAULT_EXEC_TIMEOUT",
+    "resolve_net_timeout",
+    "backoff_delay",
+    "NetConfig",
+    "PartitionLink",
+    "PeerClient",
+]
+
+#: TCP connect deadline (seconds) when nothing overrides it.
+DEFAULT_CONNECT_TIMEOUT = 5.0
+
+#: reply deadline for control calls (ping, heartbeat) — short, so a
+#: partitioned host is noticed within a lease period.
+DEFAULT_CALL_TIMEOUT = 10.0
+
+#: reply deadline for task-execution calls — long, a shard scan on a
+#: busy host is minutes of legitimate silence on the work channel.
+DEFAULT_EXEC_TIMEOUT = 300.0
+
+_ENV_PREFIX = "REPRO_NET_"
+
+
+def resolve_net_timeout(
+    timeout: float | None, env: str, default: float
+) -> float:
+    """Effective deadline: argument beats ``REPRO_NET_<ENV>`` beats
+    *default* — the :func:`repro.mp.resolve_spmd_timeout` precedence.
+
+    Malformed or non-positive values raise ``ValueError`` up front; a
+    deadline that silently became 0 would report every peer as dead.
+    """
+    if timeout is None:
+        raw = os.environ.get(_ENV_PREFIX + env)
+        if raw is None or not raw.strip():
+            return default
+        try:
+            timeout = float(raw)
+        except ValueError:
+            raise ValueError(
+                f"{_ENV_PREFIX + env} must be a number of seconds, got {raw!r}"
+            ) from None
+    timeout = float(timeout)
+    if timeout <= 0:
+        raise ValueError(f"net timeout must be > 0 seconds, got {timeout}")
+    return timeout
+
+
+def backoff_delay(
+    attempt: int,
+    base: float = 0.05,
+    factor: float = 2.0,
+    cap: float = 2.0,
+    rng: random.Random | None = None,
+) -> float:
+    """Reconnect delay before retry *attempt* (1-based): bounded
+    exponential with jitter.
+
+    The nominal delay is ``min(cap, base * factor**(attempt-1))``; the
+    returned value is jittered uniformly into ``[nominal/2, nominal]``
+    so a fleet of clients whose connections died together does not
+    reconnect in lockstep. Always ``0.0`` for ``attempt <= 0`` and
+    never above *cap*.
+    """
+    if attempt <= 0 or base <= 0:
+        return 0.0
+    nominal = min(cap, base * factor ** (attempt - 1))
+    r = rng if rng is not None else random
+    return nominal * (0.5 + 0.5 * r.random())
+
+
+class NetConfig:
+    """Transport knobs: timeouts, retry budget, backoff shape.
+
+    ``None`` timeouts resolve through :func:`resolve_net_timeout` at
+    construction, so a bad environment override fails fast and loudly.
+    """
+
+    __slots__ = (
+        "connect_timeout",
+        "call_timeout",
+        "exec_timeout",
+        "max_retries",
+        "backoff_base",
+        "backoff_factor",
+        "backoff_cap",
+    )
+
+    def __init__(
+        self,
+        connect_timeout: float | None = None,
+        call_timeout: float | None = None,
+        exec_timeout: float | None = None,
+        max_retries: int = 3,
+        backoff_base: float = 0.05,
+        backoff_factor: float = 2.0,
+        backoff_cap: float = 2.0,
+    ) -> None:
+        self.connect_timeout = resolve_net_timeout(
+            connect_timeout, "CONNECT_TIMEOUT", DEFAULT_CONNECT_TIMEOUT
+        )
+        self.call_timeout = resolve_net_timeout(
+            call_timeout, "CALL_TIMEOUT", DEFAULT_CALL_TIMEOUT
+        )
+        self.exec_timeout = resolve_net_timeout(
+            exec_timeout, "EXEC_TIMEOUT", DEFAULT_EXEC_TIMEOUT
+        )
+        if max_retries < 0:
+            raise ValueError(f"max_retries must be >= 0, got {max_retries}")
+        if backoff_base < 0 or backoff_factor < 1 or backoff_cap < 0:
+            raise ValueError(
+                "backoff must satisfy base >= 0, factor >= 1, cap >= 0 "
+                f"(got {backoff_base}, {backoff_factor}, {backoff_cap})"
+            )
+        self.max_retries = max_retries
+        self.backoff_base = backoff_base
+        self.backoff_factor = backoff_factor
+        self.backoff_cap = backoff_cap
+
+    def backoff(self, attempt: int, rng: random.Random | None = None) -> float:
+        return backoff_delay(
+            attempt,
+            self.backoff_base,
+            self.backoff_factor,
+            self.backoff_cap,
+            rng,
+        )
+
+
+class PartitionLink:
+    """Shared blackout switch for every channel to one host.
+
+    The ``partition`` fault: while active, a client consulting the link
+    fails immediately with :class:`PeerUnreachableError` — no packets
+    move in either direction, exactly as if the route vanished — and
+    after ``duration`` seconds the link **heals** on its own. Healing
+    by wall clock mirrors a real partition; determinism for tests comes
+    from sizing the duration against the lease, not from counting.
+    """
+
+    __slots__ = ("_until",)
+
+    def __init__(self) -> None:
+        self._until = 0.0
+
+    def cut(self, duration: float) -> None:
+        self._until = time.monotonic() + duration
+
+    def heal(self) -> None:
+        self._until = 0.0
+
+    def blocked(self) -> bool:
+        return time.monotonic() < self._until
+
+
+class PeerClient:
+    """One retrying, deduplicated request/reply channel to one peer.
+
+    *peer_id* is the identity the receiver deduplicates by: it must be
+    unique per (run, channel) and stable across reconnects, so a frame
+    resent on a fresh connection still hits the same replay-cache slot.
+    """
+
+    def __init__(
+        self,
+        addr: tuple[str, int],
+        peer_id: str,
+        config: NetConfig | None = None,
+        *,
+        recorder=None,
+        fault_plan=None,
+        fault_rank: int | None = None,
+        link: PartitionLink | None = None,
+        rng: random.Random | None = None,
+    ) -> None:
+        self.addr = (addr[0], int(addr[1]))
+        self.peer_id = peer_id
+        self.config = config if config is not None else NetConfig()
+        self.recorder = recorder if recorder is not None else NULL_RECORDER
+        self.fault_plan = fault_plan if fault_plan is not None else NULL_PLAN
+        self.fault_rank = fault_rank
+        self.link = link
+        self._rng = rng
+        self._sock: socket.socket | None = None
+        self._seq = 0
+        #: last measured round-trip time (seconds) of a successful call.
+        self.last_rtt: float | None = None
+
+    @property
+    def endpoint(self) -> str:
+        return f"{self.addr[0]}:{self.addr[1]}"
+
+    # -- connection lifecycle ---------------------------------------------
+
+    def _connect(self) -> socket.socket:
+        sock = socket.create_connection(
+            self.addr, timeout=self.config.connect_timeout
+        )
+        sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        return sock
+
+    def close(self) -> None:
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            except OSError:  # pragma: no cover - already torn down
+                pass
+            self._sock = None
+
+    def _drop(self) -> None:
+        self.close()
+
+    # -- the call loop ----------------------------------------------------
+
+    def _take_net_fault(self, kind: str):
+        if not self.fault_plan.enabled:
+            return None
+        spec = self.fault_plan.take(kind, "net", rank=self.fault_rank)
+        if spec is not None:
+            record_injection(self.recorder, spec)
+        return spec
+
+    def call(self, msg: dict, timeout: float | None = None) -> dict:
+        """Send *msg*, return the peer's reply — at-least-once.
+
+        Retries (with reconnect + backoff) until the reply for this
+        call's sequence number arrives or the budget is spent; the
+        receiver's replay cache makes every resend idempotent. *timeout*
+        overrides the per-reply deadline (default: ``call_timeout``).
+        """
+        if self.link is not None and self.link.blocked():
+            self._drop()
+            raise PeerUnreachableError(
+                f"peer {self.endpoint} is partitioned",
+                peer=self.endpoint,
+                attempts=0,
+            )
+        deadline = (
+            timeout if timeout is not None else self.config.call_timeout
+        )
+        self._seq += 1
+        seq = self._seq
+        payload = dumps_payload({**msg, "peer": self.peer_id})
+        frame = encode_frame(seq, payload)
+        last_error: Exception | None = None
+        attempts = 0
+        for attempt in range(self.config.max_retries + 1):
+            if self.link is not None and self.link.blocked():
+                self._drop()
+                raise PeerUnreachableError(
+                    f"peer {self.endpoint} is partitioned",
+                    peer=self.endpoint,
+                    attempts=attempts,
+                )
+            if attempt:
+                time.sleep(self.config.backoff(attempt, self._rng))
+            attempts += 1
+            try:
+                if self._sock is None:
+                    self._sock = self._connect()
+                    if attempt and self.recorder.enabled:
+                        self.recorder.count("net.reconnects")
+                reply = self._attempt(self._sock, seq, frame, deadline)
+            except (OSError, FrameTruncatedError, FrameCorruptError) as exc:
+                if isinstance(exc, FrameCorruptError) and not exc.fatal:
+                    # payload-only corruption: the stream is still
+                    # frame-aligned, retry without reconnecting.
+                    if self.recorder.enabled:
+                        self.recorder.count("net.frames_corrupt")
+                else:
+                    self._drop()
+                last_error = exc
+                if self.recorder.enabled:
+                    self.recorder.count("net.retries")
+                continue
+            return reply
+        raise PeerUnreachableError(
+            f"peer {self.endpoint} unreachable after {attempts} attempt(s): "
+            f"{type(last_error).__name__}: {last_error}",
+            peer=self.endpoint,
+            attempts=attempts,
+        )
+
+    def _attempt(self, sock, seq: int, frame: bytes, deadline: float) -> dict:
+        """One send + receive-matching-reply cycle on a live socket."""
+        spec = self._take_net_fault("slow_link")
+        if spec is not None:
+            time.sleep(spec.delay_seconds)
+        wire = frame
+        spec = self._take_net_fault("corrupt_frame")
+        if spec is not None and len(frame) > 20:
+            # flip one payload byte; the header still frames it, so the
+            # receiver NACKs this frame and the retry goes through.
+            corrupt = bytearray(frame)
+            corrupt[-1] ^= 0xFF
+            wire = bytes(corrupt)
+        sock.settimeout(deadline)
+        sock.sendall(wire)
+        if self._take_net_fault("dup_msg") is not None:
+            sock.sendall(wire)
+        if self._take_net_fault("drop_conn") is not None:
+            # the connection dies right after the request leaves: the
+            # reply is lost and the resend must be deduplicated.
+            self._drop()
+            raise ConnectionResetError("injected drop_conn")
+        t0 = time.perf_counter()
+        while True:
+            rseq, rpayload = read_frame(sock)
+            if rseq < seq:
+                # a stale reply (duplicated frame, or the answer to an
+                # attempt we already gave up on): discard by seq.
+                if self.recorder.enabled:
+                    self.recorder.count("net.frames_deduped")
+                continue
+            if rseq != seq:  # pragma: no cover - protocol invariant
+                raise FrameCorruptError(
+                    f"reply seq {rseq} for request seq {seq}", fatal=True
+                )
+            reply = loads_payload(rpayload)
+            if reply.get("corrupt"):
+                # receiver-side CRC NACK (our injected corrupt_frame
+                # arrived): resend the intact frame.
+                raise FrameCorruptError(
+                    "peer rejected corrupt frame", seq=seq, fatal=False
+                )
+            self.last_rtt = time.perf_counter() - t0
+            if self.recorder.enabled:
+                self.recorder.gauge("net.rtt_ms", self.last_rtt * 1e3)
+                if reply.pop("deduped", False):
+                    self.recorder.count("net.frames_deduped")
+            else:
+                reply.pop("deduped", None)
+            return reply

@@ -238,18 +238,40 @@ def _try_claim(
             pass
 
 
+def _claim_owner(claim: pathlib.Path) -> str | None:
+    """The ``rank:generation`` owner recorded in a claim file, or
+    ``None`` when the content is torn/malformed — a partially written
+    claim is *stale* (unattributable), never a reason to crash."""
+    try:
+        raw = claim.read_text()
+    except (OSError, UnicodeDecodeError):
+        return None
+    rank, sep, gen = raw.partition(":")
+    if not sep or not rank.isdigit() or not gen.isdigit():
+        return None
+    return raw
+
+
 def _release_claims(
     pdir: pathlib.Path, rank: int, generation: int, tasks: list[str]
 ) -> int:
     """Free the claims a dead (rank, generation) held on unfinished
-    tasks, so survivors can pick them up. Returns the release count."""
+    tasks, so survivors can pick them up. Returns the release count.
+
+    A claim whose content is torn/unparseable is released too: it
+    cannot belong to any live rank (live owners write their id
+    atomically before linking), and leaving it would wedge the task
+    forever.
+    """
     owner = f"{rank}:{generation}"
     released = 0
     for task in tasks:
         claim = pdir / "claim" / task
         done = pdir / "done" / task
+        found = _claim_owner(claim)
         try:
-            if claim.read_text() == owner and not done.exists():
+            if (found == owner or found is None) and claim.exists() \
+                    and not done.exists():
                 claim.unlink()
                 released += 1
         except OSError:
@@ -257,12 +279,51 @@ def _release_claims(
     return released
 
 
-def _touch_heartbeat(pdir: pathlib.Path, rank: int) -> None:
+def _touch_heartbeat(pdir: pathlib.Path, rank: int, generation: int,
+                     counter: int) -> None:
+    """Write the rank's liveness beat: a monotonic ``generation:counter``.
+
+    Staleness is judged by *counter progress observed on the
+    coordinator's monotonic clock*, never by the file's mtime — an NFS
+    server, a container with a skewed clock, or a host whose wall
+    clock steps backwards cannot fake (or fake-expire) liveness.
+    """
     hb = pdir / "hb" / str(rank)
     try:
-        hb.write_text(str(time.time()))
+        hb.write_text(f"{generation}:{counter}")
     except OSError:  # pragma: no cover - scratch torn down mid-write
         pass
+
+
+def _read_heartbeat(pdir: pathlib.Path, rank: int) -> str | None:
+    """The rank's current ``generation:counter`` beat, or ``None`` for
+    a missing, torn, or malformed heartbeat file (treated as no
+    progress — the staleness clock keeps running)."""
+    hb = pdir / "hb" / str(rank)
+    try:
+        raw = hb.read_text()
+    except (OSError, UnicodeDecodeError):
+        return None
+    gen, sep, counter = raw.partition(":")
+    if not sep or not gen.isdigit() or not counter.isdigit():
+        return None
+    return raw
+
+
+def _record_claims_released(recorder, rank: int | str, released: int) -> None:
+    """Surface a claim-release sweep: ``shard.claims_released`` in the
+    trace, and — when an ambient :class:`RuntimeAggregator` is
+    installed — the same counter with a ``rank`` label in ``/metrics``,
+    so a recovery shows up on dashboards, not just in logs."""
+    if not released:
+        return
+    if recorder.enabled:
+        recorder.count("shard.claims_released", released)
+    from ..obs.runtime import get_runtime_aggregator
+
+    agg = get_runtime_aggregator()
+    if agg is not None:
+        agg.inc("shard.claims_released", released, labels={"rank": str(rank)})
 
 
 def _mark_done(pdir: pathlib.Path, task: str, stats: dict) -> None:
@@ -523,9 +584,12 @@ def _rank_main(
     tasks_done = 0
     batches_done = 0
     drop_fired = False
+    beats = 0
 
     def heartbeat() -> None:
-        _touch_heartbeat(pdir, rank)
+        nonlocal beats
+        beats += 1
+        _touch_heartbeat(pdir, rank, generation, beats)
 
     def batch_tick() -> None:
         # scan-phase kill site: die after `after_chunks` checkpoint
@@ -614,6 +678,7 @@ def _run_phase(
         "rank_deaths": 0,
         "respawns": 0,
         "reassigned": 0,
+        "claims_released": 0,
         "heartbeat_kills": 0,
         "inline_tasks": 0,
         "degraded": None,
@@ -628,7 +693,10 @@ def _run_phase(
     quorum = max(1, quorum)
     procs: dict[int, object] = {}
     gens = {r: 0 for r in range(n_ranks)}
-    spawn_times: dict[int, float] = {}
+    #: rank -> (last observed heartbeat content, monotonic time the
+    #: content last *changed*). Progress is counter comparison across
+    #: sweeps — wall-clock mtime deltas would trust host clocks.
+    hb_seen: dict[int, tuple[str | None, float]] = {}
     all_procs: list = []
     degrade_reason: dict | None = None
 
@@ -651,7 +719,9 @@ def _run_phase(
         )
         proc.start()
         procs[rank] = proc
-        spawn_times[rank] = time.time()
+        # restart the staleness clock: the fresh generation begins its
+        # counter anew, which must not read as "no progress".
+        hb_seen[rank] = (None, time.monotonic())
         all_procs.append(proc)
         if recorder.enabled:
             recorder.count("shard.ranks_forked")
@@ -678,14 +748,19 @@ def _run_phase(
                 degrade_reason = degradation_reason("sharded", err)
                 break
             if heartbeat_timeout:
-                now = time.time()
+                mono = time.monotonic()
                 for rank, proc in list(procs.items()):
-                    hb = pdir / "hb" / str(rank)
-                    try:
-                        ref = hb.stat().st_mtime
-                    except OSError:
-                        ref = spawn_times[rank]
-                    if now - ref > heartbeat_timeout:
+                    beat = _read_heartbeat(pdir, rank)
+                    prev = hb_seen.get(rank)
+                    if prev is None:
+                        hb_seen[rank] = (beat, mono)
+                        continue
+                    if beat is not None and beat != prev[0]:
+                        # counter progressed: alive. A torn/malformed
+                        # read (None) is *not* progress — the staleness
+                        # clock keeps running on the last good beat.
+                        hb_seen[rank] = (beat, mono)
+                    elif mono - prev[1] > heartbeat_timeout:
                         # a wedged rank holds its claims forever; kill
                         # it and let the sentinel path below reclaim.
                         kill_workers([proc])
@@ -711,6 +786,8 @@ def _run_phase(
                     recorder.count("shard.rank_deaths")
                 released = _release_claims(pdir, rank, gens[rank], tasks)
                 agg["reassigned"] += released
+                agg["claims_released"] += released
+                _record_claims_released(recorder, rank, released)
                 if recorder.enabled and released:
                     recorder.count("shard.reassigned", released)
                 if gens[rank] < resilience.max_retries:
@@ -784,6 +861,92 @@ def _run_phase(
 # ---------------------------------------------------------------------------
 # the coordinator
 # ---------------------------------------------------------------------------
+
+
+def _ensure_shard_image(image) -> np.ndarray:
+    """Validate a shard-job input without materialising a memmap.
+
+    ``ensure_input`` would copy a multi-GB memmap into RAM, defeating
+    the out-of-core point; memmaps are validated structurally instead.
+    Shared by the single-host and multi-host coordinators.
+    """
+    if isinstance(image, np.memmap):
+        if image.ndim != 2:
+            raise InputError(f"image must be 2-D, got shape {image.shape!r}")
+        if image.dtype.kind not in "buif":
+            raise InputError(
+                f"unsupported image dtype {image.dtype!r}; expected a "
+                "boolean, integer, or binary float array"
+            )
+        return image
+    return ensure_input(image)
+
+
+def _init_scratch(
+    scratch: pathlib.Path, fingerprint: dict, rows: int, cols: int
+) -> None:
+    """Create (or validate) the durable scratch tree for one job.
+
+    Shared by the single-host coordinator and the multi-host cluster
+    coordinator (:mod:`repro.parallel.net.cluster`): ``meta.json``
+    fingerprint check, the task/forest/pair subtrees, and the
+    provisional-label memmap.
+    """
+    scratch.mkdir(parents=True, exist_ok=True)
+    meta_path = scratch / "meta.json"
+    if meta_path.exists():
+        try:
+            found = json.loads(meta_path.read_text())
+        except ValueError:
+            found = {"corrupt": True}
+        if found != fingerprint:
+            raise ResumeMismatchError(
+                "existing sharded scratch belongs to a different job; "
+                "refusing to resume into it",
+                expected=fingerprint,
+                found=found,
+            )
+    else:
+        _write_json_atomic(meta_path, fingerprint)
+    for sub in ("counts", "forest", "pairs", "ck"):
+        (scratch / sub).mkdir(exist_ok=True)
+    prov_path = scratch / "prov.npy"
+    if not prov_path.exists():
+        mm = open_memmap(
+            prov_path, mode="w+", dtype=LABEL_DTYPE, shape=(rows, cols)
+        )
+        mm.flush()
+        del mm
+
+
+def _compute_offsets(
+    scratch: pathlib.Path, n_shards: int
+) -> tuple[list[int], list[int], int]:
+    """Fold per-shard component counts into the global label offsets
+    (and persist them for the seam/reduce tasks)."""
+    totals = []
+    for s in range(n_shards):
+        counts = np.load(scratch / "counts" / f"shard-{s:04d}.npy")
+        totals.append(int(counts.sum()))
+    offsets = [0]
+    for t in totals:
+        offsets.append(offsets[-1] + t)
+    total = offsets.pop()
+    _write_json_atomic(
+        scratch / "offsets.json",
+        {"offsets": offsets, "totals": totals, "total": total},
+    )
+    return offsets, totals, total
+
+
+def _flatten_lut(ctx: dict, top_ref, total: int) -> tuple[np.ndarray, int]:
+    """FLATTEN the fully merged forest into the final-label LUT."""
+    top_forest = _load_child_forest(ctx, top_ref)
+    p: list[int] = list(range(total + 1))
+    for u, v in top_forest.tolist():
+        remsp_merge(p, u, v)
+    n_components = flatten(p, total + 1)
+    return np.asarray(p, dtype=LABEL_DTYPE), n_components
 
 
 def _finalize_output(
@@ -910,16 +1073,7 @@ def shard_label(
     th, tw = tile_shape
     if th < 1 or tw < 1:
         raise ValueError(f"tile dimensions must be >= 1, got {tile_shape!r}")
-    if isinstance(image, np.memmap):
-        if image.ndim != 2:
-            raise InputError(f"image must be 2-D, got shape {image.shape!r}")
-        if image.dtype.kind not in "buif":
-            raise InputError(
-                f"unsupported image dtype {image.dtype!r}; expected a "
-                "boolean, integer, or binary float array"
-            )
-    else:
-        image = ensure_input(image)
+    image = _ensure_shard_image(image)
     rows, cols = image.shape
     check_label_capacity((rows, cols))
     if rows == 0 or cols == 0:
@@ -960,28 +1114,7 @@ def shard_label(
     mark = rec.mark()
     timer = PhaseTimer(rec)
     try:
-        scratch.mkdir(parents=True, exist_ok=True)
-        meta_path = scratch / "meta.json"
-        if meta_path.exists():
-            found = json.loads(meta_path.read_text())
-            if found != fingerprint:
-                raise ResumeMismatchError(
-                    "existing sharded scratch belongs to a different job; "
-                    "refusing to resume into it",
-                    expected=fingerprint,
-                    found=found,
-                )
-        else:
-            _write_json_atomic(meta_path, fingerprint)
-        for sub in ("counts", "forest", "pairs", "ck"):
-            (scratch / sub).mkdir(exist_ok=True)
-        prov_path = scratch / "prov.npy"
-        if not prov_path.exists():
-            mm = open_memmap(
-                prov_path, mode="w+", dtype=LABEL_DTYPE, shape=(rows, cols)
-            )
-            mm.flush()
-            del mm
+        _init_scratch(scratch, fingerprint, rows, cols)
 
         ctx = {
             "scratch": str(scratch),
@@ -1009,18 +1142,7 @@ def shard_label(
                 ctx, "scan", scan_tasks, None, **phase_kwargs
             )
 
-        totals = []
-        for s in range(S):
-            counts = np.load(scratch / "counts" / f"shard-{s:04d}.npy")
-            totals.append(int(counts.sum()))
-        offsets = [0]
-        for t in totals:
-            offsets.append(offsets[-1] + t)
-        total = offsets.pop()
-        _write_json_atomic(
-            scratch / "offsets.json",
-            {"offsets": offsets, "totals": totals, "total": total},
-        )
+        offsets, totals, total = _compute_offsets(scratch, S)
 
         with timer.time("seam"):
             if S > 1:
@@ -1042,12 +1164,7 @@ def shard_label(
                 )
 
         with timer.time("flatten"):
-            top_forest = _load_child_forest(ctx, top_ref)
-            p: list[int] = list(range(total + 1))
-            for u, v in top_forest.tolist():
-                remsp_merge(p, u, v)
-            n_components = flatten(p, total + 1)
-            lut = np.asarray(p, dtype=LABEL_DTYPE)
+            lut, n_components = _flatten_lut(ctx, top_ref, total)
 
         with timer.time("label"):
             prov = _open_prov(ctx, "r")
@@ -1063,8 +1180,8 @@ def shard_label(
 
     agg = {
         "rank_deaths": 0, "respawns": 0, "reassigned": 0,
-        "heartbeat_kills": 0, "inline_tasks": 0, "rescan_chunks": 0,
-        "seam_recovered": 0, "dropped_seam": 0,
+        "claims_released": 0, "heartbeat_kills": 0, "inline_tasks": 0,
+        "rescan_chunks": 0, "seam_recovered": 0, "dropped_seam": 0,
     }
     degraded_from = None
     resumed_tasks: list[str] = []

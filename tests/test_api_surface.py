@@ -33,6 +33,7 @@ PUBLIC_MODULES = [
     "repro.parallel.boundary",
     "repro.parallel.distributed",
     "repro.parallel.tiled",
+    "repro.parallel.net",
     "repro.mp",
     "repro.volume",
     "repro.simmachine",
@@ -112,9 +113,11 @@ def test_experiment_names_are_stable():
 def test_console_scripts_import():
     from repro.bench.cli import main as bench_main
     from repro.cli import main as label_main
+    from repro.parallel.net.worker import main as worker_main
 
     assert callable(bench_main)
     assert callable(label_main)
+    assert callable(worker_main)
 
 
 def test_no_internal_leaks_in_top_level():

@@ -137,3 +137,29 @@ def test_many_components_use_16bit_pgm(tmp_path):
     labels = read_pnm(out)
     assert labels.dtype == np.uint16
     assert int(labels.max()) == 400
+
+def test_hosts_flags_require_shards(pbm_image, tmp_path, capsys):
+    path, _ = pbm_image
+    out = tmp_path / "labels.npy"
+    rc = main([str(path), str(out), "--virtual-hosts", "2"])
+    assert rc == 2
+    assert "--hosts/--virtual-hosts require --shards" in capsys.readouterr().err
+    rc = main([
+        str(path), str(out), "--shards", "2",
+        "--hosts", "127.0.0.1:1", "--virtual-hosts", "2",
+    ])
+    assert rc == 2
+    assert "mutually exclusive" in capsys.readouterr().err
+
+
+def test_virtual_hosts_label_matches_serial(pbm_image, tmp_path, capsys):
+    path, img = pbm_image
+    out = tmp_path / "labels.npy"
+    rc = main([
+        str(path), str(out), "--shards", "2",
+        "--virtual-hosts", "2", "--tile-shape", "8x8",
+    ])
+    assert rc == 0
+    _, n = flood_fill_label(img, 8)
+    assert int(np.load(out).max()) == n
+    assert "over 2 host(s)" in capsys.readouterr().out

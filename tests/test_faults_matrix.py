@@ -63,6 +63,14 @@ EXPECTATIONS = {
     # matrix below)
     "kill_rank": "unfired",
     "drop_seam_msg": "unfired",
+    # multi-host transport sites live in repro.parallel.net's client;
+    # paremsp never dials a socket (the net cells are in
+    # tests/test_net_transport.py / test_net_cluster.py)
+    "drop_conn": "unfired",
+    "partition": "unfired",
+    "slow_link": "unfired",
+    "corrupt_frame": "unfired",
+    "dup_msg": "unfired",
 }
 
 
@@ -81,6 +89,13 @@ def _spec_for(kind: str) -> FaultSpec:
         return FaultSpec("kill_rank", phase="scan", rank=0)
     if kind == "drop_seam_msg":
         return FaultSpec("drop_seam_msg", phase="seam", rank=0)
+    if kind == "partition":
+        return FaultSpec("partition", phase="scan", rank=0,
+                         delay_seconds=0.05)
+    if kind == "slow_link":
+        return FaultSpec("slow_link", phase="net", delay_seconds=0.02)
+    if kind in ("drop_conn", "corrupt_frame", "dup_msg"):
+        return FaultSpec(kind, phase="net")
     return FaultSpec("kill_worker", after_chunks=0)
 
 

@@ -1,0 +1,196 @@
+"""The wire protocol (:mod:`repro.parallel.net.framing`).
+
+Property coverage for the framing invariants the transport leans on:
+every intact frame round-trips; every payload corruption is caught by
+the CRC as a *non-fatal* per-frame rejection; every header corruption
+or truncation is caught as the right typed error; and the replay cache
+answers duplicates without re-executing.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import FrameCorruptError, FrameTruncatedError
+from repro.parallel.net.framing import (
+    HEADER,
+    MAGIC,
+    MAX_FRAME_PAYLOAD,
+    ReplayCache,
+    decode_header,
+    dumps_payload,
+    encode_frame,
+    loads_payload,
+    read_frame,
+    recv_exact,
+)
+
+
+class ByteSock:
+    """A socket-shaped reader over a byte buffer, with partial recvs."""
+
+    def __init__(self, data: bytes, chunk: int | None = None) -> None:
+        self._data = bytes(data)
+        self._pos = 0
+        self._chunk = chunk
+
+    def recv(self, n: int) -> bytes:
+        if self._chunk is not None:
+            n = min(n, self._chunk)
+        out = self._data[self._pos : self._pos + n]
+        self._pos += len(out)
+        return out
+
+
+payloads = st.binary(min_size=0, max_size=2048)
+seqs = st.integers(min_value=0, max_value=2**63)
+
+
+# ---------------------------------------------------------------------------
+# round trips
+# ---------------------------------------------------------------------------
+
+
+@given(seq=seqs, payload=payloads, chunk=st.integers(1, 7))
+def test_frame_roundtrip(seq, payload, chunk):
+    # dribbling the bytes in tiny chunks must not matter
+    sock = ByteSock(encode_frame(seq, payload), chunk=chunk)
+    assert read_frame(sock) == (seq, payload)
+
+
+@given(frames=st.lists(st.tuples(seqs, payloads), min_size=1, max_size=5))
+def test_back_to_back_frames_stay_aligned(frames):
+    sock = ByteSock(b"".join(encode_frame(s, p) for s, p in frames))
+    for seq, payload in frames:
+        assert read_frame(sock) == (seq, payload)
+
+
+@given(obj=st.dictionaries(
+    st.text(max_size=8),
+    st.one_of(st.integers(), st.text(max_size=16), st.booleans(), st.none()),
+    max_size=6,
+))
+def test_payload_json_roundtrip(obj):
+    assert loads_payload(dumps_payload(obj)) == obj
+
+
+# ---------------------------------------------------------------------------
+# the two corruption regimes
+# ---------------------------------------------------------------------------
+
+
+@given(seq=seqs, payload=st.binary(min_size=1, max_size=512),
+       data=st.data())
+def test_any_payload_corruption_is_nonfatal_and_caught(seq, payload, data):
+    frame = bytearray(encode_frame(seq, payload))
+    i = data.draw(st.integers(HEADER.size, len(frame) - 1), label="byte")
+    flip = data.draw(st.integers(1, 255), label="xor")
+    frame[i] ^= flip
+    with pytest.raises(FrameCorruptError) as err:
+        read_frame(ByteSock(bytes(frame)))
+    # the header still framed it: stream stays usable, seq identifies
+    # the frame to NACK
+    assert err.value.fatal is False
+    assert err.value.seq == seq
+
+
+@given(seq=seqs, payload=payloads, data=st.data())
+def test_magic_corruption_is_fatal(seq, payload, data):
+    frame = bytearray(encode_frame(seq, payload))
+    i = data.draw(st.integers(0, len(MAGIC) - 1), label="byte")
+    frame[i] ^= data.draw(st.integers(1, 255), label="xor")
+    with pytest.raises(FrameCorruptError) as err:
+        read_frame(ByteSock(bytes(frame)))
+    assert err.value.fatal is True
+
+
+def test_absurd_length_is_fatal():
+    header = HEADER.pack(MAGIC, 7, MAX_FRAME_PAYLOAD + 1, 0)
+    with pytest.raises(FrameCorruptError) as err:
+        read_frame(ByteSock(header + b"x" * 64))
+    assert err.value.fatal is True
+
+
+@given(seq=seqs, payload=payloads, data=st.data())
+def test_any_truncation_is_typed(seq, payload, data):
+    frame = encode_frame(seq, payload)
+    cut = data.draw(st.integers(0, len(frame) - 1), label="cut")
+    with pytest.raises(FrameTruncatedError):
+        read_frame(ByteSock(frame[:cut]))
+
+
+def test_truncation_error_reports_progress():
+    with pytest.raises(FrameTruncatedError) as err:
+        recv_exact(ByteSock(b"abc"), 10)
+    assert err.value.wanted == 10
+    assert err.value.got == 3
+
+
+def test_encode_rejects_bad_inputs():
+    with pytest.raises(ValueError):
+        encode_frame(-1, b"")
+    with pytest.raises(ValueError):
+        encode_frame(0, b"x" * (MAX_FRAME_PAYLOAD + 1))
+
+
+def test_decode_header_accepts_good_header():
+    payload = b"hello"
+    frame = encode_frame(3, payload)
+    seq, length, crc = decode_header(frame[: HEADER.size])
+    assert (seq, length) == (3, len(payload))
+
+
+# ---------------------------------------------------------------------------
+# the replay cache
+# ---------------------------------------------------------------------------
+
+
+def test_replay_cache_deduplicates_completed_frames():
+    cache = ReplayCache()
+    state, event = cache.start("peer-a", 1)
+    assert state == "new"
+    cache.done("peer-a", 1, {"ok": True, "n": 42})
+    state, reply = cache.start("peer-a", 1)
+    assert state == "cached"
+    assert reply == {"ok": True, "n": 42}
+    assert cache.deduped == 1
+    # a different peer's seq 1 is a different key entirely
+    state, _ = cache.start("peer-b", 1)
+    assert state == "new"
+
+
+def test_replay_cache_waits_out_inflight_duplicates():
+    cache = ReplayCache()
+    state, event = cache.start("p", 5)
+    assert state == "new"
+    state, wait_event = cache.start("p", 5)
+    assert state == "wait"
+    got: list = []
+
+    def waiter():
+        wait_event.wait(5.0)
+        got.append(cache.get("p", 5))
+
+    thread = threading.Thread(target=waiter)
+    thread.start()
+    cache.done("p", 5, {"ok": True})
+    thread.join(5.0)
+    assert got == [{"ok": True}]
+    assert cache.deduped == 1
+
+
+def test_replay_cache_evicts_oldest_beyond_capacity():
+    cache = ReplayCache(capacity=4)
+    for seq in range(10):
+        cache.start("p", seq)
+        cache.done("p", seq, {"seq": seq})
+    assert cache.get("p", 0) is None  # evicted
+    assert cache.get("p", 9) == {"seq": 9}
+    # an evicted key re-executes (state "new"), which idempotent
+    # handlers make safe
+    state, _ = cache.start("p", 0)
+    assert state == "new"

@@ -1,0 +1,378 @@
+"""Per-peer transport + lease membership
+(:mod:`repro.parallel.net.transport`, :mod:`.membership`).
+
+Covers the timeout precedence (argument > ``REPRO_NET_*`` env >
+default), the backoff schedule's bounds, every client-side injected
+network fault against a real loopback :class:`WorkerServer`, and the
+lease table's expiry/renewal/rejoin semantics under concurrent
+renewals — all loopback, no external hosts.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import PeerUnreachableError
+from repro.faults import FaultPlan, FaultSpec
+from repro.obs import TraceRecorder
+from repro.parallel.net import (
+    LeaseTable,
+    NetConfig,
+    PartitionLink,
+    PeerClient,
+    WorkerServer,
+    backoff_delay,
+    resolve_net_timeout,
+)
+from repro.parallel.net.transport import (
+    DEFAULT_CALL_TIMEOUT,
+    DEFAULT_CONNECT_TIMEOUT,
+)
+
+FAST = NetConfig(
+    connect_timeout=2.0, call_timeout=2.0, exec_timeout=5.0,
+    max_retries=2, backoff_base=0.0,
+)
+
+
+@pytest.fixture()
+def server():
+    srv = WorkerServer("127.0.0.1", 0)
+    srv.start()
+    yield srv
+    srv.shutdown()
+
+
+def _counters(rec):
+    return rec.report().metrics["counters"]
+
+
+# ---------------------------------------------------------------------------
+# timeout precedence: argument > environment > default
+# ---------------------------------------------------------------------------
+
+
+def test_timeout_default_when_nothing_set(monkeypatch):
+    monkeypatch.delenv("REPRO_NET_CALL_TIMEOUT", raising=False)
+    assert resolve_net_timeout(None, "CALL_TIMEOUT", 10.0) == 10.0
+
+
+def test_timeout_env_beats_default(monkeypatch):
+    monkeypatch.setenv("REPRO_NET_CALL_TIMEOUT", "3.5")
+    assert resolve_net_timeout(None, "CALL_TIMEOUT", 10.0) == 3.5
+
+
+def test_timeout_argument_beats_env(monkeypatch):
+    monkeypatch.setenv("REPRO_NET_CALL_TIMEOUT", "3.5")
+    assert resolve_net_timeout(1.25, "CALL_TIMEOUT", 10.0) == 1.25
+
+
+def test_timeout_blank_env_falls_through(monkeypatch):
+    monkeypatch.setenv("REPRO_NET_CALL_TIMEOUT", "  ")
+    assert resolve_net_timeout(None, "CALL_TIMEOUT", 10.0) == 10.0
+
+
+@pytest.mark.parametrize("bad", ["soon", "0", "-2"])
+def test_timeout_malformed_or_nonpositive_env_is_loud(monkeypatch, bad):
+    monkeypatch.setenv("REPRO_NET_CONNECT_TIMEOUT", bad)
+    with pytest.raises(ValueError):
+        resolve_net_timeout(None, "CONNECT_TIMEOUT", 5.0)
+
+
+def test_netconfig_resolves_env(monkeypatch):
+    monkeypatch.setenv("REPRO_NET_EXEC_TIMEOUT", "123")
+    cfg = NetConfig()
+    assert cfg.exec_timeout == 123.0
+    assert cfg.connect_timeout == DEFAULT_CONNECT_TIMEOUT
+    assert cfg.call_timeout == DEFAULT_CALL_TIMEOUT
+
+
+def test_netconfig_validates():
+    with pytest.raises(ValueError):
+        NetConfig(max_retries=-1)
+    with pytest.raises(ValueError):
+        NetConfig(backoff_factor=0.5)
+    with pytest.raises(ValueError):
+        NetConfig(call_timeout=0.0)
+
+
+# ---------------------------------------------------------------------------
+# backoff schedule bounds
+# ---------------------------------------------------------------------------
+
+
+@given(
+    attempt=st.integers(min_value=1, max_value=60),
+    base=st.floats(min_value=1e-4, max_value=1.0),
+    factor=st.floats(min_value=1.0, max_value=4.0),
+    cap=st.floats(min_value=1e-3, max_value=10.0),
+    seed=st.integers(0, 2**16),
+)
+def test_backoff_is_bounded_and_jittered(attempt, base, factor, cap, seed):
+    import random
+
+    rng = random.Random(seed)
+    delay = backoff_delay(attempt, base, factor, cap, rng)
+    nominal = min(cap, base * factor ** (attempt - 1))
+    # jitter keeps a dead fleet from reconnecting in lockstep but never
+    # exceeds the nominal bound and never collapses below half of it
+    assert 0.0 <= delay <= cap + 1e-12
+    assert nominal / 2 - 1e-12 <= delay <= nominal + 1e-12
+
+
+@given(attempt=st.integers(min_value=-5, max_value=0))
+def test_backoff_zero_for_nonpositive_attempts(attempt):
+    assert backoff_delay(attempt) == 0.0
+
+
+def test_backoff_nominal_growth_is_monotonic():
+    nominals = [
+        min(2.0, 0.05 * 2.0 ** (a - 1)) for a in range(1, 12)
+    ]
+    assert nominals == sorted(nominals)
+    assert nominals[-1] == 2.0  # capped
+
+
+# ---------------------------------------------------------------------------
+# the client against a live loopback worker
+# ---------------------------------------------------------------------------
+
+
+def test_ping_roundtrip(server):
+    client = PeerClient((server.host, server.port), "t:ping:0", FAST)
+    try:
+        reply = client.call({"t": "ping"})
+        assert reply["ok"] and reply["t"] == "pong"
+        assert client.last_rtt is not None and client.last_rtt >= 0
+    finally:
+        client.close()
+
+
+def test_unknown_message_is_answered_not_fatal(server):
+    client = PeerClient((server.host, server.port), "t:odd:0", FAST)
+    try:
+        reply = client.call({"t": "no-such-kind"})
+        assert reply["ok"] is False
+    finally:
+        client.close()
+
+
+def test_unreachable_peer_exhausts_budget_with_typed_error():
+    cfg = NetConfig(
+        connect_timeout=0.2, call_timeout=0.2,
+        max_retries=2, backoff_base=0.0,
+    )
+    client = PeerClient(("127.0.0.1", 1), "t:dead:0", cfg)
+    with pytest.raises(PeerUnreachableError) as err:
+        client.call({"t": "ping"})
+    assert err.value.attempts == 3  # 1 try + 2 retries
+    assert err.value.peer == "127.0.0.1:1"
+
+
+def test_partition_link_blocks_and_heals(server):
+    link = PartitionLink()
+    client = PeerClient(
+        (server.host, server.port), "t:part:0", FAST, link=link
+    )
+    try:
+        assert client.call({"t": "ping"})["ok"]
+        link.cut(30.0)
+        with pytest.raises(PeerUnreachableError):
+            client.call({"t": "ping"})
+        link.heal()
+        assert client.call({"t": "ping"})["ok"]
+    finally:
+        client.close()
+
+
+@pytest.mark.chaos
+def test_drop_conn_is_retried_and_deduplicated(server):
+    plan = FaultPlan([FaultSpec("drop_conn", phase="net")])
+    rec = TraceRecorder()
+    client = PeerClient(
+        (server.host, server.port), "t:drop:0", FAST,
+        recorder=rec, fault_plan=plan, fault_rank=0,
+    )
+    try:
+        assert client.call({"t": "ping"})["ok"]
+    finally:
+        client.close()
+    assert plan.injected == 1
+    counters = _counters(rec)
+    assert counters.get("net.retries", 0) >= 1
+    assert counters.get("net.reconnects", 0) >= 1
+    assert counters.get("fault.drop_conn", 0) == 1
+
+
+@pytest.mark.chaos
+def test_corrupt_frame_is_nacked_and_resent(server):
+    plan = FaultPlan([FaultSpec("corrupt_frame", phase="net")])
+    rec = TraceRecorder()
+    client = PeerClient(
+        (server.host, server.port), "t:crc:0", FAST,
+        recorder=rec, fault_plan=plan, fault_rank=0,
+    )
+    try:
+        assert client.call({"t": "ping"})["ok"]
+    finally:
+        client.close()
+    assert plan.injected == 1
+    assert _counters(rec).get("net.frames_corrupt", 0) >= 1
+
+
+@pytest.mark.chaos
+def test_dup_msg_is_absorbed_by_replay_cache(server):
+    plan = FaultPlan([FaultSpec("dup_msg", phase="net")])
+    rec = TraceRecorder()
+    client = PeerClient(
+        (server.host, server.port), "t:dup:0", FAST,
+        recorder=rec, fault_plan=plan, fault_rank=0,
+    )
+    try:
+        assert client.call({"t": "ping"})["ok"]
+        # the duplicate's reply is stale by seq on the next call
+        assert client.call({"t": "ping"})["ok"]
+    finally:
+        client.close()
+    assert plan.injected == 1
+    assert _counters(rec).get("net.frames_deduped", 0) >= 1
+    assert server._cache.deduped >= 1
+
+
+@pytest.mark.chaos
+def test_slow_link_delays_but_succeeds(server):
+    plan = FaultPlan(
+        [FaultSpec("slow_link", phase="net", delay_seconds=0.2)]
+    )
+    client = PeerClient(
+        (server.host, server.port), "t:slow:0", FAST,
+        fault_plan=plan, fault_rank=0,
+    )
+    try:
+        import time
+
+        t0 = time.monotonic()
+        assert client.call({"t": "ping"})["ok"]
+        assert time.monotonic() - t0 >= 0.2
+    finally:
+        client.close()
+    assert plan.injected == 1
+
+
+# ---------------------------------------------------------------------------
+# leases
+# ---------------------------------------------------------------------------
+
+
+class FakeClock:
+    def __init__(self) -> None:
+        self.now = 100.0
+
+    def __call__(self) -> float:
+        return self.now
+
+
+def test_lease_lifecycle_expiry_and_rejoin():
+    clock = FakeClock()
+    table = LeaseTable(duration=1.0, clock=clock)
+    table.add("h1")
+    assert table.is_alive("h1")
+    clock.now += 0.9
+    table.renew("h1")
+    clock.now += 0.9
+    assert table.sweep() == ()  # renewed in time
+    clock.now += 1.1
+    assert table.sweep() == ("h1",)
+    assert table.sweep() == ()  # reported exactly once per incarnation
+    assert not table.is_alive("h1")
+    # the partition heals: rejoin bumps the incarnation
+    assert table.renew("h1") is True
+    assert table.is_alive("h1")
+    assert table.incarnation("h1") == 1
+    assert table.rejoined_total == 1
+    assert table.expired_total == 1
+
+
+def test_lease_forced_expire():
+    table = LeaseTable(duration=10.0)
+    table.add("h")
+    assert table.expire("h") is True
+    assert not table.is_alive("h")
+    assert table.expire("h") is False  # idempotent
+
+
+def test_lease_duration_validated():
+    with pytest.raises(ValueError):
+        LeaseTable(duration=0.0)
+
+
+@given(ops=st.lists(
+    st.one_of(
+        st.tuples(st.just("tick"), st.floats(0.0, 2.0)),
+        st.tuples(st.just("renew"), st.sampled_from(["a", "b"])),
+    ),
+    max_size=40,
+))
+def test_lease_invariants_hold_for_any_schedule(ops):
+    """Whatever interleaving of clock advances and renewals happens,
+    (1) expiry is reported exactly once per incarnation, (2) a member
+    is alive iff its last renewal is within the lease duration, and
+    (3) rejoins == incarnation bumps."""
+    clock = FakeClock()
+    table = LeaseTable(duration=1.0, clock=clock)
+    last_renew = {}
+    for member in ("a", "b"):
+        table.add(member)
+        last_renew[member] = clock.now
+    reported = {"a": 0, "b": 0}
+    rejoins = {"a": 0, "b": 0}
+    for op, arg in ops:
+        if op == "tick":
+            clock.now += arg
+            for member in table.sweep():
+                reported[member] += 1
+        else:
+            if table.renew(arg):
+                rejoins[arg] += 1
+            last_renew[arg] = clock.now
+    for member in ("a", "b"):
+        # a member whose last renewal is within the lease must be
+        # alive (a stale one may simply not have been swept yet)
+        if clock.now - last_renew[member] <= 1.0:
+            assert table.is_alive(member)
+        # the incarnation number is exactly the member's rejoin count
+        assert table.incarnation(member) == rejoins[member]
+    assert sum(rejoins.values()) == table.rejoined_total
+    assert sum(reported.values()) == table.expired_total
+
+
+def test_lease_renewals_race_with_sweeps():
+    """Hammer renew() from threads while sweeping: no exception, and
+    the member ends alive (every renewal extends the deadline)."""
+    table = LeaseTable(duration=0.05)
+    table.add("h")
+    stop = threading.Event()
+    errors: list[BaseException] = []
+
+    def renewer():
+        try:
+            while not stop.is_set():
+                table.renew("h")
+        except BaseException as exc:  # pragma: no cover
+            errors.append(exc)
+
+    threads = [threading.Thread(target=renewer) for _ in range(4)]
+    for t in threads:
+        t.start()
+    for _ in range(200):
+        table.sweep()
+    stop.set()
+    for t in threads:
+        t.join(5.0)
+    assert not errors
+    table.renew("h")
+    assert table.is_alive("h")

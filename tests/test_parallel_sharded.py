@@ -387,3 +387,115 @@ def test_sigkill_coordinator_then_resume(tmp_path):
     assert resumed_work, res.meta
     assert not (ck / "scratch").exists()
     assert _no_orphan_ranks()
+
+
+# ---------------------------------------------------------------------------
+# torn scratch reads + clock-skew-safe heartbeats (robustness satellites)
+# ---------------------------------------------------------------------------
+
+
+def test_torn_claim_read_is_stale_not_fatal(tmp_path):
+    """A claim file whose content was torn mid-write (partial owner
+    string) parses to "no owner" and is released like any stale claim —
+    never crashes the sweep."""
+    from repro.parallel.sharded import (
+        _claim_owner,
+        _phase_dir,
+        _release_claims,
+    )
+
+    pdir = _phase_dir(tmp_path, "scan")
+    for sub in ("claim", "done", "hb"):
+        (pdir / sub).mkdir(parents=True)
+    good = pdir / "claim" / "shard-0000"
+    good.write_text("1:0")
+    torn = pdir / "claim" / "shard-0001"
+    torn.write_text("1:")  # truncated mid-write
+    garbage = pdir / "claim" / "shard-0002"
+    garbage.write_bytes(b"\x00\xff")
+    assert _claim_owner(good) == "1:0"
+    assert _claim_owner(torn) is None
+    assert _claim_owner(garbage) is None
+    tasks = ["shard-0000", "shard-0001", "shard-0002"]
+    released = _release_claims(pdir, 1, 0, tasks)
+    # the owned claim and both torn ones are all released to survivors
+    assert released == 3
+    assert not list((pdir / "claim").iterdir())
+
+
+def test_torn_heartbeat_read_is_none_not_fatal(tmp_path):
+    """A heartbeat caught mid-write reads as None; the staleness clock
+    keeps running on the last good beat instead of crashing or --
+    worse -- counting the torn read as progress."""
+    from repro.parallel.sharded import (
+        _phase_dir,
+        _read_heartbeat,
+        _touch_heartbeat,
+    )
+
+    pdir = _phase_dir(tmp_path, "scan")
+    (pdir / "hb").mkdir(parents=True)
+    _touch_heartbeat(pdir, 0, generation=2, counter=7)
+    assert _read_heartbeat(pdir, 0) == "2:7"
+    (pdir / "hb" / "0").write_text("2:")  # torn
+    assert _read_heartbeat(pdir, 0) is None
+    (pdir / "hb" / "0").write_bytes(b"\xfe\x00")  # garbage
+    assert _read_heartbeat(pdir, 0) is None
+    assert _read_heartbeat(pdir, 5) is None  # missing file
+
+
+def test_heartbeat_progress_is_counter_based_not_mtime(tmp_path):
+    """Liveness compares monotonic counters across sweeps, so a rank on
+    a host with a skewed clock still reads as alive: the beat content
+    changes even if mtimes look absurd."""
+    from repro.parallel.sharded import (
+        _phase_dir,
+        _read_heartbeat,
+        _touch_heartbeat,
+    )
+
+    pdir = _phase_dir(tmp_path, "scan")
+    (pdir / "hb").mkdir(parents=True)
+    _touch_heartbeat(pdir, 0, generation=0, counter=1)
+    beat1 = _read_heartbeat(pdir, 0)
+    # mtime flies into the past (clock skew / NTP step): irrelevant
+    os.utime(pdir / "hb" / "0", (0, 0))
+    _touch_heartbeat(pdir, 0, generation=0, counter=2)
+    beat2 = _read_heartbeat(pdir, 0)
+    assert beat1 != beat2  # progress is visible purely by content
+    # a respawned generation restarts its counter without aliasing the
+    # old one (generation is part of the content)
+    _touch_heartbeat(pdir, 0, generation=1, counter=1)
+    assert _read_heartbeat(pdir, 0) not in (beat1, beat2)
+
+
+def test_claims_released_counter_with_rank_label(rng, tmp_path):
+    """A dead rank's released claims are visible as the
+    ``shard.claims_released`` counter -- flat on the recorder and
+    rank-labelled on the ambient /metrics aggregator."""
+    from repro.obs.runtime import RuntimeAggregator, use_runtime_aggregator
+
+    img = _image(rng)
+    oracle = np.asarray(tiled_label(img, tile_shape=TILE).labels)
+    plan = FaultPlan([
+        FaultSpec("kill_rank", phase="scan", rank=0, after_chunks=1),
+    ])
+    rec = TraceRecorder()
+    agg = RuntimeAggregator()
+    with use_runtime_aggregator(agg):
+        result = shard_label(
+            img, n_shards=2, tile_shape=TILE,
+            checkpoint_dir=tmp_path / "ck", checkpoint_every=1,
+            resilience=FAST, fault_plan=plan, recorder=rec,
+        )
+    assert np.array_equal(np.asarray(result.labels), oracle)
+    assert result.meta["claims_released"] >= 1
+    counters = rec.report().metrics["counters"]
+    assert counters.get("shard.claims_released", 0) >= 1
+    # the aggregator carries the rank label for /metrics
+    assert agg.counter_value("shard.claims_released") >= 1
+    assert agg.counter_value(
+        "shard.claims_released", labels={"rank": "0"}
+    ) >= 1
+    text = agg.render_prometheus()
+    assert 'shard_claims_released_total{rank="0"}' in text
